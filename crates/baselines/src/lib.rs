@@ -1,0 +1,25 @@
+//! # pebble-baselines — comparator systems for the evaluation
+//!
+//! Reimplementations of the systems Pebble is compared against:
+//!
+//! * [`titian`] — DISC-integrated lineage capture and tracing (Sec. 7.3.4);
+//! * [`lazy`] — PROVision-style fully lazy provenance querying (Fig. 9);
+//! * [`lipstick`] — per-value annotation how-provenance (Sec. 2's 35-vs-5
+//!   annotation contrast);
+//! * [`where_prov`] — where-provenance copy tracing (Sec. 2's `lp` cells);
+//! * [`provision`] — how-provenance polynomials with flatten/collection
+//!   markers (Sec. 2's verbose formula for result item 102).
+
+#![warn(missing_docs)]
+
+pub mod lazy;
+pub mod lipstick;
+pub mod provision;
+pub mod titian;
+pub mod where_prov;
+
+pub use lazy::{lazy_query, LazyStats};
+pub use lipstick::{annotation_count, pebble_annotation_count, AnnotatedDataset};
+pub use provision::{polynomial, Poly};
+pub use titian::{run_lineage, trace_back, LineageRun, SourceLineage};
+pub use where_prov::{where_provenance, Cell};

@@ -1,0 +1,40 @@
+//! Criterion bench behind Fig. 6: plain execution vs structural
+//! provenance capture for Twitter scenarios T1–T5 across dataset sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pebble_bench::{exec_config, TWITTER_BASE};
+use pebble_core::run_captured;
+use pebble_dataflow::{run, NoSink};
+use pebble_workloads::{twitter_context, twitter_scenarios};
+
+fn bench(c: &mut Criterion) {
+    let cfg = exec_config();
+    let mut group = c.benchmark_group("fig6_capture_twitter");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    for mult in [1usize, 3, 5] {
+        let size = TWITTER_BASE * mult;
+        let ctx = twitter_context(size);
+        for s in twitter_scenarios() {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/plain", s.name), size),
+                &size,
+                |b, _| b.iter(|| run(&s.program, &ctx, cfg, &NoSink).unwrap()),
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}/capture", s.name), size),
+                &size,
+                |b, _| b.iter(|| run_captured(&s.program, &ctx, cfg).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

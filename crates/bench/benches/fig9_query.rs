@@ -1,0 +1,52 @@
+//! Criterion bench behind Fig. 9: eager (holistic capture + backtrace) vs
+//! fully lazy provenance querying for all ten scenarios.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use pebble_baselines::lazy_query;
+use pebble_bench::{exec_config, DBLP_BASE, TWITTER_BASE};
+use pebble_core::{backtrace, run_captured};
+use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios};
+
+fn bench(c: &mut Criterion) {
+    let cfg = exec_config();
+    let mut group = c.benchmark_group("fig9_query");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    let t_ctx = twitter_context(TWITTER_BASE);
+    for s in twitter_scenarios() {
+        // Eager: provenance captured during the run; query = match +
+        // backtrace only.
+        let run = run_captured(&s.program, &t_ctx, cfg).unwrap();
+        group.bench_function(BenchmarkId::new(format!("{}/eager", s.name), ""), |b| {
+            b.iter(|| {
+                let bt = s.query.match_rows(&run.output.rows);
+                backtrace(&run, bt)
+            })
+        });
+        group.bench_function(BenchmarkId::new(format!("{}/lazy", s.name), ""), |b| {
+            b.iter(|| lazy_query(&s.program, &t_ctx, cfg, &s.query).unwrap())
+        });
+    }
+    let d_ctx = dblp_context(DBLP_BASE);
+    for s in dblp_scenarios() {
+        let run = run_captured(&s.program, &d_ctx, cfg).unwrap();
+        group.bench_function(BenchmarkId::new(format!("{}/eager", s.name), ""), |b| {
+            b.iter(|| {
+                let bt = s.query.match_rows(&run.output.rows);
+                backtrace(&run, bt)
+            })
+        });
+        group.bench_function(BenchmarkId::new(format!("{}/lazy", s.name), ""), |b| {
+            b.iter(|| lazy_query(&s.program, &d_ctx, cfg, &s.query).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion bench behind §7.3.4: flat-data capture overhead of the
+//! lineage baseline (Titian) vs structural capture (Pebble) vs plain.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pebble_baselines::run_lineage;
+use pebble_bench::{exec_config, DBLP_BASE};
+use pebble_core::run_captured;
+use pebble_dataflow::{run, Context, Expr, NoSink, Program, ProgramBuilder};
+use pebble_nested::{json, DataItem, Value};
+use pebble_workloads::{dblp, DblpConfig};
+
+fn as_lines(items: &[DataItem]) -> Vec<DataItem> {
+    items
+        .iter()
+        .map(|i| DataItem::from_fields([("line", Value::str(json::item_to_string(i)))]))
+        .collect()
+}
+
+fn program() -> Program {
+    let mut b = ProgramBuilder::new();
+    let articles = b.read("article_lines");
+    let fa = b.filter(articles, Expr::col("line").contains(Expr::lit("2015")));
+    let inproc = b.read("inproceedings_lines");
+    let fi = b.filter(inproc, Expr::col("line").contains(Expr::lit("2015")));
+    let u = b.union(fa, fi);
+    b.build(u)
+}
+
+fn bench(c: &mut Criterion) {
+    let data = dblp::generate(&DblpConfig::sized(DBLP_BASE * 2));
+    let mut ctx = Context::new();
+    ctx.register("article_lines", as_lines(&data.articles));
+    ctx.register("inproceedings_lines", as_lines(&data.inproceedings));
+    let p = program();
+    let cfg = exec_config();
+    let mut group = c.benchmark_group("titian_cmp");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    group.bench_function("plain", |b| {
+        b.iter(|| run(&p, &ctx, cfg, &NoSink).unwrap())
+    });
+    group.bench_function("titian_lineage", |b| {
+        b.iter(|| run_lineage(&p, &ctx, cfg).unwrap())
+    });
+    group.bench_function("pebble_structural", |b| {
+        b.iter(|| run_captured(&p, &ctx, cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Sec. 2 — annotation-count contrast: Lipstick-style per-value
+//! annotations vs Pebble's top-level identifiers, on the running example
+//! (35 vs 5) and at dataset scale.
+
+use pebble_baselines::{annotation_count, pebble_annotation_count};
+use pebble_bench::scale;
+use pebble_workloads::running_example;
+use pebble_workloads::twitter::{generate, TwitterConfig};
+
+fn main() {
+    let example = running_example::input();
+    println!("Sec. 2 — annotations needed on the running example input");
+    println!(
+        "  Lipstick (per nested value): {}",
+        annotation_count(&example)
+    );
+    println!(
+        "  Pebble (top-level items):    {}",
+        pebble_annotation_count(&example)
+    );
+
+    let tweets = generate(&TwitterConfig::sized(2_000 * scale()));
+    let lip = annotation_count(&tweets);
+    let peb = pebble_annotation_count(&tweets);
+    println!();
+    println!("At scale ({} synthetic tweets):", tweets.len());
+    println!("  Lipstick annotations: {lip}");
+    println!("  Pebble annotations:   {peb}");
+    println!("  ratio:                {:.1}x", lip as f64 / peb as f64);
+}

@@ -1,0 +1,54 @@
+//! Fig. 6 — capture runtime overhead on the Twitter dataset.
+//!
+//! For each scenario T1–T5 and each of the five dataset sizes, runs the
+//! program once plainly ("Spark") and once with structural provenance
+//! capture ("Pebble"), printing execution times and the relative overhead
+//! percentage shown above the paper's bars.
+
+use pebble_bench::{exec_config, ms, overhead_pct, steps, TWITTER_BASE};
+use pebble_core::run_captured;
+use pebble_dataflow::{run, NoSink};
+use pebble_workloads::{twitter_context, twitter_scenarios};
+
+fn main() {
+    let cfg = exec_config();
+    println!("Fig. 6 — capture runtime overhead, Twitter scenarios");
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "size", "scen.", "plain ms", "capture ms", "overhead", "+persist ms", "overhead"
+    );
+    for size in steps(TWITTER_BASE) {
+        let ctx = twitter_context(size);
+        for s in twitter_scenarios() {
+            let times = pebble_bench::time_interleaved(
+                7,
+                &mut [
+                    &mut || {
+                        run(&s.program, &ctx, cfg, &NoSink).unwrap();
+                    },
+                    &mut || {
+                        run_captured(&s.program, &ctx, cfg).unwrap();
+                    },
+                    &mut || {
+                        // Capture and persist the pebbles, as the paper's
+                        // deployment does (provenance is stored for later
+                        // querying; cf. Sec. 7.3.2).
+                        let r = run_captured(&s.program, &ctx, cfg).unwrap();
+                        std::hint::black_box(pebble_core::storage::encode(&r.ops));
+                    },
+                ],
+            );
+            let (plain, captured, persisted) = (times[0], times[1], times[2]);
+            println!(
+                "{:<8} {:>8} {:>12} {:>12} {:>9.0}% {:>12} {:>9.0}%",
+                size,
+                s.name,
+                ms(plain),
+                ms(captured),
+                overhead_pct(plain, captured),
+                ms(persisted),
+                overhead_pct(plain, persisted)
+            );
+        }
+    }
+}

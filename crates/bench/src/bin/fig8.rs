@@ -1,0 +1,46 @@
+//! Fig. 8 — size of collected provenance per scenario: lineage (dark bars)
+//! vs the structural additions (stacked textured bars).
+//!
+//! Lineage bytes count the identifier association tables alone; structural
+//! bytes add the flatten position columns and the schema-level path sets.
+
+use pebble_bench::{exec_config, human_bytes, scale, DBLP_BASE, TWITTER_BASE};
+use pebble_core::run_captured;
+use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario};
+
+fn report(title: &str, scenarios: &[Scenario], ctx: &pebble_dataflow::Context) {
+    println!("{title}");
+    println!(
+        "{:<8} {:>14} {:>16} {:>12}",
+        "scen.", "lineage", "structural", "extra"
+    );
+    for s in scenarios {
+        let run = run_captured(&s.program, ctx, exec_config()).unwrap();
+        let lineage = run.lineage_bytes();
+        let structural = run.structural_bytes();
+        println!(
+            "{:<8} {:>14} {:>16} {:>12}",
+            s.name,
+            human_bytes(lineage),
+            human_bytes(structural),
+            human_bytes(structural - lineage)
+        );
+    }
+}
+
+fn main() {
+    // One "100 GB" step, like the paper's default experiment size.
+    let t_size = TWITTER_BASE * scale();
+    let d_size = DBLP_BASE * scale();
+    report(
+        &format!("Fig. 8(a) — provenance size, Twitter ({t_size} tweets)"),
+        &twitter_scenarios(),
+        &twitter_context(t_size),
+    );
+    println!();
+    report(
+        &format!("Fig. 8(b) — provenance size, DBLP ({d_size} records)"),
+        &dblp_scenarios(),
+        &dblp_context(d_size),
+    );
+}

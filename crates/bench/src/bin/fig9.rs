@@ -1,0 +1,63 @@
+//! Fig. 9 — runtime of structural provenance querying: the holistic eager
+//! approach (capture during the run, then tree-pattern match + backtrace)
+//! vs a PROVision-style fully lazy approach (re-run with capture once per
+//! input dataset at query time).
+
+use pebble_bench::{exec_config, ms, scale, DBLP_BASE, TWITTER_BASE};
+use pebble_baselines::lazy_query;
+use pebble_core::{backtrace, run_captured};
+use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario};
+
+fn report(title: &str, scenarios: &[Scenario], ctx: &pebble_dataflow::Context) {
+    let cfg = exec_config();
+    println!("{title}");
+    println!(
+        "{:<8} {:>12} {:>12} {:>8}",
+        "scen.", "eager ms", "lazy ms", "ratio"
+    );
+    for s in scenarios {
+        // Holistic/eager: the provenance was captured during the pipeline
+        // run; query time is tree-pattern matching + backtracing only.
+        let run = run_captured(&s.program, ctx, cfg).unwrap();
+        let times = pebble_bench::time_interleaved(
+            5,
+            &mut [
+                &mut || {
+                    let b = s.query.match_rows(&run.output.rows);
+                    backtrace(&run, b);
+                },
+                &mut || {
+                    lazy_query(&s.program, ctx, cfg, &s.query).unwrap();
+                },
+            ],
+        );
+        let (eager, lazy) = (times[0], times[1]);
+        println!(
+            "{:<8} {:>12} {:>12} {:>7.1}x",
+            s.name,
+            ms(eager),
+            ms(lazy),
+            lazy.as_secs_f64() / eager.as_secs_f64()
+        );
+    }
+}
+
+fn main() {
+    report(
+        &format!(
+            "Fig. 9(a) — query runtime eager vs lazy, Twitter ({} tweets)",
+            TWITTER_BASE * scale()
+        ),
+        &twitter_scenarios(),
+        &twitter_context(TWITTER_BASE * scale()),
+    );
+    println!();
+    report(
+        &format!(
+            "Fig. 9(b) — query runtime eager vs lazy, DBLP ({} records)",
+            DBLP_BASE * scale()
+        ),
+        &dblp_scenarios(),
+        &dblp_context(DBLP_BASE * scale()),
+    );
+}

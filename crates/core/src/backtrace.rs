@@ -1,0 +1,1039 @@
+//! The backtracing algorithm (Sec. 6.3, Algs. 1–4).
+//!
+//! Starting from a backtracing structure `B` over the program's result
+//! (usually produced by tree-pattern matching), the algorithm steps
+//! backwards through the operator provenance `P` of every operator until
+//! the `read` sources are reached. Each step
+//!
+//! 1. joins `B` with the identifier associations `P.P` to move from output
+//!    to input identifiers (the same join lineage systems perform), and
+//! 2. rewrites the backtracing trees: recorded manipulations `P.M` are
+//!    undone with `manipulatePath`, and recorded accesses `P.I.A` are
+//!    stamped with `accessPath`, materializing *influencing* nodes.
+//!
+//! `join`/`union` fork the walk into both predecessors; the results per
+//! `read` operator are merged by input identifier.
+//!
+//! ### Aggregation relevance (Alg. 4 interpretation)
+//!
+//! For bag nesting, a group member is relevant (`inProv`) exactly when the
+//! tree pinpoints its nested position (Ex. 6.6: members at positions 2 and
+//! 3 survive; positions 1 and 4 are dropped). Scalar aggregates make every
+//! group member relevant, since all values feed the aggregate. Group-key
+//! mappings alone make members relevant only when the query does *not*
+//! pinpoint nested positions — this reproduces the paper's example, where
+//! tweets 1 and 29 of group 102 are excluded although they share the
+//! queried `user` key, while key-only queries still return the whole group
+//! (which a lineage system would, too).
+
+use pebble_dataflow::{ItemId, OpId};
+use pebble_nested::{DataType, Path, Step};
+
+use crate::btree::{Backtrace, ProvTree};
+use crate::capture::{CapturedRun, OperatorProvenance, ProvAssoc};
+use pebble_dataflow::hash::FxHashMap;
+
+/// One traced input item of a source dataset.
+#[derive(Clone, Debug)]
+pub struct TracedItem {
+    /// Identifier the item carried during the captured run.
+    pub id: ItemId,
+    /// Position of the item in the source dataset (0-based).
+    pub index: usize,
+    /// Backtracing tree over the item's schema, with contributing /
+    /// influencing flags and access/manipulation operator sets.
+    pub tree: ProvTree,
+}
+
+/// Provenance traced back to one `read` operator.
+#[derive(Clone, Debug)]
+pub struct SourceProvenance {
+    /// The `read` operator.
+    pub read_op: OpId,
+    /// Name of the source dataset.
+    pub source: String,
+    /// Traced items, ordered by identifier.
+    pub entries: Vec<TracedItem>,
+}
+
+/// Pre-built per-operator hash indexes over the identifier association
+/// tables. Building them is linear in the provenance size; reusing one
+/// index across many provenance questions amortizes that cost (the
+/// "optimize provenance querying" direction the paper names as future
+/// work — benchmarked in `ablations`).
+pub struct BacktraceIndex {
+    per_op: Vec<OpIndex>,
+}
+
+enum OpIndex {
+    /// id → dataset position.
+    Read(FxHashMap<ItemId, usize>),
+    /// output id → input id.
+    Unary(FxHashMap<ItemId, ItemId>),
+    /// output id → (left input, right input).
+    Binary(FxHashMap<ItemId, (Option<ItemId>, Option<ItemId>)>),
+    /// output id → (input id, element position).
+    Flatten(FxHashMap<ItemId, (ItemId, u32)>),
+    /// output id → group member ids in nesting order.
+    Agg(FxHashMap<ItemId, Vec<ItemId>>),
+}
+
+impl BacktraceIndex {
+    /// Builds the index for a captured run.
+    pub fn build(run: &CapturedRun) -> Self {
+        let per_op = run
+            .ops
+            .iter()
+            .map(|op| match &op.assoc {
+                ProvAssoc::Read(ids) => OpIndex::Read(
+                    ids.iter().enumerate().map(|(i, &id)| (id, i)).collect(),
+                ),
+                ProvAssoc::Unary(v) => {
+                    OpIndex::Unary(v.iter().map(|&(i, o)| (o, i)).collect())
+                }
+                ProvAssoc::Binary(v) => OpIndex::Binary(
+                    v.iter().map(|&(l, r, o)| (o, (l, r))).collect(),
+                ),
+                ProvAssoc::Flatten(v) => OpIndex::Flatten(
+                    v.iter().map(|&(i, pos, o)| (o, (i, pos))).collect(),
+                ),
+                ProvAssoc::Agg(v) => OpIndex::Agg(
+                    v.iter().map(|(ids, o)| (*o, ids.clone())).collect(),
+                ),
+            })
+            .collect();
+        BacktraceIndex { per_op }
+    }
+
+    fn unary(&self, oid: OpId) -> &FxHashMap<ItemId, ItemId> {
+        match &self.per_op[oid as usize] {
+            OpIndex::Unary(m) => m,
+            _ => unreachable!("unary operator has Unary index"),
+        }
+    }
+
+    fn binary(&self, oid: OpId) -> &FxHashMap<ItemId, (Option<ItemId>, Option<ItemId>)> {
+        match &self.per_op[oid as usize] {
+            OpIndex::Binary(m) => m,
+            _ => unreachable!("binary operator has Binary index"),
+        }
+    }
+
+    fn flatten(&self, oid: OpId) -> &FxHashMap<ItemId, (ItemId, u32)> {
+        match &self.per_op[oid as usize] {
+            OpIndex::Flatten(m) => m,
+            _ => unreachable!("flatten operator has Flatten index"),
+        }
+    }
+
+    fn agg(&self, oid: OpId) -> &FxHashMap<ItemId, Vec<ItemId>> {
+        match &self.per_op[oid as usize] {
+            OpIndex::Agg(m) => m,
+            _ => unreachable!("aggregation operator has Agg index"),
+        }
+    }
+
+    fn read(&self, oid: OpId) -> &FxHashMap<ItemId, usize> {
+        match &self.per_op[oid as usize] {
+            OpIndex::Read(m) => m,
+            _ => unreachable!("read operator has Read index"),
+        }
+    }
+}
+
+/// Backtraces `b` from the sink of a captured run to all of its sources
+/// (Alg. 1, driven iteratively over the DAG).
+pub fn backtrace(run: &CapturedRun, b: Backtrace) -> Vec<SourceProvenance> {
+    backtrace_with(run, &BacktraceIndex::build(run), b)
+}
+
+/// Backtraces with a pre-built [`BacktraceIndex`]; use when answering many
+/// provenance questions over the same captured run.
+pub fn backtrace_with(
+    run: &CapturedRun,
+    index: &BacktraceIndex,
+    b: Backtrace,
+) -> Vec<SourceProvenance> {
+    let mut worklist: Vec<(OpId, Backtrace)> = vec![(run.program.sink(), b)];
+    let mut per_read: FxHashMap<OpId, Backtrace> = FxHashMap::default();
+
+    while let Some((oid, mut b)) = worklist.pop() {
+        b.merge_by_id();
+        if b.entries.is_empty() {
+            continue;
+        }
+        let p = run.op(oid);
+        match p.op_type.as_str() {
+            "read" => {
+                per_read.entry(oid).or_default().entries.extend(b.entries);
+            }
+            "filter" | "select" | "map" => {
+                let b2 = backtrace_generic(run, index, p, b);
+                worklist.push((p.inputs[0].pred.expect("unary op has predecessor"), b2));
+            }
+            "flatten" => {
+                let b2 = backtrace_flatten(run, index, p, b);
+                worklist.push((p.inputs[0].pred.expect("flatten has predecessor"), b2));
+            }
+            "aggregation" => {
+                let b2 = backtrace_aggregation(run, index, p, b);
+                worklist.push((p.inputs[0].pred.expect("aggregation has predecessor"), b2));
+            }
+            "join" => {
+                for side in 0..2 {
+                    let b2 = backtrace_join_side(run, index, p, &b, side);
+                    worklist.push((p.inputs[side].pred.expect("join has predecessors"), b2));
+                }
+            }
+            "union" => {
+                for side in 0..2 {
+                    let b2 = backtrace_union_side(index, p, &b, side);
+                    worklist.push((p.inputs[side].pred.expect("union has predecessors"), b2));
+                }
+            }
+            other => unreachable!("unknown operator type `{other}`"),
+        }
+    }
+
+    let mut out: Vec<SourceProvenance> = Vec::new();
+    for (read_op, mut b) in per_read {
+        b.merge_by_id();
+        let index_of = index.read(read_op);
+        let source = match &run.program.operators()[read_op as usize].kind {
+            pebble_dataflow::OpKind::Read { source } => source.clone(),
+            _ => unreachable!(),
+        };
+        let entries = b
+            .entries
+            .into_iter()
+            .map(|(id, tree)| TracedItem {
+                id,
+                index: index_of[&id],
+                tree,
+            })
+            .collect();
+        out.push(SourceProvenance {
+            read_op,
+            source,
+            entries,
+        });
+    }
+    out.sort_by_key(|s| s.read_op);
+    out
+}
+
+/// Expands a schema-level access path to itself plus every schema path
+/// below it ("marks the user and its children as accessed", Ex. 6.6).
+fn expand_access(schema: &DataType, path: &Path) -> Vec<Path> {
+    let mut out = vec![path.clone()];
+    if let Some(sub) = schema.resolve(path) {
+        for suffix in sub.schema_paths() {
+            out.push(path.join(&suffix));
+        }
+    }
+    out
+}
+
+fn record_accesses(p: &OperatorProvenance, schema: &DataType, tree: &mut ProvTree) {
+    for input in &p.inputs {
+        for a in input.accessed.iter().flatten() {
+            for expanded in expand_access(schema, a) {
+                tree.access_path(&expanded, p.oid);
+            }
+        }
+    }
+}
+
+/// Alg. 3: generic backtracing for `filter`, `select`, and `map`.
+fn backtrace_generic(
+    run: &CapturedRun,
+    index: &BacktraceIndex,
+    p: &OperatorProvenance,
+    b: Backtrace,
+) -> Backtrace {
+    let to_input = index.unary(p.oid);
+    let input_schema = run.input_schema(p.oid, 0);
+    let mut out = Backtrace::new();
+    for (id, mut tree) in b.entries {
+        let Some(&input_id) = to_input.get(&id) else {
+            continue;
+        };
+        match &p.manipulated {
+            Some(ms) => {
+                tree.manipulate_paths(ms, p.oid);
+                // A select fully defines its output: any root attribute
+                // still referencing the select's *output* schema after the
+                // rewrite (e.g. a struct container whose children were all
+                // moved back) does not exist in the input and is dropped,
+                // so the tree conforms to the input schema (Sec. 6.2).
+                if p.op_type == "select" {
+                    if let Some(fields) = input_schema.fields() {
+                        tree.retain_roots(|name| fields.iter().any(|f| f.name == name));
+                    }
+                }
+            }
+            // Opaque map: no path information. Conservatively, every node
+            // of the *input schema* may have been read and restructured to
+            // produce the queried output, so all schema nodes are
+            // materialized and marked manipulated (Sec. 6.3).
+            None => {
+                for path in input_schema.schema_paths() {
+                    tree.insert(&path, true);
+                }
+                tree.mark_all_manipulated(p.oid);
+            }
+        }
+        record_accesses(p, input_schema, &mut tree);
+        out.entries.push((input_id, tree));
+    }
+    out
+}
+
+/// Alg. 2: backtracing `flatten` — generic step with `[pos]` placeholders,
+/// then grouping by input id and substituting concrete positions while
+/// merging trees.
+fn backtrace_flatten(
+    run: &CapturedRun,
+    index: &BacktraceIndex,
+    p: &OperatorProvenance,
+    b: Backtrace,
+) -> Backtrace {
+    let to_input = index.flatten(p.oid);
+    let ms = p
+        .manipulated
+        .as_deref()
+        .expect("flatten manipulations are defined");
+    let (m_in, _m_out) = &ms[0];
+    let input_schema = run.input_schema(p.oid, 0);
+    let mut out = Backtrace::new();
+    for (id, mut tree) in b.entries {
+        let Some(&(input_id, pos)) = to_input.get(&id) else {
+            continue;
+        };
+        // Undo ⟨a_col[pos], a_new⟩, leaving a placeholder node …
+        tree.manipulate_paths(ms, p.oid);
+        // … then substitute the recorded position (mergeTrees, Alg. 2 l.2).
+        tree.fill_placeholder(m_in, pos);
+        // Record the access on the concrete element.
+        let concrete = m_in.fill_placeholder(pos);
+        tree.access_path(&concrete, p.oid);
+        record_rest_accesses(p, input_schema, &mut tree, m_in);
+        out.entries.push((input_id, tree));
+    }
+    out.merge_by_id();
+    out
+}
+
+/// Records accesses except the flatten element path (already recorded at a
+/// concrete position).
+fn record_rest_accesses(
+    p: &OperatorProvenance,
+    schema: &DataType,
+    tree: &mut ProvTree,
+    skip: &Path,
+) {
+    for input in &p.inputs {
+        for a in input.accessed.iter().flatten() {
+            if a == skip {
+                continue;
+            }
+            for expanded in expand_access(schema, a) {
+                tree.access_path(&expanded, p.oid);
+            }
+        }
+    }
+}
+
+/// Alg. 4: backtracing aggregation/nesting back to the grouping input.
+fn backtrace_aggregation(
+    run: &CapturedRun,
+    index: &BacktraceIndex,
+    p: &OperatorProvenance,
+    b: Backtrace,
+) -> Backtrace {
+    // pos_flatten (Alg. 4 l. 1): ⟨ids^i, id^o⟩ → ⟨id^i, p_P, id^o⟩.
+    let groups = index.agg(p.oid);
+    let ms = p
+        .manipulated
+        .as_deref()
+        .expect("aggregation manipulations are defined");
+    let input_schema = run.input_schema(p.oid, 0);
+    // `count(*)`-style aggregates read no attribute, so they have no entry
+    // in M; their output attributes still make every group member relevant
+    // when queried (each row feeds the count). The nodes are removed from
+    // the tree — there is no input attribute to rewrite them to.
+    let countstar_outputs: Vec<Path> = match &run.program.operators()[p.oid as usize].kind {
+        pebble_dataflow::OpKind::GroupAggregate { aggs, .. } => aggs
+            .iter()
+            .filter(|a| {
+                // Whole-item bag nesting (collect_list with no input path)
+                // is handled positionally through M; only count(*) and
+                // whole-item set nesting (position-less) fall back to the
+                // all-members rule.
+                a.input.is_empty()
+                    && a.func != pebble_dataflow::AggFunc::CollectList
+            })
+            .map(|a| Path::attr(&a.output))
+            .collect(),
+        _ => Vec::new(),
+    };
+    let mut out = Backtrace::new();
+
+    for (out_id, tree) in &b.entries {
+        let Some(member_ids) = groups.get(out_id) else {
+            continue;
+        };
+        // Does the query pinpoint concrete positions inside any nested
+        // (bag-collected) output? If so, only those positions select
+        // members; key mappings alone do not (see module docs).
+        let positional_query = ms.iter().any(|(_, m_out)| {
+            m_out.has_placeholder() && {
+                // A node at the collection attr exists with position child.
+                let coll = collection_prefix(m_out);
+                tree.contains(&coll.child(Step::AnyPos))
+            }
+        });
+
+        for (idx, &member_id) in member_ids.iter().enumerate() {
+            let p_pos = idx as u32 + 1;
+            let mut t = tree.clone();
+            let mut in_prov = false;
+            // Collection removals are deferred until every mapping has
+            // been applied: several mappings may target different
+            // attributes inside the same nested collection (whole-item
+            // nesting maps one pair per attribute).
+            let mut removals: Vec<Path> = Vec::new();
+            for (m_in, m_out) in ms {
+                if m_out.has_placeholder() {
+                    // Bag nesting: the member contributes exactly to the
+                    // nested item at its own position (Alg. 4 ll. 6-12).
+                    let out_path = m_out.fill_placeholder(p_pos);
+                    if t.contains(&out_path) {
+                        in_prov = true;
+                        t.manipulate_path(m_in, &out_path, p.oid);
+                    }
+                    // Remove the nested collection's remaining positions
+                    // (Alg. 4 l. 13) — after the mapping loop.
+                    let prefix = collection_prefix(m_out);
+                    if !removals.contains(&prefix) {
+                        removals.push(prefix);
+                    }
+                } else if t.contains(m_out) {
+                    let is_key = m_in == m_out
+                        && p.inputs[0]
+                            .accessed
+                            .as_deref()
+                            .is_some_and(|a| a.contains(m_in));
+                    if !is_key || !positional_query {
+                        in_prov = true;
+                    }
+                    t.manipulate_path(m_in, m_out, p.oid);
+                }
+            }
+            for prefix in &removals {
+                t.remove_nodes(prefix);
+            }
+            for out_path in &countstar_outputs {
+                if t.contains(out_path) {
+                    if !positional_query {
+                        in_prov = true;
+                    }
+                    t.remove_nodes(out_path);
+                }
+            }
+            if !in_prov {
+                continue;
+            }
+            record_accesses(p, input_schema, &mut t);
+            out.entries.push((member_id, t));
+        }
+    }
+    out.merge_by_id();
+    out
+}
+
+/// Truncates at the first `[pos]` placeholder: `tweets[pos]` → `tweets`,
+/// `members[pos].k` → `members` — the nested collection whose other
+/// positions are removed (Alg. 4 l. 13).
+fn collection_prefix(m_out: &Path) -> Path {
+    let cut = m_out
+        .steps()
+        .iter()
+        .position(|s| matches!(s, Step::AnyPos))
+        .unwrap_or(m_out.len());
+    Path::new(m_out.steps()[..cut].iter().cloned())
+}
+
+/// Join backtracing for one input side: move to that side's identifiers,
+/// undo that side's attribute copies/renames, prune nodes belonging to the
+/// other input's schema, and record the key accesses.
+fn backtrace_join_side(
+    run: &CapturedRun,
+    index: &BacktraceIndex,
+    p: &OperatorProvenance,
+    b: &Backtrace,
+    side: usize,
+) -> Backtrace {
+    let assoc_index = index.binary(p.oid);
+    let side_of = |pair: &(Option<ItemId>, Option<ItemId>)| {
+        if side == 0 {
+            pair.0
+        } else {
+            pair.1
+        }
+    };
+    let input_schema = run.input_schema(p.oid, side);
+    let side_fields: Vec<String> = input_schema
+        .fields()
+        .map(|fs| fs.iter().map(|f| f.name.clone()).collect())
+        .unwrap_or_default();
+    // Split M by *output* attribute: result attribute names are unique —
+    // left fields keep their names, clashing right fields are renamed — so
+    // a mapping belongs to the left side iff its output attribute is a
+    // left field name.
+    let left_fields: Vec<String> = run
+        .input_schema(p.oid, 0)
+        .fields()
+        .map(|fs| fs.iter().map(|f| f.name.clone()).collect())
+        .unwrap_or_default();
+    let ms: Vec<(Path, Path)> = p
+        .manipulated
+        .as_deref()
+        .unwrap_or_default()
+        .iter()
+        .filter(|(_, m_out)| {
+            let is_left_out = match m_out.head() {
+                Some(Step::Attr(a)) => left_fields.iter().any(|f| f == a),
+                _ => false,
+            };
+            (side == 0) == is_left_out
+        })
+        .cloned()
+        .collect();
+    let mut out = Backtrace::new();
+    for (id, tree) in &b.entries {
+        let Some(input_id) = assoc_index.get(id).and_then(&side_of) else {
+            continue;
+        };
+        let mut t = tree.clone();
+        t.manipulate_paths(&ms, p.oid);
+        // Drop nodes that reference the other input's schema.
+        t.retain_roots(|name| side_fields.iter().any(|f| f == name));
+        for a in p.inputs[side].accessed.iter().flatten() {
+            for expanded in expand_access(input_schema, a) {
+                t.access_path(&expanded, p.oid);
+            }
+        }
+        out.entries.push((input_id, t));
+    }
+    out
+}
+
+/// Union backtracing for one input side: keep the entries that originate
+/// from that side (the other side's field is undefined); trees pass
+/// through unchanged (`A = M = ∅`).
+fn backtrace_union_side(
+    index: &BacktraceIndex,
+    p: &OperatorProvenance,
+    b: &Backtrace,
+    side: usize,
+) -> Backtrace {
+    let assoc_index = index.binary(p.oid);
+    let mut out = Backtrace::new();
+    for (id, tree) in &b.entries {
+        let Some(pair) = assoc_index.get(id) else {
+            continue;
+        };
+        let input_id = if side == 0 { pair.0 } else { pair.1 };
+        if let Some(input_id) = input_id {
+            out.entries.push((input_id, tree.clone()));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::run_captured;
+    use pebble_dataflow::{
+        context::items_of, AggFunc, AggSpec, Context, ExecConfig, Expr, GroupKey, NamedExpr,
+        ProgramBuilder,
+    };
+    use pebble_nested::{DataItem, Value};
+
+    fn cfg() -> ExecConfig {
+        ExecConfig { partitions: 2 }
+    }
+
+    fn simple_ctx() -> Context {
+        let mut c = Context::new();
+        c.register(
+            "t",
+            items_of(vec![
+                vec![("k", Value::str("a")), ("v", Value::Int(1))],
+                vec![("k", Value::str("b")), ("v", Value::Int(2))],
+                vec![("k", Value::str("a")), ("v", Value::Int(3))],
+            ]),
+        );
+        c
+    }
+
+    fn whole_tree(paths: &[&str]) -> ProvTree {
+        let owned: Vec<Path> = paths.iter().map(|p| Path::parse(p)).collect();
+        ProvTree::from_paths(owned.iter())
+    }
+
+    #[test]
+    fn filter_backtrace_marks_access() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f = b.filter(r, Expr::col("v").ge(Expr::lit(2i64)));
+        let run = run_captured(&b.build(f), &simple_ctx(), cfg()).unwrap();
+        // Trace the first result item (k=b) asking about k.
+        let first = &run.output.rows[0];
+        let bt = Backtrace {
+            entries: vec![(first.id, whole_tree(&["k"]))],
+        };
+        let sources = backtrace(&run, bt);
+        assert_eq!(sources.len(), 1);
+        let entries = &sources[0].entries;
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].index, 1); // second source item (k=b)
+        let tree = &entries[0].tree;
+        assert!(tree.contains(&Path::attr("k")));
+        // v was accessed by the filter: influencing node with a{1}.
+        let v = tree
+            .nodes()
+            .into_iter()
+            .find(|(p, _)| *p == Path::attr("v"))
+            .unwrap()
+            .1;
+        assert!(!v.contributing);
+        assert!(v.accessed.contains(&1));
+    }
+
+    #[test]
+    fn select_backtrace_renames() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let s = b.select(r, vec![NamedExpr::aliased("key", "k")]);
+        let run = run_captured(&b.build(s), &simple_ctx(), cfg()).unwrap();
+        let first = &run.output.rows[0];
+        let bt = Backtrace {
+            entries: vec![(first.id, whole_tree(&["key"]))],
+        };
+        let sources = backtrace(&run, bt);
+        let tree = &sources[0].entries[0].tree;
+        assert!(tree.contains(&Path::attr("k")));
+        assert!(!tree.contains(&Path::attr("key")));
+        let k = &tree.nodes()[0].1;
+        assert!(k.manipulated.contains(&1));
+        assert!(k.contributing);
+    }
+
+    #[test]
+    fn union_backtrace_splits_sides() {
+        let mut b = ProgramBuilder::new();
+        let l = b.read("t");
+        let r = b.read("t");
+        let u = b.union(l, r);
+        let run = run_captured(&b.build(u), &simple_ctx(), cfg()).unwrap();
+        // Trace all six result items.
+        let bt = Backtrace {
+            entries: run
+                .output
+                .rows
+                .iter()
+                .map(|row| (row.id, whole_tree(&["k"])))
+                .collect(),
+        };
+        let sources = backtrace(&run, bt);
+        assert_eq!(sources.len(), 2);
+        assert_eq!(sources[0].entries.len(), 3);
+        assert_eq!(sources[1].entries.len(), 3);
+    }
+
+    #[test]
+    fn aggregation_scalar_pulls_all_members() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let g = b.group_aggregate(
+            r,
+            vec![GroupKey::new("k")],
+            vec![AggSpec::new(AggFunc::Sum, "v", "total")],
+        );
+        let run = run_captured(&b.build(g), &simple_ctx(), cfg()).unwrap();
+        let group_a = run
+            .output
+            .rows
+            .iter()
+            .find(|row| row.item.get("k") == Some(&Value::str("a")))
+            .unwrap();
+        let bt = Backtrace {
+            entries: vec![(group_a.id, whole_tree(&["total"]))],
+        };
+        let sources = backtrace(&run, bt);
+        // Both k=a members contribute to the sum.
+        assert_eq!(sources[0].entries.len(), 2);
+        let idx: Vec<usize> = sources[0].entries.iter().map(|e| e.index).collect();
+        assert_eq!(idx, [0, 2]);
+        // The sum input path v is back in the tree.
+        assert!(sources[0].entries[0].tree.contains(&Path::attr("v")));
+    }
+
+    #[test]
+    fn aggregation_positional_selects_single_member() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let g = b.group_aggregate(
+            r,
+            vec![GroupKey::new("k")],
+            vec![AggSpec::new(AggFunc::CollectList, "v", "vs")],
+        );
+        let run = run_captured(&b.build(g), &simple_ctx(), cfg()).unwrap();
+        let group_a = run
+            .output
+            .rows
+            .iter()
+            .find(|row| row.item.get("k") == Some(&Value::str("a")))
+            .unwrap();
+        // Query pinpoints the second nested element (v=3, source index 2).
+        let bt = Backtrace {
+            entries: vec![(group_a.id, whole_tree(&["k", "vs[2]"]))],
+        };
+        let sources = backtrace(&run, bt);
+        assert_eq!(sources[0].entries.len(), 1);
+        assert_eq!(sources[0].entries[0].index, 2);
+        let tree = &sources[0].entries[0].tree;
+        // vs[2] was transformed back to the input attribute v.
+        assert!(tree.contains(&Path::attr("v")));
+        // The group key is marked accessed by the aggregation.
+        let k = tree
+            .nodes()
+            .into_iter()
+            .find(|(p, _)| *p == Path::attr("k"))
+            .unwrap()
+            .1;
+        assert!(k.accessed.contains(&1));
+    }
+
+    #[test]
+    fn aggregation_key_only_query_returns_group() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let g = b.group_aggregate(
+            r,
+            vec![GroupKey::new("k")],
+            vec![AggSpec::new(AggFunc::CollectList, "v", "vs")],
+        );
+        let run = run_captured(&b.build(g), &simple_ctx(), cfg()).unwrap();
+        let group_a = run
+            .output
+            .rows
+            .iter()
+            .find(|row| row.item.get("k") == Some(&Value::str("a")))
+            .unwrap();
+        let bt = Backtrace {
+            entries: vec![(group_a.id, whole_tree(&["k"]))],
+        };
+        let sources = backtrace(&run, bt);
+        // No positional query: the whole group contributes to the key.
+        assert_eq!(sources[0].entries.len(), 2);
+    }
+
+    #[test]
+    fn flatten_backtrace_restores_position() {
+        let mut c = Context::new();
+        c.register(
+            "t",
+            items_of(vec![vec![
+                ("id", Value::Int(7)),
+                (
+                    "ms",
+                    Value::Bag(vec![
+                        Value::Item(DataItem::from_fields([("x", Value::str("p"))])),
+                        Value::Item(DataItem::from_fields([("x", Value::str("q"))])),
+                    ]),
+                ),
+            ]]),
+        );
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f = b.flatten(r, "ms", "m");
+        let run = run_captured(&b.build(f), &c, cfg()).unwrap();
+        // Trace the second exploded row's m.x.
+        let second = &run.output.rows[1];
+        let bt = Backtrace {
+            entries: vec![(second.id, whole_tree(&["m.x"]))],
+        };
+        let sources = backtrace(&run, bt);
+        let tree = &sources[0].entries[0].tree;
+        assert!(tree.contains(&Path::parse("ms[2].x")));
+        assert!(!tree.contains(&Path::attr("m")));
+    }
+
+    #[test]
+    fn flatten_merges_same_input_trees() {
+        let mut c = Context::new();
+        c.register(
+            "t",
+            items_of(vec![vec![(
+                "ms",
+                Value::Bag(vec![Value::Int(1), Value::Int(2)]),
+            )]]),
+        );
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f = b.flatten(r, "ms", "m");
+        let run = run_captured(&b.build(f), &c, cfg()).unwrap();
+        let bt = Backtrace {
+            entries: run
+                .output
+                .rows
+                .iter()
+                .map(|row| (row.id, whole_tree(&["m"])))
+                .collect(),
+        };
+        let sources = backtrace(&run, bt);
+        // Both exploded rows trace to the single input item, trees merged.
+        assert_eq!(sources[0].entries.len(), 1);
+        let tree = &sources[0].entries[0].tree;
+        assert!(tree.contains(&Path::parse("ms[1]")));
+        assert!(tree.contains(&Path::parse("ms[2]")));
+    }
+
+    #[test]
+    fn join_backtrace_prunes_other_side() {
+        let mut c = Context::new();
+        c.register(
+            "l",
+            items_of(vec![vec![("k", Value::Int(1)), ("lv", Value::str("L"))]]),
+        );
+        c.register(
+            "r",
+            items_of(vec![vec![("k", Value::Int(1)), ("rv", Value::str("R"))]]),
+        );
+        let mut b = ProgramBuilder::new();
+        let lo = b.read("l");
+        let ro = b.read("r");
+        let j = b.join(lo, ro, vec![(Path::attr("k"), Path::attr("k"))]);
+        let run = run_captured(&b.build(j), &c, cfg()).unwrap();
+        let row = &run.output.rows[0];
+        // Result schema: k, lv, k_r, rv. Trace lv and rv.
+        let bt = Backtrace {
+            entries: vec![(row.id, whole_tree(&["lv", "rv"]))],
+        };
+        let sources = backtrace(&run, bt);
+        assert_eq!(sources.len(), 2);
+        let left = sources.iter().find(|s| s.source == "l").unwrap();
+        let right = sources.iter().find(|s| s.source == "r").unwrap();
+        assert!(left.entries[0].tree.contains(&Path::attr("lv")));
+        assert!(!left.entries[0].tree.contains(&Path::attr("rv")));
+        assert!(right.entries[0].tree.contains(&Path::attr("rv")));
+        assert!(!right.entries[0].tree.contains(&Path::attr("lv")));
+        // Join key access recorded on both sides.
+        let lk = left.entries[0]
+            .tree
+            .nodes()
+            .into_iter()
+            .find(|(p, _)| *p == Path::attr("k"))
+            .unwrap()
+            .1;
+        assert!(lk.accessed.contains(&2));
+    }
+
+    #[test]
+    fn join_backtrace_renamed_right_key() {
+        let mut c = Context::new();
+        c.register(
+            "l",
+            items_of(vec![vec![("k", Value::Int(1)), ("lv", Value::str("L"))]]),
+        );
+        c.register(
+            "r",
+            items_of(vec![vec![("k", Value::Int(1)), ("rv", Value::str("R"))]]),
+        );
+        let mut b = ProgramBuilder::new();
+        let lo = b.read("l");
+        let ro = b.read("r");
+        let j = b.join(lo, ro, vec![(Path::attr("k"), Path::attr("k"))]);
+        let run = run_captured(&b.build(j), &c, cfg()).unwrap();
+        let row = &run.output.rows[0];
+        // Trace the renamed right key k_r.
+        let bt = Backtrace {
+            entries: vec![(row.id, whole_tree(&["k_r"]))],
+        };
+        let sources = backtrace(&run, bt);
+        let right = sources.iter().find(|s| s.source == "r").unwrap();
+        assert!(right.entries[0].tree.contains(&Path::attr("k")));
+        let left = sources.iter().find(|s| s.source == "l").unwrap();
+        // Left side: k_r belongs to the right schema; only the access to
+        // the left join key remains (influencing).
+        let ktree = &left.entries[0].tree;
+        assert!(!ktree.contains(&Path::attr("k_r")));
+    }
+
+    #[test]
+    fn map_backtrace_marks_everything_manipulated() {
+        use pebble_dataflow::MapUdf;
+        use std::sync::Arc;
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let m = b.map(
+            r,
+            MapUdf {
+                name: "noop".into(),
+                f: Arc::new(Clone::clone),
+                output_schema: None,
+            },
+        );
+        let run = run_captured(&b.build(m), &simple_ctx(), cfg()).unwrap();
+        let row = &run.output.rows[0];
+        let bt = Backtrace {
+            entries: vec![(row.id, whole_tree(&["k", "v"]))],
+        };
+        let sources = backtrace(&run, bt);
+        let tree = &sources[0].entries[0].tree;
+        assert!(tree
+            .nodes()
+            .iter()
+            .all(|(_, n)| n.manipulated.contains(&1)));
+    }
+}
+
+#[cfg(test)]
+mod dag_tests {
+    use super::*;
+    use crate::capture::run_captured;
+    use crate::{PatternNode, TreePattern};
+    use pebble_dataflow::{context::items_of, Context, ExecConfig, Expr, ProgramBuilder};
+    use pebble_nested::Value;
+
+    /// Diamond DAG: one read feeds two filter branches that re-unite. The
+    /// per-read accumulation must merge trees arriving via both branches.
+    #[test]
+    fn diamond_dag_merges_at_shared_read() {
+        let mut c = Context::new();
+        c.register(
+            "t",
+            items_of(vec![
+                vec![("k", Value::Int(1)), ("v", Value::Int(5))],
+                vec![("k", Value::Int(2)), ("v", Value::Int(50))],
+            ]),
+        );
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let low = b.filter(r, Expr::col("v").lt(Expr::lit(100i64)));
+        let high = b.filter(r, Expr::col("v").ge(Expr::lit(0i64)));
+        let u = b.union(low, high);
+        let p = b.build(u);
+        let run = run_captured(&p, &c, ExecConfig { partitions: 2 }).unwrap();
+        assert_eq!(run.output.rows.len(), 4); // both items pass both filters
+
+        // Trace every result item asking about k.
+        let pattern = TreePattern::root().node(PatternNode::attr("k").eq(1i64));
+        let bt = pattern.match_rows(&run.output.rows);
+        assert_eq!(bt.entries.len(), 2); // item 1 via both branches
+        let sources = backtrace(&run, bt);
+        // One read, entries merged by input id: a single traced item.
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sources[0].entries.len(), 1);
+        let tree = &sources[0].entries[0].tree;
+        // The v access carries both filters' operator ids (1 and 2).
+        let v = tree
+            .nodes()
+            .into_iter()
+            .find(|(p, _)| *p == Path::attr("v"))
+            .unwrap()
+            .1;
+        assert!(v.accessed.contains(&1));
+        assert!(v.accessed.contains(&2));
+    }
+
+    /// Backtracing an empty structure is a no-op.
+    #[test]
+    fn empty_backtrace_yields_nothing() {
+        let mut c = Context::new();
+        c.register("t", items_of(vec![vec![("k", Value::Int(1))]]));
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f = b.filter(r, Expr::lit(true));
+        let run = run_captured(&b.build(f), &c, ExecConfig { partitions: 1 }).unwrap();
+        let sources = backtrace(&run, Backtrace::new());
+        assert!(sources.is_empty());
+    }
+
+    /// Ids that do not exist in the result are skipped gracefully.
+    #[test]
+    fn unknown_ids_are_skipped() {
+        let mut c = Context::new();
+        c.register("t", items_of(vec![vec![("k", Value::Int(1))]]));
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f = b.filter(r, Expr::lit(true));
+        let run = run_captured(&b.build(f), &c, ExecConfig { partitions: 1 }).unwrap();
+        let bogus = Backtrace {
+            entries: vec![(u64::MAX, ProvTree::new())],
+        };
+        let sources = backtrace(&run, bogus);
+        assert!(sources.iter().all(|s| s.entries.is_empty()));
+    }
+}
+
+#[cfg(test)]
+mod nest_tests {
+    use super::*;
+    use crate::capture::run_captured;
+    use pebble_dataflow::{context::items_of, Context, ExecConfig, GroupKey, ProgramBuilder};
+    use pebble_nested::Value;
+
+    /// Backtracing through the paper's grouping/nesting operator: a query
+    /// pinpointing one nested member traces exactly that input item, and
+    /// the member's attributes rewrite from `members[pos].attr` back to
+    /// top-level `attr`.
+    #[test]
+    fn whole_item_nesting_backtraces_positionally() {
+        let mut c = Context::new();
+        c.register(
+            "t",
+            items_of(vec![
+                vec![("k", Value::Int(1)), ("v", Value::Int(10))],
+                vec![("k", Value::Int(1)), ("v", Value::Int(20))],
+                vec![("k", Value::Int(2)), ("v", Value::Int(30))],
+            ]),
+        );
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let n = b.nest(r, vec![GroupKey::new("k")], "members");
+        let run = run_captured(&b.build(n), &c, ExecConfig { partitions: 2 }).unwrap();
+        let g1 = run
+            .output
+            .rows
+            .iter()
+            .find(|r| r.item.get("k") == Some(&Value::Int(1)))
+            .unwrap();
+        // Query the second nested member's v.
+        let mut tree = ProvTree::new();
+        tree.insert(&Path::parse("members[2].v"), true);
+        let sources = backtrace(
+            &run,
+            Backtrace {
+                entries: vec![(g1.id, tree)],
+            },
+        );
+        assert_eq!(sources[0].entries.len(), 1);
+        let entry = &sources[0].entries[0];
+        assert_eq!(entry.index, 1); // the second k=1 input item
+        assert!(entry.tree.contains(&Path::attr("v")));
+        // Grouping key marked accessed.
+        let k = entry
+            .tree
+            .nodes()
+            .into_iter()
+            .find(|(p, _)| *p == Path::attr("k"))
+            .unwrap()
+            .1;
+        assert!(k.accessed.contains(&1));
+    }
+}

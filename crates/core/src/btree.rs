@@ -1,0 +1,680 @@
+//! Backtracing structures and trees (Defs. 6.2 and 6.3).
+//!
+//! A backtracing structure `B = {{⟨id, T⟩}}` pairs top-level item
+//! identifiers with backtracing trees. Tree nodes reference attributes (or
+//! positions within nested collections) and carry
+//!
+//! * the set `A` of operators that *accessed* the attribute,
+//! * the set `M` of operators that *manipulated* (restructured) it,
+//! * the flag `c`: `true` for *contributing* nodes (needed to reproduce the
+//!   queried items), `false` for *influencing* nodes (accessed during
+//!   processing but not required for reproduction).
+//!
+//! The two tree-rewriting methods of Sec. 6.2 live here:
+//! [`ProvTree::manipulate_path`] undoes one structural manipulation
+//! recorded in `P.M`, and [`ProvTree::access_path`] records accesses from
+//! `P.I.A`, materializing influencing nodes when necessary.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use pebble_dataflow::OpId;
+use pebble_nested::{Path, Step};
+
+/// Label of a backtracing tree node: an attribute name, a concrete 1-based
+/// position inside a nested collection, or the `[pos]` placeholder used
+/// transiently while undoing `flatten`/nesting (Alg. 2).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum NodeLabel {
+    /// Attribute name.
+    Attr(String),
+    /// Position in a nested collection (1-based).
+    Pos(u32),
+    /// Position placeholder, filled in by `mergeTrees` (Alg. 2 l. 2).
+    AnyPos,
+}
+
+impl NodeLabel {
+    fn from_step(step: &Step) -> NodeLabel {
+        match step {
+            Step::Attr(a) => NodeLabel::Attr(a.clone()),
+            Step::Pos(i) => NodeLabel::Pos(*i),
+            Step::AnyPos => NodeLabel::AnyPos,
+        }
+    }
+
+    /// Step/label matching: `[pos]` (either side) matches any position.
+    fn matches(&self, step: &Step) -> bool {
+        match (self, step) {
+            (NodeLabel::Attr(a), Step::Attr(b)) => a == b,
+            (NodeLabel::Pos(i), Step::Pos(j)) => i == j,
+            (NodeLabel::Pos(_), Step::AnyPos) | (NodeLabel::AnyPos, Step::Pos(_)) => true,
+            (NodeLabel::AnyPos, Step::AnyPos) => true,
+            _ => false,
+        }
+    }
+
+    fn to_step(&self) -> Step {
+        match self {
+            NodeLabel::Attr(a) => Step::Attr(a.clone()),
+            NodeLabel::Pos(i) => Step::Pos(*i),
+            NodeLabel::AnyPos => Step::AnyPos,
+        }
+    }
+}
+
+/// A node of a backtracing tree (Def. 6.3).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BNode {
+    /// Attribute name or collection position.
+    pub label: NodeLabel,
+    /// Child nodes.
+    pub children: Vec<BNode>,
+    /// Operators that accessed this attribute (`A`).
+    pub accessed: BTreeSet<OpId>,
+    /// Operators that manipulated this attribute (`M`).
+    pub manipulated: BTreeSet<OpId>,
+    /// Contributing (`true`) vs merely influencing (`false`).
+    pub contributing: bool,
+}
+
+impl BNode {
+    fn new(label: NodeLabel, contributing: bool) -> Self {
+        BNode {
+            label,
+            children: Vec::new(),
+            accessed: BTreeSet::new(),
+            manipulated: BTreeSet::new(),
+            contributing,
+        }
+    }
+
+    fn merge_from(&mut self, other: BNode) {
+        self.contributing |= other.contributing;
+        self.accessed.extend(other.accessed);
+        self.manipulated.extend(other.manipulated);
+        for child in other.children {
+            match self
+                .children
+                .iter_mut()
+                .find(|c| c.label == child.label)
+            {
+                Some(mine) => mine.merge_from(child),
+                None => self.children.push(child),
+            }
+        }
+        self.sort_children();
+    }
+
+    fn sort_children(&mut self) {
+        self.children.sort_by(|a, b| a.label.cmp(&b.label));
+    }
+
+    fn count(&self) -> usize {
+        1 + self.children.iter().map(BNode::count).sum::<usize>()
+    }
+}
+
+/// A backtracing tree `T` — a forest of attribute nodes under the implicit
+/// root that represents the top-level data item.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProvTree {
+    /// Top-level attribute nodes.
+    pub roots: Vec<BNode>,
+}
+
+impl ProvTree {
+    /// Empty tree.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a tree from contributing paths.
+    pub fn from_paths<'a>(paths: impl IntoIterator<Item = &'a Path>) -> Self {
+        let mut t = ProvTree::new();
+        for p in paths {
+            t.insert(p, true);
+        }
+        t
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.roots.iter().map(BNode::count).sum()
+    }
+
+    /// True when the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty()
+    }
+
+    /// Inserts a path; every node on a contributing path is marked
+    /// contributing (`true` wins over an existing `false`).
+    pub fn insert(&mut self, path: &Path, contributing: bool) {
+        let mut nodes = &mut self.roots;
+        for step in path.steps() {
+            let idx = match nodes.iter().position(|n| n.label.matches(step)) {
+                Some(i) => i,
+                None => {
+                    nodes.push(BNode::new(NodeLabel::from_step(step), contributing));
+                    nodes.sort_by(|a, b| a.label.cmp(&b.label));
+                    nodes
+                        .iter()
+                        .position(|n| n.label.matches(step))
+                        .expect("just inserted")
+                }
+            };
+            nodes[idx].contributing |= contributing;
+            nodes = &mut nodes[idx].children;
+        }
+    }
+
+    /// True if a node matching `path` exists (placeholder-tolerant).
+    pub fn contains(&self, path: &Path) -> bool {
+        !self.find(path).is_empty()
+    }
+
+    fn find(&self, path: &Path) -> Vec<&BNode> {
+        let mut frontier: Vec<&BNode> = Vec::new();
+        let Some((first, rest)) = path.steps().split_first() else {
+            return Vec::new();
+        };
+        for n in &self.roots {
+            if n.label.matches(first) {
+                frontier.push(n);
+            }
+        }
+        for step in rest {
+            let mut next = Vec::new();
+            for n in frontier {
+                for c in &n.children {
+                    if c.label.matches(step) {
+                        next.push(c);
+                    }
+                }
+            }
+            frontier = next;
+        }
+        frontier
+    }
+
+    /// Detaches all nodes matching `path`, returning them.
+    fn detach(&mut self, path: &Path) -> Vec<BNode> {
+        fn go(nodes: &mut Vec<BNode>, steps: &[Step], out: &mut Vec<BNode>) {
+            let Some((step, rest)) = steps.split_first() else {
+                return;
+            };
+            if rest.is_empty() {
+                let mut i = 0;
+                while i < nodes.len() {
+                    if nodes[i].label.matches(step) {
+                        out.push(nodes.remove(i));
+                    } else {
+                        i += 1;
+                    }
+                }
+            } else {
+                for n in nodes.iter_mut() {
+                    if n.label.matches(step) {
+                        go(&mut n.children, rest, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if !path.is_empty() {
+            go(&mut self.roots, path.steps(), &mut out);
+        }
+        out
+    }
+
+    /// Removes all nodes matching `path` and their subtrees (Alg. 4 l. 13).
+    pub fn remove_nodes(&mut self, path: &Path) {
+        let _ = self.detach(path);
+    }
+
+    /// The `manipulatePath` method of Sec. 6.2: if nodes matching the
+    /// output path of mapping `m = ⟨in, out⟩` exist, they are transformed
+    /// back to the input path, and `oid` is recorded in the relocated
+    /// node's manipulation set. Returns `true` when the tree changed.
+    ///
+    /// The node at `out` keeps its children, flags, and operator sets; it
+    /// is re-labelled with the terminal step of `in` and re-hung under
+    /// `in`'s prefix (created on demand, inheriting the contributing flag).
+    pub fn manipulate_path(&mut self, m_in: &Path, m_out: &Path, oid: OpId) -> bool {
+        let detached = self.detach(m_out);
+        if detached.is_empty() {
+            return false;
+        }
+        self.graft(m_in, detached, oid);
+        true
+    }
+
+    /// Applies several manipulations *atomically*: all output subtrees are
+    /// detached before any is re-grafted, so mappings whose input paths
+    /// overlap other mappings' output paths (e.g. attribute swaps in a
+    /// `select`) are undone correctly. Returns `true` if any mapping moved
+    /// nodes.
+    pub fn manipulate_paths(&mut self, mappings: &[(Path, Path)], oid: OpId) -> bool {
+        let detached: Vec<(&Path, Vec<BNode>)> = mappings
+            .iter()
+            .map(|(m_in, m_out)| (m_in, self.detach(m_out)))
+            .collect();
+        let mut changed = false;
+        for (m_in, nodes) in detached {
+            if !nodes.is_empty() {
+                self.graft(m_in, nodes, oid);
+                changed = true;
+            }
+        }
+        changed
+    }
+
+    /// Re-hangs detached nodes under `m_in` (relabelled with its terminal
+    /// step), recording `oid` in their manipulation sets.
+    fn graft(&mut self, m_in: &Path, detached: Vec<BNode>, oid: OpId) {
+        let Some(terminal) = m_in.steps().last() else {
+            return;
+        };
+        let prefix = Path::new(m_in.steps()[..m_in.len() - 1].iter().cloned());
+        for mut node in detached {
+            node.label = NodeLabel::from_step(terminal);
+            node.manipulated.insert(oid);
+            let contributing = node.contributing;
+            // Ensure the prefix exists, then merge the node under it.
+            self.insert(&prefix, contributing);
+            let slot = if prefix.is_empty() {
+                &mut self.roots
+            } else {
+                &mut self
+                    .find_mut(&prefix)
+                    .expect("prefix just inserted")
+                    .children
+            };
+            match slot.iter_mut().find(|c| c.label == node.label) {
+                Some(existing) => existing.merge_from(node),
+                None => {
+                    slot.push(node);
+                    slot.sort_by(|a, b| a.label.cmp(&b.label));
+                }
+            }
+        }
+    }
+
+    fn find_mut(&mut self, path: &Path) -> Option<&mut BNode> {
+        fn go<'a>(nodes: &'a mut [BNode], steps: &[Step]) -> Option<&'a mut BNode> {
+            let (step, rest) = steps.split_first()?;
+            let idx = nodes.iter().position(|n| n.label.matches(step))?;
+            let node = &mut nodes[idx];
+            if rest.is_empty() {
+                Some(node)
+            } else {
+                go(&mut node.children, rest)
+            }
+        }
+        go(&mut self.roots, path.steps())
+    }
+
+    /// The `accessPath` method of Sec. 6.2: ensures the nodes of `path`
+    /// exist (newly created nodes are *influencing*, `c = false`) and adds
+    /// `oid` to the access set of every node along the path.
+    pub fn access_path(&mut self, path: &Path, oid: OpId) {
+        // Mark existing matching chains first.
+        let mut marked_any = self.mark_access(path, oid);
+        if !marked_any {
+            // Materialize the path as influencing nodes.
+            self.insert(path, false);
+            marked_any = self.mark_access(path, oid);
+        }
+        debug_assert!(marked_any || path.is_empty());
+    }
+
+    fn mark_access(&mut self, path: &Path, oid: OpId) -> bool {
+        fn go(nodes: &mut [BNode], steps: &[Step], oid: OpId) -> bool {
+            let Some((step, rest)) = steps.split_first() else {
+                return true;
+            };
+            let mut any = false;
+            for n in nodes.iter_mut() {
+                if n.label.matches(step)
+                    && (rest.is_empty() || go(&mut n.children, rest, oid))
+                {
+                    n.accessed.insert(oid);
+                    any = true;
+                }
+            }
+            any
+        }
+        go(&mut self.roots, path.steps(), oid)
+    }
+
+    /// Replaces `[pos]` placeholder nodes matching `prefix` (a path whose
+    /// last step is `[pos]`) with the concrete position `pos`, merging with
+    /// an existing node of that position (the `mergeTrees` substitution of
+    /// Alg. 2 l. 2).
+    pub fn fill_placeholder(&mut self, prefix: &Path, pos: u32) {
+        let steps = prefix.steps();
+        let Some((Step::AnyPos, init)) = steps.split_last() else {
+            return;
+        };
+        let parent_path = Path::new(init.iter().cloned());
+        let holders: Vec<&mut Vec<BNode>> = if parent_path.is_empty() {
+            vec![&mut self.roots]
+        } else {
+            match self.find_mut(&parent_path) {
+                Some(n) => vec![&mut n.children],
+                None => return,
+            }
+        };
+        for children in holders {
+            if let Some(idx) = children
+                .iter()
+                .position(|c| c.label == NodeLabel::AnyPos)
+            {
+                let mut node = children.remove(idx);
+                node.label = NodeLabel::Pos(pos);
+                match children.iter_mut().find(|c| c.label == node.label) {
+                    Some(existing) => existing.merge_from(node),
+                    None => {
+                        children.push(node);
+                        children.sort_by(|a, b| a.label.cmp(&b.label));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges another tree into this one (same-id tree merging of Alg. 2).
+    pub fn merge(&mut self, other: ProvTree) {
+        for node in other.roots {
+            match self.roots.iter_mut().find(|c| c.label == node.label) {
+                Some(mine) => mine.merge_from(node),
+                None => self.roots.push(node),
+            }
+        }
+        self.roots.sort_by(|a, b| a.label.cmp(&b.label));
+    }
+
+    /// Keeps only root attributes whose name satisfies `keep` (used by the
+    /// join backtrace to prune the other input's schema).
+    pub fn retain_roots(&mut self, keep: impl Fn(&str) -> bool) {
+        self.roots.retain(|n| match &n.label {
+            NodeLabel::Attr(a) => keep(a),
+            _ => true,
+        });
+    }
+
+    /// Enumerates `(path, node)` pairs in depth-first order.
+    pub fn nodes(&self) -> Vec<(Path, &BNode)> {
+        fn go<'a>(node: &'a BNode, prefix: &Path, out: &mut Vec<(Path, &'a BNode)>) {
+            let p = prefix.child(node.label.to_step());
+            out.push((p.clone(), node));
+            for c in &node.children {
+                go(c, &p, out);
+            }
+        }
+        let mut out = Vec::new();
+        for n in &self.roots {
+            go(n, &Path::root(), &mut out);
+        }
+        out
+    }
+
+    /// Adds `oid` to the manipulation set of every node (used by the `map`
+    /// backtrace, which has no path information: everything may have been
+    /// restructured).
+    pub fn mark_all_manipulated(&mut self, oid: OpId) {
+        fn go(node: &mut BNode, oid: OpId) {
+            node.manipulated.insert(oid);
+            for c in &mut node.children {
+                go(c, oid);
+            }
+        }
+        for n in &mut self.roots {
+            go(n, oid);
+        }
+    }
+
+    /// All contributing paths (paths to nodes with `c = true`).
+    pub fn contributing_paths(&self) -> Vec<Path> {
+        self.nodes()
+            .into_iter()
+            .filter(|(_, n)| n.contributing)
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// All influencing paths (nodes with `c = false`).
+    pub fn influencing_paths(&self) -> Vec<Path> {
+        self.nodes()
+            .into_iter()
+            .filter(|(_, n)| !n.contributing)
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+impl fmt::Display for NodeLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeLabel::Attr(a) => write!(f, "{a}"),
+            NodeLabel::Pos(i) => write!(f, "[{i}]"),
+            NodeLabel::AnyPos => write!(f, "[pos]"),
+        }
+    }
+}
+
+impl fmt::Display for ProvTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(node: &BNode, depth: usize, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "{}{}", "  ".repeat(depth), node.label)?;
+            if !node.contributing {
+                write!(f, " (influencing)")?;
+            }
+            if !node.accessed.is_empty() {
+                let ops: Vec<String> = node.accessed.iter().map(u32::to_string).collect();
+                write!(f, " a{{{}}}", ops.join(","))?;
+            }
+            if !node.manipulated.is_empty() {
+                let ops: Vec<String> = node.manipulated.iter().map(u32::to_string).collect();
+                write!(f, " m{{{}}}", ops.join(","))?;
+            }
+            writeln!(f)?;
+            for c in &node.children {
+                go(c, depth + 1, f)?;
+            }
+            Ok(())
+        }
+        for n in &self.roots {
+            go(n, 0, f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The backtracing structure `B = {{⟨id, T⟩}}` (Def. 6.2).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Backtrace {
+    /// Identifier/tree pairs.
+    pub entries: Vec<(pebble_dataflow::ItemId, ProvTree)>,
+}
+
+impl Backtrace {
+    /// Empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Groups entries by id, merging trees of equal ids (Alg. 2 l. 2).
+    pub fn merge_by_id(&mut self) {
+        let mut merged: Vec<(pebble_dataflow::ItemId, ProvTree)> = Vec::new();
+        for (id, tree) in self.entries.drain(..) {
+            match merged.iter_mut().find(|(i, _)| *i == id) {
+                Some((_, t)) => t.merge(tree),
+                None => merged.push((id, tree)),
+            }
+        }
+        merged.sort_by_key(|(id, _)| *id);
+        self.entries = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(paths: &[&str]) -> ProvTree {
+        let owned: Vec<Path> = paths.iter().map(|s| Path::parse(s)).collect();
+        ProvTree::from_paths(owned.iter())
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let t = tree(&["user.id_str", "tweets[2].text", "tweets[3].text"]);
+        assert!(t.contains(&Path::parse("user.id_str")));
+        assert!(t.contains(&Path::parse("tweets[2]")));
+        assert!(t.contains(&Path::parse("tweets[pos].text"))); // placeholder match
+        assert!(!t.contains(&Path::parse("tweets[4]")));
+        assert_eq!(t.len(), 7); // user, id_str, tweets, [2], text, [3], text
+    }
+
+    #[test]
+    fn manipulate_renames_root_attr() {
+        // select text → tweet: undo mapping ⟨text, tweet⟩.
+        let mut t = tree(&["tweet"]);
+        assert!(t.manipulate_path(&Path::attr("text"), &Path::attr("tweet"), 8));
+        assert!(t.contains(&Path::attr("text")));
+        assert!(!t.contains(&Path::attr("tweet")));
+        let (_, n) = &t.nodes()[0];
+        assert!(n.manipulated.contains(&8));
+    }
+
+    #[test]
+    fn manipulate_relocates_subtree() {
+        // flatten: undo ⟨user_mentions[pos], m_user⟩ — m_user.id_str
+        // becomes user_mentions.[pos].id_str (Ex. 6.5).
+        let mut t = tree(&["m_user.id_str"]);
+        assert!(t.manipulate_path(
+            &Path::parse("user_mentions[pos]"),
+            &Path::attr("m_user"),
+            5
+        ));
+        assert!(t.contains(&Path::parse("user_mentions[pos].id_str")));
+        // Fill the placeholder with the recorded position (mergeTrees).
+        t.fill_placeholder(&Path::parse("user_mentions[pos]"), 2);
+        assert!(t.contains(&Path::parse("user_mentions[2].id_str")));
+        // No placeholder label survives the merge substitution.
+        assert!(t
+            .nodes()
+            .iter()
+            .all(|(_, n)| n.label != NodeLabel::AnyPos));
+    }
+
+    #[test]
+    fn manipulate_missing_out_is_noop() {
+        let mut t = tree(&["a.b"]);
+        assert!(!t.manipulate_path(&Path::attr("x"), &Path::attr("zz"), 1));
+        assert!(t.contains(&Path::parse("a.b")));
+    }
+
+    #[test]
+    fn manipulate_aggregation_example_6_6() {
+        // Tree: tweets.2.text and tweets.3.text; member at pos 2 undoes
+        // ⟨tweet, tweets[2]⟩; then the other positions are removed.
+        let mut t = tree(&["tweets[2].text", "tweets[3].text", "user.id_str"]);
+        let out = Path::parse("tweets[pos]").fill_placeholder(2);
+        assert!(t.contains(&out));
+        assert!(t.manipulate_path(&Path::attr("tweet"), &out, 9));
+        assert!(t.contains(&Path::parse("tweet.text")));
+        t.remove_nodes(&Path::attr("tweets"));
+        assert!(!t.contains(&Path::parse("tweets[3]")));
+        assert!(t.contains(&Path::parse("user.id_str")));
+    }
+
+    #[test]
+    fn access_marks_existing_and_creates_influencing() {
+        let mut t = tree(&["user.id_str"]);
+        t.access_path(&Path::parse("user.name"), 9);
+        t.access_path(&Path::parse("user.id_str"), 9);
+        let nodes = t.nodes();
+        let name = nodes
+            .iter()
+            .find(|(p, _)| *p == Path::parse("user.name"))
+            .unwrap()
+            .1;
+        assert!(!name.contributing);
+        assert!(name.accessed.contains(&9));
+        let id = nodes
+            .iter()
+            .find(|(p, _)| *p == Path::parse("user.id_str"))
+            .unwrap()
+            .1;
+        assert!(id.contributing);
+        assert!(id.accessed.contains(&9));
+        // The shared parent `user` is marked accessed too.
+        let user = nodes
+            .iter()
+            .find(|(p, _)| *p == Path::attr("user"))
+            .unwrap()
+            .1;
+        assert!(user.accessed.contains(&9));
+    }
+
+    #[test]
+    fn merge_unions_flags() {
+        let mut a = tree(&["x.y"]);
+        let mut b = ProvTree::new();
+        b.insert(&Path::parse("x.z"), false);
+        b.access_path(&Path::parse("x.z"), 4);
+        a.merge(b);
+        assert!(a.contains(&Path::parse("x.y")));
+        assert!(a.contains(&Path::parse("x.z")));
+        let x = a.nodes()[0].1;
+        assert!(x.contributing); // true wins
+    }
+
+    #[test]
+    fn merge_by_id_groups_entries() {
+        let mut b = Backtrace::new();
+        b.entries.push((1, tree(&["a"])));
+        b.entries.push((2, tree(&["b"])));
+        b.entries.push((1, tree(&["c"])));
+        b.merge_by_id();
+        assert_eq!(b.entries.len(), 2);
+        assert_eq!(b.entries[0].1.len(), 2); // a and c under id 1
+    }
+
+    #[test]
+    fn mark_all_manipulated_for_map() {
+        let mut t = tree(&["a.b", "c"]);
+        t.mark_all_manipulated(7);
+        assert!(t.nodes().iter().all(|(_, n)| n.manipulated.contains(&7)));
+    }
+
+    #[test]
+    fn retain_roots_prunes_other_schema() {
+        let mut t = tree(&["keep.x", "drop.y"]);
+        t.retain_roots(|name| name == "keep");
+        assert!(t.contains(&Path::parse("keep.x")));
+        assert!(!t.contains(&Path::attr("drop")));
+    }
+
+    #[test]
+    fn contributing_and_influencing_partition() {
+        let mut t = tree(&["a"]);
+        t.access_path(&Path::attr("b"), 1);
+        assert_eq!(t.contributing_paths(), vec![Path::attr("a")]);
+        assert_eq!(t.influencing_paths(), vec![Path::attr("b")]);
+    }
+
+    #[test]
+    fn display_renders_markers() {
+        let mut t = tree(&["user.id_str"]);
+        t.access_path(&Path::parse("user.name"), 9);
+        let s = t.to_string();
+        assert!(s.contains("user"));
+        assert!(s.contains("name (influencing) a{9}"));
+    }
+}

@@ -1,0 +1,623 @@
+//! Lightweight structural provenance capture (Sec. 5.1).
+//!
+//! The operator provenance `P = ⟨oid, type, I, M, P⟩` (Def. 5.1) stores
+//!
+//! * per input: a reference to the preceding operator and the accessed
+//!   paths `A` **at schema level** (positions replaced by `[pos]`);
+//! * the manipulated path pairs `M`, also at schema level;
+//! * the identifier association table `P`, whose shape depends on the
+//!   operator type (Tab. 6).
+//!
+//! `A`/`M` are data-item independent, so they are derived *statically* from
+//! the plan and the input schemas; only the association tables are recorded
+//! at run time, through the engine's [`ProvenanceSink`] hook. This is what
+//! keeps the capture overhead comparable to plain lineage systems.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use pebble_dataflow::{
+    run, Context, ExecConfig, ItemId, OpId, OpKind, Program, ProvenanceSink, Result, RunOutput,
+};
+use pebble_nested::{DataType, Path, Step};
+
+/// Identifier association table `P` of Def. 5.1, operator-dependent per
+/// Tab. 6.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProvAssoc {
+    /// `read`: identifiers assigned to the source items, in dataset order.
+    Read(Vec<ItemId>),
+    /// `map`/`select`/`filter`: `⟨id^i, id^o⟩`.
+    Unary(Vec<(ItemId, ItemId)>),
+    /// `join`/`union`: `⟨id_1^i, id_2^i, id^o⟩` (one side undefined for
+    /// `union`).
+    Binary(Vec<(Option<ItemId>, Option<ItemId>, ItemId)>),
+    /// `flatten`: `⟨id^i, pos, id^o⟩`.
+    Flatten(Vec<(ItemId, u32, ItemId)>),
+    /// grouping + aggregation: `⟨ids^i, id^o⟩`, nested input ids in
+    /// nesting order.
+    Agg(Vec<(Vec<ItemId>, ItemId)>),
+}
+
+impl ProvAssoc {
+    /// Number of association entries.
+    pub fn len(&self) -> usize {
+        match self {
+            ProvAssoc::Read(v) => v.len(),
+            ProvAssoc::Unary(v) => v.len(),
+            ProvAssoc::Binary(v) => v.len(),
+            ProvAssoc::Flatten(v) => v.len(),
+            ProvAssoc::Agg(v) => v.len(),
+        }
+    }
+
+    /// True if no associations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes a plain lineage system (Titian-style: identifiers only) would
+    /// store for this table.
+    pub fn lineage_bytes(&self) -> usize {
+        const ID: usize = std::mem::size_of::<ItemId>();
+        match self {
+            ProvAssoc::Read(v) => v.len() * ID,
+            ProvAssoc::Unary(v) => v.len() * 2 * ID,
+            ProvAssoc::Binary(v) => v.len() * 3 * ID,
+            // Lineage keeps only ⟨id^i, id^o⟩ for flatten — no positions.
+            ProvAssoc::Flatten(v) => v.len() * 2 * ID,
+            ProvAssoc::Agg(v) => v
+                .iter()
+                .map(|(ids, _)| (ids.len() + 1) * ID)
+                .sum(),
+        }
+    }
+
+    /// Additional bytes structural provenance stores on top of lineage:
+    /// the `pos` column of `flatten` tables (Tab. 6 row 3).
+    pub fn structural_extra_bytes(&self) -> usize {
+        match self {
+            ProvAssoc::Flatten(v) => v.len() * std::mem::size_of::<u32>(),
+            _ => 0,
+        }
+    }
+}
+
+/// Per-input provenance `⟨p, A⟩` of Def. 5.1. `accessed == None` encodes the
+/// undefined access set `⊥` of opaque `map` functions, distinct from the
+/// empty set `∅` (Sec. 5.0.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputProv {
+    /// Preceding operator (`None` for `read`, which has no predecessor).
+    pub pred: Option<OpId>,
+    /// Schema-level accessed paths `A`, or `None` for `⊥`.
+    pub accessed: Option<Vec<Path>>,
+}
+
+/// The operator provenance 5-tuple `P = ⟨oid, type, I, M, P⟩` (Def. 5.1).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorProvenance {
+    /// Operator identifier `oid`.
+    pub oid: OpId,
+    /// Operator type name.
+    pub op_type: String,
+    /// One entry per input: predecessor + accessed paths.
+    pub inputs: Vec<InputProv>,
+    /// Schema-level manipulated path pairs `(input path, output path)`, or
+    /// `None` for `⊥` (opaque `map`).
+    pub manipulated: Option<Vec<(Path, Path)>>,
+    /// The identifier association table.
+    pub assoc: ProvAssoc,
+}
+
+impl OperatorProvenance {
+    /// Bytes needed for the schema-level path sets (counted as UTF-8 path
+    /// strings, matching how Pebble persists them).
+    pub fn path_bytes(&self) -> usize {
+        let paths = self
+            .inputs
+            .iter()
+            .flat_map(|i| i.accessed.iter().flatten())
+            .map(|p| p.to_string().len())
+            .sum::<usize>();
+        let manip = self
+            .manipulated
+            .iter()
+            .flatten()
+            .map(|(a, b)| a.to_string().len() + b.to_string().len())
+            .sum::<usize>();
+        paths + manip
+    }
+}
+
+/// A fully captured execution: the result rows (with identifiers), the
+/// operator provenance for every operator, and the schemas needed for
+/// backtracing.
+pub struct CapturedRun {
+    /// The program that was executed.
+    pub program: Program,
+    /// Engine output (sink rows with ids, per-op schemas and counts).
+    pub output: RunOutput,
+    /// Operator provenance, indexed by operator id.
+    pub ops: Vec<OperatorProvenance>,
+}
+
+impl CapturedRun {
+    /// Total bytes a lineage-only system would store (Fig. 8 dark bars).
+    pub fn lineage_bytes(&self) -> usize {
+        self.ops.iter().map(|o| o.assoc.lineage_bytes()).sum()
+    }
+
+    /// Total bytes of structural provenance: lineage + flatten positions +
+    /// schema-level path sets (Fig. 8 stacked bars).
+    pub fn structural_bytes(&self) -> usize {
+        self.lineage_bytes()
+            + self
+                .ops
+                .iter()
+                .map(|o| o.assoc.structural_extra_bytes() + o.path_bytes())
+                .sum::<usize>()
+    }
+
+    /// The provenance of one operator.
+    pub fn op(&self, oid: OpId) -> &OperatorProvenance {
+        &self.ops[oid as usize]
+    }
+
+    /// Input schema of operator `oid`'s `idx`-th input.
+    pub fn input_schema(&self, oid: OpId, idx: usize) -> &DataType {
+        let pred = self.program.operators()[oid as usize].inputs[idx];
+        &self.output.op_schemas[pred as usize]
+    }
+}
+
+/// Recording sink: appends association batches under per-operator locks.
+/// Worker threads contend only when flushing whole partitions.
+struct CaptureSink {
+    per_op: Vec<Mutex<ProvAssoc>>,
+}
+
+impl CaptureSink {
+    fn new(program: &Program) -> Self {
+        let per_op = program
+            .operators()
+            .iter()
+            .map(|op| {
+                Mutex::new(match &op.kind {
+                    OpKind::Read { .. } => ProvAssoc::Read(Vec::new()),
+                    OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => {
+                        ProvAssoc::Unary(Vec::new())
+                    }
+                    OpKind::Join { .. } | OpKind::Union => ProvAssoc::Binary(Vec::new()),
+                    OpKind::Flatten { .. } => ProvAssoc::Flatten(Vec::new()),
+                    OpKind::GroupAggregate { .. } => ProvAssoc::Agg(Vec::new()),
+                })
+            })
+            .collect();
+        CaptureSink { per_op }
+    }
+}
+
+impl ProvenanceSink for CaptureSink {
+    const ENABLED: bool = true;
+
+    fn read_batch(&self, op: OpId, ids: &[ItemId]) {
+        if let ProvAssoc::Read(v) = &mut *self.per_op[op as usize].lock() {
+            v.extend_from_slice(ids);
+        }
+    }
+
+    fn unary_batch(&self, op: OpId, assoc: &[(ItemId, ItemId)]) {
+        if let ProvAssoc::Unary(v) = &mut *self.per_op[op as usize].lock() {
+            v.extend_from_slice(assoc);
+        }
+    }
+
+    fn binary_batch(&self, op: OpId, assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {
+        if let ProvAssoc::Binary(v) = &mut *self.per_op[op as usize].lock() {
+            v.extend_from_slice(assoc);
+        }
+    }
+
+    fn flatten_batch(&self, op: OpId, assoc: &[(ItemId, u32, ItemId)]) {
+        if let ProvAssoc::Flatten(v) = &mut *self.per_op[op as usize].lock() {
+            v.extend_from_slice(assoc);
+        }
+    }
+
+    fn agg_batch(&self, op: OpId, assoc: Vec<(Vec<ItemId>, ItemId)>) {
+        if let ProvAssoc::Agg(v) = &mut *self.per_op[op as usize].lock() {
+            v.extend(assoc);
+        }
+    }
+}
+
+/// Executes `program` with structural provenance capture enabled.
+pub fn run_captured(program: &Program, ctx: &Context, config: ExecConfig) -> Result<CapturedRun> {
+    let sink = CaptureSink::new(program);
+    let output = run(program, ctx, config, &sink)?;
+    let ops = program
+        .operators()
+        .iter()
+        .zip(sink.per_op)
+        .map(|(op, assoc)| {
+            let input_schemas: Vec<&DataType> = op
+                .inputs
+                .iter()
+                .map(|&i| &output.op_schemas[i as usize])
+                .collect();
+            let (inputs, manipulated) = static_provenance(&op.kind, &op.inputs, &input_schemas);
+            OperatorProvenance {
+                oid: op.id,
+                op_type: op.kind.type_name().to_string(),
+                inputs,
+                manipulated,
+                assoc: assoc.into_inner(),
+            }
+        })
+        .collect();
+    Ok(CapturedRun {
+        program: program.clone(),
+        output,
+        ops,
+    })
+}
+
+/// Derives the schema-level access sets `A` and manipulation mapping `M`
+/// of Tab. 5 from the operator definition — the "pebbles" that are the same
+/// for every processed item.
+fn static_provenance(
+    kind: &OpKind,
+    preds: &[OpId],
+    input_schemas: &[&DataType],
+) -> (Vec<InputProv>, Option<Vec<(Path, Path)>>) {
+    let input = |accessed: Option<Vec<Path>>, idx: usize| InputProv {
+        pred: preds.get(idx).copied(),
+        accessed,
+    };
+    match kind {
+        OpKind::Read { .. } => (Vec::new(), Some(Vec::new())),
+        OpKind::Filter { predicate } => (
+            vec![input(Some(schema_level(predicate.accessed_paths())), 0)],
+            // Filter keeps each item's structure whole: M = ∅.
+            Some(Vec::new()),
+        ),
+        OpKind::Select { exprs } => {
+            let mut accessed = Vec::new();
+            let mut manipulated = Vec::new();
+            for ne in exprs {
+                for p in ne.expr.accessed() {
+                    let p = p.to_schema_level();
+                    if !accessed.contains(&p) {
+                        accessed.push(p);
+                    }
+                }
+                for (src, dst) in ne.expr.manipulated(&Path::attr(&ne.name)) {
+                    manipulated.push((src.to_schema_level(), dst));
+                }
+            }
+            (vec![input(Some(accessed), 0)], Some(manipulated))
+        }
+        // Opaque function: A = ⊥ and M = ⊥ (Sec. 5.0.1).
+        OpKind::Map { .. } => (vec![input(None, 0)], None),
+        OpKind::Join { keys } => {
+            let left_access: Vec<Path> =
+                schema_level(keys.iter().map(|(l, _)| l.clone()).collect());
+            let right_access: Vec<Path> =
+                schema_level(keys.iter().map(|(_, r)| r.clone()).collect());
+            // M maps every top-level input attribute to its (possibly
+            // renamed) output attribute on both sides (Tab. 5 Join).
+            let mut manipulated = Vec::new();
+            if let Some(fields) = input_schemas[0].fields() {
+                for f in fields {
+                    manipulated.push((Path::attr(&f.name), Path::attr(&f.name)));
+                }
+            }
+            let (_, renames) = pebble_dataflow::op::merge_item_schemas(
+                0,
+                input_schemas[0],
+                input_schemas[1],
+            )
+            .unwrap_or((DataType::Null, Vec::new()));
+            for (orig, renamed) in renames {
+                manipulated.push((Path::attr(orig), Path::attr(renamed)));
+            }
+            (
+                vec![
+                    input(Some(left_access), 0),
+                    input(Some(right_access), 1),
+                ],
+                Some(manipulated),
+            )
+        }
+        // Union performs an item-independent schema comparison only:
+        // A = ∅ and M = ∅ for both inputs (Sec. 5.0.1).
+        OpKind::Union => (
+            vec![input(Some(Vec::new()), 0), input(Some(Vec::new()), 1)],
+            Some(Vec::new()),
+        ),
+        OpKind::Flatten { col, new_attr } => {
+            let accessed_path = col.to_schema_level().child(Step::AnyPos);
+            (
+                vec![input(Some(vec![accessed_path.clone()]), 0)],
+                Some(vec![(accessed_path, Path::attr(new_attr))]),
+            )
+        }
+        OpKind::GroupAggregate { keys, aggs } => {
+            let mut accessed: Vec<Path> = Vec::new();
+            let mut manipulated = Vec::new();
+            for k in keys {
+                let p = k.path.to_schema_level();
+                if !accessed.contains(&p) {
+                    accessed.push(p.clone());
+                }
+                manipulated.push((p, Path::attr(&k.name)));
+            }
+            for a in aggs {
+                if a.input.is_empty() {
+                    if a.func == pebble_dataflow::AggFunc::CollectList {
+                        // Whole-item bag nesting: every top-level input
+                        // attribute is copied under the nested position.
+                        if let Some(fields) = input_schemas[0].fields() {
+                            let base = Path::attr(&a.output).child(Step::AnyPos);
+                            for f in fields {
+                                manipulated.push((
+                                    Path::attr(&f.name),
+                                    base.child(Step::attr(&f.name)),
+                                ));
+                            }
+                        }
+                    }
+                    continue; // count(*) reads no attribute
+                }
+                let p = a.input.to_schema_level();
+                if !accessed.contains(&p) {
+                    accessed.push(p.clone());
+                }
+                let out = if a.func == pebble_dataflow::AggFunc::CollectList {
+                    // Bag nesting records the element position placeholder
+                    // so backtracing can pinpoint individual nested items
+                    // (Alg. 4 l. 6-7).
+                    Path::attr(&a.output).child(Step::AnyPos)
+                } else {
+                    // Scalar aggregates and set nesting map to the output
+                    // attribute as a whole; set positions are not stable
+                    // under deduplication, so every group member is a
+                    // conservative contributor.
+                    Path::attr(&a.output)
+                };
+                manipulated.push((p, out));
+            }
+            (vec![input(Some(accessed), 0)], Some(manipulated))
+        }
+    }
+}
+
+fn schema_level(paths: Vec<Path>) -> Vec<Path> {
+    let mut out: Vec<Path> = Vec::with_capacity(paths.len());
+    for p in paths {
+        let p = p.to_schema_level();
+        if !out.contains(&p) {
+            out.push(p);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dataflow::{
+        context::items_of, AggFunc, AggSpec, Expr, GroupKey, NamedExpr, ProgramBuilder, SelectExpr,
+    };
+    use pebble_nested::Value;
+
+    fn ctx() -> Context {
+        let mut c = Context::new();
+        c.register(
+            "tweets",
+            items_of(vec![
+                vec![
+                    ("text", Value::str("Hello")),
+                    (
+                        "user_mentions",
+                        Value::Bag(vec![
+                            Value::Item(pebble_nested::DataItem::from_fields([(
+                                "id_str",
+                                Value::str("ls"),
+                            )])),
+                            Value::Item(pebble_nested::DataItem::from_fields([(
+                                "id_str",
+                                Value::str("jm"),
+                            )])),
+                        ]),
+                    ),
+                    ("retweet_cnt", Value::Int(0)),
+                ],
+                vec![
+                    ("text", Value::str("World")),
+                    ("user_mentions", Value::Bag(vec![])),
+                    ("retweet_cnt", Value::Int(1)),
+                ],
+            ]),
+        );
+        c
+    }
+
+    fn config() -> ExecConfig {
+        ExecConfig { partitions: 2 }
+    }
+
+    #[test]
+    fn filter_provenance_shape() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("tweets");
+        let f = b.filter(r, Expr::col("retweet_cnt").eq(Expr::lit(0i64)));
+        let run = run_captured(&b.build(f), &ctx(), config()).unwrap();
+        let p = run.op(1);
+        assert_eq!(p.op_type, "filter");
+        assert_eq!(
+            p.inputs[0].accessed.as_deref(),
+            Some(&[Path::attr("retweet_cnt")][..])
+        );
+        assert_eq!(p.manipulated.as_deref(), Some(&[][..]));
+        match &p.assoc {
+            ProvAssoc::Unary(v) => assert_eq!(v.len(), 1), // one tweet passes
+            other => panic!("unexpected assoc {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flatten_provenance_matches_fig3() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("tweets");
+        let f = b.flatten(r, "user_mentions", "m_user");
+        let run = run_captured(&b.build(f), &ctx(), config()).unwrap();
+        let p = run.op(1);
+        assert_eq!(p.op_type, "flatten");
+        // A = {user_mentions[pos]}, M = {⟨user_mentions[pos], m_user⟩}.
+        assert_eq!(
+            p.inputs[0].accessed.as_deref(),
+            Some(&[Path::parse("user_mentions[pos]")][..])
+        );
+        assert_eq!(
+            p.manipulated.as_deref(),
+            Some(
+                &[(
+                    Path::parse("user_mentions[pos]"),
+                    Path::attr("m_user")
+                )][..]
+            )
+        );
+        match &p.assoc {
+            ProvAssoc::Flatten(v) => {
+                // Tweet 1 has two mentions at positions 1, 2; tweet 2 none.
+                assert_eq!(v.len(), 2);
+                let read_ids = match &run.op(0).assoc {
+                    ProvAssoc::Read(ids) => ids.clone(),
+                    _ => unreachable!(),
+                };
+                assert_eq!(v[0].0, read_ids[0]);
+                assert_eq!(v[0].1, 1);
+                assert_eq!(v[1].1, 2);
+            }
+            other => panic!("unexpected assoc {other:?}"),
+        }
+    }
+
+    #[test]
+    fn map_provenance_is_undefined() {
+        use pebble_dataflow::MapUdf;
+        use std::sync::Arc;
+        let mut b = ProgramBuilder::new();
+        let r = b.read("tweets");
+        let m = b.map(
+            r,
+            MapUdf {
+                name: "noop".into(),
+                f: Arc::new(Clone::clone),
+                output_schema: None,
+            },
+        );
+        let run = run_captured(&b.build(m), &ctx(), config()).unwrap();
+        let p = run.op(1);
+        assert_eq!(p.inputs[0].accessed, None); // ⊥, not ∅
+        assert_eq!(p.manipulated, None);
+    }
+
+    #[test]
+    fn aggregation_provenance_records_group_ids() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("tweets");
+        let g = b.group_aggregate(
+            r,
+            vec![GroupKey::new("retweet_cnt")],
+            vec![AggSpec::new(AggFunc::CollectList, "text", "texts")],
+        );
+        let run = run_captured(&b.build(g), &ctx(), config()).unwrap();
+        let p = run.op(1);
+        assert_eq!(p.op_type, "aggregation");
+        let m = p.manipulated.as_deref().unwrap();
+        assert!(m.contains(&(Path::attr("retweet_cnt"), Path::attr("retweet_cnt"))));
+        assert!(m.contains(&(Path::attr("text"), Path::parse("texts[pos]"))));
+        match &p.assoc {
+            ProvAssoc::Agg(v) => {
+                assert_eq!(v.len(), 2); // two groups
+                assert!(v.iter().all(|(ids, _)| ids.len() == 1));
+            }
+            other => panic!("unexpected assoc {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_provenance_manipulations() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("tweets");
+        let s = b.select(
+            r,
+            vec![
+                NamedExpr::aliased("tweet", "text"),
+                NamedExpr::new(
+                    "meta",
+                    SelectExpr::strct([("rt", SelectExpr::path("retweet_cnt"))]),
+                ),
+            ],
+        );
+        let run = run_captured(&b.build(s), &ctx(), config()).unwrap();
+        let p = run.op(1);
+        let m = p.manipulated.as_deref().unwrap();
+        assert_eq!(
+            m,
+            [
+                (Path::attr("text"), Path::attr("tweet")),
+                (Path::attr("retweet_cnt"), Path::parse("meta.rt")),
+            ]
+        );
+        assert_eq!(
+            p.inputs[0].accessed.as_deref().unwrap(),
+            [Path::attr("text"), Path::attr("retweet_cnt")]
+        );
+    }
+
+    #[test]
+    fn union_and_join_assoc_sides() {
+        let mut b = ProgramBuilder::new();
+        let l = b.read("tweets");
+        let r = b.read("tweets");
+        let u = b.union(l, r);
+        let run = run_captured(&b.build(u), &ctx(), config()).unwrap();
+        let p = run.op(2);
+        match &p.assoc {
+            ProvAssoc::Binary(v) => {
+                assert_eq!(v.len(), 4);
+                assert_eq!(v.iter().filter(|(l, _, _)| l.is_some()).count(), 2);
+                assert_eq!(v.iter().filter(|(_, r, _)| r.is_some()).count(), 2);
+            }
+            other => panic!("unexpected assoc {other:?}"),
+        }
+        assert_eq!(p.inputs.len(), 2);
+        assert_eq!(p.inputs[0].accessed.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn size_accounting_monotone() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("tweets");
+        let f = b.flatten(r, "user_mentions", "m_user");
+        let run = run_captured(&b.build(f), &ctx(), config()).unwrap();
+        assert!(run.structural_bytes() > run.lineage_bytes());
+        assert!(run.lineage_bytes() > 0);
+    }
+
+    #[test]
+    fn capture_does_not_change_result() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("tweets");
+        let f = b.filter(r, Expr::col("retweet_cnt").eq(Expr::lit(0i64)));
+        let p = b.build(f);
+        let c = ctx();
+        let plain = run(&p, &c, config(), &pebble_dataflow::NoSink).unwrap();
+        let captured = run_captured(&p, &c, config()).unwrap();
+        assert_eq!(plain.items(), captured.output.items());
+    }
+}

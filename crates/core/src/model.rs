@@ -1,0 +1,449 @@
+//! The *full* structural provenance model (Sec. 4.3, Defs. 4.9/4.10) —
+//! reference semantics for one operator application.
+//!
+//! For every result item `r` of an operator `O`, the model produces
+//! `ρ = ⟨r, I, M⟩`: the input items contributing to `r` with their
+//! *concrete* accessed paths `A`, and the concrete manipulation mapping
+//! `M`. This is the left-hand side of Fig. 3; the lightweight capture
+//! (Sec. 5.1, [`crate::capture`]) is its compressed, schema-level
+//! equivalent. Tests cross-validate the two representations.
+//!
+//! The model is executed by a deliberately simple, single-threaded
+//! interpreter that is *independent* of the engine's executor, so it can
+//! serve as an oracle.
+
+use pebble_dataflow::op::{key_value, AggFunc, OpKind};
+use pebble_dataflow::{EngineError, Result};
+use pebble_nested::{DataItem, Path, Step, Value};
+
+/// Reference `⟨i, I_j, A⟩` of Def. 4.10: one contributing input item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputRef {
+    /// Which input dataset of the operator (0-based).
+    pub input: usize,
+    /// Position of the item in that input dataset (0-based).
+    pub index: usize,
+    /// Concrete accessed paths `A`; `None` encodes `⊥` (opaque `map`).
+    pub accessed: Option<Vec<Path>>,
+}
+
+/// Result data item provenance `ρ = ⟨r, I, M⟩` (Def. 4.9).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemProvenance {
+    /// The result item `r`.
+    pub item: DataItem,
+    /// Input provenance `I`.
+    pub inputs: Vec<InputRef>,
+    /// Concrete manipulation mapping `M`; `None` encodes `⊥`.
+    pub manipulations: Option<Vec<(Path, Path)>>,
+}
+
+/// Applies one operator to its input datasets under the full provenance
+/// model, returning the result provenance `R` (one entry per result item,
+/// in result order).
+pub fn apply(kind: &OpKind, inputs: &[&[DataItem]]) -> Result<Vec<ItemProvenance>> {
+    match kind {
+        OpKind::Read { .. } => Err(EngineError::InvalidPlan(
+            "read takes no inputs; apply is for transforming operators".into(),
+        )),
+        OpKind::Filter { predicate } => {
+            let accessed = predicate.accessed_paths();
+            Ok(inputs[0]
+                .iter()
+                .enumerate()
+                .filter(|(_, i)| predicate.eval_bool(i))
+                .map(|(idx, i)| ItemProvenance {
+                    item: i.clone(),
+                    inputs: vec![InputRef {
+                        input: 0,
+                        index: idx,
+                        accessed: Some(accessed.clone()),
+                    }],
+                    manipulations: Some(Vec::new()),
+                })
+                .collect())
+        }
+        OpKind::Select { exprs } => {
+            let mut accessed = Vec::new();
+            let mut manip = Vec::new();
+            for ne in exprs {
+                for p in ne.expr.accessed() {
+                    if !accessed.contains(&p) {
+                        accessed.push(p);
+                    }
+                }
+                manip.extend(ne.expr.manipulated(&Path::attr(&ne.name)));
+            }
+            Ok(inputs[0]
+                .iter()
+                .enumerate()
+                .map(|(idx, i)| {
+                    let mut item = DataItem::new();
+                    for ne in exprs {
+                        item.push(ne.name.clone(), ne.expr.eval(i));
+                    }
+                    ItemProvenance {
+                        item,
+                        inputs: vec![InputRef {
+                            input: 0,
+                            index: idx,
+                            accessed: Some(accessed.clone()),
+                        }],
+                        manipulations: Some(manip.clone()),
+                    }
+                })
+                .collect())
+        }
+        OpKind::Map { udf } => Ok(inputs[0]
+            .iter()
+            .enumerate()
+            .map(|(idx, i)| ItemProvenance {
+                item: (udf.f)(i),
+                inputs: vec![InputRef {
+                    input: 0,
+                    index: idx,
+                    accessed: None, // ⊥
+                }],
+                manipulations: None, // ⊥
+            })
+            .collect()),
+        OpKind::Join { keys } => {
+            let left_paths: Vec<Path> = keys.iter().map(|(l, _)| l.clone()).collect();
+            let right_paths: Vec<Path> = keys.iter().map(|(_, r)| r.clone()).collect();
+            let mut out = Vec::new();
+            for (li, i) in inputs[0].iter().enumerate() {
+                for (ri, j) in inputs[1].iter().enumerate() {
+                    let matches = keys.iter().all(|(lp, rp)| match (lp.eval(i), rp.eval(j)) {
+                        (Some(a), Some(b)) => !a.is_null() && a == b,
+                        _ => false,
+                    });
+                    if !matches {
+                        continue;
+                    }
+                    let item = i.merged(j);
+                    // M: every top-level attribute of both inputs maps to
+                    // its (possibly renamed) result attribute.
+                    let mut manip = Vec::new();
+                    let mut taken: Vec<String> =
+                        i.names().map(str::to_string).collect();
+                    for n in i.names() {
+                        manip.push((Path::attr(n), Path::attr(n)));
+                    }
+                    for n in j.names() {
+                        let mut name = n.to_string();
+                        while taken.iter().any(|t| t == &name) {
+                            name.push_str("_r");
+                        }
+                        taken.push(name.clone());
+                        manip.push((Path::attr(n), Path::attr(name)));
+                    }
+                    out.push(ItemProvenance {
+                        item,
+                        inputs: vec![
+                            InputRef {
+                                input: 0,
+                                index: li,
+                                accessed: Some(left_paths.clone()),
+                            },
+                            InputRef {
+                                input: 1,
+                                index: ri,
+                                accessed: Some(right_paths.clone()),
+                            },
+                        ],
+                        manipulations: Some(manip),
+                    });
+                }
+            }
+            Ok(out)
+        }
+        OpKind::Union => {
+            let mut out = Vec::new();
+            for (input, data) in inputs.iter().enumerate() {
+                for (idx, i) in data.iter().enumerate() {
+                    out.push(ItemProvenance {
+                        item: i.clone(),
+                        inputs: vec![InputRef {
+                            input,
+                            index: idx,
+                            accessed: Some(Vec::new()), // ∅
+                        }],
+                        manipulations: Some(Vec::new()), // ∅
+                    });
+                }
+            }
+            Ok(out)
+        }
+        OpKind::Flatten { col, new_attr } => {
+            let mut out = Vec::new();
+            for (idx, i) in inputs[0].iter().enumerate() {
+                let Some(elements) = col.eval(i).and_then(Value::as_collection) else {
+                    continue;
+                };
+                for (x, j) in elements.iter().enumerate() {
+                    let concrete = col.child(Step::Pos(x as u32 + 1));
+                    let mut item = i.clone();
+                    item.push(new_attr.clone(), j.clone());
+                    out.push(ItemProvenance {
+                        item,
+                        inputs: vec![InputRef {
+                            input: 0,
+                            index: idx,
+                            accessed: Some(vec![concrete.clone()]),
+                        }],
+                        manipulations: Some(vec![(concrete, Path::attr(new_attr))]),
+                    });
+                }
+            }
+            Ok(out)
+        }
+        OpKind::GroupAggregate { keys, aggs } => {
+            // First-seen-ordered grouping, as in the engine.
+            let mut order: Vec<Vec<Value>> = Vec::new();
+            let mut groups: Vec<Vec<usize>> = Vec::new();
+            for (idx, i) in inputs[0].iter().enumerate() {
+                let key: Vec<Value> = keys.iter().map(|k| key_value(i, &k.path)).collect();
+                match order.iter().position(|k| *k == key) {
+                    Some(g) => groups[g].push(idx),
+                    None => {
+                        order.push(key);
+                        groups.push(vec![idx]);
+                    }
+                }
+            }
+            let mut accessed: Vec<Path> = Vec::new();
+            for k in keys {
+                if !accessed.contains(&k.path) {
+                    accessed.push(k.path.clone());
+                }
+            }
+            for a in aggs {
+                if !a.input.is_empty() && !accessed.contains(&a.input) {
+                    accessed.push(a.input.clone());
+                }
+            }
+            let mut out = Vec::new();
+            for (key, members) in order.iter().zip(&groups) {
+                let rows: Vec<&DataItem> =
+                    members.iter().map(|&m| &inputs[0][m]).collect();
+                let mut item = DataItem::new();
+                for (gk, kv) in keys.iter().zip(key) {
+                    item.push(gk.name.clone(), kv.clone());
+                }
+                for a in aggs {
+                    item.push(a.output.clone(), eval_agg_model(a, &rows));
+                }
+                let mut manip = Vec::new();
+                for gk in keys {
+                    manip.push((gk.path.clone(), Path::attr(&gk.name)));
+                }
+                for a in aggs {
+                    if a.input.is_empty() {
+                        continue;
+                    }
+                    if a.func == AggFunc::CollectList {
+                        // One mapping per member, at its nesting position.
+                        for (pos, _) in members.iter().enumerate() {
+                            manip.push((
+                                a.input.clone(),
+                                Path::attr(&a.output).child(Step::Pos(pos as u32 + 1)),
+                            ));
+                        }
+                    } else {
+                        manip.push((a.input.clone(), Path::attr(&a.output)));
+                    }
+                }
+                out.push(ItemProvenance {
+                    item,
+                    inputs: members
+                        .iter()
+                        .map(|&m| InputRef {
+                            input: 0,
+                            index: m,
+                            accessed: Some(accessed.clone()),
+                        })
+                        .collect(),
+                    manipulations: Some(manip),
+                });
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Aggregate evaluation mirroring the engine's semantics (`collect_list`
+/// keeps nulls to preserve nesting positions).
+fn eval_agg_model(agg: &pebble_dataflow::AggSpec, rows: &[&DataItem]) -> Value {
+    let values = |skip_null: bool| {
+        rows.iter().filter_map(move |r| {
+            let v = agg.input.eval(r).cloned().unwrap_or(Value::Null);
+            if skip_null && v.is_null() {
+                None
+            } else {
+                Some(v)
+            }
+        })
+    };
+    match agg.func {
+        AggFunc::Count => {
+            if agg.input.is_empty() {
+                Value::Int(rows.len() as i64)
+            } else {
+                Value::Int(values(true).count() as i64)
+            }
+        }
+        AggFunc::Sum => {
+            let vs: Vec<Value> = values(true).collect();
+            if vs.is_empty() {
+                Value::Null
+            } else if vs.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(vs.iter().filter_map(Value::as_int).sum())
+            } else {
+                Value::Double(vs.iter().filter_map(Value::as_double).sum())
+            }
+        }
+        AggFunc::Avg => {
+            let vs: Vec<f64> = values(true).filter_map(|v| v.as_double()).collect();
+            if vs.is_empty() {
+                Value::Null
+            } else {
+                Value::Double(vs.iter().sum::<f64>() / vs.len() as f64)
+            }
+        }
+        AggFunc::Min => values(true).min().unwrap_or(Value::Null),
+        AggFunc::Max => values(true).max().unwrap_or(Value::Null),
+        AggFunc::CollectList => {
+            if agg.input.is_empty() {
+                Value::Bag(rows.iter().map(|r| Value::Item((*r).clone())).collect())
+            } else {
+                Value::Bag(values(false).collect())
+            }
+        }
+        AggFunc::CollectSet => {
+            if agg.input.is_empty() {
+                Value::set_from(rows.iter().map(|r| Value::Item((*r).clone())))
+            } else {
+                Value::set_from(values(true))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_dataflow::{AggSpec, Expr, GroupKey, NamedExpr};
+    use pebble_nested::DataItem;
+
+    fn items() -> Vec<DataItem> {
+        vec![
+            DataItem::from_fields([("k", Value::str("a")), ("v", Value::Int(1))]),
+            DataItem::from_fields([("k", Value::str("b")), ("v", Value::Int(2))]),
+            DataItem::from_fields([("k", Value::str("a")), ("v", Value::Int(3))]),
+        ]
+    }
+
+    #[test]
+    fn filter_model() {
+        let kind = OpKind::Filter {
+            predicate: Expr::col("v").ge(Expr::lit(2i64)),
+        };
+        let data = items();
+        let r = apply(&kind, &[&data]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0].inputs[0].index, 1);
+        assert_eq!(
+            r[0].inputs[0].accessed.as_deref(),
+            Some(&[Path::attr("v")][..])
+        );
+        assert_eq!(r[0].manipulations.as_deref(), Some(&[][..]));
+    }
+
+    #[test]
+    fn flatten_model_concrete_positions() {
+        let data = vec![DataItem::from_fields([(
+            "xs",
+            Value::Bag(vec![Value::Int(10), Value::Int(20)]),
+        )])];
+        let kind = OpKind::Flatten {
+            col: Path::attr("xs"),
+            new_attr: "x".into(),
+        };
+        let r = apply(&kind, &[&data]).unwrap();
+        assert_eq!(r.len(), 2);
+        // Concrete position, exactly as in Fig. 3's left side.
+        assert_eq!(
+            r[1].inputs[0].accessed.as_deref(),
+            Some(&[Path::parse("xs[2]")][..])
+        );
+        assert_eq!(
+            r[1].manipulations.as_deref(),
+            Some(&[(Path::parse("xs[2]"), Path::attr("x"))][..])
+        );
+    }
+
+    #[test]
+    fn aggregation_model_groups_and_positions() {
+        let data = items();
+        let kind = OpKind::GroupAggregate {
+            keys: vec![GroupKey::new("k")],
+            aggs: vec![AggSpec::new(AggFunc::CollectList, "v", "vs")],
+        };
+        let r = apply(&kind, &[&data]).unwrap();
+        assert_eq!(r.len(), 2);
+        let a = &r[0]; // group "a" seen first
+        assert_eq!(
+            a.inputs.iter().map(|i| i.index).collect::<Vec<_>>(),
+            [0, 2]
+        );
+        let m = a.manipulations.as_deref().unwrap();
+        assert!(m.contains(&(Path::attr("v"), Path::parse("vs[1]"))));
+        assert!(m.contains(&(Path::attr("v"), Path::parse("vs[2]"))));
+        assert_eq!(
+            a.item.get("vs"),
+            Some(&Value::Bag(vec![Value::Int(1), Value::Int(3)]))
+        );
+    }
+
+    #[test]
+    fn join_model_renames() {
+        let left = vec![DataItem::from_fields([
+            ("k", Value::Int(1)),
+            ("a", Value::str("x")),
+        ])];
+        let right = vec![DataItem::from_fields([
+            ("k", Value::Int(1)),
+            ("b", Value::str("y")),
+        ])];
+        let kind = OpKind::Join {
+            keys: vec![(Path::attr("k"), Path::attr("k"))],
+        };
+        let r = apply(&kind, &[&left, &right]).unwrap();
+        assert_eq!(r.len(), 1);
+        let m = r[0].manipulations.as_deref().unwrap();
+        assert!(m.contains(&(Path::attr("k"), Path::attr("k_r"))));
+        assert_eq!(r[0].inputs.len(), 2);
+    }
+
+    #[test]
+    fn union_model_empty_access() {
+        let data = items();
+        let r = apply(&OpKind::Union, &[&data, &data]).unwrap();
+        assert_eq!(r.len(), 6);
+        assert_eq!(r[0].inputs[0].accessed.as_deref(), Some(&[][..]));
+        assert_eq!(r[3].inputs[0].input, 1);
+    }
+
+    #[test]
+    fn select_model_manipulations() {
+        let data = items();
+        let kind = OpKind::Select {
+            exprs: vec![NamedExpr::aliased("key", "k")],
+        };
+        let r = apply(&kind, &[&data]).unwrap();
+        assert_eq!(
+            r[0].manipulations.as_deref(),
+            Some(&[(Path::attr("k"), Path::attr("key"))][..])
+        );
+    }
+}

@@ -1,0 +1,212 @@
+//! Tree-pattern pre-filtering.
+//!
+//! The paper integrates tree-pattern matching into Spark's execution plan
+//! so it "undergoes optimizations such as filter push down" (Sec. 7.3.3).
+//! This module derives a *conservative* engine predicate from a pattern:
+//! every item matching the pattern satisfies the predicate (never the
+//! converse), so the cheap predicate can pre-filter a dataset before the
+//! full structural match runs — or be pushed into the producing pipeline
+//! via [`mod@pebble_dataflow::optimize`].
+
+use pebble_dataflow::{Expr, Row};
+use pebble_nested::{DataType, Path, Step};
+
+use crate::btree::Backtrace;
+use crate::pattern::{EdgeKind, PatternNode, TreePattern, ValuePred};
+
+impl TreePattern {
+    /// Derives a conservative pre-filter: a predicate implied by the
+    /// pattern (matching items always satisfy it). Returns `None` when no
+    /// branch is expressible as a scalar predicate — e.g. when every
+    /// branch crosses a nested collection or uses descendant edges.
+    pub fn prefilter(&self, schema: &DataType) -> Option<Expr> {
+        let mut conjuncts = Vec::new();
+        for branch in &self.children {
+            if let Some(e) = branch_filter(branch, schema, &Path::root()) {
+                conjuncts.push(e);
+            }
+        }
+        conjuncts.into_iter().reduce(Expr::and)
+    }
+
+    /// Matches with pre-filtering: items failing the derived predicate are
+    /// skipped without running the structural matcher. Results are
+    /// identical to [`TreePattern::match_rows`].
+    pub fn match_rows_prefiltered(&self, rows: &[Row], schema: &DataType) -> Backtrace {
+        match self.prefilter(schema) {
+            Some(filter) => {
+                let candidates: Vec<Row> = rows
+                    .iter()
+                    .filter(|r| filter.eval_bool(&r.item))
+                    .cloned()
+                    .collect();
+                self.match_rows(&candidates)
+            }
+            None => self.match_rows(rows),
+        }
+    }
+}
+
+/// Builds a predicate for one pattern branch if it is a pure child chain
+/// over scalar-reachable paths (no collection crossing, no descendant
+/// edges) whose occurrence boxes require at least one occurrence.
+fn branch_filter(node: &PatternNode, schema: &DataType, prefix: &Path) -> Option<Expr> {
+    if node.edge == EdgeKind::Descendant || node.position.is_some() {
+        return None;
+    }
+    if let Some((min, _)) = node.occurrences {
+        if min == 0 {
+            // The branch may match with zero occurrences — nothing can be
+            // required of the data.
+            return None;
+        }
+    }
+    let path = prefix.child(Step::attr(&node.attr));
+    // The path must resolve without crossing a collection: a collection
+    // would require existential quantification the expression language
+    // does not have.
+    match schema.resolve(&path) {
+        Some(DataType::Bag(_) | DataType::Set(_)) => return None,
+        Some(_) => {}
+        None => return None,
+    }
+    // Crossing check: every prefix of the path must be an item type.
+    for cut in 1..path.len() {
+        let p = Path::new(path.steps()[..cut].iter().cloned());
+        if matches!(schema.resolve(&p), Some(DataType::Bag(_) | DataType::Set(_)) | None) {
+            return None;
+        }
+    }
+    let mut conjuncts = Vec::new();
+    if let Some(pred) = &node.predicate {
+        conjuncts.push(pred_to_expr(pred, &path)?);
+    }
+    for child in &node.children {
+        // A failed child just weakens the filter; the branch stays
+        // conservative without it.
+        if let Some(e) = branch_filter(child, schema, &path) {
+            conjuncts.push(e);
+        }
+    }
+    if conjuncts.is_empty() {
+        // Require the attribute to exist at all.
+        conjuncts.push(Expr::IsNull(Box::new(Expr::Col(path))).not());
+    }
+    conjuncts.into_iter().reduce(Expr::and)
+}
+
+fn pred_to_expr(pred: &ValuePred, path: &Path) -> Option<Expr> {
+    let col = Expr::Col(path.clone());
+    Some(match pred {
+        ValuePred::Eq(v) => col.eq(Expr::Lit(v.clone())),
+        ValuePred::Ne(v) => col.ne(Expr::Lit(v.clone())),
+        ValuePred::Lt(v) => col.lt(Expr::Lit(v.clone())),
+        ValuePred::Le(v) => col.le(Expr::Lit(v.clone())),
+        ValuePred::Gt(v) => col.gt(Expr::Lit(v.clone())),
+        ValuePred::Ge(v) => col.ge(Expr::Lit(v.clone())),
+        ValuePred::Contains(s) => col.contains(Expr::lit(s.as_str())),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_nested::{DataItem, Value};
+
+    fn schema() -> DataType {
+        DataType::item([
+            (
+                "user",
+                DataType::item([("id_str", DataType::Str), ("name", DataType::Str)]),
+            ),
+            ("n", DataType::Int),
+            (
+                "tweets",
+                DataType::bag(DataType::item([("text", DataType::Str)])),
+            ),
+        ])
+    }
+
+    fn rows() -> Vec<Row> {
+        let item = |id: &str, n: i64| DataItem::from_fields([
+            (
+                "user",
+                Value::Item(DataItem::from_fields([
+                    ("id_str", Value::str(id)),
+                    ("name", Value::str("X")),
+                ])),
+            ),
+            ("n", Value::Int(n)),
+            (
+                "tweets",
+                Value::Bag(vec![Value::Item(DataItem::from_fields([(
+                    "text",
+                    Value::str("Hello World"),
+                )]))]),
+            ),
+        ]);
+        vec![
+            Row { id: 1, item: item("lp", 3) },
+            Row { id: 2, item: item("jm", 9) },
+        ]
+    }
+
+    #[test]
+    fn scalar_child_chain_becomes_filter() {
+        let p = TreePattern::parse(r#"user/id_str="lp", n>2"#).unwrap();
+        let f = p.prefilter(&schema()).expect("expressible");
+        assert!(f.eval_bool(&rows()[0].item));
+        assert!(!f.eval_bool(&rows()[1].item));
+    }
+
+    #[test]
+    fn collection_branch_skipped_descendant_skipped() {
+        // tweets/text crosses a bag; //id_str is a descendant — both
+        // inexpressible. The n-branch still contributes.
+        let p = TreePattern::parse(r#"//id_str="lp", tweets/text~"Hello", n<5"#).unwrap();
+        let f = p.prefilter(&schema()).expect("n branch expressible");
+        assert!(f.eval_bool(&rows()[0].item));
+        assert!(!f.eval_bool(&rows()[1].item)); // n = 9
+    }
+
+    #[test]
+    fn fully_inexpressible_returns_none() {
+        let p = TreePattern::parse(r#"//id_str="lp""#).unwrap();
+        assert!(p.prefilter(&schema()).is_none());
+    }
+
+    #[test]
+    fn prefiltered_match_equals_plain_match() {
+        let patterns = [
+            r#"user/id_str="lp", tweets/text="Hello World"{1,9}"#,
+            r#"n>=4"#,
+            r#"//id_str="jm""#,
+            r#"user(id_str="lp", name="X")"#,
+        ];
+        for src in patterns {
+            let p = TreePattern::parse(src).unwrap();
+            let plain = p.match_rows(&rows());
+            let pre = p.match_rows_prefiltered(&rows(), &schema());
+            assert_eq!(plain.entries.len(), pre.entries.len(), "{src}");
+            for (a, b) in plain.entries.iter().zip(&pre.entries) {
+                assert_eq!(a.0, b.0, "{src}");
+                assert_eq!(a.1, b.1, "{src}");
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_free_branch_requires_presence() {
+        let p = TreePattern::parse("n").unwrap();
+        let f = p.prefilter(&schema()).unwrap();
+        assert!(f.eval_bool(&rows()[0].item));
+        let no_n = DataItem::from_fields([("user", Value::Null)]);
+        assert!(!f.eval_bool(&no_n));
+    }
+
+    #[test]
+    fn zero_min_occurrence_inexpressible() {
+        let p = TreePattern::parse("n{0,5}").unwrap();
+        assert!(p.prefilter(&schema()).is_none());
+    }
+}

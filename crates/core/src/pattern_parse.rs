@@ -1,0 +1,482 @@
+//! Textual syntax for tree-pattern provenance questions — the
+//! user-facing front-end the paper names as future work.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! pattern  := branch (',' branch)*
+//! branch   := axis? node (axis node)*
+//! axis     := '/'            parent-child (default for the first node)
+//!           | '//'           ancestor-descendant
+//! node     := ident position? pred? count? group?
+//! position := '[' int ']'    1-based element of the node's collection
+//! pred     := ('=' | '!=' | '<' | '<=' | '>' | '>=') literal
+//!           | '~' string     (string containment)
+//! count    := '{' int ',' int '}'
+//! group    := '(' pattern ')'
+//! literal  := string | integer | float | 'true' | 'false'
+//! ```
+//!
+//! The provenance question of Fig. 4 reads:
+//!
+//! ```text
+//! //id_str = "lp", tweets / text = "Hello World" {2,2}
+//! ```
+
+use std::fmt;
+
+use pebble_nested::Value;
+
+use crate::pattern::{EdgeKind, PatternNode, TreePattern, ValuePred};
+
+/// Error raised on malformed pattern syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternParseError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for PatternParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PatternParseError {}
+
+/// Parses the textual pattern syntax into a [`TreePattern`].
+pub fn parse(input: &str) -> Result<TreePattern, PatternParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let children = p.pattern()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(TreePattern { children })
+}
+
+impl TreePattern {
+    /// Parses the textual query syntax (see [`crate::pattern_parse`]).
+    pub fn parse(input: &str) -> Result<TreePattern, PatternParseError> {
+        parse(input)
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> PatternParseError {
+        PatternParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn pattern(&mut self) -> Result<Vec<PatternNode>, PatternParseError> {
+        let mut out = vec![self.branch()?];
+        loop {
+            self.skip_ws();
+            if self.eat(b',') {
+                out.push(self.branch()?);
+            } else {
+                return Ok(out);
+            }
+        }
+    }
+
+    /// A branch is a chain of nodes: each subsequent node becomes the sole
+    /// child of the previous one.
+    fn branch(&mut self) -> Result<PatternNode, PatternParseError> {
+        let mut chain = vec![self.node()?];
+        loop {
+            self.skip_ws();
+            if matches!(self.peek(), Some(b'/')) {
+                chain.push(self.node()?);
+            } else {
+                break;
+            }
+        }
+        // Fold the chain right-to-left into nested children.
+        let mut node = chain.pop().expect("chain non-empty");
+        while let Some(mut parent) = chain.pop() {
+            parent.children.push(node);
+            node = parent;
+        }
+        Ok(node)
+    }
+
+    fn node(&mut self) -> Result<PatternNode, PatternParseError> {
+        self.skip_ws();
+        let edge = if self.eat(b'/') {
+            if self.eat(b'/') {
+                EdgeKind::Descendant
+            } else {
+                EdgeKind::Child
+            }
+        } else {
+            EdgeKind::Child
+        };
+        self.skip_ws();
+        let attr = self.ident()?;
+        let mut node = PatternNode {
+            attr,
+            position: None,
+            edge,
+            predicate: None,
+            occurrences: None,
+            children: Vec::new(),
+        };
+        self.skip_ws();
+        if self.eat(b'[') {
+            let pos = self.integer()?;
+            if pos < 1 {
+                return Err(self.err("positions are 1-based"));
+            }
+            node.position = Some(pos as u32);
+            self.skip_ws();
+            if !self.eat(b']') {
+                return Err(self.err("expected `]` closing position"));
+            }
+        }
+        self.skip_ws();
+        if let Some(pred) = self.predicate()? {
+            node.predicate = Some(pred);
+        }
+        self.skip_ws();
+        if self.eat(b'{') {
+            let min = self.integer()? as u32;
+            self.skip_ws();
+            if !self.eat(b',') {
+                return Err(self.err("expected `,` in count box"));
+            }
+            let max = self.integer()? as u32;
+            self.skip_ws();
+            if !self.eat(b'}') {
+                return Err(self.err("expected `}` closing count box"));
+            }
+            if min > max {
+                return Err(self.err("count box min exceeds max"));
+            }
+            node.occurrences = Some((min, max));
+        }
+        self.skip_ws();
+        if self.eat(b'(') {
+            node.children = self.pattern()?;
+            self.skip_ws();
+            if !self.eat(b')') {
+                return Err(self.err("expected `)` closing group"));
+            }
+        }
+        Ok(node)
+    }
+
+    fn ident(&mut self) -> Result<String, PatternParseError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected attribute name"));
+        }
+        Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("ascii ident")
+            .to_string())
+    }
+
+    fn predicate(&mut self) -> Result<Option<ValuePred>, PatternParseError> {
+        self.skip_ws();
+        let op = match self.peek() {
+            Some(b'=') => {
+                self.pos += 1;
+                "="
+            }
+            Some(b'~') => {
+                self.pos += 1;
+                "~"
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                if !self.eat(b'=') {
+                    return Err(self.err("expected `=` after `!`"));
+                }
+                "!="
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                if self.eat(b'=') {
+                    "<="
+                } else {
+                    "<"
+                }
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                if self.eat(b'=') {
+                    ">="
+                } else {
+                    ">"
+                }
+            }
+            _ => return Ok(None),
+        };
+        let value = self.literal()?;
+        Ok(Some(match op {
+            "=" => ValuePred::Eq(value),
+            "!=" => ValuePred::Ne(value),
+            "<" => ValuePred::Lt(value),
+            "<=" => ValuePred::Le(value),
+            ">" => ValuePred::Gt(value),
+            ">=" => ValuePred::Ge(value),
+            "~" => match value {
+                Value::Str(s) => ValuePred::Contains(s),
+                _ => return Err(self.err("`~` requires a string literal")),
+            },
+            _ => unreachable!(),
+        }))
+    }
+
+    fn literal(&mut self) -> Result<Value, PatternParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'"' {
+                        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8 in string"))?
+                            .to_string();
+                        self.pos += 1;
+                        return Ok(Value::Str(s));
+                    }
+                    self.pos += 1;
+                }
+                Err(self.err("unterminated string literal"))
+            }
+            Some(b't') if self.bytes[self.pos..].starts_with(b"true") => {
+                self.pos += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if self.bytes[self.pos..].starts_with(b"false") => {
+                self.pos += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                if self.peek() == Some(b'-') {
+                    self.pos += 1;
+                }
+                let mut is_float = false;
+                while let Some(b) = self.peek() {
+                    match b {
+                        b'0'..=b'9' => self.pos += 1,
+                        b'.' if !is_float => {
+                            is_float = true;
+                            self.pos += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                if is_float {
+                    text.parse::<f64>()
+                        .map(Value::Double)
+                        .map_err(|_| self.err("invalid float literal"))
+                } else {
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| self.err("invalid integer literal"))
+                }
+            }
+            _ => Err(self.err("expected literal")),
+        }
+    }
+
+    fn integer(&mut self) -> Result<i64, PatternParseError> {
+        self.skip_ws();
+        match self.literal()? {
+            Value::Int(i) if i >= 0 => Ok(i),
+            _ => Err(self.err("expected non-negative integer")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_nested::DataItem;
+
+    #[test]
+    fn fig4_query_parses() {
+        let p = parse(r#"//id_str = "lp", tweets / text = "Hello World" {2,2}"#).unwrap();
+        assert_eq!(p.children.len(), 2);
+        let id = &p.children[0];
+        assert_eq!(id.attr, "id_str");
+        assert_eq!(id.edge, EdgeKind::Descendant);
+        assert_eq!(id.predicate, Some(ValuePred::Eq(Value::str("lp"))));
+        let tweets = &p.children[1];
+        assert_eq!(tweets.attr, "tweets");
+        assert_eq!(tweets.edge, EdgeKind::Child);
+        let text = &tweets.children[0];
+        assert_eq!(text.attr, "text");
+        assert_eq!(text.occurrences, Some((2, 2)));
+    }
+
+    #[test]
+    fn parsed_equals_builder_semantics() {
+        // Same match behaviour as the hand-built Fig. 4 pattern.
+        let parsed = parse(r#"//id_str="lp", tweets/text="Hello World"{2,2}"#).unwrap();
+        let item = DataItem::from_fields([
+            (
+                "user",
+                Value::Item(DataItem::from_fields([("id_str", Value::str("lp"))])),
+            ),
+            (
+                "tweets",
+                Value::Bag(vec![
+                    Value::Item(DataItem::from_fields([("text", Value::str("Hello World"))])),
+                    Value::Item(DataItem::from_fields([("text", Value::str("Hello World"))])),
+                ]),
+            ),
+        ]);
+        assert!(parsed.match_item(&item).is_some());
+    }
+
+    #[test]
+    fn group_syntax() {
+        let p = parse(r#"user(id_str="lp", name~"Paul")"#).unwrap();
+        let user = &p.children[0];
+        assert_eq!(user.children.len(), 2);
+        assert_eq!(
+            user.children[1].predicate,
+            Some(ValuePred::Contains("Paul".into()))
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        for (src, expected) in [
+            ("n>3", ValuePred::Gt(Value::Int(3))),
+            ("n>=3", ValuePred::Ge(Value::Int(3))),
+            ("n<3", ValuePred::Lt(Value::Int(3))),
+            ("n<=3", ValuePred::Le(Value::Int(3))),
+            ("n!=3", ValuePred::Ne(Value::Int(3))),
+            ("n=2.5", ValuePred::Eq(Value::Double(2.5))),
+            ("n=-7", ValuePred::Eq(Value::Int(-7))),
+            ("b=true", ValuePred::Eq(Value::Bool(true))),
+        ] {
+            let p = parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+            assert_eq!(p.children[0].predicate, Some(expected), "{src}");
+        }
+    }
+
+    #[test]
+    fn chain_folds_into_children() {
+        let p = parse("a/b//c").unwrap();
+        let a = &p.children[0];
+        assert_eq!(a.attr, "a");
+        let b = &a.children[0];
+        assert_eq!(b.attr, "b");
+        let c = &b.children[0];
+        assert_eq!(c.attr, "c");
+        assert_eq!(c.edge, EdgeKind::Descendant);
+    }
+
+    #[test]
+    fn errors_reported() {
+        for bad in [
+            "",
+            "a{2}",
+            "a{3,2}",
+            "a=`x`",
+            "a~3",
+            "a(b",
+            "a=\"unterminated",
+            "a=",
+            "a!b",
+            "a,,b",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn whitespace_insensitive() {
+        let tight = parse(r#"//id_str="lp""#).unwrap();
+        let loose = parse(r#"  //  id_str   =   "lp"  "#).unwrap();
+        assert_eq!(tight.children[0].attr, loose.children[0].attr);
+        assert_eq!(tight.children[0].predicate, loose.children[0].predicate);
+    }
+}
+
+#[cfg(test)]
+mod position_tests {
+    use super::*;
+    use pebble_nested::DataItem;
+
+    fn item() -> DataItem {
+        DataItem::from_fields([(
+            "tweets",
+            Value::Bag(vec![
+                Value::Item(DataItem::from_fields([("text", Value::str("first"))])),
+                Value::Item(DataItem::from_fields([("text", Value::str("second"))])),
+            ]),
+        )])
+    }
+
+    #[test]
+    fn positional_step_parses_and_matches() {
+        let p = parse(r#"tweets[2]/text="second""#).unwrap();
+        assert_eq!(p.children[0].position, Some(2));
+        let tree = p.match_item(&item()).expect("matches");
+        assert!(tree.contains(&pebble_nested::Path::parse("tweets[2].text")));
+        assert!(!tree.contains(&pebble_nested::Path::parse("tweets[1]")));
+        // Position 2 holds "second", not "first".
+        let wrong = parse(r#"tweets[2]/text="first""#).unwrap();
+        assert!(wrong.match_item(&item()).is_none());
+        // Out-of-range position never matches.
+        let oob = parse(r#"tweets[9]/text="first""#).unwrap();
+        assert!(oob.match_item(&item()).is_none());
+    }
+
+    #[test]
+    fn positional_errors() {
+        assert!(parse("tweets[0]/text").is_err());
+        assert!(parse("tweets[1").is_err());
+        assert!(parse("tweets[-1]").is_err());
+    }
+
+    #[test]
+    fn position_on_scalar_never_matches() {
+        let p = parse(r#"tweets[1]/text[1]"#).unwrap();
+        // text is a string, not a collection: the inner position fails.
+        assert!(p.match_item(&item()).is_none());
+    }
+}

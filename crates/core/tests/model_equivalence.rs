@@ -1,0 +1,268 @@
+//! Cross-validation of the lightweight capture (Sec. 5.1) against the full
+//! reference model (Sec. 4.3): for every operator, the identifier
+//! associations recorded by the engine hook must describe exactly the
+//! input/output relationships the full model derives, and the schema-level
+//! `A`/`M` path sets must be the generalization of the model's concrete
+//! paths.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use pebble_core::model;
+use pebble_core::{run_captured, ProvAssoc};
+use pebble_dataflow::{
+    context::items_of, AggFunc, AggSpec, Context, ExecConfig, Expr, GroupKey, NamedExpr, OpKind,
+    ProgramBuilder,
+};
+use pebble_nested::{DataItem, Path, Value};
+
+fn cfg() -> ExecConfig {
+    ExecConfig { partitions: 3 }
+}
+
+/// Runs `read → op` captured and returns, per association entry, the input
+/// dataset indices it references, together with the result multiset.
+struct Observed {
+    /// For unary/flatten ops: (input index, output item).
+    pairs: Vec<(Vec<usize>, DataItem)>,
+}
+
+fn observe_unary(kind: OpKind, data: Vec<DataItem>) -> Observed {
+    let mut ctx = Context::new();
+    ctx.register("src", data);
+    let mut b = ProgramBuilder::new();
+    let r = b.read("src");
+    let id = b.ops_push(kind, vec![r]);
+    let program = b.build(id);
+    let run = run_captured(&program, &ctx, cfg()).unwrap();
+    let read_ids = match &run.op(0).assoc {
+        ProvAssoc::Read(ids) => ids.clone(),
+        _ => unreachable!(),
+    };
+    let idx = |id: u64| read_ids.iter().position(|&i| i == id).unwrap();
+    let out_item = |out: u64| {
+        run.output
+            .rows
+            .iter()
+            .find(|r| r.id == out)
+            .unwrap()
+            .item
+            .clone()
+    };
+    let pairs = match &run.op(1).assoc {
+        ProvAssoc::Unary(v) => v
+            .iter()
+            .map(|&(i, o)| (vec![idx(i)], out_item(o)))
+            .collect(),
+        ProvAssoc::Flatten(v) => v
+            .iter()
+            .map(|&(i, _pos, o)| (vec![idx(i)], out_item(o)))
+            .collect(),
+        ProvAssoc::Agg(v) => v
+            .iter()
+            .map(|(ids, o)| (ids.iter().map(|&i| idx(i)).collect(), out_item(*o)))
+            .collect(),
+        other => panic!("unexpected assoc {other:?}"),
+    };
+    Observed { pairs }
+}
+
+/// Extension trait to push a raw OpKind through the builder.
+trait BuilderExt {
+    fn ops_push(&mut self, kind: OpKind, inputs: Vec<u32>) -> u32;
+}
+
+impl BuilderExt for ProgramBuilder {
+    fn ops_push(&mut self, kind: OpKind, inputs: Vec<u32>) -> u32 {
+        match kind {
+            OpKind::Filter { predicate } => self.filter(inputs[0], predicate),
+            OpKind::Select { exprs } => self.select(inputs[0], exprs),
+            OpKind::Map { udf } => self.map(inputs[0], udf),
+            OpKind::Flatten { col, new_attr } => {
+                self.flatten(inputs[0], &col.to_string(), new_attr)
+            }
+            OpKind::GroupAggregate { keys, aggs } => {
+                self.group_aggregate(inputs[0], keys, aggs)
+            }
+            OpKind::Union => self.union(inputs[0], inputs[1]),
+            OpKind::Join { keys } => self.join(inputs[0], inputs[1], keys),
+            OpKind::Read { source } => self.read(source),
+        }
+    }
+}
+
+/// Canonicalizes (inputs, item) pairs for multiset comparison.
+fn canon(mut pairs: Vec<(Vec<usize>, DataItem)>) -> Vec<(Vec<usize>, String)> {
+    let mut out: Vec<(Vec<usize>, String)> = pairs
+        .drain(..)
+        .map(|(mut ins, item)| {
+            ins.sort_unstable();
+            (ins, format!("{item}"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn model_pairs(kind: &OpKind, data: &[DataItem]) -> Vec<(Vec<usize>, DataItem)> {
+    model::apply(kind, &[data])
+        .unwrap()
+        .into_iter()
+        .map(|p| {
+            (
+                p.inputs.iter().map(|i| i.index).collect(),
+                p.item,
+            )
+        })
+        .collect()
+}
+
+fn check_equiv(kind: OpKind, data: Vec<DataItem>) {
+    let expected = canon(model_pairs(&kind, &data));
+    let observed = canon(observe_unary(kind, data).pairs);
+    assert_eq!(expected, observed);
+}
+
+fn dataset_strategy() -> impl Strategy<Value = Vec<DataItem>> {
+    prop::collection::vec(
+        (0i64..4, 0i64..50, prop::collection::vec(0i64..5, 0..4)).prop_map(|(k, v, xs)| {
+            DataItem::from_fields([
+                ("k", Value::Int(k)),
+                ("v", Value::Int(v)),
+                (
+                    "xs",
+                    Value::Bag(xs.into_iter().map(Value::Int).collect()),
+                ),
+            ])
+        }),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Filter: lightweight associations = full-model associations.
+    #[test]
+    fn filter_equivalent(data in dataset_strategy(), threshold in 0i64..50) {
+        check_equiv(
+            OpKind::Filter { predicate: Expr::col("v").ge(Expr::lit(threshold)) },
+            data,
+        );
+    }
+
+    /// Select restructuring.
+    #[test]
+    fn select_equivalent(data in dataset_strategy()) {
+        check_equiv(
+            OpKind::Select {
+                exprs: vec![
+                    NamedExpr::aliased("key", "k"),
+                    NamedExpr::aliased("val", "v"),
+                ],
+            },
+            data,
+        );
+    }
+
+    /// Flatten: per-element explosion with positions.
+    #[test]
+    fn flatten_equivalent(data in dataset_strategy()) {
+        check_equiv(
+            OpKind::Flatten { col: Path::attr("xs"), new_attr: "x".into() },
+            data,
+        );
+    }
+
+    /// Grouping + aggregation: same groups, same members, same results.
+    #[test]
+    fn aggregation_equivalent(data in dataset_strategy()) {
+        check_equiv(
+            OpKind::GroupAggregate {
+                keys: vec![GroupKey::new("k")],
+                aggs: vec![
+                    AggSpec::new(AggFunc::Sum, "v", "total"),
+                    AggSpec::new(AggFunc::CollectList, "v", "vs"),
+                    AggSpec::new(AggFunc::Count, "", "n"),
+                ],
+            },
+            data,
+        );
+    }
+
+    /// Capture never changes the computed result (capture–replay
+    /// equivalence over a small pipeline).
+    #[test]
+    fn capture_replay_equivalence(data in dataset_strategy(), threshold in 0i64..50) {
+        let mut ctx = Context::new();
+        ctx.register("src", data);
+        let mut b = ProgramBuilder::new();
+        let r = b.read("src");
+        let f = b.filter(r, Expr::col("v").lt(Expr::lit(threshold)));
+        let fl = b.flatten(f, "xs", "x");
+        let g = b.group_aggregate(
+            fl,
+            vec![GroupKey::new("k")],
+            vec![AggSpec::new(AggFunc::CollectList, "x", "collected")],
+        );
+        let p = b.build(g);
+        let plain = pebble_dataflow::run(&p, &ctx, cfg(), &pebble_dataflow::NoSink)
+            .unwrap()
+            .items();
+        let captured = run_captured(&p, &ctx, cfg()).unwrap().output.items();
+        prop_assert_eq!(plain, captured);
+    }
+}
+
+/// The schema-level `A`/`M` of the lightweight capture generalize the full
+/// model's concrete paths.
+#[test]
+fn schema_level_generalizes_concrete_paths() {
+    let data = items_of(vec![vec![
+        ("k", Value::Int(1)),
+        (
+            "xs",
+            Value::Bag(vec![Value::Int(5), Value::Int(6), Value::Int(7)]),
+        ),
+    ]]);
+    let kind = OpKind::Flatten {
+        col: Path::attr("xs"),
+        new_attr: "x".into(),
+    };
+    let full = model::apply(&kind, &[&data]).unwrap();
+    let mut ctx = Context::new();
+    ctx.register("src", data);
+    let mut b = ProgramBuilder::new();
+    let r = b.read("src");
+    let f = b.flatten(r, "xs", "x");
+    let run = run_captured(&b.build(f), &ctx, cfg()).unwrap();
+    let light = run.op(1);
+
+    // Generalize the concrete access paths of the model.
+    let concrete: BTreeSet<Path> = full
+        .iter()
+        .flat_map(|p| p.inputs.iter().flat_map(|i| i.accessed.clone().unwrap()))
+        .map(|p| p.to_schema_level())
+        .collect();
+    let schema: BTreeSet<Path> = light.inputs[0]
+        .accessed
+        .clone()
+        .unwrap()
+        .into_iter()
+        .collect();
+    assert_eq!(concrete, schema);
+
+    let concrete_m: BTreeSet<(Path, Path)> = full
+        .iter()
+        .flat_map(|p| p.manipulations.clone().unwrap())
+        .map(|(a, b)| (a.to_schema_level(), b.to_schema_level()))
+        .collect();
+    let schema_m: BTreeSet<(Path, Path)> = light
+        .manipulated
+        .clone()
+        .unwrap()
+        .into_iter()
+        .collect();
+    assert_eq!(concrete_m, schema_m);
+}

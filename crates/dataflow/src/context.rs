@@ -1,0 +1,117 @@
+//! Execution context: named input datasets and their schemas.
+
+use pebble_nested::{DataItem, DataType, Value};
+
+use crate::hash::FxHashMap;
+
+/// How many items are sampled to infer a source schema.
+const SCHEMA_SAMPLE: usize = 64;
+
+/// Registry of named source datasets, playing the role of the storage layer
+/// (`read tweets.json` in Fig. 1).
+#[derive(Default)]
+pub struct Context {
+    sources: FxHashMap<String, Source>,
+}
+
+struct Source {
+    items: Vec<DataItem>,
+    schema: DataType,
+}
+
+impl Context {
+    /// Empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dataset, inferring its schema from a sample of items
+    /// (types are unified across the sample; irreconcilable or empty
+    /// sources get the unknown schema `Null`).
+    pub fn register(&mut self, name: impl Into<String>, items: Vec<DataItem>) {
+        let schema = infer_schema(&items);
+        self.sources.insert(name.into(), Source { items, schema });
+    }
+
+    /// Registers a dataset with an explicit schema.
+    pub fn register_with_schema(
+        &mut self,
+        name: impl Into<String>,
+        items: Vec<DataItem>,
+        schema: DataType,
+    ) {
+        self.sources.insert(name.into(), Source { items, schema });
+    }
+
+    /// Looks up a source's items.
+    pub fn source(&self, name: &str) -> Option<&[DataItem]> {
+        self.sources.get(name).map(|s| s.items.as_slice())
+    }
+
+    /// Schemas of all registered sources.
+    pub fn source_schemas(&self) -> FxHashMap<String, DataType> {
+        self.sources
+            .iter()
+            .map(|(n, s)| (n.clone(), s.schema.clone()))
+            .collect()
+    }
+
+    /// Names of registered sources.
+    pub fn source_names(&self) -> impl Iterator<Item = &str> {
+        self.sources.keys().map(String::as_str)
+    }
+}
+
+/// Infers a dataset schema by unifying the types of a sample of items.
+pub fn infer_schema(items: &[DataItem]) -> DataType {
+    let mut acc = DataType::Null;
+    for item in items.iter().take(SCHEMA_SAMPLE) {
+        match acc.unify(&DataType::of_item(item)) {
+            Some(t) => acc = t,
+            // Heterogeneous source: fall back to the unknown schema, which
+            // path resolution treats as a wildcard.
+            None => return DataType::Null,
+        }
+    }
+    acc
+}
+
+/// Convenience: builds items from `(name, value)` rows for tests.
+pub fn items_of(rows: Vec<Vec<(&str, Value)>>) -> Vec<DataItem> {
+    rows.into_iter()
+        .map(|fields| DataItem::from_fields(fields.into_iter().map(|(n, v)| (n.to_string(), v))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_inferred_from_sample() {
+        let mut ctx = Context::new();
+        ctx.register(
+            "t",
+            items_of(vec![
+                vec![("a", Value::Int(1))],
+                vec![("a", Value::Double(2.0))],
+            ]),
+        );
+        let schemas = ctx.source_schemas();
+        assert_eq!(schemas["t"], DataType::item([("a", DataType::Double)]));
+    }
+
+    #[test]
+    fn heterogeneous_source_gets_wildcard() {
+        let items = items_of(vec![
+            vec![("a", Value::Int(1))],
+            vec![("b", Value::Int(1))],
+        ]);
+        assert_eq!(infer_schema(&items), DataType::Null);
+    }
+
+    #[test]
+    fn empty_source() {
+        assert_eq!(infer_schema(&[]), DataType::Null);
+    }
+}

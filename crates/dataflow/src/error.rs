@@ -1,0 +1,54 @@
+//! Engine error type.
+
+use std::fmt;
+
+use pebble_nested::{DataType, Path};
+
+/// Errors raised while validating or executing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A `read` referenced a source name not registered in the context.
+    UnknownSource(String),
+    /// An operator referenced a non-existent upstream operator id.
+    UnknownOperator(u32),
+    /// The program DAG is malformed (wrong arity, cycle, multiple sinks…).
+    InvalidPlan(String),
+    /// A path did not resolve in the operator's input schema.
+    UnresolvedPath {
+        /// Operator where resolution failed.
+        op: u32,
+        /// The offending path.
+        path: Path,
+        /// The schema it was resolved against.
+        schema: DataType,
+    },
+    /// Operator preconditions on types failed (e.g. `union` arms differ,
+    /// `flatten` target is not a collection, aggregation input not numeric).
+    TypeError {
+        /// Operator where the violation occurred.
+        op: u32,
+        /// Description of the violated precondition.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::UnknownSource(name) => write!(f, "unknown source `{name}`"),
+            EngineError::UnknownOperator(id) => write!(f, "unknown operator #{id}"),
+            EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            EngineError::UnresolvedPath { op, path, schema } => {
+                write!(f, "operator #{op}: path `{path}` not found in schema {schema}")
+            }
+            EngineError::TypeError { op, message } => {
+                write!(f, "operator #{op}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenience result alias for engine operations.
+pub type Result<T, E = EngineError> = std::result::Result<T, E>;

@@ -1,0 +1,779 @@
+//! Partitioned, multi-threaded executor.
+//!
+//! Operators execute in topological (id) order; each operator's output is
+//! materialized as a list of partitions of [`Row`]s. Per-partition work is
+//! parallelized with scoped threads; shuffles (join build sides and
+//! grouping) hash-partition rows with the deterministic [`crate::hash`]
+//! hasher, so program output is identical across runs and thread counts.
+//!
+//! Every operator assigns *fresh* identifiers to its output items and
+//! reports the input→output associations of Tab. 6 to the generic
+//! [`ProvenanceSink`]; with [`NoSink`](crate::sink::NoSink) this bookkeeping
+//! is compiled away, giving the plain "Spark" baseline of Figs. 6/7.
+
+use pebble_nested::{DataItem, DataType, Path, Value};
+
+use crate::context::Context;
+use crate::error::{EngineError, Result};
+use crate::hash::{hash_one, FxHashMap};
+use crate::op::{key_value, AggFunc, AggSpec, GroupKey, OpId, OpKind};
+use crate::program::Program;
+use crate::sink::ProvenanceSink;
+
+/// Unique identifier of a top-level data item within one execution.
+///
+/// Identifiers are *deterministic*: they compose the producing operator,
+/// the partition, and a per-partition sequence number
+/// (`op << 48 | partition << 32 | seq`). Because partitioning is itself
+/// deterministic, re-running the same program on the same context yields
+/// identical identifiers — which lets provenance captured in one run be
+/// compared or joined against another run's.
+pub type ItemId = u64;
+
+/// Deterministic identifier factory for one (operator, partition) pair.
+#[derive(Debug)]
+pub struct IdGen {
+    base: u64,
+    seq: u32,
+}
+
+impl IdGen {
+    /// Creates the generator for `op`'s `partition`-th output partition.
+    pub fn new(op: OpId, partition: usize) -> Self {
+        debug_assert!(partition < (1 << 16), "too many partitions");
+        IdGen {
+            base: ((op as u64) << 48) | ((partition as u64) << 32),
+            seq: 0,
+        }
+    }
+
+    /// Next identifier.
+    #[inline]
+    #[allow(clippy::should_implement_trait)] // not an Iterator; infinite id tap
+    pub fn next(&mut self) -> ItemId {
+        let id = self.base | self.seq as u64;
+        self.seq += 1;
+        id
+    }
+}
+
+/// One top-level data item tagged with its identifier.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Provenance identifier (unique per execution).
+    pub id: ItemId,
+    /// The data item.
+    pub item: DataItem,
+}
+
+type Partitions = Vec<Vec<Row>>;
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Number of partitions (= maximum worker threads per operator).
+    pub partitions: usize,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ExecConfig {
+            partitions: cores.min(8),
+        }
+    }
+}
+
+/// Result of executing a program.
+pub struct RunOutput {
+    /// Sink output rows, in deterministic order.
+    pub rows: Vec<Row>,
+    /// Inferred output schema per operator, indexed by op id.
+    pub op_schemas: Vec<DataType>,
+    /// Output cardinality per operator, indexed by op id.
+    pub op_counts: Vec<usize>,
+}
+
+impl RunOutput {
+    /// Output schema of the sink.
+    pub fn schema(&self) -> &DataType {
+        self.op_schemas.last().expect("program has operators")
+    }
+
+    /// Output items without identifiers.
+    pub fn items(&self) -> Vec<DataItem> {
+        self.rows.iter().map(|r| r.item.clone()).collect()
+    }
+}
+
+/// Executes `program` against `ctx`, reporting identifier associations to
+/// `sink`.
+pub fn run<S: ProvenanceSink>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    sink: &S,
+) -> Result<RunOutput> {
+    let op_schemas = program.infer_schemas(&ctx.source_schemas())?;
+    let mut outputs: Vec<Partitions> = Vec::with_capacity(program.operators().len());
+    let mut op_counts = Vec::with_capacity(program.operators().len());
+    let parts = config.partitions.max(1);
+
+    for op in program.operators() {
+        let result: Partitions = match &op.kind {
+            OpKind::Read { source } => {
+                let items = ctx
+                    .source(source)
+                    .ok_or_else(|| EngineError::UnknownSource(source.clone()))?;
+                exec_read::<S>(op.id, items, parts, sink)
+            }
+            OpKind::Filter { predicate } => {
+                let input = &outputs[op.inputs[0] as usize];
+                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
+                    if predicate.eval_bool(&row.item) {
+                        let id = ids.next();
+                        out.push(Row {
+                            id,
+                            item: row.item.clone(),
+                        });
+                        if S::ENABLED {
+                            assoc.push((row.id, id));
+                        }
+                    }
+                })
+            }
+            OpKind::Select { exprs } => {
+                let input = &outputs[op.inputs[0] as usize];
+                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
+                    let mut item = DataItem::new();
+                    for ne in exprs {
+                        item.push(ne.name.clone(), ne.expr.eval(&row.item));
+                    }
+                    let id = ids.next();
+                    out.push(Row { id, item });
+                    if S::ENABLED {
+                        assoc.push((row.id, id));
+                    }
+                })
+            }
+            OpKind::Map { udf } => {
+                let input = &outputs[op.inputs[0] as usize];
+                let f = &udf.f;
+                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
+                    let item = f(&row.item);
+                    let id = ids.next();
+                    out.push(Row { id, item });
+                    if S::ENABLED {
+                        assoc.push((row.id, id));
+                    }
+                })
+            }
+            OpKind::Flatten { col, new_attr } => {
+                let input = &outputs[op.inputs[0] as usize];
+                exec_flatten::<S>(op.id, input, col, new_attr, sink)
+            }
+            OpKind::Join { keys } => {
+                let left = &outputs[op.inputs[0] as usize];
+                let right = &outputs[op.inputs[1] as usize];
+                exec_join::<S>(op.id, left, right, keys, sink)
+            }
+            OpKind::Union => {
+                let left = &outputs[op.inputs[0] as usize];
+                let right = &outputs[op.inputs[1] as usize];
+                exec_union::<S>(op.id, left, right, sink)
+            }
+            OpKind::GroupAggregate { keys, aggs } => {
+                let input = &outputs[op.inputs[0] as usize];
+                exec_group_aggregate::<S>(op.id, input, keys, aggs, parts, sink)
+            }
+        };
+        op_counts.push(result.iter().map(Vec::len).sum());
+        outputs.push(result);
+    }
+
+    let rows: Vec<Row> = outputs[program.sink() as usize]
+        .iter()
+        .flat_map(|p| p.iter().cloned())
+        .collect();
+    Ok(RunOutput {
+        rows,
+        op_schemas,
+        op_counts,
+    })
+}
+
+/// Runs `f` over every input partition, in parallel when there are several.
+fn par_map<I, T, F>(inputs: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync + Send,
+{
+    if inputs.len() <= 1 {
+        return inputs.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    let f = &f;
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| scope.spawn(move |_| f(i, p)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+    .expect("executor scope panicked")
+}
+
+fn exec_read<S: ProvenanceSink>(
+    op: OpId,
+    items: &[DataItem],
+    parts: usize,
+    sink: &S,
+) -> Partitions {
+    // Contiguous chunks keep dataset order; ids are assigned in order.
+    let chunk = items.len().div_ceil(parts).max(1);
+    let mut out = Vec::with_capacity(parts);
+    for (pidx, slice) in items.chunks(chunk).enumerate() {
+        let mut ids = IdGen::new(op, pidx);
+        let rows: Vec<Row> = slice
+            .iter()
+            .map(|item| Row {
+                id: ids.next(),
+                item: item.clone(),
+            })
+            .collect();
+        if S::ENABLED {
+            let ids: Vec<ItemId> = rows.iter().map(|r| r.id).collect();
+            sink.read_batch(op, &ids);
+        }
+        out.push(rows);
+    }
+    if out.is_empty() {
+        out.push(Vec::new());
+    }
+    out
+}
+
+/// Shared driver for per-row unary operators (filter/select/map).
+fn exec_per_row<S, F>(
+    op: OpId,
+    input: &Partitions,
+    sink: &S,
+    body: F,
+) -> Partitions
+where
+    S: ProvenanceSink,
+    F: Fn(&Row, &mut Vec<Row>, &mut Vec<(ItemId, ItemId)>, &mut IdGen) + Sync + Send,
+{
+    let results = par_map(input, |pidx, partition| {
+        let mut ids = IdGen::new(op, pidx);
+        let mut out = Vec::with_capacity(partition.len());
+        let mut assoc = Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
+        for row in partition {
+            body(row, &mut out, &mut assoc, &mut ids);
+        }
+        (out, assoc)
+    });
+    let mut partitions = Vec::with_capacity(results.len());
+    for (rows, assoc) in results {
+        if S::ENABLED && !assoc.is_empty() {
+            sink.unary_batch(op, &assoc);
+        }
+        partitions.push(rows);
+    }
+    partitions
+}
+
+fn exec_flatten<S: ProvenanceSink>(
+    op: OpId,
+    input: &Partitions,
+    col: &Path,
+    new_attr: &str,
+    sink: &S,
+) -> Partitions {
+    let results = par_map(input, |pidx, partition| {
+        let mut ids = IdGen::new(op, pidx);
+        let mut out = Vec::with_capacity(partition.len());
+        let mut assoc: Vec<(ItemId, u32, ItemId)> = Vec::new();
+        for row in partition {
+            let Some(elements) = col.eval(&row.item).and_then(Value::as_collection) else {
+                continue; // missing/null collections produce no rows
+            };
+            for (idx, element) in elements.iter().enumerate() {
+                let mut item = row.item.clone();
+                item.push(new_attr.to_string(), element.clone());
+                let id = ids.next();
+                out.push(Row { id, item });
+                if S::ENABLED {
+                    assoc.push((row.id, idx as u32 + 1, id));
+                }
+            }
+        }
+        (out, assoc)
+    });
+    let mut partitions = Vec::with_capacity(results.len());
+    for (rows, assoc) in results {
+        if S::ENABLED && !assoc.is_empty() {
+            sink.flatten_batch(op, &assoc);
+        }
+        partitions.push(rows);
+    }
+    partitions
+}
+
+fn join_key(item: &DataItem, paths: &[Path]) -> Option<Vec<Value>> {
+    let mut key = Vec::with_capacity(paths.len());
+    for p in paths {
+        match p.eval(item) {
+            Some(v) if !v.is_null() => key.push(v.clone()),
+            _ => return None, // null keys never join
+        }
+    }
+    Some(key)
+}
+
+fn exec_join<S: ProvenanceSink>(
+    op: OpId,
+    left: &Partitions,
+    right: &Partitions,
+    keys: &[(Path, Path)],
+    sink: &S,
+) -> Partitions {
+    let left_paths: Vec<Path> = keys.iter().map(|(l, _)| l.clone()).collect();
+    let right_paths: Vec<Path> = keys.iter().map(|(_, r)| r.clone()).collect();
+
+    // Build side: hash the (smaller, by convention right) input.
+    let mut build: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+    for partition in right {
+        for row in partition {
+            if let Some(k) = join_key(&row.item, &right_paths) {
+                build.entry(k).or_default().push(row);
+            }
+        }
+    }
+
+    let results = par_map(left, |pidx, partition| {
+        let mut ids = IdGen::new(op, pidx);
+        let mut out = Vec::new();
+        let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> = Vec::new();
+        for lrow in partition {
+            let Some(k) = join_key(&lrow.item, &left_paths) else {
+                continue;
+            };
+            if let Some(matches) = build.get(&k) {
+                for rrow in matches {
+                    let item = lrow.item.merged(&rrow.item);
+                    let id = ids.next();
+                    out.push(Row { id, item });
+                    if S::ENABLED {
+                        assoc.push((Some(lrow.id), Some(rrow.id), id));
+                    }
+                }
+            }
+        }
+        (out, assoc)
+    });
+    let mut partitions = Vec::with_capacity(results.len());
+    for (rows, assoc) in results {
+        if S::ENABLED && !assoc.is_empty() {
+            sink.binary_batch(op, &assoc);
+        }
+        partitions.push(rows);
+    }
+    partitions
+}
+
+fn exec_union<S: ProvenanceSink>(
+    op: OpId,
+    left: &Partitions,
+    right: &Partitions,
+    sink: &S,
+) -> Partitions {
+    let relabel = |partitions: &Partitions, is_left: bool, pidx_offset: usize| -> Partitions {
+        let results = par_map(partitions, |pidx, partition| {
+            let mut ids = IdGen::new(op, pidx_offset + pidx);
+            let mut out = Vec::with_capacity(partition.len());
+            let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
+                Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
+            for row in partition {
+                let id = ids.next();
+                out.push(Row {
+                    id,
+                    item: row.item.clone(),
+                });
+                if S::ENABLED {
+                    if is_left {
+                        assoc.push((Some(row.id), None, id));
+                    } else {
+                        assoc.push((None, Some(row.id), id));
+                    }
+                }
+            }
+            (out, assoc)
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for (rows, assoc) in results {
+            if S::ENABLED && !assoc.is_empty() {
+                sink.binary_batch(op, &assoc);
+            }
+            out.push(rows);
+        }
+        out
+    };
+    let mut partitions = relabel(left, true, 0);
+    partitions.extend(relabel(right, false, left.len()));
+    partitions
+}
+
+fn exec_group_aggregate<S: ProvenanceSink>(
+    op: OpId,
+    input: &Partitions,
+    keys: &[GroupKey],
+    aggs: &[AggSpec],
+    parts: usize,
+    sink: &S,
+) -> Partitions {
+    // Shuffle: hash-partition rows by grouping key so each bucket can be
+    // aggregated independently. Row order within a bucket follows the
+    // global input order (partitions visited in order), keeping nesting
+    // positions deterministic regardless of the partition count.
+    let mut buckets: Vec<Vec<&Row>> = (0..parts).map(|_| Vec::new()).collect();
+    for partition in input {
+        for row in partition {
+            let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
+            let bucket = (hash_one(&key) as usize) % parts;
+            buckets[bucket].push(row);
+        }
+    }
+
+    let results = par_map(&buckets, |pidx, rows| {
+        let mut ids = IdGen::new(op, pidx);
+        // First-seen-ordered grouping within the bucket.
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+        for row in rows.iter() {
+            let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
+            groups
+                .entry(key.clone())
+                .or_insert_with(|| {
+                    order.push(key);
+                    Vec::new()
+                })
+                .push(row);
+        }
+        let mut out = Vec::with_capacity(order.len());
+        let mut assoc: Vec<(Vec<ItemId>, ItemId)> = Vec::new();
+        for key in order {
+            let members = &groups[&key];
+            let mut item = DataItem::new();
+            for (gk, kv) in keys.iter().zip(&key) {
+                item.push(gk.name.clone(), kv.clone());
+            }
+            for agg in aggs {
+                item.push(agg.output.clone(), eval_agg(agg, members));
+            }
+            let id = ids.next();
+            if S::ENABLED {
+                assoc.push((members.iter().map(|r| r.id).collect(), id));
+            }
+            out.push(KeyedRow { key, id, item });
+        }
+        (out, assoc)
+    });
+    // Bucket placement depends on the partition count, so impose a
+    // canonical global order: sort all groups by key. This makes program
+    // output identical across partition configurations.
+    let mut keyed: Vec<KeyedRow> = Vec::new();
+    for (rows, assoc) in results {
+        if S::ENABLED && !assoc.is_empty() {
+            sink.agg_batch(op, assoc);
+        }
+        keyed.extend(rows);
+    }
+    keyed.sort_by(|a, b| a.key.cmp(&b.key));
+    let chunk = keyed.len().div_ceil(parts).max(1);
+    let mut partitions: Partitions = keyed
+        .chunks(chunk)
+        .map(|c| c.iter().map(|k| Row { id: k.id, item: k.item.clone() }).collect())
+        .collect();
+    if partitions.is_empty() {
+        partitions.push(Vec::new());
+    }
+    partitions
+}
+
+/// A produced group row together with its grouping key (used for the
+/// canonical output ordering).
+struct KeyedRow {
+    key: Vec<Value>,
+    id: ItemId,
+    item: DataItem,
+}
+
+/// Evaluates one aggregate over the rows of a group.
+///
+/// `collect_list` keeps one value per group row — including `Null` for rows
+/// where the input path is missing — so that nested positions stay aligned
+/// with the group's identifier list in the operator provenance (Tab. 6).
+fn eval_agg(agg: &AggSpec, members: &[&Row]) -> Value {
+    let values = |skip_null: bool| {
+        members.iter().filter_map(move |r| {
+            let v = agg
+                .input
+                .eval(&r.item)
+                .cloned()
+                .unwrap_or(Value::Null);
+            if skip_null && v.is_null() {
+                None
+            } else {
+                Some(v)
+            }
+        })
+    };
+    match agg.func {
+        AggFunc::Count => {
+            if agg.input.is_empty() {
+                Value::Int(members.len() as i64)
+            } else {
+                Value::Int(values(true).count() as i64)
+            }
+        }
+        AggFunc::Sum => {
+            let vs: Vec<Value> = values(true).collect();
+            if vs.is_empty() {
+                Value::Null
+            } else if vs.iter().all(|v| matches!(v, Value::Int(_))) {
+                Value::Int(vs.iter().filter_map(Value::as_int).sum())
+            } else {
+                Value::Double(vs.iter().filter_map(Value::as_double).sum())
+            }
+        }
+        AggFunc::Avg => {
+            let vs: Vec<f64> = values(true).filter_map(|v| v.as_double()).collect();
+            if vs.is_empty() {
+                Value::Null
+            } else {
+                Value::Double(vs.iter().sum::<f64>() / vs.len() as f64)
+            }
+        }
+        AggFunc::Min => values(true).min().unwrap_or(Value::Null),
+        AggFunc::Max => values(true).max().unwrap_or(Value::Null),
+        AggFunc::CollectList => {
+            if agg.input.is_empty() {
+                // Nesting of whole items: the paper's grouping operator
+                // collects the complete group members into a nested bag.
+                Value::Bag(members.iter().map(|r| Value::Item(r.item.clone())).collect())
+            } else {
+                Value::Bag(values(false).collect())
+            }
+        }
+        AggFunc::CollectSet => {
+            if agg.input.is_empty() {
+                Value::set_from(members.iter().map(|r| Value::Item(r.item.clone())))
+            } else {
+                Value::set_from(values(true))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::items_of;
+    use crate::expr::{Expr, SelectExpr};
+    use crate::op::NamedExpr;
+    use crate::program::ProgramBuilder;
+    use crate::sink::NoSink;
+
+    fn ctx() -> Context {
+        let mut c = Context::new();
+        c.register(
+            "nums",
+            items_of(vec![
+                vec![("k", Value::Int(1)), ("v", Value::Int(10))],
+                vec![("k", Value::Int(2)), ("v", Value::Int(20))],
+                vec![("k", Value::Int(1)), ("v", Value::Int(30))],
+                vec![("k", Value::Int(3)), ("v", Value::Int(40))],
+            ]),
+        );
+        c.register(
+            "names",
+            items_of(vec![
+                vec![("k2", Value::Int(1)), ("name", Value::str("one"))],
+                vec![("k2", Value::Int(2)), ("name", Value::str("two"))],
+            ]),
+        );
+        c
+    }
+
+    fn run_plain(p: &Program, c: &Context) -> RunOutput {
+        run(p, c, ExecConfig { partitions: 3 }, &NoSink).unwrap()
+    }
+
+    #[test]
+    fn filter_and_select() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let f = b.filter(r, Expr::col("v").ge(Expr::lit(20i64)));
+        let s = b.select(f, vec![NamedExpr::aliased("double_k", "k")]);
+        let out = run_plain(&b.build(s), &ctx());
+        let vals: Vec<i64> = out
+            .rows
+            .iter()
+            .map(|r| r.item.get("double_k").unwrap().as_int().unwrap())
+            .collect();
+        assert_eq!(vals, [2, 1, 3]);
+    }
+
+    #[test]
+    fn join_matches_and_renames() {
+        let mut b = ProgramBuilder::new();
+        let l = b.read("nums");
+        let r = b.read("names");
+        let j = b.join(l, r, vec![(Path::attr("k"), Path::attr("k2"))]);
+        let out = run_plain(&b.build(j), &ctx());
+        assert_eq!(out.rows.len(), 3); // k=1 twice, k=2 once, k=3 none
+        let first = &out.rows[0].item;
+        assert_eq!(first.get("name"), Some(&Value::str("one")));
+        assert_eq!(first.get("k2"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn union_concats() {
+        let mut b = ProgramBuilder::new();
+        let l = b.read("nums");
+        let r = b.read("nums");
+        let u = b.union(l, r);
+        let out = run_plain(&b.build(u), &ctx());
+        assert_eq!(out.rows.len(), 8);
+    }
+
+    #[test]
+    fn group_aggregate_scalar_and_nesting() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let g = b.group_aggregate(
+            r,
+            vec![GroupKey::new("k")],
+            vec![
+                AggSpec::new(AggFunc::Sum, "v", "total"),
+                AggSpec::new(AggFunc::CollectList, "v", "vs"),
+                AggSpec::new(AggFunc::Count, "", "n"),
+            ],
+        );
+        let out = run_plain(&b.build(g), &ctx());
+        let mut rows: Vec<(i64, i64, usize, i64)> = out
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r.item.get("k").unwrap().as_int().unwrap(),
+                    r.item.get("total").unwrap().as_int().unwrap(),
+                    r.item.get("vs").unwrap().as_collection().unwrap().len(),
+                    r.item.get("n").unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        rows.sort();
+        assert_eq!(rows, [(1, 40, 2, 2), (2, 20, 1, 1), (3, 40, 1, 1)]);
+    }
+
+    #[test]
+    fn flatten_explodes_with_positions() {
+        let mut c = Context::new();
+        c.register(
+            "t",
+            items_of(vec![
+                vec![(
+                    "tags",
+                    Value::Bag(vec![Value::str("a"), Value::str("b")]),
+                )],
+                vec![("tags", Value::Bag(vec![]))],
+            ]),
+        );
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f = b.flatten(r, "tags", "tag");
+        let out = run_plain(&b.build(f), &c);
+        assert_eq!(out.rows.len(), 2);
+        assert_eq!(out.rows[0].item.get("tag"), Some(&Value::str("a")));
+        // Original collection is preserved, as in Fig. 3.
+        assert!(out.rows[0].item.get("tags").is_some());
+    }
+
+    #[test]
+    fn deterministic_across_partition_counts() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let g = b.group_aggregate(
+            r,
+            vec![GroupKey::new("k")],
+            vec![AggSpec::new(AggFunc::CollectList, "v", "vs")],
+        );
+        let p = b.build(g);
+        let c = ctx();
+        let one = run(&p, &c, ExecConfig { partitions: 1 }, &NoSink).unwrap();
+        let four = run(&p, &c, ExecConfig { partitions: 4 }, &NoSink).unwrap();
+        assert_eq!(one.items(), four.items());
+    }
+
+    #[test]
+    fn map_udf_applies() {
+        use crate::op::MapUdf;
+        use std::sync::Arc;
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let m = b.map(
+            r,
+            MapUdf {
+                name: "inc".into(),
+                f: Arc::new(|d| {
+                    let mut d = d.clone();
+                    let v = d.get("v").unwrap().as_int().unwrap();
+                    d.set("v", Value::Int(v + 1));
+                    d
+                }),
+                output_schema: None,
+            },
+        );
+        let out = run_plain(&b.build(m), &ctx());
+        assert_eq!(out.rows[0].item.get("v"), Some(&Value::Int(11)));
+    }
+
+    #[test]
+    fn select_struct_restructures() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let s = b.select(
+            r,
+            vec![NamedExpr::new(
+                "pair",
+                SelectExpr::strct([
+                    ("key", SelectExpr::path("k")),
+                    ("value", SelectExpr::path("v")),
+                ]),
+            )],
+        );
+        let out = run_plain(&b.build(s), &ctx());
+        let pair = out.rows[0].item.get("pair").unwrap().as_item().unwrap();
+        assert_eq!(pair.get("key"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn ids_unique_across_operators() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let f = b.filter(r, Expr::lit(true));
+        let out = run_plain(&b.build(f), &ctx());
+        let mut ids: Vec<ItemId> = out.rows.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), out.rows.len());
+    }
+}

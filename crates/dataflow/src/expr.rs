@@ -1,0 +1,576 @@
+//! Expression language for predicates and projections.
+//!
+//! Expressions evaluate against a single context [`DataItem`] (for filters
+//! and selects) or against a *merged* pair of items (for join conditions,
+//! where the right side's paths are evaluated on the right item).
+//!
+//! Every expression can enumerate the input paths it reads via
+//! [`Expr::accessed_paths`]; the provenance capture uses this to populate
+//! the access sets `A` of Tab. 5.
+
+use std::fmt;
+use std::sync::Arc;
+
+use pebble_nested::{DataItem, DataType, Path, Value};
+
+use crate::error::{EngineError, Result};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Arithmetic operators over `Int`/`Double`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A scalar expression over one context item.
+#[derive(Clone)]
+pub enum Expr {
+    /// Reference to the value at an access path.
+    Col(Path),
+    /// Constant.
+    Lit(Value),
+    /// Comparison of two sub-expressions (uses the total value order;
+    /// `Int`/`Double` compare numerically).
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// String containment: `haystack.contains(needle)`.
+    Contains(Box<Expr>, Box<Expr>),
+    /// Arithmetic.
+    Arith(ArithOp, Box<Expr>, Box<Expr>),
+    /// True when the sub-expression evaluates to `Null` / a missing path.
+    IsNull(Box<Expr>),
+    /// Size of a collection (bag/set) or length of a string.
+    Len(Box<Expr>),
+    /// Opaque scalar user-defined function (provenance treats its accesses
+    /// as unknown, like `map`: `A = ⊥`).
+    Udf(ScalarUdf),
+}
+
+/// Implementation type of a scalar UDF.
+pub type ScalarFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
+/// A named opaque scalar function.
+#[derive(Clone)]
+pub struct ScalarUdf {
+    /// Display name of the function.
+    pub name: String,
+    /// Arguments.
+    pub args: Vec<Expr>,
+    /// Implementation.
+    pub f: ScalarFn,
+}
+
+impl Expr {
+    /// Column reference by parsed path.
+    pub fn col(path: &str) -> Self {
+        Expr::Col(Path::parse(path))
+    }
+
+    /// Literal helper.
+    pub fn lit(v: impl Into<Value>) -> Self {
+        Expr::Lit(v.into())
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Self {
+        Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(other))
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Self {
+        Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Self {
+        Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Self {
+        Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Self {
+        Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Self {
+        Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(other))
+    }
+
+    /// `self && other`.
+    pub fn and(self, other: Expr) -> Self {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self || other`.
+    pub fn or(self, other: Expr) -> Self {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `!self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Self {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self.contains(needle)` for strings.
+    pub fn contains(self, needle: Expr) -> Self {
+        Expr::Contains(Box::new(self), Box::new(needle))
+    }
+
+    /// Evaluates against a context item. Missing paths evaluate to `Null`;
+    /// comparisons with `Null` are false (SQL-ish three-valued logic
+    /// collapsed to two values: unknown ⇒ false).
+    pub fn eval(&self, item: &DataItem) -> Value {
+        match self {
+            Expr::Col(path) => path.eval(item).cloned().unwrap_or(Value::Null),
+            Expr::Lit(v) => v.clone(),
+            Expr::Cmp(op, a, b) => {
+                let (va, vb) = (a.eval(item), b.eval(item));
+                if va.is_null() || vb.is_null() {
+                    return Value::Bool(false);
+                }
+                let ord = va.cmp(&vb);
+                Value::Bool(match op {
+                    CmpOp::Eq => ord.is_eq(),
+                    CmpOp::Ne => !ord.is_eq(),
+                    CmpOp::Lt => ord.is_lt(),
+                    CmpOp::Le => ord.is_le(),
+                    CmpOp::Gt => ord.is_gt(),
+                    CmpOp::Ge => ord.is_ge(),
+                })
+            }
+            Expr::And(a, b) => {
+                Value::Bool(a.eval(item).as_bool().unwrap_or(false)
+                    && b.eval(item).as_bool().unwrap_or(false))
+            }
+            Expr::Or(a, b) => {
+                Value::Bool(a.eval(item).as_bool().unwrap_or(false)
+                    || b.eval(item).as_bool().unwrap_or(false))
+            }
+            Expr::Not(a) => Value::Bool(!a.eval(item).as_bool().unwrap_or(false)),
+            Expr::Contains(h, n) => {
+                let (vh, vn) = (h.eval(item), n.eval(item));
+                match (vh.as_str(), vn.as_str()) {
+                    (Some(h), Some(n)) => Value::Bool(h.contains(n)),
+                    _ => Value::Bool(false),
+                }
+            }
+            Expr::Arith(op, a, b) => {
+                let (va, vb) = (a.eval(item), b.eval(item));
+                match (&va, &vb) {
+                    (Value::Int(x), Value::Int(y)) => match op {
+                        ArithOp::Add => Value::Int(x.wrapping_add(*y)),
+                        ArithOp::Sub => Value::Int(x.wrapping_sub(*y)),
+                        ArithOp::Mul => Value::Int(x.wrapping_mul(*y)),
+                        ArithOp::Div => {
+                            if *y == 0 {
+                                Value::Null
+                            } else {
+                                Value::Int(x.wrapping_div(*y))
+                            }
+                        }
+                    },
+                    _ => match (va.as_double(), vb.as_double()) {
+                        (Some(x), Some(y)) => Value::Double(match op {
+                            ArithOp::Add => x + y,
+                            ArithOp::Sub => x - y,
+                            ArithOp::Mul => x * y,
+                            ArithOp::Div => x / y,
+                        }),
+                        _ => Value::Null,
+                    },
+                }
+            }
+            Expr::IsNull(a) => Value::Bool(a.eval(item).is_null()),
+            Expr::Len(a) => match a.eval(item) {
+                Value::Bag(vs) | Value::Set(vs) => Value::Int(vs.len() as i64),
+                Value::Str(s) => Value::Int(s.chars().count() as i64),
+                _ => Value::Null,
+            },
+            Expr::Udf(udf) => {
+                let args: Vec<Value> = udf.args.iter().map(|a| a.eval(item)).collect();
+                (udf.f)(&args)
+            }
+        }
+    }
+
+    /// Evaluates as a boolean predicate (non-boolean results are false).
+    pub fn eval_bool(&self, item: &DataItem) -> bool {
+        self.eval(item).as_bool().unwrap_or(false)
+    }
+
+    /// Collects every access path read by this expression, in syntactic
+    /// order (duplicates removed). Opaque UDF arguments are included — the
+    /// UDF can only see what its argument expressions read.
+    pub fn accessed_paths(&self) -> Vec<Path> {
+        let mut out = Vec::new();
+        self.collect_paths(&mut out);
+        out
+    }
+
+    fn collect_paths(&self, out: &mut Vec<Path>) {
+        let mut push = |p: &Path| {
+            if !out.contains(p) {
+                out.push(p.clone());
+            }
+        };
+        match self {
+            Expr::Col(p) => push(p),
+            Expr::Lit(_) => {}
+            Expr::Cmp(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Contains(a, b)
+            | Expr::Arith(_, a, b) => {
+                a.collect_paths(out);
+                b.collect_paths(out);
+            }
+            Expr::Not(a) | Expr::IsNull(a) | Expr::Len(a) => a.collect_paths(out),
+            Expr::Udf(udf) => {
+                for a in &udf.args {
+                    a.collect_paths(out);
+                }
+            }
+        }
+    }
+
+    /// Validates the expression against an input schema and infers its
+    /// result type.
+    pub fn infer_type(&self, op: u32, schema: &DataType) -> Result<DataType> {
+        let resolve = |p: &Path| {
+            schema
+                .resolve(p)
+                .cloned()
+                .ok_or_else(|| EngineError::UnresolvedPath {
+                    op,
+                    path: p.clone(),
+                    schema: schema.clone(),
+                })
+        };
+        Ok(match self {
+            Expr::Col(p) => resolve(p)?,
+            Expr::Lit(v) => DataType::of(v),
+            Expr::Cmp(..)
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(..)
+            | Expr::Contains(..)
+            | Expr::IsNull(..) => {
+                for p in self.accessed_paths() {
+                    resolve(&p)?;
+                }
+                DataType::Bool
+            }
+            Expr::Arith(_, a, b) => {
+                let (ta, tb) = (a.infer_type(op, schema)?, b.infer_type(op, schema)?);
+                match (&ta, &tb) {
+                    (DataType::Int, DataType::Int) => DataType::Int,
+                    (DataType::Int | DataType::Double | DataType::Null, DataType::Int
+                        | DataType::Double | DataType::Null) => DataType::Double,
+                    _ => {
+                        return Err(EngineError::TypeError {
+                            op,
+                            message: format!("arithmetic over {ta} and {tb}"),
+                        })
+                    }
+                }
+            }
+            Expr::Len(a) => {
+                a.infer_type(op, schema)?;
+                DataType::Int
+            }
+            Expr::Udf(udf) => {
+                for a in &udf.args {
+                    a.infer_type(op, schema)?;
+                }
+                DataType::Null // opaque result type
+            }
+        })
+    }
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(p) => write!(f, "col({p})"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Cmp(op, a, b) => write!(f, "({a:?} {op:?} {b:?})"),
+            Expr::And(a, b) => write!(f, "({a:?} && {b:?})"),
+            Expr::Or(a, b) => write!(f, "({a:?} || {b:?})"),
+            Expr::Not(a) => write!(f, "!{a:?}"),
+            Expr::Contains(a, b) => write!(f, "contains({a:?}, {b:?})"),
+            Expr::Arith(op, a, b) => write!(f, "({a:?} {op:?} {b:?})"),
+            Expr::IsNull(a) => write!(f, "isnull({a:?})"),
+            Expr::Len(a) => write!(f, "len({a:?})"),
+            Expr::Udf(udf) => write!(f, "{}(…)", udf.name),
+        }
+    }
+}
+
+/// Projection expressions for `select`: copy a subtree, build a nested
+/// struct (e.g. `<id_str, name> → user` in the running example), or embed a
+/// computed scalar.
+#[derive(Clone, Debug)]
+pub enum SelectExpr {
+    /// Copy the value at a path.
+    Path(Path),
+    /// Construct a nested data item from named sub-projections.
+    Struct(Vec<(String, SelectExpr)>),
+    /// Computed scalar expression (counts as access-only provenance).
+    Computed(Expr),
+}
+
+impl SelectExpr {
+    /// Path projection helper.
+    pub fn path(p: &str) -> Self {
+        SelectExpr::Path(Path::parse(p))
+    }
+
+    /// Struct construction helper.
+    pub fn strct(fields: impl IntoIterator<Item = (impl Into<String>, SelectExpr)>) -> Self {
+        SelectExpr::Struct(fields.into_iter().map(|(n, e)| (n.into(), e)).collect())
+    }
+
+    /// Evaluates the projection against an item.
+    pub fn eval(&self, item: &DataItem) -> Value {
+        match self {
+            SelectExpr::Path(p) => p.eval(item).cloned().unwrap_or(Value::Null),
+            SelectExpr::Struct(fields) => {
+                let mut d = DataItem::new();
+                for (name, e) in fields {
+                    d.push(name.clone(), e.eval(item));
+                }
+                Value::Item(d)
+            }
+            SelectExpr::Computed(e) => e.eval(item),
+        }
+    }
+
+    /// Paths *copied* into the output (manipulation provenance `M`):
+    /// one `(input path, output path)` pair per `Path` leaf.
+    pub fn manipulated(&self, out_prefix: &Path) -> Vec<(Path, Path)> {
+        match self {
+            SelectExpr::Path(p) => vec![(p.clone(), out_prefix.clone())],
+            SelectExpr::Struct(fields) => fields
+                .iter()
+                .flat_map(|(name, e)| {
+                    e.manipulated(&out_prefix.child(pebble_nested::Step::attr(name)))
+                })
+                .collect(),
+            SelectExpr::Computed(_) => Vec::new(),
+        }
+    }
+
+    /// All paths *read* (access provenance `A`).
+    pub fn accessed(&self) -> Vec<Path> {
+        match self {
+            SelectExpr::Path(p) => vec![p.clone()],
+            SelectExpr::Struct(fields) => {
+                let mut out = Vec::new();
+                for (_, e) in fields {
+                    for p in e.accessed() {
+                        if !out.contains(&p) {
+                            out.push(p);
+                        }
+                    }
+                }
+                out
+            }
+            SelectExpr::Computed(e) => e.accessed_paths(),
+        }
+    }
+
+    /// Infers the output type.
+    pub fn infer_type(&self, op: u32, schema: &DataType) -> Result<DataType> {
+        match self {
+            SelectExpr::Path(p) => {
+                schema
+                    .resolve(p)
+                    .cloned()
+                    .ok_or_else(|| EngineError::UnresolvedPath {
+                        op,
+                        path: p.clone(),
+                        schema: schema.clone(),
+                    })
+            }
+            SelectExpr::Struct(fields) => {
+                let fs = fields
+                    .iter()
+                    .map(|(n, e)| Ok(pebble_nested::Field::new(n, e.infer_type(op, schema)?)))
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(DataType::Item(fs))
+            }
+            SelectExpr::Computed(e) => e.infer_type(op, schema),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pebble_nested::Step;
+
+    fn item() -> DataItem {
+        DataItem::from_fields([
+            ("text", Value::str("Hello World")),
+            (
+                "user",
+                Value::Item(DataItem::from_fields([
+                    ("id_str", Value::str("lp")),
+                    ("name", Value::str("Lisa Paul")),
+                ])),
+            ),
+            ("retweet_cnt", Value::Int(0)),
+            ("score", Value::Double(1.5)),
+        ])
+    }
+
+    #[test]
+    fn filter_predicate_running_example() {
+        let e = Expr::col("retweet_cnt").eq(Expr::lit(0i64));
+        assert!(e.eval_bool(&item()));
+        let e2 = Expr::col("retweet_cnt").gt(Expr::lit(0i64));
+        assert!(!e2.eval_bool(&item()));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let e = Expr::col("missing").eq(Expr::lit(0i64));
+        assert!(!e.eval_bool(&item()));
+        let n = Expr::IsNull(Box::new(Expr::col("missing")));
+        assert!(n.eval_bool(&item()));
+    }
+
+    #[test]
+    fn contains_and_bool_ops() {
+        let e = Expr::col("text")
+            .contains(Expr::lit("World"))
+            .and(Expr::col("retweet_cnt").le(Expr::lit(5i64)));
+        assert!(e.eval_bool(&item()));
+        assert!(!e.clone().not().eval_bool(&item()));
+        let o = Expr::col("text")
+            .contains(Expr::lit("zzz"))
+            .or(Expr::lit(true));
+        assert!(o.eval_bool(&item()));
+    }
+
+    #[test]
+    fn arithmetic_semantics() {
+        let add = Expr::Arith(
+            ArithOp::Add,
+            Box::new(Expr::col("retweet_cnt")),
+            Box::new(Expr::lit(2i64)),
+        );
+        assert_eq!(add.eval(&item()), Value::Int(2));
+        let div0 = Expr::Arith(
+            ArithOp::Div,
+            Box::new(Expr::lit(1i64)),
+            Box::new(Expr::lit(0i64)),
+        );
+        assert_eq!(div0.eval(&item()), Value::Null);
+        let mixed = Expr::Arith(
+            ArithOp::Mul,
+            Box::new(Expr::col("score")),
+            Box::new(Expr::lit(2i64)),
+        );
+        assert_eq!(mixed.eval(&item()), Value::Double(3.0));
+    }
+
+    #[test]
+    fn accessed_paths_deduplicated() {
+        let e = Expr::col("user.id_str")
+            .eq(Expr::lit("lp"))
+            .and(Expr::col("user.id_str").ne(Expr::lit("x")))
+            .and(Expr::col("text").contains(Expr::lit("H")));
+        let ps: Vec<String> = e.accessed_paths().iter().map(|p| p.to_string()).collect();
+        assert_eq!(ps, ["user.id_str", "text"]);
+    }
+
+    #[test]
+    fn select_struct_builds_nested_item() {
+        // `<id_str, name> → user` of operator 8 in Fig. 1.
+        let se = SelectExpr::strct([
+            ("id_str", SelectExpr::path("user.id_str")),
+            ("name", SelectExpr::path("user.name")),
+        ]);
+        let v = se.eval(&item());
+        let d = v.as_item().unwrap();
+        assert_eq!(d.get("id_str"), Some(&Value::str("lp")));
+        let m = se.manipulated(&Path::attr("user"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].0, Path::parse("user.id_str"));
+        assert_eq!(m[0].1, Path::parse("user.id_str"));
+        assert_eq!(m[1].1, Path::parse("user.name"));
+    }
+
+    #[test]
+    fn infer_types() {
+        let schema = DataType::of_item(&item());
+        let e = Expr::col("retweet_cnt").eq(Expr::lit(0i64));
+        assert_eq!(e.infer_type(0, &schema).unwrap(), DataType::Bool);
+        assert!(Expr::col("bogus").infer_type(0, &schema).is_err());
+        let se = SelectExpr::strct([("a", SelectExpr::path("text"))]);
+        assert_eq!(
+            se.infer_type(0, &schema).unwrap(),
+            DataType::item([("a", DataType::Str)])
+        );
+    }
+
+    #[test]
+    fn udf_is_opaque_but_args_tracked() {
+        let udf = Expr::Udf(ScalarUdf {
+            name: "double_len".into(),
+            args: vec![Expr::col("text")],
+            f: Arc::new(|args| {
+                Value::Int(args[0].as_str().map(|s| s.len() as i64).unwrap_or(0) * 2)
+            }),
+        });
+        assert_eq!(udf.eval(&item()), Value::Int(22));
+        assert_eq!(udf.accessed_paths(), vec![Path::attr("text")]);
+    }
+
+    #[test]
+    fn len_expr() {
+        let d = DataItem::from_fields([("tags", Value::Bag(vec![Value::Int(1), Value::Int(2)]))]);
+        assert_eq!(Expr::Len(Box::new(Expr::col("tags"))).eval(&d), Value::Int(2));
+    }
+
+    #[test]
+    fn select_path_step_helper_used() {
+        let p = Path::attr("user").child(Step::attr("name"));
+        assert_eq!(p, Path::parse("user.name"));
+    }
+}

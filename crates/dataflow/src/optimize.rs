@@ -1,0 +1,506 @@
+//! Rule-based logical plan optimization.
+//!
+//! The paper relies on the DISC system's optimizer ("It becomes part of
+//! Spark's execution plan and undergoes optimizations such as filter push
+//! down", Sec. 7.3.3). This module gives the substrate the same ability:
+//!
+//! * **filter-merge** — adjacent filters combine into one conjunction;
+//! * **filter ∘ select pushdown** — a filter over pure path projections is
+//!   rewritten onto the select's input;
+//! * **filter ∘ union pushdown** — the filter is duplicated into both arms;
+//! * **filter ∘ flatten pushdown** — filters not referencing the exploded
+//!   attribute move below the flatten.
+//!
+//! Optimization is purely logical: the optimized program computes the same
+//! result (asserted over every evaluation scenario in the test suite).
+//! Operator ids are re-assigned, so provenance captured on an optimized
+//! plan is self-consistent but numbered differently from the original.
+
+use pebble_nested::{Path, Step};
+
+use crate::expr::{Expr, SelectExpr};
+use crate::op::OpKind;
+use crate::program::{Operator, Program, ProgramBuilder};
+
+/// Statistics about an optimization pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Filters merged into a predecessor filter.
+    pub filters_merged: usize,
+    /// Filters pushed below selects.
+    pub pushed_through_select: usize,
+    /// Filters pushed into union arms.
+    pub pushed_through_union: usize,
+    /// Filters pushed below flattens.
+    pub pushed_through_flatten: usize,
+}
+
+impl OptimizeStats {
+    /// Total rewrites applied.
+    pub fn total(&self) -> usize {
+        self.filters_merged
+            + self.pushed_through_select
+            + self.pushed_through_union
+            + self.pushed_through_flatten
+    }
+}
+
+/// Applies the rewrite rules to fixpoint and returns the optimized program
+/// with statistics.
+pub fn optimize(program: &Program) -> (Program, OptimizeStats) {
+    let mut ops: Vec<Operator> = program.operators().to_vec();
+    let mut sink = program.sink();
+    let mut stats = OptimizeStats::default();
+    // Fixpoint over single-step rewrites; bounded by a generous limit.
+    for _ in 0..ops.len() * 4 + 8 {
+        if !rewrite_once(&mut ops, &mut sink, &mut stats) {
+            break;
+        }
+    }
+    (rebuild(&ops, sink), stats)
+}
+
+/// One rewrite step; returns true if something changed.
+fn rewrite_once(ops: &mut Vec<Operator>, sink: &mut u32, stats: &mut OptimizeStats) -> bool {
+    let consumers = consumer_counts(ops, *sink);
+    for idx in 0..ops.len() {
+        let OpKind::Filter { predicate } = &ops[idx].kind else {
+            continue;
+        };
+        let input = ops[idx].inputs[0] as usize;
+        // Only rewrite through operators with a single consumer — pushing
+        // a filter below a shared subtree would change the other branch.
+        if consumers[input] != 1 {
+            continue;
+        }
+        match &ops[input].kind {
+            OpKind::Filter {
+                predicate: inner_pred,
+            } => {
+                // filter(p) ∘ filter(q) ⇒ filter(q && p).
+                let merged = inner_pred.clone().and(predicate.clone());
+                let grand = ops[input].inputs[0];
+                ops[idx].kind = OpKind::Filter { predicate: merged };
+                ops[idx].inputs = vec![grand];
+                stats.filters_merged += 1;
+                return true;
+            }
+            OpKind::Select { exprs } => {
+                if let Some(rewritten) = rewrite_through_select(predicate, exprs) {
+                    // filter(p) ∘ select(e) ⇒ select(e) ∘ filter(p′):
+                    // swap the two operators in place.
+                    let select_kind = ops[input].kind.clone();
+                    let grand = ops[input].inputs[0];
+                    ops[input].kind = OpKind::Filter {
+                        predicate: rewritten,
+                    };
+                    ops[input].inputs = vec![grand];
+                    let filter_id = ops[idx].id;
+                    ops[idx].kind = select_kind;
+                    ops[idx].inputs = vec![ops[input].id];
+                    let _ = filter_id;
+                    stats.pushed_through_select += 1;
+                    return true;
+                }
+            }
+            OpKind::Union => {
+                // filter(p) ∘ union(a, b) ⇒ union(filter(p) ∘ a, filter(p) ∘ b).
+                let (a, b) = (ops[input].inputs[0], ops[input].inputs[1]);
+                let p = predicate.clone();
+                let fa = push_new(ops, OpKind::Filter { predicate: p.clone() }, vec![a]);
+                let fb = push_new(ops, OpKind::Filter { predicate: p }, vec![b]);
+                ops[idx].kind = OpKind::Union;
+                ops[idx].inputs = vec![fa, fb];
+                // The old union becomes dead; rebuild() drops it.
+                stats.pushed_through_union += 1;
+                return true;
+            }
+            OpKind::Flatten { new_attr, .. } => {
+                let references_new = predicate
+                    .accessed_paths()
+                    .iter()
+                    .any(|p| matches!(p.head(), Some(Step::Attr(a)) if a == new_attr));
+                if !references_new {
+                    // filter(p) ∘ flatten ⇒ flatten ∘ filter(p).
+                    let flatten_kind = ops[input].kind.clone();
+                    let grand = ops[input].inputs[0];
+                    ops[input].kind = OpKind::Filter {
+                        predicate: predicate.clone(),
+                    };
+                    ops[input].inputs = vec![grand];
+                    ops[idx].kind = flatten_kind;
+                    ops[idx].inputs = vec![ops[input].id];
+                    stats.pushed_through_flatten += 1;
+                    return true;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = sink;
+    false
+}
+
+fn push_new(ops: &mut Vec<Operator>, kind: OpKind, inputs: Vec<u32>) -> u32 {
+    // Temporary id; rebuild() renumbers. Ids must stay unique.
+    let id = ops.len() as u32;
+    ops.push(Operator { id, kind, inputs });
+    id
+}
+
+fn consumer_counts(ops: &[Operator], sink: u32) -> Vec<usize> {
+    let mut counts = vec![0usize; ops.len()];
+    for op in ops {
+        for &i in &op.inputs {
+            counts[i as usize] += 1;
+        }
+    }
+    counts[sink as usize] += 1; // the sink is consumed by the caller
+    counts
+}
+
+/// Rewrites a predicate across a select: every accessed path must resolve
+/// to a pure path projection (no computed expressions), in which case the
+/// path is substituted with its source path.
+fn rewrite_through_select(predicate: &Expr, exprs: &[crate::op::NamedExpr]) -> Option<Expr> {
+    let mut rewritten = predicate.clone();
+    for path in predicate.accessed_paths() {
+        let source = resolve_select_path(&path, exprs)?;
+        rewritten = substitute(&rewritten, &path, &source);
+    }
+    Some(rewritten)
+}
+
+/// Resolves an output-side path to its input-side source through the
+/// select's projections (descending into struct constructions).
+fn resolve_select_path(path: &Path, exprs: &[crate::op::NamedExpr]) -> Option<Path> {
+    let Some(Step::Attr(first)) = path.head() else {
+        return None;
+    };
+    let ne = exprs.iter().find(|ne| &ne.name == first)?;
+    resolve_in_expr(&path.tail(), &ne.expr)
+}
+
+fn resolve_in_expr(rest: &Path, expr: &SelectExpr) -> Option<Path> {
+    match expr {
+        SelectExpr::Path(p) => Some(p.join(rest)),
+        SelectExpr::Struct(fields) => {
+            let Some(Step::Attr(name)) = rest.head() else {
+                return None;
+            };
+            let (_, inner) = fields.iter().find(|(n, _)| n == name)?;
+            resolve_in_expr(&rest.tail(), inner)
+        }
+        SelectExpr::Computed(_) => None, // not a pure copy
+    }
+}
+
+/// Substitutes every occurrence of column `from` with column `to`.
+fn substitute(expr: &Expr, from: &Path, to: &Path) -> Expr {
+    let map = |e: &Expr| substitute(e, from, to);
+    match expr {
+        Expr::Col(p) if p == from => Expr::Col(to.clone()),
+        Expr::Col(p) => Expr::Col(p.clone()),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Cmp(op, a, b) => Expr::Cmp(*op, Box::new(map(a)), Box::new(map(b))),
+        Expr::And(a, b) => Expr::And(Box::new(map(a)), Box::new(map(b))),
+        Expr::Or(a, b) => Expr::Or(Box::new(map(a)), Box::new(map(b))),
+        Expr::Not(a) => Expr::Not(Box::new(map(a))),
+        Expr::Contains(a, b) => Expr::Contains(Box::new(map(a)), Box::new(map(b))),
+        Expr::Arith(op, a, b) => Expr::Arith(*op, Box::new(map(a)), Box::new(map(b))),
+        Expr::IsNull(a) => Expr::IsNull(Box::new(map(a))),
+        Expr::Len(a) => Expr::Len(Box::new(map(a))),
+        Expr::Udf(udf) => Expr::Udf(crate::expr::ScalarUdf {
+            name: udf.name.clone(),
+            args: udf.args.iter().map(map).collect(),
+            f: udf.f.clone(),
+        }),
+    }
+}
+
+/// Rebuilds a clean program from a rewritten operator soup: dead operators
+/// are dropped and ids renumbered in topological order.
+fn rebuild(ops: &[Operator], sink: u32) -> Program {
+    // Collect live operators reachable from the sink.
+    let mut live = vec![false; ops.len()];
+    let mut stack = vec![sink];
+    while let Some(id) = stack.pop() {
+        if std::mem::replace(&mut live[id as usize], true) {
+            continue;
+        }
+        stack.extend(ops[id as usize].inputs.iter().copied());
+    }
+    // Emit in original id order (inputs always have smaller ids than their
+    // consumers except for freshly pushed nodes, so order by dependency).
+    let order = topo_order(ops, &live);
+    let mut remap = vec![u32::MAX; ops.len()];
+    let mut builder = ProgramBuilder::new();
+    for &idx in &order {
+        let op = &ops[idx];
+        let inputs: Vec<u32> = op.inputs.iter().map(|&i| remap[i as usize]).collect();
+        let new_id = builder.push_raw(op.kind.clone(), inputs);
+        remap[idx] = new_id;
+    }
+    builder.build(remap[sink as usize])
+}
+
+fn topo_order(ops: &[Operator], live: &[bool]) -> Vec<usize> {
+    let mut visited = vec![false; ops.len()];
+    let mut order = Vec::new();
+    fn visit(idx: usize, ops: &[Operator], visited: &mut [bool], order: &mut Vec<usize>) {
+        if visited[idx] {
+            return;
+        }
+        visited[idx] = true;
+        for &i in &ops[idx].inputs {
+            visit(i as usize, ops, visited, order);
+        }
+        order.push(idx);
+    }
+    for (idx, &is_live) in live.iter().enumerate() {
+        if is_live {
+            visit(idx, ops, &mut visited, &mut order);
+        }
+    }
+    order.retain(|&i| live[i]);
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{items_of, Context};
+    use crate::exec::{run, ExecConfig};
+    use crate::op::NamedExpr;
+    use crate::sink::NoSink;
+    use pebble_nested::Value;
+
+    fn ctx() -> Context {
+        let mut c = Context::new();
+        c.register(
+            "t",
+            items_of(vec![
+                vec![
+                    ("k", Value::Int(1)),
+                    ("v", Value::Int(10)),
+                    ("xs", Value::Bag(vec![Value::Int(1), Value::Int(2)])),
+                ],
+                vec![
+                    ("k", Value::Int(2)),
+                    ("v", Value::Int(20)),
+                    ("xs", Value::Bag(vec![Value::Int(3)])),
+                ],
+            ]),
+        );
+        c
+    }
+
+    fn assert_equivalent(p: &Program) -> OptimizeStats {
+        let (optimized, stats) = optimize(p);
+        let cfg = ExecConfig { partitions: 2 };
+        let c = ctx();
+        let a = run(p, &c, cfg, &NoSink).unwrap().items();
+        let b = run(&optimized, &c, cfg, &NoSink).unwrap().items();
+        assert_eq!(a, b, "optimization changed the result");
+        stats
+    }
+
+    #[test]
+    fn merges_adjacent_filters() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f1 = b.filter(r, Expr::col("v").ge(Expr::lit(5i64)));
+        let f2 = b.filter(f1, Expr::col("k").eq(Expr::lit(1i64)));
+        let p = b.build(f2);
+        let stats = assert_equivalent(&p);
+        assert_eq!(stats.filters_merged, 1);
+        let (optimized, _) = optimize(&p);
+        assert_eq!(optimized.operators().len(), 2); // read + one filter
+    }
+
+    #[test]
+    fn pushes_filter_through_select() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let s = b.select(
+            r,
+            vec![NamedExpr::aliased("key", "k"), NamedExpr::path("v")],
+        );
+        let f = b.filter(s, Expr::col("key").eq(Expr::lit(1i64)));
+        let p = b.build(f);
+        let stats = assert_equivalent(&p);
+        assert_eq!(stats.pushed_through_select, 1);
+        let (optimized, _) = optimize(&p);
+        // Now: read, filter(k == 1), select.
+        assert_eq!(optimized.operators()[1].kind.type_name(), "filter");
+        assert_eq!(optimized.operators()[2].kind.type_name(), "select");
+    }
+
+    #[test]
+    fn select_with_computed_column_blocks_pushdown() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let s = b.select(
+            r,
+            vec![NamedExpr::new(
+                "derived",
+                SelectExpr::Computed(Expr::col("v").ge(Expr::lit(15i64))),
+            )],
+        );
+        let f = b.filter(s, Expr::col("derived").eq(Expr::lit(true)));
+        let p = b.build(f);
+        let stats = assert_equivalent(&p);
+        assert_eq!(stats.pushed_through_select, 0);
+    }
+
+    #[test]
+    fn pushes_filter_into_union_arms() {
+        let mut b = ProgramBuilder::new();
+        let l = b.read("t");
+        let r = b.read("t");
+        let u = b.union(l, r);
+        let f = b.filter(u, Expr::col("v").lt(Expr::lit(15i64)));
+        let p = b.build(f);
+        let stats = assert_equivalent(&p);
+        assert_eq!(stats.pushed_through_union, 1);
+        let (optimized, _) = optimize(&p);
+        let filters = optimized
+            .operators()
+            .iter()
+            .filter(|o| o.kind.type_name() == "filter")
+            .count();
+        assert_eq!(filters, 2);
+        assert_eq!(
+            optimized.operators()[optimized.sink() as usize]
+                .kind
+                .type_name(),
+            "union"
+        );
+    }
+
+    #[test]
+    fn pushes_filter_below_flatten_when_independent() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let fl = b.flatten(r, "xs", "x");
+        let f = b.filter(fl, Expr::col("k").eq(Expr::lit(1i64)));
+        let p = b.build(f);
+        let stats = assert_equivalent(&p);
+        assert_eq!(stats.pushed_through_flatten, 1);
+    }
+
+    #[test]
+    fn filter_on_exploded_attr_stays_above_flatten() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let fl = b.flatten(r, "xs", "x");
+        let f = b.filter(fl, Expr::col("x").ge(Expr::lit(2i64)));
+        let p = b.build(f);
+        let stats = assert_equivalent(&p);
+        assert_eq!(stats.pushed_through_flatten, 0);
+    }
+
+    #[test]
+    fn struct_projection_paths_resolved() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let s = b.select(
+            r,
+            vec![NamedExpr::new(
+                "pair",
+                SelectExpr::strct([("key", SelectExpr::path("k"))]),
+            )],
+        );
+        let f = b.filter(s, Expr::col("pair.key").eq(Expr::lit(2i64)));
+        let p = b.build(f);
+        let stats = assert_equivalent(&p);
+        assert_eq!(stats.pushed_through_select, 1);
+    }
+
+    #[test]
+    fn shared_subtree_not_rewritten() {
+        // The select feeds both a filter and the union directly; pushing
+        // the filter below it would change the other consumer.
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let s = b.select(r, vec![NamedExpr::path("k"), NamedExpr::path("v")]);
+        let f = b.filter(s, Expr::col("v").ge(Expr::lit(15i64)));
+        let u = b.union(f, s);
+        let p = b.build(u);
+        let stats = assert_equivalent(&p);
+        assert_eq!(stats.pushed_through_select, 0);
+    }
+}
+
+#[cfg(test)]
+mod chain_tests {
+    use super::*;
+    use crate::context::{items_of, Context};
+    use crate::exec::{run, ExecConfig};
+    use crate::op::NamedExpr;
+    use crate::sink::NoSink;
+    use pebble_nested::Value;
+
+    /// A filter travels through select → flatten → union in one fixpoint,
+    /// landing directly above both reads.
+    #[test]
+    fn filter_descends_whole_chain() {
+        let mut c = Context::new();
+        c.register(
+            "t",
+            items_of(vec![
+                vec![
+                    ("k", Value::Int(1)),
+                    ("xs", Value::Bag(vec![Value::Int(1)])),
+                ],
+                vec![
+                    ("k", Value::Int(2)),
+                    ("xs", Value::Bag(vec![Value::Int(2), Value::Int(3)])),
+                ],
+            ]),
+        );
+        let mut b = ProgramBuilder::new();
+        let l = b.read("t");
+        let r = b.read("t");
+        let u = b.union(l, r);
+        let fl = b.flatten(u, "xs", "x");
+        let s = b.select(
+            fl,
+            vec![NamedExpr::aliased("key", "k"), NamedExpr::path("x")],
+        );
+        let f = b.filter(s, Expr::col("key").eq(Expr::lit(2i64)));
+        let p = b.build(f);
+
+        let (optimized, stats) = optimize(&p);
+        assert_eq!(stats.pushed_through_select, 1);
+        assert_eq!(stats.pushed_through_flatten, 1);
+        assert_eq!(stats.pushed_through_union, 1);
+        // Both reads are now followed directly by a filter.
+        for (read_id, _) in optimized.reads() {
+            let consumers = optimized.consumers();
+            let consumer = consumers[&read_id][0];
+            assert_eq!(
+                optimized.operators()[consumer as usize].kind.type_name(),
+                "filter"
+            );
+        }
+        let cfg = ExecConfig { partitions: 2 };
+        let a = run(&p, &c, cfg, &NoSink).unwrap().items();
+        let b2 = run(&optimized, &c, cfg, &NoSink).unwrap().items();
+        assert_eq!(a, b2);
+    }
+
+    /// Optimizing an already-optimal program is the identity.
+    #[test]
+    fn idempotent_on_optimal_plans() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f = b.filter(r, Expr::col("k").eq(Expr::lit(1i64)));
+        let fl = b.flatten(f, "xs", "x");
+        let p = b.build(fl);
+        let (o1, s1) = optimize(&p);
+        assert_eq!(s1.total(), 0);
+        let (_, s2) = optimize(&o1);
+        assert_eq!(s2.total(), 0);
+    }
+}

@@ -1,0 +1,332 @@
+//! Programs: DAGs of operators (Def. 4.6) with a fluent builder,
+//! validation, and topological utilities.
+
+use pebble_nested::DataType;
+
+use crate::error::{EngineError, Result};
+use crate::hash::FxHashMap;
+use crate::expr::Expr;
+use crate::op::{AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};
+
+pub use crate::expr::SelectExpr;
+
+/// An operator node in the DAG.
+#[derive(Clone, Debug)]
+pub struct Operator {
+    /// Unique id within the program.
+    pub id: OpId,
+    /// Kind and parameters.
+    pub kind: OpKind,
+    /// Upstream operator ids, in input order.
+    pub inputs: Vec<OpId>,
+}
+
+/// A data analytics program: a DAG with possibly many `read` sources and
+/// exactly one sink (Def. 4.6).
+#[derive(Clone, Debug)]
+pub struct Program {
+    ops: Vec<Operator>,
+    sink: OpId,
+}
+
+impl Program {
+    /// All operators, ordered by id (which is also a topological order,
+    /// since the builder only lets nodes reference earlier nodes).
+    pub fn operators(&self) -> &[Operator] {
+        &self.ops
+    }
+
+    /// Looks up one operator.
+    pub fn op(&self, id: OpId) -> Result<&Operator> {
+        self.ops
+            .get(id as usize)
+            .ok_or(EngineError::UnknownOperator(id))
+    }
+
+    /// The sink operator id.
+    pub fn sink(&self) -> OpId {
+        self.sink
+    }
+
+    /// Ids of all `read` operators with their source names.
+    pub fn reads(&self) -> Vec<(OpId, &str)> {
+        self.ops
+            .iter()
+            .filter_map(|o| match &o.kind {
+                OpKind::Read { source } => Some((o.id, source.as_str())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Downstream consumers of each operator.
+    pub fn consumers(&self) -> FxHashMap<OpId, Vec<OpId>> {
+        let mut out: FxHashMap<OpId, Vec<OpId>> = FxHashMap::default();
+        for op in &self.ops {
+            for &i in &op.inputs {
+                out.entry(i).or_default().push(op.id);
+            }
+        }
+        out
+    }
+
+    /// Validates the DAG shape and infers per-operator output schemas given
+    /// the schemas of the named sources. Returns schemas indexed by op id.
+    pub fn infer_schemas(
+        &self,
+        source_schemas: &FxHashMap<String, DataType>,
+    ) -> Result<Vec<DataType>> {
+        let mut schemas: Vec<DataType> = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            if op.inputs.len() != op.kind.arity() {
+                return Err(EngineError::InvalidPlan(format!(
+                    "operator #{} ({}) has {} inputs, expected {}",
+                    op.id,
+                    op.kind.type_name(),
+                    op.inputs.len(),
+                    op.kind.arity()
+                )));
+            }
+            for &i in &op.inputs {
+                if i >= op.id {
+                    return Err(EngineError::InvalidPlan(format!(
+                        "operator #{} references later operator #{i}",
+                        op.id
+                    )));
+                }
+            }
+            let schema = match &op.kind {
+                OpKind::Read { source } => source_schemas
+                    .get(source)
+                    .cloned()
+                    .ok_or_else(|| EngineError::UnknownSource(source.clone()))?,
+                kind => {
+                    let input_schemas: Vec<DataType> = op
+                        .inputs
+                        .iter()
+                        .map(|&i| schemas[i as usize].clone())
+                        .collect();
+                    kind.output_schema(op.id, &input_schemas)?
+                }
+            };
+            schemas.push(schema);
+        }
+        // Exactly one sink: every non-sink op must feed someone.
+        let consumers = self.consumers();
+        for op in &self.ops {
+            if op.id != self.sink && !consumers.contains_key(&op.id) {
+                return Err(EngineError::InvalidPlan(format!(
+                    "operator #{} ({}) is dead: no consumer and not the sink",
+                    op.id,
+                    op.kind.type_name()
+                )));
+            }
+        }
+        if self.sink as usize >= self.ops.len() {
+            return Err(EngineError::UnknownOperator(self.sink));
+        }
+        Ok(schemas)
+    }
+}
+
+/// Fluent builder for [`Program`]s. Operator ids are assigned sequentially,
+/// so the paper's pipeline numbering (Fig. 1) can be mirrored directly.
+#[derive(Default, Debug)]
+pub struct ProgramBuilder {
+    ops: Vec<Operator>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, kind: OpKind, inputs: Vec<OpId>) -> OpId {
+        let id = self.ops.len() as OpId;
+        self.ops.push(Operator { id, kind, inputs });
+        id
+    }
+
+    /// Low-level append of an arbitrary operator kind with explicit
+    /// inputs. Used by plan rewriters (e.g. [`mod@crate::optimize`]); prefer
+    /// the typed methods below for building programs by hand.
+    pub fn push_raw(&mut self, kind: OpKind, inputs: Vec<OpId>) -> OpId {
+        self.push(kind, inputs)
+    }
+
+    /// Adds a `read` of a named source.
+    pub fn read(&mut self, source: impl Into<String>) -> OpId {
+        self.push(
+            OpKind::Read {
+                source: source.into(),
+            },
+            vec![],
+        )
+    }
+
+    /// Adds a `filter`.
+    pub fn filter(&mut self, input: OpId, predicate: Expr) -> OpId {
+        self.push(OpKind::Filter { predicate }, vec![input])
+    }
+
+    /// Adds a `select`.
+    pub fn select(&mut self, input: OpId, exprs: Vec<NamedExpr>) -> OpId {
+        self.push(OpKind::Select { exprs }, vec![input])
+    }
+
+    /// Adds a `map` with an opaque UDF.
+    pub fn map(&mut self, input: OpId, udf: MapUdf) -> OpId {
+        self.push(OpKind::Map { udf }, vec![input])
+    }
+
+    /// Adds an equi-`join`.
+    pub fn join(
+        &mut self,
+        left: OpId,
+        right: OpId,
+        keys: Vec<(pebble_nested::Path, pebble_nested::Path)>,
+    ) -> OpId {
+        self.push(OpKind::Join { keys }, vec![left, right])
+    }
+
+    /// Adds a `union`.
+    pub fn union(&mut self, left: OpId, right: OpId) -> OpId {
+        self.push(OpKind::Union, vec![left, right])
+    }
+
+    /// Adds a `flatten` exploding `col` into `new_attr`.
+    pub fn flatten(&mut self, input: OpId, col: &str, new_attr: impl Into<String>) -> OpId {
+        self.push(
+            OpKind::Flatten {
+                col: pebble_nested::Path::parse(col),
+                new_attr: new_attr.into(),
+            },
+            vec![input],
+        )
+    }
+
+    /// Adds a fused grouping + aggregation.
+    pub fn group_aggregate(
+        &mut self,
+        input: OpId,
+        keys: Vec<GroupKey>,
+        aggs: Vec<AggSpec>,
+    ) -> OpId {
+        self.push(OpKind::GroupAggregate { keys, aggs }, vec![input])
+    }
+
+    /// Adds the paper's *grouping/nesting* operator: groups by `keys` and
+    /// collects the complete group members into a nested bag named
+    /// `into` (sugar for a whole-item `collect_list`).
+    pub fn nest(&mut self, input: OpId, keys: Vec<GroupKey>, into: impl Into<String>) -> OpId {
+        self.group_aggregate(
+            input,
+            keys,
+            vec![AggSpec {
+                func: crate::op::AggFunc::CollectList,
+                input: pebble_nested::Path::root(),
+                output: into.into(),
+            }],
+        )
+    }
+
+    /// Finalizes the program with `sink` as the single output operator.
+    pub fn build(self, sink: OpId) -> Program {
+        Program {
+            ops: self.ops,
+            sink,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use pebble_nested::DataType;
+
+    fn schema_map() -> FxHashMap<String, DataType> {
+        let mut m = FxHashMap::default();
+        m.insert(
+            "t".to_string(),
+            DataType::item([("a", DataType::Int), ("b", DataType::Str)]),
+        );
+        m
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f = b.filter(r, Expr::col("a").gt(Expr::lit(0i64)));
+        let p = b.build(f);
+        assert_eq!(p.operators().len(), 2);
+        assert_eq!(p.sink(), 1);
+        assert_eq!(p.reads(), vec![(0, "t")]);
+        let schemas = p.infer_schemas(&schema_map()).unwrap();
+        assert_eq!(schemas[0], schemas[1]);
+    }
+
+    #[test]
+    fn dead_operator_rejected() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let _dead = b.filter(r, Expr::lit(true));
+        let f2 = b.filter(r, Expr::lit(true));
+        let p = b.build(f2);
+        assert!(matches!(
+            p.infer_schemas(&schema_map()),
+            Err(EngineError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_source_rejected() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("missing");
+        let p = b.build(r);
+        assert!(matches!(
+            p.infer_schemas(&schema_map()),
+            Err(EngineError::UnknownSource(_))
+        ));
+    }
+
+    #[test]
+    fn arity_checked() {
+        // Hand-build a malformed join with one input.
+        let p = Program {
+            ops: vec![
+                Operator {
+                    id: 0,
+                    kind: OpKind::Read { source: "t".into() },
+                    inputs: vec![],
+                },
+                Operator {
+                    id: 1,
+                    kind: OpKind::Union,
+                    inputs: vec![0],
+                },
+            ],
+            sink: 1,
+        };
+        assert!(matches!(
+            p.infer_schemas(&schema_map()),
+            Err(EngineError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn consumers_multi_use() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("t");
+        let f1 = b.filter(r, Expr::lit(true));
+        let f2 = b.filter(r, Expr::lit(true));
+        let u = b.union(f1, f2);
+        let p = b.build(u);
+        let c = p.consumers();
+        assert_eq!(c[&r], vec![f1, f2]);
+        assert_eq!(c[&f1], vec![u]);
+        assert!(p.infer_schemas(&schema_map()).is_ok());
+    }
+}

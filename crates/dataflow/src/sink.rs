@@ -1,0 +1,46 @@
+//! Provenance recording interface.
+//!
+//! The executor is generic over a [`ProvenanceSink`]; a monomorphized
+//! [`NoSink`] compiles recording away entirely, so a plain run measures the
+//! engine alone (the "Spark" bars of Figs. 6/7), while Pebble's capture
+//! (in `pebble-core`) implements this trait to record the operator
+//! provenance structures of Tab. 6.
+
+use crate::exec::ItemId;
+use crate::op::OpId;
+
+/// Receives the identifier associations produced during execution.
+///
+/// Methods are called once per partition batch, from worker threads;
+/// implementations must be `Sync`. When [`ProvenanceSink::ENABLED`] is
+/// `false` the executor skips building the association buffers altogether.
+pub trait ProvenanceSink: Sync {
+    /// Whether the executor should collect associations at all.
+    const ENABLED: bool;
+
+    /// Identifiers assigned to the items of a `read` operator, in dataset
+    /// order.
+    fn read_batch(&self, _op: OpId, _ids: &[ItemId]) {}
+
+    /// `⟨id^i, id^o⟩` pairs for `map`, `select`, `filter` (Tab. 6 row 1).
+    fn unary_batch(&self, _op: OpId, _assoc: &[(ItemId, ItemId)]) {}
+
+    /// `⟨id_1^i, id_2^i, id^o⟩` triples for `join` and `union` (Tab. 6
+    /// row 2); for `union` the non-originating side is `None`.
+    fn binary_batch(&self, _op: OpId, _assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {}
+
+    /// `⟨id^i, pos, id^o⟩` triples for `flatten` (Tab. 6 row 3); `pos` is
+    /// the 1-based position of the unnested element.
+    fn flatten_batch(&self, _op: OpId, _assoc: &[(ItemId, u32, ItemId)]) {}
+
+    /// `⟨ids^i, id^o⟩` for grouping/aggregation (Tab. 6 row 4); `ids` are
+    /// the group's input identifiers in nesting order.
+    fn agg_batch(&self, _op: OpId, _assoc: Vec<(Vec<ItemId>, ItemId)>) {}
+}
+
+/// Sink that records nothing; recording code is compiled out.
+pub struct NoSink;
+
+impl ProvenanceSink for NoSink {
+    const ENABLED: bool = false;
+}

@@ -1,0 +1,93 @@
+//! Table-style pretty printer for datasets of nested items, used by the
+//! examples to render inputs/outputs like Tabs. 1 and 2 of the paper.
+
+use crate::value::{DataItem, Value};
+
+/// Renders a slice of data items as an aligned text table. Top-level
+/// attributes become columns; nested values are rendered inline in the
+/// paper's `⟨…⟩` / `{{…}}` notation.
+pub fn render_table(items: &[DataItem]) -> String {
+    let mut columns: Vec<String> = Vec::new();
+    for item in items {
+        for name in item.names() {
+            if !columns.iter().any(|c| c == name) {
+                columns.push(name.to_string());
+            }
+        }
+    }
+    if columns.is_empty() {
+        return "(empty dataset)\n".to_string();
+    }
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(items.len());
+    for item in items {
+        rows.push(
+            columns
+                .iter()
+                .map(|c| item.get(c).map(render_cell).unwrap_or_default())
+                .collect(),
+        );
+    }
+    let mut widths: Vec<usize> = columns.iter().map(String::len).collect();
+    for row in &rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (c, w) in columns.iter().zip(&widths) {
+        out.push_str(&format!("| {c:<w$} "));
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in &rows {
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!("| {cell:<w$} "));
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+fn render_cell(value: &Value) -> String {
+    match value {
+        Value::Str(s) => s.clone(),
+        other => other.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let items = vec![
+            DataItem::from_fields([("text", Value::str("Hello")), ("n", Value::Int(1))]),
+            DataItem::from_fields([("text", Value::str("Hello World")), ("n", Value::Int(22))]),
+        ];
+        let t = render_table(&items);
+        assert!(t.contains("| text        | n  |"));
+        assert!(t.contains("| Hello World | 22 |"));
+    }
+
+    #[test]
+    fn handles_heterogeneous_and_empty() {
+        assert_eq!(render_table(&[]), "(empty dataset)\n");
+        let items = vec![
+            DataItem::from_fields([("a", Value::Int(1))]),
+            DataItem::from_fields([("b", Value::Int(2))]),
+        ];
+        let t = render_table(&items);
+        assert!(t.contains("a"));
+        assert!(t.contains("b"));
+    }
+}

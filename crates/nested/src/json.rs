@@ -1,0 +1,418 @@
+//! Minimal, self-contained JSON reader/writer for nested values.
+//!
+//! The evaluation datasets of the paper are JSON (Twitter) and XML-derived
+//! records (DBLP). This module provides enough JSON support for examples,
+//! golden tests, and persisting generated workloads — without adding a
+//! dependency beyond the approved crate set.
+//!
+//! Mapping: JSON object → [`DataItem`] (insertion order preserved), JSON
+//! array → [`Value::Bag`] (lists are ordered and may contain duplicates),
+//! number → `Int` when integral without exponent/fraction, else `Double`.
+
+use std::fmt::Write as _;
+
+use crate::value::{DataItem, Value};
+
+/// Error raised on malformed JSON input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the error.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document into a [`Value`].
+pub fn parse(input: &str) -> Result<Value, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Parses newline-delimited JSON (one top-level item per line), the format
+/// used to persist generated workloads.
+pub fn parse_lines(input: &str) -> Result<Vec<DataItem>, JsonError> {
+    input
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|line| match parse(line)? {
+            Value::Item(d) => Ok(d),
+            _ => Err(JsonError {
+                offset: 0,
+                message: "expected a JSON object per line".into(),
+            }),
+        })
+        .collect()
+}
+
+/// Serializes a value as compact JSON. Sets are emitted as arrays (the
+/// bag/set distinction is a schema property, not re-readable from JSON).
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(&mut out, value);
+    out
+}
+
+/// Serializes a data item as a compact JSON object.
+pub fn item_to_string(item: &DataItem) -> String {
+    let mut out = String::new();
+    write_item(&mut out, item);
+    out
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Double(d) => {
+            if d.fract() == 0.0 && d.is_finite() {
+                let _ = write!(out, "{d:.1}");
+            } else {
+                let _ = write!(out, "{d}");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Item(d) => write_item(out, d),
+        Value::Bag(vs) | Value::Set(vs) => {
+            out.push('[');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, v);
+            }
+            out.push(']');
+        }
+    }
+}
+
+fn write_item(out: &mut String, item: &DataItem) {
+    out.push('{');
+    for (i, (n, v)) in item.fields().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(out, n);
+        out.push(':');
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, JsonError> {
+        match self.peek().ok_or_else(|| self.err("unexpected end"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::Str(self.string()?)),
+            b't' => self.literal("true", Value::Bool(true)),
+            b'f' => self.literal("false", Value::Bool(false)),
+            b'n' => self.literal("null", Value::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            c => Err(self.err(format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'{')?;
+        let mut item = DataItem::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Item(item));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            if item.get(&key).is_some() {
+                return Err(self.err(format!("duplicate key `{key}`")));
+            }
+            item.push(key, value);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(Value::Item(item)),
+                _ => return Err(self.err("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, JsonError> {
+        self.expect(b'[')?;
+        let mut elems = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Bag(elems));
+        }
+        loop {
+            self.skip_ws();
+            elems.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(Value::Bag(elems)),
+                _ => return Err(self.err("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump().ok_or_else(|| self.err("unterminated string"))? {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump().ok_or_else(|| self.err("bad escape"))? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = self
+                            .bytes
+                            .get(self.pos..self.pos + 4)
+                            .ok_or_else(|| self.err("short \\u escape"))?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?,
+                            16,
+                        )
+                        .map_err(|_| self.err("invalid \\u escape"))?;
+                        self.pos += 4;
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| self.err("invalid codepoint"))?,
+                        );
+                    }
+                    c => return Err(self.err(format!("bad escape `\\{}`", c as char))),
+                },
+                c if c < 0x20 => return Err(self.err("control character in string")),
+                c => {
+                    // Re-assemble multi-byte UTF-8 sequences.
+                    if c < 0x80 {
+                        out.push(c as char);
+                    } else {
+                        let start = self.pos - 1;
+                        let width = utf8_width(c);
+                        let end = start + width;
+                        let slice = self
+                            .bytes
+                            .get(start..end)
+                            .ok_or_else(|| self.err("truncated UTF-8"))?;
+                        let s = std::str::from_utf8(slice)
+                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        out.push_str(s);
+                        self.pos = end;
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_double = false;
+        if self.peek() == Some(b'.') {
+            is_double = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_double = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_double {
+            text.parse::<f64>()
+                .map(Value::Double)
+                .map_err(|_| self.err("invalid number"))
+        } else {
+            text.parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.err("invalid integer"))
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_nested_tweet() {
+        let v = parse(
+            r#"{"text":"Hello @ls","user":{"id_str":"lp"},"user_mentions":[{"id_str":"ls"}],"retweet_cnt":0}"#,
+        )
+        .unwrap();
+        let d = v.as_item().unwrap();
+        assert_eq!(
+            d.get("user").unwrap().as_item().unwrap().get("id_str"),
+            Some(&Value::str("lp"))
+        );
+        assert_eq!(d.get("retweet_cnt"), Some(&Value::Int(0)));
+        assert!(matches!(d.get("user_mentions"), Some(Value::Bag(v)) if v.len() == 1));
+    }
+
+    #[test]
+    fn roundtrip_compact() {
+        let src = r#"{"a":1,"b":[1,2.5,"x"],"c":{"d":true,"e":null}}"#;
+        let v = parse(src).unwrap();
+        assert_eq!(to_string(&v), src);
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), Value::Double(2.5));
+        assert_eq!(parse("1e3").unwrap(), Value::Double(1000.0));
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(
+            parse(r#""a\n\"b\"A""#).unwrap(),
+            Value::str("a\n\"b\"A")
+        );
+        let v = Value::str("tab\tnl\nq\"");
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let v = parse(r#""héllo 世界""#).unwrap();
+        assert_eq!(v, Value::str("héllo 世界"));
+        assert_eq!(parse(&to_string(&v)).unwrap(), v);
+    }
+
+    #[test]
+    fn errors_have_offsets() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse(r#"{"a":1,"a":2}"#).is_err());
+        assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn parse_lines_ndjson() {
+        let items = parse_lines("{\"a\":1}\n\n{\"a\":2}\n").unwrap();
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[1].get("a"), Some(&Value::Int(2)));
+        assert!(parse_lines("[1]\n").is_err());
+    }
+}

@@ -1,0 +1,483 @@
+//! Access paths (Def. 4.3) and schema-level paths with `[pos]` placeholders
+//! (Sec. 5.1).
+//!
+//! A path navigates from a context data item into nested data:
+//! `p = d.p'`, `p' = x | x.p'`, `x = a | a[i]` — an attribute access, or a
+//! positional access into the collection stored at an attribute. Positions
+//! are **1-based**, following the paper (`tweets[2].text` points to the
+//! first `Hello World` in the running example).
+//!
+//! The lightweight capture records paths on a *schema level*: positions are
+//! replaced by the placeholder step `[pos]` ([`Step::AnyPos`]).
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{DataItem, Value};
+
+/// One navigation step of an access path.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Step {
+    /// Attribute access `a`.
+    Attr(String),
+    /// Positional access `[i]` into the collection reached so far (1-based).
+    Pos(u32),
+    /// Schema-level position placeholder `[pos]`.
+    AnyPos,
+}
+
+impl Step {
+    /// Builds an attribute step.
+    pub fn attr(name: impl Into<String>) -> Self {
+        Step::Attr(name.into())
+    }
+}
+
+/// An access path: a sequence of [`Step`]s relative to a context data item.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Path {
+    steps: Vec<Step>,
+}
+
+impl Path {
+    /// The empty path (refers to the context item itself).
+    pub fn root() -> Self {
+        Self::default()
+    }
+
+    /// Builds a path from steps.
+    pub fn new(steps: impl IntoIterator<Item = Step>) -> Self {
+        Path {
+            steps: steps.into_iter().collect(),
+        }
+    }
+
+    /// Parses a dotted path such as `user_mentions[1].id_str` or the
+    /// schema-level `tweets.[pos].text`.
+    ///
+    /// # Panics
+    /// Panics on syntax errors; use the [`FromStr`] impl for fallible
+    /// parsing.
+    pub fn parse(s: &str) -> Self {
+        s.parse().expect("invalid path syntax")
+    }
+
+    /// Single-attribute path.
+    pub fn attr(name: impl Into<String>) -> Self {
+        Path::new([Step::attr(name)])
+    }
+
+    /// Steps of this path.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True for the empty (context) path.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Appends a step, returning the extended path.
+    pub fn child(&self, step: Step) -> Path {
+        let mut steps = self.steps.clone();
+        steps.push(step);
+        Path { steps }
+    }
+
+    /// Concatenates two paths.
+    pub fn join(&self, suffix: &Path) -> Path {
+        let mut steps = self.steps.clone();
+        steps.extend(suffix.steps.iter().cloned());
+        Path { steps }
+    }
+
+    /// First step, if any.
+    pub fn head(&self) -> Option<&Step> {
+        self.steps.first()
+    }
+
+    /// Path without its first step.
+    pub fn tail(&self) -> Path {
+        Path {
+            steps: self.steps.get(1..).unwrap_or_default().to_vec(),
+        }
+    }
+
+    /// True if `self` starts with `prefix`, treating `[pos]` in the prefix
+    /// as matching any concrete position (and vice versa).
+    pub fn starts_with(&self, prefix: &Path) -> bool {
+        self.steps.len() >= prefix.steps.len()
+            && prefix
+                .steps
+                .iter()
+                .zip(&self.steps)
+                .all(|(p, s)| steps_match(p, s))
+    }
+
+    /// If `self` starts with `prefix`, returns the remaining suffix.
+    pub fn strip_prefix(&self, prefix: &Path) -> Option<Path> {
+        self.starts_with(prefix).then(|| Path {
+            steps: self.steps[prefix.steps.len()..].to_vec(),
+        })
+    }
+
+    /// Rewrites `self` by replacing prefix `from` with `to`
+    /// (the core of the `manipulatePath` backtracing method).
+    pub fn replace_prefix(&self, from: &Path, to: &Path) -> Option<Path> {
+        self.strip_prefix(from).map(|suffix| to.join(&suffix))
+    }
+
+    /// Schema-level version of the path: every concrete position becomes
+    /// the `[pos]` placeholder.
+    pub fn to_schema_level(&self) -> Path {
+        Path {
+            steps: self
+                .steps
+                .iter()
+                .map(|s| match s {
+                    Step::Pos(_) => Step::AnyPos,
+                    other => other.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// True if the path contains a `[pos]` placeholder.
+    pub fn has_placeholder(&self) -> bool {
+        self.steps.iter().any(|s| matches!(s, Step::AnyPos))
+    }
+
+    /// Replaces the *first* `[pos]` placeholder with a concrete position
+    /// (used by `backtraceAggregation`, Alg. 4 l. 7).
+    pub fn fill_placeholder(&self, pos: u32) -> Path {
+        let mut filled = false;
+        Path {
+            steps: self
+                .steps
+                .iter()
+                .map(|s| {
+                    if !filled && matches!(s, Step::AnyPos) {
+                        filled = true;
+                        Step::Pos(pos)
+                    } else {
+                        s.clone()
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Evaluates the path against a context item, returning the referenced
+    /// value. `[pos]` placeholders cannot be evaluated and yield `None`.
+    pub fn eval<'a>(&self, item: &'a DataItem) -> Option<&'a Value> {
+        let mut current: Option<&Value> = None;
+        for step in &self.steps {
+            let next = match step {
+                Step::Attr(name) => match current {
+                    None => item.get(name),
+                    Some(Value::Item(d)) => d.get(name),
+                    _ => None,
+                },
+                Step::Pos(i) => match current {
+                    Some(Value::Bag(vs)) | Some(Value::Set(vs)) => {
+                        (*i as usize).checked_sub(1).and_then(|idx| vs.get(idx))
+                    }
+                    _ => None,
+                },
+                Step::AnyPos => None,
+            };
+            current = Some(next?);
+        }
+        current
+    }
+
+    /// Evaluates against a context item, expanding each `[pos]`/collection
+    /// traversal to every element; returns all matching values. This is the
+    /// evaluation used when a schema-level path is applied to data.
+    pub fn eval_all<'a>(&self, item: &'a DataItem) -> Vec<&'a Value> {
+        fn go<'a>(value: &'a Value, steps: &[Step], out: &mut Vec<&'a Value>) {
+            let Some((step, rest)) = steps.split_first() else {
+                out.push(value);
+                return;
+            };
+            match step {
+                Step::Attr(name) => {
+                    if let Value::Item(d) = value {
+                        if let Some(v) = d.get(name) {
+                            go(v, rest, out);
+                        }
+                    }
+                }
+                Step::Pos(i) => {
+                    if let Value::Bag(vs) | Value::Set(vs) = value {
+                        if let Some(v) = (*i as usize)
+                            .checked_sub(1)
+                            .and_then(|idx| vs.get(idx))
+                        {
+                            go(v, rest, out);
+                        }
+                    }
+                }
+                Step::AnyPos => {
+                    if let Value::Bag(vs) | Value::Set(vs) = value {
+                        for v in vs {
+                            go(v, rest, out);
+                        }
+                    }
+                }
+            }
+        }
+        // The context is a data item, so a non-empty path must begin with an
+        // attribute step; inline it to avoid wrapping `item` in a Value.
+        let mut out = Vec::new();
+        let Some((first, rest)) = self.steps.split_first() else {
+            return out;
+        };
+        if let Step::Attr(name) = first {
+            if let Some(v) = item.get(name) {
+                go(v, rest, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Enumerates the full path set `PS_d` of a data item: every path that
+    /// exists in the context of `item`, including positional paths into
+    /// collections (Def. 4.3).
+    pub fn path_set(item: &DataItem) -> Vec<Path> {
+        fn go(value: &Value, prefix: &Path, out: &mut Vec<Path>) {
+            match value {
+                Value::Item(d) => {
+                    for (name, v) in d.fields() {
+                        let p = prefix.child(Step::attr(name));
+                        out.push(p.clone());
+                        go(v, &p, out);
+                    }
+                }
+                Value::Bag(vs) | Value::Set(vs) => {
+                    for (idx, v) in vs.iter().enumerate() {
+                        let p = prefix.child(Step::Pos(idx as u32 + 1));
+                        out.push(p.clone());
+                        go(v, &p, out);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        for (name, v) in item.fields() {
+            let p = Path::attr(name);
+            out.push(p.clone());
+            go(v, &p, &mut out);
+        }
+        out
+    }
+}
+
+fn steps_match(a: &Step, b: &Step) -> bool {
+    match (a, b) {
+        (Step::Attr(x), Step::Attr(y)) => x == y,
+        (Step::Pos(x), Step::Pos(y)) => x == y,
+        (Step::AnyPos, Step::Pos(_)) | (Step::Pos(_), Step::AnyPos) => true,
+        (Step::AnyPos, Step::AnyPos) => true,
+        _ => false,
+    }
+}
+
+/// Error produced when parsing a malformed path string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathParseError(pub String);
+
+impl fmt::Display for PathParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid path: {}", self.0)
+    }
+}
+
+impl std::error::Error for PathParseError {}
+
+impl FromStr for Path {
+    type Err = PathParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut steps = Vec::new();
+        if s.is_empty() {
+            return Ok(Path::root());
+        }
+        for segment in s.split('.') {
+            if segment.is_empty() {
+                return Err(PathParseError(format!("empty segment in `{s}`")));
+            }
+            // A segment is `name`, `name[i]`, `name[pos]`, `[i]`, or `[pos]`.
+            let mut rest = segment;
+            if !rest.starts_with('[') {
+                let end = rest.find('[').unwrap_or(rest.len());
+                let (name, tail) = rest.split_at(end);
+                steps.push(Step::attr(name));
+                rest = tail;
+            }
+            while !rest.is_empty() {
+                if !rest.starts_with('[') {
+                    return Err(PathParseError(format!("expected `[` in `{segment}`")));
+                }
+                let close = rest
+                    .find(']')
+                    .ok_or_else(|| PathParseError(format!("missing `]` in `{segment}`")))?;
+                let idx = &rest[1..close];
+                if idx == "pos" {
+                    steps.push(Step::AnyPos);
+                } else {
+                    let i: u32 = idx
+                        .parse()
+                        .map_err(|_| PathParseError(format!("bad index `{idx}`")))?;
+                    if i == 0 {
+                        return Err(PathParseError("positions are 1-based".into()));
+                    }
+                    steps.push(Step::Pos(i));
+                }
+                rest = &rest[close + 1..];
+            }
+        }
+        Ok(Path { steps })
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for step in &self.steps {
+            match step {
+                Step::Attr(name) => {
+                    if !first {
+                        write!(f, ".")?;
+                    }
+                    write!(f, "{name}")?;
+                }
+                Step::Pos(i) => write!(f, "[{i}]")?,
+                Step::AnyPos => write!(f, "[pos]")?,
+            }
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DataItem {
+        DataItem::from_fields([
+            ("text", Value::str("Hello @ls @jm @ls")),
+            (
+                "user",
+                Value::Item(DataItem::from_fields([
+                    ("id_str", Value::str("lp")),
+                    ("name", Value::str("Lisa Paul")),
+                ])),
+            ),
+            (
+                "user_mentions",
+                Value::Bag(vec![
+                    Value::Item(DataItem::from_fields([("id_str", Value::str("ls"))])),
+                    Value::Item(DataItem::from_fields([("id_str", Value::str("jm"))])),
+                ])),
+            ("retweet_cnt", Value::Int(0)),
+        ])
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in [
+            "user_mentions[1].id_str",
+            "user.name",
+            "tweets[pos].text",
+            "a[2][3].b",
+            "text",
+        ] {
+            let p = Path::parse(s);
+            assert_eq!(p.to_string(), s, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!("a..b".parse::<Path>().is_err());
+        assert!("a[".parse::<Path>().is_err());
+        assert!("a[x]".parse::<Path>().is_err());
+        assert!("a[0]".parse::<Path>().is_err());
+    }
+
+    #[test]
+    fn eval_navigates_one_based() {
+        let d = sample();
+        assert_eq!(
+            Path::parse("user.id_str").eval(&d),
+            Some(&Value::str("lp"))
+        );
+        assert_eq!(
+            Path::parse("user_mentions[2].id_str").eval(&d),
+            Some(&Value::str("jm"))
+        );
+        assert_eq!(Path::parse("user_mentions[3]").eval(&d), None);
+        assert_eq!(Path::parse("nope").eval(&d), None);
+    }
+
+    #[test]
+    fn eval_all_expands_placeholders() {
+        let d = sample();
+        let vs = Path::parse("user_mentions.[pos].id_str").eval_all(&d);
+        assert_eq!(vs, [&Value::str("ls"), &Value::str("jm")]);
+    }
+
+    #[test]
+    fn prefix_and_replacement() {
+        let p = Path::parse("user_mentions[2].id_str");
+        let prefix = Path::parse("user_mentions.[pos]");
+        assert!(p.starts_with(&prefix));
+        let rewritten = p
+            .replace_prefix(&prefix, &Path::attr("m_user"))
+            .unwrap();
+        assert_eq!(rewritten, Path::parse("m_user.id_str"));
+    }
+
+    #[test]
+    fn schema_level_and_fill() {
+        let p = Path::parse("tweets[2].text");
+        assert_eq!(p.to_schema_level(), Path::parse("tweets.[pos].text"));
+        assert_eq!(
+            Path::parse("tweets.[pos].text").fill_placeholder(2),
+            Path::parse("tweets[2].text")
+        );
+    }
+
+    #[test]
+    fn path_set_enumerates_all() {
+        let d = DataItem::from_fields([
+            ("a", Value::Int(1)),
+            (
+                "b",
+                Value::Bag(vec![Value::Item(DataItem::from_fields([(
+                    "c",
+                    Value::Int(2),
+                )]))]),
+            ),
+        ]);
+        let ps: Vec<String> = Path::path_set(&d).iter().map(|p| p.to_string()).collect();
+        assert_eq!(ps, ["a", "b", "b[1]", "b[1].c"]);
+    }
+
+    #[test]
+    fn strip_prefix_with_placeholder_match() {
+        let p = Path::parse("user_mentions[1]");
+        let sp = p.strip_prefix(&Path::parse("user_mentions.[pos]")).unwrap();
+        assert!(sp.is_empty());
+    }
+}

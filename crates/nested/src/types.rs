@@ -1,0 +1,372 @@
+//! Recursive nested types (Tab. 4) with inference, conformance checking,
+//! and unification for `union`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::path::{Path, Step};
+use crate::value::{DataItem, Value};
+
+/// A named, typed attribute inside an item type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Field {
+    /// Attribute label, unique within its item type.
+    pub name: String,
+    /// Attribute type.
+    pub ty: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// The type `τ(·)` of a nested value (Tab. 4).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataType {
+    /// Type of `Value::Null`; unifies with anything.
+    Null,
+    /// Boolean constant type.
+    Bool,
+    /// Integer constant type.
+    Int,
+    /// Double constant type.
+    Double,
+    /// String constant type.
+    Str,
+    /// Complex item type `⟨a1: τ1, …, an: τn⟩`.
+    Item(Vec<Field>),
+    /// Bag type `{{τ}}` — ordered, duplicates allowed.
+    Bag(Box<DataType>),
+    /// Set type `{τ}` — no duplicates.
+    Set(Box<DataType>),
+}
+
+impl DataType {
+    /// Item type builder.
+    pub fn item(fields: impl IntoIterator<Item = (impl Into<String>, DataType)>) -> Self {
+        DataType::Item(
+            fields
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        )
+    }
+
+    /// Bag type builder.
+    pub fn bag(elem: DataType) -> Self {
+        DataType::Bag(Box::new(elem))
+    }
+
+    /// Set type builder.
+    pub fn set(elem: DataType) -> Self {
+        DataType::Set(Box::new(elem))
+    }
+
+    /// Infers the type of a value. Collections infer their element type by
+    /// unifying all elements (an empty collection has `Null` elements).
+    pub fn of(value: &Value) -> DataType {
+        match value {
+            Value::Null => DataType::Null,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Double(_) => DataType::Double,
+            Value::Str(_) => DataType::Str,
+            Value::Item(d) => DataType::of_item(d),
+            Value::Bag(vs) => DataType::bag(Self::of_elements(vs)),
+            Value::Set(vs) => DataType::set(Self::of_elements(vs)),
+        }
+    }
+
+    /// Infers the item type of a data item.
+    pub fn of_item(item: &DataItem) -> DataType {
+        DataType::Item(
+            item.fields()
+                .map(|(n, v)| Field::new(n, DataType::of(v)))
+                .collect(),
+        )
+    }
+
+    fn of_elements(vs: &[Value]) -> DataType {
+        vs.iter()
+            .map(DataType::of)
+            .try_fold(DataType::Null, |acc, t| acc.unify(&t))
+            .unwrap_or(DataType::Null)
+    }
+
+    /// Unifies two types, as required by the `union` precondition
+    /// `τ(I1) = τ(I2)`. `Null` unifies with anything; `Int` widens to
+    /// `Double`; item types unify field-wise when labels agree.
+    pub fn unify(&self, other: &DataType) -> Option<DataType> {
+        use DataType::*;
+        match (self, other) {
+            (Null, t) | (t, Null) => Some(t.clone()),
+            (a, b) if a == b => Some(a.clone()),
+            (Int, Double) | (Double, Int) => Some(Double),
+            (Item(fa), Item(fb)) => {
+                if fa.len() != fb.len() {
+                    return None;
+                }
+                let fields = fa
+                    .iter()
+                    .zip(fb)
+                    .map(|(x, y)| {
+                        (x.name == y.name)
+                            .then(|| x.ty.unify(&y.ty).map(|t| Field::new(&x.name, t)))
+                            .flatten()
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(Item(fields))
+            }
+            (Bag(a), Bag(b)) => Some(DataType::bag(a.unify(b)?)),
+            (Set(a), Set(b)) => Some(DataType::set(a.unify(b)?)),
+            _ => None,
+        }
+    }
+
+    /// Checks that `value` conforms to this type (treating `Null` values as
+    /// conforming to any type).
+    pub fn conforms(&self, value: &Value) -> bool {
+        match (self, value) {
+            (_, Value::Null) | (DataType::Null, _) => true,
+            (DataType::Bool, Value::Bool(_)) => true,
+            (DataType::Int, Value::Int(_)) => true,
+            (DataType::Double, Value::Double(_) | Value::Int(_)) => true,
+            (DataType::Str, Value::Str(_)) => true,
+            (DataType::Item(fields), Value::Item(d)) => {
+                d.len() == fields.len()
+                    && fields
+                        .iter()
+                        .zip(d.fields())
+                        .all(|(f, (n, v))| f.name == n && f.ty.conforms(v))
+            }
+            (DataType::Bag(t), Value::Bag(vs)) | (DataType::Set(t), Value::Set(vs)) => {
+                vs.iter().all(|v| t.conforms(v))
+            }
+            _ => false,
+        }
+    }
+
+    /// Fields of an item type, or `None` for other kinds.
+    pub fn fields(&self) -> Option<&[Field]> {
+        match self {
+            DataType::Item(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// Looks up the type of a field by name (item types only).
+    pub fn field(&self, name: &str) -> Option<&DataType> {
+        self.fields()?
+            .iter()
+            .find_map(|f| (f.name == name).then_some(&f.ty))
+    }
+
+    /// Element type of a bag or set.
+    pub fn element(&self) -> Option<&DataType> {
+        match self {
+            DataType::Bag(t) | DataType::Set(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// True for bag/set types (the `flatten` precondition
+    /// `τ(a_col) ⇒ {{}} ∨ τ(a_col) ⇒ {}`).
+    pub fn is_collection(&self) -> bool {
+        matches!(self, DataType::Bag(_) | DataType::Set(_))
+    }
+
+    /// Resolves a (schema-level) path against this type: attribute steps
+    /// look into item fields, position steps and `[pos]` step into
+    /// collection elements. `Null` acts as the unknown type (inferred for
+    /// empty or non-unifiable collections) and resolves any step to `Null`.
+    pub fn resolve(&self, path: &Path) -> Option<&DataType> {
+        let mut current = self;
+        for step in path.steps() {
+            if matches!(current, DataType::Null) {
+                return Some(&DataType::Null);
+            }
+            current = match step {
+                Step::Attr(name) => current.field(name)?,
+                Step::Pos(_) | Step::AnyPos => current.element()?,
+            };
+        }
+        Some(current)
+    }
+
+    /// Enumerates every schema-level path of this type (attributes descend
+    /// into nested items; collections contribute a `[pos]` step).
+    pub fn schema_paths(&self) -> Vec<Path> {
+        fn go(ty: &DataType, prefix: &Path, out: &mut Vec<Path>) {
+            match ty {
+                DataType::Item(fields) => {
+                    for f in fields {
+                        let p = prefix.child(Step::attr(&f.name));
+                        out.push(p.clone());
+                        go(&f.ty, &p, out);
+                    }
+                }
+                DataType::Bag(t) | DataType::Set(t) => {
+                    let p = prefix.child(Step::AnyPos);
+                    go(t, &p, out);
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        go(self, &Path::root(), &mut out);
+        out
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Null => write!(f, "Null"),
+            DataType::Bool => write!(f, "Bool"),
+            DataType::Int => write!(f, "Int"),
+            DataType::Double => write!(f, "Double"),
+            DataType::Str => write!(f, "Str"),
+            DataType::Item(fields) => {
+                write!(f, "⟨")?;
+                for (i, fl) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}: {}", fl.name, fl.ty)?;
+                }
+                write!(f, "⟩")
+            }
+            DataType::Bag(t) => write!(f, "{{{{{t}}}}}"),
+            DataType::Set(t) => write!(f, "{{{t}}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tweet_type() -> DataType {
+        DataType::item([
+            ("text", DataType::Str),
+            (
+                "user",
+                DataType::item([("id_str", DataType::Str), ("name", DataType::Str)]),
+            ),
+            (
+                "user_mentions",
+                DataType::bag(DataType::item([("id_str", DataType::Str)])),
+            ),
+            ("retweet_cnt", DataType::Int),
+        ])
+    }
+
+    #[test]
+    fn infer_matches_paper_result_type() {
+        // Result type of Tab. 2:
+        // {{⟨user: ⟨id_str, name⟩, tweets: {{⟨text⟩}}⟩}}
+        let item = DataItem::from_fields([
+            (
+                "user",
+                Value::Item(DataItem::from_fields([
+                    ("id_str", Value::str("ls")),
+                    ("name", Value::str("Lauren Smith")),
+                ])),
+            ),
+            (
+                "tweets",
+                Value::Bag(vec![Value::Item(DataItem::from_fields([(
+                    "text",
+                    Value::str("Hello"),
+                )]))]),
+            ),
+        ]);
+        let ty = DataType::of_item(&item);
+        assert_eq!(
+            ty.to_string(),
+            "⟨user: ⟨id_str: Str, name: Str⟩, tweets: {{⟨text: Str⟩}}⟩"
+        );
+        assert!(ty.conforms(&Value::Item(item)));
+    }
+
+    #[test]
+    fn unify_widens_and_handles_null() {
+        assert_eq!(DataType::Int.unify(&DataType::Double), Some(DataType::Double));
+        assert_eq!(DataType::Null.unify(&DataType::Str), Some(DataType::Str));
+        assert_eq!(DataType::Int.unify(&DataType::Str), None);
+        let a = DataType::bag(DataType::Null);
+        let b = DataType::bag(DataType::Int);
+        assert_eq!(a.unify(&b), Some(DataType::bag(DataType::Int)));
+    }
+
+    #[test]
+    fn unify_items_fieldwise() {
+        let a = DataType::item([("x", DataType::Int)]);
+        let b = DataType::item([("x", DataType::Double)]);
+        assert_eq!(a.unify(&b), Some(DataType::item([("x", DataType::Double)])));
+        let c = DataType::item([("y", DataType::Int)]);
+        assert_eq!(a.unify(&c), None);
+    }
+
+    #[test]
+    fn resolve_paths() {
+        let ty = tweet_type();
+        assert_eq!(
+            ty.resolve(&Path::parse("user.name")),
+            Some(&DataType::Str)
+        );
+        assert_eq!(
+            ty.resolve(&Path::parse("user_mentions.[pos].id_str")),
+            Some(&DataType::Str)
+        );
+        assert_eq!(
+            ty.resolve(&Path::parse("user_mentions[2].id_str")),
+            Some(&DataType::Str)
+        );
+        assert_eq!(ty.resolve(&Path::parse("user.bogus")), None);
+        assert!(ty
+            .resolve(&Path::parse("user_mentions"))
+            .unwrap()
+            .is_collection());
+    }
+
+    #[test]
+    fn schema_paths_enumeration() {
+        let ty = tweet_type();
+        let paths: Vec<String> = ty.schema_paths().iter().map(|p| p.to_string()).collect();
+        assert_eq!(
+            paths,
+            [
+                "text",
+                "user",
+                "user.id_str",
+                "user.name",
+                "user_mentions",
+                "user_mentions[pos].id_str",
+                "retweet_cnt"
+            ]
+        );
+    }
+
+    #[test]
+    fn conforms_rejects_shape_mismatch() {
+        let ty = tweet_type();
+        let bad = Value::Item(DataItem::from_fields([("text", Value::Int(7))]));
+        assert!(!ty.conforms(&bad));
+    }
+
+    #[test]
+    fn empty_collection_infers_null_element() {
+        assert_eq!(
+            DataType::of(&Value::Bag(vec![])),
+            DataType::bag(DataType::Null)
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the nested data model: value/JSON roundtrips,
+//! path algebra laws, type inference/conformance coherence.
+
+use proptest::prelude::*;
+
+use pebble_nested::{json, DataItem, DataType, Path, Step, Value};
+
+/// Strategy for attribute names (short, unique-ish identifiers).
+fn attr_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+/// Strategy for arbitrary nested values with bounded depth/size.
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        // Finite doubles only: JSON cannot represent NaN/inf.
+        (-1e15f64..1e15).prop_map(Value::Double),
+        "[ -~]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Bag),
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::set_from),
+            item_from(inner).prop_map(Value::Item),
+        ]
+    })
+}
+
+fn item_from(inner: impl Strategy<Value = Value> + Clone) -> impl Strategy<Value = DataItem> {
+    prop::collection::btree_map(attr_name(), inner, 0..4).prop_map(|m| {
+        let mut d = DataItem::new();
+        for (k, v) in m {
+            d.push(k, v);
+        }
+        d
+    })
+}
+
+fn item_strategy() -> impl Strategy<Value = DataItem> {
+    item_from(value_strategy().boxed())
+}
+
+fn path_strategy() -> impl Strategy<Value = Path> {
+    prop::collection::vec(
+        prop_oneof![
+            attr_name().prop_map(Step::Attr),
+            (1u32..5).prop_map(Step::Pos),
+            Just(Step::AnyPos),
+        ],
+        0..6,
+    )
+    .prop_map(Path::new)
+}
+
+proptest! {
+    /// Parsing the display of any path yields the same path.
+    #[test]
+    fn path_display_parse_roundtrip(p in path_strategy()) {
+        let shown = p.to_string();
+        let reparsed: Path = shown.parse().expect("display must be parseable");
+        prop_assert_eq!(reparsed, p);
+    }
+
+    /// `strip_prefix` inverts `join`.
+    #[test]
+    fn path_join_strip_inverse(a in path_strategy(), b in path_strategy()) {
+        let joined = a.join(&b);
+        prop_assert!(joined.starts_with(&a));
+        let stripped = joined.strip_prefix(&a).expect("prefix must strip");
+        // Stripping can only differ from `b` via [pos]/concrete-position
+        // matching, which join/strip of the same `a` never introduces.
+        prop_assert_eq!(stripped, b);
+    }
+
+    /// Schema-level conversion is idempotent and placeholder-only.
+    #[test]
+    fn schema_level_idempotent(p in path_strategy()) {
+        let s = p.to_schema_level();
+        prop_assert_eq!(s.clone(), s.to_schema_level());
+        prop_assert!(!s.steps().iter().any(|st| matches!(st, Step::Pos(_))));
+        // The original always matches its own schema-level form.
+        prop_assert!(p.starts_with(&s));
+    }
+
+    /// Every value written as JSON parses back to an equal value, modulo the
+    /// bag/set distinction (JSON arrays always read back as bags) and the
+    /// Int/Double widening at the leaves.
+    #[test]
+    fn json_roundtrip(v in value_strategy()) {
+        let text = json::to_string(&v);
+        let parsed = json::parse(&text).expect("serializer output must parse");
+        prop_assert!(json_equiv(&v, &parsed), "{v} != {parsed} via {text}");
+    }
+
+    /// Inference produces a type the value conforms to — for data that
+    /// satisfies Def. 4.1's homogeneity requirement ("bags and sets are
+    /// restricted to containing elements of the same type"). The generator
+    /// can produce ill-typed collections; those are skipped.
+    #[test]
+    fn inferred_type_conforms(d in item_strategy()) {
+        prop_assume!(well_typed(&Value::Item(d.clone())));
+        let ty = DataType::of_item(&d);
+        prop_assert!(ty.conforms(&Value::Item(d)));
+    }
+
+    /// Every path in `PS_d` evaluates to a value, and every schema-level
+    /// path of the inferred type resolves in the type.
+    #[test]
+    fn path_set_paths_evaluate(d in item_strategy()) {
+        let ty = DataType::of_item(&d);
+        for p in Path::path_set(&d) {
+            prop_assert!(p.eval(&d).is_some(), "path {p} must evaluate");
+            prop_assert!(
+                ty.resolve(&p.to_schema_level()).is_some(),
+                "schema path {p} must resolve in {ty}"
+            );
+        }
+    }
+
+    /// `eval` of a concrete path agrees with `eval_all`.
+    #[test]
+    fn eval_agrees_with_eval_all(d in item_strategy()) {
+        for p in Path::path_set(&d) {
+            let single = p.eval(&d).expect("path from PS_d evaluates");
+            let all = p.eval_all(&d);
+            prop_assert_eq!(all, vec![single]);
+        }
+    }
+
+    /// Type unification is commutative and `Null` is its identity.
+    #[test]
+    fn unify_laws(d1 in item_strategy(), d2 in item_strategy()) {
+        let (a, b) = (DataType::of_item(&d1), DataType::of_item(&d2));
+        prop_assert_eq!(a.unify(&b), b.unify(&a));
+        prop_assert_eq!(a.unify(&DataType::Null), Some(a.clone()));
+        prop_assert_eq!(a.unify(&a), Some(a.clone()));
+    }
+}
+
+/// Def. 4.1 well-typedness: every collection's element types unify.
+fn well_typed(v: &Value) -> bool {
+    match v {
+        Value::Item(d) => d.fields().all(|(_, v)| well_typed(v)),
+        Value::Bag(vs) | Value::Set(vs) => {
+            vs.iter().all(well_typed)
+                && vs
+                    .iter()
+                    .map(DataType::of)
+                    .try_fold(DataType::Null, |acc, t| acc.unify(&t))
+                    .is_some()
+        }
+        _ => true,
+    }
+}
+
+/// Structural equivalence treating Bag/Set as interchangeable (JSON arrays)
+/// and Int(i) ≡ Double(i as f64) (the Value PartialEq already widens).
+fn json_equiv(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Bag(x) | Value::Set(x), Value::Bag(y) | Value::Set(y)) => {
+            x.len() == y.len() && x.iter().zip(y).all(|(u, v)| json_equiv(u, v))
+        }
+        (Value::Item(x), Value::Item(y)) => {
+            x.len() == y.len()
+                && x.fields()
+                    .zip(y.fields())
+                    .all(|((nx, vx), (ny, vy))| nx == ny && json_equiv(vx, vy))
+        }
+        (Value::Double(x), Value::Int(y)) | (Value::Int(y), Value::Double(x)) => {
+            *x == *y as f64
+        }
+        _ => a == b,
+    }
+}

@@ -1,0 +1,16 @@
+//! # pebble-workloads — evaluation datasets and scenarios
+//!
+//! Synthetic substitutes for the paper's 500 GB Twitter and DBLP inputs
+//! (see DESIGN.md for the substitution rationale), the running example of
+//! Sec. 2, and the ten evaluation scenarios of Tab. 7.
+
+#![warn(missing_docs)]
+
+pub mod dblp;
+pub mod running_example;
+pub mod scenarios;
+pub mod twitter;
+
+pub use dblp::{DblpConfig, DblpData};
+pub use scenarios::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario};
+pub use twitter::TwitterConfig;

@@ -1,0 +1,56 @@
+//! Auditing use-case (Secs. 1 and 7.3.5): after a query result leaks,
+//! structural provenance identifies *which attributes of which customers*
+//! were exposed (GDPR), and which attributes influenced the result without
+//! being exposed — the reconstruction-attack surface that lineage systems
+//! miss.
+//!
+//! ```text
+//! cargo run --example auditing
+//! ```
+
+use pebble::core::analysis::AuditReport;
+use pebble::core::{backtrace, run_captured};
+use pebble::dataflow::ExecConfig;
+use pebble::workloads::{dblp_context, dblp_scenarios};
+
+fn main() {
+    let ctx = dblp_context(600);
+    let cfg = ExecConfig::default();
+
+    // The leaked results: scenarios D1-D5, each traced with its query.
+    let mut report = AuditReport::default();
+    let mut influencing_only = 0usize;
+    for s in dblp_scenarios() {
+        let run = run_captured(&s.program, &ctx, cfg).expect("scenario runs");
+        let b = s.query.match_rows(&run.output.rows);
+        for source in backtrace(&run, b) {
+            if source.source == "inproceedings" {
+                report.merge(AuditReport::from_provenance(&source));
+            }
+        }
+    }
+
+    println!("== GDPR audit over scenarios D1-D5 (inproceedings records) ==\n");
+    println!("{} records leaked at least one attribute.\n", report.leaked.len());
+    for (idx, paths) in report.leaked.iter().take(5) {
+        let mut attrs: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+        attrs.sort();
+        attrs.dedup();
+        println!("record #{idx}: LEAKED {}", attrs.join(", "));
+        if let Some(infl) = report.influencing.get(idx) {
+            let mut attrs: Vec<String> = infl.iter().map(|p| p.to_string()).collect();
+            attrs.sort();
+            attrs.dedup();
+            influencing_only += attrs.len();
+            println!("           influenced-only (reconstruction risk): {}", attrs.join(", "));
+        }
+        println!();
+    }
+    println!("…and {} more records.", report.leaked.len().saturating_sub(5));
+    println!();
+    println!("A lineage system would have to report *entire tuples* as leaked —");
+    println!("forcing, e.g., credit-card reissue for attributes that never left");
+    println!("the system. Structural provenance pinpoints the exposed attributes");
+    println!("and additionally surfaces {influencing_only}+ influencing-only attribute accesses");
+    println!("that matter for reconstruction-attack risk assessment.");
+}

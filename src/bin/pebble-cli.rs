@@ -1,0 +1,253 @@
+//! `pebble-cli` — interactive front-end for the Pebble reproduction (the
+//! paper names a user-friendly provenance front-end as future work).
+//!
+//! ```text
+//! pebble-cli generate twitter --n 1000 --seed 7 --out tweets.ndjson
+//! pebble-cli generate dblp --n 2000 --out-dir data/
+//! pebble-cli scenario T3 --size 2000
+//! pebble-cli trace T3 --size 2000
+//! pebble-cli trace T3 --size 2000 --query '//id_str = "u3"'
+//! pebble-cli heatmap --size 2000
+//! pebble-cli audit --size 2000
+//! ```
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use pebble::core::analysis::AuditReport;
+use pebble::core::{backtrace, run_captured, Heatmap, TreePattern};
+use pebble::dataflow::{Context, ExecConfig};
+use pebble::nested::fmt::render_table;
+use pebble::nested::json;
+use pebble::workloads::{
+    dblp, dblp_context, dblp_scenarios, twitter, twitter_context, twitter_scenarios, DblpConfig,
+    Scenario, TwitterConfig,
+};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match dispatch(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pebble-cli generate twitter [--n N] [--seed S] [--out FILE]
+  pebble-cli generate dblp    [--n N] [--seed S] [--out-dir DIR]
+  pebble-cli scenario NAME    [--size N]       run one of T1-T5 / D1-D5
+  pebble-cli trace NAME       [--size N] [--query PATTERN]
+  pebble-cli heatmap          [--size N]
+  pebble-cli audit            [--size N]
+  pebble-cli list                               list scenarios";
+
+fn dispatch(args: &[String]) -> Result<(), String> {
+    let mut it = args.iter();
+    match it.next().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("scenario") => scenario_cmd(&args[1..], false),
+        Some("trace") => scenario_cmd(&args[1..], true),
+        Some("heatmap") => heatmap_cmd(&args[1..]),
+        Some("audit") => audit_cmd(&args[1..]),
+        Some("list") => {
+            for s in twitter_scenarios().iter().chain(dblp_scenarios().iter()) {
+                println!("{:<4} {}", s.name, s.description);
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("missing command".into()),
+    }
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn flag_usize(args: &[String], name: &str, default: usize) -> Result<usize, String> {
+    match flag(args, name) {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{name} expects a number, got `{v}`")),
+        None => Ok(default),
+    }
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let kind = args.first().ok_or("generate needs `twitter` or `dblp`")?;
+    let n = flag_usize(args, "--n", 1000)?;
+    let seed = flag_usize(args, "--seed", 42)? as u64;
+    match kind.as_str() {
+        "twitter" => {
+            let items = twitter::generate(&TwitterConfig {
+                seed,
+                ..TwitterConfig::sized(n)
+            });
+            let out = flag(args, "--out").unwrap_or_else(|| "tweets.ndjson".into());
+            let mut f = std::fs::File::create(&out).map_err(|e| e.to_string())?;
+            for item in &items {
+                writeln!(f, "{}", json::item_to_string(item)).map_err(|e| e.to_string())?;
+            }
+            println!("wrote {} tweets to {out}", items.len());
+            Ok(())
+        }
+        "dblp" => {
+            let data = dblp::generate(&DblpConfig {
+                seed,
+                ..DblpConfig::sized(n)
+            });
+            let dir = flag(args, "--out-dir").unwrap_or_else(|| ".".into());
+            std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+            for (name, items) in [
+                ("articles", &data.articles),
+                ("inproceedings", &data.inproceedings),
+                ("proceedings", &data.proceedings),
+                ("persons", &data.persons),
+                ("other_records", &data.other),
+            ] {
+                let path = format!("{dir}/{name}.ndjson");
+                let mut f = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+                for item in items {
+                    writeln!(f, "{}", json::item_to_string(item)).map_err(|e| e.to_string())?;
+                }
+                println!("wrote {} {name} to {path}", items.len());
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown dataset `{other}`")),
+    }
+}
+
+fn find_scenario(name: &str) -> Result<(Scenario, bool), String> {
+    let upper = name.to_ascii_uppercase();
+    if let Some(s) = twitter_scenarios().into_iter().find(|s| s.name == upper) {
+        return Ok((s, true));
+    }
+    if let Some(s) = dblp_scenarios().into_iter().find(|s| s.name == upper) {
+        return Ok((s, false));
+    }
+    Err(format!(
+        "unknown scenario `{name}` (expected T1-T5 or D1-D5)"
+    ))
+}
+
+fn scenario_context(is_twitter: bool, size: usize) -> Context {
+    if is_twitter {
+        twitter_context(size)
+    } else {
+        dblp_context(size)
+    }
+}
+
+fn scenario_cmd(args: &[String], trace: bool) -> Result<(), String> {
+    let name = args.first().ok_or("missing scenario name")?;
+    let size = flag_usize(args, "--size", 1000)?;
+    let (scenario, is_twitter) = find_scenario(name)?;
+    let ctx = scenario_context(is_twitter, size);
+    let run = run_captured(&scenario.program, &ctx, ExecConfig::default())
+        .map_err(|e| e.to_string())?;
+    println!(
+        "{}: {} — {} result items",
+        scenario.name,
+        scenario.description,
+        run.output.rows.len()
+    );
+    let sample: Vec<_> = run.output.items().into_iter().take(5).collect();
+    println!("{}", render_table(&sample));
+    println!(
+        "provenance: {} lineage bytes, {} structural bytes",
+        run.lineage_bytes(),
+        run.structural_bytes()
+    );
+    if !trace {
+        return Ok(());
+    }
+    let query = match flag(args, "--query") {
+        Some(text) => TreePattern::parse(&text).map_err(|e| e.to_string())?,
+        None => scenario.query.clone(),
+    };
+    let matched = query.match_rows(&run.output.rows);
+    println!("query matched {} result items", matched.entries.len());
+    let sources = backtrace(&run, matched);
+    for source in &sources {
+        println!(
+            "\nsource `{}` (read #{}): {} traced items",
+            source.source,
+            source.read_op,
+            source.entries.len()
+        );
+        for entry in source.entries.iter().take(3) {
+            println!("  input position {}:", entry.index);
+            for line in entry.tree.to_string().lines() {
+                println!("    {line}");
+            }
+        }
+        if source.entries.len() > 3 {
+            println!("  … and {} more", source.entries.len() - 3);
+        }
+    }
+    Ok(())
+}
+
+fn heatmap_cmd(args: &[String]) -> Result<(), String> {
+    let size = flag_usize(args, "--size", 1000)?;
+    let ctx = dblp_context(size);
+    let mut heatmap = Heatmap::new();
+    for s in dblp_scenarios() {
+        let run = run_captured(&s.program, &ctx, ExecConfig::default())
+            .map_err(|e| e.to_string())?;
+        let b = s.query.match_rows(&run.output.rows);
+        for source in backtrace(&run, b) {
+            if source.source == "inproceedings" {
+                heatmap.absorb(&source);
+            }
+        }
+    }
+    let attributes: Vec<String> = [
+        "key", "type", "title", "year", "crossref", "authors", "pages", "booktitle",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("{}", heatmap.render(25, &attributes));
+    println!(
+        "cold attributes: {:?}",
+        heatmap.cold_attributes(&attributes)
+    );
+    Ok(())
+}
+
+fn audit_cmd(args: &[String]) -> Result<(), String> {
+    let size = flag_usize(args, "--size", 1000)?;
+    let ctx = dblp_context(size);
+    let mut report = AuditReport::default();
+    for s in dblp_scenarios() {
+        let run = run_captured(&s.program, &ctx, ExecConfig::default())
+            .map_err(|e| e.to_string())?;
+        let b = s.query.match_rows(&run.output.rows);
+        for source in backtrace(&run, b) {
+            if source.source == "inproceedings" {
+                report.merge(AuditReport::from_provenance(&source));
+            }
+        }
+    }
+    println!(
+        "{} inproceedings records leaked at least one attribute",
+        report.leaked.len()
+    );
+    for (idx, paths) in report.leaked.iter().take(10) {
+        let mut attrs: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+        attrs.sort();
+        attrs.dedup();
+        println!("  record #{idx}: {}", attrs.join(", "));
+    }
+    Ok(())
+}
