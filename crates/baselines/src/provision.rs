@@ -188,10 +188,7 @@ fn poly_of(
             let inner = poly_of(run, pred(op, 0), input, memo);
             // The paper writes p29 · P_flatten(p29 · [0]): the source tuple
             // joined with the flattening of its own collection element.
-            Poly::Product(vec![
-                inner.clone(),
-                Poly::Flatten(Box::new(inner), pos),
-            ])
+            Poly::Product(vec![inner.clone(), Poly::Flatten(Box::new(inner), pos)])
         }
         ProvAssoc::Agg(assoc) => {
             let Some((members, _)) = assoc.iter().find(|(_, o)| *o == id) else {
@@ -239,9 +236,7 @@ mod tests {
             .output
             .rows
             .iter()
-            .find(|r| {
-                Path::parse("user.id_str").eval(&r.item) == Some(&Value::str("lp"))
-            })
+            .find(|r| Path::parse("user.id_str").eval(&r.item) == Some(&Value::str("lp")))
             .unwrap();
         let poly = polynomial(&run, lp.id);
         // The paper's polynomial mentions source tuples 1, 12, 17 (authored,
@@ -273,9 +268,7 @@ mod tests {
             let lineage = trace_back(&lrun, &[row.id]);
             let mut expected: Vec<(u32, usize)> = lineage
                 .into_iter()
-                .flat_map(|s| {
-                    s.indices.into_iter().map(move |i| (s.read_op, i))
-                })
+                .flat_map(|s| s.indices.into_iter().map(move |i| (s.read_op, i)))
                 .collect();
             expected.sort_unstable();
             assert_eq!(vars, expected, "item {}", row.id);
@@ -300,8 +293,14 @@ mod tests {
         assert_eq!(
             poly,
             Poly::Product(vec![
-                Poly::Var { read_op: 0, index: 0 },
-                Poly::Var { read_op: 1, index: 0 },
+                Poly::Var {
+                    read_op: 0,
+                    index: 0
+                },
+                Poly::Var {
+                    read_op: 1,
+                    index: 0
+                },
             ])
         );
         assert_eq!(poly.to_string(), "p0_0·p1_0");

@@ -10,7 +10,7 @@
 //! extra work structural provenance performs (flatten positions and the
 //! static path sets), mirroring the paper's head-to-head setup.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use pebble_dataflow::hash::FxHashMap;
 use pebble_dataflow::{
@@ -66,33 +66,39 @@ impl ProvenanceSink for LineageSink {
     fn read_batch(&self, op: OpId, ids: &[ItemId]) {
         self.per_op[op as usize]
             .lock()
+            .unwrap()
             .read_ids
             .extend_from_slice(ids);
     }
 
     fn unary_batch(&self, op: OpId, assoc: &[(ItemId, ItemId)]) {
-        let mut t = self.per_op[op as usize].lock();
-        t.entries
-            .extend(assoc.iter().map(|&(i, o)| (vec![i], o)));
+        let mut t = self.per_op[op as usize].lock().unwrap();
+        t.entries.extend(assoc.iter().map(|&(i, o)| (vec![i], o)));
     }
 
     fn binary_batch(&self, op: OpId, assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {
-        let mut t = self.per_op[op as usize].lock();
-        t.entries.extend(assoc.iter().map(|&(l, r, o)| {
-            (l.into_iter().chain(r).collect(), o)
-        }));
+        let mut t = self.per_op[op as usize].lock().unwrap();
+        t.entries.extend(
+            assoc
+                .iter()
+                .map(|&(l, r, o)| (l.into_iter().chain(r).collect(), o)),
+        );
     }
 
     fn flatten_batch(&self, op: OpId, assoc: &[(ItemId, u32, ItemId)]) {
         // Lineage drops the position — the structural information Pebble
         // keeps (Sec. 7.3.2).
-        let mut t = self.per_op[op as usize].lock();
+        let mut t = self.per_op[op as usize].lock().unwrap();
         t.entries
             .extend(assoc.iter().map(|&(i, _pos, o)| (vec![i], o)));
     }
 
     fn agg_batch(&self, op: OpId, assoc: Vec<(Vec<ItemId>, ItemId)>) {
-        self.per_op[op as usize].lock().entries.extend(assoc);
+        self.per_op[op as usize]
+            .lock()
+            .unwrap()
+            .entries
+            .extend(assoc);
     }
 }
 
@@ -109,7 +115,11 @@ pub fn run_lineage(program: &Program, ctx: &Context, config: ExecConfig) -> Resu
     Ok(LineageRun {
         program: program.clone(),
         output,
-        tables: sink.per_op.into_iter().map(Mutex::into_inner).collect(),
+        tables: sink
+            .per_op
+            .into_iter()
+            .map(|m| m.into_inner().unwrap())
+            .collect(),
     })
 }
 
@@ -129,8 +139,7 @@ pub struct SourceLineage {
 /// Traces result identifiers back to all sources through the lineage
 /// tables (the recursive join of Sec. 6.3, without any tree rewriting).
 pub fn trace_back(run: &LineageRun, result_ids: &[ItemId]) -> Vec<SourceLineage> {
-    let mut worklist: Vec<(OpId, Vec<ItemId>)> =
-        vec![(run.program.sink(), result_ids.to_vec())];
+    let mut worklist: Vec<(OpId, Vec<ItemId>)> = vec![(run.program.sink(), result_ids.to_vec())];
     let mut per_read: FxHashMap<OpId, Vec<ItemId>> = FxHashMap::default();
 
     while let Some((oid, ids)) = worklist.pop() {
@@ -191,8 +200,10 @@ pub fn trace_back(run: &LineageRun, result_ids: &[ItemId]) -> Vec<SourceLineage>
                 .enumerate()
                 .map(|(i, &id)| (id, i))
                 .collect();
-            let mut indices: Vec<usize> =
-                ids.iter().filter_map(|id| index_of.get(id).copied()).collect();
+            let mut indices: Vec<usize> = ids
+                .iter()
+                .filter_map(|id| index_of.get(id).copied())
+                .collect();
             indices.sort_unstable();
             let source = match &run.program.operators()[read_op as usize].kind {
                 OpKind::Read { source } => source.clone(),
@@ -286,6 +297,6 @@ mod tests {
         let c = ctx();
         let plain = run(&p, &c, cfg(), &pebble_dataflow::NoSink).unwrap();
         let lin = run_lineage(&p, &c, cfg()).unwrap();
-        assert_eq!(plain.items(), lin.output.items());
+        assert!(plain.iter_items().eq(lin.output.iter_items()));
     }
 }

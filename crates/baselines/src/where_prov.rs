@@ -34,8 +34,7 @@ pub struct Cell {
 /// Computes the where-provenance of the value at `path` inside the result
 /// item identified by `id`.
 pub fn where_provenance(run: &CapturedRun, id: ItemId, path: &Path) -> Vec<Cell> {
-    let mut worklist: Vec<(OpId, ItemId, Path)> =
-        vec![(run.program.sink(), id, path.clone())];
+    let mut worklist: Vec<(OpId, ItemId, Path)> = vec![(run.program.sink(), id, path.clone())];
     let mut cells = Vec::new();
 
     while let Some((oid, id, path)) = worklist.pop() {
@@ -48,8 +47,7 @@ pub fn where_provenance(run: &CapturedRun, id: ItemId, path: &Path) -> Vec<Cell>
                 let Some(index) = ids.iter().position(|&i| i == id) else {
                     continue;
                 };
-                let OpKind::Read { source } = &run.program.operators()[oid as usize].kind
-                else {
+                let OpKind::Read { source } = &run.program.operators()[oid as usize].kind else {
                     unreachable!()
                 };
                 cells.push(Cell {
@@ -81,9 +79,7 @@ pub fn where_provenance(run: &CapturedRun, id: ItemId, path: &Path) -> Vec<Cell>
                 let ProvAssoc::Flatten(assoc) = &p.assoc else {
                     unreachable!()
                 };
-                let Some(&(input, pos, _)) =
-                    assoc.iter().find(|&&(_, _, o)| o == id)
-                else {
+                let Some(&(input, pos, _)) = assoc.iter().find(|&&(_, _, o)| o == id) else {
                     continue;
                 };
                 let mut found = false;
@@ -176,17 +172,16 @@ pub fn where_provenance(run: &CapturedRun, id: ItemId, path: &Path) -> Vec<Cell>
 }
 
 fn pred(p: &pebble_core::OperatorProvenance, idx: usize) -> OpId {
-    p.inputs[idx].pred.expect("non-read operator has predecessor")
+    p.inputs[idx]
+        .pred
+        .expect("non-read operator has predecessor")
 }
 
 fn unary_input(p: &pebble_core::OperatorProvenance, id: ItemId) -> Option<(ItemId, ())> {
     let ProvAssoc::Unary(assoc) = &p.assoc else {
         unreachable!()
     };
-    assoc
-        .iter()
-        .find(|&&(_, o)| o == id)
-        .map(|&(i, _)| (i, ()))
+    assoc.iter().find(|&&(_, o)| o == id).map(|&(i, _)| (i, ()))
 }
 
 /// Rewrites a result-side path back through the operator's manipulation
@@ -225,9 +220,7 @@ mod tests {
             .output
             .rows
             .iter()
-            .find(|r| {
-                Path::parse("user.id_str").eval(&r.item) == Some(&Value::str("lp"))
-            })
+            .find(|r| Path::parse("user.id_str").eval(&r.item) == Some(&Value::str("lp")))
             .unwrap();
         let cells = where_provenance(&run, lp.id, &Path::parse("user.id_str"));
         let upper: Vec<&Cell> = cells.iter().filter(|c| c.read_op == 0).collect();
@@ -254,9 +247,7 @@ mod tests {
             .output
             .rows
             .iter()
-            .find(|r| {
-                Path::parse("user.id_str").eval(&r.item) == Some(&Value::str("lp"))
-            })
+            .find(|r| Path::parse("user.id_str").eval(&r.item) == Some(&Value::str("lp")))
             .unwrap();
         // tweets[2].text is the first "Hello World" (input tweet 1).
         let cells = where_provenance(&run, lp.id, &Path::parse("tweets[2].text"));

@@ -1,0 +1,51 @@
+//! Criterion bench for the zero-copy hot path: plain execution vs
+//! structural provenance capture of the running example T3 (Twitter) and
+//! the flatten/join-heavy D3 (DBLP) at the default scale.
+//!
+//! This is the regression guard behind `BENCH_1.json` (produced by the
+//! `hotpath` binary): T3 exercises the fused filter→select chains, the
+//! union pass-through, and the collect-list aggregation; D3 stresses
+//! flatten expansion and the join build/probe sides.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use pebble_bench::{exec_config, DBLP_BASE, TWITTER_BASE};
+use pebble_core::run_captured;
+use pebble_dataflow::{run, NoSink};
+use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios};
+
+fn bench(c: &mut Criterion) {
+    let cfg = exec_config();
+    let mut group = c.benchmark_group("hotpath");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+
+    let tctx = twitter_context(TWITTER_BASE * pebble_bench::scale());
+    let t3 = twitter_scenarios().remove(2);
+    assert_eq!(t3.name, "T3");
+    group.bench_function("T3/plain", |b| {
+        b.iter(|| run(&t3.program, &tctx, cfg, &NoSink).unwrap())
+    });
+    group.bench_function("T3/capture", |b| {
+        b.iter(|| run_captured(&t3.program, &tctx, cfg).unwrap())
+    });
+
+    let dctx = dblp_context(DBLP_BASE * pebble_bench::scale());
+    let d3 = dblp_scenarios().remove(2);
+    assert_eq!(d3.name, "D3");
+    group.bench_function("D3/plain", |b| {
+        b.iter(|| run(&d3.program, &dctx, cfg, &NoSink).unwrap())
+    });
+    group.bench_function("D3/capture", |b| {
+        b.iter(|| run_captured(&d3.program, &dctx, cfg).unwrap())
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -41,9 +41,7 @@ fn bench(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(1200));
-    group.bench_function("plain", |b| {
-        b.iter(|| run(&p, &ctx, cfg, &NoSink).unwrap())
-    });
+    group.bench_function("plain", |b| b.iter(|| run(&p, &ctx, cfg, &NoSink).unwrap()));
     group.bench_function("titian_lineage", |b| {
         b.iter(|| run_lineage(&p, &ctx, cfg).unwrap())
     });

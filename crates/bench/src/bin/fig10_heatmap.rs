@@ -23,19 +23,21 @@ fn main() {
         }
     }
     let attributes: Vec<String> = [
-        "key", "type", "title", "year", "crossref", "authors", "pages", "booktitle",
+        "key",
+        "type",
+        "title",
+        "year",
+        "crossref",
+        "authors",
+        "pages",
+        "booktitle",
     ]
     .iter()
     .map(|s| s.to_string())
     .collect();
-    println!(
-        "Fig. 10 — heatmap for 25 inproceedings items after D1-D5 ({size} records)"
-    );
+    println!("Fig. 10 — heatmap for 25 inproceedings items after D1-D5 ({size} records)");
     println!("{}", heatmap.render(25, &attributes));
     let cold = heatmap.cold_attributes(&attributes);
     println!("cold attributes (vertical partitioning candidates): {cold:?}");
-    println!(
-        "cold items within the sample: {:?}",
-        heatmap.cold_items(25)
-    );
+    println!("cold items within the sample: {:?}", heatmap.cold_items(25));
 }

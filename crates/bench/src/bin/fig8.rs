@@ -6,7 +6,9 @@
 
 use pebble_bench::{exec_config, human_bytes, scale, DBLP_BASE, TWITTER_BASE};
 use pebble_core::run_captured;
-use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario};
+use pebble_workloads::{
+    dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario,
+};
 
 fn report(title: &str, scenarios: &[Scenario], ctx: &pebble_dataflow::Context) {
     println!("{title}");

@@ -3,10 +3,12 @@
 //! vs a PROVision-style fully lazy approach (re-run with capture once per
 //! input dataset at query time).
 
-use pebble_bench::{exec_config, ms, scale, DBLP_BASE, TWITTER_BASE};
 use pebble_baselines::lazy_query;
+use pebble_bench::{exec_config, ms, scale, DBLP_BASE, TWITTER_BASE};
 use pebble_core::{backtrace, run_captured};
-use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario};
+use pebble_workloads::{
+    dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario,
+};
 
 fn report(title: &str, scenarios: &[Scenario], ctx: &pebble_dataflow::Context) {
     let cfg = exec_config();

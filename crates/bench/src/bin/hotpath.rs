@@ -1,0 +1,137 @@
+//! Hot-path harness: plain and captured execution times for the running
+//! example T3 (Twitter) and the provenance-heavy D3 (DBLP) at the default
+//! scale, written as JSON so before/after comparisons are reproducible.
+//!
+//! Usage:
+//!
+//! ```text
+//! hotpath [--out FILE] [--baseline FILE]
+//! ```
+//!
+//! With `--baseline`, the written report embeds the baseline numbers and
+//! the relative improvement of plain execution per scenario.
+
+use std::fmt::Write as _;
+
+use pebble_bench::{exec_config, time_interleaved, DBLP_BASE, TWITTER_BASE};
+use pebble_core::run_captured;
+use pebble_dataflow::{run, NoSink};
+use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios};
+
+const ROUNDS: usize = 9;
+
+struct Measurement {
+    scenario: &'static str,
+    plain_ms: f64,
+    capture_ms: f64,
+}
+
+fn measure() -> Vec<Measurement> {
+    let cfg = exec_config();
+    let mut out = Vec::new();
+
+    let tctx = twitter_context(TWITTER_BASE * pebble_bench::scale());
+    let t3 = twitter_scenarios().remove(2);
+    assert_eq!(t3.name, "T3");
+    let times = time_interleaved(
+        ROUNDS,
+        &mut [
+            &mut || {
+                run(&t3.program, &tctx, cfg, &NoSink).unwrap();
+            },
+            &mut || {
+                run_captured(&t3.program, &tctx, cfg).unwrap();
+            },
+        ],
+    );
+    out.push(Measurement {
+        scenario: "T3",
+        plain_ms: times[0].as_secs_f64() * 1e3,
+        capture_ms: times[1].as_secs_f64() * 1e3,
+    });
+
+    let dctx = dblp_context(DBLP_BASE * pebble_bench::scale());
+    let d3 = dblp_scenarios().remove(2);
+    assert_eq!(d3.name, "D3");
+    let times = time_interleaved(
+        ROUNDS,
+        &mut [
+            &mut || {
+                run(&d3.program, &dctx, cfg, &NoSink).unwrap();
+            },
+            &mut || {
+                run_captured(&d3.program, &dctx, cfg).unwrap();
+            },
+        ],
+    );
+    out.push(Measurement {
+        scenario: "D3",
+        plain_ms: times[0].as_secs_f64() * 1e3,
+        capture_ms: times[1].as_secs_f64() * 1e3,
+    });
+
+    out
+}
+
+/// Minimal reader for the flat JSON this harness writes: pulls
+/// `"<scenario>": {"plain_ms": X` pairs back out by string scanning.
+fn baseline_plain_ms(json: &str, scenario: &str) -> Option<f64> {
+    let key = format!("\"{scenario}\"");
+    let obj = &json[json.find(&key)? + key.len()..];
+    let field = "\"plain_ms\":";
+    let rest = &obj[obj.find(field)? + field.len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_1.json");
+    let mut baseline_path: Option<String> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline needs a path")),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    let baseline = baseline_path
+        .map(|p| std::fs::read_to_string(&p).unwrap_or_else(|e| panic!("cannot read {p}: {e}")));
+
+    let results = measure();
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(json, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(
+        json,
+        "  \"scale\": {},",
+        std::env::var("PEBBLE_SCALE").unwrap_or_else(|_| "1".into())
+    );
+    let _ = writeln!(json, "  \"scenarios\": {{");
+    for (i, m) in results.iter().enumerate() {
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let mut extra = String::new();
+        if let Some(b) = baseline
+            .as_deref()
+            .and_then(|b| baseline_plain_ms(b, m.scenario))
+        {
+            let improvement = 100.0 * (b - m.plain_ms) / b;
+            let _ = write!(
+                extra,
+                ", \"baseline_plain_ms\": {b}, \"plain_improvement_pct\": {improvement:.1}"
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"plain_ms\": {:.3}, \"capture_ms\": {:.3}{extra}}}{sep}",
+            m.scenario, m.plain_ms, m.capture_ms
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    print!("{json}");
+    eprintln!("wrote {out_path}");
+}

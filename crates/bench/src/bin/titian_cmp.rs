@@ -7,8 +7,8 @@
 //! provenance. Both run on the identical engine, so the difference is the
 //! capture mechanism alone (paper: 5.89% vs 6.98% over plain Spark).
 
-use pebble_bench::{exec_config, ms, overhead_pct, scale, DBLP_BASE};
 use pebble_baselines::run_lineage;
+use pebble_bench::{exec_config, ms, overhead_pct, scale, DBLP_BASE};
 use pebble_core::run_captured;
 use pebble_dataflow::{run, Context, Expr, NoSink, Program, ProgramBuilder};
 use pebble_nested::{json, DataItem, Value};
@@ -19,9 +19,7 @@ use pebble_workloads::{dblp, DblpConfig};
 fn as_lines(items: &[DataItem]) -> Vec<DataItem> {
     items
         .iter()
-        .map(|i| {
-            DataItem::from_fields([("line", Value::str(json::item_to_string(i)))])
-        })
+        .map(|i| DataItem::from_fields([("line", Value::str(json::item_to_string(i)))]))
         .collect()
 }
 

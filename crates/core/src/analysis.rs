@@ -85,11 +85,7 @@ impl Heatmap {
     pub fn cold_attributes<'a>(&self, all_attributes: &'a [String]) -> Vec<&'a String> {
         all_attributes
             .iter()
-            .filter(|a| {
-                self.items
-                    .values()
-                    .all(|u| u.total(a) == 0)
-            })
+            .filter(|a| self.items.values().all(|u| u.total(a) == 0))
             .collect()
     }
 
@@ -142,11 +138,7 @@ impl AuditReport {
             let leaked = entry.tree.contributing_paths();
             let influencing = entry.tree.influencing_paths();
             if !leaked.is_empty() {
-                report
-                    .leaked
-                    .entry(entry.index)
-                    .or_default()
-                    .extend(leaked);
+                report.leaked.entry(entry.index).or_default().extend(leaked);
             }
             if !influencing.is_empty() {
                 report
@@ -270,7 +262,10 @@ mod tests {
 
     #[test]
     fn audit_report_partitions_leakage() {
-        let p = prov(vec![(0, tree(&["name"], &["year"])), (1, tree(&[], &["year"]))]);
+        let p = prov(vec![
+            (0, tree(&["name"], &["year"])),
+            (1, tree(&[], &["year"])),
+        ]);
         let r = AuditReport::from_provenance(&p);
         assert_eq!(r.leaked_items(), vec![0]);
         assert!(r.influencing.contains_key(&1));
@@ -287,9 +282,6 @@ mod tests {
             (2, tree(&["author"], &[])),
         ]);
         let pairs = co_access_pairs(&[&p]);
-        assert_eq!(
-            pairs[0],
-            (("author".to_string(), "title".to_string()), 2)
-        );
+        assert_eq!(pairs[0], (("author".to_string(), "title".to_string()), 2));
     }
 }

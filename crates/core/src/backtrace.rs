@@ -85,21 +85,19 @@ impl BacktraceIndex {
             .ops
             .iter()
             .map(|op| match &op.assoc {
-                ProvAssoc::Read(ids) => OpIndex::Read(
-                    ids.iter().enumerate().map(|(i, &id)| (id, i)).collect(),
-                ),
-                ProvAssoc::Unary(v) => {
-                    OpIndex::Unary(v.iter().map(|&(i, o)| (o, i)).collect())
+                ProvAssoc::Read(ids) => {
+                    OpIndex::Read(ids.iter().enumerate().map(|(i, &id)| (id, i)).collect())
                 }
-                ProvAssoc::Binary(v) => OpIndex::Binary(
-                    v.iter().map(|&(l, r, o)| (o, (l, r))).collect(),
-                ),
-                ProvAssoc::Flatten(v) => OpIndex::Flatten(
-                    v.iter().map(|&(i, pos, o)| (o, (i, pos))).collect(),
-                ),
-                ProvAssoc::Agg(v) => OpIndex::Agg(
-                    v.iter().map(|(ids, o)| (*o, ids.clone())).collect(),
-                ),
+                ProvAssoc::Unary(v) => OpIndex::Unary(v.iter().map(|&(i, o)| (o, i)).collect()),
+                ProvAssoc::Binary(v) => {
+                    OpIndex::Binary(v.iter().map(|&(l, r, o)| (o, (l, r))).collect())
+                }
+                ProvAssoc::Flatten(v) => {
+                    OpIndex::Flatten(v.iter().map(|&(i, pos, o)| (o, (i, pos))).collect())
+                }
+                ProvAssoc::Agg(v) => {
+                    OpIndex::Agg(v.iter().map(|(ids, o)| (*o, ids.clone())).collect())
+                }
             })
             .collect();
         BacktraceIndex { per_op }
@@ -370,8 +368,7 @@ fn backtrace_aggregation(
                 // is handled positionally through M; only count(*) and
                 // whole-item set nesting (position-less) fall back to the
                 // all-members rule.
-                a.input.is_empty()
-                    && a.func != pebble_dataflow::AggFunc::CollectList
+                a.input.is_empty() && a.func != pebble_dataflow::AggFunc::CollectList
             })
             .map(|a| Path::attr(&a.output))
             .collect(),
@@ -895,10 +892,7 @@ mod tests {
         };
         let sources = backtrace(&run, bt);
         let tree = &sources[0].entries[0].tree;
-        assert!(tree
-            .nodes()
-            .iter()
-            .all(|(_, n)| n.manipulated.contains(&1)));
+        assert!(tree.nodes().iter().all(|(_, n)| n.manipulated.contains(&1)));
     }
 }
 

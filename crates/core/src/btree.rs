@@ -18,15 +18,13 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use pebble_dataflow::OpId;
 use pebble_nested::{Path, Step};
 
 /// Label of a backtracing tree node: an attribute name, a concrete 1-based
 /// position inside a nested collection, or the `[pos]` placeholder used
 /// transiently while undoing `flatten`/nesting (Alg. 2).
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum NodeLabel {
     /// Attribute name.
     Attr(String),
@@ -66,7 +64,7 @@ impl NodeLabel {
 }
 
 /// A node of a backtracing tree (Def. 6.3).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BNode {
     /// Attribute name or collection position.
     pub label: NodeLabel,
@@ -96,11 +94,7 @@ impl BNode {
         self.accessed.extend(other.accessed);
         self.manipulated.extend(other.manipulated);
         for child in other.children {
-            match self
-                .children
-                .iter_mut()
-                .find(|c| c.label == child.label)
-            {
+            match self.children.iter_mut().find(|c| c.label == child.label) {
                 Some(mine) => mine.merge_from(child),
                 None => self.children.push(child),
             }
@@ -119,7 +113,7 @@ impl BNode {
 
 /// A backtracing tree `T` — a forest of attribute nodes under the implicit
 /// root that represents the top-level data item.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ProvTree {
     /// Top-level attribute nodes.
     pub roots: Vec<BNode>,
@@ -338,9 +332,7 @@ impl ProvTree {
             };
             let mut any = false;
             for n in nodes.iter_mut() {
-                if n.label.matches(step)
-                    && (rest.is_empty() || go(&mut n.children, rest, oid))
-                {
+                if n.label.matches(step) && (rest.is_empty() || go(&mut n.children, rest, oid)) {
                     n.accessed.insert(oid);
                     any = true;
                 }
@@ -369,10 +361,7 @@ impl ProvTree {
             }
         };
         for children in holders {
-            if let Some(idx) = children
-                .iter()
-                .position(|c| c.label == NodeLabel::AnyPos)
-            {
+            if let Some(idx) = children.iter().position(|c| c.label == NodeLabel::AnyPos) {
                 let mut node = children.remove(idx);
                 node.label = NodeLabel::Pos(pos);
                 match children.iter_mut().find(|c| c.label == node.label) {
@@ -556,20 +545,13 @@ mod tests {
         // flatten: undo ⟨user_mentions[pos], m_user⟩ — m_user.id_str
         // becomes user_mentions.[pos].id_str (Ex. 6.5).
         let mut t = tree(&["m_user.id_str"]);
-        assert!(t.manipulate_path(
-            &Path::parse("user_mentions[pos]"),
-            &Path::attr("m_user"),
-            5
-        ));
+        assert!(t.manipulate_path(&Path::parse("user_mentions[pos]"), &Path::attr("m_user"), 5));
         assert!(t.contains(&Path::parse("user_mentions[pos].id_str")));
         // Fill the placeholder with the recorded position (mergeTrees).
         t.fill_placeholder(&Path::parse("user_mentions[pos]"), 2);
         assert!(t.contains(&Path::parse("user_mentions[2].id_str")));
         // No placeholder label survives the merge substitution.
-        assert!(t
-            .nodes()
-            .iter()
-            .all(|(_, n)| n.label != NodeLabel::AnyPos));
+        assert!(t.nodes().iter().all(|(_, n)| n.label != NodeLabel::AnyPos));
     }
 
     #[test]

@@ -13,8 +13,7 @@
 //! at run time, through the engine's [`ProvenanceSink`] hook. This is what
 //! keeps the capture overhead comparable to plain lineage systems.
 
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 use pebble_dataflow::{
     run, Context, ExecConfig, ItemId, OpId, OpKind, Program, ProvenanceSink, Result, RunOutput,
@@ -23,7 +22,7 @@ use pebble_nested::{DataType, Path, Step};
 
 /// Identifier association table `P` of Def. 5.1, operator-dependent per
 /// Tab. 6.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ProvAssoc {
     /// `read`: identifiers assigned to the source items, in dataset order.
     Read(Vec<ItemId>),
@@ -66,10 +65,7 @@ impl ProvAssoc {
             ProvAssoc::Binary(v) => v.len() * 3 * ID,
             // Lineage keeps only ⟨id^i, id^o⟩ for flatten — no positions.
             ProvAssoc::Flatten(v) => v.len() * 2 * ID,
-            ProvAssoc::Agg(v) => v
-                .iter()
-                .map(|(ids, _)| (ids.len() + 1) * ID)
-                .sum(),
+            ProvAssoc::Agg(v) => v.iter().map(|(ids, _)| (ids.len() + 1) * ID).sum(),
         }
     }
 
@@ -86,7 +82,7 @@ impl ProvAssoc {
 /// Per-input provenance `⟨p, A⟩` of Def. 5.1. `accessed == None` encodes the
 /// undefined access set `⊥` of opaque `map` functions, distinct from the
 /// empty set `∅` (Sec. 5.0.1).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct InputProv {
     /// Preceding operator (`None` for `read`, which has no predecessor).
     pub pred: Option<OpId>,
@@ -95,7 +91,7 @@ pub struct InputProv {
 }
 
 /// The operator provenance 5-tuple `P = ⟨oid, type, I, M, P⟩` (Def. 5.1).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct OperatorProvenance {
     /// Operator identifier `oid`.
     pub oid: OpId,
@@ -178,19 +174,38 @@ struct CaptureSink {
 }
 
 impl CaptureSink {
-    fn new(program: &Program) -> Self {
-        let per_op = program
-            .operators()
+    fn new(program: &Program, ctx: &Context) -> Self {
+        // Forward row-count estimates seed each association table's
+        // capacity, so capture appends without reallocating along the way.
+        // Estimates are upper bounds for everything except flatten and
+        // join, which can expand; those still save the early doublings.
+        let ops = program.operators();
+        let mut est: Vec<usize> = Vec::with_capacity(ops.len());
+        for op in ops {
+            let of = |id: OpId| est[id as usize];
+            est.push(match &op.kind {
+                OpKind::Read { source } => ctx.source(source).map_or(0, <[_]>::len),
+                OpKind::Filter { .. }
+                | OpKind::Select { .. }
+                | OpKind::Map { .. }
+                | OpKind::Flatten { .. } => of(op.inputs[0]),
+                OpKind::Join { .. } => of(op.inputs[0]).max(of(op.inputs[1])),
+                OpKind::Union => of(op.inputs[0]) + of(op.inputs[1]),
+                OpKind::GroupAggregate { .. } => of(op.inputs[0]),
+            });
+        }
+        let per_op = ops
             .iter()
-            .map(|op| {
+            .zip(est)
+            .map(|(op, n)| {
                 Mutex::new(match &op.kind {
-                    OpKind::Read { .. } => ProvAssoc::Read(Vec::new()),
+                    OpKind::Read { .. } => ProvAssoc::Read(Vec::with_capacity(n)),
                     OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => {
-                        ProvAssoc::Unary(Vec::new())
+                        ProvAssoc::Unary(Vec::with_capacity(n))
                     }
-                    OpKind::Join { .. } | OpKind::Union => ProvAssoc::Binary(Vec::new()),
-                    OpKind::Flatten { .. } => ProvAssoc::Flatten(Vec::new()),
-                    OpKind::GroupAggregate { .. } => ProvAssoc::Agg(Vec::new()),
+                    OpKind::Join { .. } | OpKind::Union => ProvAssoc::Binary(Vec::with_capacity(n)),
+                    OpKind::Flatten { .. } => ProvAssoc::Flatten(Vec::with_capacity(n)),
+                    OpKind::GroupAggregate { .. } => ProvAssoc::Agg(Vec::with_capacity(n)),
                 })
             })
             .collect();
@@ -202,31 +217,31 @@ impl ProvenanceSink for CaptureSink {
     const ENABLED: bool = true;
 
     fn read_batch(&self, op: OpId, ids: &[ItemId]) {
-        if let ProvAssoc::Read(v) = &mut *self.per_op[op as usize].lock() {
+        if let ProvAssoc::Read(v) = &mut *self.per_op[op as usize].lock().unwrap() {
             v.extend_from_slice(ids);
         }
     }
 
     fn unary_batch(&self, op: OpId, assoc: &[(ItemId, ItemId)]) {
-        if let ProvAssoc::Unary(v) = &mut *self.per_op[op as usize].lock() {
+        if let ProvAssoc::Unary(v) = &mut *self.per_op[op as usize].lock().unwrap() {
             v.extend_from_slice(assoc);
         }
     }
 
     fn binary_batch(&self, op: OpId, assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {
-        if let ProvAssoc::Binary(v) = &mut *self.per_op[op as usize].lock() {
+        if let ProvAssoc::Binary(v) = &mut *self.per_op[op as usize].lock().unwrap() {
             v.extend_from_slice(assoc);
         }
     }
 
     fn flatten_batch(&self, op: OpId, assoc: &[(ItemId, u32, ItemId)]) {
-        if let ProvAssoc::Flatten(v) = &mut *self.per_op[op as usize].lock() {
+        if let ProvAssoc::Flatten(v) = &mut *self.per_op[op as usize].lock().unwrap() {
             v.extend_from_slice(assoc);
         }
     }
 
     fn agg_batch(&self, op: OpId, assoc: Vec<(Vec<ItemId>, ItemId)>) {
-        if let ProvAssoc::Agg(v) = &mut *self.per_op[op as usize].lock() {
+        if let ProvAssoc::Agg(v) = &mut *self.per_op[op as usize].lock().unwrap() {
             v.extend(assoc);
         }
     }
@@ -234,7 +249,7 @@ impl ProvenanceSink for CaptureSink {
 
 /// Executes `program` with structural provenance capture enabled.
 pub fn run_captured(program: &Program, ctx: &Context, config: ExecConfig) -> Result<CapturedRun> {
-    let sink = CaptureSink::new(program);
+    let sink = CaptureSink::new(program, ctx);
     let output = run(program, ctx, config, &sink)?;
     let ops = program
         .operators()
@@ -252,7 +267,7 @@ pub fn run_captured(program: &Program, ctx: &Context, config: ExecConfig) -> Res
                 op_type: op.kind.type_name().to_string(),
                 inputs,
                 manipulated,
-                assoc: assoc.into_inner(),
+                assoc: assoc.into_inner().unwrap(),
             }
         })
         .collect();
@@ -313,20 +328,14 @@ fn static_provenance(
                     manipulated.push((Path::attr(&f.name), Path::attr(&f.name)));
                 }
             }
-            let (_, renames) = pebble_dataflow::op::merge_item_schemas(
-                0,
-                input_schemas[0],
-                input_schemas[1],
-            )
-            .unwrap_or((DataType::Null, Vec::new()));
+            let (_, renames) =
+                pebble_dataflow::op::merge_item_schemas(0, input_schemas[0], input_schemas[1])
+                    .unwrap_or((DataType::Null, Vec::new()));
             for (orig, renamed) in renames {
                 manipulated.push((Path::attr(orig), Path::attr(renamed)));
             }
             (
-                vec![
-                    input(Some(left_access), 0),
-                    input(Some(right_access), 1),
-                ],
+                vec![input(Some(left_access), 0), input(Some(right_access), 1)],
                 Some(manipulated),
             )
         }
@@ -361,10 +370,8 @@ fn static_provenance(
                         if let Some(fields) = input_schemas[0].fields() {
                             let base = Path::attr(&a.output).child(Step::AnyPos);
                             for f in fields {
-                                manipulated.push((
-                                    Path::attr(&f.name),
-                                    base.child(Step::attr(&f.name)),
-                                ));
+                                manipulated
+                                    .push((Path::attr(&f.name), base.child(Step::attr(&f.name))));
                             }
                         }
                     }
@@ -482,12 +489,7 @@ mod tests {
         );
         assert_eq!(
             p.manipulated.as_deref(),
-            Some(
-                &[(
-                    Path::parse("user_mentions[pos]"),
-                    Path::attr("m_user")
-                )][..]
-            )
+            Some(&[(Path::parse("user_mentions[pos]"), Path::attr("m_user"))][..])
         );
         match &p.assoc {
             ProvAssoc::Flatten(v) => {
@@ -618,6 +620,6 @@ mod tests {
         let c = ctx();
         let plain = run(&p, &c, config(), &pebble_dataflow::NoSink).unwrap();
         let captured = run_captured(&p, &c, config()).unwrap();
-        assert_eq!(plain.items(), captured.output.items());
+        assert!(plain.iter_items().eq(captured.output.iter_items()));
     }
 }

@@ -124,8 +124,7 @@ pub fn apply(kind: &OpKind, inputs: &[&[DataItem]]) -> Result<Vec<ItemProvenance
                     // M: every top-level attribute of both inputs maps to
                     // its (possibly renamed) result attribute.
                     let mut manip = Vec::new();
-                    let mut taken: Vec<String> =
-                        i.names().map(str::to_string).collect();
+                    let mut taken: Vec<String> = i.names().map(str::to_string).collect();
                     for n in i.names() {
                         manip.push((Path::attr(n), Path::attr(n)));
                     }
@@ -224,8 +223,7 @@ pub fn apply(kind: &OpKind, inputs: &[&[DataItem]]) -> Result<Vec<ItemProvenance
             }
             let mut out = Vec::new();
             for (key, members) in order.iter().zip(&groups) {
-                let rows: Vec<&DataItem> =
-                    members.iter().map(|&m| &inputs[0][m]).collect();
+                let rows: Vec<&DataItem> = members.iter().map(|&m| &inputs[0][m]).collect();
                 let mut item = DataItem::new();
                 for (gk, kv) in keys.iter().zip(key) {
                     item.push(gk.name.clone(), kv.clone());
@@ -392,10 +390,7 @@ mod tests {
         let r = apply(&kind, &[&data]).unwrap();
         assert_eq!(r.len(), 2);
         let a = &r[0]; // group "a" seen first
-        assert_eq!(
-            a.inputs.iter().map(|i| i.index).collect::<Vec<_>>(),
-            [0, 2]
-        );
+        assert_eq!(a.inputs.iter().map(|i| i.index).collect::<Vec<_>>(), [0, 2]);
         let m = a.manipulations.as_deref().unwrap();
         assert!(m.contains(&(Path::attr("v"), Path::parse("vs[1]"))));
         assert!(m.contains(&(Path::attr("v"), Path::parse("vs[2]"))));

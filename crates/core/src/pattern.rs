@@ -308,19 +308,15 @@ impl TreePattern {
         let chunk = rows.len().div_ceil(8).max(1);
         let chunks: Vec<&[Row]> = rows.chunks(chunk).collect();
         let results: Vec<Vec<(u64, ProvTree)>> = if chunks.len() <= 1 {
-            chunks
-                .iter()
-                .map(|c| self.match_chunk(c))
-                .collect()
+            chunks.iter().map(|c| self.match_chunk(c)).collect()
         } else {
-            crossbeam::thread::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = chunks
                     .iter()
-                    .map(|c| scope.spawn(move |_| self.match_chunk(c)))
+                    .map(|c| scope.spawn(move || self.match_chunk(c)))
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
             })
-            .unwrap()
         };
         let mut b = Backtrace::new();
         for r in results {
@@ -343,9 +339,7 @@ mod tests {
 
     /// The result item 102 of Tab. 2.
     fn item_102() -> DataItem {
-        let tweet = |text: &str| {
-            Value::Item(DataItem::from_fields([("text", Value::str(text))]))
-        };
+        let tweet = |text: &str| Value::Item(DataItem::from_fields([("text", Value::str(text))]));
         DataItem::from_fields([
             (
                 "user",
@@ -421,9 +415,7 @@ mod tests {
     #[test]
     fn predicates_variants() {
         let d = DataItem::from_fields([("n", Value::Int(5)), ("s", Value::str("hello"))]);
-        let m = |node: PatternNode| {
-            TreePattern::root().node(node).match_item(&d).is_some()
-        };
+        let m = |node: PatternNode| TreePattern::root().node(node).match_item(&d).is_some();
         assert!(m(PatternNode::attr("n").pred(ValuePred::Gt(Value::Int(4)))));
         assert!(!m(PatternNode::attr("n").pred(ValuePred::Lt(Value::Int(5)))));
         assert!(m(PatternNode::attr("n").pred(ValuePred::Ge(Value::Int(5)))));

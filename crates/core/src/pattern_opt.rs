@@ -73,7 +73,10 @@ fn branch_filter(node: &PatternNode, schema: &DataType, prefix: &Path) -> Option
     // Crossing check: every prefix of the path must be an item type.
     for cut in 1..path.len() {
         let p = Path::new(path.steps()[..cut].iter().cloned());
-        if matches!(schema.resolve(&p), Some(DataType::Bag(_) | DataType::Set(_)) | None) {
+        if matches!(
+            schema.resolve(&p),
+            Some(DataType::Bag(_) | DataType::Set(_)) | None
+        ) {
             return None;
         }
     }
@@ -128,26 +131,34 @@ mod tests {
     }
 
     fn rows() -> Vec<Row> {
-        let item = |id: &str, n: i64| DataItem::from_fields([
-            (
-                "user",
-                Value::Item(DataItem::from_fields([
-                    ("id_str", Value::str(id)),
-                    ("name", Value::str("X")),
-                ])),
-            ),
-            ("n", Value::Int(n)),
-            (
-                "tweets",
-                Value::Bag(vec![Value::Item(DataItem::from_fields([(
-                    "text",
-                    Value::str("Hello World"),
-                )]))]),
-            ),
-        ]);
+        let item = |id: &str, n: i64| {
+            DataItem::from_fields([
+                (
+                    "user",
+                    Value::Item(DataItem::from_fields([
+                        ("id_str", Value::str(id)),
+                        ("name", Value::str("X")),
+                    ])),
+                ),
+                ("n", Value::Int(n)),
+                (
+                    "tweets",
+                    Value::Bag(vec![Value::Item(DataItem::from_fields([(
+                        "text",
+                        Value::str("Hello World"),
+                    )]))]),
+                ),
+            ])
+        };
         vec![
-            Row { id: 1, item: item("lp", 3) },
-            Row { id: 2, item: item("jm", 9) },
+            Row {
+                id: 1,
+                item: item("lp", 3),
+            },
+            Row {
+                id: 2,
+                item: item("jm", 9),
+            },
         ]
     }
 

@@ -40,7 +40,11 @@ pub struct PatternParseError {
 
 impl fmt::Display for PatternParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pattern syntax error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "pattern syntax error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -199,7 +203,10 @@ impl<'a> Parser<'a> {
 
     fn ident(&mut self) -> Result<String, PatternParseError> {
         let start = self.pos;
-        while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
             self.pos += 1;
         }
         if self.pos == start {
@@ -255,7 +262,7 @@ impl<'a> Parser<'a> {
             ">" => ValuePred::Gt(value),
             ">=" => ValuePred::Ge(value),
             "~" => match value {
-                Value::Str(s) => ValuePred::Contains(s),
+                Value::Str(s) => ValuePred::Contains(s.to_string()),
                 _ => return Err(self.err("`~` requires a string literal")),
             },
             _ => unreachable!(),
@@ -274,7 +281,7 @@ impl<'a> Parser<'a> {
                             .map_err(|_| self.err("invalid UTF-8 in string"))?
                             .to_string();
                         self.pos += 1;
-                        return Ok(Value::Str(s));
+                        return Ok(Value::Str(s.into()));
                     }
                     self.pos += 1;
                 }

@@ -7,11 +7,9 @@
 //! varint-compressed identifiers and schema-level paths as UTF-8.
 //!
 //! The format is deliberately simple — a magic header, one record per
-//! operator — and intentionally *not* tied to `serde` so its size is
+//! operator — and intentionally dependency-free so its size is
 //! predictable; the size accounting of Fig. 8 matches what this codec
 //! writes within a few percent.
-
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use pebble_dataflow::ItemId;
 use pebble_nested::Path;
@@ -33,9 +31,9 @@ impl std::fmt::Display for DecodeError {
 impl std::error::Error for DecodeError {}
 
 /// Serializes operator provenance to a compact binary blob.
-pub fn encode(ops: &[OperatorProvenance]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(1024);
-    buf.put_slice(MAGIC);
+pub fn encode(ops: &[OperatorProvenance]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(1024);
+    buf.extend_from_slice(MAGIC);
     put_varint(&mut buf, ops.len() as u64);
     for op in ops {
         put_varint(&mut buf, op.oid as u64);
@@ -44,44 +42,45 @@ pub fn encode(ops: &[OperatorProvenance]) -> Bytes {
         for input in &op.inputs {
             match input.pred {
                 Some(p) => {
-                    buf.put_u8(1);
+                    buf.push(1);
                     put_varint(&mut buf, p as u64);
                 }
-                None => buf.put_u8(0),
+                None => buf.push(0),
             }
             match &input.accessed {
                 Some(paths) => {
-                    buf.put_u8(1);
+                    buf.push(1);
                     put_varint(&mut buf, paths.len() as u64);
                     for p in paths {
                         put_str(&mut buf, &p.to_string());
                     }
                 }
-                None => buf.put_u8(0),
+                None => buf.push(0),
             }
         }
         match &op.manipulated {
             Some(ms) => {
-                buf.put_u8(1);
+                buf.push(1);
                 put_varint(&mut buf, ms.len() as u64);
                 for (a, b) in ms {
                     put_str(&mut buf, &a.to_string());
                     put_str(&mut buf, &b.to_string());
                 }
             }
-            None => buf.put_u8(0),
+            None => buf.push(0),
         }
         encode_assoc(&mut buf, &op.assoc);
     }
-    buf.freeze()
+    buf
 }
 
 /// Deserializes operator provenance previously written by [`encode`].
 pub fn decode(mut bytes: &[u8]) -> Result<Vec<OperatorProvenance>, DecodeError> {
     let buf = &mut bytes;
-    if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+    if buf.len() < 4 || buf[..4] != MAGIC[..] {
         return Err(DecodeError("bad magic/version".into()));
     }
+    *buf = &buf[4..];
     let n = get_varint(buf)? as usize;
     let mut ops = Vec::with_capacity(n.min(1 << 20));
     for _ in 0..n {
@@ -129,21 +128,21 @@ pub fn decode(mut bytes: &[u8]) -> Result<Vec<OperatorProvenance>, DecodeError> 
             assoc,
         });
     }
-    if buf.has_remaining() {
+    if !buf.is_empty() {
         return Err(DecodeError("trailing bytes".into()));
     }
     Ok(ops)
 }
 
-fn encode_assoc(buf: &mut BytesMut, assoc: &ProvAssoc) {
+fn encode_assoc(buf: &mut Vec<u8>, assoc: &ProvAssoc) {
     match assoc {
         ProvAssoc::Read(ids) => {
-            buf.put_u8(0);
+            buf.push(0);
             put_varint(buf, ids.len() as u64);
             put_ids_delta(buf, ids);
         }
         ProvAssoc::Unary(v) => {
-            buf.put_u8(1);
+            buf.push(1);
             put_varint(buf, v.len() as u64);
             for &(i, o) in v {
                 put_varint(buf, i);
@@ -151,7 +150,7 @@ fn encode_assoc(buf: &mut BytesMut, assoc: &ProvAssoc) {
             }
         }
         ProvAssoc::Binary(v) => {
-            buf.put_u8(2);
+            buf.push(2);
             put_varint(buf, v.len() as u64);
             for &(l, r, o) in v {
                 put_opt_id(buf, l);
@@ -160,7 +159,7 @@ fn encode_assoc(buf: &mut BytesMut, assoc: &ProvAssoc) {
             }
         }
         ProvAssoc::Flatten(v) => {
-            buf.put_u8(3);
+            buf.push(3);
             put_varint(buf, v.len() as u64);
             for &(i, pos, o) in v {
                 put_varint(buf, i);
@@ -169,7 +168,7 @@ fn encode_assoc(buf: &mut BytesMut, assoc: &ProvAssoc) {
             }
         }
         ProvAssoc::Agg(v) => {
-            buf.put_u8(4);
+            buf.push(4);
             put_varint(buf, v.len() as u64);
             for (ids, o) in v {
                 put_varint(buf, ids.len() as u64);
@@ -233,7 +232,7 @@ fn decode_assoc(buf: &mut &[u8]) -> Result<ProvAssoc, DecodeError> {
 
 /// Delta-encodes an identifier run: ids from one partition are ascending,
 /// so deltas varint-compress to one or two bytes each.
-fn put_ids_delta(buf: &mut BytesMut, ids: &[ItemId]) {
+fn put_ids_delta(buf: &mut Vec<u8>, ids: &[ItemId]) {
     let mut prev = 0u64;
     for &id in ids {
         // Zig-zag the signed delta.
@@ -254,13 +253,13 @@ fn get_ids_delta(buf: &mut &[u8], n: usize) -> Result<Vec<ItemId>, DecodeError> 
     Ok(ids)
 }
 
-fn put_opt_id(buf: &mut BytesMut, id: Option<ItemId>) {
+fn put_opt_id(buf: &mut Vec<u8>, id: Option<ItemId>) {
     match id {
         Some(i) => {
-            buf.put_u8(1);
+            buf.push(1);
             put_varint(buf, i);
         }
-        None => buf.put_u8(0),
+        None => buf.push(0),
     }
 }
 
@@ -279,15 +278,15 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
         if v == 0 {
-            buf.put_u8(byte);
+            buf.push(byte);
             return;
         }
-        buf.put_u8(byte | 0x80);
+        buf.push(byte | 0x80);
     }
 }
 
@@ -308,23 +307,25 @@ fn get_varint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
 }
 
 fn get_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
-    if !buf.has_remaining() {
-        return Err(DecodeError("unexpected end of input".into()));
-    }
-    Ok(buf.get_u8())
+    let (&byte, rest) = buf
+        .split_first()
+        .ok_or_else(|| DecodeError("unexpected end of input".into()))?;
+    *buf = rest;
+    Ok(byte)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str(buf: &mut Vec<u8>, s: &str) {
     put_varint(buf, s.len() as u64);
-    buf.put_slice(s.as_bytes());
+    buf.extend_from_slice(s.as_bytes());
 }
 
 fn get_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
     let len = get_varint(buf)? as usize;
-    if buf.remaining() < len {
+    if buf.len() < len {
         return Err(DecodeError("truncated string".into()));
     }
-    let bytes = buf.copy_to_bytes(len);
+    let (bytes, rest) = buf.split_at(len);
+    *buf = rest;
     String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("invalid UTF-8".into()))
 }
 
@@ -424,7 +425,7 @@ mod tests {
         for v in [0i64, 1, -1, 63, -64, 1 << 20, -(1 << 40), i64::MAX / 2] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
-        let mut buf = BytesMut::new();
+        let mut buf = Vec::new();
         for v in [0u64, 127, 128, 300, u64::MAX] {
             put_varint(&mut buf, v);
         }

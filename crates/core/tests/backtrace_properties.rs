@@ -19,8 +19,12 @@ fn cfg() -> ExecConfig {
 /// Small nested rows: k (group key), v (numeric), xs (nested bag of items).
 fn dataset_strategy() -> impl Strategy<Value = Vec<DataItem>> {
     prop::collection::vec(
-        (0i64..4, 0i64..40, prop::collection::vec((0i64..6, 0i64..3), 0..4)).prop_map(
-            |(k, v, xs)| {
+        (
+            0i64..4,
+            0i64..40,
+            prop::collection::vec((0i64..6, 0i64..3), 0..4),
+        )
+            .prop_map(|(k, v, xs)| {
                 DataItem::from_fields([
                     ("k", Value::Int(k)),
                     ("v", Value::Int(v)),
@@ -38,8 +42,7 @@ fn dataset_strategy() -> impl Strategy<Value = Vec<DataItem>> {
                         ),
                     ),
                 ])
-            },
-        ),
+            }),
         1..14,
     )
 }

@@ -82,9 +82,7 @@ impl BuilderExt for ProgramBuilder {
             OpKind::Flatten { col, new_attr } => {
                 self.flatten(inputs[0], &col.to_string(), new_attr)
             }
-            OpKind::GroupAggregate { keys, aggs } => {
-                self.group_aggregate(inputs[0], keys, aggs)
-            }
+            OpKind::GroupAggregate { keys, aggs } => self.group_aggregate(inputs[0], keys, aggs),
             OpKind::Union => self.union(inputs[0], inputs[1]),
             OpKind::Join { keys } => self.join(inputs[0], inputs[1], keys),
             OpKind::Read { source } => self.read(source),
@@ -109,12 +107,7 @@ fn model_pairs(kind: &OpKind, data: &[DataItem]) -> Vec<(Vec<usize>, DataItem)> 
     model::apply(kind, &[data])
         .unwrap()
         .into_iter()
-        .map(|p| {
-            (
-                p.inputs.iter().map(|i| i.index).collect(),
-                p.item,
-            )
-        })
+        .map(|p| (p.inputs.iter().map(|i| i.index).collect(), p.item))
         .collect()
 }
 
@@ -130,10 +123,7 @@ fn dataset_strategy() -> impl Strategy<Value = Vec<DataItem>> {
             DataItem::from_fields([
                 ("k", Value::Int(k)),
                 ("v", Value::Int(v)),
-                (
-                    "xs",
-                    Value::Bag(xs.into_iter().map(Value::Int).collect()),
-                ),
+                ("xs", Value::Bag(xs.into_iter().map(Value::Int).collect())),
             ])
         }),
         0..12,
@@ -258,11 +248,6 @@ fn schema_level_generalizes_concrete_paths() {
         .flat_map(|p| p.manipulations.clone().unwrap())
         .map(|(a, b)| (a.to_schema_level(), b.to_schema_level()))
         .collect();
-    let schema_m: BTreeSet<(Path, Path)> = light
-        .manipulated
-        .clone()
-        .unwrap()
-        .into_iter()
-        .collect();
+    let schema_m: BTreeSet<(Path, Path)> = light.manipulated.clone().unwrap().into_iter().collect();
     assert_eq!(concrete_m, schema_m);
 }

@@ -103,10 +103,7 @@ mod tests {
 
     #[test]
     fn heterogeneous_source_gets_wildcard() {
-        let items = items_of(vec![
-            vec![("a", Value::Int(1))],
-            vec![("b", Value::Int(1))],
-        ]);
+        let items = items_of(vec![vec![("a", Value::Int(1))], vec![("b", Value::Int(1))]]);
         assert_eq!(infer_schema(&items), DataType::Null);
     }
 

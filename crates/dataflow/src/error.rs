@@ -39,7 +39,10 @@ impl fmt::Display for EngineError {
             EngineError::UnknownOperator(id) => write!(f, "unknown operator #{id}"),
             EngineError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
             EngineError::UnresolvedPath { op, path, schema } => {
-                write!(f, "operator #{op}: path `{path}` not found in schema {schema}")
+                write!(
+                    f,
+                    "operator #{op}: path `{path}` not found in schema {schema}"
+                )
             }
             EngineError::TypeError { op, message } => {
                 write!(f, "operator #{op}: {message}")

@@ -11,12 +11,14 @@
 //! [`ProvenanceSink`]; with [`NoSink`](crate::sink::NoSink) this bookkeeping
 //! is compiled away, giving the plain "Spark" baseline of Figs. 6/7.
 
-use pebble_nested::{DataItem, DataType, Path, Value};
+use pebble_nested::{DataItem, DataType, Label, Path, Value};
 
 use crate::context::Context;
 use crate::error::{EngineError, Result};
+use crate::expr::Expr;
 use crate::hash::{hash_one, FxHashMap};
-use crate::op::{key_value, AggFunc, AggSpec, GroupKey, OpId, OpKind};
+use crate::op::{key_value, AggFunc, AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};
+use crate::program::Operator;
 use crate::program::Program;
 use crate::sink::ProvenanceSink;
 
@@ -103,8 +105,16 @@ impl RunOutput {
     }
 
     /// Output items without identifiers.
+    ///
+    /// Clones every item; prefer [`RunOutput::iter_items`] when borrowing
+    /// suffices.
     pub fn items(&self) -> Vec<DataItem> {
         self.rows.iter().map(|r| r.item.clone()).collect()
+    }
+
+    /// Borrowing iterator over the output items, in row order.
+    pub fn iter_items(&self) -> impl Iterator<Item = &DataItem> + '_ {
+        self.rows.iter().map(|r| &r.item)
     }
 }
 
@@ -117,11 +127,36 @@ pub fn run<S: ProvenanceSink>(
     sink: &S,
 ) -> Result<RunOutput> {
     let op_schemas = program.infer_schemas(&ctx.source_schemas())?;
-    let mut outputs: Vec<Partitions> = Vec::with_capacity(program.operators().len());
-    let mut op_counts = Vec::with_capacity(program.operators().len());
+    let ops = program.operators();
+    let mut outputs: Vec<Partitions> = Vec::with_capacity(ops.len());
+    let mut op_counts = Vec::with_capacity(ops.len());
     let parts = config.partitions.max(1);
+    let consumers = program.consumers();
 
-    for op in program.operators() {
+    let mut idx = 0;
+    while idx < ops.len() {
+        let op = &ops[idx];
+        // Fuse maximal chains of single-consumer per-row operators into one
+        // pass over the head's input: no intermediate Vec<Row> is
+        // materialized, while per-stage id generators and association
+        // buffers keep identifiers and captured provenance byte-identical
+        // to the unfused execution.
+        let chain_len = fusable_chain_len(ops, program.sink(), &consumers, idx);
+        if chain_len >= 2 {
+            let chain: Vec<&Operator> = ops[idx..idx + chain_len].iter().collect();
+            let input = &outputs[op.inputs[0] as usize];
+            let (counts, fused) = exec_fused_chain::<S>(&chain, input, sink);
+            for (i, count) in counts.iter().enumerate() {
+                op_counts.push(*count);
+                if i + 1 < counts.len() {
+                    // Fused-away intermediate: nothing consumes its rows.
+                    outputs.push(Vec::new());
+                }
+            }
+            outputs.push(fused);
+            idx += chain_len;
+            continue;
+        }
         let result: Partitions = match &op.kind {
             OpKind::Read { source } => {
                 let items = ctx
@@ -146,10 +181,11 @@ pub fn run<S: ProvenanceSink>(
             }
             OpKind::Select { exprs } => {
                 let input = &outputs[op.inputs[0] as usize];
+                let labels: Vec<Label> = exprs.iter().map(|ne| Label::new(&ne.name)).collect();
                 exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
                     let mut item = DataItem::new();
-                    for ne in exprs {
-                        item.push(ne.name.clone(), ne.expr.eval(&row.item));
+                    for (ne, label) in exprs.iter().zip(&labels) {
+                        item.push(label.clone(), ne.expr.eval(&row.item));
                     }
                     let id = ids.next();
                     out.push(Row { id, item });
@@ -191,17 +227,152 @@ pub fn run<S: ProvenanceSink>(
         };
         op_counts.push(result.iter().map(Vec::len).sum());
         outputs.push(result);
+        idx += 1;
     }
 
-    let rows: Vec<Row> = outputs[program.sink() as usize]
-        .iter()
-        .flat_map(|p| p.iter().cloned())
+    let rows: Vec<Row> = std::mem::take(&mut outputs[program.sink() as usize])
+        .into_iter()
+        .flatten()
         .collect();
     Ok(RunOutput {
         rows,
         op_schemas,
         op_counts,
     })
+}
+
+/// One per-row stage of a fused chain.
+enum StageKind<'a> {
+    Filter(&'a Expr),
+    Select {
+        exprs: &'a [NamedExpr],
+        labels: Vec<Label>,
+    },
+    Map(&'a MapUdf),
+}
+
+fn stage_kind(kind: &OpKind) -> Option<StageKind<'_>> {
+    match kind {
+        OpKind::Filter { predicate } => Some(StageKind::Filter(predicate)),
+        OpKind::Select { exprs } => Some(StageKind::Select {
+            exprs,
+            labels: exprs.iter().map(|ne| Label::new(&ne.name)).collect(),
+        }),
+        OpKind::Map { udf } => Some(StageKind::Map(udf)),
+        _ => None,
+    }
+}
+
+fn is_per_row(kind: &OpKind) -> bool {
+    matches!(
+        kind,
+        OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. }
+    )
+}
+
+/// Length of the maximal fusable chain starting at `ops[start]`: per-row
+/// operators with consecutive ids where every link's producer feeds *only*
+/// the next operator and is not the program sink. Returns 1 when nothing
+/// can be fused onto the start operator.
+fn fusable_chain_len(
+    ops: &[Operator],
+    sink: OpId,
+    consumers: &FxHashMap<OpId, Vec<OpId>>,
+    start: usize,
+) -> usize {
+    if !is_per_row(&ops[start].kind) {
+        return 1;
+    }
+    let mut len = 1;
+    while start + len < ops.len() {
+        let prev = &ops[start + len - 1];
+        let next = &ops[start + len];
+        let single_consumer = consumers.get(&prev.id).is_some_and(|c| c == &[next.id]);
+        if is_per_row(&next.kind) && next.inputs == [prev.id] && prev.id != sink && single_consumer
+        {
+            len += 1;
+        } else {
+            break;
+        }
+    }
+    len
+}
+
+/// Executes a fused chain of per-row operators in one pass over `input`.
+///
+/// Per-row operators map input partition `p` to output partition `p` with
+/// sequentially assigned ids, so running every stage inside one loop with
+/// per-stage [`IdGen`]s reproduces exactly the ids — and, per stage, the
+/// association batches — that separate passes would have produced. Only the
+/// last stage's rows are materialized. Returns per-stage output counts and
+/// the final stage's partitions.
+fn exec_fused_chain<S: ProvenanceSink>(
+    chain: &[&Operator],
+    input: &Partitions,
+    sink: &S,
+) -> (Vec<usize>, Partitions) {
+    let stages: Vec<StageKind<'_>> = chain
+        .iter()
+        .map(|op| stage_kind(&op.kind).expect("chain ops are per-row"))
+        .collect();
+    let n = stages.len();
+    let results = par_map(input, |pidx, partition| {
+        let mut ids: Vec<IdGen> = chain.iter().map(|op| IdGen::new(op.id, pidx)).collect();
+        let mut assocs: Vec<Vec<(ItemId, ItemId)>> = (0..n)
+            .map(|_| Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 }))
+            .collect();
+        let mut counts = vec![0usize; n];
+        let mut out = Vec::with_capacity(partition.len());
+        'rows: for row in partition {
+            let mut item = row.item.clone();
+            let mut prev_id = row.id;
+            for (s, stage) in stages.iter().enumerate() {
+                match stage {
+                    StageKind::Filter(pred) => {
+                        if !pred.eval_bool(&item) {
+                            continue 'rows;
+                        }
+                    }
+                    StageKind::Select { exprs, labels } => {
+                        let mut next = DataItem::new();
+                        for (ne, label) in exprs.iter().zip(labels) {
+                            next.push(label.clone(), ne.expr.eval(&item));
+                        }
+                        item = next;
+                    }
+                    StageKind::Map(udf) => item = (udf.f)(&item),
+                }
+                let id = ids[s].next();
+                if S::ENABLED {
+                    assocs[s].push((prev_id, id));
+                }
+                counts[s] += 1;
+                prev_id = id;
+            }
+            out.push(Row { id: prev_id, item });
+        }
+        (out, assocs, counts)
+    });
+    if S::ENABLED {
+        // Stage-major, partition-ordered emission — the batch sequence an
+        // unfused execution reports per operator.
+        for (s, op) in chain.iter().enumerate() {
+            for (_, assocs, _) in &results {
+                if !assocs[s].is_empty() {
+                    sink.unary_batch(op.id, &assocs[s]);
+                }
+            }
+        }
+    }
+    let mut totals = vec![0usize; n];
+    let mut partitions = Vec::with_capacity(results.len());
+    for (rows, _, counts) in results {
+        for (s, c) in counts.iter().enumerate() {
+            totals[s] += c;
+        }
+        partitions.push(rows);
+    }
+    (totals, partitions)
 }
 
 /// Runs `f` over every input partition, in parallel when there are several.
@@ -215,18 +386,17 @@ where
         return inputs.iter().enumerate().map(|(i, p)| f(i, p)).collect();
     }
     let f = &f;
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = inputs
             .iter()
             .enumerate()
-            .map(|(i, p)| scope.spawn(move |_| f(i, p)))
+            .map(|(i, p)| scope.spawn(move || f(i, p)))
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("partition worker panicked"))
             .collect()
     })
-    .expect("executor scope panicked")
 }
 
 fn exec_read<S: ProvenanceSink>(
@@ -260,12 +430,7 @@ fn exec_read<S: ProvenanceSink>(
 }
 
 /// Shared driver for per-row unary operators (filter/select/map).
-fn exec_per_row<S, F>(
-    op: OpId,
-    input: &Partitions,
-    sink: &S,
-    body: F,
-) -> Partitions
+fn exec_per_row<S, F>(op: OpId, input: &Partitions, sink: &S, body: F) -> Partitions
 where
     S: ProvenanceSink,
     F: Fn(&Row, &mut Vec<Row>, &mut Vec<(ItemId, ItemId)>, &mut IdGen) + Sync + Send,
@@ -296,17 +461,19 @@ fn exec_flatten<S: ProvenanceSink>(
     new_attr: &str,
     sink: &S,
 ) -> Partitions {
+    let attr = Label::new(new_attr);
     let results = par_map(input, |pidx, partition| {
         let mut ids = IdGen::new(op, pidx);
         let mut out = Vec::with_capacity(partition.len());
-        let mut assoc: Vec<(ItemId, u32, ItemId)> = Vec::new();
+        let mut assoc: Vec<(ItemId, u32, ItemId)> =
+            Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
         for row in partition {
             let Some(elements) = col.eval(&row.item).and_then(Value::as_collection) else {
                 continue; // missing/null collections produce no rows
             };
             for (idx, element) in elements.iter().enumerate() {
                 let mut item = row.item.clone();
-                item.push(new_attr.to_string(), element.clone());
+                item.push(attr.clone(), element.clone());
                 let id = ids.next();
                 out.push(Row { id, item });
                 if S::ENABLED {
@@ -359,8 +526,9 @@ fn exec_join<S: ProvenanceSink>(
 
     let results = par_map(left, |pidx, partition| {
         let mut ids = IdGen::new(op, pidx);
-        let mut out = Vec::new();
-        let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> = Vec::new();
+        let mut out = Vec::with_capacity(partition.len());
+        let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
+            Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
         for lrow in partition {
             let Some(k) = join_key(&lrow.item, &left_paths) else {
                 continue;
@@ -451,31 +619,35 @@ fn exec_group_aggregate<S: ProvenanceSink>(
         }
     }
 
+    let key_labels: Vec<Label> = keys.iter().map(|k| Label::new(&k.name)).collect();
+    let agg_labels: Vec<Label> = aggs.iter().map(|a| Label::new(&a.output)).collect();
     let results = par_map(&buckets, |pidx, rows| {
         let mut ids = IdGen::new(op, pidx);
-        // First-seen-ordered grouping within the bucket.
-        let mut order: Vec<Vec<Value>> = Vec::new();
-        let mut groups: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+        // First-seen-ordered grouping within the bucket. The map holds an
+        // index into `grouped`, so each distinct key is cloned exactly once
+        // (on first sight) instead of once per probing row.
+        let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+        let mut grouped: Vec<(Vec<Value>, Vec<&Row>)> = Vec::new();
         for row in rows.iter() {
             let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
-            groups
-                .entry(key.clone())
-                .or_insert_with(|| {
-                    order.push(key);
-                    Vec::new()
-                })
-                .push(row);
-        }
-        let mut out = Vec::with_capacity(order.len());
-        let mut assoc: Vec<(Vec<ItemId>, ItemId)> = Vec::new();
-        for key in order {
-            let members = &groups[&key];
-            let mut item = DataItem::new();
-            for (gk, kv) in keys.iter().zip(&key) {
-                item.push(gk.name.clone(), kv.clone());
+            match index.get(&key) {
+                Some(&slot) => grouped[slot].1.push(row),
+                None => {
+                    index.insert(key.clone(), grouped.len());
+                    grouped.push((key, vec![row]));
+                }
             }
-            for agg in aggs {
-                item.push(agg.output.clone(), eval_agg(agg, members));
+        }
+        let mut out = Vec::with_capacity(grouped.len());
+        let mut assoc: Vec<(Vec<ItemId>, ItemId)> =
+            Vec::with_capacity(if S::ENABLED { grouped.len() } else { 0 });
+        for (key, members) in grouped {
+            let mut item = DataItem::new();
+            for (label, kv) in key_labels.iter().zip(&key) {
+                item.push(label.clone(), kv.clone());
+            }
+            for (agg, label) in aggs.iter().zip(&agg_labels) {
+                item.push(label.clone(), eval_agg(agg, &members));
             }
             let id = ids.next();
             if S::ENABLED {
@@ -497,10 +669,20 @@ fn exec_group_aggregate<S: ProvenanceSink>(
     }
     keyed.sort_by(|a, b| a.key.cmp(&b.key));
     let chunk = keyed.len().div_ceil(parts).max(1);
-    let mut partitions: Partitions = keyed
-        .chunks(chunk)
-        .map(|c| c.iter().map(|k| Row { id: k.id, item: k.item.clone() }).collect())
-        .collect();
+    let mut partitions: Partitions = Vec::with_capacity(parts);
+    let mut current = Vec::with_capacity(chunk.min(keyed.len()));
+    for k in keyed {
+        current.push(Row {
+            id: k.id,
+            item: k.item,
+        });
+        if current.len() == chunk {
+            partitions.push(std::mem::replace(&mut current, Vec::with_capacity(chunk)));
+        }
+    }
+    if !current.is_empty() {
+        partitions.push(current);
+    }
     if partitions.is_empty() {
         partitions.push(Vec::new());
     }
@@ -523,11 +705,7 @@ struct KeyedRow {
 fn eval_agg(agg: &AggSpec, members: &[&Row]) -> Value {
     let values = |skip_null: bool| {
         members.iter().filter_map(move |r| {
-            let v = agg
-                .input
-                .eval(&r.item)
-                .cloned()
-                .unwrap_or(Value::Null);
+            let v = agg.input.eval(&r.item).cloned().unwrap_or(Value::Null);
             if skip_null && v.is_null() {
                 None
             } else {
@@ -567,7 +745,12 @@ fn eval_agg(agg: &AggSpec, members: &[&Row]) -> Value {
             if agg.input.is_empty() {
                 // Nesting of whole items: the paper's grouping operator
                 // collects the complete group members into a nested bag.
-                Value::Bag(members.iter().map(|r| Value::Item(r.item.clone())).collect())
+                Value::Bag(
+                    members
+                        .iter()
+                        .map(|r| Value::Item(r.item.clone()))
+                        .collect(),
+                )
             } else {
                 Value::Bag(values(false).collect())
             }
@@ -690,10 +873,7 @@ mod tests {
         c.register(
             "t",
             items_of(vec![
-                vec![(
-                    "tags",
-                    Value::Bag(vec![Value::str("a"), Value::str("b")]),
-                )],
+                vec![("tags", Value::Bag(vec![Value::str("a"), Value::str("b")]))],
                 vec![("tags", Value::Bag(vec![]))],
             ]),
         );
@@ -720,7 +900,7 @@ mod tests {
         let c = ctx();
         let one = run(&p, &c, ExecConfig { partitions: 1 }, &NoSink).unwrap();
         let four = run(&p, &c, ExecConfig { partitions: 4 }, &NoSink).unwrap();
-        assert_eq!(one.items(), four.items());
+        assert!(one.iter_items().eq(four.iter_items()));
     }
 
     #[test]

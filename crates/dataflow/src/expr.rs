@@ -172,14 +172,12 @@ impl Expr {
                     CmpOp::Ge => ord.is_ge(),
                 })
             }
-            Expr::And(a, b) => {
-                Value::Bool(a.eval(item).as_bool().unwrap_or(false)
-                    && b.eval(item).as_bool().unwrap_or(false))
-            }
-            Expr::Or(a, b) => {
-                Value::Bool(a.eval(item).as_bool().unwrap_or(false)
-                    || b.eval(item).as_bool().unwrap_or(false))
-            }
+            Expr::And(a, b) => Value::Bool(
+                a.eval(item).as_bool().unwrap_or(false) && b.eval(item).as_bool().unwrap_or(false),
+            ),
+            Expr::Or(a, b) => Value::Bool(
+                a.eval(item).as_bool().unwrap_or(false) || b.eval(item).as_bool().unwrap_or(false),
+            ),
             Expr::Not(a) => Value::Bool(!a.eval(item).as_bool().unwrap_or(false)),
             Expr::Contains(h, n) => {
                 let (vh, vn) = (h.eval(item), n.eval(item));
@@ -298,8 +296,10 @@ impl Expr {
                 let (ta, tb) = (a.infer_type(op, schema)?, b.infer_type(op, schema)?);
                 match (&ta, &tb) {
                     (DataType::Int, DataType::Int) => DataType::Int,
-                    (DataType::Int | DataType::Double | DataType::Null, DataType::Int
-                        | DataType::Double | DataType::Null) => DataType::Double,
+                    (
+                        DataType::Int | DataType::Double | DataType::Null,
+                        DataType::Int | DataType::Double | DataType::Null,
+                    ) => DataType::Double,
                     _ => {
                         return Err(EngineError::TypeError {
                             op,
@@ -565,7 +565,10 @@ mod tests {
     #[test]
     fn len_expr() {
         let d = DataItem::from_fields([("tags", Value::Bag(vec![Value::Int(1), Value::Int(2)]))]);
-        assert_eq!(Expr::Len(Box::new(Expr::col("tags"))).eval(&d), Value::Int(2));
+        assert_eq!(
+            Expr::Len(Box::new(Expr::col("tags"))).eval(&d),
+            Value::Int(2)
+        );
     }
 
     #[test]

@@ -75,7 +75,12 @@ pub fn read_ndjson(path: impl AsRef<FsPath>) -> Result<Vec<DataItem>, IoError> {
                     },
                 })
             }
-            Err(error) => return Err(IoError::Json { line: line_no, error }),
+            Err(error) => {
+                return Err(IoError::Json {
+                    line: line_no,
+                    error,
+                })
+            }
         }
     }
 }

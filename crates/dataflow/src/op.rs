@@ -271,17 +271,15 @@ impl OpKind {
                 }
                 Ok(merge_item_schemas(op, left, right)?.0)
             }
-            OpKind::Union => {
-                inputs[0]
-                    .unify(&inputs[1])
-                    .ok_or_else(|| EngineError::TypeError {
-                        op,
-                        message: format!(
-                            "union arms have incompatible types {} vs {}",
-                            inputs[0], inputs[1]
-                        ),
-                    })
-            }
+            OpKind::Union => inputs[0]
+                .unify(&inputs[1])
+                .ok_or_else(|| EngineError::TypeError {
+                    op,
+                    message: format!(
+                        "union arms have incompatible types {} vs {}",
+                        inputs[0], inputs[1]
+                    ),
+                }),
             OpKind::Flatten { col, new_attr } => {
                 let schema = &inputs[0];
                 if matches!(schema, DataType::Null) {
@@ -296,7 +294,9 @@ impl OpKind {
                     other => {
                         return Err(EngineError::TypeError {
                             op,
-                            message: format!("flatten target `{col}` has type {other}, expected a collection"),
+                            message: format!(
+                                "flatten target `{col}` has type {other}, expected a collection"
+                            ),
                         })
                     }
                 };
@@ -554,10 +554,7 @@ mod tests {
             keys: vec![(Path::attr("k"), Path::attr("k"))],
         };
         let out = k.output_schema(3, &[a, b]).unwrap();
-        assert_eq!(
-            out.to_string(),
-            "⟨k: Int, v: Str, k_r: Int, w: Str⟩"
-        );
+        assert_eq!(out.to_string(), "⟨k: Int, v: Str, k_r: Int, w: Str⟩");
     }
 
     #[test]

@@ -4,8 +4,8 @@
 use pebble_nested::DataType;
 
 use crate::error::{EngineError, Result};
-use crate::hash::FxHashMap;
 use crate::expr::Expr;
+use crate::hash::FxHashMap;
 use crate::op::{AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};
 
 pub use crate::expr::SelectExpr;

@@ -73,10 +73,7 @@ fn null_join_keys_never_match() {
     );
     c.register(
         "r",
-        items_of(vec![
-            vec![("k", Value::Int(1))],
-            vec![("k", Value::Null)],
-        ]),
+        items_of(vec![vec![("k", Value::Int(1))], vec![("k", Value::Null)]]),
     );
     let mut b = ProgramBuilder::new();
     let l = b.read("l");
@@ -240,9 +237,7 @@ fn map_with_declared_schema_validates_downstream() {
         r,
         MapUdf {
             name: "wrap".into(),
-            f: Arc::new(|d| {
-                DataItem::from_fields([("wrapped", Value::Item(d.clone()))])
-            }),
+            f: Arc::new(|d| DataItem::from_fields([("wrapped", Value::Item(d.clone()))])),
             output_schema: Some(DataType::item([(
                 "wrapped",
                 DataType::item([("v", DataType::Int)]),
@@ -283,10 +278,7 @@ fn select_struct_of_struct() {
         vec![NamedExpr::new(
             "outer",
             SelectExpr::strct([
-                (
-                    "inner",
-                    SelectExpr::strct([("a", SelectExpr::path("a"))]),
-                ),
+                ("inner", SelectExpr::strct([("a", SelectExpr::path("a"))])),
                 ("b", SelectExpr::path("b")),
             ]),
         )],

@@ -59,7 +59,7 @@ pub fn render_table(items: &[DataItem]) -> String {
 
 fn render_cell(value: &Value) -> String {
     match value {
-        Value::Str(s) => s.clone(),
+        Value::Str(s) => s.to_string(),
         other => other.to_string(),
     }
 }

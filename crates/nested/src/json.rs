@@ -180,7 +180,7 @@ impl<'a> Parser<'a> {
         match self.peek().ok_or_else(|| self.err("unexpected end"))? {
             b'{' => self.object(),
             b'[' => self.array(),
-            b'"' => Ok(Value::Str(self.string()?)),
+            b'"' => Ok(Value::Str(self.string()?.into())),
             b't' => self.literal("true", Value::Bool(true)),
             b'f' => self.literal("false", Value::Bool(false)),
             b'n' => self.literal("null", Value::Null),
@@ -267,8 +267,7 @@ impl<'a> Parser<'a> {
                             .get(self.pos..self.pos + 4)
                             .ok_or_else(|| self.err("short \\u escape"))?;
                         let code = u32::from_str_radix(
-                            std::str::from_utf8(hex)
-                                .map_err(|_| self.err("invalid \\u escape"))?,
+                            std::str::from_utf8(hex).map_err(|_| self.err("invalid \\u escape"))?,
                             16,
                         )
                         .map_err(|_| self.err("invalid \\u escape"))?;
@@ -292,8 +291,8 @@ impl<'a> Parser<'a> {
                             .bytes
                             .get(start..end)
                             .ok_or_else(|| self.err("truncated UTF-8"))?;
-                        let s = std::str::from_utf8(slice)
-                            .map_err(|_| self.err("invalid UTF-8"))?;
+                        let s =
+                            std::str::from_utf8(slice).map_err(|_| self.err("invalid UTF-8"))?;
                         out.push_str(s);
                         self.pos = end;
                     }
@@ -385,10 +384,7 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(
-            parse(r#""a\n\"b\"A""#).unwrap(),
-            Value::str("a\n\"b\"A")
-        );
+        assert_eq!(parse(r#""a\n\"b\"A""#).unwrap(), Value::str("a\n\"b\"A"));
         let v = Value::str("tab\tnl\nq\"");
         assert_eq!(parse(&to_string(&v)).unwrap(), v);
     }

@@ -1,0 +1,184 @@
+//! Interned attribute labels.
+//!
+//! Attribute names repeat across every row of a dataset (`text`,
+//! `user_mentions`, …), yet the engine used to carry each of them as an
+//! owned `String` per item — so passing a row through an operator copied
+//! every label. A [`Label`] is an `Arc<str>` handed out by a global symbol
+//! table: constructing the same name twice yields two handles to the *same*
+//! allocation, cloning is a reference-count bump, and equality is almost
+//! always a pointer comparison.
+//!
+//! Labels intern on construction and are never evicted; the table is
+//! bounded by the number of *distinct* attribute names, which is tiny
+//! (schema-sized) for any real workload.
+
+use std::borrow::Borrow;
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// An interned attribute name. Cheap to clone, compare, and hash; ordered
+/// and hashed by string content so containers behave exactly as with
+/// `String` keys (and deterministically across runs).
+#[derive(Clone)]
+pub struct Label(Arc<str>);
+
+fn table() -> &'static Mutex<HashSet<Arc<str>>> {
+    static TABLE: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashSet::new()))
+}
+
+impl Label {
+    /// Interns `name`, returning the shared handle for it.
+    pub fn new(name: &str) -> Self {
+        let mut t = table().lock().unwrap();
+        if let Some(existing) = t.get(name) {
+            return Label(Arc::clone(existing));
+        }
+        let arc: Arc<str> = Arc::from(name);
+        t.insert(Arc::clone(&arc));
+        Label(arc)
+    }
+
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Deref for Label {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for Label {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for Label {
+    fn eq(&self, other: &Self) -> bool {
+        // Interning makes equal labels pointer-equal; the content check
+        // only runs for *distinct* names (and for handles that crossed a
+        // process boundary, which cannot happen here).
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Label {}
+
+impl PartialEq<str> for Label {
+    fn eq(&self, other: &str) -> bool {
+        &*self.0 == other
+    }
+}
+
+impl PartialEq<&str> for Label {
+    fn eq(&self, other: &&str) -> bool {
+        &*self.0 == *other
+    }
+}
+
+impl PartialOrd for Label {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Label {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        self.0.cmp(&other.0)
+    }
+}
+
+impl Hash for Label {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Content hash, NOT pointer hash: partition assignment derives from
+        // key hashes and must be identical across processes and runs.
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&*self.0, f)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&*self.0, f)
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<&String> for Label {
+    fn from(s: &String) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label::new(&s)
+    }
+}
+
+impl From<&Label> for Label {
+    fn from(l: &Label) -> Self {
+        l.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_shares_allocations() {
+        let a = Label::new("text");
+        let b = Label::from("text".to_string());
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_names_differ() {
+        assert_ne!(Label::new("a"), Label::new("b"));
+        assert!(Label::new("a") < Label::new("b"));
+    }
+
+    #[test]
+    fn compares_with_str() {
+        let l = Label::new("name");
+        assert_eq!(l, "name");
+        assert_eq!(l.as_str(), "name");
+        assert_eq!(l.len(), 4); // Deref<Target = str>
+    }
+
+    #[test]
+    fn hash_matches_str_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        fn h(x: &(impl Hash + ?Sized)) -> u64 {
+            let mut s = DefaultHasher::new();
+            x.hash(&mut s);
+            s.finish()
+        }
+        // Borrow<str> requires Hash agreement with str.
+        assert_eq!(h(&Label::new("k")), h("k"));
+    }
+}

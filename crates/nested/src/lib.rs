@@ -7,6 +7,7 @@
 //!   conformance and unification;
 //! * [`path`] — access paths `d.a[i].b` (Def. 4.3) and schema-level paths
 //!   with `[pos]` placeholders (Sec. 5.1);
+//! * [`label`] — interned attribute names shared across items;
 //! * [`json`] — a minimal JSON reader/writer for examples and golden data;
 //! * [`fmt`] — a table renderer used by the runnable examples.
 
@@ -14,10 +15,12 @@
 
 pub mod fmt;
 pub mod json;
+pub mod label;
 pub mod path;
 pub mod types;
 pub mod value;
 
+pub use label::Label;
 pub use path::{Path, PathParseError, Step};
 pub use types::{DataType, Field};
 pub use value::{DataItem, Value};

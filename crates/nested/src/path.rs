@@ -13,12 +13,10 @@
 use std::fmt;
 use std::str::FromStr;
 
-use serde::{Deserialize, Serialize};
-
 use crate::value::{DataItem, Value};
 
 /// One navigation step of an access path.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Step {
     /// Attribute access `a`.
     Attr(String),
@@ -36,7 +34,7 @@ impl Step {
 }
 
 /// An access path: a sequence of [`Step`]s relative to a context data item.
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Path {
     steps: Vec<Step>,
 }
@@ -217,10 +215,7 @@ impl Path {
                 }
                 Step::Pos(i) => {
                     if let Value::Bag(vs) | Value::Set(vs) = value {
-                        if let Some(v) = (*i as usize)
-                            .checked_sub(1)
-                            .and_then(|idx| vs.get(idx))
-                        {
+                        if let Some(v) = (*i as usize).checked_sub(1).and_then(|idx| vs.get(idx)) {
                             go(v, rest, out);
                         }
                     }
@@ -388,7 +383,8 @@ mod tests {
                 Value::Bag(vec![
                     Value::Item(DataItem::from_fields([("id_str", Value::str("ls"))])),
                     Value::Item(DataItem::from_fields([("id_str", Value::str("jm"))])),
-                ])),
+                ]),
+            ),
             ("retweet_cnt", Value::Int(0)),
         ])
     }
@@ -418,10 +414,7 @@ mod tests {
     #[test]
     fn eval_navigates_one_based() {
         let d = sample();
-        assert_eq!(
-            Path::parse("user.id_str").eval(&d),
-            Some(&Value::str("lp"))
-        );
+        assert_eq!(Path::parse("user.id_str").eval(&d), Some(&Value::str("lp")));
         assert_eq!(
             Path::parse("user_mentions[2].id_str").eval(&d),
             Some(&Value::str("jm"))
@@ -442,9 +435,7 @@ mod tests {
         let p = Path::parse("user_mentions[2].id_str");
         let prefix = Path::parse("user_mentions.[pos]");
         assert!(p.starts_with(&prefix));
-        let rewritten = p
-            .replace_prefix(&prefix, &Path::attr("m_user"))
-            .unwrap();
+        let rewritten = p.replace_prefix(&prefix, &Path::attr("m_user")).unwrap();
         assert_eq!(rewritten, Path::parse("m_user.id_str"));
     }
 

@@ -3,13 +3,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::path::{Path, Step};
 use crate::value::{DataItem, Value};
 
 /// A named, typed attribute inside an item type.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Field {
     /// Attribute label, unique within its item type.
     pub name: String,
@@ -28,7 +26,7 @@ impl Field {
 }
 
 /// The type `τ(·)` of a nested value (Tab. 4).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Type of `Value::Null`; unifies with anything.
     Null,
@@ -51,12 +49,7 @@ pub enum DataType {
 impl DataType {
     /// Item type builder.
     pub fn item(fields: impl IntoIterator<Item = (impl Into<String>, DataType)>) -> Self {
-        DataType::Item(
-            fields
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
-        )
+        DataType::Item(fields.into_iter().map(|(n, t)| Field::new(n, t)).collect())
     }
 
     /// Bag type builder.
@@ -298,7 +291,10 @@ mod tests {
 
     #[test]
     fn unify_widens_and_handles_null() {
-        assert_eq!(DataType::Int.unify(&DataType::Double), Some(DataType::Double));
+        assert_eq!(
+            DataType::Int.unify(&DataType::Double),
+            Some(DataType::Double)
+        );
         assert_eq!(DataType::Null.unify(&DataType::Str), Some(DataType::Str));
         assert_eq!(DataType::Int.unify(&DataType::Str), None);
         let a = DataType::bag(DataType::Null);
@@ -318,10 +314,7 @@ mod tests {
     #[test]
     fn resolve_paths() {
         let ty = tweet_type();
-        assert_eq!(
-            ty.resolve(&Path::parse("user.name")),
-            Some(&DataType::Str)
-        );
+        assert_eq!(ty.resolve(&Path::parse("user.name")), Some(&DataType::Str));
         assert_eq!(
             ty.resolve(&Path::parse("user_mentions.[pos].id_str")),
             Some(&DataType::Str)

@@ -8,8 +8,9 @@
 use std::cmp::Ordering;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
-use serde::{Deserialize, Serialize};
+use crate::label::Label;
 
 /// A nested value: constant, data item, bag, or set.
 ///
@@ -18,7 +19,7 @@ use serde::{Deserialize, Serialize};
 ///
 /// `Double` values compare and hash via [`f64::total_cmp`] / bit patterns so
 /// that `Value` can serve as a grouping key.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Value {
     /// Absent / undefined value (e.g. the dangling side of a union).
     Null,
@@ -28,8 +29,9 @@ pub enum Value {
     Int(i64),
     /// 64-bit floating point constant.
     Double(f64),
-    /// String constant.
-    Str(String),
+    /// String constant. Shared so that cloning a value — which the engine
+    /// does once per operator a row passes through — never copies the text.
+    Str(Arc<str>),
     /// A complex data item with named attributes.
     Item(DataItem),
     /// An ordered collection that may contain duplicates (`{{ … }}`).
@@ -40,7 +42,7 @@ pub enum Value {
 
 impl Value {
     /// Builds a string value.
-    pub fn str(s: impl Into<String>) -> Self {
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
         Value::Str(s.into())
     }
 
@@ -252,12 +254,12 @@ impl From<bool> for Value {
 }
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(Arc::from(v))
     }
 }
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(Arc::from(v))
     }
 }
 impl From<DataItem> for Value {
@@ -268,9 +270,15 @@ impl From<DataItem> for Value {
 
 /// A complex data item: an ordered list of `attribute: value` pairs with
 /// unique attribute names (Def. 4.1).
-#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+///
+/// The field list lives behind an [`Arc`]: cloning an item — the dominant
+/// operation on the engine's pass-through hot path — bumps one reference
+/// count instead of copying every label and value. Mutators copy-on-write
+/// via [`Arc::make_mut`], so a uniquely-owned item mutates in place and a
+/// shared one is detached first.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DataItem {
-    fields: Vec<(String, Value)>,
+    fields: Arc<Vec<(Label, Value)>>,
 }
 
 impl DataItem {
@@ -284,7 +292,7 @@ impl DataItem {
     /// # Panics
     /// Panics if an attribute name occurs twice; attribute labels must be
     /// unique within a data item.
-    pub fn from_fields(fields: impl IntoIterator<Item = (impl Into<String>, Value)>) -> Self {
+    pub fn from_fields(fields: impl IntoIterator<Item = (impl Into<Label>, Value)>) -> Self {
         let mut item = Self::new();
         for (name, value) in fields {
             item.push(name, value);
@@ -296,17 +304,17 @@ impl DataItem {
     ///
     /// # Panics
     /// Panics if the attribute name already exists.
-    pub fn push(&mut self, name: impl Into<String>, value: Value) {
+    pub fn push(&mut self, name: impl Into<Label>, value: Value) {
         let name = name.into();
         assert!(
             self.get(&name).is_none(),
             "duplicate attribute name `{name}` in data item"
         );
-        self.fields.push((name, value));
+        Arc::make_mut(&mut self.fields).push((name, value));
     }
 
     /// Builder-style variant of [`DataItem::push`].
-    pub fn with(mut self, name: impl Into<String>, value: Value) -> Self {
+    pub fn with(mut self, name: impl Into<Label>, value: Value) -> Self {
         self.push(name, value);
         self
     }
@@ -315,30 +323,30 @@ impl DataItem {
     pub fn get(&self, name: &str) -> Option<&Value> {
         self.fields
             .iter()
-            .find_map(|(n, v)| (n == name).then_some(v))
+            .find_map(|(n, v)| (*n == *name).then_some(v))
     }
 
     /// Mutable lookup by attribute name.
     pub fn get_mut(&mut self, name: &str) -> Option<&mut Value> {
-        self.fields
+        Arc::make_mut(&mut self.fields)
             .iter_mut()
-            .find_map(|(n, v)| (n == name).then_some(v))
+            .find_map(|(n, v)| (*n == *name).then_some(v))
     }
 
     /// Replaces the value of `name`, or appends it if absent.
-    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+    pub fn set(&mut self, name: impl Into<Label>, value: Value) {
         let name = name.into();
         if let Some(slot) = self.get_mut(&name) {
             *slot = value;
         } else {
-            self.fields.push((name, value));
+            Arc::make_mut(&mut self.fields).push((name, value));
         }
     }
 
     /// Removes an attribute, returning its value.
     pub fn remove(&mut self, name: &str) -> Option<Value> {
-        let idx = self.fields.iter().position(|(n, _)| n == name)?;
-        Some(self.fields.remove(idx).1)
+        let idx = self.fields.iter().position(|(n, _)| *n == *name)?;
+        Some(Arc::make_mut(&mut self.fields).remove(idx).1)
     }
 
     /// Iterates over `(name, value)` pairs in attribute order.
@@ -365,10 +373,14 @@ impl DataItem {
     /// from the right side are disambiguated with a `_r` suffix, mirroring
     /// how DISC systems qualify ambiguous columns.
     pub fn merged(&self, other: &DataItem) -> DataItem {
-        let mut out = self.clone();
-        for (name, value) in other.fields() {
+        let mut fields = Vec::with_capacity(self.len() + other.len());
+        fields.extend_from_slice(&self.fields);
+        let mut out = DataItem {
+            fields: Arc::new(fields),
+        };
+        for (name, value) in other.fields.iter() {
             if out.get(name).is_none() {
-                out.push(name, value.clone());
+                out.push(name.clone(), value.clone());
             } else {
                 let mut candidate = format!("{name}_r");
                 while out.get(&candidate).is_some() {
@@ -502,10 +514,7 @@ mod tests {
         //  + bag(1) + inner item(1) + id(1) + name(1) = 6
         let d = DataItem::from_fields([
             ("text", Value::str("hi")),
-            (
-                "user_mentions",
-                Value::Bag(vec![Value::Item(item())]),
-            ),
+            ("user_mentions", Value::Bag(vec![Value::Item(item())])),
         ]);
         assert_eq!(Value::Item(d).annotation_count(), 6);
     }

@@ -18,7 +18,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         // Finite doubles only: JSON cannot represent NaN/inf.
         (-1e15f64..1e15).prop_map(Value::Double),
-        "[ -~]{0,12}".prop_map(Value::Str),
+        "[ -~]{0,12}".prop_map(Value::str),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
@@ -169,9 +169,7 @@ fn json_equiv(a: &Value, b: &Value) -> bool {
                     .zip(y.fields())
                     .all(|((nx, vx), (ny, vy))| nx == ny && json_equiv(vx, vy))
         }
-        (Value::Double(x), Value::Int(y)) | (Value::Int(y), Value::Double(x)) => {
-            *x == *y as f64
-        }
+        (Value::Double(x), Value::Int(y)) | (Value::Int(y), Value::Double(x)) => *x == *y as f64,
         _ => a == b,
     }
 }

@@ -88,10 +88,7 @@ pub fn t1() -> Scenario {
         program: b.build(agg),
         query: TreePattern::root()
             .node(PatternNode::descendant("id_str").eq(twitter::user_id(1)))
-            .node(
-                PatternNode::attr("tweets")
-                    .child(PatternNode::attr("text").contains("good")),
-            ),
+            .node(PatternNode::attr("tweets").child(PatternNode::attr("text").contains("good"))),
     }
 }
 
@@ -115,8 +112,7 @@ pub fn t2() -> Scenario {
         name: "T2",
         description: "flatten hashtags, media, user mentions",
         program: b.build(sel),
-        query: TreePattern::root()
-            .node(PatternNode::attr("mentioned").eq(twitter::user_id(2))),
+        query: TreePattern::root().node(PatternNode::attr("mentioned").eq(twitter::user_id(2))),
     }
 }
 
@@ -227,10 +223,7 @@ pub fn t4() -> Scenario {
         program: b.build(agg),
         query: TreePattern::root()
             .node(PatternNode::attr("hashtag").eq("tag7"))
-            .node(
-                PatternNode::attr("users")
-                    .child(PatternNode::attr("id_str").contains("u")),
-            ),
+            .node(PatternNode::attr("users").child(PatternNode::attr("id_str").contains("u"))),
     }
 }
 
@@ -266,10 +259,7 @@ pub fn t5() -> Scenario {
     );
     let agg = b.group_aggregate(
         joined,
-        vec![
-            GroupKey::new("author_id"),
-            GroupKey::new("author_name"),
-        ],
+        vec![GroupKey::new("author_id"), GroupKey::new("author_name")],
         vec![
             AggSpec::new(AggFunc::CollectSet, "tweeted", "bts_tweets"),
             AggSpec::new(AggFunc::Count, "", "evidence"),
@@ -393,10 +383,7 @@ pub fn d3() -> Scenario {
         program: b.build(agg),
         query: TreePattern::root()
             .node(PatternNode::attr("name").contains("Author"))
-            .node(
-                PatternNode::attr("works")
-                    .child(PatternNode::attr("title").contains("Paper")),
-            ),
+            .node(PatternNode::attr("works").child(PatternNode::attr("title").contains("Paper"))),
     }
 }
 
@@ -435,10 +422,7 @@ pub fn d4() -> Scenario {
         program: b.build(agg),
         query: TreePattern::root()
             .node(PatternNode::attr("proceeding").contains("Conf 1"))
-            .node(
-                PatternNode::attr("papers")
-                    .child(PatternNode::attr("title").contains("Paper")),
-            ),
+            .node(PatternNode::attr("papers").child(PatternNode::attr("title").contains("Paper"))),
     }
 }
 
@@ -530,11 +514,7 @@ mod tests {
                 s.name
             );
             let b = s.query.match_rows(&run.output.rows);
-            assert!(
-                !b.entries.is_empty(),
-                "{} query matched nothing",
-                s.name
-            );
+            assert!(!b.entries.is_empty(), "{} query matched nothing", s.name);
             let sources = backtrace(&run, b);
             assert!(
                 sources.iter().any(|sp| !sp.entries.is_empty()),
@@ -556,11 +536,7 @@ mod tests {
                 s.name
             );
             let b = s.query.match_rows(&run.output.rows);
-            assert!(
-                !b.entries.is_empty(),
-                "{} query matched nothing",
-                s.name
-            );
+            assert!(!b.entries.is_empty(), "{} query matched nothing", s.name);
             let sources = backtrace(&run, b);
             assert!(
                 sources.iter().any(|sp| !sp.entries.is_empty()),

@@ -157,17 +157,29 @@ pub fn generate(cfg: &TwitterConfig) -> Vec<DataItem> {
                     ("hashtags", Value::Bag(hashtags)),
                     (
                         "user_mentions",
-                        Value::Bag(mentions.iter().map(|&m| Value::Item(mention_item(m))).collect()),
+                        Value::Bag(
+                            mentions
+                                .iter()
+                                .map(|&m| Value::Item(mention_item(m)))
+                                .collect(),
+                        ),
                     ),
                     ("media", Value::Bag(media)),
                 ])),
             ),
             ("retweet_count", Value::Int(retweet_count)),
             ("favorite_count", Value::Int(rng.gen_range(0..500))),
-            ("lang", Value::str(if rng.gen_bool(0.8) { "en" } else { "de" })),
+            (
+                "lang",
+                Value::str(if rng.gen_bool(0.8) { "en" } else { "de" }),
+            ),
             (
                 "created_at",
-                Value::str(format!("2019-0{}-{:02}", rng.gen_range(1..10), rng.gen_range(1..29))),
+                Value::str(format!(
+                    "2019-0{}-{:02}",
+                    rng.gen_range(1..10),
+                    rng.gen_range(1..29)
+                )),
             ),
             (
                 "place",
@@ -239,8 +251,8 @@ mod tests {
             .collect();
         assert!(texts.iter().any(|t| t.contains("good")));
         assert!(texts.iter().any(|t| t.contains("BTS")));
-        assert!(items.iter().any(|t| {
-            t.get("retweet_count") == Some(&Value::Int(0))
-        }));
+        assert!(items
+            .iter()
+            .any(|t| { t.get("retweet_count") == Some(&Value::Int(0)) }));
     }
 }

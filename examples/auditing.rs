@@ -31,7 +31,10 @@ fn main() {
     }
 
     println!("== GDPR audit over scenarios D1-D5 (inproceedings records) ==\n");
-    println!("{} records leaked at least one attribute.\n", report.leaked.len());
+    println!(
+        "{} records leaked at least one attribute.\n",
+        report.leaked.len()
+    );
     for (idx, paths) in report.leaked.iter().take(5) {
         let mut attrs: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
         attrs.sort();
@@ -42,11 +45,17 @@ fn main() {
             attrs.sort();
             attrs.dedup();
             influencing_only += attrs.len();
-            println!("           influenced-only (reconstruction risk): {}", attrs.join(", "));
+            println!(
+                "           influenced-only (reconstruction risk): {}",
+                attrs.join(", ")
+            );
         }
         println!();
     }
-    println!("…and {} more records.", report.leaked.len().saturating_sub(5));
+    println!(
+        "…and {} more records.",
+        report.leaked.len().saturating_sub(5)
+    );
     println!();
     println!("A lineage system would have to report *entire tuples* as leaked —");
     println!("forcing, e.g., credit-card reissue for attributes that never left");

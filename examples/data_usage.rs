@@ -29,7 +29,14 @@ fn main() {
     }
 
     let attributes: Vec<String> = [
-        "key", "type", "title", "year", "crossref", "authors", "pages", "booktitle",
+        "key",
+        "type",
+        "title",
+        "year",
+        "crossref",
+        "authors",
+        "pages",
+        "booktitle",
     ]
     .iter()
     .map(|s| s.to_string())

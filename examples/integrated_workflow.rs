@@ -7,7 +7,9 @@
 //! cargo run --example integrated_workflow
 //! ```
 
-use pebble::core::{backtrace_with, run_captured, storage, BacktraceIndex, CapturedRun, TreePattern};
+use pebble::core::{
+    backtrace_with, run_captured, storage, BacktraceIndex, CapturedRun, TreePattern,
+};
 use pebble::dataflow::{io, optimize, Context, ExecConfig, Expr, NamedExpr, ProgramBuilder};
 use pebble::workloads::twitter::{generate, TwitterConfig};
 
@@ -23,7 +25,9 @@ fn main() {
 
     // 2. Read it back into a context and build a pipeline.
     let mut ctx = Context::new();
-    let n = ctx.register_file("tweets", &tweets_path).expect("read dataset");
+    let n = ctx
+        .register_file("tweets", &tweets_path)
+        .expect("read dataset");
     println!("registered {n} tweets");
 
     let mut b = ProgramBuilder::new();
@@ -72,8 +76,8 @@ fn main() {
         ops: decoded,
     };
     let index = BacktraceIndex::build(&reloaded);
-    let query = TreePattern::parse(r#"mentioned = "u7", retweet_count > 100"#)
-        .expect("query parses");
+    let query =
+        TreePattern::parse(r#"mentioned = "u7", retweet_count > 100"#).expect("query parses");
     let matched = query.match_rows(&reloaded.output.rows);
     println!("\nquery matched {} result rows", matched.entries.len());
     for source in backtrace_with(&reloaded, &index, matched) {

@@ -46,7 +46,10 @@ fn main() {
             println!("  (no contributing items)\n");
         }
         for entry in &source.entries {
-            println!("  input item #{} (dataset position {}):", entry.id, entry.index);
+            println!(
+                "  input item #{} (dataset position {}):",
+                entry.id, entry.index
+            );
             for line in entry.tree.to_string().lines() {
                 println!("    {line}");
             }

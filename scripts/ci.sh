@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Full CI gate: formatting, lints (warnings are errors), release build,
+# and the complete workspace test suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace --release
+
+echo "CI OK"

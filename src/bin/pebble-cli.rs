@@ -152,8 +152,8 @@ fn scenario_cmd(args: &[String], trace: bool) -> Result<(), String> {
     let size = flag_usize(args, "--size", 1000)?;
     let (scenario, is_twitter) = find_scenario(name)?;
     let ctx = scenario_context(is_twitter, size);
-    let run = run_captured(&scenario.program, &ctx, ExecConfig::default())
-        .map_err(|e| e.to_string())?;
+    let run =
+        run_captured(&scenario.program, &ctx, ExecConfig::default()).map_err(|e| e.to_string())?;
     println!(
         "{}: {} — {} result items",
         scenario.name,
@@ -202,8 +202,8 @@ fn heatmap_cmd(args: &[String]) -> Result<(), String> {
     let ctx = dblp_context(size);
     let mut heatmap = Heatmap::new();
     for s in dblp_scenarios() {
-        let run = run_captured(&s.program, &ctx, ExecConfig::default())
-            .map_err(|e| e.to_string())?;
+        let run =
+            run_captured(&s.program, &ctx, ExecConfig::default()).map_err(|e| e.to_string())?;
         let b = s.query.match_rows(&run.output.rows);
         for source in backtrace(&run, b) {
             if source.source == "inproceedings" {
@@ -212,7 +212,14 @@ fn heatmap_cmd(args: &[String]) -> Result<(), String> {
         }
     }
     let attributes: Vec<String> = [
-        "key", "type", "title", "year", "crossref", "authors", "pages", "booktitle",
+        "key",
+        "type",
+        "title",
+        "year",
+        "crossref",
+        "authors",
+        "pages",
+        "booktitle",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -230,8 +237,8 @@ fn audit_cmd(args: &[String]) -> Result<(), String> {
     let ctx = dblp_context(size);
     let mut report = AuditReport::default();
     for s in dblp_scenarios() {
-        let run = run_captured(&s.program, &ctx, ExecConfig::default())
-            .map_err(|e| e.to_string())?;
+        let run =
+            run_captured(&s.program, &ctx, ExecConfig::default()).map_err(|e| e.to_string())?;
         let b = s.query.match_rows(&run.output.rows);
         for source in backtrace(&run, b) {
             if source.source == "inproceedings" {

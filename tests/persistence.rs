@@ -20,8 +20,7 @@ fn reloaded_provenance_answers_identically() {
         for s in scenarios {
             let run = run_captured(&s.program, &ctx, cfg()).unwrap();
             let bytes = storage::encode(&run.ops);
-            let decoded = storage::decode(&bytes)
-                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+            let decoded = storage::decode(&bytes).unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert_eq!(run.ops, decoded, "{}: ops roundtrip", s.name);
 
             let live = backtrace(&run, s.query.match_rows(&run.output.rows));
@@ -54,7 +53,15 @@ fn encoded_size_tracks_structural_accounting() {
         // The varint/delta codec compresses identifiers, so the file is
         // smaller than the in-memory accounting — but within an order of
         // magnitude, as promised in `storage`'s docs.
-        assert!(encoded <= accounted * 2, "{}: {encoded} vs {accounted}", s.name);
-        assert!(encoded * 16 >= accounted, "{}: {encoded} vs {accounted}", s.name);
+        assert!(
+            encoded <= accounted * 2,
+            "{}: {encoded} vs {accounted}",
+            s.name
+        );
+        assert!(
+            encoded * 16 >= accounted,
+            "{}: {encoded} vs {accounted}",
+            s.name
+        );
     }
 }

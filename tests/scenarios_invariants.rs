@@ -10,7 +10,9 @@
 use pebble::baselines::{lazy_query, run_lineage, trace_back};
 use pebble::core::{backtrace, run_captured};
 use pebble::dataflow::{run, ExecConfig, NoSink};
-use pebble::workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario};
+use pebble::workloads::{
+    dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario,
+};
 
 fn cfg() -> ExecConfig {
     ExecConfig { partitions: 4 }
@@ -28,7 +30,10 @@ fn capture_replay_equivalence_all_scenarios() {
     for (ctx, scenarios) in contexts() {
         for s in scenarios {
             let plain = run(&s.program, &ctx, cfg(), &NoSink).unwrap().items();
-            let captured = run_captured(&s.program, &ctx, cfg()).unwrap().output.items();
+            let captured = run_captured(&s.program, &ctx, cfg())
+                .unwrap()
+                .output
+                .items();
             assert_eq!(plain, captured, "{} capture changed the result", s.name);
         }
     }
@@ -148,8 +153,7 @@ fn optimizer_preserves_results_and_provenance() {
                 let mut traced: Vec<(String, Vec<usize>)> = backtrace(&run, b)
                     .into_iter()
                     .map(|sp| {
-                        let mut idx: Vec<usize> =
-                            sp.entries.iter().map(|e| e.index).collect();
+                        let mut idx: Vec<usize> = sp.entries.iter().map(|e| e.index).collect();
                         idx.sort_unstable();
                         (sp.source, idx)
                     })
@@ -186,9 +190,7 @@ fn prefilter_matches_agree_on_scenarios() {
             let run = run_captured(&s.program, &ctx, cfg()).unwrap();
             let schema = run.output.schema().clone();
             let plain = s.query.match_rows(&run.output.rows);
-            let pre = s
-                .query
-                .match_rows_prefiltered(&run.output.rows, &schema);
+            let pre = s.query.match_rows_prefiltered(&run.output.rows, &schema);
             let a: Vec<u64> = plain.entries.iter().map(|(id, _)| *id).collect();
             let b: Vec<u64> = pre.entries.iter().map(|(id, _)| *id).collect();
             assert_eq!(a, b, "{}: prefilter changed matches", s.name);

@@ -1,0 +1,236 @@
+//! Minimal, dependency-free stand-in for the parts of `criterion` 0.5 the
+//! workspace benches use: `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: one warm-up pass bounded by `warm_up_time`, then
+//! `sample_size` timed samples bounded by `measurement_time`; the median
+//! sample is reported on stdout as `bench <group>/<id> ... <median>`.
+//! This is deliberately simple — the repository's tables come from the
+//! dedicated harness bins, the criterion benches exist for ad-hoc
+//! exploration — but the numbers are real wall-clock medians.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a name and a parameter (both displayed).
+    pub fn new(name: impl fmt::Display, param: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: param.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        if self.param.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, self.param)
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            param: String::new(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            param: String::new(),
+        }
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` repeatedly, recording one duration sample per run.
+    pub fn iter<T>(&mut self, mut f: impl FnMut() -> T) {
+        let warm_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let measure_start = Instant::now();
+        for _ in 0..self.sample_size.max(1) {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.samples.push(t.elapsed());
+            if measure_start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+/// A named group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up budget before sampling starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        self.report(&id, &samples);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (prints nothing extra; present for API parity).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, samples: &[Duration]) {
+        let mut sorted: Vec<Duration> = samples.to_vec();
+        sorted.sort_unstable();
+        let median = sorted
+            .get(sorted.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!(
+            "bench {}/{}  samples={}  median={:.3} ms",
+            self.name,
+            id.label(),
+            samples.len(),
+            median.as_secs_f64() * 1e3
+        );
+    }
+}
+
+/// Benchmark driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1200),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        self.benchmark_group("crit").bench_function(id, f);
+    }
+}
+
+/// Opaque black box preventing the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function list (API parity with criterion).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point (API parity with criterion).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(50));
+        let mut runs = 0usize;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("a", 7).label(), "a/7");
+        assert_eq!(BenchmarkId::from("x").label(), "x");
+    }
+}

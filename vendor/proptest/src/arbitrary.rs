@@ -1,0 +1,85 @@
+//! `any::<T>()` for the primitives the workspace generates.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy (subset of upstream `Arbitrary`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-domain strategy for one primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrimitiveStrategy<T>(std::marker::PhantomData<T>);
+
+impl Strategy for PrimitiveStrategy<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = PrimitiveStrategy<bool>;
+
+    fn arbitrary() -> Self::Strategy {
+        PrimitiveStrategy(std::marker::PhantomData)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for PrimitiveStrategy<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // Bias towards small magnitudes (edge-prone inputs) a
+                // quarter of the time, like upstream's size-aware domains.
+                match rng.below(4) {
+                    0 => (rng.below(17) as i64 - 8) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = PrimitiveStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                PrimitiveStrategy(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_both_values() {
+        let s = any::<bool>();
+        let mut rng = TestRng::deterministic("bool");
+        let trues = (0..100).filter(|_| s.generate(&mut rng)).count();
+        assert!((20..80).contains(&trues));
+    }
+
+    #[test]
+    fn ints_cover_small_values() {
+        let s = any::<i64>();
+        let mut rng = TestRng::deterministic("ints");
+        assert!((0..200).any(|_| s.generate(&mut rng).unsigned_abs() < 9));
+    }
+}

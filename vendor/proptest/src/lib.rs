@@ -1,0 +1,215 @@
+//! Minimal, dependency-free stand-in for the parts of `proptest` 1.x this
+//! workspace uses: strategies (`Just`, ranges, regex-subset string
+//! literals, tuples, `prop_map`, `prop_recursive`, `boxed`, unions),
+//! collection strategies (`vec`, `btree_map`), `any` for a few primitives,
+//! and the `proptest!` / `prop_assert*` / `prop_assume!` / `prop_oneof!`
+//! macros.
+//!
+//! Differences from upstream: generation is derandomized (a fixed seed per
+//! test name) and failing cases are *not* shrunk — the failing input is
+//! printed as-is. That trade keeps the harness tiny while preserving the
+//! property-test semantics the suite relies on.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything the test files import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    // Upstream's prelude re-exports the crate under the name `prop` so test
+    // code can say `prop::collection::vec(...)`.
+    pub use crate as prop;
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...)` body runs
+/// `config.cases` times with freshly generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut rng,
+                        );
+                    )*
+                    let result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    match result {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            assert!(
+                                rejected < config.cases.saturating_mul(64) + 1024,
+                                "too many prop_assume! rejections in {}",
+                                stringify!($name),
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => panic!("property `{}` failed: {msg}", stringify!($name)),
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: `{} == {}`\n  left: {a:?}\n right: {b:?}",
+            stringify!($a),
+            stringify!($b),
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "{}\n  left: {a:?}\n right: {b:?}",
+            format!($($fmt)+),
+        );
+    }};
+}
+
+/// Discards the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respected(v in 3i64..17, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&v));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn map_and_assume(v in 0i64..100) {
+            prop_assume!(v % 2 == 0);
+            let doubled = (0i64..50).prop_map(|x| x * 2).generate_for_test();
+            prop_assert!(doubled % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn strings_match_class(s in "[a-z][a-z0-9_]{0,6}") {
+            prop_assert!(!s.is_empty() && s.len() <= 7, "{s}");
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+
+        #[test]
+        fn collections_sized(xs in prop::collection::vec(0i64..5, 0..4)) {
+            prop_assert!(xs.len() < 4);
+        }
+
+        #[test]
+        fn oneof_and_recursive(v in nested()) {
+            prop_assert!(depth(&v) <= 4, "{v:?}");
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(i64),
+        Node(Vec<Tree>),
+    }
+
+    fn nested() -> impl Strategy<Value = Tree> {
+        let leaf = (0i64..10).prop_map(Tree::Leaf);
+        leaf.prop_recursive(3, 24, 4, |inner| {
+            prop::collection::vec(inner, 0..3).prop_map(Tree::Node)
+        })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(n) => {
+                assert!((0..10).contains(n));
+                1
+            }
+            Tree::Node(ts) => 1 + ts.iter().map(depth).max().unwrap_or(0),
+        }
+    }
+
+    impl<S: Strategy> StrategyTestExt for S {}
+    trait StrategyTestExt: Strategy + Sized {
+        fn generate_for_test(&self) -> Self::Value {
+            let mut rng = crate::test_runner::TestRng::deterministic("ext");
+            self.generate(&mut rng)
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Generation for the regex subset used as string strategies:
+//! literal characters, character classes (`[a-z0-9_]`, ranges and
+//! literals), and bounded repetition (`{n}`, `{m,n}`, `?`, `*`, `+` with
+//! a small implicit cap). Anything else panics loudly — this is a test
+//! helper, not a regex engine.
+
+use crate::test_runner::TestRng;
+
+/// Cap for the open-ended `*`/`+` quantifiers.
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Clone, Debug)]
+enum Piece {
+    Literal(char),
+    Class(Vec<(char, char)>), // inclusive ranges; literals are (c, c)
+}
+
+#[derive(Clone, Debug)]
+struct Term {
+    piece: Piece,
+    min: u32,
+    max: u32, // inclusive
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let terms = parse(pattern);
+    let mut out = String::new();
+    for term in &terms {
+        let span = (term.max - term.min + 1) as u64;
+        let count = term.min + rng.below(span) as u32;
+        for _ in 0..count {
+            match &term.piece {
+                Piece::Literal(c) => out.push(*c),
+                Piece::Class(ranges) => out.push(pick(ranges, rng)),
+            }
+        }
+    }
+    out
+}
+
+fn pick(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u64 = ranges
+        .iter()
+        .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+        .sum();
+    let mut draw = rng.below(total);
+    for (lo, hi) in ranges {
+        let width = (*hi as u64) - (*lo as u64) + 1;
+        if draw < width {
+            return char::from_u32(*lo as u32 + draw as u32)
+                .expect("class range covers invalid char");
+        }
+        draw -= width;
+    }
+    unreachable!("draw bounded by total width")
+}
+
+fn parse(pattern: &str) -> Vec<Term> {
+    let mut chars = pattern.chars().peekable();
+    let mut terms = Vec::new();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => Piece::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}")),
+            ),
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            other => Piece::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        terms.push(Term { piece, min, max });
+    }
+    terms
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Piece {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pattern:?}"));
+        match c {
+            ']' => break,
+            '^' if ranges.is_empty() => {
+                panic!("negated classes unsupported in pattern {pattern:?}")
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                ranges.push((esc, esc));
+            }
+            lo => {
+                if chars.peek() == Some(&'-') {
+                    chars.next();
+                    match chars.peek() {
+                        Some(']') | None => {
+                            // trailing '-' is a literal
+                            ranges.push((lo, lo));
+                            ranges.push(('-', '-'));
+                        }
+                        Some(_) => {
+                            let hi = chars.next().unwrap();
+                            assert!(lo <= hi, "inverted range in pattern {pattern:?}");
+                            ranges.push((lo, hi));
+                        }
+                    }
+                } else {
+                    ranges.push((lo, lo));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    Piece::Class(ranges)
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (u32, u32) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut body = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    let parsed = match body.split_once(',') {
+                        Some((m, n)) => m.parse().ok().zip(n.parse().ok()),
+                        None => body.parse().ok().map(|n| (n, n)),
+                    };
+                    let (min, max) = parsed.unwrap_or_else(|| {
+                        panic!("bad quantifier {{{body}}} in pattern {pattern:?}")
+                    });
+                    assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+                    return (min, max);
+                }
+                body.push(c);
+            }
+            panic!("unterminated quantifier in pattern {pattern:?}")
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, UNBOUNDED_CAP)
+        }
+        Some('+') => {
+            chars.next();
+            (1, UNBOUNDED_CAP)
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("string")
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn printable_ascii_pattern() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let s = generate("[ -~]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = rng();
+        assert_eq!(generate("abc", &mut rng), "abc");
+        assert_eq!(generate("x{3}", &mut rng), "xxx");
+        let s = generate("a?b+", &mut rng);
+        assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+    }
+}
