@@ -34,7 +34,7 @@ use crate::capture::{CapturedRun, OperatorProvenance, ProvAssoc};
 use pebble_dataflow::hash::FxHashMap;
 
 /// One traced input item of a source dataset.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TracedItem {
     /// Identifier the item carried during the captured run.
     pub id: ItemId,
@@ -46,7 +46,7 @@ pub struct TracedItem {
 }
 
 /// Provenance traced back to one `read` operator.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SourceProvenance {
     /// The `read` operator.
     pub read_op: OpId,
@@ -54,6 +54,38 @@ pub struct SourceProvenance {
     pub source: String,
     /// Traced items, ordered by identifier.
     pub entries: Vec<TracedItem>,
+}
+
+impl SourceProvenance {
+    /// Identifier-free view of the traced items: `(source, dataset index,
+    /// rendered tree)` per entry, sorted by index.
+    ///
+    /// Item identifiers encode the partition an item travelled through, so
+    /// they differ between runs with different partition counts; dataset
+    /// indexes and backtracing trees do not. Comparing canonical entries is
+    /// how the metamorphic tests and the differential oracle check that
+    /// backtracing results are invariant under partitioning and fusion.
+    pub fn canonical_entries(&self) -> Vec<(String, usize, String)> {
+        let mut out: Vec<(String, usize, String)> = self
+            .entries
+            .iter()
+            .map(|e| (self.source.clone(), e.index, e.tree.to_string()))
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+/// Canonicalizes a whole backtracing answer (see
+/// [`SourceProvenance::canonical_entries`]): entries of every source,
+/// sorted by `(source, index)`.
+pub fn canonical_provenance(sources: &[SourceProvenance]) -> Vec<(String, usize, String)> {
+    let mut out: Vec<(String, usize, String)> = sources
+        .iter()
+        .flat_map(SourceProvenance::canonical_entries)
+        .collect();
+    out.sort();
+    out
 }
 
 /// Pre-built per-operator hash indexes over the identifier association

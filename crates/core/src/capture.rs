@@ -249,8 +249,30 @@ impl ProvenanceSink for CaptureSink {
 
 /// Executes `program` with structural provenance capture enabled.
 pub fn run_captured(program: &Program, ctx: &Context, config: ExecConfig) -> Result<CapturedRun> {
+    run_captured_impl(program, ctx, config, run)
+}
+
+/// Executes `program` with capture enabled and operator fusion disabled.
+///
+/// Fused and unfused executions are specified to capture byte-identical
+/// provenance; this entry point lets the metamorphic tests and the
+/// differential oracle check that equivalence directly.
+pub fn run_captured_unfused(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+) -> Result<CapturedRun> {
+    run_captured_impl(program, ctx, config, pebble_dataflow::run_unfused)
+}
+
+fn run_captured_impl(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    exec: fn(&Program, &Context, ExecConfig, &CaptureSink) -> Result<RunOutput>,
+) -> Result<CapturedRun> {
     let sink = CaptureSink::new(program, ctx);
-    let output = run(program, ctx, config, &sink)?;
+    let output = exec(program, ctx, config, &sink)?;
     let ops = program
         .operators()
         .iter()

@@ -24,8 +24,12 @@ pub mod pattern_parse;
 pub mod storage;
 
 pub use analysis::{co_access_pairs, AuditReport, Heatmap, ItemUsage};
-pub use backtrace::{backtrace, backtrace_with, BacktraceIndex, SourceProvenance, TracedItem};
+pub use backtrace::{
+    backtrace, backtrace_with, canonical_provenance, BacktraceIndex, SourceProvenance, TracedItem,
+};
 pub use btree::{BNode, Backtrace, NodeLabel, ProvTree};
-pub use capture::{run_captured, CapturedRun, InputProv, OperatorProvenance, ProvAssoc};
+pub use capture::{
+    run_captured, run_captured_unfused, CapturedRun, InputProv, OperatorProvenance, ProvAssoc,
+};
 pub use pattern::{EdgeKind, PatternNode, TreePattern, ValuePred};
 pub use pattern_parse::PatternParseError;

@@ -126,6 +126,31 @@ pub fn run<S: ProvenanceSink>(
     config: ExecConfig,
     sink: &S,
 ) -> Result<RunOutput> {
+    run_with_fusion(program, ctx, config, sink, true)
+}
+
+/// Executes `program` with operator fusion disabled: every operator runs as
+/// its own pass and materializes its output rows.
+///
+/// Identifiers and captured provenance are specified to be byte-identical
+/// to the fused [`run`]; this entry point exists so tests and the
+/// differential oracle can verify that claim rather than assume it.
+pub fn run_unfused<S: ProvenanceSink>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    sink: &S,
+) -> Result<RunOutput> {
+    run_with_fusion(program, ctx, config, sink, false)
+}
+
+fn run_with_fusion<S: ProvenanceSink>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    sink: &S,
+    fuse: bool,
+) -> Result<RunOutput> {
     let op_schemas = program.infer_schemas(&ctx.source_schemas())?;
     let ops = program.operators();
     let mut outputs: Vec<Partitions> = Vec::with_capacity(ops.len());
@@ -141,7 +166,11 @@ pub fn run<S: ProvenanceSink>(
         // materialized, while per-stage id generators and association
         // buffers keep identifiers and captured provenance byte-identical
         // to the unfused execution.
-        let chain_len = fusable_chain_len(ops, program.sink(), &consumers, idx);
+        let chain_len = if fuse {
+            fusable_chain_len(ops, program.sink(), &consumers, idx)
+        } else {
+            1
+        };
         if chain_len >= 2 {
             let chain: Vec<&Operator> = ops[idx..idx + chain_len].iter().collect();
             let input = &outputs[op.inputs[0] as usize];
@@ -943,6 +972,21 @@ mod tests {
         let out = run_plain(&b.build(s), &ctx());
         let pair = out.rows[0].item.get("pair").unwrap().as_item().unwrap();
         assert_eq!(pair.get("key"), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn unfused_run_produces_identical_rows_and_ids() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let f = b.filter(r, Expr::col("v").ge(Expr::lit(20i64)));
+        let s = b.select(f, vec![NamedExpr::aliased("kk", "k")]);
+        let p = b.build(s);
+        let c = ctx();
+        let cfg = ExecConfig { partitions: 3 };
+        let fused = run(&p, &c, cfg, &NoSink).unwrap();
+        let unfused = run_unfused(&p, &c, cfg, &NoSink).unwrap();
+        assert_eq!(fused.rows, unfused.rows);
+        assert_eq!(fused.op_counts, unfused.op_counts);
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub mod sink;
 
 pub use context::Context;
 pub use error::{EngineError, Result};
-pub use exec::{run, ExecConfig, ItemId, Row, RunOutput};
+pub use exec::{run, run_unfused, ExecConfig, ItemId, Row, RunOutput};
 pub use expr::{CmpOp, Expr, SelectExpr};
 pub use op::{AggFunc, AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};
 pub use optimize::{optimize, OptimizeStats};

@@ -1,12 +1,13 @@
 //! Engine edge cases: empty inputs through every operator, null join
-//! keys, schema widening across unions, deeply nested paths, and large
-//! fan-out flatten.
+//! keys, schema widening across unions, deeply nested paths, large
+//! fan-out flatten, and fusion boundaries (fused vs unfused execution
+//! compared bit-for-bit, identifiers included).
 
 use std::sync::Arc;
 
 use pebble_dataflow::{
-    context::items_of, run, AggFunc, AggSpec, Context, ExecConfig, Expr, GroupKey, MapUdf,
-    NamedExpr, NoSink, ProgramBuilder, SelectExpr,
+    context::items_of, run, run_unfused, AggFunc, AggSpec, Context, ExecConfig, Expr, GroupKey,
+    MapUdf, NamedExpr, NoSink, Program, ProgramBuilder, SelectExpr,
 };
 use pebble_nested::{DataItem, DataType, Path, Value};
 
@@ -322,4 +323,143 @@ fn nest_collects_whole_items() {
         out.schema().field("members").unwrap().to_string(),
         "{{⟨k: Int, v: Int⟩}}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Fusion boundaries: `run` (operator fusion on) and `run_unfused` must be
+// indistinguishable — same rows, same identifiers — exactly where the
+// fusion logic has to make a decision.
+
+/// Runs fused and unfused at several partition counts and asserts
+/// bit-identical outputs (ids included: fused chains must assign the same
+/// identifiers the stage-by-stage execution assigns).
+fn assert_fusion_invisible(p: &Program, c: &Context) {
+    for parts in [1, 2, 3, 8] {
+        let config = ExecConfig { partitions: parts };
+        let fused = run(p, c, config, &NoSink).unwrap();
+        let unfused = run_unfused(p, c, config, &NoSink).unwrap();
+        assert_eq!(fused.rows, unfused.rows, "rows/ids differ at p={parts}");
+        assert_eq!(
+            fused.op_counts, unfused.op_counts,
+            "op_counts differ at p={parts}"
+        );
+    }
+}
+
+fn small_ctx() -> Context {
+    let mut c = Context::new();
+    c.register(
+        "t",
+        items_of(vec![
+            vec![("k", Value::Int(1)), ("v", Value::Int(10))],
+            vec![("k", Value::Int(2)), ("v", Value::Int(20))],
+            vec![("k", Value::Int(1)), ("v", Value::Int(30))],
+        ]),
+    );
+    c
+}
+
+/// Length-1 chain: a single per-row operator after a read — the shortest
+/// possible "fusable chain", which must behave as if fusion never happened.
+#[test]
+fn fusion_boundary_length_one_chain() {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("t");
+    let f = b.filter(r, Expr::col("v").ge(Expr::lit(15i64)));
+    assert_fusion_invisible(&b.build(f), &small_ctx());
+}
+
+/// Multi-consumer intermediate: a self-union makes the filter feed two
+/// consumers, so the chain must break *at* the filter — its rows get
+/// materialized once and must carry identical ids into both union sides.
+#[test]
+fn fusion_boundary_multi_consumer_intermediate() {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("t");
+    let f = b.filter(r, Expr::col("v").ge(Expr::lit(15i64)));
+    let s = b.select(f, vec![NamedExpr::path("k"), NamedExpr::path("v")]);
+    let u = b.union(s, s);
+    let f2 = b.filter(u, Expr::col("k").eq(Expr::lit(1i64)));
+    assert_fusion_invisible(&b.build(f2), &small_ctx());
+}
+
+/// More partitions than rows: most partitions are empty, and per-partition
+/// sequence numbering must still line up between fused and unfused runs.
+#[test]
+fn fusion_boundary_empty_partitions() {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("t");
+    let f = b.filter(r, Expr::col("v").ge(Expr::lit(0i64)));
+    let s = b.select(f, vec![NamedExpr::aliased("key", "k")]);
+    let p = b.build(s);
+    let c = small_ctx();
+    for parts in [4, 8, 64] {
+        let config = ExecConfig { partitions: parts };
+        let fused = run(&p, &c, config, &NoSink).unwrap();
+        let unfused = run_unfused(&p, &c, config, &NoSink).unwrap();
+        assert_eq!(fused.rows, unfused.rows, "p={parts}");
+        assert_eq!(fused.rows.len(), 3, "p={parts}");
+    }
+}
+
+/// Zero-row operators mid-chain: the first filter drops everything, and
+/// the rest of the fused chain (select, second filter) runs over nothing.
+#[test]
+fn fusion_boundary_zero_row_chain() {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("t");
+    let f = b.filter(r, Expr::col("v").gt(Expr::lit(1000i64)));
+    let s = b.select(f, vec![NamedExpr::path("k")]);
+    let f2 = b.filter(s, Expr::col("k").eq(Expr::lit(1i64)));
+    let p = b.build(f2);
+    let c = small_ctx();
+    assert_fusion_invisible(&p, &c);
+    let out = run(&p, &c, ExecConfig { partitions: 3 }, &NoSink).unwrap();
+    assert!(out.rows.is_empty());
+    assert_eq!(out.op_counts, vec![3, 0, 0, 0]);
+}
+
+/// A chain interrupted by a non-fusable operator (flatten): the per-row
+/// stages on either side fuse separately, and the whole must equal the
+/// stage-by-stage execution.
+#[test]
+fn fusion_boundary_chain_interrupted_by_flatten() {
+    let mut c = Context::new();
+    c.register(
+        "t",
+        items_of(vec![
+            vec![
+                ("k", Value::Int(1)),
+                ("xs", Value::Bag(vec![Value::Int(1), Value::Int(2)])),
+            ],
+            vec![("k", Value::Int(2)), ("xs", Value::Bag(vec![]))],
+            vec![
+                ("k", Value::Int(3)),
+                ("xs", Value::Bag(vec![Value::Int(3)])),
+            ],
+        ]),
+    );
+    let mut b = ProgramBuilder::new();
+    let r = b.read("t");
+    let f = b.filter(r, Expr::col("k").ge(Expr::lit(1i64)));
+    let s = b.select(f, vec![NamedExpr::path("k"), NamedExpr::path("xs")]);
+    let fl = b.flatten(s, "xs", "x");
+    let f2 = b.filter(fl, Expr::col("x").ge(Expr::lit(2i64)));
+    let s2 = b.select(f2, vec![NamedExpr::aliased("val", "x")]);
+    assert_fusion_invisible(&b.build(s2), &c);
+}
+
+/// The sink operator itself can sit inside a fused chain; its rows are the
+/// run output and must be identical either way.
+#[test]
+fn fusion_boundary_sink_inside_chain() {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("t");
+    let f = b.filter(r, Expr::col("v").ge(Expr::lit(15i64)));
+    let s = b.select(f, vec![NamedExpr::aliased("doubled", "v")]);
+    let p = b.build(s);
+    let c = small_ctx();
+    assert_fusion_invisible(&p, &c);
+    let out = run(&p, &c, ExecConfig { partitions: 2 }, &NoSink).unwrap();
+    assert_eq!(out.rows.len(), 2);
 }

@@ -216,6 +216,19 @@ impl DataType {
         go(self, &Path::root(), &mut out);
         out
     }
+
+    /// Enumerates every schema-level path together with the type it
+    /// resolves to — the path pool that schema-aware generators (the
+    /// differential oracle's pipeline fuzzer) draw expressions from.
+    pub fn typed_paths(&self) -> Vec<(Path, DataType)> {
+        self.schema_paths()
+            .into_iter()
+            .filter_map(|p| {
+                let ty = self.resolve(&p)?.clone();
+                Some((p, ty))
+            })
+            .collect()
+    }
 }
 
 impl fmt::Display for DataType {
@@ -346,6 +359,22 @@ mod tests {
                 "retweet_cnt"
             ]
         );
+    }
+
+    #[test]
+    fn typed_paths_resolve_types() {
+        let ty = tweet_type();
+        let typed = ty.typed_paths();
+        assert_eq!(typed.len(), ty.schema_paths().len());
+        let find = |s: &str| {
+            typed
+                .iter()
+                .find(|(p, _)| p.to_string() == s)
+                .map(|(_, t)| t)
+        };
+        assert_eq!(find("user.name"), Some(&DataType::Str));
+        assert_eq!(find("retweet_cnt"), Some(&DataType::Int));
+        assert!(find("user_mentions").unwrap().is_collection());
     }
 
     #[test]

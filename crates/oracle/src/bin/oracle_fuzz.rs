@@ -1,0 +1,59 @@
+//! Differential fuzzing driver.
+//!
+//! ```text
+//! oracle_fuzz [COUNT] [START_SEED]
+//! ```
+//!
+//! Generates `COUNT` (default 200) pipeline/dataset cases starting at
+//! `START_SEED` (default 0), runs every differential check, and exits
+//! non-zero if any case diverges — after printing the minimized repro as a
+//! ready-to-paste regression test. CI runs this with fixed seeds as a
+//! bounded smoke.
+
+use std::process::ExitCode;
+
+use pebble_oracle::{check, fuzz, generate, minimize, regression_code};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let count: u64 = args
+        .next()
+        .map(|a| a.parse().expect("COUNT is a number"))
+        .unwrap_or(200);
+    let start: u64 = args
+        .next()
+        .map(|a| a.parse().expect("START_SEED is a number"))
+        .unwrap_or(0);
+
+    println!("oracle_fuzz: checking {count} generated pipelines from seed {start}");
+    let outcome = fuzz(start, count, 5);
+    println!("checked {} cases", outcome.checked);
+    for seed in (start..start + count).step_by((count as usize / 8).max(1)) {
+        let g = generate(seed);
+        println!(
+            "  e.g. seed {seed}: {} ({} input rows)",
+            g.spec.describe(),
+            g.dataset.rows()
+        );
+    }
+    if outcome.divergences.is_empty() {
+        println!("no divergences");
+        return ExitCode::SUCCESS;
+    }
+    for (gen, div) in &outcome.divergences {
+        eprintln!("DIVERGENCE {div}");
+        eprintln!("  pipeline: {}", gen.spec.describe());
+    }
+    let (first, div) = &outcome.divergences[0];
+    eprintln!("\nminimizing seed {} ({})...", first.seed, div.check);
+    let small = minimize(first);
+    let now = check(&small).map_or_else(|| "no longer diverges?!".to_string(), |d| d.to_string());
+    eprintln!(
+        "minimized to {} operators / {} rows: {now}",
+        small.spec.ops.len(),
+        small.dataset.rows()
+    );
+    eprintln!("\n--- ready-to-paste regression (crates/oracle/tests/regressions.rs) ---\n");
+    eprintln!("{}", regression_code(&small));
+    ExitCode::FAILURE
+}

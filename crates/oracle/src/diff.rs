@@ -1,0 +1,384 @@
+//! The differential runner.
+//!
+//! For one generated test case, [`check`] executes the pipeline on the
+//! Tab. 5 reference interpreter and on the optimized engine in several
+//! configurations, and compares everything the two are required to agree
+//! on:
+//!
+//! * **bit-for-bit at `partitions: 1`** — output rows *with identifiers*,
+//!   per-operator row counts and schemas, and the complete operator
+//!   provenance (independently derived `A`/`M` sets and the captured
+//!   association tables) of the reference vs the fused engine vs the
+//!   unfused engine;
+//! * **capture-transparent** — a plain (no-capture) run returns the same
+//!   rows as the captured run;
+//! * **partition-invariant** — at `partitions: 2` and `7` the engine's
+//!   item sequence and operator counts are unchanged (identifiers may
+//!   differ);
+//! * **backtrace-equivalent** — for sampled output items (whole-item
+//!   trees over [`Path::path_set`]) and one tree-pattern query, the
+//!   backtracing results agree bit-for-bit across reference / fused /
+//!   unfused at `partitions: 1`, and modulo identifiers (via
+//!   [`canonical_provenance`]) across partition counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pebble_core::{
+    backtrace, canonical_provenance, run_captured, run_captured_unfused, Backtrace, CapturedRun,
+    PatternNode, ProvTree, TreePattern,
+};
+use pebble_dataflow::{run, Context, ExecConfig, NoSink, Program, Row};
+use pebble_nested::Path;
+
+use crate::gen::Generated;
+use crate::interp::{reference_config, run_reference};
+
+/// Partition counts the engine is additionally exercised at (compared
+/// modulo identifiers).
+pub const ALT_PARTITIONS: [usize; 2] = [2, 7];
+
+/// How many output items get a whole-item backtrace comparison.
+const BACKTRACE_SAMPLES: usize = 3;
+
+/// One disagreement between the reference and the engine (or between two
+/// engine configurations).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Divergence {
+    /// Seed of the generated case.
+    pub seed: u64,
+    /// Which comparison failed.
+    pub check: String,
+    /// Short human-readable description of the disagreement.
+    pub detail: String,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[seed {}] {}: {}", self.seed, self.check, self.detail)
+    }
+}
+
+fn diverge(seed: u64, check: &str, detail: String) -> Option<Divergence> {
+    Some(Divergence {
+        seed,
+        check: check.to_string(),
+        detail,
+    })
+}
+
+/// Truncates long debug output so divergence reports stay readable.
+fn trunc(s: String) -> String {
+    const MAX: usize = 600;
+    if s.len() <= MAX {
+        s
+    } else {
+        let cut = (0..=MAX).rev().find(|&i| s.is_char_boundary(i)).unwrap();
+        format!("{}… ({} bytes)", &s[..cut], s.len())
+    }
+}
+
+/// Compares two captured runs bit-for-bit (rows with ids, counts, schemas,
+/// full operator provenance).
+fn compare_captured(
+    seed: u64,
+    check: &str,
+    a: &CapturedRun,
+    b: &CapturedRun,
+) -> Option<Divergence> {
+    if a.output.op_counts != b.output.op_counts {
+        return diverge(
+            seed,
+            check,
+            format!(
+                "op_counts {:?} vs {:?}",
+                a.output.op_counts, b.output.op_counts
+            ),
+        );
+    }
+    if a.output.op_schemas != b.output.op_schemas {
+        return diverge(
+            seed,
+            check,
+            trunc(format!(
+                "op_schemas {:?} vs {:?}",
+                a.output.op_schemas, b.output.op_schemas
+            )),
+        );
+    }
+    if a.output.rows != b.output.rows {
+        let at = a
+            .output
+            .rows
+            .iter()
+            .zip(&b.output.rows)
+            .position(|(x, y)| x != y)
+            .map_or_else(
+                || format!("lengths {} vs {}", a.output.rows.len(), b.output.rows.len()),
+                |i| {
+                    trunc(format!(
+                        "row {i}: {:?} vs {:?}",
+                        a.output.rows[i], b.output.rows[i]
+                    ))
+                },
+            );
+        return diverge(seed, check, format!("output rows differ: {at}"));
+    }
+    for (oa, ob) in a.ops.iter().zip(&b.ops) {
+        if oa != ob {
+            return diverge(
+                seed,
+                check,
+                trunc(format!("op {} provenance: {:?} vs {:?}", oa.oid, oa, ob)),
+            );
+        }
+    }
+    None
+}
+
+/// Compares row *items* in sequence, ignoring identifiers (the partition
+/// invariance contract).
+fn compare_items(seed: u64, check: &str, a: &[Row], b: &[Row]) -> Option<Divergence> {
+    if a.len() != b.len() {
+        return diverge(seed, check, format!("lengths {} vs {}", a.len(), b.len()));
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        if x.item != y.item {
+            return diverge(
+                seed,
+                check,
+                trunc(format!("item {i}: {:?} vs {:?}", x.item, y.item)),
+            );
+        }
+    }
+    None
+}
+
+/// Provenance questions asked of every run: whole-item trees for sampled
+/// output positions plus one root-attribute tree pattern.
+struct Questions {
+    /// Sampled output row positions.
+    samples: Vec<usize>,
+    /// Pattern over a sink root attribute, if the sink schema names one.
+    pattern: Option<TreePattern>,
+}
+
+impl Questions {
+    fn new(gen: &Generated, baseline: &CapturedRun) -> Questions {
+        let mut rng = StdRng::seed_from_u64(gen.seed ^ 0xb4c7_b4c7_b4c7_b4c7);
+        let n = baseline.output.rows.len();
+        let mut samples: Vec<usize> = Vec::new();
+        for _ in 0..BACKTRACE_SAMPLES.min(n) {
+            let i = rng.gen_range(0..n);
+            if !samples.contains(&i) {
+                samples.push(i);
+            }
+        }
+        let sink = baseline.program.sink() as usize;
+        let pattern = baseline.output.op_schemas[sink]
+            .fields()
+            .and_then(|fields| {
+                if fields.is_empty() {
+                    None
+                } else {
+                    let f = &fields[rng.gen_range(0..fields.len())];
+                    Some(TreePattern::root().node(PatternNode::attr(&f.name)))
+                }
+            });
+        Questions { samples, pattern }
+    }
+
+    /// Answers every question against one captured run: bit-level answers
+    /// (for same-id comparisons) plus their canonical forms.
+    #[allow(clippy::type_complexity)]
+    fn answers(
+        &self,
+        run: &CapturedRun,
+    ) -> Vec<(
+        String,
+        Vec<pebble_core::SourceProvenance>,
+        Vec<(String, usize, String)>,
+    )> {
+        let mut out = Vec::new();
+        for &i in &self.samples {
+            let row = &run.output.rows[i];
+            let paths = Path::path_set(&row.item);
+            let tree = ProvTree::from_paths(paths.iter());
+            let bt = Backtrace {
+                entries: vec![(row.id, tree)],
+            };
+            let sources = backtrace(run, bt);
+            let canonical = canonical_provenance(&sources);
+            out.push((
+                format!("whole-item backtrace of output[{i}]"),
+                sources,
+                canonical,
+            ));
+        }
+        if let Some(pattern) = &self.pattern {
+            let bt = pattern.match_rows(&run.output.rows);
+            let sources = backtrace(run, bt);
+            let canonical = canonical_provenance(&sources);
+            out.push(("tree-pattern backtrace".to_string(), sources, canonical));
+        }
+        out
+    }
+}
+
+/// Runs one generated case through every comparison. `None` means the
+/// engine and the reference agree everywhere.
+pub fn check(gen: &Generated) -> Option<Divergence> {
+    let program: Program = gen.spec.compile();
+    let ctx: Context = gen.dataset.context();
+    let seed = gen.seed;
+
+    let reference = run_reference(&program, &ctx);
+    let fused = run_captured(&program, &ctx, reference_config());
+    let (reference, fused) = match (reference, fused) {
+        // Both reject the program: agreement (the generator sometimes
+        // produces pipelines the static layer refuses; both sides must
+        // refuse together).
+        (Err(_), Err(_)) => return None,
+        (Err(e), Ok(_)) => {
+            return diverge(
+                seed,
+                "error agreement",
+                format!("reference errors ({e}), engine succeeds"),
+            )
+        }
+        (Ok(_), Err(e)) => {
+            return diverge(
+                seed,
+                "error agreement",
+                format!("engine errors ({e}), reference succeeds"),
+            )
+        }
+        (Ok(r), Ok(f)) => (r, f),
+    };
+    let unfused = match run_captured_unfused(&program, &ctx, reference_config()) {
+        Ok(u) => u,
+        Err(e) => {
+            return diverge(
+                seed,
+                "error agreement",
+                format!("unfused engine errors ({e}), fused succeeds"),
+            )
+        }
+    };
+
+    if let Some(d) = compare_captured(seed, "reference vs fused engine (p=1)", &reference, &fused) {
+        return Some(d);
+    }
+    if let Some(d) = compare_captured(seed, "fused vs unfused engine (p=1)", &fused, &unfused) {
+        return Some(d);
+    }
+
+    // Capture transparency: a plain run returns the same rows.
+    match run(&program, &ctx, reference_config(), &NoSink) {
+        Ok(plain) => {
+            if plain.rows != fused.output.rows {
+                return diverge(
+                    seed,
+                    "capture on/off (p=1)",
+                    "plain run rows differ from captured run rows".to_string(),
+                );
+            }
+        }
+        Err(e) => {
+            return diverge(
+                seed,
+                "capture on/off (p=1)",
+                format!("plain run errors ({e}), captured run succeeds"),
+            )
+        }
+    }
+
+    // Partition invariance, modulo identifiers.
+    let mut alt_runs: Vec<(usize, CapturedRun)> = Vec::new();
+    for parts in ALT_PARTITIONS {
+        let config = ExecConfig { partitions: parts };
+        match run_captured(&program, &ctx, config) {
+            Ok(r) => {
+                let name = format!("p=1 vs p={parts}");
+                if r.output.op_counts != fused.output.op_counts {
+                    return diverge(
+                        seed,
+                        &name,
+                        format!(
+                            "op_counts {:?} vs {:?}",
+                            fused.output.op_counts, r.output.op_counts
+                        ),
+                    );
+                }
+                if let Some(d) = compare_items(seed, &name, &fused.output.rows, &r.output.rows) {
+                    return Some(d);
+                }
+                alt_runs.push((parts, r));
+            }
+            Err(e) => {
+                return diverge(
+                    seed,
+                    "error agreement",
+                    format!("engine at p={parts} errors ({e}), p=1 succeeds"),
+                )
+            }
+        }
+    }
+
+    // Backtracing equivalence.
+    if !fused.output.rows.is_empty() {
+        let questions = Questions::new(gen, &fused);
+        let baseline = questions.answers(&fused);
+        for (name, other) in [("reference", &reference), ("unfused engine", &unfused)] {
+            for (base, got) in baseline.iter().zip(questions.answers(other)) {
+                if base.1 != got.1 {
+                    return diverge(
+                        seed,
+                        &format!("{} vs fused engine (p=1)", name),
+                        trunc(format!("{}: {:?} vs {:?}", base.0, got.1, base.1)),
+                    );
+                }
+            }
+        }
+        for (parts, alt) in &alt_runs {
+            for (base, got) in baseline.iter().zip(questions.answers(alt)) {
+                if base.2 != got.2 {
+                    return diverge(
+                        seed,
+                        &format!("backtrace p=1 vs p={parts}"),
+                        trunc(format!("{}: {:?} vs {:?}", base.0, base.2, got.2)),
+                    );
+                }
+            }
+        }
+    }
+
+    None
+}
+
+/// Result of a fuzzing sweep over a seed range.
+#[derive(Debug, Default)]
+pub struct FuzzOutcome {
+    /// Number of generated cases checked.
+    pub checked: u64,
+    /// Diverging cases, paired with their divergence.
+    pub divergences: Vec<(Generated, Divergence)>,
+}
+
+/// Generates and checks `count` cases starting at `start_seed`, collecting
+/// at most `stop_after` divergences before giving up early (0 = never stop
+/// early).
+pub fn fuzz(start_seed: u64, count: u64, stop_after: usize) -> FuzzOutcome {
+    let mut outcome = FuzzOutcome::default();
+    for seed in start_seed..start_seed.saturating_add(count) {
+        let gen = crate::gen::generate(seed);
+        outcome.checked += 1;
+        if let Some(div) = check(&gen) {
+            outcome.divergences.push((gen, div));
+            if stop_after > 0 && outcome.divergences.len() >= stop_after {
+                break;
+            }
+        }
+    }
+    outcome
+}

@@ -1,0 +1,505 @@
+//! Seeded random pipeline + dataset generator.
+//!
+//! Each seed deterministically yields a small dataset (Twitter- or
+//! DBLP-shaped, from `pebble-workloads`) and a pipeline over it. The
+//! generator is *schema-aware*: it tracks the value-level schema of the
+//! growing pipeline's frontier and draws filter/select/flatten/join/group
+//! paths from [`DataType::typed_paths`], so most generated programs
+//! type-check — while deliberately keeping sometimes-missing positional
+//! paths (`entities.media[2].type`) and rarely-matching predicates in the
+//! mix, because missing-path and empty-output behavior is exactly where
+//! engines diverge.
+//!
+//! After an opaque `map` (which declares no output schema, so the engine
+//! falls back to the wildcard schema) the generator keeps its own effective
+//! schema to continue drawing valid paths, and stops generating
+//! `join`/`union` whose static schema handling would differ.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pebble_nested::{DataItem, DataType, Path, Step};
+
+use crate::spec::{
+    AggKind, CmpKind, ColSpec, DatasetSpec, LitSpec, OpSpec, PipelineSpec, PredSpec, UdfSpec,
+};
+
+/// A generated differential-test case.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Generated {
+    /// The seed that produced it (also seeds backtrace sampling).
+    pub seed: u64,
+    /// The concrete dataset.
+    pub dataset: DatasetSpec,
+    /// The pipeline.
+    pub spec: PipelineSpec,
+}
+
+/// String needles likely (and sometimes unlikely) to occur per family.
+const TWITTER_NEEDLES: &[&str] = &["good", "BTS", "@u", "User", "en", "photo", "City", "zzz"];
+const DBLP_NEEDLES: &[&str] = &["Author", "conf/", "Paper", "Publisher", "A.", "Conf", "zzz"];
+const INT_POOL: &[i64] = &[0, 1, 2, 3, 7, 100, 500, 2012, 2015, 50_000];
+
+struct Gen {
+    rng: StdRng,
+    needles: &'static [&'static str],
+    /// Effective value-level schema per spec op.
+    schemas: Vec<DataType>,
+    ops: Vec<OpSpec>,
+    /// Rough output-size estimate, to keep fan-out bounded.
+    est_rows: f64,
+    /// An opaque map happened somewhere upstream of the frontier.
+    opaque: bool,
+    fresh: usize,
+}
+
+/// Generates the test case for one seed.
+pub fn generate(seed: u64) -> Generated {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ seed);
+    let (dataset, needles) = if rng.gen_bool(0.5) {
+        let rows = rng.gen_range(8..28);
+        let ctx = pebble_workloads::fuzz_twitter_context(rng.next_u64(), rows);
+        let sources = vec![("tweets".to_string(), ctx.source("tweets").unwrap().to_vec())];
+        (DatasetSpec { sources }, TWITTER_NEEDLES)
+    } else {
+        let records = rng.gen_range(30..90);
+        let ctx = pebble_workloads::fuzz_dblp_context(rng.next_u64(), records);
+        let sources = pebble_workloads::fuzz::DBLP_SOURCES
+            .iter()
+            .map(|s| (s.to_string(), ctx.source(s).unwrap().to_vec()))
+            .collect();
+        (DatasetSpec { sources }, DBLP_NEEDLES)
+    };
+
+    let mut g = Gen {
+        rng,
+        needles,
+        schemas: Vec::new(),
+        ops: Vec::new(),
+        est_rows: 0.0,
+        opaque: false,
+        fresh: 0,
+    };
+    g.grow(&dataset);
+    Generated {
+        seed,
+        dataset,
+        spec: PipelineSpec { ops: g.ops },
+    }
+}
+
+/// Infers the schema a source registers with (the engine's own sampling
+/// inference).
+fn source_schema(items: &[DataItem]) -> DataType {
+    pebble_dataflow::context::infer_schema(items)
+}
+
+impl Gen {
+    fn grow(&mut self, dataset: &DatasetSpec) {
+        // Start: read a random source.
+        let start = self.rng.gen_range(0..dataset.sources.len());
+        let (name, items) = &dataset.sources[start];
+        self.push(
+            OpSpec::Read {
+                source: name.clone(),
+            },
+            source_schema(items),
+        );
+        self.est_rows = items.len() as f64;
+
+        let steps = self.rng.gen_range(1..=6usize);
+        for _ in 0..steps {
+            // A handful of attempts per step; unlucky draws (no candidate
+            // paths, schema rejection) skip the step.
+            for _attempt in 0..8 {
+                if self.try_step(dataset) {
+                    break;
+                }
+            }
+        }
+        // A pipeline must transform at least once; fall back to a trivial
+        // always-true filter when every step failed.
+        if self.ops.len() == 1 {
+            let frontier = self.frontier();
+            let schema = self.schemas[frontier].clone();
+            self.push(
+                OpSpec::Filter {
+                    input: frontier,
+                    pred: PredSpec::Not(Box::new(PredSpec::Cmp {
+                        path: "nonexistent_attr".into(),
+                        cmp: CmpKind::Eq,
+                        lit: LitSpec::Int(0),
+                    })),
+                },
+                schema,
+            );
+        }
+    }
+
+    fn frontier(&self) -> usize {
+        self.ops.len() - 1
+    }
+
+    fn push(&mut self, op: OpSpec, schema: DataType) {
+        self.ops.push(op);
+        self.schemas.push(schema);
+    }
+
+    /// Validates `op` against the effective input schemas via the engine's
+    /// own static typing, pushing it (with its output schema) on success.
+    fn try_push(&mut self, op: OpSpec) -> bool {
+        // Compile just this operator to reuse `OpKind::output_schema`.
+        let spec = PipelineSpec {
+            ops: {
+                let mut ops = self.ops.clone();
+                ops.push(op.clone());
+                ops
+            },
+        };
+        let program = spec.compile();
+        let kind = &program.operators().last().unwrap().kind;
+        let inputs: Vec<DataType> = op
+            .inputs()
+            .iter()
+            .map(|&i| self.schemas[i].clone())
+            .collect();
+        match kind.output_schema(self.ops.len() as u32, &inputs) {
+            Ok(schema) => {
+                self.push(op, schema);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Scalar-typed paths of the frontier schema, with `[pos]` steps
+    /// occasionally materialized to concrete (possibly out-of-range)
+    /// positions.
+    fn scalar_paths(&mut self, schema: &DataType) -> Vec<(Path, DataType)> {
+        let mut out = Vec::new();
+        for (p, ty) in schema.typed_paths() {
+            let scalar = matches!(
+                ty,
+                DataType::Int | DataType::Str | DataType::Bool | DataType::Double
+            );
+            if !scalar {
+                continue;
+            }
+            if p.steps().iter().any(|s| matches!(s, Step::AnyPos)) {
+                if self.rng.gen_bool(0.25) {
+                    let pos = self.rng.gen_range(1..=2u32);
+                    let steps: Vec<Step> = p
+                        .steps()
+                        .iter()
+                        .map(|s| match s {
+                            Step::AnyPos => Step::Pos(pos),
+                            other => other.clone(),
+                        })
+                        .collect();
+                    out.push((Path::new(steps), ty));
+                }
+            } else {
+                out.push((p, ty));
+            }
+        }
+        out
+    }
+
+    /// Collection-typed paths reachable without crossing a collection.
+    fn collection_paths(&self, schema: &DataType) -> Vec<(Path, DataType)> {
+        schema
+            .typed_paths()
+            .into_iter()
+            .filter(|(p, ty)| {
+                ty.is_collection() && !p.steps().iter().any(|s| matches!(s, Step::AnyPos))
+            })
+            .collect()
+    }
+
+    fn pick<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            let i = self.rng.gen_range(0..xs.len());
+            Some(&xs[i])
+        }
+    }
+
+    fn fresh_name(&mut self, prefix: &str) -> String {
+        self.fresh += 1;
+        format!("{prefix}{}", self.fresh)
+    }
+
+    fn try_step(&mut self, dataset: &DatasetSpec) -> bool {
+        let frontier = self.frontier();
+        let schema = self.schemas[frontier].clone();
+        let roll = self.rng.gen_range(0..100u32);
+        match roll {
+            0..=24 => self.gen_filter(frontier, &schema),
+            25..=44 => self.gen_select(frontier, &schema),
+            45..=59 => self.gen_flatten(frontier, &schema),
+            60..=74 => self.gen_group(frontier, &schema),
+            75..=84 => self.gen_join(frontier, &schema, dataset),
+            85..=92 => self.gen_union(frontier),
+            _ => self.gen_map(frontier, &schema),
+        }
+    }
+
+    fn gen_literal(&mut self, ty: &DataType) -> LitSpec {
+        match ty {
+            DataType::Int => LitSpec::Int(*self.pick(INT_POOL).unwrap()),
+            DataType::Double => LitSpec::Double([0.0, 1.5, -10.0][self.rng.gen_range(0..3usize)]),
+            DataType::Bool => LitSpec::Bool(self.rng.gen_bool(0.5)),
+            _ => LitSpec::Str(self.pick(self.needles).unwrap().to_string()),
+        }
+    }
+
+    fn gen_pred(&mut self, schema: &DataType, depth: usize) -> Option<PredSpec> {
+        if depth > 0 && self.rng.gen_bool(0.2) {
+            let a = Box::new(self.gen_pred(schema, depth - 1)?);
+            let b = Box::new(self.gen_pred(schema, depth - 1)?);
+            return Some(if self.rng.gen_bool(0.5) {
+                PredSpec::And(a, b)
+            } else {
+                PredSpec::Or(a, b)
+            });
+        }
+        let candidates = self.scalar_paths(schema);
+        let (path, ty) = self.pick(&candidates)?.clone();
+        let path = path.to_string();
+        let base = if matches!(ty, DataType::Str) && self.rng.gen_bool(0.6) {
+            PredSpec::Contains {
+                path,
+                needle: self.gen_literal(&ty),
+            }
+        } else {
+            let cmp = [
+                CmpKind::Eq,
+                CmpKind::Ne,
+                CmpKind::Lt,
+                CmpKind::Le,
+                CmpKind::Gt,
+                CmpKind::Ge,
+            ][self.rng.gen_range(0..6usize)];
+            PredSpec::Cmp {
+                path,
+                cmp,
+                lit: self.gen_literal(&ty),
+            }
+        };
+        Some(if self.rng.gen_bool(0.15) {
+            PredSpec::Not(Box::new(base))
+        } else {
+            base
+        })
+    }
+
+    fn gen_filter(&mut self, frontier: usize, schema: &DataType) -> bool {
+        let Some(pred) = self.gen_pred(schema, 1) else {
+            return false;
+        };
+        self.est_rows *= 0.6;
+        self.try_push(OpSpec::Filter {
+            input: frontier,
+            pred,
+        })
+    }
+
+    fn gen_select(&mut self, frontier: usize, schema: &DataType) -> bool {
+        // Draw from every typed path (scalars, collections, sub-items) so
+        // selects re-root nested values, not just scalars.
+        let typed: Vec<(Path, DataType)> = schema
+            .typed_paths()
+            .into_iter()
+            .filter(|(p, _)| !p.steps().iter().any(|s| matches!(s, Step::AnyPos)))
+            .collect();
+        if typed.is_empty() {
+            return false;
+        }
+        let n = self.rng.gen_range(1..=4usize.min(typed.len()));
+        let mut cols = Vec::with_capacity(n);
+        for i in 0..n {
+            let (p, _) = self.pick(&typed).unwrap().clone();
+            if self.rng.gen_bool(0.15) && typed.len() >= 2 {
+                let (q, _) = self.pick(&typed).unwrap().clone();
+                cols.push(ColSpec::Struct {
+                    name: format!("s{i}"),
+                    fields: vec![("a".into(), p.to_string()), ("b".into(), q.to_string())],
+                });
+            } else {
+                cols.push(ColSpec::Path {
+                    name: format!("c{i}"),
+                    path: p.to_string(),
+                });
+            }
+        }
+        self.try_push(OpSpec::Select {
+            input: frontier,
+            cols,
+        })
+    }
+
+    fn gen_flatten(&mut self, frontier: usize, schema: &DataType) -> bool {
+        if self.est_rows > 800.0 {
+            return false;
+        }
+        let candidates = self.collection_paths(schema);
+        let Some((col, _)) = self.pick(&candidates).cloned() else {
+            return false;
+        };
+        let new_attr = self.fresh_name("x");
+        self.est_rows *= 2.5;
+        self.try_push(OpSpec::Flatten {
+            input: frontier,
+            col: col.to_string(),
+            new_attr,
+        })
+    }
+
+    fn gen_group(&mut self, frontier: usize, schema: &DataType) -> bool {
+        let scalars = self.scalar_paths(schema);
+        if scalars.is_empty() {
+            return false;
+        }
+        let nk = self.rng.gen_range(1..=2usize);
+        let mut keys = Vec::with_capacity(nk);
+        for i in 0..nk {
+            let (p, _) = self.pick(&scalars).unwrap().clone();
+            keys.push((format!("k{i}"), p.to_string()));
+        }
+        let na = self.rng.gen_range(1..=3usize);
+        let mut aggs = Vec::with_capacity(na);
+        for i in 0..na {
+            let out = format!("a{i}");
+            let roll = self.rng.gen_range(0..100u32);
+            if roll < 15 {
+                aggs.push((AggKind::Count, String::new(), out)); // count(*)
+            } else if roll < 28 {
+                aggs.push((AggKind::CollectList, String::new(), out)); // nest
+            } else {
+                let (p, ty) = self.pick(&scalars).unwrap().clone();
+                let numeric = matches!(ty, DataType::Int | DataType::Double);
+                let kind = if numeric {
+                    [
+                        AggKind::Sum,
+                        AggKind::Min,
+                        AggKind::Max,
+                        AggKind::Avg,
+                        AggKind::Count,
+                        AggKind::CollectList,
+                        AggKind::CollectSet,
+                    ][self.rng.gen_range(0..7usize)]
+                } else {
+                    [
+                        AggKind::Min,
+                        AggKind::Max,
+                        AggKind::Count,
+                        AggKind::CollectList,
+                        AggKind::CollectSet,
+                    ][self.rng.gen_range(0..5usize)]
+                };
+                aggs.push((kind, p.to_string(), out));
+            }
+        }
+        self.est_rows *= 0.3;
+        self.try_push(OpSpec::GroupAgg {
+            input: frontier,
+            keys,
+            aggs,
+        })
+    }
+
+    fn gen_join(&mut self, frontier: usize, schema: &DataType, dataset: &DatasetSpec) -> bool {
+        if self.opaque || self.est_rows > 400.0 {
+            return false;
+        }
+        let src = self.rng.gen_range(0..dataset.sources.len());
+        let (src_name, items) = &dataset.sources[src];
+        let right_schema = source_schema(items);
+        // Key pairs: same scalar type on both sides.
+        let left_scalars = self.scalar_paths(schema);
+        let right_scalars = self.scalar_paths(&right_schema);
+        let mut pairs: Vec<(String, String)> = Vec::new();
+        for _ in 0..20 {
+            let Some((lp, lt)) = self.pick(&left_scalars).cloned() else {
+                break;
+            };
+            let same_ty: Vec<(Path, DataType)> = right_scalars
+                .iter()
+                .filter(|(_, rt)| *rt == lt)
+                .cloned()
+                .collect();
+            if let Some((rp, _)) = self.pick(&same_ty).cloned() {
+                pairs.push((lp.to_string(), rp.to_string()));
+                break;
+            }
+        }
+        if pairs.is_empty() {
+            return false;
+        }
+        let read_idx = self.ops.len();
+        self.push(
+            OpSpec::Read {
+                source: src_name.clone(),
+            },
+            right_schema,
+        );
+        self.est_rows *= 3.0;
+        if self.try_push(OpSpec::Join {
+            left: frontier,
+            right: read_idx,
+            keys: pairs,
+        }) {
+            true
+        } else {
+            // Roll back the dangling read.
+            self.ops.pop();
+            self.schemas.pop();
+            false
+        }
+    }
+
+    fn gen_union(&mut self, frontier: usize) -> bool {
+        if self.opaque || self.est_rows > 800.0 {
+            return false;
+        }
+        // Self-union: the frontier becomes a multi-consumer node, which
+        // also exercises the engine's fusion-boundary logic.
+        self.est_rows *= 2.0;
+        self.try_push(OpSpec::Union {
+            left: frontier,
+            right: frontier,
+        })
+    }
+
+    fn gen_map(&mut self, frontier: usize, schema: &DataType) -> bool {
+        let udf = if self.rng.gen_bool(0.5) {
+            UdfSpec::Identity
+        } else {
+            UdfSpec::TagInt {
+                attr: self.fresh_name("tag"),
+                value: self.rng.gen_range(0..1000) as i64,
+            }
+        };
+        // Effective schema: the engine records the wildcard (`⊥` schema),
+        // but the generator knows what the UDF really does.
+        let effective = match &udf {
+            UdfSpec::Identity => schema.clone(),
+            UdfSpec::TagInt { attr, .. } => match schema {
+                DataType::Item(fields) => {
+                    let mut fields = fields.clone();
+                    fields.push(pebble_nested::Field::new(attr.clone(), DataType::Int));
+                    DataType::Item(fields)
+                }
+                other => other.clone(),
+            },
+        };
+        self.ops.push(OpSpec::Map {
+            input: frontier,
+            udf,
+        });
+        self.schemas.push(effective);
+        self.opaque = true;
+        true
+    }
+}

@@ -1,0 +1,557 @@
+//! Printable pipeline and dataset specifications.
+//!
+//! The fuzzer does not generate [`Program`]s directly: it generates a
+//! [`PipelineSpec`] — a plain-data description restricted to constructs
+//! that can be *printed back as Rust source*. That restriction is what
+//! makes the failure minimizer's output a ready-to-paste regression test:
+//! a minimized `(dataset, pipeline)` pair round-trips through
+//! [`PipelineSpec::to_code`] / [`DatasetSpec::to_code`] into a test that
+//! rebuilds the exact same program and re-runs the differential check.
+
+use pebble_dataflow::{
+    AggFunc, AggSpec, Context, Expr, GroupKey, MapUdf, NamedExpr, Program, ProgramBuilder,
+    SelectExpr,
+};
+use pebble_nested::{json, DataItem, Value};
+
+/// A literal in a generated predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LitSpec {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// Double literal.
+    Double(f64),
+}
+
+impl LitSpec {
+    fn expr(&self) -> Expr {
+        match self {
+            LitSpec::Int(v) => Expr::lit(*v),
+            LitSpec::Str(s) => Expr::lit(s.as_str()),
+            LitSpec::Bool(b) => Expr::lit(*b),
+            LitSpec::Double(d) => Expr::lit(*d),
+        }
+    }
+
+    fn code(&self) -> String {
+        match self {
+            LitSpec::Int(v) => format!("LitSpec::Int({v})"),
+            LitSpec::Str(s) => format!("LitSpec::Str({s:?}.into())"),
+            LitSpec::Bool(b) => format!("LitSpec::Bool({b})"),
+            LitSpec::Double(d) => format!("LitSpec::Double({d:?})"),
+        }
+    }
+}
+
+/// Comparison operator of a generated predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CmpKind {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A generated filter predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PredSpec {
+    /// `path <cmp> literal`.
+    Cmp {
+        /// Column path.
+        path: String,
+        /// Comparison.
+        cmp: CmpKind,
+        /// Right-hand literal.
+        lit: LitSpec,
+    },
+    /// `contains(path, needle)` — substring or collection membership.
+    Contains {
+        /// Column path.
+        path: String,
+        /// Needle literal.
+        needle: LitSpec,
+    },
+    /// Negation.
+    Not(Box<PredSpec>),
+    /// Conjunction.
+    And(Box<PredSpec>, Box<PredSpec>),
+    /// Disjunction.
+    Or(Box<PredSpec>, Box<PredSpec>),
+}
+
+impl PredSpec {
+    /// Compiles to an engine expression.
+    pub fn expr(&self) -> Expr {
+        match self {
+            PredSpec::Cmp { path, cmp, lit } => {
+                let col = Expr::col(path);
+                let lit = lit.expr();
+                match cmp {
+                    CmpKind::Eq => col.eq(lit),
+                    CmpKind::Ne => col.ne(lit),
+                    CmpKind::Lt => col.lt(lit),
+                    CmpKind::Le => col.le(lit),
+                    CmpKind::Gt => col.gt(lit),
+                    CmpKind::Ge => col.ge(lit),
+                }
+            }
+            PredSpec::Contains { path, needle } => Expr::col(path).contains(needle.expr()),
+            PredSpec::Not(p) => p.expr().not(),
+            PredSpec::And(a, b) => a.expr().and(b.expr()),
+            PredSpec::Or(a, b) => a.expr().or(b.expr()),
+        }
+    }
+
+    fn code(&self) -> String {
+        match self {
+            PredSpec::Cmp { path, cmp, lit } => format!(
+                "PredSpec::Cmp {{ path: {path:?}.into(), cmp: CmpKind::{cmp:?}, lit: {} }}",
+                lit.code()
+            ),
+            PredSpec::Contains { path, needle } => format!(
+                "PredSpec::Contains {{ path: {path:?}.into(), needle: {} }}",
+                needle.code()
+            ),
+            PredSpec::Not(p) => format!("PredSpec::Not(Box::new({}))", p.code()),
+            PredSpec::And(a, b) => {
+                format!(
+                    "PredSpec::And(Box::new({}), Box::new({}))",
+                    a.code(),
+                    b.code()
+                )
+            }
+            PredSpec::Or(a, b) => {
+                format!(
+                    "PredSpec::Or(Box::new({}), Box::new({}))",
+                    a.code(),
+                    b.code()
+                )
+            }
+        }
+    }
+}
+
+/// One projected column of a generated `select`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ColSpec {
+    /// `name ← path`.
+    Path {
+        /// Output attribute name.
+        name: String,
+        /// Source path.
+        path: String,
+    },
+    /// `name ← ⟨sub_i: path_i⟩` — a one-level struct of paths.
+    Struct {
+        /// Output attribute name.
+        name: String,
+        /// Sub-attribute name/path pairs.
+        fields: Vec<(String, String)>,
+    },
+}
+
+impl ColSpec {
+    fn named_expr(&self) -> NamedExpr {
+        match self {
+            ColSpec::Path { name, path } => NamedExpr::aliased(name.clone(), path),
+            ColSpec::Struct { name, fields } => NamedExpr::new(
+                name.clone(),
+                SelectExpr::strct(fields.iter().map(|(n, p)| (n.clone(), SelectExpr::path(p)))),
+            ),
+        }
+    }
+
+    fn code(&self) -> String {
+        match self {
+            ColSpec::Path { name, path } => {
+                format!("ColSpec::Path {{ name: {name:?}.into(), path: {path:?}.into() }}")
+            }
+            ColSpec::Struct { name, fields } => {
+                let fs: Vec<String> = fields
+                    .iter()
+                    .map(|(n, p)| format!("({n:?}.into(), {p:?}.into())"))
+                    .collect();
+                format!(
+                    "ColSpec::Struct {{ name: {name:?}.into(), fields: vec![{}] }}",
+                    fs.join(", ")
+                )
+            }
+        }
+    }
+}
+
+/// A printable `map` UDF, drawn from a fixed registry of deterministic
+/// functions. All of them declare no output schema, exercising the
+/// engine's `⊥` (opaque map) provenance path.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UdfSpec {
+    /// Clones the item unchanged.
+    Identity,
+    /// Adds an integer attribute `attr = value` to every item.
+    TagInt {
+        /// New attribute name (must be fresh).
+        attr: String,
+        /// Attribute value.
+        value: i64,
+    },
+}
+
+impl UdfSpec {
+    /// Compiles to an engine UDF.
+    pub fn udf(&self) -> MapUdf {
+        match self {
+            UdfSpec::Identity => MapUdf {
+                name: "identity".into(),
+                f: std::sync::Arc::new(Clone::clone),
+                output_schema: None,
+            },
+            UdfSpec::TagInt { attr, value } => {
+                let attr = attr.clone();
+                let value = *value;
+                MapUdf {
+                    name: format!("tag_{attr}"),
+                    f: std::sync::Arc::new(move |d: &DataItem| {
+                        let mut d = d.clone();
+                        d.push(attr.as_str(), Value::Int(value));
+                        d
+                    }),
+                    output_schema: None,
+                }
+            }
+        }
+    }
+
+    fn code(&self) -> String {
+        match self {
+            UdfSpec::Identity => "UdfSpec::Identity".into(),
+            UdfSpec::TagInt { attr, value } => {
+                format!("UdfSpec::TagInt {{ attr: {attr:?}.into(), value: {value} }}")
+            }
+        }
+    }
+}
+
+/// Aggregate function mirror with a stable printed form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AggKind {
+    Count,
+    Sum,
+    Min,
+    Max,
+    Avg,
+    CollectList,
+    CollectSet,
+}
+
+impl AggKind {
+    fn func(self) -> AggFunc {
+        match self {
+            AggKind::Count => AggFunc::Count,
+            AggKind::Sum => AggFunc::Sum,
+            AggKind::Min => AggFunc::Min,
+            AggKind::Max => AggFunc::Max,
+            AggKind::Avg => AggFunc::Avg,
+            AggKind::CollectList => AggFunc::CollectList,
+            AggKind::CollectSet => AggFunc::CollectSet,
+        }
+    }
+}
+
+/// One operator of a generated pipeline. Operator ids are vector indexes:
+/// the spec lists operators in topological order and input references
+/// point at earlier entries; the last entry is the sink.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OpSpec {
+    /// Read a registered source.
+    Read {
+        /// Source dataset name.
+        source: String,
+    },
+    /// Filter by a predicate.
+    Filter {
+        /// Input operator index.
+        input: usize,
+        /// The predicate.
+        pred: PredSpec,
+    },
+    /// Project columns.
+    Select {
+        /// Input operator index.
+        input: usize,
+        /// Projected columns.
+        cols: Vec<ColSpec>,
+    },
+    /// Apply a registry UDF.
+    Map {
+        /// Input operator index.
+        input: usize,
+        /// The UDF.
+        udf: UdfSpec,
+    },
+    /// Explode a collection column.
+    Flatten {
+        /// Input operator index.
+        input: usize,
+        /// Collection path.
+        col: String,
+        /// Name of the new element attribute.
+        new_attr: String,
+    },
+    /// Equi-join two inputs.
+    Join {
+        /// Left input operator index.
+        left: usize,
+        /// Right input operator index.
+        right: usize,
+        /// Key path pairs (left, right).
+        keys: Vec<(String, String)>,
+    },
+    /// Concatenate two inputs.
+    Union {
+        /// Left input operator index.
+        left: usize,
+        /// Right input operator index.
+        right: usize,
+    },
+    /// Group and aggregate.
+    GroupAgg {
+        /// Input operator index.
+        input: usize,
+        /// Key `(output name, path)` pairs.
+        keys: Vec<(String, String)>,
+        /// Aggregates `(function, input path — empty for whole items,
+        /// output name)`.
+        aggs: Vec<(AggKind, String, String)>,
+    },
+}
+
+impl OpSpec {
+    /// Indexes of this operator's inputs.
+    pub fn inputs(&self) -> Vec<usize> {
+        match self {
+            OpSpec::Read { .. } => vec![],
+            OpSpec::Filter { input, .. }
+            | OpSpec::Select { input, .. }
+            | OpSpec::Map { input, .. }
+            | OpSpec::Flatten { input, .. }
+            | OpSpec::GroupAgg { input, .. } => vec![*input],
+            OpSpec::Join { left, right, .. } | OpSpec::Union { left, right } => {
+                vec![*left, *right]
+            }
+        }
+    }
+
+    /// Rewrites input references through `f`.
+    pub fn map_inputs(&mut self, f: impl Fn(usize) -> usize) {
+        match self {
+            OpSpec::Read { .. } => {}
+            OpSpec::Filter { input, .. }
+            | OpSpec::Select { input, .. }
+            | OpSpec::Map { input, .. }
+            | OpSpec::Flatten { input, .. }
+            | OpSpec::GroupAgg { input, .. } => *input = f(*input),
+            OpSpec::Join { left, right, .. } | OpSpec::Union { left, right } => {
+                *left = f(*left);
+                *right = f(*right);
+            }
+        }
+    }
+
+    fn code(&self) -> String {
+        match self {
+            OpSpec::Read { source } => format!("OpSpec::Read {{ source: {source:?}.into() }}"),
+            OpSpec::Filter { input, pred } => {
+                format!("OpSpec::Filter {{ input: {input}, pred: {} }}", pred.code())
+            }
+            OpSpec::Select { input, cols } => {
+                let cs: Vec<String> = cols.iter().map(ColSpec::code).collect();
+                format!(
+                    "OpSpec::Select {{ input: {input}, cols: vec![{}] }}",
+                    cs.join(", ")
+                )
+            }
+            OpSpec::Map { input, udf } => {
+                format!("OpSpec::Map {{ input: {input}, udf: {} }}", udf.code())
+            }
+            OpSpec::Flatten {
+                input,
+                col,
+                new_attr,
+            } => format!(
+                "OpSpec::Flatten {{ input: {input}, col: {col:?}.into(), new_attr: {new_attr:?}.into() }}"
+            ),
+            OpSpec::Join { left, right, keys } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(l, r)| format!("({l:?}.into(), {r:?}.into())"))
+                    .collect();
+                format!(
+                    "OpSpec::Join {{ left: {left}, right: {right}, keys: vec![{}] }}",
+                    ks.join(", ")
+                )
+            }
+            OpSpec::Union { left, right } => {
+                format!("OpSpec::Union {{ left: {left}, right: {right} }}")
+            }
+            OpSpec::GroupAgg { input, keys, aggs } => {
+                let ks: Vec<String> = keys
+                    .iter()
+                    .map(|(n, p)| format!("({n:?}.into(), {p:?}.into())"))
+                    .collect();
+                let ags: Vec<String> = aggs
+                    .iter()
+                    .map(|(f, p, o)| format!("(AggKind::{f:?}, {p:?}.into(), {o:?}.into())"))
+                    .collect();
+                format!(
+                    "OpSpec::GroupAgg {{ input: {input}, keys: vec![{}], aggs: vec![{}] }}",
+                    ks.join(", "),
+                    ags.join(", ")
+                )
+            }
+        }
+    }
+}
+
+/// A generated pipeline: operators in topological order, last is the sink.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineSpec {
+    /// The operators.
+    pub ops: Vec<OpSpec>,
+}
+
+impl PipelineSpec {
+    /// Compiles the spec to an executable program. Spec indexes map 1:1 to
+    /// engine operator ids.
+    pub fn compile(&self) -> Program {
+        let mut b = ProgramBuilder::new();
+        let mut ids = Vec::with_capacity(self.ops.len());
+        for op in &self.ops {
+            let id = match op {
+                OpSpec::Read { source } => b.read(source.clone()),
+                OpSpec::Filter { input, pred } => b.filter(ids[*input], pred.expr()),
+                OpSpec::Select { input, cols } => {
+                    b.select(ids[*input], cols.iter().map(ColSpec::named_expr).collect())
+                }
+                OpSpec::Map { input, udf } => b.map(ids[*input], udf.udf()),
+                OpSpec::Flatten {
+                    input,
+                    col,
+                    new_attr,
+                } => b.flatten(ids[*input], col, new_attr.clone()),
+                OpSpec::Join { left, right, keys } => b.join(
+                    ids[*left],
+                    ids[*right],
+                    keys.iter()
+                        .map(|(l, r)| {
+                            (pebble_nested::Path::parse(l), pebble_nested::Path::parse(r))
+                        })
+                        .collect(),
+                ),
+                OpSpec::Union { left, right } => b.union(ids[*left], ids[*right]),
+                OpSpec::GroupAgg { input, keys, aggs } => b.group_aggregate(
+                    ids[*input],
+                    keys.iter()
+                        .map(|(n, p)| GroupKey::aliased(n.clone(), p))
+                        .collect(),
+                    aggs.iter()
+                        .map(|(f, p, o)| AggSpec::new(f.func(), p, o.clone()))
+                        .collect(),
+                ),
+            };
+            ids.push(id);
+        }
+        b.build(*ids.last().expect("pipeline has operators"))
+    }
+
+    /// Prints the spec back as a Rust `PipelineSpec { .. }` literal.
+    pub fn to_code(&self) -> String {
+        let ops: Vec<String> = self
+            .ops
+            .iter()
+            .map(|o| format!("        {},", o.code()))
+            .collect();
+        format!(
+            "PipelineSpec {{\n    ops: vec![\n{}\n    ],\n}}",
+            ops.join("\n")
+        )
+    }
+
+    /// One-line human-readable shape, e.g. `read>filter>flatten>aggregation`.
+    pub fn describe(&self) -> String {
+        let names: Vec<&str> = self
+            .ops
+            .iter()
+            .map(|o| match o {
+                OpSpec::Read { .. } => "read",
+                OpSpec::Filter { .. } => "filter",
+                OpSpec::Select { .. } => "select",
+                OpSpec::Map { .. } => "map",
+                OpSpec::Flatten { .. } => "flatten",
+                OpSpec::Join { .. } => "join",
+                OpSpec::Union { .. } => "union",
+                OpSpec::GroupAgg { .. } => "aggregation",
+            })
+            .collect();
+        names.join(">")
+    }
+}
+
+/// The concrete dataset a generated pipeline runs against, as explicit
+/// items so the minimizer can drop individual rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetSpec {
+    /// `(source name, items)` pairs.
+    pub sources: Vec<(String, Vec<DataItem>)>,
+}
+
+impl DatasetSpec {
+    /// Rebuilds a dataset from `(source name, NDJSON)` pairs — the form
+    /// emitted into regression tests.
+    pub fn from_ndjson(sources: &[(&str, &str)]) -> Self {
+        DatasetSpec {
+            sources: sources
+                .iter()
+                .map(|(name, nd)| {
+                    let items = json::parse_lines(nd).expect("regression NDJSON parses");
+                    (name.to_string(), items)
+                })
+                .collect(),
+        }
+    }
+
+    /// Registers every source in a fresh engine context (schemas inferred
+    /// from the items, exactly as production ingest does).
+    pub fn context(&self) -> Context {
+        let mut ctx = Context::new();
+        for (name, items) in &self.sources {
+            ctx.register(name.clone(), items.clone());
+        }
+        ctx
+    }
+
+    /// Prints the dataset back as a `DatasetSpec::from_ndjson(..)` call.
+    pub fn to_code(&self) -> String {
+        let srcs: Vec<String> = self
+            .sources
+            .iter()
+            .map(|(name, items)| {
+                let nd: Vec<String> = items.iter().map(json::item_to_string).collect();
+                format!("    ({name:?}, {:?}),", nd.join("\n"))
+            })
+            .collect();
+        format!("DatasetSpec::from_ndjson(&[\n{}\n])", srcs.join("\n"))
+    }
+
+    /// Total number of rows across all sources.
+    pub fn rows(&self) -> usize {
+        self.sources.iter().map(|(_, items)| items.len()).sum()
+    }
+}

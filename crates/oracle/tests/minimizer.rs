@@ -1,0 +1,116 @@
+//! The failure minimizer, tested against synthetic failure predicates
+//! (the differential oracle currently has no diverging case to shrink —
+//! see `tests/regressions/README.md`).
+
+use pebble_oracle::{generate, minimize_with, regression_code, DatasetSpec, Generated, OpSpec};
+
+/// Shrinking against "the pipeline still contains a flatten" must strip
+/// every other operator and almost every row, and stay 1-minimal.
+#[test]
+fn shrinks_to_one_minimal_case() {
+    // Find a generated case with a flatten in it.
+    let has_flatten = |g: &Generated| {
+        g.spec
+            .ops
+            .iter()
+            .any(|o| matches!(o, OpSpec::Flatten { .. }))
+    };
+    let gen = (0..500)
+        .map(generate)
+        .find(|g| has_flatten(g) && g.spec.ops.len() >= 3)
+        .expect("some generated pipeline contains a flatten");
+
+    let small = minimize_with(&gen, has_flatten);
+    assert!(has_flatten(&small), "shrunk case still fails");
+    assert!(
+        small.spec.ops.len() <= 2,
+        "read + flatten is enough, got {}",
+        small.spec.describe()
+    );
+    // 1-minimality over rows: the predicate ignores the dataset entirely,
+    // so every droppable row must be gone.
+    assert_eq!(small.dataset.rows(), 0, "rows are not needed to fail");
+}
+
+/// A predicate that also needs data keeps exactly the rows it needs.
+#[test]
+fn keeps_rows_the_predicate_needs() {
+    let gen = (0..500)
+        .map(generate)
+        .find(|g| g.dataset.rows() >= 10)
+        .expect("a case with rows");
+    let failing = |g: &Generated| g.dataset.rows() >= 3;
+    let small = minimize_with(&gen, failing);
+    assert_eq!(small.dataset.rows(), 3);
+}
+
+/// A non-failing case comes back untouched.
+#[test]
+fn non_failing_case_is_returned_unchanged() {
+    let gen = generate(7);
+    let same = minimize_with(&gen, |_| false);
+    assert_eq!(same, gen);
+}
+
+/// Operator removal rewires consumers and prunes unreachable reads, so
+/// every shrunk candidate still compiles and runs.
+#[test]
+fn removal_keeps_pipelines_well_formed() {
+    // Count every candidate the minimizer probes; all of them must
+    // compile (PipelineSpec::compile panics on dangling references).
+    let gen = (0..500)
+        .map(generate)
+        .find(|g| {
+            g.spec.ops.len() >= 5
+                && g.spec
+                    .ops
+                    .iter()
+                    .any(|o| matches!(o, OpSpec::Join { .. } | OpSpec::Union { .. }))
+        })
+        .expect("a case with a binary operator");
+    let probed = std::cell::Cell::new(0usize);
+    let small = minimize_with(&gen, |g| {
+        let _ = g.spec.compile();
+        probed.set(probed.get() + 1);
+        !g.spec.ops.is_empty()
+    });
+    assert!(probed.get() > 1, "minimizer probed candidates");
+    assert_eq!(small.spec.ops.len(), 1, "always-failing shrinks to one op");
+    assert!(
+        matches!(small.spec.ops[0], OpSpec::Read { .. }),
+        "the one op left is the read"
+    );
+}
+
+/// The emitted regression test is self-contained and round-trips its
+/// dataset through NDJSON.
+#[test]
+fn regression_code_round_trips() {
+    let gen = (0..100)
+        .map(generate)
+        .find(|g| g.dataset.rows() > 0 && g.spec.ops.len() >= 2)
+        .expect("a populated case");
+    let code = regression_code(&gen);
+    assert!(code.contains("#[test]"));
+    assert!(code.contains(&format!("fn oracle_seed_{}", gen.seed)));
+    assert!(code.contains("DatasetSpec::from_ndjson"));
+    assert!(code.contains("PipelineSpec {"));
+    assert!(code.contains("assert_eq!(check(&gen), None)"));
+
+    // The NDJSON payload embedded in the code reconstructs the dataset.
+    let nd: Vec<(&str, String)> = gen
+        .dataset
+        .sources
+        .iter()
+        .map(|(name, items)| {
+            let lines: Vec<String> = items
+                .iter()
+                .map(pebble_nested::json::item_to_string)
+                .collect();
+            (name.as_str(), lines.join("\n"))
+        })
+        .collect();
+    let nd_ref: Vec<(&str, &str)> = nd.iter().map(|(n, s)| (*n, s.as_str())).collect();
+    let round = DatasetSpec::from_ndjson(&nd_ref);
+    assert_eq!(round, gen.dataset);
+}

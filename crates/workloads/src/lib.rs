@@ -7,10 +7,12 @@
 #![warn(missing_docs)]
 
 pub mod dblp;
+pub mod fuzz;
 pub mod running_example;
 pub mod scenarios;
 pub mod twitter;
 
 pub use dblp::{DblpConfig, DblpData};
+pub use fuzz::{fuzz_dblp_context, fuzz_twitter_context};
 pub use scenarios::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario};
 pub use twitter::TwitterConfig;

@@ -16,4 +16,9 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace --release
 
+# Bounded differential-fuzz smoke: fixed seed window, ~1500 pipelines
+# through the Tab. 5 reference oracle (well under 30 s in release).
+echo "==> oracle differential smoke"
+cargo run -q --release -p pebble-oracle --bin oracle_fuzz -- 1500 0
+
 echo "CI OK"
