@@ -70,7 +70,7 @@ mod tests {
         let u = b.union(l, r);
         let f = b.filter(u, Expr::col("v").ge(Expr::lit(2i64)));
         let p = b.build(f);
-        let cfg = ExecConfig { partitions: 2 };
+        let cfg = ExecConfig::with_partitions(2);
         let pattern = TreePattern::root().node(PatternNode::attr("k").eq("b"));
 
         // Eager: capture once, trace once.

@@ -229,7 +229,7 @@ mod tests {
         let run = run_captured(
             &running_example::program(),
             &ctx,
-            ExecConfig { partitions: 2 },
+            ExecConfig::with_partitions(2),
         )
         .unwrap();
         let lp = run
@@ -259,7 +259,7 @@ mod tests {
         use crate::titian::{run_lineage, trace_back};
         let ctx = running_example::context();
         let program = running_example::program();
-        let cfg = ExecConfig { partitions: 2 };
+        let cfg = ExecConfig::with_partitions(2);
         let run = run_captured(&program, &ctx, cfg).unwrap();
         let lrun = run_lineage(&program, &ctx, cfg).unwrap();
         for row in &run.output.rows {
@@ -288,7 +288,7 @@ mod tests {
         let l = b.read("l");
         let r = b.read("r");
         let j = b.join(l, r, vec![(Path::attr("k"), Path::attr("k2"))]);
-        let run = run_captured(&b.build(j), &c, ExecConfig { partitions: 1 }).unwrap();
+        let run = run_captured(&b.build(j), &c, ExecConfig::with_partitions(1)).unwrap();
         let poly = polynomial(&run, run.output.rows[0].id);
         assert_eq!(
             poly,

@@ -240,7 +240,7 @@ mod tests {
     }
 
     fn cfg() -> ExecConfig {
-        ExecConfig { partitions: 2 }
+        ExecConfig::with_partitions(2)
     }
 
     #[test]

@@ -205,7 +205,7 @@ mod tests {
     use pebble_workloads::running_example;
 
     fn cfg() -> ExecConfig {
-        ExecConfig { partitions: 2 }
+        ExecConfig::with_partitions(2)
     }
 
     /// The Sec. 2 discussion: where-provenance of the `lp` value in result

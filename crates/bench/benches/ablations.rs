@@ -78,7 +78,7 @@ fn bench_partitions(c: &mut Criterion) {
         .measurement_time(Duration::from_millis(1200));
     for parts in [1usize, 2, 4, 8] {
         group.bench_with_input(BenchmarkId::new("d4_plain", parts), &parts, |b, &p| {
-            b.iter(|| run(&s.program, &ctx, ExecConfig { partitions: p }, &NoSink).unwrap())
+            b.iter(|| run(&s.program, &ctx, ExecConfig::with_partitions(p), &NoSink).unwrap())
         });
     }
     group.finish();

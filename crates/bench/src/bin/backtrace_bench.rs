@@ -1,0 +1,91 @@
+//! Backtrace micro-benchmark: prepared [`BacktraceIndex`] vs per-query
+//! index build.
+//!
+//! [`backtrace`] rebuilds the per-operator hash indexes over the
+//! association tables on every call; [`backtrace_with`] reuses one
+//! prepared index across many questions. This bench quantifies the
+//! amortization on the Twitter T3 workload: a batch of whole-item
+//! backtraces for sampled output rows, answered both ways.
+//!
+//! Results are folded into the `"backtrace"` section of `BENCH_2.json`,
+//! so the perf trajectory covers provenance *query* cost, not just
+//! capture overhead.
+//!
+//! Usage: `backtrace_bench [--out FILE]` (default `BENCH_2.json`).
+
+use std::fmt::Write as _;
+
+use pebble_bench::{exec_config, scale, time_interleaved, write_json_section, TWITTER_BASE};
+use pebble_core::{backtrace, backtrace_with, run_captured, Backtrace, BacktraceIndex, ProvTree};
+use pebble_nested::Path;
+use pebble_workloads::{twitter_context, twitter_scenarios};
+
+const ROUNDS: usize = 9;
+/// Whole-item backtrace questions per batch.
+const QUERIES: usize = 32;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_2.json");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let ctx = twitter_context(TWITTER_BASE * scale());
+    let t3 = twitter_scenarios().remove(2);
+    assert_eq!(t3.name, "T3");
+    let run = run_captured(&t3.program, &ctx, exec_config()).unwrap();
+    let n = run.output.rows.len();
+    assert!(n > 0, "T3 produced no rows");
+
+    // Evenly spread sample of output rows; each question is the whole-item
+    // provenance tree of one row (the Sec. 6 backtracing entry point).
+    let questions: Vec<Backtrace> = (0..QUERIES.min(n))
+        .map(|q| {
+            let row = &run.output.rows[q * n / QUERIES.min(n)];
+            let tree = ProvTree::from_paths(Path::path_set(&row.item).iter());
+            Backtrace {
+                entries: vec![(row.id, tree)],
+            }
+        })
+        .collect();
+
+    let times = time_interleaved(
+        ROUNDS,
+        &mut [
+            // Per-query build: every question pays a full index build.
+            &mut || {
+                for q in &questions {
+                    std::hint::black_box(backtrace(&run, q.clone()));
+                }
+            },
+            // Prepared: one build amortized over the whole batch.
+            &mut || {
+                let index = BacktraceIndex::build(&run);
+                for q in &questions {
+                    std::hint::black_box(backtrace_with(&run, &index, q.clone()));
+                }
+            },
+        ],
+    );
+    let per_query_ms = times[0].as_secs_f64() * 1e3;
+    let prepared_ms = times[1].as_secs_f64() * 1e3;
+    let speedup = per_query_ms / prepared_ms.max(1e-9);
+
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(body, "  \"scale\": {},", scale());
+    let _ = writeln!(body, "  \"scenario\": \"T3 whole-item backtraces\",");
+    let _ = writeln!(body, "  \"queries\": {},", questions.len());
+    let _ = writeln!(body, "  \"per_query_build_ms\": {per_query_ms:.3},");
+    let _ = writeln!(body, "  \"prepared_index_ms\": {prepared_ms:.3},");
+    let _ = writeln!(body, "  \"prepared_speedup_x\": {speedup:.2}");
+    body.push('}');
+
+    write_json_section(&out_path, "backtrace", &body);
+    println!("\"backtrace\": {body}");
+    eprintln!("wrote section \"backtrace\" to {out_path}");
+}

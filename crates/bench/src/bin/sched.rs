@@ -1,0 +1,151 @@
+//! Scheduler benchmark: morsel-driven worker pool vs the legacy
+//! per-operator spawning executor.
+//!
+//! The scenario is a skewed fan-out pipeline in the style of Twitter T3 /
+//! DBLP D3: a small fraction of source items carry a very fat nested bag,
+//! so after `flatten` one partition is ~10× the others — exactly the shape
+//! where per-operator spawn/join barriers leave workers idle behind the
+//! fattest partition, and where skew-aware morsels keep them fed.
+//!
+//! Alternatives measured (interleaved, median of `ROUNDS`):
+//!
+//! * `spawn` — the legacy executor ([`run_spawn`]): fresh scoped threads
+//!   per operator, full inter-stage barriers;
+//! * `pool_w1` — the morsel scheduler, single worker (inline path);
+//! * `pool_w4` — the morsel scheduler at 4 pool workers;
+//! * `pool_w4_capture` — ditto with structural provenance capture, for the
+//!   paper's few-percent capture-overhead envelope (Figs. 6/7).
+//!
+//! Results are folded into the `"scheduler"` section of `BENCH_2.json`.
+//!
+//! Usage: `sched [--out FILE]` (default `BENCH_2.json`).
+
+use std::fmt::Write as _;
+
+use pebble_bench::{overhead_pct, scale, time_interleaved, write_json_section};
+use pebble_core::run_captured;
+use pebble_dataflow::context::items_of;
+use pebble_dataflow::{
+    run, run_spawn, AggFunc, AggSpec, Context, ExecConfig, Expr, GroupKey, NoSink, Program,
+    ProgramBuilder,
+};
+use pebble_nested::{Path, Value};
+
+const ROUNDS: usize = 9;
+/// Source items at scale 1.
+const BASE_ITEMS: usize = 3_000;
+/// Every `SKEW_EVERY`-th item carries a `FAT_BAG`-element bag; the rest
+/// carry `i % 6` elements.
+const SKEW_EVERY: usize = 101;
+const FAT_BAG: usize = 256;
+
+fn skewed_context(items: usize) -> Context {
+    let mut c = Context::new();
+    let rows: Vec<Vec<(&str, Value)>> = (0..items)
+        .map(|i| {
+            let tags = if i % SKEW_EVERY == 0 { FAT_BAG } else { i % 6 };
+            vec![
+                ("id", Value::Int((i % 257) as i64)),
+                ("v", Value::Int(i as i64)),
+                (
+                    "tags",
+                    Value::Bag((0..tags as i64).map(Value::Int).collect()),
+                ),
+            ]
+        })
+        .collect();
+    c.register("events", items_of(rows));
+    c.register(
+        "dim",
+        items_of(
+            (0..257i64)
+                .map(|i| vec![("key", Value::Int(i)), ("bucket", Value::Int(i % 16))])
+                .collect(),
+        ),
+    );
+    c
+}
+
+fn skewed_pipeline() -> Program {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("events");
+    let fl = b.flatten(r, "tags", "tag");
+    let f = b.filter(fl, Expr::col("tag").ge(Expr::lit(1i64)));
+    let d = b.read("dim");
+    let j = b.join(f, d, vec![(Path::attr("id"), Path::attr("key"))]);
+    let g = b.group_aggregate(
+        j,
+        vec![GroupKey::new("bucket")],
+        vec![
+            AggSpec::new(AggFunc::Count, "", "n"),
+            AggSpec::new(AggFunc::Sum, "tag", "tag_sum"),
+        ],
+    );
+    b.build(g)
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_2.json");
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    let ctx = skewed_context(BASE_ITEMS * scale());
+    let program = skewed_pipeline();
+    let parts = 8;
+    let spawn_cfg = ExecConfig::with_partitions(parts).workers(1);
+    let w1_cfg = ExecConfig::with_partitions(parts).workers(1);
+    let w4_cfg = ExecConfig::with_partitions(parts).workers(4);
+
+    // Sanity: both executors agree bit-for-bit before we time them.
+    let a = run_spawn(&program, &ctx, spawn_cfg, &NoSink).unwrap();
+    let b = run(&program, &ctx, w4_cfg, &NoSink).unwrap();
+    assert_eq!(a.rows, b.rows, "executors disagree; numbers would be lies");
+
+    let times = time_interleaved(
+        ROUNDS,
+        &mut [
+            &mut || {
+                run_spawn(&program, &ctx, spawn_cfg, &NoSink).unwrap();
+            },
+            &mut || {
+                run(&program, &ctx, w1_cfg, &NoSink).unwrap();
+            },
+            &mut || {
+                run(&program, &ctx, w4_cfg, &NoSink).unwrap();
+            },
+            &mut || {
+                run_captured(&program, &ctx, w4_cfg).unwrap();
+            },
+        ],
+    );
+    let (spawn_ms, w1_ms, w4_ms, w4_cap_ms) = (
+        times[0].as_secs_f64() * 1e3,
+        times[1].as_secs_f64() * 1e3,
+        times[2].as_secs_f64() * 1e3,
+        times[3].as_secs_f64() * 1e3,
+    );
+    let pool_win_pct = 100.0 * (spawn_ms - w4_ms) / spawn_ms;
+    let capture_overhead = overhead_pct(times[2], times[3]);
+
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(body, "  \"scale\": {},", scale());
+    let _ = writeln!(body, "  \"partitions\": {parts},");
+    let _ = writeln!(body, "  \"scenario\": \"skewed_flatten_join_group\",");
+    let _ = writeln!(body, "  \"spawn_ms\": {spawn_ms:.3},");
+    let _ = writeln!(body, "  \"pool_w1_ms\": {w1_ms:.3},");
+    let _ = writeln!(body, "  \"pool_w4_ms\": {w4_ms:.3},");
+    let _ = writeln!(body, "  \"pool_w4_capture_ms\": {w4_cap_ms:.3},");
+    let _ = writeln!(body, "  \"pool_w4_vs_spawn_pct\": {pool_win_pct:.1},");
+    let _ = writeln!(body, "  \"capture_overhead_pct\": {capture_overhead:.1}");
+    body.push('}');
+
+    write_json_section(&out_path, "scheduler", &body);
+    println!("\"scheduler\": {body}");
+    eprintln!("wrote section \"scheduler\" to {out_path}");
+}

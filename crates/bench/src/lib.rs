@@ -104,6 +104,101 @@ pub fn overhead_pct(a: Duration, b: Duration) -> f64 {
     (b.as_secs_f64() / a.as_secs_f64() - 1.0) * 100.0
 }
 
+/// Replaces (or appends) one top-level `"section": value` entry of a flat
+/// JSON object document, preserving every other top-level entry verbatim.
+///
+/// This is what lets several bench binaries fold their numbers into one
+/// report file (`BENCH_2.json`) without a JSON dependency: each binary owns
+/// one top-level section and rewrites only that.
+pub fn merge_json_section(existing: &str, section: &str, body: &str) -> String {
+    let mut entries = top_level_entries(existing);
+    let body = body.trim().to_string();
+    if let Some(e) = entries.iter_mut().find(|(k, _)| k == section) {
+        e.1 = body;
+    } else {
+        entries.push((section.to_string(), body));
+    }
+    let mut out = String::from("{\n");
+    for (i, (k, v)) in entries.iter().enumerate() {
+        let sep = if i + 1 < entries.len() { "," } else { "" };
+        // Indent nested lines of the value by two spaces for readability.
+        let v = v.replace('\n', "\n  ");
+        out.push_str(&format!("  \"{k}\": {v}{sep}\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Reads `path` (treating a missing/unreadable file as `{}`), merges
+/// `section`, and writes the file back.
+pub fn write_json_section(path: &str, section: &str, body: &str) {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| "{}".to_string());
+    let merged = merge_json_section(&existing, section, body);
+    std::fs::write(path, &merged).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+/// Splits the top level of a JSON object into `(key, raw value)` pairs with
+/// a depth/string-aware scanner (no full JSON parser needed — values are
+/// kept verbatim).
+fn top_level_entries(json: &str) -> Vec<(String, String)> {
+    let mut entries = Vec::new();
+    let inner = match (json.find('{'), json.rfind('}')) {
+        (Some(a), Some(b)) if a < b => &json[a + 1..b],
+        _ => return entries,
+    };
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        // Key: skip to the next quote.
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        i += 1;
+        let key_start = i;
+        while i < bytes.len() && bytes[i] != b'"' {
+            i += if bytes[i] == b'\\' { 2 } else { 1 };
+        }
+        let key = inner[key_start..i].to_string();
+        i += 1;
+        while i < bytes.len() && bytes[i] != b':' {
+            i += 1;
+        }
+        i += 1;
+        // Value: scan until a top-level comma or the end.
+        let val_start = i;
+        let mut depth = 0i32;
+        let mut in_str = false;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if in_str {
+                if c == b'\\' {
+                    i += 1;
+                } else if c == b'"' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    b'"' => in_str = true,
+                    b'{' | b'[' => depth += 1,
+                    b'}' | b']' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        // Undo the two-space indent `merge_json_section` applied when the
+        // value was last written, so repeated merges are idempotent.
+        let value = inner[val_start..i].trim().replace("\n  ", "\n");
+        entries.push((key, value));
+        i += 1; // past the comma
+    }
+    entries
+}
+
 /// Formats a byte count human-readably.
 pub fn human_bytes(n: usize) -> String {
     if n >= 1 << 20 {
@@ -130,6 +225,21 @@ mod tests {
         let a = Duration::from_millis(100);
         let b = Duration::from_millis(170);
         assert!((overhead_pct(a, b) - 70.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_section_merge_replaces_and_appends() {
+        let v0 = merge_json_section("{}", "a", "{\"x\": 1}");
+        assert_eq!(v0, "{\n  \"a\": {\"x\": 1}\n}\n");
+        let v1 = merge_json_section(&v0, "b", "[1, 2]");
+        assert!(v1.contains("\"a\": {\"x\": 1},"));
+        assert!(v1.contains("\"b\": [1, 2]"));
+        // Replacing a section keeps the others byte-identical.
+        let v2 = merge_json_section(&v1, "a", "{\"x\": 2, \"y\": \"s,{}\"}");
+        assert!(v2.contains("\"x\": 2"));
+        assert!(v2.contains("\"y\": \"s,{}\""));
+        assert!(v2.contains("\"b\": [1, 2]"));
+        assert!(!v2.contains("\"x\": 1"));
     }
 
     #[test]

@@ -592,7 +592,7 @@ mod tests {
     use pebble_nested::{DataItem, Value};
 
     fn cfg() -> ExecConfig {
-        ExecConfig { partitions: 2 }
+        ExecConfig::with_partitions(2)
     }
 
     fn simple_ctx() -> Context {
@@ -954,7 +954,7 @@ mod dag_tests {
         let high = b.filter(r, Expr::col("v").ge(Expr::lit(0i64)));
         let u = b.union(low, high);
         let p = b.build(u);
-        let run = run_captured(&p, &c, ExecConfig { partitions: 2 }).unwrap();
+        let run = run_captured(&p, &c, ExecConfig::with_partitions(2)).unwrap();
         assert_eq!(run.output.rows.len(), 4); // both items pass both filters
 
         // Trace every result item asking about k.
@@ -985,7 +985,7 @@ mod dag_tests {
         let mut b = ProgramBuilder::new();
         let r = b.read("t");
         let f = b.filter(r, Expr::lit(true));
-        let run = run_captured(&b.build(f), &c, ExecConfig { partitions: 1 }).unwrap();
+        let run = run_captured(&b.build(f), &c, ExecConfig::with_partitions(1)).unwrap();
         let sources = backtrace(&run, Backtrace::new());
         assert!(sources.is_empty());
     }
@@ -998,7 +998,7 @@ mod dag_tests {
         let mut b = ProgramBuilder::new();
         let r = b.read("t");
         let f = b.filter(r, Expr::lit(true));
-        let run = run_captured(&b.build(f), &c, ExecConfig { partitions: 1 }).unwrap();
+        let run = run_captured(&b.build(f), &c, ExecConfig::with_partitions(1)).unwrap();
         let bogus = Backtrace {
             entries: vec![(u64::MAX, ProvTree::new())],
         };
@@ -1032,7 +1032,7 @@ mod nest_tests {
         let mut b = ProgramBuilder::new();
         let r = b.read("t");
         let n = b.nest(r, vec![GroupKey::new("k")], "members");
-        let run = run_captured(&b.build(n), &c, ExecConfig { partitions: 2 }).unwrap();
+        let run = run_captured(&b.build(n), &c, ExecConfig::with_partitions(2)).unwrap();
         let g1 = run
             .output
             .rows

@@ -265,6 +265,20 @@ pub fn run_captured_unfused(
     run_captured_impl(program, ctx, config, pebble_dataflow::run_unfused)
 }
 
+/// Executes `program` with capture enabled on the legacy per-operator
+/// spawning executor ([`pebble_dataflow::run_spawn`]).
+///
+/// The morsel-driven scheduler is specified to capture byte-identical
+/// provenance to this executor at every worker count; the differential
+/// oracle uses this entry point as the referee for that claim.
+pub fn run_captured_spawn(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+) -> Result<CapturedRun> {
+    run_captured_impl(program, ctx, config, pebble_dataflow::run_spawn)
+}
+
 fn run_captured_impl(
     program: &Program,
     ctx: &Context,
@@ -474,7 +488,7 @@ mod tests {
     }
 
     fn config() -> ExecConfig {
-        ExecConfig { partitions: 2 }
+        ExecConfig::with_partitions(2)
     }
 
     #[test]

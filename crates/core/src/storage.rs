@@ -366,7 +366,7 @@ mod tests {
                 "collected",
             )],
         );
-        run_captured(&b.build(g), &c, ExecConfig { partitions: 2 })
+        run_captured(&b.build(g), &c, ExecConfig::with_partitions(2))
             .unwrap()
             .ops
     }
@@ -397,7 +397,7 @@ mod tests {
                 output_schema: None,
             },
         );
-        let ops = run_captured(&b.build(m), &c, ExecConfig { partitions: 2 })
+        let ops = run_captured(&b.build(m), &c, ExecConfig::with_partitions(2))
             .unwrap()
             .ops;
         let decoded = decode(&encode(&ops)).unwrap();

@@ -13,7 +13,7 @@ use pebble_dataflow::{
 use pebble_nested::{DataItem, Path, Value};
 
 fn cfg() -> ExecConfig {
-    ExecConfig { partitions: 3 }
+    ExecConfig::with_partitions(3)
 }
 
 /// Small nested rows: k (group key), v (numeric), xs (nested bag of items).

@@ -142,7 +142,7 @@ fn capture_on_off_outputs_are_byte_identical() {
     let c = ctx();
     for (name, p) in programs() {
         for parts in PARTITIONS {
-            let config = ExecConfig { partitions: parts };
+            let config = ExecConfig::with_partitions(parts);
             let plain = run(&p, &c, config, &NoSink).unwrap();
             let captured = run_captured(&p, &c, config).unwrap();
             assert_eq!(
@@ -180,7 +180,7 @@ fn backtrace_answers_invariant_under_partitioning_and_fusion() {
     for (name, p) in programs() {
         let mut answers: Vec<(String, CanonicalAnswer)> = Vec::new();
         for parts in PARTITIONS {
-            let config = ExecConfig { partitions: parts };
+            let config = ExecConfig::with_partitions(parts);
             for (mode, captured) in [
                 ("fused", run_captured(&p, &c, config).unwrap()),
                 ("unfused", run_captured_unfused(&p, &c, config).unwrap()),
@@ -227,9 +227,9 @@ fn backtrace_answers_invariant_under_partitioning_and_fusion() {
 fn association_table_sizes_invariant() {
     let c = ctx();
     for (name, p) in programs() {
-        let baseline = run_captured(&p, &c, ExecConfig { partitions: 1 }).unwrap();
+        let baseline = run_captured(&p, &c, ExecConfig::with_partitions(1)).unwrap();
         for parts in PARTITIONS {
-            let captured = run_captured(&p, &c, ExecConfig { partitions: parts }).unwrap();
+            let captured = run_captured(&p, &c, ExecConfig::with_partitions(parts)).unwrap();
             assert_eq!(
                 baseline.output.op_counts, captured.output.op_counts,
                 "{name} p={parts}: op_counts changed"

@@ -18,7 +18,7 @@ use pebble_dataflow::{
 use pebble_nested::{DataItem, Path, Value};
 
 fn cfg() -> ExecConfig {
-    ExecConfig { partitions: 3 }
+    ExecConfig::with_partitions(3)
 }
 
 /// Runs `read → op` captured and returns, per association entry, the input

@@ -201,16 +201,16 @@ proptest! {
         let program = build(&pipe);
         let ctx = context_of(&rows);
         let plain = pebble_dataflow::run(
-            &program, &ctx, ExecConfig { partitions: 3 }, &NoSink,
+            &program, &ctx, ExecConfig::with_partitions(3), &NoSink,
         ).unwrap();
-        let captured = run_captured(&program, &ctx, ExecConfig { partitions: 3 }).unwrap();
+        let captured = run_captured(&program, &ctx, ExecConfig::with_partitions(3)).unwrap();
         prop_assert_eq!(ndjson(&plain), ndjson(&captured.output));
         let plain_ids: Vec<_> = plain.rows.iter().map(|r| r.id).collect();
         let cap_ids: Vec<_> = captured.output.rows.iter().map(|r| r.id).collect();
         prop_assert_eq!(plain_ids, cap_ids);
 
         let one = pebble_dataflow::run(
-            &program, &ctx, ExecConfig { partitions: 1 }, &NoSink,
+            &program, &ctx, ExecConfig::with_partitions(1), &NoSink,
         ).unwrap();
         prop_assert_eq!(ndjson(&one), ndjson(&plain));
     }
@@ -265,7 +265,7 @@ fn golden_pipeline_output_matches_fixture() {
     let out = pebble_dataflow::run(
         &golden_program(),
         &golden_context(),
-        ExecConfig { partitions: 3 },
+        ExecConfig::with_partitions(3),
         &NoSink,
     )
     .unwrap();
@@ -289,7 +289,7 @@ fn golden_pipeline_output_matches_fixture() {
     let cap = run_captured(
         &golden_program(),
         &golden_context(),
-        ExecConfig { partitions: 3 },
+        ExecConfig::with_partitions(3),
     )
     .unwrap();
     assert_eq!(ndjson(&cap.output), GOLDEN);

@@ -1,15 +1,41 @@
-//! Partitioned, multi-threaded executor.
+//! Partitioned, morsel-driven executor.
 //!
-//! Operators execute in topological (id) order; each operator's output is
-//! materialized as a list of partitions of [`Row`]s. Per-partition work is
-//! parallelized with scoped threads; shuffles (join build sides and
-//! grouping) hash-partition rows with the deterministic [`crate::hash`]
-//! hasher, so program output is identical across runs and thread counts.
+//! Operators are grouped into *units* (a fused chain of per-row operators,
+//! or one read/flatten/join/union/group operator) and scheduled over the
+//! persistent [`WorkerPool`]: each unit's input partitions are split into
+//! **morsels** (row ranges) that workers pull from a shared queue until the
+//! stage drains. Units whose inputs are ready are scheduled concurrently,
+//! so independent DAG branches (e.g. both join inputs) overlap instead of
+//! running serially, and no threads are spawned or joined per operator
+//! (the legacy per-operator executor survives as [`crate::spawn`] for
+//! differential testing and benchmarking).
+//!
+//! **Determinism.** Morsel→logical-partition assignment is static: a morsel
+//! computes its output with a partition-local [`IdGen`] starting at
+//! sequence 0, and the scheduler thread *stitches* morsel results back
+//! together in morsel order, adding each partition's running sequence
+//! offset to the produced identifiers. Identifiers, association tables,
+//! and sink batch order are therefore byte-identical to a single-threaded
+//! execution at any worker count and any morsel size (the differential
+//! oracle checks this against the legacy executor).
+//!
+//! **Skew.** Morsel boundaries are recomputed per unit from the *actual*
+//! row counts of its input partitions, so a partition fattened by an
+//! upstream fan-out (flatten, join) simply yields proportionally more
+//! morsels — idle workers pull them instead of waiting behind the fattest
+//! partition.
 //!
 //! Every operator assigns *fresh* identifiers to its output items and
 //! reports the input→output associations of Tab. 6 to the generic
 //! [`ProvenanceSink`]; with [`NoSink`](crate::sink::NoSink) this bookkeeping
 //! is compiled away, giving the plain "Spark" baseline of Figs. 6/7.
+//! Association batches are emitted on the scheduler thread only, during
+//! stitching, in a fixed per-operator order.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
 use pebble_nested::{DataItem, DataType, Label, Path, Value};
 
@@ -18,8 +44,8 @@ use crate::error::{EngineError, Result};
 use crate::expr::Expr;
 use crate::hash::{hash_one, FxHashMap};
 use crate::op::{key_value, AggFunc, AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};
-use crate::program::Operator;
-use crate::program::Program;
+use crate::pool::WorkerPool;
+use crate::program::{Operator, Program};
 use crate::sink::ProvenanceSink;
 
 /// Unique identifier of a top-level data item within one execution.
@@ -68,22 +94,104 @@ pub struct Row {
     pub item: DataItem,
 }
 
-type Partitions = Vec<Vec<Row>>;
+pub(crate) type Partitions = Vec<Vec<Row>>;
+
+/// Morsels-per-worker target used when `morsel_rows` is 0 (auto).
+const MORSELS_PER_WORKER: usize = 4;
+/// Smallest auto-chosen morsel length.
+const MORSEL_MIN: usize = 256;
+/// Largest auto-chosen morsel length.
+const MORSEL_MAX: usize = 8192;
+/// Stages with fewer total input rows than this run inline on the
+/// scheduler thread (only when the morsel size is auto): channel round
+/// trips would cost more than the work itself.
+const INLINE_ROWS: usize = 512;
 
 /// Executor configuration.
+///
+/// Every knob has an environment override read by [`ExecConfig::default`]
+/// (and thus by [`ExecConfig::with_partitions`]): `PEBBLE_PARTITIONS`,
+/// `PEBBLE_WORKERS`, and `PEBBLE_MORSEL_ROWS`.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecConfig {
-    /// Number of partitions (= maximum worker threads per operator).
+    /// Number of logical partitions. Identifiers depend on this (a
+    /// partition index is baked into every [`ItemId`]), so runs are only
+    /// id-comparable at equal partition counts.
     pub partitions: usize,
+    /// Number of pool worker threads; `0` picks the machine default
+    /// (`PEBBLE_WORKERS`, else available parallelism capped at 8). Output
+    /// is byte-identical at any worker count; `1` executes inline on the
+    /// calling thread without touching the pool.
+    pub workers: usize,
+    /// Rows per morsel; `0` sizes morsels automatically from each stage's
+    /// input cardinality (targeting several morsels per worker). Output is
+    /// byte-identical at any morsel size.
+    pub morsel_rows: usize,
+}
+
+fn env_knob(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(8)
 }
 
 impl Default for ExecConfig {
     fn default() -> Self {
-        let cores = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4);
         ExecConfig {
-            partitions: cores.min(8),
+            partitions: env_knob("PEBBLE_PARTITIONS")
+                .unwrap_or_else(default_parallelism)
+                .max(1),
+            workers: env_knob("PEBBLE_WORKERS").unwrap_or(0),
+            morsel_rows: env_knob("PEBBLE_MORSEL_ROWS").unwrap_or(0),
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Config with `partitions` logical partitions and default (env-
+    /// overridable) worker and morsel settings.
+    pub fn with_partitions(partitions: usize) -> Self {
+        ExecConfig {
+            partitions: partitions.max(1),
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Sets the worker count (builder style).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the morsel length in rows (builder style).
+    pub fn morsel_rows(mut self, morsel_rows: usize) -> Self {
+        self.morsel_rows = morsel_rows;
+        self
+    }
+
+    /// Resolved worker count.
+    pub(crate) fn effective_workers(&self) -> usize {
+        if self.workers > 0 {
+            self.workers
+        } else {
+            env_knob("PEBBLE_WORKERS")
+                .filter(|&w| w > 0)
+                .unwrap_or_else(default_parallelism)
+        }
+    }
+
+    /// Morsel length for a stage with `total` input rows.
+    fn morsel_len(&self, total: usize) -> usize {
+        if self.morsel_rows > 0 {
+            self.morsel_rows
+        } else {
+            (total / (self.effective_workers() * MORSELS_PER_WORKER).max(1))
+                .clamp(MORSEL_MIN, MORSEL_MAX)
         }
     }
 }
@@ -120,7 +228,7 @@ impl RunOutput {
 
 /// Executes `program` against `ctx`, reporting identifier associations to
 /// `sink`.
-pub fn run<S: ProvenanceSink>(
+pub fn run<S: ProvenanceSink + 'static>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
@@ -130,12 +238,12 @@ pub fn run<S: ProvenanceSink>(
 }
 
 /// Executes `program` with operator fusion disabled: every operator runs as
-/// its own pass and materializes its output rows.
+/// its own stage and materializes its output rows.
 ///
 /// Identifiers and captured provenance are specified to be byte-identical
 /// to the fused [`run`]; this entry point exists so tests and the
 /// differential oracle can verify that claim rather than assume it.
-pub fn run_unfused<S: ProvenanceSink>(
+pub fn run_unfused<S: ProvenanceSink + 'static>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
@@ -144,7 +252,7 @@ pub fn run_unfused<S: ProvenanceSink>(
     run_with_fusion(program, ctx, config, sink, false)
 }
 
-fn run_with_fusion<S: ProvenanceSink>(
+fn run_with_fusion<S: ProvenanceSink + 'static>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
@@ -153,146 +261,39 @@ fn run_with_fusion<S: ProvenanceSink>(
 ) -> Result<RunOutput> {
     let op_schemas = program.infer_schemas(&ctx.source_schemas())?;
     let ops = program.operators();
-    let mut outputs: Vec<Partitions> = Vec::with_capacity(ops.len());
-    let mut op_counts = Vec::with_capacity(ops.len());
-    let parts = config.partitions.max(1);
-    let consumers = program.consumers();
-
-    let mut idx = 0;
-    while idx < ops.len() {
-        let op = &ops[idx];
-        // Fuse maximal chains of single-consumer per-row operators into one
-        // pass over the head's input: no intermediate Vec<Row> is
-        // materialized, while per-stage id generators and association
-        // buffers keep identifiers and captured provenance byte-identical
-        // to the unfused execution.
-        let chain_len = if fuse {
-            fusable_chain_len(ops, program.sink(), &consumers, idx)
-        } else {
-            1
-        };
-        if chain_len >= 2 {
-            let chain: Vec<&Operator> = ops[idx..idx + chain_len].iter().collect();
-            let input = &outputs[op.inputs[0] as usize];
-            let (counts, fused) = exec_fused_chain::<S>(&chain, input, sink);
-            for (i, count) in counts.iter().enumerate() {
-                op_counts.push(*count);
-                if i + 1 < counts.len() {
-                    // Fused-away intermediate: nothing consumes its rows.
-                    outputs.push(Vec::new());
-                }
-            }
-            outputs.push(fused);
-            idx += chain_len;
-            continue;
-        }
-        let result: Partitions = match &op.kind {
-            OpKind::Read { source } => {
-                let items = ctx
-                    .source(source)
-                    .ok_or_else(|| EngineError::UnknownSource(source.clone()))?;
-                exec_read::<S>(op.id, items, parts, sink)
-            }
-            OpKind::Filter { predicate } => {
-                let input = &outputs[op.inputs[0] as usize];
-                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
-                    if predicate.eval_bool(&row.item) {
-                        let id = ids.next();
-                        out.push(Row {
-                            id,
-                            item: row.item.clone(),
-                        });
-                        if S::ENABLED {
-                            assoc.push((row.id, id));
-                        }
-                    }
-                })
-            }
-            OpKind::Select { exprs } => {
-                let input = &outputs[op.inputs[0] as usize];
-                let labels: Vec<Label> = exprs.iter().map(|ne| Label::new(&ne.name)).collect();
-                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
-                    let mut item = DataItem::new();
-                    for (ne, label) in exprs.iter().zip(&labels) {
-                        item.push(label.clone(), ne.expr.eval(&row.item));
-                    }
-                    let id = ids.next();
-                    out.push(Row { id, item });
-                    if S::ENABLED {
-                        assoc.push((row.id, id));
-                    }
-                })
-            }
-            OpKind::Map { udf } => {
-                let input = &outputs[op.inputs[0] as usize];
-                let f = &udf.f;
-                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
-                    let item = f(&row.item);
-                    let id = ids.next();
-                    out.push(Row { id, item });
-                    if S::ENABLED {
-                        assoc.push((row.id, id));
-                    }
-                })
-            }
-            OpKind::Flatten { col, new_attr } => {
-                let input = &outputs[op.inputs[0] as usize];
-                exec_flatten::<S>(op.id, input, col, new_attr, sink)
-            }
-            OpKind::Join { keys } => {
-                let left = &outputs[op.inputs[0] as usize];
-                let right = &outputs[op.inputs[1] as usize];
-                exec_join::<S>(op.id, left, right, keys, sink)
-            }
-            OpKind::Union => {
-                let left = &outputs[op.inputs[0] as usize];
-                let right = &outputs[op.inputs[1] as usize];
-                exec_union::<S>(op.id, left, right, sink)
-            }
-            OpKind::GroupAggregate { keys, aggs } => {
-                let input = &outputs[op.inputs[0] as usize];
-                exec_group_aggregate::<S>(op.id, input, keys, aggs, parts, sink)
-            }
-        };
-        op_counts.push(result.iter().map(Vec::len).sum());
-        outputs.push(result);
-        idx += 1;
-    }
-
-    let rows: Vec<Row> = std::mem::take(&mut outputs[program.sink() as usize])
-        .into_iter()
-        .flatten()
-        .collect();
+    let mut scheduler = Scheduler::new(program, ops, ctx, config, sink, fuse);
+    scheduler.execute()?;
+    let sink_op = program.sink() as usize;
+    let sink_parts = scheduler.outputs[sink_op]
+        .take()
+        .expect("sink unit completed");
+    let sink_parts = Arc::try_unwrap(sink_parts).unwrap_or_else(|arc| (*arc).clone());
+    let rows: Vec<Row> = sink_parts.into_iter().flatten().collect();
     Ok(RunOutput {
         rows,
         op_schemas,
-        op_counts,
+        op_counts: scheduler.op_counts,
     })
 }
 
-/// One per-row stage of a fused chain.
-enum StageKind<'a> {
-    Filter(&'a Expr),
-    Select {
-        exprs: &'a [NamedExpr],
-        labels: Vec<Label>,
-    },
-    Map(&'a MapUdf),
+// ---------------------------------------------------------------------------
+// Unit planning
+// ---------------------------------------------------------------------------
+
+/// A schedulable unit: one operator, or a maximal fused chain of per-row
+/// operators starting at `start`.
+struct Unit {
+    /// Index of the first operator (operator ids equal their index).
+    start: usize,
+    /// Number of chained operators (1 for everything but fused chains).
+    len: usize,
+    /// Number of distinct units that must complete before this one starts.
+    dep_count: usize,
+    /// Units consuming this unit's output.
+    consumers: Vec<usize>,
 }
 
-fn stage_kind(kind: &OpKind) -> Option<StageKind<'_>> {
-    match kind {
-        OpKind::Filter { predicate } => Some(StageKind::Filter(predicate)),
-        OpKind::Select { exprs } => Some(StageKind::Select {
-            exprs,
-            labels: exprs.iter().map(|ne| Label::new(&ne.name)).collect(),
-        }),
-        OpKind::Map { udf } => Some(StageKind::Map(udf)),
-        _ => None,
-    }
-}
-
-fn is_per_row(kind: &OpKind) -> bool {
+pub(crate) fn is_per_row(kind: &OpKind) -> bool {
     matches!(
         kind,
         OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. }
@@ -303,7 +304,7 @@ fn is_per_row(kind: &OpKind) -> bool {
 /// operators with consecutive ids where every link's producer feeds *only*
 /// the next operator and is not the program sink. Returns 1 when nothing
 /// can be fused onto the start operator.
-fn fusable_chain_len(
+pub(crate) fn fusable_chain_len(
     ops: &[Operator],
     sink: OpId,
     consumers: &FxHashMap<OpId, Vec<OpId>>,
@@ -327,202 +328,231 @@ fn fusable_chain_len(
     len
 }
 
-/// Executes a fused chain of per-row operators in one pass over `input`.
-///
-/// Per-row operators map input partition `p` to output partition `p` with
-/// sequentially assigned ids, so running every stage inside one loop with
-/// per-stage [`IdGen`]s reproduces exactly the ids — and, per stage, the
-/// association batches — that separate passes would have produced. Only the
-/// last stage's rows are materialized. Returns per-stage output counts and
-/// the final stage's partitions.
-fn exec_fused_chain<S: ProvenanceSink>(
-    chain: &[&Operator],
-    input: &Partitions,
-    sink: &S,
-) -> (Vec<usize>, Partitions) {
-    let stages: Vec<StageKind<'_>> = chain
-        .iter()
-        .map(|op| stage_kind(&op.kind).expect("chain ops are per-row"))
-        .collect();
-    let n = stages.len();
-    let results = par_map(input, |pidx, partition| {
-        let mut ids: Vec<IdGen> = chain.iter().map(|op| IdGen::new(op.id, pidx)).collect();
-        let mut assocs: Vec<Vec<(ItemId, ItemId)>> = (0..n)
-            .map(|_| Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 }))
+fn plan_units(
+    ops: &[Operator],
+    sink: OpId,
+    consumers: &FxHashMap<OpId, Vec<OpId>>,
+    fuse: bool,
+) -> Vec<Unit> {
+    let mut units: Vec<Unit> = Vec::new();
+    let mut op_unit = vec![0usize; ops.len()];
+    let mut idx = 0;
+    while idx < ops.len() {
+        let len = if fuse {
+            fusable_chain_len(ops, sink, consumers, idx)
+        } else {
+            1
+        };
+        let uid = units.len();
+        for slot in &mut op_unit[idx..idx + len] {
+            *slot = uid;
+        }
+        units.push(Unit {
+            start: idx,
+            len,
+            dep_count: 0,
+            consumers: Vec::new(),
+        });
+        idx += len;
+    }
+    for uid in 0..units.len() {
+        // Distinct producing units only: a self-join reading the same
+        // upstream twice depends on it once.
+        let mut deps: Vec<usize> = ops[units[uid].start]
+            .inputs
+            .iter()
+            .map(|&i| op_unit[i as usize])
             .collect();
-        let mut counts = vec![0usize; n];
-        let mut out = Vec::with_capacity(partition.len());
-        'rows: for row in partition {
-            let mut item = row.item.clone();
-            let mut prev_id = row.id;
-            for (s, stage) in stages.iter().enumerate() {
-                match stage {
-                    StageKind::Filter(pred) => {
-                        if !pred.eval_bool(&item) {
-                            continue 'rows;
-                        }
-                    }
-                    StageKind::Select { exprs, labels } => {
-                        let mut next = DataItem::new();
-                        for (ne, label) in exprs.iter().zip(labels) {
-                            next.push(label.clone(), ne.expr.eval(&item));
-                        }
-                        item = next;
-                    }
-                    StageKind::Map(udf) => item = (udf.f)(&item),
-                }
-                let id = ids[s].next();
-                if S::ENABLED {
-                    assocs[s].push((prev_id, id));
-                }
-                counts[s] += 1;
-                prev_id = id;
-            }
-            out.push(Row { id: prev_id, item });
-        }
-        (out, assocs, counts)
-    });
-    if S::ENABLED {
-        // Stage-major, partition-ordered emission — the batch sequence an
-        // unfused execution reports per operator.
-        for (s, op) in chain.iter().enumerate() {
-            for (_, assocs, _) in &results {
-                if !assocs[s].is_empty() {
-                    sink.unary_batch(op.id, &assocs[s]);
-                }
-            }
+        deps.sort_unstable();
+        deps.dedup();
+        units[uid].dep_count = deps.len();
+        for d in deps {
+            units[d].consumers.push(uid);
         }
     }
-    let mut totals = vec![0usize; n];
-    let mut partitions = Vec::with_capacity(results.len());
-    for (rows, _, counts) in results {
-        for (s, c) in counts.iter().enumerate() {
-            totals[s] += c;
-        }
-        partitions.push(rows);
-    }
-    (totals, partitions)
+    units
 }
 
-/// Runs `f` over every input partition, in parallel when there are several.
-fn par_map<I, T, F>(inputs: &[I], f: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(usize, &I) -> T + Sync + Send,
-{
-    if inputs.len() <= 1 {
-        return inputs.iter().enumerate().map(|(i, p)| f(i, p)).collect();
-    }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .iter()
-            .enumerate()
-            .map(|(i, p)| scope.spawn(move || f(i, p)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition worker panicked"))
-            .collect()
-    })
+/// Partition layout of a `read`: `parts` contiguous ranges over the source,
+/// padded with empty trailing partitions when the source is smaller than
+/// the partition count, so the output partition count is always exactly
+/// `parts` regardless of input size.
+pub(crate) fn read_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    let chunk = len.div_ceil(parts).max(1);
+    (0..parts)
+        .map(|p| (p * chunk).min(len)..((p + 1) * chunk).min(len))
+        .collect()
 }
 
-fn exec_read<S: ProvenanceSink>(
-    op: OpId,
-    items: &[DataItem],
-    parts: usize,
-    sink: &S,
-) -> Partitions {
-    // Contiguous chunks keep dataset order; ids are assigned in order.
-    let chunk = items.len().div_ceil(parts).max(1);
-    let mut out = Vec::with_capacity(parts);
-    for (pidx, slice) in items.chunks(chunk).enumerate() {
-        let mut ids = IdGen::new(op, pidx);
-        let rows: Vec<Row> = slice
-            .iter()
-            .map(|item| Row {
-                id: ids.next(),
-                item: item.clone(),
-            })
-            .collect();
-        if S::ENABLED {
-            let ids: Vec<ItemId> = rows.iter().map(|r| r.id).collect();
-            sink.read_batch(op, &ids);
-        }
-        out.push(rows);
-    }
-    if out.is_empty() {
-        out.push(Vec::new());
+fn split_range(range: Range<usize>, morsel: usize) -> Vec<Range<usize>> {
+    let morsel = morsel.max(1);
+    let mut out = Vec::new();
+    let mut start = range.start;
+    while start < range.end {
+        let end = range.end.min(start.saturating_add(morsel));
+        out.push(start..end);
+        start = end;
     }
     out
 }
 
-/// Shared driver for per-row unary operators (filter/select/map).
-fn exec_per_row<S, F>(op: OpId, input: &Partitions, sink: &S, body: F) -> Partitions
-where
-    S: ProvenanceSink,
-    F: Fn(&Row, &mut Vec<Row>, &mut Vec<(ItemId, ItemId)>, &mut IdGen) + Sync + Send,
-{
-    let results = par_map(input, |pidx, partition| {
-        let mut ids = IdGen::new(op, pidx);
-        let mut out = Vec::with_capacity(partition.len());
-        let mut assoc = Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
-        for row in partition {
-            body(row, &mut out, &mut assoc, &mut ids);
-        }
-        (out, assoc)
-    });
-    let mut partitions = Vec::with_capacity(results.len());
-    for (rows, assoc) in results {
-        if S::ENABLED && !assoc.is_empty() {
-            sink.unary_batch(op, &assoc);
-        }
-        partitions.push(rows);
-    }
-    partitions
+// ---------------------------------------------------------------------------
+// Kernels (run on pool workers; ids are partition-local, sequence from 0)
+// ---------------------------------------------------------------------------
+
+/// One owned per-row stage of a fused chain (jobs must be `'static`).
+enum OwnedStage {
+    Filter(Expr),
+    Select {
+        exprs: Vec<NamedExpr>,
+        labels: Vec<Label>,
+    },
+    Map(MapUdf),
 }
 
-fn exec_flatten<S: ProvenanceSink>(
+struct ChainKernel {
+    ops: Vec<OpId>,
+    stages: Vec<OwnedStage>,
+}
+
+fn owned_stage(kind: &OpKind) -> OwnedStage {
+    match kind {
+        OpKind::Filter { predicate } => OwnedStage::Filter(predicate.clone()),
+        OpKind::Select { exprs } => OwnedStage::Select {
+            labels: exprs.iter().map(|ne| Label::new(&ne.name)).collect(),
+            exprs: exprs.clone(),
+        },
+        OpKind::Map { udf } => OwnedStage::Map(udf.clone()),
+        other => unreachable!("not a per-row operator: {other:?}"),
+    }
+}
+
+struct GroupKernel {
     op: OpId,
-    input: &Partitions,
-    col: &Path,
-    new_attr: &str,
-    sink: &S,
-) -> Partitions {
-    let attr = Label::new(new_attr);
-    let results = par_map(input, |pidx, partition| {
-        let mut ids = IdGen::new(op, pidx);
-        let mut out = Vec::with_capacity(partition.len());
-        let mut assoc: Vec<(ItemId, u32, ItemId)> =
-            Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
-        for row in partition {
-            let Some(elements) = col.eval(&row.item).and_then(Value::as_collection) else {
-                continue; // missing/null collections produce no rows
-            };
-            for (idx, element) in elements.iter().enumerate() {
-                let mut item = row.item.clone();
-                item.push(attr.clone(), element.clone());
-                let id = ids.next();
-                out.push(Row { id, item });
-                if S::ENABLED {
-                    assoc.push((row.id, idx as u32 + 1, id));
+    keys: Vec<GroupKey>,
+    aggs: Vec<AggSpec>,
+    key_labels: Vec<Label>,
+    agg_labels: Vec<Label>,
+}
+
+type JoinBuild = FxHashMap<Vec<Value>, Vec<Row>>;
+
+/// Association rows of a binary operator: `(left input, right input,
+/// output)`, with `None` marking the absent side (e.g. union branches).
+type BinaryAssoc = Vec<(Option<ItemId>, Option<ItemId>, ItemId)>;
+
+/// Result of one pool task. Identifiers inside are partition-local
+/// (sequence numbers start at 0 per morsel); the scheduler stitches in the
+/// per-partition offsets.
+enum TaskOut {
+    Read {
+        rows: Vec<Row>,
+    },
+    Chain {
+        rows: Vec<Row>,
+        assocs: Vec<Vec<(ItemId, ItemId)>>,
+        counts: Vec<usize>,
+    },
+    Flatten {
+        rows: Vec<Row>,
+        assoc: Vec<(ItemId, u32, ItemId)>,
+    },
+    Binary {
+        rows: Vec<Row>,
+        assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)>,
+    },
+    Build(JoinBuild),
+    Shuffle(Vec<Vec<Row>>),
+    Agg {
+        rows: Vec<KeyedRow>,
+        assoc: Vec<(Vec<ItemId>, ItemId)>,
+    },
+}
+
+fn read_morsel(op: OpId, pidx: usize, items: &[DataItem]) -> TaskOut {
+    let mut ids = IdGen::new(op, pidx);
+    let rows = items
+        .iter()
+        .map(|item| Row {
+            id: ids.next(),
+            item: item.clone(),
+        })
+        .collect();
+    TaskOut::Read { rows }
+}
+
+fn chain_morsel<S: ProvenanceSink>(kernel: &ChainKernel, pidx: usize, rows: &[Row]) -> TaskOut {
+    let n = kernel.stages.len();
+    let mut ids: Vec<IdGen> = kernel.ops.iter().map(|&op| IdGen::new(op, pidx)).collect();
+    let mut assocs: Vec<Vec<(ItemId, ItemId)>> = (0..n)
+        .map(|_| Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 }))
+        .collect();
+    let mut counts = vec![0usize; n];
+    let mut out = Vec::with_capacity(rows.len());
+    'rows: for row in rows {
+        let mut item = row.item.clone();
+        let mut prev_id = row.id;
+        for (s, stage) in kernel.stages.iter().enumerate() {
+            match stage {
+                OwnedStage::Filter(pred) => {
+                    if !pred.eval_bool(&item) {
+                        continue 'rows;
+                    }
                 }
+                OwnedStage::Select { exprs, labels } => {
+                    let mut next = DataItem::new();
+                    for (ne, label) in exprs.iter().zip(labels) {
+                        next.push(label.clone(), ne.expr.eval(&item));
+                    }
+                    item = next;
+                }
+                OwnedStage::Map(udf) => item = (udf.f)(&item),
+            }
+            let id = ids[s].next();
+            if S::ENABLED {
+                assocs[s].push((prev_id, id));
+            }
+            counts[s] += 1;
+            prev_id = id;
+        }
+        out.push(Row { id: prev_id, item });
+    }
+    TaskOut::Chain {
+        rows: out,
+        assocs,
+        counts,
+    }
+}
+
+fn flatten_morsel<S: ProvenanceSink>(
+    op: OpId,
+    pidx: usize,
+    col: &Path,
+    attr: &Label,
+    rows: &[Row],
+) -> TaskOut {
+    let mut ids = IdGen::new(op, pidx);
+    let mut out = Vec::with_capacity(rows.len());
+    let mut assoc: Vec<(ItemId, u32, ItemId)> =
+        Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 });
+    for row in rows {
+        let Some(elements) = col.eval(&row.item).and_then(Value::as_collection) else {
+            continue; // missing/null collections produce no rows
+        };
+        for (idx, element) in elements.iter().enumerate() {
+            let mut item = row.item.clone();
+            item.push(attr.clone(), element.clone());
+            let id = ids.next();
+            out.push(Row { id, item });
+            if S::ENABLED {
+                assoc.push((row.id, idx as u32 + 1, id));
             }
         }
-        (out, assoc)
-    });
-    let mut partitions = Vec::with_capacity(results.len());
-    for (rows, assoc) in results {
-        if S::ENABLED && !assoc.is_empty() {
-            sink.flatten_batch(op, &assoc);
-        }
-        partitions.push(rows);
     }
-    partitions
+    TaskOut::Flatten { rows: out, assoc }
 }
 
-fn join_key(item: &DataItem, paths: &[Path]) -> Option<Vec<Value>> {
+pub(crate) fn join_key(item: &DataItem, paths: &[Path]) -> Option<Vec<Value>> {
     let mut key = Vec::with_capacity(paths.len());
     for p in paths {
         match p.eval(item) {
@@ -533,197 +563,739 @@ fn join_key(item: &DataItem, paths: &[Path]) -> Option<Vec<Value>> {
     Some(key)
 }
 
-fn exec_join<S: ProvenanceSink>(
-    op: OpId,
-    left: &Partitions,
-    right: &Partitions,
-    keys: &[(Path, Path)],
-    sink: &S,
-) -> Partitions {
-    let left_paths: Vec<Path> = keys.iter().map(|(l, _)| l.clone()).collect();
-    let right_paths: Vec<Path> = keys.iter().map(|(_, r)| r.clone()).collect();
-
-    // Build side: hash the (smaller, by convention right) input.
-    let mut build: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+/// Builds the join hash table over the (by convention right) input.
+/// Rows are visited in partition order, so per-key match lists preserve
+/// the deterministic global row order.
+fn join_build(right: &Partitions, right_paths: &[Path]) -> JoinBuild {
+    let mut build: JoinBuild = FxHashMap::default();
     for partition in right {
         for row in partition {
-            if let Some(k) = join_key(&row.item, &right_paths) {
-                build.entry(k).or_default().push(row);
+            if let Some(k) = join_key(&row.item, right_paths) {
+                build.entry(k).or_default().push(row.clone());
             }
         }
     }
-
-    let results = par_map(left, |pidx, partition| {
-        let mut ids = IdGen::new(op, pidx);
-        let mut out = Vec::with_capacity(partition.len());
-        let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
-            Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
-        for lrow in partition {
-            let Some(k) = join_key(&lrow.item, &left_paths) else {
-                continue;
-            };
-            if let Some(matches) = build.get(&k) {
-                for rrow in matches {
-                    let item = lrow.item.merged(&rrow.item);
-                    let id = ids.next();
-                    out.push(Row { id, item });
-                    if S::ENABLED {
-                        assoc.push((Some(lrow.id), Some(rrow.id), id));
-                    }
-                }
-            }
-        }
-        (out, assoc)
-    });
-    let mut partitions = Vec::with_capacity(results.len());
-    for (rows, assoc) in results {
-        if S::ENABLED && !assoc.is_empty() {
-            sink.binary_batch(op, &assoc);
-        }
-        partitions.push(rows);
-    }
-    partitions
+    build
 }
 
-fn exec_union<S: ProvenanceSink>(
+fn join_probe<S: ProvenanceSink>(
     op: OpId,
-    left: &Partitions,
-    right: &Partitions,
-    sink: &S,
-) -> Partitions {
-    let relabel = |partitions: &Partitions, is_left: bool, pidx_offset: usize| -> Partitions {
-        let results = par_map(partitions, |pidx, partition| {
-            let mut ids = IdGen::new(op, pidx_offset + pidx);
-            let mut out = Vec::with_capacity(partition.len());
-            let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
-                Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
-            for row in partition {
+    pidx: usize,
+    build: &JoinBuild,
+    left_paths: &[Path],
+    rows: &[Row],
+) -> TaskOut {
+    let mut ids = IdGen::new(op, pidx);
+    let mut out = Vec::with_capacity(rows.len());
+    let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
+        Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 });
+    for lrow in rows {
+        let Some(k) = join_key(&lrow.item, left_paths) else {
+            continue;
+        };
+        if let Some(matches) = build.get(&k) {
+            for rrow in matches {
+                let item = lrow.item.merged(&rrow.item);
                 let id = ids.next();
-                out.push(Row {
-                    id,
-                    item: row.item.clone(),
-                });
+                out.push(Row { id, item });
                 if S::ENABLED {
-                    if is_left {
-                        assoc.push((Some(row.id), None, id));
-                    } else {
-                        assoc.push((None, Some(row.id), id));
-                    }
+                    assoc.push((Some(lrow.id), Some(rrow.id), id));
                 }
             }
-            (out, assoc)
-        });
-        let mut out = Vec::with_capacity(results.len());
-        for (rows, assoc) in results {
-            if S::ENABLED && !assoc.is_empty() {
-                sink.binary_batch(op, &assoc);
-            }
-            out.push(rows);
         }
-        out
-    };
-    let mut partitions = relabel(left, true, 0);
-    partitions.extend(relabel(right, false, left.len()));
-    partitions
+    }
+    TaskOut::Binary { rows: out, assoc }
 }
 
-fn exec_group_aggregate<S: ProvenanceSink>(
+fn union_morsel<S: ProvenanceSink>(
     op: OpId,
-    input: &Partitions,
-    keys: &[GroupKey],
-    aggs: &[AggSpec],
-    parts: usize,
-    sink: &S,
-) -> Partitions {
-    // Shuffle: hash-partition rows by grouping key so each bucket can be
-    // aggregated independently. Row order within a bucket follows the
-    // global input order (partitions visited in order), keeping nesting
-    // positions deterministic regardless of the partition count.
-    let mut buckets: Vec<Vec<&Row>> = (0..parts).map(|_| Vec::new()).collect();
-    for partition in input {
-        for row in partition {
-            let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
-            let bucket = (hash_one(&key) as usize) % parts;
-            buckets[bucket].push(row);
-        }
-    }
-
-    let key_labels: Vec<Label> = keys.iter().map(|k| Label::new(&k.name)).collect();
-    let agg_labels: Vec<Label> = aggs.iter().map(|a| Label::new(&a.output)).collect();
-    let results = par_map(&buckets, |pidx, rows| {
-        let mut ids = IdGen::new(op, pidx);
-        // First-seen-ordered grouping within the bucket. The map holds an
-        // index into `grouped`, so each distinct key is cloned exactly once
-        // (on first sight) instead of once per probing row.
-        let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
-        let mut grouped: Vec<(Vec<Value>, Vec<&Row>)> = Vec::new();
-        for row in rows.iter() {
-            let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
-            match index.get(&key) {
-                Some(&slot) => grouped[slot].1.push(row),
-                None => {
-                    index.insert(key.clone(), grouped.len());
-                    grouped.push((key, vec![row]));
-                }
-            }
-        }
-        let mut out = Vec::with_capacity(grouped.len());
-        let mut assoc: Vec<(Vec<ItemId>, ItemId)> =
-            Vec::with_capacity(if S::ENABLED { grouped.len() } else { 0 });
-        for (key, members) in grouped {
-            let mut item = DataItem::new();
-            for (label, kv) in key_labels.iter().zip(&key) {
-                item.push(label.clone(), kv.clone());
-            }
-            for (agg, label) in aggs.iter().zip(&agg_labels) {
-                item.push(label.clone(), eval_agg(agg, &members));
-            }
-            let id = ids.next();
-            if S::ENABLED {
-                assoc.push((members.iter().map(|r| r.id).collect(), id));
-            }
-            out.push(KeyedRow { key, id, item });
-        }
-        (out, assoc)
-    });
-    // Bucket placement depends on the partition count, so impose a
-    // canonical global order: sort all groups by key. This makes program
-    // output identical across partition configurations.
-    let mut keyed: Vec<KeyedRow> = Vec::new();
-    for (rows, assoc) in results {
-        if S::ENABLED && !assoc.is_empty() {
-            sink.agg_batch(op, assoc);
-        }
-        keyed.extend(rows);
-    }
-    keyed.sort_by(|a, b| a.key.cmp(&b.key));
-    let chunk = keyed.len().div_ceil(parts).max(1);
-    let mut partitions: Partitions = Vec::with_capacity(parts);
-    let mut current = Vec::with_capacity(chunk.min(keyed.len()));
-    for k in keyed {
-        current.push(Row {
-            id: k.id,
-            item: k.item,
+    out_pidx: usize,
+    is_left: bool,
+    rows: &[Row],
+) -> TaskOut {
+    let mut ids = IdGen::new(op, out_pidx);
+    let mut out = Vec::with_capacity(rows.len());
+    let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
+        Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 });
+    for row in rows {
+        let id = ids.next();
+        out.push(Row {
+            id,
+            item: row.item.clone(),
         });
-        if current.len() == chunk {
-            partitions.push(std::mem::replace(&mut current, Vec::with_capacity(chunk)));
+        if S::ENABLED {
+            if is_left {
+                assoc.push((Some(row.id), None, id));
+            } else {
+                assoc.push((None, Some(row.id), id));
+            }
         }
     }
-    if !current.is_empty() {
-        partitions.push(current);
+    TaskOut::Binary { rows: out, assoc }
+}
+
+/// Hash-partitions a morsel's rows into `parts` buckets by grouping key.
+fn shuffle_morsel(keys: &[GroupKey], parts: usize, rows: &[Row]) -> Vec<Vec<Row>> {
+    let mut buckets: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
+    for row in rows {
+        let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
+        let bucket = (hash_one(&key) as usize) % parts;
+        buckets[bucket].push(row.clone());
     }
-    if partitions.is_empty() {
-        partitions.push(Vec::new());
+    buckets
+}
+
+fn agg_bucket<S: ProvenanceSink>(kernel: &GroupKernel, bucket: usize, rows: &[Row]) -> TaskOut {
+    let mut ids = IdGen::new(kernel.op, bucket);
+    // First-seen-ordered grouping within the bucket. The map holds an
+    // index into `grouped`, so each distinct key is cloned exactly once
+    // (on first sight) instead of once per probing row.
+    let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+    let mut grouped: Vec<(Vec<Value>, Vec<&Row>)> = Vec::new();
+    for row in rows {
+        let key: Vec<Value> = kernel
+            .keys
+            .iter()
+            .map(|k| key_value(&row.item, &k.path))
+            .collect();
+        match index.get(&key) {
+            Some(&slot) => grouped[slot].1.push(row),
+            None => {
+                index.insert(key.clone(), grouped.len());
+                grouped.push((key, vec![row]));
+            }
+        }
     }
-    partitions
+    let mut out = Vec::with_capacity(grouped.len());
+    let mut assoc: Vec<(Vec<ItemId>, ItemId)> =
+        Vec::with_capacity(if S::ENABLED { grouped.len() } else { 0 });
+    for (key, members) in grouped {
+        let mut item = DataItem::new();
+        for (label, kv) in kernel.key_labels.iter().zip(&key) {
+            item.push(label.clone(), kv.clone());
+        }
+        for (agg, label) in kernel.aggs.iter().zip(&kernel.agg_labels) {
+            item.push(label.clone(), eval_agg(agg, &members));
+        }
+        let id = ids.next();
+        if S::ENABLED {
+            assoc.push((members.iter().map(|r| r.id).collect(), id));
+        }
+        out.push(KeyedRow { key, id, item });
+    }
+    TaskOut::Agg { rows: out, assoc }
 }
 
 /// A produced group row together with its grouping key (used for the
 /// canonical output ordering).
-struct KeyedRow {
-    key: Vec<Value>,
-    id: ItemId,
-    item: DataItem,
+pub(crate) struct KeyedRow {
+    pub(crate) key: Vec<Value>,
+    pub(crate) id: ItemId,
+    pub(crate) item: DataItem,
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+type JobFn = Box<dyn FnOnce() -> TaskOut + Send + 'static>;
+type Msg = (usize, usize, std::thread::Result<TaskOut>);
+
+#[derive(Clone, Copy, Debug)]
+enum Phase {
+    Idle,
+    Single,
+    Build,
+    Probe,
+    Shuffle,
+    Aggregate,
+}
+
+/// Per-unit state carried across phases.
+struct UnitState {
+    remaining_deps: usize,
+    phase: Phase,
+    /// Output partition index per task, in task order (morsels of one
+    /// partition are consecutive and row-ordered).
+    task_pidx: Vec<usize>,
+    results: Vec<Option<TaskOut>>,
+    pending: usize,
+    /// Number of output partitions the stitcher must produce.
+    out_parts: usize,
+    aux: Option<Aux>,
+}
+
+enum Aux {
+    Join {
+        left: Arc<Partitions>,
+        left_paths: Arc<Vec<Path>>,
+    },
+    Group {
+        kernel: Arc<GroupKernel>,
+    },
+}
+
+struct Scheduler<'a, S: ProvenanceSink> {
+    ops: &'a [Operator],
+    ctx: &'a Context,
+    sink: &'a S,
+    config: ExecConfig,
+    parts: usize,
+    units: Vec<Unit>,
+    states: Vec<UnitState>,
+    outputs: Vec<Option<Arc<Partitions>>>,
+    op_counts: Vec<usize>,
+    pool: Option<Arc<WorkerPool>>,
+    tx: Sender<Msg>,
+    rx: Receiver<Msg>,
+    ready: Vec<usize>,
+    completed: usize,
+}
+
+impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
+    fn new(
+        program: &Program,
+        ops: &'a [Operator],
+        ctx: &'a Context,
+        config: ExecConfig,
+        sink: &'a S,
+        fuse: bool,
+    ) -> Self {
+        let consumers = program.consumers();
+        let units = plan_units(ops, program.sink(), &consumers, fuse);
+        let states = units
+            .iter()
+            .map(|u| UnitState {
+                remaining_deps: u.dep_count,
+                phase: Phase::Idle,
+                task_pidx: Vec::new(),
+                results: Vec::new(),
+                pending: 0,
+                out_parts: 0,
+                aux: None,
+            })
+            .collect();
+        let workers = config.effective_workers();
+        let pool = (workers > 1).then(|| WorkerPool::with_workers(workers));
+        let (tx, rx) = channel();
+        Scheduler {
+            ops,
+            ctx,
+            sink,
+            config,
+            parts: config.partitions.max(1),
+            units,
+            states,
+            outputs: vec![None; ops.len()],
+            op_counts: vec![0; ops.len()],
+            pool,
+            tx,
+            rx,
+            ready: Vec::new(),
+            completed: 0,
+        }
+    }
+
+    fn execute(&mut self) -> Result<()> {
+        for u in 0..self.units.len() {
+            if self.states[u].remaining_deps == 0 {
+                self.ready.push(u);
+            }
+        }
+        while self.completed < self.units.len() {
+            while let Some(u) = self.ready.pop() {
+                self.start_unit(u)?;
+            }
+            if self.completed == self.units.len() {
+                break;
+            }
+            // Event-driven hand-off: as soon as a unit's last morsel lands,
+            // its output is stitched and every newly-ready consumer is
+            // scheduled — workers never wait on an operator barrier.
+            let (u, t, res) = self.rx.recv().expect("worker pool disconnected");
+            let out = match res {
+                Ok(out) => out,
+                Err(panic) => resume_unwind(panic),
+            };
+            let st = &mut self.states[u];
+            st.results[t] = Some(out);
+            st.pending -= 1;
+            if st.pending == 0 {
+                self.phase_done(u)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn input_arc(&self, op: OpId) -> Arc<Partitions> {
+        Arc::clone(
+            self.outputs[op as usize]
+                .as_ref()
+                .expect("input materialized"),
+        )
+    }
+
+    fn start_unit(&mut self, u: usize) -> Result<()> {
+        let ops = self.ops;
+        let ctx = self.ctx;
+        let (start, len) = (self.units[u].start, self.units[u].len);
+        let head = &ops[start];
+        match &head.kind {
+            OpKind::Read { source } => {
+                let items_src = ctx
+                    .source(source)
+                    .ok_or_else(|| EngineError::UnknownSource(source.clone()))?;
+                let op = head.id;
+                let total = items_src.len();
+                let items: Arc<Vec<DataItem>> = Arc::new(items_src.to_vec());
+                let morsel = self.config.morsel_len(total);
+                let mut jobs: Vec<(usize, JobFn)> = Vec::new();
+                for (p, range) in read_ranges(total, self.parts).into_iter().enumerate() {
+                    for mr in split_range(range, morsel) {
+                        let items = Arc::clone(&items);
+                        jobs.push((p, Box::new(move || read_morsel(op, p, &items[mr]))));
+                    }
+                }
+                self.states[u].out_parts = self.parts;
+                self.dispatch(u, Phase::Single, jobs, total)
+            }
+            OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => {
+                let kernel = Arc::new(ChainKernel {
+                    ops: ops[start..start + len].iter().map(|o| o.id).collect(),
+                    stages: ops[start..start + len]
+                        .iter()
+                        .map(|o| owned_stage(&o.kind))
+                        .collect(),
+                });
+                let input = self.input_arc(head.inputs[0]);
+                let total = partition_rows(&input);
+                let jobs = self.per_partition_jobs(&input, |input, p, mr| {
+                    let kernel = Arc::clone(&kernel);
+                    Box::new(move || chain_morsel::<S>(&kernel, p, &input[p][mr]))
+                });
+                self.states[u].out_parts = input.len();
+                self.dispatch(u, Phase::Single, jobs, total)
+            }
+            OpKind::Flatten { col, new_attr } => {
+                let op = head.id;
+                let col = Arc::new(col.clone());
+                let attr = Label::new(new_attr);
+                let input = self.input_arc(head.inputs[0]);
+                let total = partition_rows(&input);
+                let jobs = self.per_partition_jobs(&input, |input, p, mr| {
+                    let col = Arc::clone(&col);
+                    let attr = attr.clone();
+                    Box::new(move || flatten_morsel::<S>(op, p, &col, &attr, &input[p][mr]))
+                });
+                self.states[u].out_parts = input.len();
+                self.dispatch(u, Phase::Single, jobs, total)
+            }
+            OpKind::Join { keys } => {
+                let left = self.input_arc(head.inputs[0]);
+                let right = self.input_arc(head.inputs[1]);
+                let left_paths: Arc<Vec<Path>> =
+                    Arc::new(keys.iter().map(|(l, _)| l.clone()).collect());
+                let right_paths: Arc<Vec<Path>> =
+                    Arc::new(keys.iter().map(|(_, r)| r.clone()).collect());
+                let total = partition_rows(&right);
+                self.states[u].aux = Some(Aux::Join { left, left_paths });
+                let job: JobFn = Box::new(move || TaskOut::Build(join_build(&right, &right_paths)));
+                self.dispatch(u, Phase::Build, vec![(0, job)], total)
+            }
+            OpKind::Union => {
+                let op = head.id;
+                let left = self.input_arc(head.inputs[0]);
+                let right = self.input_arc(head.inputs[1]);
+                let offset = left.len();
+                let total = partition_rows(&left) + partition_rows(&right);
+                let morsel = self.config.morsel_len(total);
+                let mut jobs: Vec<(usize, JobFn)> = Vec::new();
+                for (input, is_left, pidx_offset) in [(&left, true, 0), (&right, false, offset)] {
+                    for p in 0..input.len() {
+                        let out_pidx = pidx_offset + p;
+                        for mr in split_range(0..input[p].len(), morsel) {
+                            let input = Arc::clone(input);
+                            jobs.push((
+                                out_pidx,
+                                Box::new(move || {
+                                    union_morsel::<S>(op, out_pidx, is_left, &input[p][mr])
+                                }),
+                            ));
+                        }
+                    }
+                }
+                self.states[u].out_parts = left.len() + right.len();
+                self.dispatch(u, Phase::Single, jobs, total)
+            }
+            OpKind::GroupAggregate { keys, aggs } => {
+                let kernel = Arc::new(GroupKernel {
+                    op: head.id,
+                    key_labels: keys.iter().map(|k| Label::new(&k.name)).collect(),
+                    agg_labels: aggs.iter().map(|a| Label::new(&a.output)).collect(),
+                    keys: keys.clone(),
+                    aggs: aggs.clone(),
+                });
+                let input = self.input_arc(head.inputs[0]);
+                let total = partition_rows(&input);
+                let parts = self.parts;
+                let shuffle_keys = Arc::new(keys.clone());
+                let jobs = self.per_partition_jobs(&input, |input, p, mr| {
+                    let keys = Arc::clone(&shuffle_keys);
+                    Box::new(move || TaskOut::Shuffle(shuffle_morsel(&keys, parts, &input[p][mr])))
+                });
+                self.states[u].aux = Some(Aux::Group { kernel });
+                self.dispatch(u, Phase::Shuffle, jobs, total)
+            }
+        }
+    }
+
+    /// Plans one morsel job per row range of every input partition, in
+    /// partition-major order (the stitcher relies on this ordering).
+    /// Morsel length derives from the *current* input cardinality, so
+    /// partitions fattened by an upstream fan-out yield proportionally
+    /// more morsels (skew-aware re-morselization).
+    fn per_partition_jobs(
+        &self,
+        input: &Arc<Partitions>,
+        mut make: impl FnMut(Arc<Partitions>, usize, Range<usize>) -> JobFn,
+    ) -> Vec<(usize, JobFn)> {
+        let total = partition_rows(input);
+        let morsel = self.config.morsel_len(total);
+        let mut jobs = Vec::new();
+        for p in 0..input.len() {
+            for mr in split_range(0..input[p].len(), morsel) {
+                jobs.push((p, make(Arc::clone(input), p, mr)));
+            }
+        }
+        jobs
+    }
+
+    fn dispatch(
+        &mut self,
+        u: usize,
+        phase: Phase,
+        jobs: Vec<(usize, JobFn)>,
+        total_rows: usize,
+    ) -> Result<()> {
+        let inline = self.pool.is_none()
+            || jobs.is_empty()
+            || (total_rows < INLINE_ROWS && self.config.morsel_rows == 0);
+        {
+            let st = &mut self.states[u];
+            st.phase = phase;
+            st.task_pidx = jobs.iter().map(|(p, _)| *p).collect();
+            st.results = jobs.iter().map(|_| None).collect();
+            st.pending = jobs.len();
+        }
+        if inline {
+            let outs: Vec<TaskOut> = jobs.into_iter().map(|(_, job)| job()).collect();
+            let st = &mut self.states[u];
+            for (t, out) in outs.into_iter().enumerate() {
+                st.results[t] = Some(out);
+            }
+            st.pending = 0;
+            self.phase_done(u)
+        } else {
+            let pool = self.pool.as_ref().expect("pool present");
+            for (t, (_, job)) in jobs.into_iter().enumerate() {
+                let tx = self.tx.clone();
+                pool.submit(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    let _ = tx.send((u, t, result));
+                });
+            }
+            Ok(())
+        }
+    }
+
+    fn phase_done(&mut self, u: usize) -> Result<()> {
+        match self.states[u].phase {
+            Phase::Idle => unreachable!("phase_done on idle unit"),
+            Phase::Single | Phase::Probe | Phase::Aggregate => self.finalize_unit(u),
+            Phase::Build => {
+                let build = match self.states[u].results[0].take() {
+                    Some(TaskOut::Build(map)) => Arc::new(map),
+                    _ => unreachable!("build phase returns a build table"),
+                };
+                let Some(Aux::Join { left, left_paths }) = self.states[u].aux.take() else {
+                    unreachable!("join unit carries join aux")
+                };
+                let op = self.ops[self.units[u].start].id;
+                let total = partition_rows(&left);
+                let morsel = self.config.morsel_len(total);
+                let mut jobs: Vec<(usize, JobFn)> = Vec::new();
+                for p in 0..left.len() {
+                    for mr in split_range(0..left[p].len(), morsel) {
+                        let left = Arc::clone(&left);
+                        let build = Arc::clone(&build);
+                        let left_paths = Arc::clone(&left_paths);
+                        jobs.push((
+                            p,
+                            Box::new(move || {
+                                join_probe::<S>(op, p, &build, &left_paths, &left[p][mr])
+                            }),
+                        ));
+                    }
+                }
+                self.states[u].out_parts = left.len();
+                self.dispatch(u, Phase::Probe, jobs, total)
+            }
+            Phase::Shuffle => {
+                let parts = self.parts;
+                let results = std::mem::take(&mut self.states[u].results);
+                // Merge per-morsel buckets in task (= global row) order, so
+                // each bucket sees rows exactly as a sequential shuffle
+                // would.
+                let mut buckets: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
+                for slot in results {
+                    match slot {
+                        Some(TaskOut::Shuffle(mut bs)) => {
+                            for (b, rows) in bs.iter_mut().enumerate() {
+                                buckets[b].append(rows);
+                            }
+                        }
+                        _ => unreachable!("shuffle phase returns buckets"),
+                    }
+                }
+                let Some(Aux::Group { kernel }) = self.states[u].aux.take() else {
+                    unreachable!("group unit carries group aux")
+                };
+                let total: usize = buckets.iter().map(Vec::len).sum();
+                let mut jobs: Vec<(usize, JobFn)> = Vec::new();
+                for (b, rows) in buckets.into_iter().enumerate() {
+                    if rows.is_empty() {
+                        continue; // empty buckets produce nothing
+                    }
+                    let kernel = Arc::clone(&kernel);
+                    jobs.push((b, Box::new(move || agg_bucket::<S>(&kernel, b, &rows))));
+                }
+                self.dispatch(u, Phase::Aggregate, jobs, total)
+            }
+        }
+    }
+
+    /// Stitches the completed unit's morsel results into its output
+    /// partitions — adding per-partition sequence offsets to the
+    /// partition-local identifiers — and emits provenance batches in the
+    /// same deterministic order as a sequential execution.
+    fn finalize_unit(&mut self, u: usize) -> Result<()> {
+        let ops = self.ops;
+        let (start, len) = (self.units[u].start, self.units[u].len);
+        let out_parts = self.states[u].out_parts;
+        let task_pidx = std::mem::take(&mut self.states[u].task_pidx);
+        let mut results = std::mem::take(&mut self.states[u].results);
+
+        match &ops[start].kind {
+            OpKind::Read { .. } => {
+                let op = ops[start].id;
+                let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
+                let mut offsets = vec![0u64; out_parts];
+                for (t, &p) in task_pidx.iter().enumerate() {
+                    let Some(TaskOut::Read { mut rows }) = results[t].take() else {
+                        unreachable!("read task result")
+                    };
+                    for r in &mut rows {
+                        r.id += offsets[p];
+                    }
+                    offsets[p] += rows.len() as u64;
+                    parts[p].append(&mut rows);
+                }
+                if S::ENABLED {
+                    for part in &parts {
+                        if !part.is_empty() {
+                            let ids: Vec<ItemId> = part.iter().map(|r| r.id).collect();
+                            self.sink.read_batch(op, &ids);
+                        }
+                    }
+                }
+                self.set_output(op, parts);
+            }
+            OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => {
+                let n = len;
+                let chain_ids: Vec<OpId> = ops[start..start + len].iter().map(|o| o.id).collect();
+                let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
+                let mut assoc_parts: Vec<Vec<Vec<(ItemId, ItemId)>>> =
+                    vec![vec![Vec::new(); n]; out_parts];
+                let mut offsets: Vec<Vec<u64>> = vec![vec![0u64; n]; out_parts];
+                let mut totals = vec![0usize; n];
+                for (t, &p) in task_pidx.iter().enumerate() {
+                    let Some(TaskOut::Chain {
+                        mut rows,
+                        mut assocs,
+                        counts,
+                    }) = results[t].take()
+                    else {
+                        unreachable!("chain task result")
+                    };
+                    let off = &mut offsets[p];
+                    for s in 0..n {
+                        for entry in assocs[s].iter_mut() {
+                            if s > 0 {
+                                entry.0 += off[s - 1];
+                            }
+                            entry.1 += off[s];
+                        }
+                    }
+                    let last = off[n - 1];
+                    for r in &mut rows {
+                        r.id += last;
+                    }
+                    for s in 0..n {
+                        totals[s] += counts[s];
+                        off[s] += counts[s] as u64;
+                        assoc_parts[p][s].append(&mut assocs[s]);
+                    }
+                    parts[p].append(&mut rows);
+                }
+                if S::ENABLED {
+                    // Stage-major, partition-ordered emission — the batch
+                    // sequence an unfused execution reports per operator.
+                    for (s, &op) in chain_ids.iter().enumerate() {
+                        for part in assoc_parts.iter() {
+                            if !part[s].is_empty() {
+                                self.sink.unary_batch(op, &part[s]);
+                            }
+                        }
+                    }
+                }
+                for (s, &op) in chain_ids.iter().enumerate() {
+                    self.op_counts[op as usize] = totals[s];
+                    if s + 1 < n {
+                        // Fused-away intermediate: nothing consumes its rows.
+                        self.outputs[op as usize] = Some(Arc::new(Vec::new()));
+                    }
+                }
+                self.outputs[chain_ids[n - 1] as usize] = Some(Arc::new(parts));
+            }
+            OpKind::Flatten { .. } => {
+                let op = ops[start].id;
+                let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
+                let mut assoc_parts: Vec<Vec<(ItemId, u32, ItemId)>> =
+                    (0..out_parts).map(|_| Vec::new()).collect();
+                let mut offsets = vec![0u64; out_parts];
+                for (t, &p) in task_pidx.iter().enumerate() {
+                    let Some(TaskOut::Flatten {
+                        mut rows,
+                        mut assoc,
+                    }) = results[t].take()
+                    else {
+                        unreachable!("flatten task result")
+                    };
+                    let off = offsets[p];
+                    for r in &mut rows {
+                        r.id += off;
+                    }
+                    for entry in assoc.iter_mut() {
+                        entry.2 += off;
+                    }
+                    offsets[p] += rows.len() as u64;
+                    parts[p].append(&mut rows);
+                    assoc_parts[p].append(&mut assoc);
+                }
+                if S::ENABLED {
+                    for assoc in &assoc_parts {
+                        if !assoc.is_empty() {
+                            self.sink.flatten_batch(op, assoc);
+                        }
+                    }
+                }
+                self.set_output(op, parts);
+            }
+            OpKind::Join { .. } | OpKind::Union => {
+                let op = ops[start].id;
+                let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
+                let mut assoc_parts: Vec<BinaryAssoc> =
+                    (0..out_parts).map(|_| Vec::new()).collect();
+                let mut offsets = vec![0u64; out_parts];
+                for (t, &p) in task_pidx.iter().enumerate() {
+                    let Some(TaskOut::Binary {
+                        mut rows,
+                        mut assoc,
+                    }) = results[t].take()
+                    else {
+                        unreachable!("binary task result")
+                    };
+                    let off = offsets[p];
+                    for r in &mut rows {
+                        r.id += off;
+                    }
+                    for entry in assoc.iter_mut() {
+                        entry.2 += off;
+                    }
+                    offsets[p] += rows.len() as u64;
+                    parts[p].append(&mut rows);
+                    assoc_parts[p].append(&mut assoc);
+                }
+                if S::ENABLED {
+                    for assoc in &assoc_parts {
+                        if !assoc.is_empty() {
+                            self.sink.binary_batch(op, assoc);
+                        }
+                    }
+                }
+                self.set_output(op, parts);
+            }
+            OpKind::GroupAggregate { .. } => {
+                let op = ops[start].id;
+                let mut keyed: Vec<KeyedRow> = Vec::new();
+                for slot in results.iter_mut() {
+                    let Some(TaskOut::Agg { rows, assoc }) = slot.take() else {
+                        unreachable!("aggregate task result")
+                    };
+                    // One task per bucket, so bucket-local ids are already
+                    // final; emission follows bucket order.
+                    if S::ENABLED && !assoc.is_empty() {
+                        self.sink.agg_batch(op, assoc);
+                    }
+                    keyed.extend(rows);
+                }
+                // Bucket placement depends on the partition count, so impose
+                // a canonical global order: sort all groups by key. This
+                // makes program output identical across partition
+                // configurations.
+                keyed.sort_by(|a, b| a.key.cmp(&b.key));
+                let chunk = keyed.len().div_ceil(self.parts).max(1);
+                let mut partitions: Partitions = Vec::with_capacity(self.parts);
+                let mut current = Vec::with_capacity(chunk.min(keyed.len()));
+                for k in keyed {
+                    current.push(Row {
+                        id: k.id,
+                        item: k.item,
+                    });
+                    if current.len() == chunk {
+                        partitions.push(std::mem::replace(&mut current, Vec::with_capacity(chunk)));
+                    }
+                }
+                if !current.is_empty() {
+                    partitions.push(current);
+                }
+                if partitions.is_empty() {
+                    partitions.push(Vec::new());
+                }
+                self.set_output(op, partitions);
+            }
+        }
+
+        self.completed += 1;
+        let consumers = self.units[u].consumers.clone();
+        for c in consumers {
+            let st = &mut self.states[c];
+            st.remaining_deps -= 1;
+            if st.remaining_deps == 0 {
+                self.ready.push(c);
+            }
+        }
+        Ok(())
+    }
+
+    fn set_output(&mut self, op: OpId, parts: Partitions) {
+        self.op_counts[op as usize] = parts.iter().map(Vec::len).sum();
+        self.outputs[op as usize] = Some(Arc::new(parts));
+    }
+}
+
+fn partition_rows(parts: &Partitions) -> usize {
+    parts.iter().map(Vec::len).sum()
 }
 
 /// Evaluates one aggregate over the rows of a group.
@@ -731,7 +1303,7 @@ struct KeyedRow {
 /// `collect_list` keeps one value per group row — including `Null` for rows
 /// where the input path is missing — so that nested positions stay aligned
 /// with the group's identifier list in the operator provenance (Tab. 6).
-fn eval_agg(agg: &AggSpec, members: &[&Row]) -> Value {
+pub(crate) fn eval_agg(agg: &AggSpec, members: &[&Row]) -> Value {
     let values = |skip_null: bool| {
         members.iter().filter_map(move |r| {
             let v = agg.input.eval(&r.item).cloned().unwrap_or(Value::Null);
@@ -825,7 +1397,7 @@ mod tests {
     }
 
     fn run_plain(p: &Program, c: &Context) -> RunOutput {
-        run(p, c, ExecConfig { partitions: 3 }, &NoSink).unwrap()
+        run(p, c, ExecConfig::with_partitions(3), &NoSink).unwrap()
     }
 
     #[test]
@@ -927,8 +1499,8 @@ mod tests {
         );
         let p = b.build(g);
         let c = ctx();
-        let one = run(&p, &c, ExecConfig { partitions: 1 }, &NoSink).unwrap();
-        let four = run(&p, &c, ExecConfig { partitions: 4 }, &NoSink).unwrap();
+        let one = run(&p, &c, ExecConfig::with_partitions(1), &NoSink).unwrap();
+        let four = run(&p, &c, ExecConfig::with_partitions(4), &NoSink).unwrap();
         assert!(one.iter_items().eq(four.iter_items()));
     }
 
@@ -982,7 +1554,7 @@ mod tests {
         let s = b.select(f, vec![NamedExpr::aliased("kk", "k")]);
         let p = b.build(s);
         let c = ctx();
-        let cfg = ExecConfig { partitions: 3 };
+        let cfg = ExecConfig::with_partitions(3);
         let fused = run(&p, &c, cfg, &NoSink).unwrap();
         let unfused = run_unfused(&p, &c, cfg, &NoSink).unwrap();
         assert_eq!(fused.rows, unfused.rows);
@@ -999,5 +1571,93 @@ mod tests {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), out.rows.len());
+    }
+
+    #[test]
+    fn read_ranges_pad_small_inputs() {
+        assert_eq!(read_ranges(2, 3), vec![0..1, 1..2, 2..2]);
+        assert_eq!(read_ranges(0, 2), vec![0..0, 0..0]);
+        assert_eq!(read_ranges(10, 3), vec![0..4, 4..8, 8..10]);
+        assert_eq!(read_ranges(6, 2), vec![0..3, 3..6]);
+        assert_eq!(read_ranges(5, 1), vec![0..5]);
+    }
+
+    #[test]
+    fn union_partition_offset_counts_padded_partitions() {
+        // 2-item sources at partitions=3: with read padding, the right
+        // input's output partitions must start at offset 3 (= left
+        // partition count including padding), not at the number of
+        // non-empty chunks.
+        let mut c = Context::new();
+        c.register(
+            "a",
+            items_of(vec![vec![("x", Value::Int(1))], vec![("x", Value::Int(2))]]),
+        );
+        let mut b = ProgramBuilder::new();
+        let l = b.read("a");
+        let r = b.read("a");
+        let u = b.union(l, r);
+        let out = run(
+            &b.build(u),
+            &c,
+            ExecConfig::with_partitions(3).workers(1),
+            &NoSink,
+        )
+        .unwrap();
+        assert_eq!(out.rows.len(), 4);
+        let pidx: Vec<u64> = out.rows.iter().map(|r| (r.id >> 32) & 0xFFFF).collect();
+        assert_eq!(pidx, [0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn pool_and_morsels_match_sequential() {
+        // Skewed fan-out pipeline exercising every unit kind: flatten →
+        // filter → union (same op consumed twice) → join → group.
+        let mut c = Context::new();
+        let items: Vec<Vec<(&str, Value)>> = (0..40i64)
+            .map(|i| {
+                let tags = if i == 0 { 25 } else { i % 4 };
+                vec![
+                    ("id", Value::Int(i % 7)),
+                    ("tags", Value::Bag((0..tags).map(Value::Int).collect())),
+                ]
+            })
+            .collect();
+        c.register("s", items_of(items));
+        c.register(
+            "dim",
+            items_of((0..7i64).map(|i| vec![("id2", Value::Int(i))]).collect()),
+        );
+        let mut b = ProgramBuilder::new();
+        let r = b.read("s");
+        let fl = b.flatten(r, "tags", "tag");
+        let f = b.filter(fl, Expr::col("tag").ge(Expr::lit(1i64)));
+        let u = b.union(f, f);
+        let d = b.read("dim");
+        let j = b.join(u, d, vec![(Path::attr("id"), Path::attr("id2"))]);
+        let g = b.group_aggregate(
+            j,
+            vec![GroupKey::new("id")],
+            vec![AggSpec::new(AggFunc::Count, "", "n")],
+        );
+        let p = b.build(g);
+        let baseline = run(
+            &p,
+            &c,
+            ExecConfig::with_partitions(3).workers(1).morsel_rows(0),
+            &NoSink,
+        )
+        .unwrap();
+        for (w, m) in [(2, 1), (7, 3), (3, usize::MAX)] {
+            let alt = run(
+                &p,
+                &c,
+                ExecConfig::with_partitions(3).workers(w).morsel_rows(m),
+                &NoSink,
+            )
+            .unwrap();
+            assert_eq!(baseline.rows, alt.rows, "workers={w} morsel={m}");
+            assert_eq!(baseline.op_counts, alt.op_counts, "workers={w} morsel={m}");
+        }
     }
 }

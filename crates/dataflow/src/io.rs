@@ -153,7 +153,7 @@ mod tests {
         let mut b = ProgramBuilder::new();
         let r = b.read("t");
         let f = b.filter(r, Expr::col("k").ge(Expr::lit(2i64)));
-        let out = run(&b.build(f), &ctx, ExecConfig { partitions: 2 }, &NoSink).unwrap();
+        let out = run(&b.build(f), &ctx, ExecConfig::with_partitions(2), &NoSink).unwrap();
         assert_eq!(out.write_ndjson(&dst).unwrap(), 1);
 
         let back = read_ndjson(&dst).unwrap();

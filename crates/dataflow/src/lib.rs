@@ -19,8 +19,10 @@ pub mod hash;
 pub mod io;
 pub mod op;
 pub mod optimize;
+pub mod pool;
 pub mod program;
 pub mod sink;
+pub mod spawn;
 
 pub use context::Context;
 pub use error::{EngineError, Result};
@@ -28,5 +30,7 @@ pub use exec::{run, run_unfused, ExecConfig, ItemId, Row, RunOutput};
 pub use expr::{CmpOp, Expr, SelectExpr};
 pub use op::{AggFunc, AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};
 pub use optimize::{optimize, OptimizeStats};
+pub use pool::WorkerPool;
 pub use program::{Operator, Program, ProgramBuilder};
 pub use sink::{NoSink, ProvenanceSink};
+pub use spawn::{run_spawn, run_spawn_unfused};

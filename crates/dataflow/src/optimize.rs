@@ -303,7 +303,7 @@ mod tests {
 
     fn assert_equivalent(p: &Program) -> OptimizeStats {
         let (optimized, stats) = optimize(p);
-        let cfg = ExecConfig { partitions: 2 };
+        let cfg = ExecConfig::with_partitions(2);
         let c = ctx();
         let a = run(p, &c, cfg, &NoSink).unwrap();
         let b = run(&optimized, &c, cfg, &NoSink).unwrap();
@@ -493,7 +493,7 @@ mod chain_tests {
                 "filter"
             );
         }
-        let cfg = ExecConfig { partitions: 2 };
+        let cfg = ExecConfig::with_partitions(2);
         let a = run(&p, &c, cfg, &NoSink).unwrap();
         let b2 = run(&optimized, &c, cfg, &NoSink).unwrap();
         assert!(a.iter_items().eq(b2.iter_items()));

@@ -1,0 +1,155 @@
+//! Persistent worker pool.
+//!
+//! The executor used to spawn (and join) a fresh set of scoped threads for
+//! *every operator*, paying thread start-up and a full teardown barrier per
+//! stage. This module replaces that with long-lived workers fed by a
+//! channel-based task queue: a [`WorkerPool`] is created once per worker
+//! count and reused by every subsequent run (see [`WorkerPool::with_workers`]),
+//! so steady-state execution never creates threads at all.
+//!
+//! Workers are deliberately dumb: they pop type-erased jobs from a shared
+//! queue and run them. All sequencing, identifier stitching, and provenance
+//! emission stay on the scheduler thread in `exec.rs`, which is what keeps
+//! program output byte-identical at any worker count.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A unit of work for the pool.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Queue {
+    jobs: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Jobs are executed in FIFO submission order (per worker pull); a panicking
+/// job is contained by the worker and never takes the pool down — result
+/// reporting and panic propagation are the submitter's responsibility
+/// (the executor wraps every job in `catch_unwind` and re-raises on the
+/// scheduler thread).
+pub struct WorkerPool {
+    queue: Arc<Queue>,
+    size: usize,
+}
+
+/// Global registry: one shared pool per worker count, created lazily and
+/// kept for the process lifetime. Re-running with the same configuration
+/// therefore reuses warm threads.
+static POOLS: OnceLock<Mutex<HashMap<usize, Arc<WorkerPool>>>> = OnceLock::new();
+
+impl WorkerPool {
+    /// Creates a new pool with `workers` threads (at least one).
+    ///
+    /// Prefer [`WorkerPool::with_workers`], which shares pools across runs.
+    pub fn new(workers: usize) -> Self {
+        let size = workers.max(1);
+        let queue = Arc::new(Queue {
+            jobs: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        });
+        for i in 0..size {
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name(format!("pebble-worker-{i}"))
+                .spawn(move || worker_loop(&queue))
+                .expect("failed to spawn pool worker");
+        }
+        WorkerPool { queue, size }
+    }
+
+    /// The process-wide shared pool with exactly `workers` threads.
+    pub fn with_workers(workers: usize) -> Arc<WorkerPool> {
+        let workers = workers.max(1);
+        let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+        Arc::clone(
+            pools
+                .lock()
+                .unwrap()
+                .entry(workers)
+                .or_insert_with(|| Arc::new(WorkerPool::new(workers))),
+        )
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Enqueues a job; some worker will eventually run it.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        let mut jobs = self.queue.jobs.lock().unwrap();
+        jobs.push_back(Box::new(job));
+        drop(jobs);
+        self.queue.available.notify_one();
+    }
+}
+
+fn worker_loop(queue: &Queue) {
+    loop {
+        let job = {
+            let mut jobs = queue.jobs.lock().unwrap();
+            loop {
+                match jobs.pop_front() {
+                    Some(job) => break job,
+                    None => jobs = queue.available.wait(jobs).unwrap(),
+                }
+            }
+        };
+        // Contain panics: the submitter observes them through its own
+        // result channel; the worker must survive to serve the next job.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs() {
+        let pool = WorkerPool::with_workers(3);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let tx = tx.clone();
+            pool.submit(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        }
+        for _ in 0..64 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn survives_panicking_jobs() {
+        let pool = WorkerPool::with_workers(2);
+        let (tx, rx) = mpsc::channel();
+        pool.submit(|| panic!("job panic"));
+        pool.submit(move || tx.send(42).unwrap());
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
+            42
+        );
+    }
+
+    #[test]
+    fn registry_shares_pools_by_size() {
+        let a = WorkerPool::with_workers(2);
+        let b = WorkerPool::with_workers(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.size(), 2);
+        let c = WorkerPool::with_workers(5);
+        assert_eq!(c.size(), 5);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

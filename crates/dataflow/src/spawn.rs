@@ -1,0 +1,645 @@
+//! Legacy per-operator spawning executor.
+//!
+//! This is the executor the morsel-driven scheduler ([`crate::exec`])
+//! replaced: operators execute in topological (id) order, each operator
+//! spawns (and joins) a fresh set of scoped threads over its input
+//! partitions, and a full barrier separates stages. It is kept — bit-for-
+//! bit output-compatible with the pool executor — for two reasons:
+//!
+//! * the differential oracle uses it as the *referee*: identifiers,
+//!   association tables, and batch orders of the pool scheduler must match
+//!   this executor exactly at every worker count;
+//! * the scheduler benchmark uses it as the baseline the pool is measured
+//!   against (`BENCH_2.json`).
+//!
+//! Shared pieces (identifier scheme, row/partition types, per-row kernels'
+//! semantics, aggregate evaluation, read partition layout) live in
+//! [`crate::exec`] and are reused here, so the two executors cannot drift
+//! apart silently.
+
+use pebble_nested::{DataItem, Label, Path, Value};
+
+use crate::context::Context;
+use crate::error::{EngineError, Result};
+use crate::exec::{
+    eval_agg, fusable_chain_len, join_key, read_ranges, ExecConfig, IdGen, ItemId, KeyedRow,
+    Partitions, Row, RunOutput,
+};
+use crate::expr::Expr;
+use crate::hash::{hash_one, FxHashMap};
+use crate::op::OpId;
+use crate::op::{key_value, AggSpec, GroupKey, MapUdf, NamedExpr, OpKind};
+use crate::program::{Operator, Program};
+use crate::sink::ProvenanceSink;
+
+/// Executes `program` with the legacy per-operator spawning strategy.
+///
+/// Output (rows, identifiers, captured provenance, batch order) is
+/// specified to be byte-identical to [`crate::exec::run`].
+pub fn run_spawn<S: ProvenanceSink>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    sink: &S,
+) -> Result<RunOutput> {
+    run_with_fusion(program, ctx, config, sink, true)
+}
+
+/// [`run_spawn`] with operator fusion disabled.
+pub fn run_spawn_unfused<S: ProvenanceSink>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    sink: &S,
+) -> Result<RunOutput> {
+    run_with_fusion(program, ctx, config, sink, false)
+}
+
+fn run_with_fusion<S: ProvenanceSink>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    sink: &S,
+    fuse: bool,
+) -> Result<RunOutput> {
+    let op_schemas = program.infer_schemas(&ctx.source_schemas())?;
+    let ops = program.operators();
+    let mut outputs: Vec<Partitions> = Vec::with_capacity(ops.len());
+    let mut op_counts = Vec::with_capacity(ops.len());
+    let parts = config.partitions.max(1);
+    let consumers = program.consumers();
+
+    let mut idx = 0;
+    while idx < ops.len() {
+        let op = &ops[idx];
+        // Fuse maximal chains of single-consumer per-row operators into one
+        // pass over the head's input: no intermediate Vec<Row> is
+        // materialized, while per-stage id generators and association
+        // buffers keep identifiers and captured provenance byte-identical
+        // to the unfused execution.
+        let chain_len = if fuse {
+            fusable_chain_len(ops, program.sink(), &consumers, idx)
+        } else {
+            1
+        };
+        if chain_len >= 2 {
+            let chain: Vec<&Operator> = ops[idx..idx + chain_len].iter().collect();
+            let input = &outputs[op.inputs[0] as usize];
+            let (counts, fused) = exec_fused_chain::<S>(&chain, input, sink);
+            for (i, count) in counts.iter().enumerate() {
+                op_counts.push(*count);
+                if i + 1 < counts.len() {
+                    // Fused-away intermediate: nothing consumes its rows.
+                    outputs.push(Vec::new());
+                }
+            }
+            outputs.push(fused);
+            idx += chain_len;
+            continue;
+        }
+        let result: Partitions = match &op.kind {
+            OpKind::Read { source } => {
+                let items = ctx
+                    .source(source)
+                    .ok_or_else(|| EngineError::UnknownSource(source.clone()))?;
+                exec_read::<S>(op.id, items, parts, sink)
+            }
+            OpKind::Filter { predicate } => {
+                let input = &outputs[op.inputs[0] as usize];
+                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
+                    if predicate.eval_bool(&row.item) {
+                        let id = ids.next();
+                        out.push(Row {
+                            id,
+                            item: row.item.clone(),
+                        });
+                        if S::ENABLED {
+                            assoc.push((row.id, id));
+                        }
+                    }
+                })
+            }
+            OpKind::Select { exprs } => {
+                let input = &outputs[op.inputs[0] as usize];
+                let labels: Vec<Label> = exprs.iter().map(|ne| Label::new(&ne.name)).collect();
+                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
+                    let mut item = DataItem::new();
+                    for (ne, label) in exprs.iter().zip(&labels) {
+                        item.push(label.clone(), ne.expr.eval(&row.item));
+                    }
+                    let id = ids.next();
+                    out.push(Row { id, item });
+                    if S::ENABLED {
+                        assoc.push((row.id, id));
+                    }
+                })
+            }
+            OpKind::Map { udf } => {
+                let input = &outputs[op.inputs[0] as usize];
+                let f = &udf.f;
+                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
+                    let item = f(&row.item);
+                    let id = ids.next();
+                    out.push(Row { id, item });
+                    if S::ENABLED {
+                        assoc.push((row.id, id));
+                    }
+                })
+            }
+            OpKind::Flatten { col, new_attr } => {
+                let input = &outputs[op.inputs[0] as usize];
+                exec_flatten::<S>(op.id, input, col, new_attr, sink)
+            }
+            OpKind::Join { keys } => {
+                let left = &outputs[op.inputs[0] as usize];
+                let right = &outputs[op.inputs[1] as usize];
+                exec_join::<S>(op.id, left, right, keys, sink)
+            }
+            OpKind::Union => {
+                let left = &outputs[op.inputs[0] as usize];
+                let right = &outputs[op.inputs[1] as usize];
+                exec_union::<S>(op.id, left, right, sink)
+            }
+            OpKind::GroupAggregate { keys, aggs } => {
+                let input = &outputs[op.inputs[0] as usize];
+                exec_group_aggregate::<S>(op.id, input, keys, aggs, parts, sink)
+            }
+        };
+        op_counts.push(result.iter().map(Vec::len).sum());
+        outputs.push(result);
+        idx += 1;
+    }
+
+    let rows: Vec<Row> = std::mem::take(&mut outputs[program.sink() as usize])
+        .into_iter()
+        .flatten()
+        .collect();
+    Ok(RunOutput {
+        rows,
+        op_schemas,
+        op_counts,
+    })
+}
+
+/// One per-row stage of a fused chain.
+enum StageKind<'a> {
+    Filter(&'a Expr),
+    Select {
+        exprs: &'a [NamedExpr],
+        labels: Vec<Label>,
+    },
+    Map(&'a MapUdf),
+}
+
+fn stage_kind(kind: &OpKind) -> Option<StageKind<'_>> {
+    match kind {
+        OpKind::Filter { predicate } => Some(StageKind::Filter(predicate)),
+        OpKind::Select { exprs } => Some(StageKind::Select {
+            exprs,
+            labels: exprs.iter().map(|ne| Label::new(&ne.name)).collect(),
+        }),
+        OpKind::Map { udf } => Some(StageKind::Map(udf)),
+        _ => None,
+    }
+}
+
+/// Executes a fused chain of per-row operators in one pass over `input`.
+///
+/// Per-row operators map input partition `p` to output partition `p` with
+/// sequentially assigned ids, so running every stage inside one loop with
+/// per-stage [`IdGen`]s reproduces exactly the ids — and, per stage, the
+/// association batches — that separate passes would have produced. Only the
+/// last stage's rows are materialized. Returns per-stage output counts and
+/// the final stage's partitions.
+fn exec_fused_chain<S: ProvenanceSink>(
+    chain: &[&Operator],
+    input: &Partitions,
+    sink: &S,
+) -> (Vec<usize>, Partitions) {
+    let stages: Vec<StageKind<'_>> = chain
+        .iter()
+        .map(|op| stage_kind(&op.kind).expect("chain ops are per-row"))
+        .collect();
+    let n = stages.len();
+    let results = par_map(input, |pidx, partition| {
+        let mut ids: Vec<IdGen> = chain.iter().map(|op| IdGen::new(op.id, pidx)).collect();
+        let mut assocs: Vec<Vec<(ItemId, ItemId)>> = (0..n)
+            .map(|_| Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 }))
+            .collect();
+        let mut counts = vec![0usize; n];
+        let mut out = Vec::with_capacity(partition.len());
+        'rows: for row in partition {
+            let mut item = row.item.clone();
+            let mut prev_id = row.id;
+            for (s, stage) in stages.iter().enumerate() {
+                match stage {
+                    StageKind::Filter(pred) => {
+                        if !pred.eval_bool(&item) {
+                            continue 'rows;
+                        }
+                    }
+                    StageKind::Select { exprs, labels } => {
+                        let mut next = DataItem::new();
+                        for (ne, label) in exprs.iter().zip(labels) {
+                            next.push(label.clone(), ne.expr.eval(&item));
+                        }
+                        item = next;
+                    }
+                    StageKind::Map(udf) => item = (udf.f)(&item),
+                }
+                let id = ids[s].next();
+                if S::ENABLED {
+                    assocs[s].push((prev_id, id));
+                }
+                counts[s] += 1;
+                prev_id = id;
+            }
+            out.push(Row { id: prev_id, item });
+        }
+        (out, assocs, counts)
+    });
+    if S::ENABLED {
+        // Stage-major, partition-ordered emission — the batch sequence an
+        // unfused execution reports per operator.
+        for (s, op) in chain.iter().enumerate() {
+            for (_, assocs, _) in &results {
+                if !assocs[s].is_empty() {
+                    sink.unary_batch(op.id, &assocs[s]);
+                }
+            }
+        }
+    }
+    let mut totals = vec![0usize; n];
+    let mut partitions = Vec::with_capacity(results.len());
+    for (rows, _, counts) in results {
+        for (s, c) in counts.iter().enumerate() {
+            totals[s] += c;
+        }
+        partitions.push(rows);
+    }
+    (totals, partitions)
+}
+
+/// Runs `f` over every input partition, in parallel when there are several.
+///
+/// This is the per-operator spawn/join this executor is named after: a
+/// fresh scoped thread per partition, torn down at the end of the call.
+fn par_map<I, T, F>(inputs: &[I], f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync + Send,
+{
+    if inputs.len() <= 1 {
+        return inputs.iter().enumerate().map(|(i, p)| f(i, p)).collect();
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| scope.spawn(move || f(i, p)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("partition worker panicked"))
+            .collect()
+    })
+}
+
+fn exec_read<S: ProvenanceSink>(
+    op: OpId,
+    items: &[DataItem],
+    parts: usize,
+    sink: &S,
+) -> Partitions {
+    // Contiguous chunks keep dataset order; ids are assigned in order. The
+    // shared `read_ranges` layout pads with empty trailing partitions so
+    // both executors always produce exactly `parts` partitions.
+    let mut out = Vec::with_capacity(parts);
+    for (pidx, range) in read_ranges(items.len(), parts).into_iter().enumerate() {
+        let mut ids = IdGen::new(op, pidx);
+        let rows: Vec<Row> = items[range]
+            .iter()
+            .map(|item| Row {
+                id: ids.next(),
+                item: item.clone(),
+            })
+            .collect();
+        if S::ENABLED && !rows.is_empty() {
+            let ids: Vec<ItemId> = rows.iter().map(|r| r.id).collect();
+            sink.read_batch(op, &ids);
+        }
+        out.push(rows);
+    }
+    out
+}
+
+/// Shared driver for per-row unary operators (filter/select/map).
+fn exec_per_row<S, F>(op: OpId, input: &Partitions, sink: &S, body: F) -> Partitions
+where
+    S: ProvenanceSink,
+    F: Fn(&Row, &mut Vec<Row>, &mut Vec<(ItemId, ItemId)>, &mut IdGen) + Sync + Send,
+{
+    let results = par_map(input, |pidx, partition| {
+        let mut ids = IdGen::new(op, pidx);
+        let mut out = Vec::with_capacity(partition.len());
+        let mut assoc = Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
+        for row in partition {
+            body(row, &mut out, &mut assoc, &mut ids);
+        }
+        (out, assoc)
+    });
+    let mut partitions = Vec::with_capacity(results.len());
+    for (rows, assoc) in results {
+        if S::ENABLED && !assoc.is_empty() {
+            sink.unary_batch(op, &assoc);
+        }
+        partitions.push(rows);
+    }
+    partitions
+}
+
+fn exec_flatten<S: ProvenanceSink>(
+    op: OpId,
+    input: &Partitions,
+    col: &Path,
+    new_attr: &str,
+    sink: &S,
+) -> Partitions {
+    let attr = Label::new(new_attr);
+    let results = par_map(input, |pidx, partition| {
+        let mut ids = IdGen::new(op, pidx);
+        let mut out = Vec::with_capacity(partition.len());
+        let mut assoc: Vec<(ItemId, u32, ItemId)> =
+            Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
+        for row in partition {
+            let Some(elements) = col.eval(&row.item).and_then(Value::as_collection) else {
+                continue; // missing/null collections produce no rows
+            };
+            for (idx, element) in elements.iter().enumerate() {
+                let mut item = row.item.clone();
+                item.push(attr.clone(), element.clone());
+                let id = ids.next();
+                out.push(Row { id, item });
+                if S::ENABLED {
+                    assoc.push((row.id, idx as u32 + 1, id));
+                }
+            }
+        }
+        (out, assoc)
+    });
+    let mut partitions = Vec::with_capacity(results.len());
+    for (rows, assoc) in results {
+        if S::ENABLED && !assoc.is_empty() {
+            sink.flatten_batch(op, &assoc);
+        }
+        partitions.push(rows);
+    }
+    partitions
+}
+
+fn exec_join<S: ProvenanceSink>(
+    op: OpId,
+    left: &Partitions,
+    right: &Partitions,
+    keys: &[(Path, Path)],
+    sink: &S,
+) -> Partitions {
+    let left_paths: Vec<Path> = keys.iter().map(|(l, _)| l.clone()).collect();
+    let right_paths: Vec<Path> = keys.iter().map(|(_, r)| r.clone()).collect();
+
+    // Build side: hash the (smaller, by convention right) input.
+    let mut build: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
+    for partition in right {
+        for row in partition {
+            if let Some(k) = join_key(&row.item, &right_paths) {
+                build.entry(k).or_default().push(row);
+            }
+        }
+    }
+
+    let results = par_map(left, |pidx, partition| {
+        let mut ids = IdGen::new(op, pidx);
+        let mut out = Vec::with_capacity(partition.len());
+        let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
+            Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
+        for lrow in partition {
+            let Some(k) = join_key(&lrow.item, &left_paths) else {
+                continue;
+            };
+            if let Some(matches) = build.get(&k) {
+                for rrow in matches {
+                    let item = lrow.item.merged(&rrow.item);
+                    let id = ids.next();
+                    out.push(Row { id, item });
+                    if S::ENABLED {
+                        assoc.push((Some(lrow.id), Some(rrow.id), id));
+                    }
+                }
+            }
+        }
+        (out, assoc)
+    });
+    let mut partitions = Vec::with_capacity(results.len());
+    for (rows, assoc) in results {
+        if S::ENABLED && !assoc.is_empty() {
+            sink.binary_batch(op, &assoc);
+        }
+        partitions.push(rows);
+    }
+    partitions
+}
+
+fn exec_union<S: ProvenanceSink>(
+    op: OpId,
+    left: &Partitions,
+    right: &Partitions,
+    sink: &S,
+) -> Partitions {
+    let relabel = |partitions: &Partitions, is_left: bool, pidx_offset: usize| -> Partitions {
+        let results = par_map(partitions, |pidx, partition| {
+            let mut ids = IdGen::new(op, pidx_offset + pidx);
+            let mut out = Vec::with_capacity(partition.len());
+            let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
+                Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
+            for row in partition {
+                let id = ids.next();
+                out.push(Row {
+                    id,
+                    item: row.item.clone(),
+                });
+                if S::ENABLED {
+                    if is_left {
+                        assoc.push((Some(row.id), None, id));
+                    } else {
+                        assoc.push((None, Some(row.id), id));
+                    }
+                }
+            }
+            (out, assoc)
+        });
+        let mut out = Vec::with_capacity(results.len());
+        for (rows, assoc) in results {
+            if S::ENABLED && !assoc.is_empty() {
+                sink.binary_batch(op, &assoc);
+            }
+            out.push(rows);
+        }
+        out
+    };
+    let mut partitions = relabel(left, true, 0);
+    partitions.extend(relabel(right, false, left.len()));
+    partitions
+}
+
+fn exec_group_aggregate<S: ProvenanceSink>(
+    op: OpId,
+    input: &Partitions,
+    keys: &[GroupKey],
+    aggs: &[AggSpec],
+    parts: usize,
+    sink: &S,
+) -> Partitions {
+    // Shuffle: hash-partition rows by grouping key so each bucket can be
+    // aggregated independently. Row order within a bucket follows the
+    // global input order (partitions visited in order), keeping nesting
+    // positions deterministic regardless of the partition count.
+    let mut buckets: Vec<Vec<&Row>> = (0..parts).map(|_| Vec::new()).collect();
+    for partition in input {
+        for row in partition {
+            let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
+            let bucket = (hash_one(&key) as usize) % parts;
+            buckets[bucket].push(row);
+        }
+    }
+
+    let key_labels: Vec<Label> = keys.iter().map(|k| Label::new(&k.name)).collect();
+    let agg_labels: Vec<Label> = aggs.iter().map(|a| Label::new(&a.output)).collect();
+    let results = par_map(&buckets, |pidx, rows| {
+        let mut ids = IdGen::new(op, pidx);
+        // First-seen-ordered grouping within the bucket. The map holds an
+        // index into `grouped`, so each distinct key is cloned exactly once
+        // (on first sight) instead of once per probing row.
+        let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
+        let mut grouped: Vec<(Vec<Value>, Vec<&Row>)> = Vec::new();
+        for row in rows.iter() {
+            let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
+            match index.get(&key) {
+                Some(&slot) => grouped[slot].1.push(row),
+                None => {
+                    index.insert(key.clone(), grouped.len());
+                    grouped.push((key, vec![row]));
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(grouped.len());
+        let mut assoc: Vec<(Vec<ItemId>, ItemId)> =
+            Vec::with_capacity(if S::ENABLED { grouped.len() } else { 0 });
+        for (key, members) in grouped {
+            let mut item = DataItem::new();
+            for (label, kv) in key_labels.iter().zip(&key) {
+                item.push(label.clone(), kv.clone());
+            }
+            for (agg, label) in aggs.iter().zip(&agg_labels) {
+                item.push(label.clone(), eval_agg(agg, &members));
+            }
+            let id = ids.next();
+            if S::ENABLED {
+                assoc.push((members.iter().map(|r| r.id).collect(), id));
+            }
+            out.push(KeyedRow { key, id, item });
+        }
+        (out, assoc)
+    });
+    // Bucket placement depends on the partition count, so impose a
+    // canonical global order: sort all groups by key. This makes program
+    // output identical across partition configurations.
+    let mut keyed: Vec<KeyedRow> = Vec::new();
+    for (rows, assoc) in results {
+        if S::ENABLED && !assoc.is_empty() {
+            sink.agg_batch(op, assoc);
+        }
+        keyed.extend(rows);
+    }
+    keyed.sort_by(|a, b| a.key.cmp(&b.key));
+    let chunk = keyed.len().div_ceil(parts).max(1);
+    let mut partitions: Partitions = Vec::with_capacity(parts);
+    let mut current = Vec::with_capacity(chunk.min(keyed.len()));
+    for k in keyed {
+        current.push(Row {
+            id: k.id,
+            item: k.item,
+        });
+        if current.len() == chunk {
+            partitions.push(std::mem::replace(&mut current, Vec::with_capacity(chunk)));
+        }
+    }
+    if !current.is_empty() {
+        partitions.push(current);
+    }
+    if partitions.is_empty() {
+        partitions.push(Vec::new());
+    }
+    partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::items_of;
+    use crate::exec::run;
+    use crate::op::AggFunc;
+    use crate::program::ProgramBuilder;
+    use crate::sink::NoSink;
+
+    fn ctx() -> Context {
+        let mut c = Context::new();
+        c.register(
+            "nums",
+            items_of(vec![
+                vec![("k", Value::Int(1)), ("v", Value::Int(10))],
+                vec![("k", Value::Int(2)), ("v", Value::Int(20))],
+                vec![("k", Value::Int(1)), ("v", Value::Int(30))],
+                vec![("k", Value::Int(3)), ("v", Value::Int(40))],
+            ]),
+        );
+        c
+    }
+
+    #[test]
+    fn spawn_matches_pool_executor_bit_for_bit() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let f = b.filter(r, Expr::col("v").ge(Expr::lit(20i64)));
+        let g = b.group_aggregate(
+            f,
+            vec![GroupKey::new("k")],
+            vec![AggSpec::new(AggFunc::CollectList, "v", "vs")],
+        );
+        let p = b.build(g);
+        let c = ctx();
+        for parts in [1, 3] {
+            let cfg = ExecConfig::with_partitions(parts).workers(1);
+            let legacy = run_spawn(&p, &c, cfg, &NoSink).unwrap();
+            let pooled = run(&p, &c, cfg, &NoSink).unwrap();
+            assert_eq!(legacy.rows, pooled.rows, "parts={parts}");
+            assert_eq!(legacy.op_counts, pooled.op_counts, "parts={parts}");
+        }
+    }
+
+    #[test]
+    fn spawn_unfused_matches_fused() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let f = b.filter(r, Expr::col("v").ge(Expr::lit(20i64)));
+        let s = b.select(f, vec![NamedExpr::aliased("kk", "k")]);
+        let p = b.build(s);
+        let c = ctx();
+        let cfg = ExecConfig::with_partitions(3).workers(1);
+        let fused = run_spawn(&p, &c, cfg, &NoSink).unwrap();
+        let unfused = run_spawn_unfused(&p, &c, cfg, &NoSink).unwrap();
+        assert_eq!(fused.rows, unfused.rows);
+        assert_eq!(fused.op_counts, unfused.op_counts);
+    }
+}

@@ -1,0 +1,247 @@
+//! Scheduler determinism properties.
+//!
+//! The morsel-driven executor specifies that row identifiers, association
+//! tables, *and the order of emitted provenance batches* are byte-identical
+//! at every worker count and morsel size — and identical to the legacy
+//! per-operator spawning executor. These tests pin that contract on
+//! representative pipelines over the full matrix
+//! workers {1, 2, 7} × morsel sizes {1, 64, whole-partition}.
+
+use std::sync::Mutex;
+
+use pebble_dataflow::context::items_of;
+use pebble_dataflow::{
+    run, run_spawn, AggFunc, AggSpec, Context, ExecConfig, Expr, GroupKey, ItemId, NamedExpr, OpId,
+    Program, ProgramBuilder, ProvenanceSink,
+};
+use pebble_nested::{Path, Value};
+
+/// One provenance batch exactly as the executor emitted it. Comparing
+/// event logs therefore checks content *and* emission order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Event {
+    Read(OpId, Vec<ItemId>),
+    Unary(OpId, Vec<(ItemId, ItemId)>),
+    Binary(OpId, Vec<(Option<ItemId>, Option<ItemId>, ItemId)>),
+    Flatten(OpId, Vec<(ItemId, u32, ItemId)>),
+    Agg(OpId, Vec<(Vec<ItemId>, ItemId)>),
+}
+
+#[derive(Default)]
+struct LogSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl LogSink {
+    fn push(&self, e: Event) {
+        self.events.lock().unwrap().push(e);
+    }
+}
+
+impl ProvenanceSink for LogSink {
+    const ENABLED: bool = true;
+
+    fn read_batch(&self, op: OpId, ids: &[ItemId]) {
+        self.push(Event::Read(op, ids.to_vec()));
+    }
+
+    fn unary_batch(&self, op: OpId, assoc: &[(ItemId, ItemId)]) {
+        self.push(Event::Unary(op, assoc.to_vec()));
+    }
+
+    fn binary_batch(&self, op: OpId, assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {
+        self.push(Event::Binary(op, assoc.to_vec()));
+    }
+
+    fn flatten_batch(&self, op: OpId, assoc: &[(ItemId, u32, ItemId)]) {
+        self.push(Event::Flatten(op, assoc.to_vec()));
+    }
+
+    fn agg_batch(&self, op: OpId, assoc: Vec<(Vec<ItemId>, ItemId)>) {
+        self.push(Event::Agg(op, assoc));
+    }
+}
+
+/// Runs `program` and returns everything the determinism contract covers:
+/// output rows (with ids), per-operator counts, and the provenance event
+/// log *per operator* in emission order. Per-operator batch sequences are
+/// specified to be byte-identical; the interleaving *across* operators is
+/// not — independent DAG branches legitimately finalize in
+/// scheduling-dependent order (and per-op association tables, the durable
+/// artifact, are insensitive to it).
+fn observe(
+    exec: fn(
+        &Program,
+        &Context,
+        ExecConfig,
+        &LogSink,
+    ) -> pebble_dataflow::Result<pebble_dataflow::RunOutput>,
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+) -> (
+    Vec<pebble_dataflow::Row>,
+    Vec<usize>,
+    std::collections::BTreeMap<OpId, Vec<Event>>,
+) {
+    let sink = LogSink::default();
+    let out = exec(program, ctx, config, &sink).unwrap();
+    let mut per_op: std::collections::BTreeMap<OpId, Vec<Event>> = Default::default();
+    for e in sink.events.into_inner().unwrap() {
+        let op = match &e {
+            Event::Read(op, _)
+            | Event::Unary(op, _)
+            | Event::Binary(op, _)
+            | Event::Flatten(op, _)
+            | Event::Agg(op, _) => *op,
+        };
+        per_op.entry(op).or_default().push(e);
+    }
+    (out.rows, out.op_counts, per_op)
+}
+
+// `observe` needs a uniform fn signature; adapt both executors to it.
+fn pool_exec(
+    p: &Program,
+    c: &Context,
+    cfg: ExecConfig,
+    s: &LogSink,
+) -> pebble_dataflow::Result<pebble_dataflow::RunOutput> {
+    run(p, c, cfg, s)
+}
+
+fn spawn_exec(
+    p: &Program,
+    c: &Context,
+    cfg: ExecConfig,
+    s: &LogSink,
+) -> pebble_dataflow::Result<pebble_dataflow::RunOutput> {
+    run_spawn(p, c, cfg, s)
+}
+
+/// Skewed dataset: item 0 carries a fat tag bag (fan-out skew after
+/// flatten), everything else a small one.
+fn skewed_ctx() -> Context {
+    let mut c = Context::new();
+    let items: Vec<Vec<(&str, Value)>> = (0..60i64)
+        .map(|i| {
+            let tags = if i == 0 { 40 } else { i % 5 };
+            vec![
+                ("id", Value::Int(i % 9)),
+                ("v", Value::Int(i * 3)),
+                ("tags", Value::Bag((0..tags).map(Value::Int).collect())),
+            ]
+        })
+        .collect();
+    c.register("events", items_of(items));
+    c.register(
+        "dim",
+        items_of(
+            (0..9i64)
+                .map(|i| {
+                    vec![
+                        ("key", Value::Int(i)),
+                        ("label", Value::str(if i % 2 == 0 { "even" } else { "odd" })),
+                    ]
+                })
+                .collect(),
+        ),
+    );
+    c
+}
+
+/// Pipeline touching every unit kind: read → flatten → fused
+/// filter+select chain → self-union → join → group-aggregate.
+fn full_pipeline() -> Program {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("events");
+    let fl = b.flatten(r, "tags", "tag");
+    let f = b.filter(fl, Expr::col("tag").ge(Expr::lit(1i64)));
+    let s = b.select(
+        f,
+        vec![
+            NamedExpr::aliased("id", "id"),
+            NamedExpr::aliased("tag", "tag"),
+        ],
+    );
+    let u = b.union(s, s);
+    let d = b.read("dim");
+    let j = b.join(u, d, vec![(Path::attr("id"), Path::attr("key"))]);
+    let g = b.group_aggregate(
+        j,
+        vec![GroupKey::new("label")],
+        vec![
+            AggSpec::new(AggFunc::Count, "", "n"),
+            AggSpec::new(AggFunc::CollectList, "tag", "tags"),
+        ],
+    );
+    b.build(g)
+}
+
+/// Chain-heavy pipeline (exercises fused-chain offset stitching across
+/// several stages).
+fn chain_pipeline() -> Program {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("events");
+    let f1 = b.filter(r, Expr::col("v").ge(Expr::lit(6i64)));
+    let s = b.select(
+        f1,
+        vec![NamedExpr::aliased("id", "id"), NamedExpr::aliased("w", "v")],
+    );
+    let f2 = b.filter(s, Expr::col("w").ge(Expr::lit(30i64)));
+    b.build(f2)
+}
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 7];
+const MORSEL_SIZES: [usize; 3] = [1, 64, usize::MAX];
+
+fn assert_matrix_deterministic(program: &Program, ctx: &Context, partitions: usize) {
+    let base_cfg = ExecConfig::with_partitions(partitions)
+        .workers(1)
+        .morsel_rows(0);
+    let baseline = observe(pool_exec, program, ctx, base_cfg);
+
+    // Legacy spawn executor is the referee for the whole contract.
+    let legacy = observe(spawn_exec, program, ctx, base_cfg);
+    assert_eq!(baseline.0, legacy.0, "rows: pool vs spawn");
+    assert_eq!(baseline.1, legacy.1, "op_counts: pool vs spawn");
+    assert_eq!(baseline.2, legacy.2, "provenance events: pool vs spawn");
+
+    for workers in WORKER_COUNTS {
+        for morsel in MORSEL_SIZES {
+            let cfg = ExecConfig::with_partitions(partitions)
+                .workers(workers)
+                .morsel_rows(morsel);
+            let got = observe(pool_exec, program, ctx, cfg);
+            assert_eq!(baseline.0, got.0, "rows: w={workers} m={morsel}");
+            assert_eq!(baseline.1, got.1, "op_counts: w={workers} m={morsel}");
+            assert_eq!(
+                baseline.2, got.2,
+                "provenance events: w={workers} m={morsel}"
+            );
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_deterministic_across_workers_and_morsels() {
+    let ctx = skewed_ctx();
+    let program = full_pipeline();
+    assert_matrix_deterministic(&program, &ctx, 4);
+}
+
+#[test]
+fn chain_pipeline_deterministic_across_workers_and_morsels() {
+    let ctx = skewed_ctx();
+    let program = chain_pipeline();
+    assert_matrix_deterministic(&program, &ctx, 3);
+}
+
+#[test]
+fn single_partition_deterministic_across_workers_and_morsels() {
+    // partitions=1 is the oracle's reference configuration; the pool path
+    // must still stitch morsels of the single partition back losslessly.
+    let ctx = skewed_ctx();
+    let program = full_pipeline();
+    assert_matrix_deterministic(&program, &ctx, 1);
+}

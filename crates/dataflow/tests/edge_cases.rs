@@ -12,7 +12,7 @@ use pebble_dataflow::{
 use pebble_nested::{DataItem, DataType, Path, Value};
 
 fn cfg() -> ExecConfig {
-    ExecConfig { partitions: 3 }
+    ExecConfig::with_partitions(3)
 }
 
 fn empty_ctx() -> Context {
@@ -335,7 +335,7 @@ fn nest_collects_whole_items() {
 /// identifiers the stage-by-stage execution assigns).
 fn assert_fusion_invisible(p: &Program, c: &Context) {
     for parts in [1, 2, 3, 8] {
-        let config = ExecConfig { partitions: parts };
+        let config = ExecConfig::with_partitions(parts);
         let fused = run(p, c, config, &NoSink).unwrap();
         let unfused = run_unfused(p, c, config, &NoSink).unwrap();
         assert_eq!(fused.rows, unfused.rows, "rows/ids differ at p={parts}");
@@ -394,7 +394,7 @@ fn fusion_boundary_empty_partitions() {
     let p = b.build(s);
     let c = small_ctx();
     for parts in [4, 8, 64] {
-        let config = ExecConfig { partitions: parts };
+        let config = ExecConfig::with_partitions(parts);
         let fused = run(&p, &c, config, &NoSink).unwrap();
         let unfused = run_unfused(&p, &c, config, &NoSink).unwrap();
         assert_eq!(fused.rows, unfused.rows, "p={parts}");
@@ -414,7 +414,7 @@ fn fusion_boundary_zero_row_chain() {
     let p = b.build(f2);
     let c = small_ctx();
     assert_fusion_invisible(&p, &c);
-    let out = run(&p, &c, ExecConfig { partitions: 3 }, &NoSink).unwrap();
+    let out = run(&p, &c, ExecConfig::with_partitions(3), &NoSink).unwrap();
     assert!(out.rows.is_empty());
     assert_eq!(out.op_counts, vec![3, 0, 0, 0]);
 }
@@ -460,6 +460,6 @@ fn fusion_boundary_sink_inside_chain() {
     let p = b.build(s);
     let c = small_ctx();
     assert_fusion_invisible(&p, &c);
-    let out = run(&p, &c, ExecConfig { partitions: 2 }, &NoSink).unwrap();
+    let out = run(&p, &c, ExecConfig::with_partitions(2), &NoSink).unwrap();
     assert_eq!(out.rows.len(), 2);
 }

@@ -12,6 +12,10 @@
 //!   unfused engine;
 //! * **capture-transparent** — a plain (no-capture) run returns the same
 //!   rows as the captured run;
+//! * **scheduler-invariant** — the legacy per-operator spawning executor
+//!   ([`run_captured_spawn`]) and the morsel-driven pool scheduler at
+//!   worker counts {2, 7} (with forced tiny morsels) agree bit-for-bit
+//!   with the `workers: 1` run;
 //! * **partition-invariant** — at `partitions: 2` and `7` the engine's
 //!   item sequence and operator counts are unchanged (identifiers may
 //!   differ);
@@ -25,8 +29,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use pebble_core::{
-    backtrace, canonical_provenance, run_captured, run_captured_unfused, Backtrace, CapturedRun,
-    PatternNode, ProvTree, TreePattern,
+    backtrace, canonical_provenance, run_captured, run_captured_spawn, run_captured_unfused,
+    Backtrace, CapturedRun, PatternNode, ProvTree, TreePattern,
 };
 use pebble_dataflow::{run, Context, ExecConfig, NoSink, Program, Row};
 use pebble_nested::Path;
@@ -37,6 +41,18 @@ use crate::interp::{reference_config, run_reference};
 /// Partition counts the engine is additionally exercised at (compared
 /// modulo identifiers).
 pub const ALT_PARTITIONS: [usize; 2] = [2, 7];
+
+/// Worker counts the morsel-driven scheduler is additionally exercised at
+/// (compared **bit-for-bit**: the scheduler specifies identical ids and
+/// provenance at every worker count). Together with the `workers(1)`
+/// baseline this covers worker counts {1, 2, 7}.
+pub const ALT_WORKERS: [usize; 2] = [2, 7];
+
+/// Morsel length forced for the [`ALT_WORKERS`] runs. Generated datasets
+/// are small, so an automatic morsel size would fall back to the inline
+/// fast path; a tiny explicit morsel forces real pool dispatch with many
+/// morsels per partition, exercising the stitcher's offset patching.
+const ALT_WORKER_MORSEL: usize = 3;
 
 /// How many output items get a whole-item backtrace comparison.
 const BACKTRACE_SAMPLES: usize = 3;
@@ -273,6 +289,49 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
         return Some(d);
     }
 
+    // The legacy per-operator spawning executor is the pre-pool referee:
+    // the morsel scheduler must reproduce its ids and provenance exactly.
+    match run_captured_spawn(&program, &ctx, reference_config()) {
+        Ok(spawn) => {
+            if let Some(d) =
+                compare_captured(seed, "spawn executor vs pool engine (p=1)", &spawn, &fused)
+            {
+                return Some(d);
+            }
+        }
+        Err(e) => {
+            return diverge(
+                seed,
+                "error agreement",
+                format!("spawn executor errors ({e}), pool engine succeeds"),
+            )
+        }
+    }
+
+    // Worker-count invariance, bit-for-bit: re-run the pool scheduler with
+    // real worker threads and forced tiny morsels; ids, association tables,
+    // and batch orders must not move.
+    for workers in ALT_WORKERS {
+        let config = reference_config()
+            .workers(workers)
+            .morsel_rows(ALT_WORKER_MORSEL);
+        match run_captured(&program, &ctx, config) {
+            Ok(r) => {
+                let name = format!("w=1 vs w={workers} (p=1)");
+                if let Some(d) = compare_captured(seed, &name, &fused, &r) {
+                    return Some(d);
+                }
+            }
+            Err(e) => {
+                return diverge(
+                    seed,
+                    "error agreement",
+                    format!("engine at w={workers} errors ({e}), w=1 succeeds"),
+                )
+            }
+        }
+    }
+
     // Capture transparency: a plain run returns the same rows.
     match run(&program, &ctx, reference_config(), &NoSink) {
         Ok(plain) => {
@@ -296,7 +355,7 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
     // Partition invariance, modulo identifiers.
     let mut alt_runs: Vec<(usize, CapturedRun)> = Vec::new();
     for parts in ALT_PARTITIONS {
-        let config = ExecConfig { partitions: parts };
+        let config = ExecConfig::with_partitions(parts);
         match run_captured(&program, &ctx, config) {
             Ok(r) => {
                 let name = format!("p=1 vs p={parts}");

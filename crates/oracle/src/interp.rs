@@ -38,9 +38,12 @@ fn make_id(op: OpId, partition: usize, seq: u32) -> ItemId {
 }
 
 /// The configuration the reference models; exposed so callers compare the
-/// engine against the reference at the same partition count.
+/// engine against the reference at the same partition count. Workers are
+/// pinned to 1 so the reference comparison itself is scheduler-free; the
+/// differential runner separately re-runs the engine at higher worker
+/// counts and checks those against this baseline.
 pub fn reference_config() -> ExecConfig {
-    ExecConfig { partitions: 1 }
+    ExecConfig::with_partitions(1).workers(1)
 }
 
 /// Executes `program` on the reference interpreter with provenance

@@ -59,7 +59,7 @@ fn dblp_flatten_group_output_matches_fixture() {
     let run = run_captured(
         &golden_program(),
         &golden_ctx(),
-        ExecConfig { partitions: 3 },
+        ExecConfig::with_partitions(3),
     )
     .expect("golden pipeline runs");
     let text = run
@@ -80,7 +80,7 @@ fn dblp_flatten_group_output_matches_fixture() {
 fn dblp_flatten_group_provenance_matches_fixture() {
     let program = golden_program();
     let ctx = golden_ctx();
-    let run = run_captured(&program, &ctx, ExecConfig { partitions: 3 }).unwrap();
+    let run = run_captured(&program, &ctx, ExecConfig::with_partitions(3)).unwrap();
 
     let mut out = String::new();
     out.push_str("# operator provenance (Def. 5.1, identifier-free parts)\n");

@@ -148,7 +148,7 @@ mod tests {
         let out = run(
             &program(),
             &context(),
-            ExecConfig { partitions: 2 },
+            ExecConfig::with_partitions(2),
             &NoSink,
         )
         .unwrap();
@@ -208,7 +208,7 @@ mod tests {
         let out = run(
             &program(),
             &context(),
-            ExecConfig { partitions: 2 },
+            ExecConfig::with_partitions(2),
             &NoSink,
         )
         .unwrap();
@@ -244,14 +244,14 @@ mod io_tests {
         let from_disk = pebble_dataflow::run(
             &program(),
             &ctx,
-            pebble_dataflow::ExecConfig { partitions: 2 },
+            pebble_dataflow::ExecConfig::with_partitions(2),
             &pebble_dataflow::NoSink,
         )
         .unwrap();
         let from_memory = pebble_dataflow::run(
             &program(),
             &context(),
-            pebble_dataflow::ExecConfig { partitions: 2 },
+            pebble_dataflow::ExecConfig::with_partitions(2),
             &pebble_dataflow::NoSink,
         )
         .unwrap();

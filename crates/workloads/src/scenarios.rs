@@ -499,7 +499,7 @@ mod tests {
     use pebble_dataflow::ExecConfig;
 
     fn cfg() -> ExecConfig {
-        ExecConfig { partitions: 4 }
+        ExecConfig::with_partitions(4)
     }
 
     #[test]

@@ -16,6 +16,15 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace --release
 
+# Scheduler matrix: exercise the single-threaded inline path and the
+# pooled morsel path (the env knobs override ExecConfig::default, which
+# most tests and the bench harness use).
+echo "==> cargo test -q (PEBBLE_PARTITIONS=1 PEBBLE_WORKERS=1)"
+PEBBLE_PARTITIONS=1 PEBBLE_WORKERS=1 cargo test -q --workspace --release
+
+echo "==> cargo test -q (PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16)"
+PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16 cargo test -q --workspace --release
+
 # Bounded differential-fuzz smoke: fixed seed window, ~1500 pipelines
 # through the Tab. 5 reference oracle (well under 30 s in release).
 echo "==> oracle differential smoke"

@@ -7,7 +7,7 @@ use pebble::dataflow::ExecConfig;
 use pebble::workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios};
 
 fn cfg() -> ExecConfig {
-    ExecConfig { partitions: 3 }
+    ExecConfig::with_partitions(3)
 }
 
 #[test]

@@ -8,7 +8,7 @@ use pebble::nested::{Path, Value};
 use pebble::workloads::running_example;
 
 fn cfg() -> ExecConfig {
-    ExecConfig { partitions: 3 }
+    ExecConfig::with_partitions(3)
 }
 
 #[test]

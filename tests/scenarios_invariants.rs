@@ -15,7 +15,7 @@ use pebble::workloads::{
 };
 
 fn cfg() -> ExecConfig {
-    ExecConfig { partitions: 4 }
+    ExecConfig::with_partitions(4)
 }
 
 fn contexts() -> Vec<(pebble::dataflow::Context, Vec<Scenario>)> {
@@ -123,10 +123,10 @@ fn structural_size_exceeds_lineage_boundedly() {
 fn deterministic_execution_across_partitionings() {
     for (ctx, scenarios) in contexts() {
         for s in scenarios {
-            let one = run(&s.program, &ctx, ExecConfig { partitions: 1 }, &NoSink)
+            let one = run(&s.program, &ctx, ExecConfig::with_partitions(1), &NoSink)
                 .unwrap()
                 .items();
-            let eight = run(&s.program, &ctx, ExecConfig { partitions: 8 }, &NoSink)
+            let eight = run(&s.program, &ctx, ExecConfig::with_partitions(8), &NoSink)
                 .unwrap()
                 .items();
             assert_eq!(one, eight, "{} not deterministic", s.name);
