@@ -36,7 +36,7 @@ pub fn lazy_query(
         let run = run_captured(program, ctx, config)?;
         stats.reruns += 1;
         let b = pattern.match_rows(&run.output.rows);
-        let mut sources = backtrace(&run, b);
+        let mut sources = backtrace(&run, b)?;
         stats.traces += 1;
         // Keep only the provenance of the input currently being traced
         // (identifiers differ across re-runs, so results are reported per
@@ -75,7 +75,7 @@ mod tests {
 
         // Eager: capture once, trace once.
         let run = run_captured(&p, &c, cfg).unwrap();
-        let eager = backtrace(&run, pattern.match_rows(&run.output.rows));
+        let eager = backtrace(&run, pattern.match_rows(&run.output.rows)).unwrap();
 
         let (lazy, stats) = lazy_query(&p, &c, cfg, &pattern).unwrap();
         assert_eq!(stats.reruns, 2); // two reads → two re-executions

@@ -118,9 +118,11 @@ fn bench_prepared_backtrace(c: &mut Criterion) {
         .sample_size(10)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(1200));
-    group.bench_function("one_off", |bench| bench.iter(|| backtrace(&run, b.clone())));
+    group.bench_function("one_off", |bench| {
+        bench.iter(|| backtrace(&run, b.clone()).unwrap())
+    });
     group.bench_function("prepared", |bench| {
-        bench.iter(|| backtrace_with(&run, &index, b.clone()))
+        bench.iter(|| backtrace_with(&run, &index, b.clone()).unwrap())
     });
     group.finish();
 }

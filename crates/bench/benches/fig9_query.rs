@@ -25,7 +25,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new(format!("{}/eager", s.name), ""), |b| {
             b.iter(|| {
                 let bt = s.query.match_rows(&run.output.rows);
-                backtrace(&run, bt)
+                backtrace(&run, bt).unwrap()
             })
         });
         group.bench_function(BenchmarkId::new(format!("{}/lazy", s.name), ""), |b| {
@@ -38,7 +38,7 @@ fn bench(c: &mut Criterion) {
         group.bench_function(BenchmarkId::new(format!("{}/eager", s.name), ""), |b| {
             b.iter(|| {
                 let bt = s.query.match_rows(&run.output.rows);
-                backtrace(&run, bt)
+                backtrace(&run, bt).unwrap()
             })
         });
         group.bench_function(BenchmarkId::new(format!("{}/lazy", s.name), ""), |b| {

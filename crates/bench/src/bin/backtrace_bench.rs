@@ -59,14 +59,14 @@ fn main() {
             // Per-query build: every question pays a full index build.
             &mut || {
                 for q in &questions {
-                    std::hint::black_box(backtrace(&run, q.clone()));
+                    std::hint::black_box(backtrace(&run, q.clone()).unwrap());
                 }
             },
             // Prepared: one build amortized over the whole batch.
             &mut || {
                 let index = BacktraceIndex::build(&run);
                 for q in &questions {
-                    std::hint::black_box(backtrace_with(&run, &index, q.clone()));
+                    std::hint::black_box(backtrace_with(&run, &index, q.clone()).unwrap());
                 }
             },
         ],

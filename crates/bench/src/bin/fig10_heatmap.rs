@@ -16,7 +16,7 @@ fn main() {
     for s in dblp_scenarios() {
         let run = run_captured(&s.program, &ctx, cfg).unwrap();
         let b = s.query.match_rows(&run.output.rows);
-        for source in backtrace(&run, b) {
+        for source in backtrace(&run, b).unwrap() {
             if source.source == "inproceedings" {
                 heatmap.absorb(&source);
             }

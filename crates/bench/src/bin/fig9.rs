@@ -26,7 +26,7 @@ fn report(title: &str, scenarios: &[Scenario], ctx: &pebble_dataflow::Context) {
             &mut [
                 &mut || {
                     let b = s.query.match_rows(&run.output.rows);
-                    backtrace(&run, b);
+                    backtrace(&run, b).unwrap();
                 },
                 &mut || {
                     lazy_query(&s.program, ctx, cfg, &s.query).unwrap();

@@ -26,7 +26,7 @@
 //! queried `user` key, while key-only queries still return the whole group
 //! (which a lineage system would, too).
 
-use pebble_dataflow::{ItemId, OpId};
+use pebble_dataflow::{EngineError, ItemId, OpId, Result};
 use pebble_nested::{DataType, Path, Step};
 
 use crate::btree::{Backtrace, ProvTree};
@@ -97,13 +97,16 @@ pub struct BacktraceIndex {
     per_op: Vec<OpIndex>,
 }
 
+/// Binary association entry: `(left input, right input)`.
+type BinaryEntry = (Option<ItemId>, Option<ItemId>);
+
 enum OpIndex {
     /// id → dataset position.
     Read(FxHashMap<ItemId, usize>),
     /// output id → input id.
     Unary(FxHashMap<ItemId, ItemId>),
     /// output id → (left input, right input).
-    Binary(FxHashMap<ItemId, (Option<ItemId>, Option<ItemId>)>),
+    Binary(FxHashMap<ItemId, BinaryEntry>),
     /// output id → (input id, element position).
     Flatten(FxHashMap<ItemId, (ItemId, u32)>),
     /// output id → group member ids in nesting order.
@@ -135,45 +138,68 @@ impl BacktraceIndex {
         BacktraceIndex { per_op }
     }
 
-    fn unary(&self, oid: OpId) -> &FxHashMap<ItemId, ItemId> {
+    fn unary(&self, oid: OpId) -> Result<&FxHashMap<ItemId, ItemId>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Unary(m) => m,
-            _ => unreachable!("unary operator has Unary index"),
+            OpIndex::Unary(m) => Ok(m),
+            _ => Err(shape_error(oid, "a unary")),
         }
     }
 
-    fn binary(&self, oid: OpId) -> &FxHashMap<ItemId, (Option<ItemId>, Option<ItemId>)> {
+    fn binary(&self, oid: OpId) -> Result<&FxHashMap<ItemId, BinaryEntry>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Binary(m) => m,
-            _ => unreachable!("binary operator has Binary index"),
+            OpIndex::Binary(m) => Ok(m),
+            _ => Err(shape_error(oid, "a binary")),
         }
     }
 
-    fn flatten(&self, oid: OpId) -> &FxHashMap<ItemId, (ItemId, u32)> {
+    fn flatten(&self, oid: OpId) -> Result<&FxHashMap<ItemId, (ItemId, u32)>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Flatten(m) => m,
-            _ => unreachable!("flatten operator has Flatten index"),
+            OpIndex::Flatten(m) => Ok(m),
+            _ => Err(shape_error(oid, "a flatten")),
         }
     }
 
-    fn agg(&self, oid: OpId) -> &FxHashMap<ItemId, Vec<ItemId>> {
+    fn agg(&self, oid: OpId) -> Result<&FxHashMap<ItemId, Vec<ItemId>>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Agg(m) => m,
-            _ => unreachable!("aggregation operator has Agg index"),
+            OpIndex::Agg(m) => Ok(m),
+            _ => Err(shape_error(oid, "an aggregation")),
         }
     }
 
-    fn read(&self, oid: OpId) -> &FxHashMap<ItemId, usize> {
+    fn read(&self, oid: OpId) -> Result<&FxHashMap<ItemId, usize>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Read(m) => m,
-            _ => unreachable!("read operator has Read index"),
+            OpIndex::Read(m) => Ok(m),
+            _ => Err(shape_error(oid, "a read")),
         }
     }
 }
 
+/// The captured association table's shape does not match the operator type
+/// — capture tables inconsistent with the program.
+fn shape_error(oid: OpId, expected: &str) -> EngineError {
+    EngineError::BacktraceError(format!(
+        "operator #{oid} does not carry {expected} association table"
+    ))
+}
+
+/// The predecessor an operator's `idx`-th input refers to, as an error
+/// when the captured provenance lacks it.
+fn pred_of(p: &OperatorProvenance, idx: usize) -> Result<OpId> {
+    p.inputs.get(idx).and_then(|i| i.pred).ok_or_else(|| {
+        EngineError::BacktraceError(format!(
+            "operator #{} ({}) has no captured predecessor for input {idx}",
+            p.oid, p.op_type
+        ))
+    })
+}
+
 /// Backtraces `b` from the sink of a captured run to all of its sources
 /// (Alg. 1, driven iteratively over the DAG).
-pub fn backtrace(run: &CapturedRun, b: Backtrace) -> Vec<SourceProvenance> {
+///
+/// Fails with [`EngineError::BacktraceError`] when the captured provenance
+/// is inconsistent with the program (wrong association table shapes,
+/// missing predecessors, identifiers absent from the `read` tables).
+pub fn backtrace(run: &CapturedRun, b: Backtrace) -> Result<Vec<SourceProvenance>> {
     backtrace_with(run, &BacktraceIndex::build(run), b)
 }
 
@@ -183,7 +209,7 @@ pub fn backtrace_with(
     run: &CapturedRun,
     index: &BacktraceIndex,
     b: Backtrace,
-) -> Vec<SourceProvenance> {
+) -> Result<Vec<SourceProvenance>> {
     let mut worklist: Vec<(OpId, Backtrace)> = vec![(run.program.sink(), b)];
     let mut per_read: FxHashMap<OpId, Backtrace> = FxHashMap::default();
 
@@ -198,50 +224,61 @@ pub fn backtrace_with(
                 per_read.entry(oid).or_default().entries.extend(b.entries);
             }
             "filter" | "select" | "map" => {
-                let b2 = backtrace_generic(run, index, p, b);
-                worklist.push((p.inputs[0].pred.expect("unary op has predecessor"), b2));
+                let b2 = backtrace_generic(run, index, p, b)?;
+                worklist.push((pred_of(p, 0)?, b2));
             }
             "flatten" => {
-                let b2 = backtrace_flatten(run, index, p, b);
-                worklist.push((p.inputs[0].pred.expect("flatten has predecessor"), b2));
+                let b2 = backtrace_flatten(run, index, p, b)?;
+                worklist.push((pred_of(p, 0)?, b2));
             }
             "aggregation" => {
-                let b2 = backtrace_aggregation(run, index, p, b);
-                worklist.push((p.inputs[0].pred.expect("aggregation has predecessor"), b2));
+                let b2 = backtrace_aggregation(run, index, p, b)?;
+                worklist.push((pred_of(p, 0)?, b2));
             }
             "join" => {
                 for side in 0..2 {
-                    let b2 = backtrace_join_side(run, index, p, &b, side);
-                    worklist.push((p.inputs[side].pred.expect("join has predecessors"), b2));
+                    let b2 = backtrace_join_side(run, index, p, &b, side)?;
+                    worklist.push((pred_of(p, side)?, b2));
                 }
             }
             "union" => {
                 for side in 0..2 {
-                    let b2 = backtrace_union_side(index, p, &b, side);
-                    worklist.push((p.inputs[side].pred.expect("union has predecessors"), b2));
+                    let b2 = backtrace_union_side(index, p, &b, side)?;
+                    worklist.push((pred_of(p, side)?, b2));
                 }
             }
-            other => unreachable!("unknown operator type `{other}`"),
+            other => {
+                return Err(EngineError::BacktraceError(format!(
+                    "unknown operator type `{other}` at operator #{oid}"
+                )))
+            }
         }
     }
 
     let mut out: Vec<SourceProvenance> = Vec::new();
     for (read_op, mut b) in per_read {
         b.merge_by_id();
-        let index_of = index.read(read_op);
+        let index_of = index.read(read_op)?;
         let source = match &run.program.operators()[read_op as usize].kind {
             pebble_dataflow::OpKind::Read { source } => source.clone(),
-            _ => unreachable!(),
+            other => {
+                return Err(EngineError::BacktraceError(format!(
+                    "operator #{read_op} is {other:?}, expected a read"
+                )))
+            }
         };
         let entries = b
             .entries
             .into_iter()
-            .map(|(id, tree)| TracedItem {
-                id,
-                index: index_of[&id],
-                tree,
+            .map(|(id, tree)| {
+                let index = index_of.get(&id).copied().ok_or_else(|| {
+                    EngineError::BacktraceError(format!(
+                        "identifier {id:#x} is not in read operator #{read_op}'s associations"
+                    ))
+                })?;
+                Ok(TracedItem { id, index, tree })
             })
-            .collect();
+            .collect::<Result<Vec<_>>>()?;
         out.push(SourceProvenance {
             read_op,
             source,
@@ -249,7 +286,7 @@ pub fn backtrace_with(
         });
     }
     out.sort_by_key(|s| s.read_op);
-    out
+    Ok(out)
 }
 
 /// Expands a schema-level access path to itself plus every schema path
@@ -280,8 +317,8 @@ fn backtrace_generic(
     index: &BacktraceIndex,
     p: &OperatorProvenance,
     b: Backtrace,
-) -> Backtrace {
-    let to_input = index.unary(p.oid);
+) -> Result<Backtrace> {
+    let to_input = index.unary(p.oid)?;
     let input_schema = run.input_schema(p.oid, 0);
     let mut out = Backtrace::new();
     for (id, mut tree) in b.entries {
@@ -316,7 +353,7 @@ fn backtrace_generic(
         record_accesses(p, input_schema, &mut tree);
         out.entries.push((input_id, tree));
     }
-    out
+    Ok(out)
 }
 
 /// Alg. 2: backtracing `flatten` — generic step with `[pos]` placeholders,
@@ -327,13 +364,20 @@ fn backtrace_flatten(
     index: &BacktraceIndex,
     p: &OperatorProvenance,
     b: Backtrace,
-) -> Backtrace {
-    let to_input = index.flatten(p.oid);
-    let ms = p
-        .manipulated
-        .as_deref()
-        .expect("flatten manipulations are defined");
-    let (m_in, _m_out) = &ms[0];
+) -> Result<Backtrace> {
+    let to_input = index.flatten(p.oid)?;
+    let ms = p.manipulated.as_deref().ok_or_else(|| {
+        EngineError::BacktraceError(format!(
+            "flatten operator #{} captured no manipulations",
+            p.oid
+        ))
+    })?;
+    let Some((m_in, _m_out)) = ms.first() else {
+        return Err(EngineError::BacktraceError(format!(
+            "flatten operator #{} captured an empty manipulation set",
+            p.oid
+        )));
+    };
     let input_schema = run.input_schema(p.oid, 0);
     let mut out = Backtrace::new();
     for (id, mut tree) in b.entries {
@@ -351,7 +395,7 @@ fn backtrace_flatten(
         out.entries.push((input_id, tree));
     }
     out.merge_by_id();
-    out
+    Ok(out)
 }
 
 /// Records accesses except the flatten element path (already recorded at a
@@ -380,13 +424,15 @@ fn backtrace_aggregation(
     index: &BacktraceIndex,
     p: &OperatorProvenance,
     b: Backtrace,
-) -> Backtrace {
+) -> Result<Backtrace> {
     // pos_flatten (Alg. 4 l. 1): ⟨ids^i, id^o⟩ → ⟨id^i, p_P, id^o⟩.
-    let groups = index.agg(p.oid);
-    let ms = p
-        .manipulated
-        .as_deref()
-        .expect("aggregation manipulations are defined");
+    let groups = index.agg(p.oid)?;
+    let ms = p.manipulated.as_deref().ok_or_else(|| {
+        EngineError::BacktraceError(format!(
+            "aggregation operator #{} captured no manipulations",
+            p.oid
+        ))
+    })?;
     let input_schema = run.input_schema(p.oid, 0);
     // `count(*)`-style aggregates read no attribute, so they have no entry
     // in M; their output attributes still make every group member relevant
@@ -478,7 +524,7 @@ fn backtrace_aggregation(
         }
     }
     out.merge_by_id();
-    out
+    Ok(out)
 }
 
 /// Truncates at the first `[pos]` placeholder: `tweets[pos]` → `tweets`,
@@ -502,8 +548,8 @@ fn backtrace_join_side(
     p: &OperatorProvenance,
     b: &Backtrace,
     side: usize,
-) -> Backtrace {
-    let assoc_index = index.binary(p.oid);
+) -> Result<Backtrace> {
+    let assoc_index = index.binary(p.oid)?;
     let side_of = |pair: &(Option<ItemId>, Option<ItemId>)| {
         if side == 0 {
             pair.0
@@ -555,7 +601,7 @@ fn backtrace_join_side(
         }
         out.entries.push((input_id, t));
     }
-    out
+    Ok(out)
 }
 
 /// Union backtracing for one input side: keep the entries that originate
@@ -566,8 +612,8 @@ fn backtrace_union_side(
     p: &OperatorProvenance,
     b: &Backtrace,
     side: usize,
-) -> Backtrace {
-    let assoc_index = index.binary(p.oid);
+) -> Result<Backtrace> {
+    let assoc_index = index.binary(p.oid)?;
     let mut out = Backtrace::new();
     for (id, tree) in &b.entries {
         let Some(pair) = assoc_index.get(id) else {
@@ -578,7 +624,7 @@ fn backtrace_union_side(
             out.entries.push((input_id, tree.clone()));
         }
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -624,7 +670,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(first.id, whole_tree(&["k"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         assert_eq!(sources.len(), 1);
         let entries = &sources[0].entries;
         assert_eq!(entries.len(), 1);
@@ -652,7 +698,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(first.id, whole_tree(&["key"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         let tree = &sources[0].entries[0].tree;
         assert!(tree.contains(&Path::attr("k")));
         assert!(!tree.contains(&Path::attr("key")));
@@ -677,7 +723,7 @@ mod tests {
                 .map(|row| (row.id, whole_tree(&["k"])))
                 .collect(),
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         assert_eq!(sources.len(), 2);
         assert_eq!(sources[0].entries.len(), 3);
         assert_eq!(sources[1].entries.len(), 3);
@@ -702,7 +748,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(group_a.id, whole_tree(&["total"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         // Both k=a members contribute to the sum.
         assert_eq!(sources[0].entries.len(), 2);
         let idx: Vec<usize> = sources[0].entries.iter().map(|e| e.index).collect();
@@ -731,7 +777,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(group_a.id, whole_tree(&["k", "vs[2]"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         assert_eq!(sources[0].entries.len(), 1);
         assert_eq!(sources[0].entries[0].index, 2);
         let tree = &sources[0].entries[0].tree;
@@ -766,7 +812,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(group_a.id, whole_tree(&["k"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         // No positional query: the whole group contributes to the key.
         assert_eq!(sources[0].entries.len(), 2);
     }
@@ -796,7 +842,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(second.id, whole_tree(&["m.x"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         let tree = &sources[0].entries[0].tree;
         assert!(tree.contains(&Path::parse("ms[2].x")));
         assert!(!tree.contains(&Path::attr("m")));
@@ -824,7 +870,7 @@ mod tests {
                 .map(|row| (row.id, whole_tree(&["m"])))
                 .collect(),
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         // Both exploded rows trace to the single input item, trees merged.
         assert_eq!(sources[0].entries.len(), 1);
         let tree = &sources[0].entries[0].tree;
@@ -853,7 +899,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(row.id, whole_tree(&["lv", "rv"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         assert_eq!(sources.len(), 2);
         let left = sources.iter().find(|s| s.source == "l").unwrap();
         let right = sources.iter().find(|s| s.source == "r").unwrap();
@@ -893,7 +939,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(row.id, whole_tree(&["k_r"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         let right = sources.iter().find(|s| s.source == "r").unwrap();
         assert!(right.entries[0].tree.contains(&Path::attr("k")));
         let left = sources.iter().find(|s| s.source == "l").unwrap();
@@ -922,7 +968,7 @@ mod tests {
         let bt = Backtrace {
             entries: vec![(row.id, whole_tree(&["k", "v"]))],
         };
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         let tree = &sources[0].entries[0].tree;
         assert!(tree.nodes().iter().all(|(_, n)| n.manipulated.contains(&1)));
     }
@@ -961,7 +1007,7 @@ mod dag_tests {
         let pattern = TreePattern::root().node(PatternNode::attr("k").eq(1i64));
         let bt = pattern.match_rows(&run.output.rows);
         assert_eq!(bt.entries.len(), 2); // item 1 via both branches
-        let sources = backtrace(&run, bt);
+        let sources = backtrace(&run, bt).unwrap();
         // One read, entries merged by input id: a single traced item.
         assert_eq!(sources.len(), 1);
         assert_eq!(sources[0].entries.len(), 1);
@@ -986,7 +1032,7 @@ mod dag_tests {
         let r = b.read("t");
         let f = b.filter(r, Expr::lit(true));
         let run = run_captured(&b.build(f), &c, ExecConfig::with_partitions(1)).unwrap();
-        let sources = backtrace(&run, Backtrace::new());
+        let sources = backtrace(&run, Backtrace::new()).unwrap();
         assert!(sources.is_empty());
     }
 
@@ -1002,7 +1048,7 @@ mod dag_tests {
         let bogus = Backtrace {
             entries: vec![(u64::MAX, ProvTree::new())],
         };
-        let sources = backtrace(&run, bogus);
+        let sources = backtrace(&run, bogus).unwrap();
         assert!(sources.iter().all(|s| s.entries.is_empty()));
     }
 }
@@ -1047,7 +1093,8 @@ mod nest_tests {
             Backtrace {
                 entries: vec![(g1.id, tree)],
             },
-        );
+        )
+        .unwrap();
         assert_eq!(sources[0].entries.len(), 1);
         let entry = &sources[0].entries[0];
         assert_eq!(entry.index, 1); // the second k=1 input item

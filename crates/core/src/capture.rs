@@ -13,10 +13,11 @@
 //! at run time, through the engine's [`ProvenanceSink`] hook. This is what
 //! keeps the capture overhead comparable to plain lineage systems.
 
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use pebble_dataflow::{
-    run, Context, ExecConfig, ItemId, OpId, OpKind, Program, ProvenanceSink, Result, RunOutput,
+    run, Context, EngineError, ExecConfig, ItemId, OpId, OpKind, Program, ProvenanceSink, Result,
+    RunOutput,
 };
 use pebble_nested::{DataType, Path, Step};
 
@@ -171,6 +172,10 @@ impl CapturedRun {
 /// Worker threads contend only when flushing whole partitions.
 struct CaptureSink {
     per_op: Vec<Mutex<ProvAssoc>>,
+    /// First association-building failure, if any. Sink callbacks cannot
+    /// return errors through the engine, so the failure is parked here and
+    /// surfaced as a typed [`EngineError::CaptureError`] after the run.
+    failure: Mutex<Option<EngineError>>,
 }
 
 impl CaptureSink {
@@ -209,7 +214,33 @@ impl CaptureSink {
                 })
             })
             .collect();
-        CaptureSink { per_op }
+        CaptureSink {
+            per_op,
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Locks operator `op`'s association table, recovering from poisoning:
+    /// a worker that panicked mid-run can only have poisoned the lock
+    /// between whole batch appends (the engine run fails separately), so
+    /// the table itself is still structurally sound.
+    fn assoc(&self, op: OpId) -> MutexGuard<'_, ProvAssoc> {
+        self.per_op[op as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Records the first capture failure (a batch whose shape does not
+    /// match the operator's association table — an engine bug, but one
+    /// that must surface as an error, not as silently dropped provenance).
+    fn fail(&self, op: OpId, kind: &str) {
+        let mut slot = self.failure.lock().unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(EngineError::CaptureError {
+                op,
+                message: format!("{kind} batch does not match the operator's association table"),
+            });
+        }
     }
 }
 
@@ -217,32 +248,42 @@ impl ProvenanceSink for CaptureSink {
     const ENABLED: bool = true;
 
     fn read_batch(&self, op: OpId, ids: &[ItemId]) {
-        if let ProvAssoc::Read(v) = &mut *self.per_op[op as usize].lock().unwrap() {
+        if let ProvAssoc::Read(v) = &mut *self.assoc(op) {
             v.extend_from_slice(ids);
+        } else {
+            self.fail(op, "read");
         }
     }
 
     fn unary_batch(&self, op: OpId, assoc: &[(ItemId, ItemId)]) {
-        if let ProvAssoc::Unary(v) = &mut *self.per_op[op as usize].lock().unwrap() {
+        if let ProvAssoc::Unary(v) = &mut *self.assoc(op) {
             v.extend_from_slice(assoc);
+        } else {
+            self.fail(op, "unary");
         }
     }
 
     fn binary_batch(&self, op: OpId, assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {
-        if let ProvAssoc::Binary(v) = &mut *self.per_op[op as usize].lock().unwrap() {
+        if let ProvAssoc::Binary(v) = &mut *self.assoc(op) {
             v.extend_from_slice(assoc);
+        } else {
+            self.fail(op, "binary");
         }
     }
 
     fn flatten_batch(&self, op: OpId, assoc: &[(ItemId, u32, ItemId)]) {
-        if let ProvAssoc::Flatten(v) = &mut *self.per_op[op as usize].lock().unwrap() {
+        if let ProvAssoc::Flatten(v) = &mut *self.assoc(op) {
             v.extend_from_slice(assoc);
+        } else {
+            self.fail(op, "flatten");
         }
     }
 
     fn agg_batch(&self, op: OpId, assoc: Vec<(Vec<ItemId>, ItemId)>) {
-        if let ProvAssoc::Agg(v) = &mut *self.per_op[op as usize].lock().unwrap() {
+        if let ProvAssoc::Agg(v) = &mut *self.assoc(op) {
             v.extend(assoc);
+        } else {
+            self.fail(op, "aggregation");
         }
     }
 }
@@ -287,6 +328,14 @@ fn run_captured_impl(
 ) -> Result<CapturedRun> {
     let sink = CaptureSink::new(program, ctx);
     let output = exec(program, ctx, config, &sink)?;
+    if let Some(err) = sink
+        .failure
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+    {
+        return Err(err);
+    }
     let ops = program
         .operators()
         .iter()
@@ -303,7 +352,7 @@ fn run_captured_impl(
                 op_type: op.kind.type_name().to_string(),
                 inputs,
                 manipulated,
-                assoc: assoc.into_inner().unwrap(),
+                assoc: assoc.into_inner().unwrap_or_else(PoisonError::into_inner),
             }
         })
         .collect();

@@ -127,8 +127,12 @@ impl<'a> Parser<'a> {
                 break;
             }
         }
-        // Fold the chain right-to-left into nested children.
-        let mut node = chain.pop().expect("chain non-empty");
+        // Fold the chain right-to-left into nested children. The chain
+        // holds at least the node parsed before the loop; guard anyway so
+        // the parser cannot panic on any input.
+        let Some(mut node) = chain.pop() else {
+            return Err(self.err("empty step chain"));
+        };
         while let Some(mut parent) = chain.pop() {
             parent.children.push(node);
             node = parent;
@@ -213,7 +217,7 @@ impl<'a> Parser<'a> {
             return Err(self.err("expected attribute name"));
         }
         Ok(std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("ascii ident")
+            .map_err(|_| self.err("non-ASCII bytes in attribute name"))?
             .to_string())
     }
 
@@ -311,7 +315,8 @@ impl<'a> Parser<'a> {
                         _ => break,
                     }
                 }
-                let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.err("non-ASCII bytes in number literal"))?;
                 if is_float {
                     text.parse::<f64>()
                         .map(Value::Double)

@@ -168,7 +168,7 @@ proptest! {
         let program = build(shape, threshold);
         let run = run_captured(&program, &ctx, cfg()).unwrap();
         let b = whole_result_backtrace(&run);
-        for source in backtrace(&run, b) {
+        for source in backtrace(&run, b).unwrap() {
             let items = ctx.source(&source.source).unwrap();
             for entry in &source.entries {
                 prop_assert!(entry.index < items.len());
@@ -201,7 +201,7 @@ proptest! {
         let program = build(shape, threshold);
         let run = run_captured(&program, &ctx, cfg()).unwrap();
         let ids: Vec<u64> = run.output.rows.iter().map(|r| r.id).collect();
-        let structural = backtrace(&run, whole_result_backtrace(&run));
+        let structural = backtrace(&run, whole_result_backtrace(&run)).unwrap();
         let lineage = lineage_trace(&program, &ctx, &ids);
         for sp in &structural {
             let indices = lineage
@@ -233,7 +233,7 @@ proptest! {
         let run = run_captured(&program, &ctx, cfg()).unwrap();
         // Empty pattern gives empty trees; enrich with full item paths so
         // the trace is meaningful.
-        let eager = backtrace(&run, whole_result_backtrace(&run));
+        let eager = backtrace(&run, whole_result_backtrace(&run)).unwrap();
         let (lazy, _) = pebble_baselines_shim::lazy_full(&program, &ctx, &pattern);
         // Compare per-read traced index sets.
         for sp in &eager {
@@ -276,7 +276,7 @@ mod pebble_baselines_shim {
         for (read_op, _) in program.reads() {
             let run = run_captured(program, ctx, cfg()).unwrap();
             let b = super::whole_result_backtrace(&run);
-            let mut sources = backtrace(&run, b);
+            let mut sources = backtrace(&run, b).unwrap();
             sources.retain(|s| s.read_op == read_op);
             out.extend(sources);
         }

@@ -192,7 +192,7 @@ fn backtrace_answers_invariant_under_partitioning_and_fusion() {
                 let bt = pebble_core::Backtrace {
                     entries: vec![(row.id, tree)],
                 };
-                let whole = canonical_provenance(&backtrace(&captured, bt));
+                let whole = canonical_provenance(&backtrace(&captured, bt).unwrap());
                 answers.push((format!("{name}/{mode}/p={parts}/whole-item"), whole));
 
                 // Pattern query over a root attribute of the sink schema.
@@ -202,7 +202,7 @@ fn backtrace_answers_invariant_under_partitioning_and_fusion() {
                     .clone();
                 let pattern = TreePattern::root().node(PatternNode::attr(&field));
                 let bt = pattern.match_rows(&captured.output.rows);
-                let pat = canonical_provenance(&backtrace(&captured, bt));
+                let pat = canonical_provenance(&backtrace(&captured, bt).unwrap());
                 answers.push((format!("{name}/{mode}/p={parts}/pattern"), pat));
             }
         }

@@ -33,15 +33,16 @@
 //! stitching, in a fixed per-operator order.
 
 use std::ops::Range;
-use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 use pebble_nested::{DataItem, DataType, Label, Path, Value};
 
 use crate::context::Context;
-use crate::error::{EngineError, Result};
+use crate::error::{panic_message, EngineError, Result};
 use crate::expr::Expr;
+use crate::fault;
 use crate::hash::{hash_one, FxHashMap};
 use crate::op::{key_value, AggFunc, AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};
 use crate::pool::WorkerPool;
@@ -129,8 +130,37 @@ pub struct ExecConfig {
     pub morsel_rows: usize,
 }
 
+/// Hard ceiling on the logical partition count: a partition index must fit
+/// the 16-bit field of an [`ItemId`].
+const MAX_PARTITIONS: usize = 1 << 16;
+
+/// Reads a numeric environment knob. A missing variable is simply unset;
+/// a present-but-invalid value (non-numeric, negative) falls back to the
+/// default with a one-line warning — it must never panic or silently
+/// misconfigure the executor. Each knob warns at most once per process.
 fn env_knob(name: &str) -> Option<usize> {
-    std::env::var(name).ok()?.trim().parse().ok()
+    let raw = std::env::var(name).ok()?;
+    match raw.trim().parse::<i64>() {
+        Ok(v) if v >= 0 => Some(v as usize),
+        _ => {
+            warn_once(name, &format!("ignoring invalid {name}={raw:?}: expected a non-negative integer, using default"));
+            None
+        }
+    }
+}
+
+/// One-line warning, emitted at most once per key per process.
+fn warn_once(key: &str, message: &str) {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let warned = WARNED.get_or_init(|| Mutex::new(HashSet::new()));
+    let mut warned = warned
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if warned.insert(key.to_string()) {
+        eprintln!("pebble: {message}");
+    }
 }
 
 fn default_parallelism() -> usize {
@@ -142,10 +172,18 @@ fn default_parallelism() -> usize {
 
 impl Default for ExecConfig {
     fn default() -> Self {
+        let mut partitions = env_knob("PEBBLE_PARTITIONS").unwrap_or_else(default_parallelism);
+        if partitions > MAX_PARTITIONS {
+            warn_once(
+                "PEBBLE_PARTITIONS.clamp",
+                &format!("clamping PEBBLE_PARTITIONS={partitions} to {MAX_PARTITIONS}"),
+            );
+            partitions = MAX_PARTITIONS;
+        }
         ExecConfig {
-            partitions: env_knob("PEBBLE_PARTITIONS")
-                .unwrap_or_else(default_parallelism)
-                .max(1),
+            // `0` (explicit or from clamping a negative value) means "use
+            // one partition"; `workers`/`morsel_rows` keep `0` as "auto".
+            partitions: partitions.max(1),
             workers: env_knob("PEBBLE_WORKERS").unwrap_or(0),
             morsel_rows: env_knob("PEBBLE_MORSEL_ROWS").unwrap_or(0),
         }
@@ -207,9 +245,9 @@ pub struct RunOutput {
 }
 
 impl RunOutput {
-    /// Output schema of the sink.
+    /// Output schema of the sink (`Null` for an empty program).
     pub fn schema(&self) -> &DataType {
-        self.op_schemas.last().expect("program has operators")
+        self.op_schemas.last().unwrap_or(&DataType::Null)
     }
 
     /// Output items without identifiers.
@@ -266,7 +304,7 @@ fn run_with_fusion<S: ProvenanceSink + 'static>(
     let sink_op = program.sink() as usize;
     let sink_parts = scheduler.outputs[sink_op]
         .take()
-        .expect("sink unit completed");
+        .ok_or_else(|| EngineError::Internal("sink unit produced no output".into()))?;
     let sink_parts = Arc::try_unwrap(sink_parts).unwrap_or_else(|arc| (*arc).clone());
     let rows: Vec<Row> = sink_parts.into_iter().flatten().collect();
     Ok(RunOutput {
@@ -401,41 +439,65 @@ fn split_range(range: Range<usize>, morsel: usize) -> Vec<Range<usize>> {
 // ---------------------------------------------------------------------------
 
 /// One owned per-row stage of a fused chain (jobs must be `'static`).
-enum OwnedStage {
-    Filter(Expr),
+/// `can_panic` marks stages hosting user code (UDFs): only those pay the
+/// per-row `catch_unwind` that converts a panic into a typed row error.
+pub(crate) enum OwnedStage {
+    Filter {
+        pred: Expr,
+        can_panic: bool,
+    },
     Select {
         exprs: Vec<NamedExpr>,
         labels: Vec<Label>,
+        can_panic: bool,
     },
     Map(MapUdf),
 }
 
-struct ChainKernel {
-    ops: Vec<OpId>,
-    stages: Vec<OwnedStage>,
+pub(crate) struct ChainKernel {
+    pub(crate) ops: Vec<OpId>,
+    pub(crate) stages: Vec<OwnedStage>,
 }
 
-fn owned_stage(kind: &OpKind) -> OwnedStage {
+pub(crate) fn owned_stage(kind: &OpKind) -> Result<OwnedStage> {
     match kind {
-        OpKind::Filter { predicate } => OwnedStage::Filter(predicate.clone()),
-        OpKind::Select { exprs } => OwnedStage::Select {
+        OpKind::Filter { predicate } => Ok(OwnedStage::Filter {
+            can_panic: predicate.contains_udf(),
+            pred: predicate.clone(),
+        }),
+        OpKind::Select { exprs } => Ok(OwnedStage::Select {
             labels: exprs.iter().map(|ne| Label::new(&ne.name)).collect(),
+            can_panic: exprs.iter().any(|ne| ne.expr.contains_udf()),
             exprs: exprs.clone(),
-        },
-        OpKind::Map { udf } => OwnedStage::Map(udf.clone()),
-        other => unreachable!("not a per-row operator: {other:?}"),
+        }),
+        OpKind::Map { udf } => Ok(OwnedStage::Map(udf.clone())),
+        other => Err(EngineError::Internal(format!(
+            "not a per-row operator: {other:?}"
+        ))),
     }
 }
 
-struct GroupKernel {
-    op: OpId,
-    keys: Vec<GroupKey>,
-    aggs: Vec<AggSpec>,
-    key_labels: Vec<Label>,
-    agg_labels: Vec<Label>,
+/// Runs `f`, converting a panic into a message — but only when the stage
+/// can actually panic (UDF present); pure expression stages skip the
+/// unwind guard entirely on the hot path.
+#[inline]
+fn guard<T>(can_panic: bool, f: impl FnOnce() -> T) -> std::result::Result<T, String> {
+    if can_panic {
+        catch_unwind(AssertUnwindSafe(f)).map_err(|p| panic_message(&*p))
+    } else {
+        Ok(f())
+    }
 }
 
-type JoinBuild = FxHashMap<Vec<Value>, Vec<Row>>;
+pub(crate) struct GroupKernel {
+    pub(crate) op: OpId,
+    pub(crate) keys: Vec<GroupKey>,
+    pub(crate) aggs: Vec<AggSpec>,
+    pub(crate) key_labels: Vec<Label>,
+    pub(crate) agg_labels: Vec<Label>,
+}
+
+pub(crate) type JoinBuild = FxHashMap<Vec<Value>, Vec<Row>>;
 
 /// Association rows of a binary operator: `(left input, right input,
 /// output)`, with `None` marking the absent side (e.g. union branches).
@@ -444,7 +506,7 @@ type BinaryAssoc = Vec<(Option<ItemId>, Option<ItemId>, ItemId)>;
 /// Result of one pool task. Identifiers inside are partition-local
 /// (sequence numbers start at 0 per morsel); the scheduler stitches in the
 /// per-partition offsets.
-enum TaskOut {
+pub(crate) enum TaskOut {
     Read {
         rows: Vec<Row>,
     },
@@ -452,6 +514,11 @@ enum TaskOut {
         rows: Vec<Row>,
         assocs: Vec<Vec<(ItemId, ItemId)>>,
         counts: Vec<usize>,
+        /// First row failure at the *earliest* failing stage, if any. The
+        /// morsel keeps processing (skipping failed rows) so `counts` for
+        /// stages before the failing one stay exact — the scheduler needs
+        /// them to stitch the error's input identifier.
+        err: Option<ChainErr>,
     },
     Flatten {
         rows: Vec<Row>,
@@ -469,6 +536,19 @@ enum TaskOut {
     },
 }
 
+/// A row-level failure inside a fused chain, recorded morsel-locally.
+///
+/// `input_local` is the identifier of the failing stage's input row: final
+/// for stage 0 (unit inputs are already stitched), morsel-local for later
+/// stages (the scheduler adds the partition's stage offset). The candidate
+/// kept is the one an unfused execution would report: the earliest failing
+/// stage, and within it the first failing row in row order.
+pub(crate) struct ChainErr {
+    pub(crate) stage: usize,
+    pub(crate) input_local: ItemId,
+    pub(crate) message: String,
+}
+
 fn read_morsel(op: OpId, pidx: usize, items: &[DataItem]) -> TaskOut {
     let mut ids = IdGen::new(op, pidx);
     let rows = items
@@ -481,7 +561,11 @@ fn read_morsel(op: OpId, pidx: usize, items: &[DataItem]) -> TaskOut {
     TaskOut::Read { rows }
 }
 
-fn chain_morsel<S: ProvenanceSink>(kernel: &ChainKernel, pidx: usize, rows: &[Row]) -> TaskOut {
+pub(crate) fn chain_morsel<S: ProvenanceSink>(
+    kernel: &ChainKernel,
+    pidx: usize,
+    rows: &[Row],
+) -> Result<TaskOut> {
     let n = kernel.stages.len();
     let mut ids: Vec<IdGen> = kernel.ops.iter().map(|&op| IdGen::new(op, pidx)).collect();
     let mut assocs: Vec<Vec<(ItemId, ItemId)>> = (0..n)
@@ -489,24 +573,69 @@ fn chain_morsel<S: ProvenanceSink>(kernel: &ChainKernel, pidx: usize, rows: &[Ro
         .collect();
     let mut counts = vec![0usize; n];
     let mut out = Vec::with_capacity(rows.len());
+    let mut err: Option<ChainErr> = None;
+    // Records a row failure at stage `s`: kept only if it beats the
+    // current candidate, i.e. it fails at a strictly earlier stage (an
+    // unfused run would stop at the earliest failing operator, where this
+    // row is the first to fail in row order).
+    let record = |err: &mut Option<ChainErr>, s: usize, input: ItemId, message: String| {
+        if err.as_ref().is_none_or(|e| s < e.stage) {
+            *err = Some(ChainErr {
+                stage: s,
+                input_local: input,
+                message,
+            });
+        }
+    };
     'rows: for row in rows {
+        // Injected faults target the chain's head operator (the only
+        // chain stage whose input identifiers are final morsel-side).
+        fault::check(kernel.ops[0], row.id)?;
         let mut item = row.item.clone();
         let mut prev_id = row.id;
         for (s, stage) in kernel.stages.iter().enumerate() {
             match stage {
-                OwnedStage::Filter(pred) => {
-                    if !pred.eval_bool(&item) {
+                OwnedStage::Filter { pred, can_panic } => {
+                    match guard(*can_panic, || pred.eval_bool(&item)) {
+                        Ok(true) => {}
+                        Ok(false) => continue 'rows,
+                        Err(msg) => {
+                            record(&mut err, s, prev_id, msg);
+                            continue 'rows;
+                        }
+                    }
+                }
+                OwnedStage::Select {
+                    exprs,
+                    labels,
+                    can_panic,
+                } => {
+                    match guard(*can_panic, || {
+                        let mut next = DataItem::new();
+                        for (ne, label) in exprs.iter().zip(labels) {
+                            next.push(label.clone(), ne.expr.eval(&item));
+                        }
+                        next
+                    }) {
+                        Ok(next) => item = next,
+                        Err(msg) => {
+                            record(&mut err, s, prev_id, msg);
+                            continue 'rows;
+                        }
+                    }
+                }
+                OwnedStage::Map(udf) => match guard(true, || (udf.f)(&item)) {
+                    Ok(next) => item = next,
+                    Err(msg) => {
+                        record(
+                            &mut err,
+                            s,
+                            prev_id,
+                            format!("udf `{}` panicked: {msg}", udf.name),
+                        );
                         continue 'rows;
                     }
-                }
-                OwnedStage::Select { exprs, labels } => {
-                    let mut next = DataItem::new();
-                    for (ne, label) in exprs.iter().zip(labels) {
-                        next.push(label.clone(), ne.expr.eval(&item));
-                    }
-                    item = next;
-                }
-                OwnedStage::Map(udf) => item = (udf.f)(&item),
+                },
             }
             let id = ids[s].next();
             if S::ENABLED {
@@ -517,25 +646,27 @@ fn chain_morsel<S: ProvenanceSink>(kernel: &ChainKernel, pidx: usize, rows: &[Ro
         }
         out.push(Row { id: prev_id, item });
     }
-    TaskOut::Chain {
+    Ok(TaskOut::Chain {
         rows: out,
         assocs,
         counts,
-    }
+        err,
+    })
 }
 
-fn flatten_morsel<S: ProvenanceSink>(
+pub(crate) fn flatten_morsel<S: ProvenanceSink>(
     op: OpId,
     pidx: usize,
     col: &Path,
     attr: &Label,
     rows: &[Row],
-) -> TaskOut {
+) -> Result<TaskOut> {
     let mut ids = IdGen::new(op, pidx);
     let mut out = Vec::with_capacity(rows.len());
     let mut assoc: Vec<(ItemId, u32, ItemId)> =
         Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 });
     for row in rows {
+        fault::check(op, row.id)?;
         let Some(elements) = col.eval(&row.item).and_then(Value::as_collection) else {
             continue; // missing/null collections produce no rows
         };
@@ -549,7 +680,7 @@ fn flatten_morsel<S: ProvenanceSink>(
             }
         }
     }
-    TaskOut::Flatten { rows: out, assoc }
+    Ok(TaskOut::Flatten { rows: out, assoc })
 }
 
 pub(crate) fn join_key(item: &DataItem, paths: &[Path]) -> Option<Vec<Value>> {
@@ -566,7 +697,7 @@ pub(crate) fn join_key(item: &DataItem, paths: &[Path]) -> Option<Vec<Value>> {
 /// Builds the join hash table over the (by convention right) input.
 /// Rows are visited in partition order, so per-key match lists preserve
 /// the deterministic global row order.
-fn join_build(right: &Partitions, right_paths: &[Path]) -> JoinBuild {
+pub(crate) fn join_build(right: &Partitions, right_paths: &[Path]) -> JoinBuild {
     let mut build: JoinBuild = FxHashMap::default();
     for partition in right {
         for row in partition {
@@ -578,18 +709,19 @@ fn join_build(right: &Partitions, right_paths: &[Path]) -> JoinBuild {
     build
 }
 
-fn join_probe<S: ProvenanceSink>(
+pub(crate) fn join_probe<S: ProvenanceSink>(
     op: OpId,
     pidx: usize,
     build: &JoinBuild,
     left_paths: &[Path],
     rows: &[Row],
-) -> TaskOut {
+) -> Result<TaskOut> {
     let mut ids = IdGen::new(op, pidx);
     let mut out = Vec::with_capacity(rows.len());
     let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
         Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 });
     for lrow in rows {
+        fault::check(op, lrow.id)?;
         let Some(k) = join_key(&lrow.item, left_paths) else {
             continue;
         };
@@ -604,20 +736,21 @@ fn join_probe<S: ProvenanceSink>(
             }
         }
     }
-    TaskOut::Binary { rows: out, assoc }
+    Ok(TaskOut::Binary { rows: out, assoc })
 }
 
-fn union_morsel<S: ProvenanceSink>(
+pub(crate) fn union_morsel<S: ProvenanceSink>(
     op: OpId,
     out_pidx: usize,
     is_left: bool,
     rows: &[Row],
-) -> TaskOut {
+) -> Result<TaskOut> {
     let mut ids = IdGen::new(op, out_pidx);
     let mut out = Vec::with_capacity(rows.len());
     let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
         Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 });
     for row in rows {
+        fault::check(op, row.id)?;
         let id = ids.next();
         out.push(Row {
             id,
@@ -631,11 +764,11 @@ fn union_morsel<S: ProvenanceSink>(
             }
         }
     }
-    TaskOut::Binary { rows: out, assoc }
+    Ok(TaskOut::Binary { rows: out, assoc })
 }
 
 /// Hash-partitions a morsel's rows into `parts` buckets by grouping key.
-fn shuffle_morsel(keys: &[GroupKey], parts: usize, rows: &[Row]) -> Vec<Vec<Row>> {
+pub(crate) fn shuffle_morsel(keys: &[GroupKey], parts: usize, rows: &[Row]) -> Vec<Vec<Row>> {
     let mut buckets: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
     for row in rows {
         let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
@@ -645,7 +778,14 @@ fn shuffle_morsel(keys: &[GroupKey], parts: usize, rows: &[Row]) -> Vec<Vec<Row>
     buckets
 }
 
-fn agg_bucket<S: ProvenanceSink>(kernel: &GroupKernel, bucket: usize, rows: &[Row]) -> TaskOut {
+pub(crate) fn agg_bucket<S: ProvenanceSink>(
+    kernel: &GroupKernel,
+    bucket: usize,
+    rows: &[Row],
+) -> Result<TaskOut> {
+    for row in rows {
+        fault::check(kernel.op, row.id)?;
+    }
     let mut ids = IdGen::new(kernel.op, bucket);
     // First-seen-ordered grouping within the bucket. The map holds an
     // index into `grouped`, so each distinct key is cloned exactly once
@@ -683,7 +823,7 @@ fn agg_bucket<S: ProvenanceSink>(kernel: &GroupKernel, bucket: usize, rows: &[Ro
         }
         out.push(KeyedRow { key, id, item });
     }
-    TaskOut::Agg { rows: out, assoc }
+    Ok(TaskOut::Agg { rows: out, assoc })
 }
 
 /// A produced group row together with its grouping key (used for the
@@ -698,8 +838,9 @@ pub(crate) struct KeyedRow {
 // Scheduler
 // ---------------------------------------------------------------------------
 
-type JobFn = Box<dyn FnOnce() -> TaskOut + Send + 'static>;
-type Msg = (usize, usize, std::thread::Result<TaskOut>);
+type TaskResult = Result<TaskOut>;
+type JobFn = Box<dyn FnOnce() -> TaskResult + Send + 'static>;
+type Msg = (usize, usize, TaskResult);
 
 #[derive(Clone, Copy, Debug)]
 enum Phase {
@@ -718,11 +859,14 @@ struct UnitState {
     /// Output partition index per task, in task order (morsels of one
     /// partition are consecutive and row-ordered).
     task_pidx: Vec<usize>,
-    results: Vec<Option<TaskOut>>,
+    results: Vec<Option<TaskResult>>,
     pending: usize,
     /// Number of output partitions the stitcher must produce.
     out_parts: usize,
     aux: Option<Aux>,
+    /// Unit was abandoned because an upstream unit failed (or it failed
+    /// itself); it counts as completed but produces no output.
+    cancelled: bool,
 }
 
 enum Aux {
@@ -750,6 +894,12 @@ struct Scheduler<'a, S: ProvenanceSink> {
     rx: Receiver<Msg>,
     ready: Vec<usize>,
     completed: usize,
+    /// First failure in deterministic order, keyed by `(operator id, task
+    /// index)`. Execution keeps draining (and even starting independent
+    /// units) after a failure so the *minimum* key wins — the same error a
+    /// serial, unfused execution stops at — then returns it once all
+    /// in-flight work has settled and the workers are idle again.
+    error: Option<((u32, usize), EngineError)>,
 }
 
 impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
@@ -773,6 +923,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 pending: 0,
                 out_parts: 0,
                 aux: None,
+                cancelled: false,
             })
             .collect();
         let workers = config.effective_workers();
@@ -793,6 +944,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
             rx,
             ready: Vec::new(),
             completed: 0,
+            error: None,
         }
     }
 
@@ -812,27 +964,40 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
             // Event-driven hand-off: as soon as a unit's last morsel lands,
             // its output is stitched and every newly-ready consumer is
             // scheduled — workers never wait on an operator barrier.
-            let (u, t, res) = self.rx.recv().expect("worker pool disconnected");
-            let out = match res {
-                Ok(out) => out,
-                Err(panic) => resume_unwind(panic),
-            };
+            let (u, t, res) = self
+                .rx
+                .recv()
+                .map_err(|_| EngineError::Internal("worker pool disconnected mid-run".into()))?;
             let st = &mut self.states[u];
-            st.results[t] = Some(out);
+            st.results[t] = Some(res);
             st.pending -= 1;
             if st.pending == 0 {
                 self.phase_done(u)?;
             }
         }
-        Ok(())
+        match self.error.take() {
+            Some((_, err)) => Err(err),
+            None => Ok(()),
+        }
     }
 
-    fn input_arc(&self, op: OpId) -> Arc<Partitions> {
-        Arc::clone(
-            self.outputs[op as usize]
-                .as_ref()
-                .expect("input materialized"),
-        )
+    /// Records a unit failure candidate; the smallest `(op, task)` key
+    /// wins. Two units never share an operator id, so the comparison
+    /// orders failures exactly like a serial unfused execution would
+    /// encounter them.
+    fn record_error(&mut self, key: (u32, usize), err: EngineError) {
+        if self.error.as_ref().is_none_or(|(k, _)| key < *k) {
+            self.error = Some((key, err));
+        }
+    }
+
+    fn input_arc(&self, op: OpId) -> Result<Arc<Partitions>> {
+        self.outputs[op as usize]
+            .as_ref()
+            .map(Arc::clone)
+            .ok_or_else(|| {
+                EngineError::Internal(format!("operator #{op} input was never materialized"))
+            })
     }
 
     fn start_unit(&mut self, u: usize) -> Result<()> {
@@ -853,7 +1018,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 for (p, range) in read_ranges(total, self.parts).into_iter().enumerate() {
                     for mr in split_range(range, morsel) {
                         let items = Arc::clone(&items);
-                        jobs.push((p, Box::new(move || read_morsel(op, p, &items[mr]))));
+                        jobs.push((p, Box::new(move || Ok(read_morsel(op, p, &items[mr])))));
                     }
                 }
                 self.states[u].out_parts = self.parts;
@@ -865,9 +1030,9 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                     stages: ops[start..start + len]
                         .iter()
                         .map(|o| owned_stage(&o.kind))
-                        .collect(),
+                        .collect::<Result<Vec<_>>>()?,
                 });
-                let input = self.input_arc(head.inputs[0]);
+                let input = self.input_arc(head.inputs[0])?;
                 let total = partition_rows(&input);
                 let jobs = self.per_partition_jobs(&input, |input, p, mr| {
                     let kernel = Arc::clone(&kernel);
@@ -880,7 +1045,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let op = head.id;
                 let col = Arc::new(col.clone());
                 let attr = Label::new(new_attr);
-                let input = self.input_arc(head.inputs[0]);
+                let input = self.input_arc(head.inputs[0])?;
                 let total = partition_rows(&input);
                 let jobs = self.per_partition_jobs(&input, |input, p, mr| {
                     let col = Arc::clone(&col);
@@ -891,21 +1056,22 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 self.dispatch(u, Phase::Single, jobs, total)
             }
             OpKind::Join { keys } => {
-                let left = self.input_arc(head.inputs[0]);
-                let right = self.input_arc(head.inputs[1]);
+                let left = self.input_arc(head.inputs[0])?;
+                let right = self.input_arc(head.inputs[1])?;
                 let left_paths: Arc<Vec<Path>> =
                     Arc::new(keys.iter().map(|(l, _)| l.clone()).collect());
                 let right_paths: Arc<Vec<Path>> =
                     Arc::new(keys.iter().map(|(_, r)| r.clone()).collect());
                 let total = partition_rows(&right);
                 self.states[u].aux = Some(Aux::Join { left, left_paths });
-                let job: JobFn = Box::new(move || TaskOut::Build(join_build(&right, &right_paths)));
+                let job: JobFn =
+                    Box::new(move || Ok(TaskOut::Build(join_build(&right, &right_paths))));
                 self.dispatch(u, Phase::Build, vec![(0, job)], total)
             }
             OpKind::Union => {
                 let op = head.id;
-                let left = self.input_arc(head.inputs[0]);
-                let right = self.input_arc(head.inputs[1]);
+                let left = self.input_arc(head.inputs[0])?;
+                let right = self.input_arc(head.inputs[1])?;
                 let offset = left.len();
                 let total = partition_rows(&left) + partition_rows(&right);
                 let morsel = self.config.morsel_len(total);
@@ -935,13 +1101,19 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                     keys: keys.clone(),
                     aggs: aggs.clone(),
                 });
-                let input = self.input_arc(head.inputs[0]);
+                let input = self.input_arc(head.inputs[0])?;
                 let total = partition_rows(&input);
                 let parts = self.parts;
                 let shuffle_keys = Arc::new(keys.clone());
                 let jobs = self.per_partition_jobs(&input, |input, p, mr| {
                     let keys = Arc::clone(&shuffle_keys);
-                    Box::new(move || TaskOut::Shuffle(shuffle_morsel(&keys, parts, &input[p][mr])))
+                    Box::new(move || {
+                        Ok(TaskOut::Shuffle(shuffle_morsel(
+                            &keys,
+                            parts,
+                            &input[p][mr],
+                        )))
+                    })
                 });
                 self.states[u].aux = Some(Aux::Group { kernel });
                 self.dispatch(u, Phase::Shuffle, jobs, total)
@@ -988,7 +1160,18 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
             st.pending = jobs.len();
         }
         if inline {
-            let outs: Vec<TaskOut> = jobs.into_iter().map(|(_, job)| job()).collect();
+            // Same containment as the pool path: a panicking job becomes a
+            // typed task failure instead of unwinding through the caller.
+            let outs: Vec<TaskResult> = jobs
+                .into_iter()
+                .map(|(_, job)| {
+                    catch_unwind(AssertUnwindSafe(job)).unwrap_or_else(|p| {
+                        Err(EngineError::WorkerPanic {
+                            payload: panic_message(&*p),
+                        })
+                    })
+                })
+                .collect();
             let st = &mut self.states[u];
             for (t, out) in outs.into_iter().enumerate() {
                 st.results[t] = Some(out);
@@ -996,29 +1179,153 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
             st.pending = 0;
             self.phase_done(u)
         } else {
-            let pool = self.pool.as_ref().expect("pool present");
+            let Some(pool) = self.pool.as_ref() else {
+                return Err(EngineError::Internal(
+                    "pooled dispatch without a pool".into(),
+                ));
+            };
             for (t, (_, job)) in jobs.into_iter().enumerate() {
                 let tx = self.tx.clone();
-                pool.submit(move || {
-                    let result = catch_unwind(AssertUnwindSafe(job));
-                    let _ = tx.send((u, t, result));
+                // Guaranteed delivery: the pool catches the panic and still
+                // invokes the delivery closure, so the scheduler's pending
+                // count always drains — a panicking morsel can no longer
+                // strand the run (or the pool) waiting on a result that
+                // will never arrive.
+                pool.submit_job(job, move |res| {
+                    let out = match res {
+                        Ok(out) => out,
+                        Err(p) => Err(EngineError::WorkerPanic {
+                            payload: panic_message(&*p),
+                        }),
+                    };
+                    let _ = tx.send((u, t, out));
                 });
             }
             Ok(())
         }
     }
 
+    /// Derives the deterministic error of a failed unit, records it, and
+    /// cancels the unit's downstream closure. Candidates are ordered by
+    /// `(operator id, task index)`; task order is partition-major row
+    /// order, so the winner is the first failure a serial unfused
+    /// execution would hit.
+    fn fail_unit(&mut self, u: usize) -> Result<()> {
+        enum Cand<'x> {
+            Hard(&'x EngineError),
+            Chain(&'x ChainErr),
+        }
+        let start = self.units[u].start;
+        let head_op = self.ops[start].id;
+        let task_pidx = std::mem::take(&mut self.states[u].task_pidx);
+        let results = std::mem::take(&mut self.states[u].results);
+        let mut best: Option<((u32, usize), Cand)> = None;
+        for (t, slot) in results.iter().enumerate() {
+            let (key, cand) = match slot {
+                // A hard task failure (worker panic, injected fault, …);
+                // panics carry no operator, attribute them to the unit
+                // head (faults only panic at unit heads — see `fault`).
+                Some(Err(e)) => ((e.op().unwrap_or(head_op), t), Cand::Hard(e)),
+                // A row failure embedded in a chain morsel.
+                Some(Ok(TaskOut::Chain { err: Some(ce), .. })) => {
+                    ((self.ops[start + ce.stage].id, t), Cand::Chain(ce))
+                }
+                _ => continue,
+            };
+            if best.as_ref().is_none_or(|(k, _)| key < *k) {
+                best = Some((key, cand));
+            }
+        }
+        let Some(((op_key, t), cand)) = best else {
+            return Err(EngineError::Internal(
+                "unit marked failed without a failing task".into(),
+            ));
+        };
+        let err = match cand {
+            Cand::Hard(e) => e.clone(),
+            Cand::Chain(ce) => {
+                let mut item = ce.input_local;
+                if ce.stage > 0 {
+                    // Morsel-local input id: add the count of stage-s-1
+                    // outputs produced by earlier morsels of the same
+                    // partition (exact even in failed siblings — failures
+                    // at later stages don't disturb earlier-stage counts,
+                    // and a sibling failing *earlier* would have won the
+                    // candidate selection above instead).
+                    let p = task_pidx[t];
+                    let mut offset = 0u64;
+                    for (t2, slot) in results.iter().enumerate().take(t) {
+                        if task_pidx[t2] != p {
+                            continue;
+                        }
+                        match slot {
+                            Some(Ok(TaskOut::Chain { counts, .. })) => {
+                                offset += counts[ce.stage - 1] as u64;
+                            }
+                            _ => {
+                                return Err(EngineError::Internal(
+                                    "chain error offset needs sibling morsel counts".into(),
+                                ))
+                            }
+                        }
+                    }
+                    item += offset;
+                }
+                EngineError::RowError {
+                    op: op_key,
+                    item,
+                    message: ce.message.clone(),
+                }
+            }
+        };
+        self.record_error((op_key, t), err);
+        self.states[u].cancelled = true;
+        self.completed += 1;
+        self.cancel_consumers(u);
+        Ok(())
+    }
+
+    /// Marks every transitive consumer of `u` as cancelled-complete: its
+    /// input will never materialize, so it must not be waited for (that
+    /// was the hang) nor started (its `remaining_deps` never reaches 0).
+    fn cancel_consumers(&mut self, u: usize) {
+        let mut stack = self.units[u].consumers.clone();
+        while let Some(c) = stack.pop() {
+            if self.states[c].cancelled {
+                continue;
+            }
+            self.states[c].cancelled = true;
+            self.completed += 1;
+            stack.extend(self.units[c].consumers.iter().copied());
+        }
+    }
+
     fn phase_done(&mut self, u: usize) -> Result<()> {
+        let failed = self.states[u].results.iter().any(|r| {
+            matches!(
+                r,
+                Some(Err(_)) | Some(Ok(TaskOut::Chain { err: Some(_), .. }))
+            )
+        });
+        if failed {
+            return self.fail_unit(u);
+        }
         match self.states[u].phase {
-            Phase::Idle => unreachable!("phase_done on idle unit"),
+            Phase::Idle => Err(EngineError::Internal("phase_done on an idle unit".into())),
             Phase::Single | Phase::Probe | Phase::Aggregate => self.finalize_unit(u),
             Phase::Build => {
-                let build = match self.states[u].results[0].take() {
-                    Some(TaskOut::Build(map)) => Arc::new(map),
-                    _ => unreachable!("build phase returns a build table"),
+                let build = match self.states[u].results.first_mut().and_then(Option::take) {
+                    Some(Ok(TaskOut::Build(map))) => Arc::new(map),
+                    _ => {
+                        return Err(EngineError::Internal(
+                            "build phase did not return a build table".into(),
+                        ))
+                    }
                 };
                 let Some(Aux::Join { left, left_paths }) = self.states[u].aux.take() else {
-                    unreachable!("join unit carries join aux")
+                    return Err(EngineError::Internal(
+                        "join unit lost its probe-side state".into(),
+                    ));
                 };
                 let op = self.ops[self.units[u].start].id;
                 let total = partition_rows(&left);
@@ -1049,16 +1356,22 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let mut buckets: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
                 for slot in results {
                     match slot {
-                        Some(TaskOut::Shuffle(mut bs)) => {
+                        Some(Ok(TaskOut::Shuffle(mut bs))) => {
                             for (b, rows) in bs.iter_mut().enumerate() {
                                 buckets[b].append(rows);
                             }
                         }
-                        _ => unreachable!("shuffle phase returns buckets"),
+                        _ => {
+                            return Err(EngineError::Internal(
+                                "shuffle phase did not return buckets".into(),
+                            ))
+                        }
                     }
                 }
                 let Some(Aux::Group { kernel }) = self.states[u].aux.take() else {
-                    unreachable!("group unit carries group aux")
+                    return Err(EngineError::Internal(
+                        "group unit lost its aggregation state".into(),
+                    ));
                 };
                 let total: usize = buckets.iter().map(Vec::len).sum();
                 let mut jobs: Vec<(usize, JobFn)> = Vec::new();
@@ -1091,8 +1404,8 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
                 let mut offsets = vec![0u64; out_parts];
                 for (t, &p) in task_pidx.iter().enumerate() {
-                    let Some(TaskOut::Read { mut rows }) = results[t].take() else {
-                        unreachable!("read task result")
+                    let Some(Ok(TaskOut::Read { mut rows })) = results[t].take() else {
+                        return Err(EngineError::Internal("read task shape mismatch".into()));
                     };
                     for r in &mut rows {
                         r.id += offsets[p];
@@ -1119,13 +1432,14 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let mut offsets: Vec<Vec<u64>> = vec![vec![0u64; n]; out_parts];
                 let mut totals = vec![0usize; n];
                 for (t, &p) in task_pidx.iter().enumerate() {
-                    let Some(TaskOut::Chain {
+                    let Some(Ok(TaskOut::Chain {
                         mut rows,
                         mut assocs,
                         counts,
-                    }) = results[t].take()
+                        err: _,
+                    })) = results[t].take()
                     else {
-                        unreachable!("chain task result")
+                        return Err(EngineError::Internal("chain task shape mismatch".into()));
                     };
                     let off = &mut offsets[p];
                     for s in 0..n {
@@ -1174,12 +1488,12 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                     (0..out_parts).map(|_| Vec::new()).collect();
                 let mut offsets = vec![0u64; out_parts];
                 for (t, &p) in task_pidx.iter().enumerate() {
-                    let Some(TaskOut::Flatten {
+                    let Some(Ok(TaskOut::Flatten {
                         mut rows,
                         mut assoc,
-                    }) = results[t].take()
+                    })) = results[t].take()
                     else {
-                        unreachable!("flatten task result")
+                        return Err(EngineError::Internal("flatten task shape mismatch".into()));
                     };
                     let off = offsets[p];
                     for r in &mut rows {
@@ -1208,12 +1522,12 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                     (0..out_parts).map(|_| Vec::new()).collect();
                 let mut offsets = vec![0u64; out_parts];
                 for (t, &p) in task_pidx.iter().enumerate() {
-                    let Some(TaskOut::Binary {
+                    let Some(Ok(TaskOut::Binary {
                         mut rows,
                         mut assoc,
-                    }) = results[t].take()
+                    })) = results[t].take()
                     else {
-                        unreachable!("binary task result")
+                        return Err(EngineError::Internal("binary task shape mismatch".into()));
                     };
                     let off = offsets[p];
                     for r in &mut rows {
@@ -1239,8 +1553,10 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let op = ops[start].id;
                 let mut keyed: Vec<KeyedRow> = Vec::new();
                 for slot in results.iter_mut() {
-                    let Some(TaskOut::Agg { rows, assoc }) = slot.take() else {
-                        unreachable!("aggregate task result")
+                    let Some(Ok(TaskOut::Agg { rows, assoc })) = slot.take() else {
+                        return Err(EngineError::Internal(
+                            "aggregate task shape mismatch".into(),
+                        ));
                     };
                     // One task per bucket, so bucket-local ids are already
                     // final; emission follows bucket order.

@@ -265,6 +265,22 @@ impl Expr {
         }
     }
 
+    /// Whether evaluating this expression can run user code (a scalar
+    /// UDF). The executor only pays a per-row unwind guard for expressions
+    /// that can — everything else in the language is total.
+    pub fn contains_udf(&self) -> bool {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => false,
+            Expr::Cmp(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b)
+            | Expr::Contains(a, b)
+            | Expr::Arith(_, a, b) => a.contains_udf() || b.contains_udf(),
+            Expr::Not(a) | Expr::IsNull(a) | Expr::Len(a) => a.contains_udf(),
+            Expr::Udf(_) => true,
+        }
+    }
+
     /// Validates the expression against an input schema and infers its
     /// result type.
     pub fn infer_type(&self, op: u32, schema: &DataType) -> Result<DataType> {
@@ -410,6 +426,16 @@ impl SelectExpr {
                 out
             }
             SelectExpr::Computed(e) => e.accessed_paths(),
+        }
+    }
+
+    /// Whether evaluating this projection can run user code (see
+    /// [`Expr::contains_udf`]).
+    pub fn contains_udf(&self) -> bool {
+        match self {
+            SelectExpr::Path(_) => false,
+            SelectExpr::Struct(fields) => fields.iter().any(|(_, e)| e.contains_udf()),
+            SelectExpr::Computed(e) => e.contains_udf(),
         }
     }
 

@@ -15,6 +15,7 @@ pub mod context;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod fault;
 pub mod hash;
 pub mod io;
 pub mod op;
@@ -25,7 +26,7 @@ pub mod sink;
 pub mod spawn;
 
 pub use context::Context;
-pub use error::{EngineError, Result};
+pub use error::{panic_message, EngineError, Result};
 pub use exec::{run, run_unfused, ExecConfig, ItemId, Row, RunOutput};
 pub use expr::{CmpOp, Expr, SelectExpr};
 pub use op::{AggFunc, AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};

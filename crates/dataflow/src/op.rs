@@ -36,10 +36,12 @@ impl NamedExpr {
         }
     }
 
-    /// Shorthand: copy `path` under its last attribute name.
+    /// Shorthand: copy `path` under its last attribute name. A path with
+    /// no attribute step (e.g. a bare index) falls back to the full path
+    /// string as the output name rather than failing.
     pub fn path(path: &str) -> Self {
         let p = Path::parse(path);
-        let name = last_attr_name(&p).expect("path must end in an attribute");
+        let name = last_attr_name(&p).unwrap_or_else(|| p.to_string());
         NamedExpr::new(name, SelectExpr::Path(p))
     }
 
@@ -67,11 +69,12 @@ pub struct GroupKey {
 }
 
 impl GroupKey {
-    /// Key named after the path's last attribute.
+    /// Key named after the path's last attribute; a path with no attribute
+    /// step falls back to the full path string as the output name.
     pub fn new(path: &str) -> Self {
         let p = Path::parse(path);
         GroupKey {
-            name: last_attr_name(&p).expect("group key must end in an attribute"),
+            name: last_attr_name(&p).unwrap_or_else(|| p.to_string()),
             path: p,
         }
     }
@@ -236,7 +239,9 @@ impl OpKind {
     /// checks the operator's type preconditions.
     pub fn output_schema(&self, op: OpId, inputs: &[DataType]) -> Result<DataType> {
         match self {
-            OpKind::Read { .. } => unreachable!("read schema comes from the context"),
+            OpKind::Read { .. } => Err(EngineError::Internal(
+                "read schema comes from the context, not from inference".into(),
+            )),
             OpKind::Filter { predicate } => {
                 let schema = &inputs[0];
                 let t = predicate.infer_type(op, schema)?;

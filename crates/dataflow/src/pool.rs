@@ -14,10 +14,18 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 
 /// A unit of work for the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks the mutex, recovering from poisoning. The queue only holds
+/// type-erased closures; a panic while one was popped leaves the deque
+/// itself consistent, so continuing with the inner value is sound — and
+/// required, or a single panicking job would wedge every later submit.
+fn lock_jobs(queue: &Queue) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
+    queue.jobs.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 struct Queue {
     jobs: Mutex<VecDeque<Job>>,
@@ -34,6 +42,10 @@ struct Queue {
 pub struct WorkerPool {
     queue: Arc<Queue>,
     size: usize,
+    /// Worker threads actually running. Thread spawning can fail under
+    /// resource exhaustion; when none spawned, `submit` degrades to
+    /// running jobs inline on the caller so work still completes.
+    live: usize,
 }
 
 /// Global registry: one shared pool per worker count, created lazily and
@@ -51,14 +63,18 @@ impl WorkerPool {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
         });
+        let mut live = 0;
         for i in 0..size {
             let queue = Arc::clone(&queue);
-            std::thread::Builder::new()
+            let spawned = std::thread::Builder::new()
                 .name(format!("pebble-worker-{i}"))
-                .spawn(move || worker_loop(&queue))
-                .expect("failed to spawn pool worker");
+                .spawn(move || worker_loop(&queue));
+            match spawned {
+                Ok(_) => live += 1,
+                Err(e) => eprintln!("pebble: failed to spawn pool worker {i}: {e}"),
+            }
         }
-        WorkerPool { queue, size }
+        WorkerPool { queue, size, live }
     }
 
     /// The process-wide shared pool with exactly `workers` threads.
@@ -68,7 +84,7 @@ impl WorkerPool {
         Arc::clone(
             pools
                 .lock()
-                .unwrap()
+                .unwrap_or_else(PoisonError::into_inner)
                 .entry(workers)
                 .or_insert_with(|| Arc::new(WorkerPool::new(workers))),
         )
@@ -79,23 +95,52 @@ impl WorkerPool {
         self.size
     }
 
-    /// Enqueues a job; some worker will eventually run it.
+    /// Enqueues a job; some worker will eventually run it. When no worker
+    /// thread could be spawned, runs the job inline (contained) instead of
+    /// queueing it forever.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
-        let mut jobs = self.queue.jobs.lock().unwrap();
+        if self.live == 0 {
+            let _ = catch_unwind(AssertUnwindSafe(job));
+            return;
+        }
+        let mut jobs = lock_jobs(&self.queue);
         jobs.push_back(Box::new(job));
         drop(jobs);
         self.queue.available.notify_one();
+    }
+
+    /// Runs `job` on the pool with *guaranteed result delivery*: `deliver`
+    /// is invoked exactly once with the job's output, or with the panic
+    /// payload if the job panicked. This closes the classic hang where a
+    /// panicking task drops its result sender mid-flight and the submitter
+    /// blocks forever on a completion count that can no longer be reached:
+    /// the catch_unwind happens *inside* the pool, before delivery, so the
+    /// submitter always observes either a value or a typed failure.
+    pub fn submit_job<T: Send + 'static>(
+        &self,
+        job: impl FnOnce() -> T + Send + 'static,
+        deliver: impl FnOnce(std::thread::Result<T>) + Send + 'static,
+    ) {
+        self.submit(move || {
+            let result = catch_unwind(AssertUnwindSafe(job));
+            deliver(result);
+        });
     }
 }
 
 fn worker_loop(queue: &Queue) {
     loop {
         let job = {
-            let mut jobs = queue.jobs.lock().unwrap();
+            let mut jobs = lock_jobs(queue);
             loop {
                 match jobs.pop_front() {
                     Some(job) => break job,
-                    None => jobs = queue.available.wait(jobs).unwrap(),
+                    None => {
+                        jobs = queue
+                            .available
+                            .wait(jobs)
+                            .unwrap_or_else(PoisonError::into_inner)
+                    }
                 }
             }
         };
@@ -140,6 +185,57 @@ mod tests {
             rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap(),
             42
         );
+    }
+
+    /// Regression: a panicking task used to drop its result sender, so
+    /// the submitter's completion count was never reached and the run hung
+    /// forever — and the next run on the same pool inherited the wedge.
+    /// With guaranteed delivery the panic surfaces as an `Err`, and the
+    /// same pool instance then executes a full back-to-back batch.
+    #[test]
+    fn delivers_panic_and_runs_next_batch_on_same_pool() {
+        let pool = WorkerPool::with_workers(2);
+
+        // Batch 1: a panicking job plus a normal one; both must deliver.
+        let (tx, rx) = mpsc::channel();
+        let tx2 = tx.clone();
+        pool.submit_job(
+            || -> usize { panic!("injected morsel panic") },
+            move |r| {
+                tx.send(r.map_err(|p| crate::error::panic_message(&*p)))
+                    .unwrap()
+            },
+        );
+        pool.submit_job(
+            || 7usize,
+            move |r| {
+                tx2.send(r.map_err(|p| crate::error::panic_message(&*p)))
+                    .unwrap()
+            },
+        );
+        let mut results = Vec::new();
+        for _ in 0..2 {
+            results.push(rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap());
+        }
+        assert!(results.contains(&Err("injected morsel panic".to_string())));
+        assert!(results.contains(&Ok(7)));
+
+        // Batch 2: the same pool still has both workers alive.
+        let (tx, rx) = mpsc::channel();
+        for i in 0..16usize {
+            let tx = tx.clone();
+            pool.submit_job(
+                move || i * 2,
+                move |r| {
+                    let _ = tx.send(r.unwrap_or(usize::MAX));
+                },
+            );
+        }
+        let mut sum = 0;
+        for _ in 0..16 {
+            sum += rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
+        }
+        assert_eq!(sum, (0..16).map(|i| i * 2).sum());
     }
 
     #[test]

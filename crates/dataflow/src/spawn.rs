@@ -7,35 +7,40 @@
 //! bit output-compatible with the pool executor — for two reasons:
 //!
 //! * the differential oracle uses it as the *referee*: identifiers,
-//!   association tables, and batch orders of the pool scheduler must match
-//!   this executor exactly at every worker count;
+//!   association tables, batch orders — and, on failing runs, the
+//!   propagated error — of the pool scheduler must match this executor
+//!   exactly at every worker count;
 //! * the scheduler benchmark uses it as the baseline the pool is measured
 //!   against (`BENCH_2.json`).
 //!
-//! Shared pieces (identifier scheme, row/partition types, per-row kernels'
-//! semantics, aggregate evaluation, read partition layout) live in
-//! [`crate::exec`] and are reused here, so the two executors cannot drift
-//! apart silently.
+//! The per-row/per-bucket kernels themselves are shared with
+//! [`crate::exec`] (one morsel per partition, so morsel-local identifiers
+//! are already final here), so the two executors cannot drift apart
+//! silently — including their error behavior: a failing operator produces
+//! the same typed [`EngineError`], selected by the same
+//! `(operator id, task index)` minimum, in both executors.
 
-use pebble_nested::{DataItem, Label, Path, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use pebble_nested::{DataItem, Label, Path};
 
 use crate::context::Context;
-use crate::error::{EngineError, Result};
+use crate::error::{panic_message, EngineError, Result};
 use crate::exec::{
-    eval_agg, fusable_chain_len, join_key, read_ranges, ExecConfig, IdGen, ItemId, KeyedRow,
-    Partitions, Row, RunOutput,
+    agg_bucket, chain_morsel, flatten_morsel, fusable_chain_len, join_build, join_probe,
+    owned_stage, read_ranges, shuffle_morsel, union_morsel, ChainKernel, ExecConfig, GroupKernel,
+    IdGen, ItemId, KeyedRow, Partitions, Row, RunOutput, TaskOut,
 };
-use crate::expr::Expr;
-use crate::hash::{hash_one, FxHashMap};
 use crate::op::OpId;
-use crate::op::{key_value, AggSpec, GroupKey, MapUdf, NamedExpr, OpKind};
+use crate::op::{AggSpec, GroupKey, OpKind};
 use crate::program::{Operator, Program};
 use crate::sink::ProvenanceSink;
 
 /// Executes `program` with the legacy per-operator spawning strategy.
 ///
 /// Output (rows, identifiers, captured provenance, batch order) is
-/// specified to be byte-identical to [`crate::exec::run`].
+/// specified to be byte-identical to [`crate::exec::run`] — and so is the
+/// returned error when a run fails.
 pub fn run_spawn<S: ProvenanceSink>(
     program: &Program,
     ctx: &Context,
@@ -72,20 +77,23 @@ fn run_with_fusion<S: ProvenanceSink>(
     let mut idx = 0;
     while idx < ops.len() {
         let op = &ops[idx];
-        // Fuse maximal chains of single-consumer per-row operators into one
-        // pass over the head's input: no intermediate Vec<Row> is
-        // materialized, while per-stage id generators and association
-        // buffers keep identifiers and captured provenance byte-identical
-        // to the unfused execution.
-        let chain_len = if fuse {
-            fusable_chain_len(ops, program.sink(), &consumers, idx)
-        } else {
-            1
-        };
-        if chain_len >= 2 {
+        // Per-row operators run through the shared chain kernel — fused
+        // into maximal single-consumer chains when fusion is on, as
+        // singleton chains otherwise. Either way the kernel (and therefore
+        // every failure message and its attribution) is the one the morsel
+        // executor runs.
+        if matches!(
+            op.kind,
+            OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. }
+        ) {
+            let chain_len = if fuse {
+                fusable_chain_len(ops, program.sink(), &consumers, idx)
+            } else {
+                1
+            };
             let chain: Vec<&Operator> = ops[idx..idx + chain_len].iter().collect();
             let input = &outputs[op.inputs[0] as usize];
-            let (counts, fused) = exec_fused_chain::<S>(&chain, input, sink);
+            let (counts, fused) = exec_chain::<S>(&chain, input, sink)?;
             for (i, count) in counts.iter().enumerate() {
                 op_counts.push(*count);
                 if i + 1 < counts.len() {
@@ -104,65 +112,28 @@ fn run_with_fusion<S: ProvenanceSink>(
                     .ok_or_else(|| EngineError::UnknownSource(source.clone()))?;
                 exec_read::<S>(op.id, items, parts, sink)
             }
-            OpKind::Filter { predicate } => {
-                let input = &outputs[op.inputs[0] as usize];
-                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
-                    if predicate.eval_bool(&row.item) {
-                        let id = ids.next();
-                        out.push(Row {
-                            id,
-                            item: row.item.clone(),
-                        });
-                        if S::ENABLED {
-                            assoc.push((row.id, id));
-                        }
-                    }
-                })
-            }
-            OpKind::Select { exprs } => {
-                let input = &outputs[op.inputs[0] as usize];
-                let labels: Vec<Label> = exprs.iter().map(|ne| Label::new(&ne.name)).collect();
-                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
-                    let mut item = DataItem::new();
-                    for (ne, label) in exprs.iter().zip(&labels) {
-                        item.push(label.clone(), ne.expr.eval(&row.item));
-                    }
-                    let id = ids.next();
-                    out.push(Row { id, item });
-                    if S::ENABLED {
-                        assoc.push((row.id, id));
-                    }
-                })
-            }
-            OpKind::Map { udf } => {
-                let input = &outputs[op.inputs[0] as usize];
-                let f = &udf.f;
-                exec_per_row::<S, _>(op.id, input, sink, |row, out, assoc, ids| {
-                    let item = f(&row.item);
-                    let id = ids.next();
-                    out.push(Row { id, item });
-                    if S::ENABLED {
-                        assoc.push((row.id, id));
-                    }
-                })
-            }
             OpKind::Flatten { col, new_attr } => {
                 let input = &outputs[op.inputs[0] as usize];
-                exec_flatten::<S>(op.id, input, col, new_attr, sink)
+                exec_flatten::<S>(op.id, input, col, new_attr, sink)?
             }
             OpKind::Join { keys } => {
                 let left = &outputs[op.inputs[0] as usize];
                 let right = &outputs[op.inputs[1] as usize];
-                exec_join::<S>(op.id, left, right, keys, sink)
+                exec_join::<S>(op.id, left, right, keys, sink)?
             }
             OpKind::Union => {
                 let left = &outputs[op.inputs[0] as usize];
                 let right = &outputs[op.inputs[1] as usize];
-                exec_union::<S>(op.id, left, right, sink)
+                exec_union::<S>(op.id, left, right, sink)?
             }
             OpKind::GroupAggregate { keys, aggs } => {
                 let input = &outputs[op.inputs[0] as usize];
-                exec_group_aggregate::<S>(op.id, input, keys, aggs, parts, sink)
+                exec_group_aggregate::<S>(op.id, input, keys, aggs, parts, sink)?
+            }
+            OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => {
+                return Err(EngineError::Internal(
+                    "per-row operator escaped the chain path".into(),
+                ))
             }
         };
         op_counts.push(result.iter().map(Vec::len).sum());
@@ -181,29 +152,98 @@ fn run_with_fusion<S: ProvenanceSink>(
     })
 }
 
-/// One per-row stage of a fused chain.
-enum StageKind<'a> {
-    Filter(&'a Expr),
-    Select {
-        exprs: &'a [NamedExpr],
-        labels: Vec<Label>,
-    },
-    Map(&'a MapUdf),
+/// Runs `f` over every input partition, in parallel when there are several,
+/// containing panics either way.
+///
+/// This is the per-operator spawn/join this executor is named after: a
+/// fresh scoped thread per partition, torn down at the end of the call.
+/// A panicking partition worker never takes the process down — its payload
+/// is returned in that partition's slot for [`collect_unit`] to convert
+/// into a typed [`EngineError::WorkerPanic`].
+fn par_map<I, T, F>(inputs: &[I], f: F) -> Vec<std::thread::Result<T>>
+where
+    I: Sync,
+    T: Send,
+    F: Fn(usize, &I) -> T + Sync + Send,
+{
+    let f = &f;
+    if inputs.len() <= 1 {
+        return inputs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| catch_unwind(AssertUnwindSafe(|| f(i, p))))
+            .collect();
+    }
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, p)| scope.spawn(move || f(i, p)))
+            .collect();
+        handles.into_iter().map(|h| h.join()).collect()
+    })
 }
 
-fn stage_kind(kind: &OpKind) -> Option<StageKind<'_>> {
-    match kind {
-        OpKind::Filter { predicate } => Some(StageKind::Filter(predicate)),
-        OpKind::Select { exprs } => Some(StageKind::Select {
-            exprs,
-            labels: exprs.iter().map(|ne| Label::new(&ne.name)).collect(),
-        }),
-        OpKind::Map { udf } => Some(StageKind::Map(udf)),
-        _ => None,
+/// Scans one operator's per-partition task results for failures and, if
+/// any, surfaces the same winner the morsel scheduler's `fail_unit`
+/// derives: the candidate with the minimum `(operator id, task index)`
+/// key. Worker panics carry no operator and attribute to the unit head;
+/// chain row failures attribute to the failing stage's operator. Task
+/// order here is partition order, which matches the scheduler's
+/// partition-major morsel order.
+fn collect_unit(
+    head_op: OpId,
+    chain_ops: &[OpId],
+    results: Vec<std::thread::Result<Result<TaskOut>>>,
+) -> Result<Vec<TaskOut>> {
+    let mut best: Option<((u32, usize), EngineError)> = None;
+    let record = |best: &mut Option<((u32, usize), EngineError)>, key, err| {
+        if best.as_ref().is_none_or(|(k, _)| key < *k) {
+            *best = Some((key, err));
+        }
+    };
+    let mut outs = Vec::with_capacity(results.len());
+    for (t, res) in results.into_iter().enumerate() {
+        match res {
+            Err(payload) => record(
+                &mut best,
+                (head_op, t),
+                EngineError::WorkerPanic {
+                    payload: panic_message(&*payload),
+                },
+            ),
+            Ok(Err(e)) => {
+                let key = (e.op().unwrap_or(head_op), t);
+                record(&mut best, key, e);
+            }
+            Ok(Ok(out)) => {
+                if let TaskOut::Chain { err: Some(ce), .. } = &out {
+                    // One morsel per partition: the stage's input ids
+                    // started at sequence 0, so `input_local` is final and
+                    // needs none of the scheduler's offset stitching.
+                    let stage_op = chain_ops[ce.stage];
+                    record(
+                        &mut best,
+                        (stage_op, t),
+                        EngineError::RowError {
+                            op: stage_op,
+                            item: ce.input_local,
+                            message: ce.message.clone(),
+                        },
+                    );
+                }
+                outs.push(out);
+            }
+        }
+    }
+    match best {
+        Some((_, err)) => Err(err),
+        None => Ok(outs),
     }
 }
 
-/// Executes a fused chain of per-row operators in one pass over `input`.
+/// Executes a chain of per-row operators (length ≥ 1) in one pass over
+/// `input` via the shared [`chain_morsel`] kernel.
 ///
 /// Per-row operators map input partition `p` to output partition `p` with
 /// sequentially assigned ids, so running every stage inside one loop with
@@ -211,58 +251,46 @@ fn stage_kind(kind: &OpKind) -> Option<StageKind<'_>> {
 /// association batches — that separate passes would have produced. Only the
 /// last stage's rows are materialized. Returns per-stage output counts and
 /// the final stage's partitions.
-fn exec_fused_chain<S: ProvenanceSink>(
+fn exec_chain<S: ProvenanceSink>(
     chain: &[&Operator],
     input: &Partitions,
     sink: &S,
-) -> (Vec<usize>, Partitions) {
-    let stages: Vec<StageKind<'_>> = chain
-        .iter()
-        .map(|op| stage_kind(&op.kind).expect("chain ops are per-row"))
-        .collect();
-    let n = stages.len();
-    let results = par_map(input, |pidx, partition| {
-        let mut ids: Vec<IdGen> = chain.iter().map(|op| IdGen::new(op.id, pidx)).collect();
-        let mut assocs: Vec<Vec<(ItemId, ItemId)>> = (0..n)
-            .map(|_| Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 }))
-            .collect();
-        let mut counts = vec![0usize; n];
-        let mut out = Vec::with_capacity(partition.len());
-        'rows: for row in partition {
-            let mut item = row.item.clone();
-            let mut prev_id = row.id;
-            for (s, stage) in stages.iter().enumerate() {
-                match stage {
-                    StageKind::Filter(pred) => {
-                        if !pred.eval_bool(&item) {
-                            continue 'rows;
-                        }
-                    }
-                    StageKind::Select { exprs, labels } => {
-                        let mut next = DataItem::new();
-                        for (ne, label) in exprs.iter().zip(labels) {
-                            next.push(label.clone(), ne.expr.eval(&item));
-                        }
-                        item = next;
-                    }
-                    StageKind::Map(udf) => item = (udf.f)(&item),
-                }
-                let id = ids[s].next();
-                if S::ENABLED {
-                    assocs[s].push((prev_id, id));
-                }
-                counts[s] += 1;
-                prev_id = id;
-            }
-            out.push(Row { id: prev_id, item });
-        }
-        (out, assocs, counts)
-    });
+) -> Result<(Vec<usize>, Partitions)> {
+    let kernel = ChainKernel {
+        ops: chain.iter().map(|op| op.id).collect(),
+        stages: chain
+            .iter()
+            .map(|op| owned_stage(&op.kind))
+            .collect::<Result<Vec<_>>>()?,
+    };
+    let n = chain.len();
+    let results = collect_unit(
+        kernel.ops[0],
+        &kernel.ops,
+        par_map(input, |pidx, partition| {
+            chain_morsel::<S>(&kernel, pidx, partition)
+        }),
+    )?;
+    let mut unpacked = Vec::with_capacity(results.len());
+    for out in results {
+        let TaskOut::Chain {
+            rows,
+            assocs,
+            counts,
+            err: _,
+        } = out
+        else {
+            return Err(EngineError::Internal(
+                "chain task returned a non-chain result".into(),
+            ));
+        };
+        unpacked.push((rows, assocs, counts));
+    }
     if S::ENABLED {
         // Stage-major, partition-ordered emission — the batch sequence an
         // unfused execution reports per operator.
         for (s, op) in chain.iter().enumerate() {
-            for (_, assocs, _) in &results {
+            for (_, assocs, _) in &unpacked {
                 if !assocs[s].is_empty() {
                     sink.unary_batch(op.id, &assocs[s]);
                 }
@@ -270,41 +298,14 @@ fn exec_fused_chain<S: ProvenanceSink>(
         }
     }
     let mut totals = vec![0usize; n];
-    let mut partitions = Vec::with_capacity(results.len());
-    for (rows, _, counts) in results {
+    let mut partitions = Vec::with_capacity(unpacked.len());
+    for (rows, _, counts) in unpacked {
         for (s, c) in counts.iter().enumerate() {
             totals[s] += c;
         }
         partitions.push(rows);
     }
-    (totals, partitions)
-}
-
-/// Runs `f` over every input partition, in parallel when there are several.
-///
-/// This is the per-operator spawn/join this executor is named after: a
-/// fresh scoped thread per partition, torn down at the end of the call.
-fn par_map<I, T, F>(inputs: &[I], f: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(usize, &I) -> T + Sync + Send,
-{
-    if inputs.len() <= 1 {
-        return inputs.iter().enumerate().map(|(i, p)| f(i, p)).collect();
-    }
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = inputs
-            .iter()
-            .enumerate()
-            .map(|(i, p)| scope.spawn(move || f(i, p)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition worker panicked"))
-            .collect()
-    })
+    Ok((totals, partitions))
 }
 
 fn exec_read<S: ProvenanceSink>(
@@ -335,68 +336,34 @@ fn exec_read<S: ProvenanceSink>(
     out
 }
 
-/// Shared driver for per-row unary operators (filter/select/map).
-fn exec_per_row<S, F>(op: OpId, input: &Partitions, sink: &S, body: F) -> Partitions
-where
-    S: ProvenanceSink,
-    F: Fn(&Row, &mut Vec<Row>, &mut Vec<(ItemId, ItemId)>, &mut IdGen) + Sync + Send,
-{
-    let results = par_map(input, |pidx, partition| {
-        let mut ids = IdGen::new(op, pidx);
-        let mut out = Vec::with_capacity(partition.len());
-        let mut assoc = Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
-        for row in partition {
-            body(row, &mut out, &mut assoc, &mut ids);
-        }
-        (out, assoc)
-    });
-    let mut partitions = Vec::with_capacity(results.len());
-    for (rows, assoc) in results {
-        if S::ENABLED && !assoc.is_empty() {
-            sink.unary_batch(op, &assoc);
-        }
-        partitions.push(rows);
-    }
-    partitions
-}
-
 fn exec_flatten<S: ProvenanceSink>(
     op: OpId,
     input: &Partitions,
     col: &Path,
     new_attr: &str,
     sink: &S,
-) -> Partitions {
+) -> Result<Partitions> {
     let attr = Label::new(new_attr);
-    let results = par_map(input, |pidx, partition| {
-        let mut ids = IdGen::new(op, pidx);
-        let mut out = Vec::with_capacity(partition.len());
-        let mut assoc: Vec<(ItemId, u32, ItemId)> =
-            Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
-        for row in partition {
-            let Some(elements) = col.eval(&row.item).and_then(Value::as_collection) else {
-                continue; // missing/null collections produce no rows
-            };
-            for (idx, element) in elements.iter().enumerate() {
-                let mut item = row.item.clone();
-                item.push(attr.clone(), element.clone());
-                let id = ids.next();
-                out.push(Row { id, item });
-                if S::ENABLED {
-                    assoc.push((row.id, idx as u32 + 1, id));
-                }
-            }
-        }
-        (out, assoc)
-    });
+    let results = collect_unit(
+        op,
+        &[op],
+        par_map(input, |pidx, partition| {
+            flatten_morsel::<S>(op, pidx, col, &attr, partition)
+        }),
+    )?;
     let mut partitions = Vec::with_capacity(results.len());
-    for (rows, assoc) in results {
+    for out in results {
+        let TaskOut::Flatten { rows, assoc } = out else {
+            return Err(EngineError::Internal(
+                "flatten task returned a non-flatten result".into(),
+            ));
+        };
         if S::ENABLED && !assoc.is_empty() {
             sink.flatten_batch(op, &assoc);
         }
         partitions.push(rows);
     }
-    partitions
+    Ok(partitions)
 }
 
 fn exec_join<S: ProvenanceSink>(
@@ -405,50 +372,33 @@ fn exec_join<S: ProvenanceSink>(
     right: &Partitions,
     keys: &[(Path, Path)],
     sink: &S,
-) -> Partitions {
+) -> Result<Partitions> {
     let left_paths: Vec<Path> = keys.iter().map(|(l, _)| l.clone()).collect();
     let right_paths: Vec<Path> = keys.iter().map(|(_, r)| r.clone()).collect();
 
     // Build side: hash the (smaller, by convention right) input.
-    let mut build: FxHashMap<Vec<Value>, Vec<&Row>> = FxHashMap::default();
-    for partition in right {
-        for row in partition {
-            if let Some(k) = join_key(&row.item, &right_paths) {
-                build.entry(k).or_default().push(row);
-            }
-        }
-    }
+    let build = join_build(right, &right_paths);
 
-    let results = par_map(left, |pidx, partition| {
-        let mut ids = IdGen::new(op, pidx);
-        let mut out = Vec::with_capacity(partition.len());
-        let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
-            Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
-        for lrow in partition {
-            let Some(k) = join_key(&lrow.item, &left_paths) else {
-                continue;
-            };
-            if let Some(matches) = build.get(&k) {
-                for rrow in matches {
-                    let item = lrow.item.merged(&rrow.item);
-                    let id = ids.next();
-                    out.push(Row { id, item });
-                    if S::ENABLED {
-                        assoc.push((Some(lrow.id), Some(rrow.id), id));
-                    }
-                }
-            }
-        }
-        (out, assoc)
-    });
+    let results = collect_unit(
+        op,
+        &[op],
+        par_map(left, |pidx, partition| {
+            join_probe::<S>(op, pidx, &build, &left_paths, partition)
+        }),
+    )?;
     let mut partitions = Vec::with_capacity(results.len());
-    for (rows, assoc) in results {
+    for out in results {
+        let TaskOut::Binary { rows, assoc } = out else {
+            return Err(EngineError::Internal(
+                "join probe returned a non-binary result".into(),
+            ));
+        };
         if S::ENABLED && !assoc.is_empty() {
             sink.binary_batch(op, &assoc);
         }
         partitions.push(rows);
     }
-    partitions
+    Ok(partitions)
 }
 
 fn exec_union<S: ProvenanceSink>(
@@ -456,41 +406,34 @@ fn exec_union<S: ProvenanceSink>(
     left: &Partitions,
     right: &Partitions,
     sink: &S,
-) -> Partitions {
-    let relabel = |partitions: &Partitions, is_left: bool, pidx_offset: usize| -> Partitions {
-        let results = par_map(partitions, |pidx, partition| {
-            let mut ids = IdGen::new(op, pidx_offset + pidx);
-            let mut out = Vec::with_capacity(partition.len());
-            let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
-                Vec::with_capacity(if S::ENABLED { partition.len() } else { 0 });
-            for row in partition {
-                let id = ids.next();
-                out.push(Row {
-                    id,
-                    item: row.item.clone(),
-                });
-                if S::ENABLED {
-                    if is_left {
-                        assoc.push((Some(row.id), None, id));
-                    } else {
-                        assoc.push((None, Some(row.id), id));
-                    }
-                }
-            }
-            (out, assoc)
-        });
+) -> Result<Partitions> {
+    // Left branch tasks precede right branch tasks, matching the
+    // scheduler's task order, so error tie-breaks agree.
+    let relabel = |branch: &Partitions, is_left: bool, pidx_offset: usize| -> Result<Partitions> {
+        let results = collect_unit(
+            op,
+            &[op],
+            par_map(branch, |pidx, partition| {
+                union_morsel::<S>(op, pidx_offset + pidx, is_left, partition)
+            }),
+        )?;
         let mut out = Vec::with_capacity(results.len());
-        for (rows, assoc) in results {
+        for task in results {
+            let TaskOut::Binary { rows, assoc } = task else {
+                return Err(EngineError::Internal(
+                    "union task returned a non-binary result".into(),
+                ));
+            };
             if S::ENABLED && !assoc.is_empty() {
                 sink.binary_batch(op, &assoc);
             }
             out.push(rows);
         }
-        out
+        Ok(out)
     };
-    let mut partitions = relabel(left, true, 0);
-    partitions.extend(relabel(right, false, left.len()));
-    partitions
+    let mut partitions = relabel(left, true, 0)?;
+    partitions.extend(relabel(right, false, left.len())?);
+    Ok(partitions)
 }
 
 fn exec_group_aggregate<S: ProvenanceSink>(
@@ -500,63 +443,43 @@ fn exec_group_aggregate<S: ProvenanceSink>(
     aggs: &[AggSpec],
     parts: usize,
     sink: &S,
-) -> Partitions {
+) -> Result<Partitions> {
     // Shuffle: hash-partition rows by grouping key so each bucket can be
     // aggregated independently. Row order within a bucket follows the
     // global input order (partitions visited in order), keeping nesting
     // positions deterministic regardless of the partition count.
-    let mut buckets: Vec<Vec<&Row>> = (0..parts).map(|_| Vec::new()).collect();
+    let mut buckets: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
     for partition in input {
-        for row in partition {
-            let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
-            let bucket = (hash_one(&key) as usize) % parts;
-            buckets[bucket].push(row);
+        for (b, rows) in shuffle_morsel(keys, parts, partition)
+            .into_iter()
+            .enumerate()
+        {
+            buckets[b].extend(rows);
         }
     }
 
-    let key_labels: Vec<Label> = keys.iter().map(|k| Label::new(&k.name)).collect();
-    let agg_labels: Vec<Label> = aggs.iter().map(|a| Label::new(&a.output)).collect();
-    let results = par_map(&buckets, |pidx, rows| {
-        let mut ids = IdGen::new(op, pidx);
-        // First-seen-ordered grouping within the bucket. The map holds an
-        // index into `grouped`, so each distinct key is cloned exactly once
-        // (on first sight) instead of once per probing row.
-        let mut index: FxHashMap<Vec<Value>, usize> = FxHashMap::default();
-        let mut grouped: Vec<(Vec<Value>, Vec<&Row>)> = Vec::new();
-        for row in rows.iter() {
-            let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
-            match index.get(&key) {
-                Some(&slot) => grouped[slot].1.push(row),
-                None => {
-                    index.insert(key.clone(), grouped.len());
-                    grouped.push((key, vec![row]));
-                }
-            }
-        }
-        let mut out = Vec::with_capacity(grouped.len());
-        let mut assoc: Vec<(Vec<ItemId>, ItemId)> =
-            Vec::with_capacity(if S::ENABLED { grouped.len() } else { 0 });
-        for (key, members) in grouped {
-            let mut item = DataItem::new();
-            for (label, kv) in key_labels.iter().zip(&key) {
-                item.push(label.clone(), kv.clone());
-            }
-            for (agg, label) in aggs.iter().zip(&agg_labels) {
-                item.push(label.clone(), eval_agg(agg, &members));
-            }
-            let id = ids.next();
-            if S::ENABLED {
-                assoc.push((members.iter().map(|r| r.id).collect(), id));
-            }
-            out.push(KeyedRow { key, id, item });
-        }
-        (out, assoc)
-    });
+    let kernel = GroupKernel {
+        op,
+        keys: keys.to_vec(),
+        aggs: aggs.to_vec(),
+        key_labels: keys.iter().map(|k| Label::new(&k.name)).collect(),
+        agg_labels: aggs.iter().map(|a| Label::new(&a.output)).collect(),
+    };
+    let results = collect_unit(
+        op,
+        &[op],
+        par_map(&buckets, |bidx, rows| agg_bucket::<S>(&kernel, bidx, rows)),
+    )?;
     // Bucket placement depends on the partition count, so impose a
     // canonical global order: sort all groups by key. This makes program
     // output identical across partition configurations.
     let mut keyed: Vec<KeyedRow> = Vec::new();
-    for (rows, assoc) in results {
+    for out in results {
+        let TaskOut::Agg { rows, assoc } = out else {
+            return Err(EngineError::Internal(
+                "aggregate task returned a non-aggregate result".into(),
+            ));
+        };
         if S::ENABLED && !assoc.is_empty() {
             sink.agg_batch(op, assoc);
         }
@@ -581,7 +504,7 @@ fn exec_group_aggregate<S: ProvenanceSink>(
     if partitions.is_empty() {
         partitions.push(Vec::new());
     }
-    partitions
+    Ok(partitions)
 }
 
 #[cfg(test)]
@@ -589,9 +512,11 @@ mod tests {
     use super::*;
     use crate::context::items_of;
     use crate::exec::run;
-    use crate::op::AggFunc;
+    use crate::expr::Expr;
+    use crate::op::{AggFunc, NamedExpr};
     use crate::program::ProgramBuilder;
     use crate::sink::NoSink;
+    use pebble_nested::Value;
 
     fn ctx() -> Context {
         let mut c = Context::new();
@@ -641,5 +566,41 @@ mod tests {
         let unfused = run_spawn_unfused(&p, &c, cfg, &NoSink).unwrap();
         assert_eq!(fused.rows, unfused.rows);
         assert_eq!(fused.op_counts, unfused.op_counts);
+    }
+
+    /// A panicking UDF surfaces as the same typed row error from both
+    /// executors, at every partitioning.
+    #[test]
+    fn panicking_udf_yields_identical_row_error() {
+        let mut b = ProgramBuilder::new();
+        let r = b.read("nums");
+        let m = b.map(
+            r,
+            crate::op::MapUdf {
+                name: "boom".into(),
+                f: std::sync::Arc::new(|item: &DataItem| {
+                    if matches!(Path::attr("v").eval(item), Some(Value::Int(30))) {
+                        panic!("bad value 30");
+                    }
+                    item.clone()
+                }),
+                output_schema: None,
+            },
+        );
+        let p = b.build(m);
+        let c = ctx();
+        for parts in [1, 2, 4] {
+            let cfg = ExecConfig::with_partitions(parts).workers(2);
+            let legacy = run_spawn(&p, &c, cfg, &NoSink)
+                .err()
+                .expect("spawn run must fail");
+            let pooled = run(&p, &c, cfg, &NoSink).err().expect("pool run must fail");
+            assert_eq!(legacy, pooled, "parts={parts}");
+            let EngineError::RowError { op, message, .. } = &legacy else {
+                panic!("expected a row error, got: {legacy}");
+            };
+            assert_eq!(*op, m);
+            assert_eq!(message, "udf `boom` panicked: bad value 30");
+        }
     }
 }

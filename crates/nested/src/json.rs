@@ -30,11 +30,27 @@ impl std::fmt::Display for JsonError {
 
 impl std::error::Error for JsonError {}
 
-/// Parses one JSON document into a [`Value`].
+/// Default nesting depth cap for [`parse`]. Deep enough for any real
+/// dataset, shallow enough that adversarial `[[[[…` input errors out long
+/// before the recursive-descent parser can exhaust the stack.
+pub const DEFAULT_MAX_DEPTH: usize = 128;
+
+/// Parses one JSON document into a [`Value`], capped at
+/// [`DEFAULT_MAX_DEPTH`] levels of object/array nesting.
 pub fn parse(input: &str) -> Result<Value, JsonError> {
+    parse_with_depth(input, DEFAULT_MAX_DEPTH)
+}
+
+/// Parses one JSON document, rejecting input nested deeper than
+/// `max_depth` levels of objects/arrays with a [`JsonError`] instead of
+/// recursing (the parser descends once per level, so unbounded nesting
+/// would overflow the stack).
+pub fn parse_with_depth(input: &str, max_depth: usize) -> Result<Value, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
+        max_depth,
     };
     p.skip_ws();
     let v = p.value()?;
@@ -141,6 +157,8 @@ fn write_string(out: &mut String, s: &str) {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
+    max_depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -176,10 +194,21 @@ impl<'a> Parser<'a> {
         }
     }
 
+    /// Guards one level of descent into an object or array.
+    fn nested(&mut self, f: fn(&mut Self) -> Result<Value, JsonError>) -> Result<Value, JsonError> {
+        if self.depth >= self.max_depth {
+            return Err(self.err(format!("nesting depth exceeds limit of {}", self.max_depth)));
+        }
+        self.depth += 1;
+        let v = f(self);
+        self.depth -= 1;
+        v
+    }
+
     fn value(&mut self) -> Result<Value, JsonError> {
         match self.peek().ok_or_else(|| self.err("unexpected end"))? {
-            b'{' => self.object(),
-            b'[' => self.array(),
+            b'{' => self.nested(Self::object),
+            b'[' => self.nested(Self::array),
             b'"' => Ok(Value::Str(self.string()?.into())),
             b't' => self.literal("true", Value::Bool(true)),
             b'f' => self.literal("false", Value::Bool(false)),
@@ -402,6 +431,22 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse(r#"{"a":1,"a":2}"#).is_err());
         assert!(parse("1 2").is_err());
+    }
+
+    #[test]
+    fn depth_cap_boundary() {
+        // Exactly at the cap parses; one level past it is a typed error.
+        let at = |n: usize| format!("{}1{}", "[".repeat(n), "]".repeat(n));
+        assert!(parse_with_depth(&at(3), 3).is_ok());
+        let err = parse_with_depth(&at(4), 3).unwrap_err();
+        assert!(err.message.contains("nesting depth exceeds limit of 3"));
+        // The default cap holds for realistic nesting and rejects the
+        // adversarial case without touching the recursion limit.
+        assert!(parse(&at(DEFAULT_MAX_DEPTH)).is_ok());
+        assert!(parse(&at(DEFAULT_MAX_DEPTH + 1)).is_err());
+        assert!(parse(&at(100_000)).is_err());
+        // Depth resets between siblings: wide-but-shallow input is fine.
+        assert!(parse_with_depth("[[1],[2],[3]]", 2).is_ok());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Differential fuzzing driver.
 //!
 //! ```text
-//! oracle_fuzz [COUNT] [START_SEED]
+//! oracle_fuzz [COUNT] [START_SEED] [MODE]
 //! ```
 //!
 //! Generates `COUNT` (default 200) pipeline/dataset cases starting at
@@ -9,10 +9,46 @@
 //! non-zero if any case diverges — after printing the minimized repro as a
 //! ready-to-paste regression test. CI runs this with fixed seeds as a
 //! bounded smoke.
+//!
+//! `MODE` selects the axis: `valid` (default) checks well-formed cases
+//! against the reference interpreter; `malformed` corrupts each case
+//! (panicking UDFs, unresolvable paths) and checks that every engine
+//! executor agrees on the failing outcome; `all` runs both.
 
 use std::process::ExitCode;
 
-use pebble_oracle::{check, fuzz, generate, minimize, regression_code};
+use pebble_oracle::{
+    check, check_malformed, fuzz, fuzz_malformed, generate, generate_malformed, minimize_with,
+    regression_code, FuzzOutcome, Generated,
+};
+
+fn report(
+    axis: &str,
+    outcome: &FuzzOutcome,
+    checker: impl Fn(&Generated) -> Option<pebble_oracle::Divergence>,
+) -> bool {
+    println!("checked {} {axis} cases", outcome.checked);
+    if outcome.divergences.is_empty() {
+        println!("no {axis} divergences");
+        return true;
+    }
+    for (gen, div) in &outcome.divergences {
+        eprintln!("DIVERGENCE {div}");
+        eprintln!("  pipeline: {}", gen.spec.describe());
+    }
+    let (first, div) = &outcome.divergences[0];
+    eprintln!("\nminimizing seed {} ({})...", first.seed, div.check);
+    let small = minimize_with(first, |g| checker(g).is_some());
+    let now = checker(&small).map_or_else(|| "no longer diverges?!".to_string(), |d| d.to_string());
+    eprintln!(
+        "minimized to {} operators / {} rows: {now}",
+        small.spec.ops.len(),
+        small.dataset.rows()
+    );
+    eprintln!("\n--- ready-to-paste regression (crates/oracle/tests/regressions.rs) ---\n");
+    eprintln!("{}", regression_code(&small));
+    false
+}
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -24,36 +60,52 @@ fn main() -> ExitCode {
         .next()
         .map(|a| a.parse().expect("START_SEED is a number"))
         .unwrap_or(0);
+    let mode: String = args.next().unwrap_or_else(|| "valid".to_string());
+    let (run_valid, run_malformed) = match mode.as_str() {
+        "valid" => (true, false),
+        "malformed" => (false, true),
+        "all" => (true, true),
+        other => {
+            eprintln!("unknown MODE `{other}` (expected valid | malformed | all)");
+            return ExitCode::FAILURE;
+        }
+    };
 
-    println!("oracle_fuzz: checking {count} generated pipelines from seed {start}");
-    let outcome = fuzz(start, count, 5);
-    println!("checked {} cases", outcome.checked);
-    for seed in (start..start + count).step_by((count as usize / 8).max(1)) {
-        let g = generate(seed);
-        println!(
-            "  e.g. seed {seed}: {} ({} input rows)",
-            g.spec.describe(),
-            g.dataset.rows()
-        );
+    let mut ok = true;
+    if run_valid {
+        println!("oracle_fuzz: checking {count} generated pipelines from seed {start}");
+        let outcome = fuzz(start, count, 5);
+        for seed in (start..start + count).step_by((count as usize / 8).max(1)) {
+            let g = generate(seed);
+            println!(
+                "  e.g. seed {seed}: {} ({} input rows)",
+                g.spec.describe(),
+                g.dataset.rows()
+            );
+        }
+        ok &= report("valid", &outcome, check);
     }
-    if outcome.divergences.is_empty() {
-        println!("no divergences");
-        return ExitCode::SUCCESS;
+    if run_malformed {
+        // Malformed cases contain UDFs that panic on purpose; the engine
+        // contains every panic, but the default hook would still print a
+        // backtrace per contained panic. Real failures surface as
+        // divergence values, not panics, so silence the hook.
+        std::panic::set_hook(Box::new(|_| {}));
+        println!("oracle_fuzz: checking {count} malformed pipelines from seed {start}");
+        let outcome = fuzz_malformed(start, count, 5);
+        for seed in (start..start + count).step_by((count as usize / 8).max(1)) {
+            let g = generate_malformed(seed);
+            println!(
+                "  e.g. seed {seed}: {} ({} input rows)",
+                g.spec.describe(),
+                g.dataset.rows()
+            );
+        }
+        ok &= report("malformed", &outcome, check_malformed);
     }
-    for (gen, div) in &outcome.divergences {
-        eprintln!("DIVERGENCE {div}");
-        eprintln!("  pipeline: {}", gen.spec.describe());
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    let (first, div) = &outcome.divergences[0];
-    eprintln!("\nminimizing seed {} ({})...", first.seed, div.check);
-    let small = minimize(first);
-    let now = check(&small).map_or_else(|| "no longer diverges?!".to_string(), |d| d.to_string());
-    eprintln!(
-        "minimized to {} operators / {} rows: {now}",
-        small.spec.ops.len(),
-        small.dataset.rows()
-    );
-    eprintln!("\n--- ready-to-paste regression (crates/oracle/tests/regressions.rs) ---\n");
-    eprintln!("{}", regression_code(&small));
-    ExitCode::FAILURE
 }

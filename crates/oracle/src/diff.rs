@@ -32,7 +32,7 @@ use pebble_core::{
     backtrace, canonical_provenance, run_captured, run_captured_spawn, run_captured_unfused,
     Backtrace, CapturedRun, PatternNode, ProvTree, TreePattern,
 };
-use pebble_dataflow::{run, Context, ExecConfig, NoSink, Program, Row};
+use pebble_dataflow::{run, Context, EngineError, ExecConfig, NoSink, Program, Row};
 use pebble_nested::Path;
 
 use crate::gen::Generated;
@@ -152,6 +152,31 @@ fn compare_captured(
     None
 }
 
+/// Compares two whole run *outcomes*: bit-for-bit captured runs when both
+/// succeed, `Display`-identical engine errors when both fail, and a
+/// divergence when one side succeeds while the other does not. This is
+/// the executor-agreement contract on malformed inputs — a failing run is
+/// part of the observable semantics, so executors must fail identically.
+fn same_outcome(
+    seed: u64,
+    check: &str,
+    a: &Result<CapturedRun, EngineError>,
+    b: &Result<CapturedRun, EngineError>,
+) -> Option<Divergence> {
+    match (a, b) {
+        (Ok(x), Ok(y)) => compare_captured(seed, check, x, y),
+        (Err(x), Err(y)) => {
+            if x.to_string() == y.to_string() {
+                None
+            } else {
+                diverge(seed, check, format!("errors differ: `{x}` vs `{y}`"))
+            }
+        }
+        (Ok(_), Err(e)) => diverge(seed, check, format!("first succeeds, second errors ({e})")),
+        (Err(e), Ok(_)) => diverge(seed, check, format!("first errors ({e}), second succeeds")),
+    }
+}
+
 /// Compares row *items* in sequence, ignoring identifiers (the partition
 /// invariance contract).
 fn compare_items(seed: u64, check: &str, a: &[Row], b: &[Row]) -> Option<Divergence> {
@@ -223,7 +248,7 @@ impl Questions {
             let bt = Backtrace {
                 entries: vec![(row.id, tree)],
             };
-            let sources = backtrace(run, bt);
+            let sources = backtrace(run, bt).expect("backtrace failed on a captured oracle run");
             let canonical = canonical_provenance(&sources);
             out.push((
                 format!("whole-item backtrace of output[{i}]"),
@@ -233,7 +258,7 @@ impl Questions {
         }
         if let Some(pattern) = &self.pattern {
             let bt = pattern.match_rows(&run.output.rows);
-            let sources = backtrace(run, bt);
+            let sources = backtrace(run, bt).expect("backtrace failed on a captured oracle run");
             let canonical = canonical_provenance(&sources);
             out.push(("tree-pattern backtrace".to_string(), sources, canonical));
         }
@@ -251,10 +276,11 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
     let reference = run_reference(&program, &ctx);
     let fused = run_captured(&program, &ctx, reference_config());
     let (reference, fused) = match (reference, fused) {
-        // Both reject the program: agreement (the generator sometimes
-        // produces pipelines the static layer refuses; both sides must
-        // refuse together).
-        (Err(_), Err(_)) => return None,
+        // Both reject the program (the generator sometimes produces
+        // pipelines the static layer refuses; both sides must refuse
+        // together). Every other engine executor must reject it with the
+        // *same* error.
+        (Err(_), Err(engine_err)) => return rejection_agreement(seed, &program, &ctx, &engine_err),
         (Err(e), Ok(_)) => {
             return diverge(
                 seed,
@@ -415,6 +441,146 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
     None
 }
 
+/// When the fused engine rejects a program, every other engine executor
+/// and configuration must reject it with a `Display`-identical error
+/// (static validation runs before any data moves, so the error cannot
+/// depend on partitioning or scheduling).
+fn rejection_agreement(
+    seed: u64,
+    program: &Program,
+    ctx: &Context,
+    fused_err: &EngineError,
+) -> Option<Divergence> {
+    let expect = fused_err.to_string();
+    let mut checks: Vec<(String, Result<CapturedRun, EngineError>)> = vec![
+        (
+            "unfused engine".into(),
+            run_captured_unfused(program, ctx, reference_config()),
+        ),
+        (
+            "spawn executor".into(),
+            run_captured_spawn(program, ctx, reference_config()),
+        ),
+    ];
+    for workers in ALT_WORKERS {
+        let config = reference_config()
+            .workers(workers)
+            .morsel_rows(ALT_WORKER_MORSEL);
+        checks.push((format!("w={workers}"), run_captured(program, ctx, config)));
+    }
+    for parts in ALT_PARTITIONS {
+        let config = ExecConfig::with_partitions(parts);
+        checks.push((format!("p={parts}"), run_captured(program, ctx, config)));
+    }
+    for (name, outcome) in checks {
+        match outcome {
+            Ok(_) => {
+                return diverge(
+                    seed,
+                    "rejection agreement",
+                    format!("fused engine rejects ({expect}), {name} succeeds"),
+                )
+            }
+            Err(e) => {
+                if e.to_string() != expect {
+                    return diverge(
+                        seed,
+                        "rejection agreement",
+                        format!("fused engine rejects `{expect}`, {name} rejects `{e}`"),
+                    );
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs one (typically corrupted, see [`crate::gen::generate_malformed`])
+/// case through the engine's executor matrix only — the reference
+/// interpreter is skipped because it does not contain UDF panics — and
+/// asserts the pool and spawn executors agree on the exact outcome at
+/// every configuration: bit-identical captured runs when both succeed,
+/// `Display`-identical [`EngineError`]s when both fail.
+pub fn check_malformed(gen: &Generated) -> Option<Divergence> {
+    let program: Program = gen.spec.compile();
+    let ctx: Context = gen.dataset.context();
+    let seed = gen.seed;
+
+    let fused = run_captured(&program, &ctx, reference_config());
+    let spawn = run_captured_spawn(&program, &ctx, reference_config());
+    if let Some(d) = same_outcome(seed, "pool vs spawn (p=1)", &fused, &spawn) {
+        return Some(d);
+    }
+    let unfused = run_captured_unfused(&program, &ctx, reference_config());
+    if let Some(d) = same_outcome(seed, "fused vs unfused (p=1)", &fused, &unfused) {
+        return Some(d);
+    }
+
+    // Capture transparency extends to failures: a plain (no-capture) run
+    // fails — or succeeds — exactly like the captured run.
+    let plain = run(&program, &ctx, reference_config(), &NoSink);
+    match (&plain, &fused) {
+        (Ok(p), Ok(f)) => {
+            if p.rows != f.output.rows {
+                return diverge(
+                    seed,
+                    "capture on/off (p=1)",
+                    "plain run rows differ from captured run rows".to_string(),
+                );
+            }
+        }
+        (Err(pe), Err(fe)) => {
+            if pe.to_string() != fe.to_string() {
+                return diverge(
+                    seed,
+                    "capture on/off (p=1)",
+                    format!("plain run errors `{pe}`, captured run errors `{fe}`"),
+                );
+            }
+        }
+        (Ok(_), Err(fe)) => {
+            return diverge(
+                seed,
+                "capture on/off (p=1)",
+                format!("plain run succeeds, captured run errors ({fe})"),
+            )
+        }
+        (Err(pe), Ok(_)) => {
+            return diverge(
+                seed,
+                "capture on/off (p=1)",
+                format!("plain run errors ({pe}), captured run succeeds"),
+            )
+        }
+    }
+
+    // Worker-count invariance of the whole outcome: the pool at w∈{2,7}
+    // with tiny morsels reproduces the w=1 outcome bit-for-bit — first-
+    // failure selection is deterministic, not a race.
+    for workers in ALT_WORKERS {
+        let config = reference_config()
+            .workers(workers)
+            .morsel_rows(ALT_WORKER_MORSEL);
+        let alt = run_captured(&program, &ctx, config);
+        if let Some(d) = same_outcome(seed, &format!("w=1 vs w={workers} (p=1)"), &fused, &alt) {
+            return Some(d);
+        }
+    }
+
+    // At other partition counts identifiers (and hence failing-row ids)
+    // legitimately move, so the comparison is pool vs spawn *within* each
+    // partition count, not across counts.
+    for parts in ALT_PARTITIONS {
+        let config = ExecConfig::with_partitions(parts);
+        let p = run_captured(&program, &ctx, config);
+        let s = run_captured_spawn(&program, &ctx, config);
+        if let Some(d) = same_outcome(seed, &format!("pool vs spawn (p={parts})"), &p, &s) {
+            return Some(d);
+        }
+    }
+    None
+}
+
 /// Result of a fuzzing sweep over a seed range.
 #[derive(Debug, Default)]
 pub struct FuzzOutcome {
@@ -433,6 +599,24 @@ pub fn fuzz(start_seed: u64, count: u64, stop_after: usize) -> FuzzOutcome {
         let gen = crate::gen::generate(seed);
         outcome.checked += 1;
         if let Some(div) = check(&gen) {
+            outcome.divergences.push((gen, div));
+            if stop_after > 0 && outcome.divergences.len() >= stop_after {
+                break;
+            }
+        }
+    }
+    outcome
+}
+
+/// The malformed-input sweep: like [`fuzz`], but corrupting each case via
+/// [`crate::gen::generate_malformed`] and checking executor agreement on
+/// the (usually failing) outcome with [`check_malformed`].
+pub fn fuzz_malformed(start_seed: u64, count: u64, stop_after: usize) -> FuzzOutcome {
+    let mut outcome = FuzzOutcome::default();
+    for seed in start_seed..start_seed.saturating_add(count) {
+        let gen = crate::gen::generate_malformed(seed);
+        outcome.checked += 1;
+        if let Some(div) = check_malformed(&gen) {
             outcome.divergences.push((gen, div));
             if stop_after > 0 && outcome.divergences.len() >= stop_after {
                 break;

@@ -94,6 +94,89 @@ fn source_schema(items: &[DataItem]) -> DataType {
     pebble_dataflow::context::infer_schema(items)
 }
 
+/// Deterministically corrupts the valid case for `seed` into a
+/// malformed-input case: a panicking UDF appended to the pipeline, or an
+/// operator path rewritten to something that cannot resolve. The result
+/// fails at validation, fails at runtime, or — when the corruption is
+/// harmless for this dataset — still succeeds; in every outcome the pool
+/// and spawn executors must agree exactly (see
+/// [`crate::diff::check_malformed`]).
+pub fn generate_malformed(seed: u64) -> Generated {
+    let mut gen = generate(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6d61_6c66_6f72_6d31);
+    let frontier = gen.spec.ops.len() - 1;
+    match rng.gen_range(0..4u32) {
+        // A UDF that panics on the first row it sees.
+        0 => gen.spec.ops.push(OpSpec::Map {
+            input: frontier,
+            udf: UdfSpec::PanicAlways {
+                message: format!("injected failure for seed {seed}"),
+            },
+        }),
+        // A UDF that panics only on rows containing a common substring —
+        // a partial failure, possibly none at all.
+        1 => {
+            let needle = ["a", "e", "1", "zzz"][rng.gen_range(0..4usize)];
+            gen.spec.ops.push(OpSpec::Map {
+                input: frontier,
+                udf: UdfSpec::PanicOnNeedle {
+                    needle: needle.into(),
+                },
+            });
+        }
+        // A flatten whose collection path cannot resolve: the static
+        // layer must reject it, identically in every executor.
+        2 => gen.spec.ops.push(OpSpec::Flatten {
+            input: frontier,
+            col: "__corrupt__".into(),
+            new_attr: "x".into(),
+        }),
+        // Corrupt a path inside an existing operator.
+        _ => corrupt_existing_path(&mut gen.spec, &mut rng),
+    }
+    gen
+}
+
+/// Rewrites one path of a path-bearing operator to an unresolvable name,
+/// falling back to an unresolvable flatten when the pipeline has none.
+fn corrupt_existing_path(spec: &mut PipelineSpec, rng: &mut StdRng) {
+    let n = spec.ops.len();
+    let start = rng.gen_range(0..n);
+    for off in 0..n {
+        match &mut spec.ops[(start + off) % n] {
+            OpSpec::Flatten { col, .. } => {
+                *col = "__corrupt__".into();
+                return;
+            }
+            OpSpec::Select { cols, .. } => {
+                if let Some(ColSpec::Path { path, .. }) = cols.first_mut() {
+                    *path = "__corrupt__".into();
+                    return;
+                }
+            }
+            OpSpec::GroupAgg { keys, .. } => {
+                if let Some((_, path)) = keys.first_mut() {
+                    *path = "__corrupt__".into();
+                    return;
+                }
+            }
+            OpSpec::Join { keys, .. } => {
+                if let Some((left, _)) = keys.first_mut() {
+                    *left = "__corrupt__".into();
+                    return;
+                }
+            }
+            _ => {}
+        }
+    }
+    let frontier = spec.ops.len() - 1;
+    spec.ops.push(OpSpec::Flatten {
+        input: frontier,
+        col: "__corrupt__".into(),
+        new_attr: "x".into(),
+    });
+}
+
 impl Gen {
     fn grow(&mut self, dataset: &DatasetSpec) {
         // Start: read a random source.
@@ -493,6 +576,9 @@ impl Gen {
                 }
                 other => other.clone(),
             },
+            // The valid generator never draws panicking UDFs; they come
+            // from `generate_malformed` only.
+            UdfSpec::PanicAlways { .. } | UdfSpec::PanicOnNeedle { .. } => schema.clone(),
         };
         self.ops.push(OpSpec::Map {
             input: frontier,

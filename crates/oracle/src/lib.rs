@@ -30,8 +30,10 @@ pub mod interp;
 pub mod minimize;
 pub mod spec;
 
-pub use diff::{check, fuzz, Divergence, FuzzOutcome, ALT_PARTITIONS};
-pub use gen::{generate, Generated};
+pub use diff::{
+    check, check_malformed, fuzz, fuzz_malformed, Divergence, FuzzOutcome, ALT_PARTITIONS,
+};
+pub use gen::{generate, generate_malformed, Generated};
 pub use interp::{reference_config, run_reference};
 pub use minimize::{minimize, minimize_with, regression_code};
 pub use spec::{

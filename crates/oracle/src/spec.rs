@@ -201,6 +201,20 @@ pub enum UdfSpec {
         /// Attribute value.
         value: i64,
     },
+    /// Panics on every item — a worst-case misbehaving UDF. Used by the
+    /// malformed-input axis: both executors must contain the panic and
+    /// report the same row-level error.
+    PanicAlways {
+        /// Panic message.
+        message: String,
+    },
+    /// Panics when the serialized item contains `needle`, otherwise
+    /// behaves as the identity — a UDF that fails on *some* rows, so the
+    /// executors' first-failure selection is exercised.
+    PanicOnNeedle {
+        /// Substring that triggers the panic.
+        needle: String,
+    },
 }
 
 impl UdfSpec {
@@ -225,6 +239,27 @@ impl UdfSpec {
                     output_schema: None,
                 }
             }
+            UdfSpec::PanicAlways { message } => {
+                let message = message.clone();
+                MapUdf {
+                    name: "panic_always".into(),
+                    f: std::sync::Arc::new(move |_d: &DataItem| panic!("{message}")),
+                    output_schema: None,
+                }
+            }
+            UdfSpec::PanicOnNeedle { needle } => {
+                let needle = needle.clone();
+                MapUdf {
+                    name: "panic_on_needle".into(),
+                    f: std::sync::Arc::new(move |d: &DataItem| {
+                        if json::item_to_string(d).contains(needle.as_str()) {
+                            panic!("refusing item containing `{needle}`");
+                        }
+                        d.clone()
+                    }),
+                    output_schema: None,
+                }
+            }
         }
     }
 
@@ -233,6 +268,12 @@ impl UdfSpec {
             UdfSpec::Identity => "UdfSpec::Identity".into(),
             UdfSpec::TagInt { attr, value } => {
                 format!("UdfSpec::TagInt {{ attr: {attr:?}.into(), value: {value} }}")
+            }
+            UdfSpec::PanicAlways { message } => {
+                format!("UdfSpec::PanicAlways {{ message: {message:?}.into() }}")
+            }
+            UdfSpec::PanicOnNeedle { needle } => {
+                format!("UdfSpec::PanicOnNeedle {{ needle: {needle:?}.into() }}")
             }
         }
     }

@@ -128,7 +128,8 @@ fn dblp_flatten_group_provenance_matches_fixture() {
         Backtrace {
             entries: vec![(row.id, tree)],
         },
-    );
+    )
+    .unwrap();
     for (source, index, tree) in canonical_provenance(&sources) {
         out.push_str(&format!("{source}[{index}]: {tree}\n"));
     }

@@ -515,7 +515,7 @@ mod tests {
             );
             let b = s.query.match_rows(&run.output.rows);
             assert!(!b.entries.is_empty(), "{} query matched nothing", s.name);
-            let sources = backtrace(&run, b);
+            let sources = backtrace(&run, b).unwrap();
             assert!(
                 sources.iter().any(|sp| !sp.entries.is_empty()),
                 "{} backtraced nothing",
@@ -537,7 +537,7 @@ mod tests {
             );
             let b = s.query.match_rows(&run.output.rows);
             assert!(!b.entries.is_empty(), "{} query matched nothing", s.name);
-            let sources = backtrace(&run, b);
+            let sources = backtrace(&run, b).unwrap();
             assert!(
                 sources.iter().any(|sp| !sp.entries.is_empty()),
                 "{} backtraced nothing",

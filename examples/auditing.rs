@@ -23,7 +23,7 @@ fn main() {
     for s in dblp_scenarios() {
         let run = run_captured(&s.program, &ctx, cfg).expect("scenario runs");
         let b = s.query.match_rows(&run.output.rows);
-        for source in backtrace(&run, b) {
+        for source in backtrace(&run, b).unwrap() {
             if source.source == "inproceedings" {
                 report.merge(AuditReport::from_provenance(&source));
             }

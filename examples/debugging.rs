@@ -47,7 +47,7 @@ fn main() {
 
     // Step 3: the structural provenance answer.
     let b = running_example::query().match_rows(&run.output.rows);
-    let sources = backtrace(&run, b);
+    let sources = backtrace(&run, b).unwrap();
     println!("Structural provenance answer: exactly the contributing nested items");
     for source in &sources {
         for entry in &source.entries {

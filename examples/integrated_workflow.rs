@@ -80,7 +80,7 @@ fn main() {
         TreePattern::parse(r#"mentioned = "u7", retweet_count > 100"#).expect("query parses");
     let matched = query.match_rows(&reloaded.output.rows);
     println!("\nquery matched {} result rows", matched.entries.len());
-    for source in backtrace_with(&reloaded, &index, matched) {
+    for source in backtrace_with(&reloaded, &index, matched).unwrap() {
         println!(
             "source `{}`: {} contributing input tweets",
             source.source,

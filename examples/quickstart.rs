@@ -35,7 +35,7 @@ fn main() {
     }
 
     // 4. Backtrace to the input (Fig. 2, left).
-    let sources = backtrace(&run, matched);
+    let sources = backtrace(&run, matched).unwrap();
     println!("== Provenance trees on the input ==");
     for source in &sources {
         println!(

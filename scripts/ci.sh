@@ -30,4 +30,21 @@ PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16 cargo test -q --works
 echo "==> oracle differential smoke"
 cargo run -q --release -p pebble-oracle --bin oracle_fuzz -- 1500 0
 
+# Malformed-input smoke: the same generator with injected corruption
+# (panicking UDFs, unresolvable paths); every engine executor must agree
+# on the exact failing outcome.
+echo "==> oracle malformed-input smoke"
+cargo run -q --release -p pebble-oracle --bin oracle_fuzz -- 500 0 malformed
+
+# Panic-injection smoke at the two extreme scheduler shapes: the fault
+# harness itself sweeps partition/worker shapes, and the env knobs swing
+# every other test's default config across the same extremes.
+echo "==> panic-injection smoke (PEBBLE_PARTITIONS=1 PEBBLE_WORKERS=1)"
+PEBBLE_PARTITIONS=1 PEBBLE_WORKERS=1 \
+    cargo test -q --release -p pebble-dataflow --test fault_injection
+
+echo "==> panic-injection smoke (PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8)"
+PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16 \
+    cargo test -q --release -p pebble-dataflow --test fault_injection
+
 echo "CI OK"

@@ -176,7 +176,7 @@ fn scenario_cmd(args: &[String], trace: bool) -> Result<(), String> {
     };
     let matched = query.match_rows(&run.output.rows);
     println!("query matched {} result items", matched.entries.len());
-    let sources = backtrace(&run, matched);
+    let sources = backtrace(&run, matched).map_err(|e| e.to_string())?;
     for source in &sources {
         println!(
             "\nsource `{}` (read #{}): {} traced items",
@@ -205,7 +205,7 @@ fn heatmap_cmd(args: &[String]) -> Result<(), String> {
         let run =
             run_captured(&s.program, &ctx, ExecConfig::default()).map_err(|e| e.to_string())?;
         let b = s.query.match_rows(&run.output.rows);
-        for source in backtrace(&run, b) {
+        for source in backtrace(&run, b).map_err(|e| e.to_string())? {
             if source.source == "inproceedings" {
                 heatmap.absorb(&source);
             }
@@ -240,7 +240,7 @@ fn audit_cmd(args: &[String]) -> Result<(), String> {
         let run =
             run_captured(&s.program, &ctx, ExecConfig::default()).map_err(|e| e.to_string())?;
         let b = s.query.match_rows(&run.output.rows);
-        for source in backtrace(&run, b) {
+        for source in backtrace(&run, b).map_err(|e| e.to_string())? {
             if source.source == "inproceedings" {
                 report.merge(AuditReport::from_provenance(&source));
             }

@@ -23,13 +23,13 @@ fn reloaded_provenance_answers_identically() {
             let decoded = storage::decode(&bytes).unwrap_or_else(|e| panic!("{}: {e}", s.name));
             assert_eq!(run.ops, decoded, "{}: ops roundtrip", s.name);
 
-            let live = backtrace(&run, s.query.match_rows(&run.output.rows));
+            let live = backtrace(&run, s.query.match_rows(&run.output.rows)).unwrap();
             let reloaded = CapturedRun {
                 program: s.program.clone(),
                 output: run.output,
                 ops: decoded,
             };
-            let replayed = backtrace(&reloaded, s.query.match_rows(&reloaded.output.rows));
+            let replayed = backtrace(&reloaded, s.query.match_rows(&reloaded.output.rows)).unwrap();
             assert_eq!(live.len(), replayed.len(), "{}", s.name);
             for (a, b) in live.iter().zip(&replayed) {
                 assert_eq!(a.read_op, b.read_op);

@@ -25,7 +25,7 @@ fn full_running_example_reproduces_fig2() {
     assert_eq!(matched.entries.len(), 1);
 
     // Backtrace to the sources (Fig. 2 left).
-    let sources = backtrace(&run, matched);
+    let sources = backtrace(&run, matched).unwrap();
     // Both reads are examined; only the upper branch (read #0) contributes.
     let upper = sources.iter().find(|s| s.read_op == 0).unwrap();
     assert_eq!(
@@ -86,7 +86,7 @@ fn structural_provenance_is_subset_of_lineage() {
     let run = run_captured(&program, &ctx, cfg()).unwrap();
     let matched = running_example::query().match_rows(&run.output.rows);
     let lp_id = matched.entries[0].0;
-    let structural = backtrace(&run, matched);
+    let structural = backtrace(&run, matched).unwrap();
 
     let lrun = run_lineage(&program, &ctx, cfg()).unwrap();
     // Find the same result item in the lineage run by value.
@@ -167,8 +167,8 @@ fn textual_query_syntax_equals_builder_query() {
         assert_eq!(ta, tb);
     }
     // And the backtraced provenance is identical.
-    let pa = backtrace(&run, a);
-    let pb = backtrace(&run, b);
+    let pa = backtrace(&run, a).unwrap();
+    let pb = backtrace(&run, b).unwrap();
     assert_eq!(pa.len(), pb.len());
     for (sa, sb) in pa.iter().zip(&pb) {
         assert_eq!(sa.entries.len(), sb.entries.len());

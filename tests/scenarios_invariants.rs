@@ -46,7 +46,7 @@ fn structural_contained_in_lineage_all_scenarios() {
             let crun = run_captured(&s.program, &ctx, cfg()).unwrap();
             let b = s.query.match_rows(&crun.output.rows);
             let matched_ids: Vec<u64> = b.entries.iter().map(|(id, _)| *id).collect();
-            let structural = backtrace(&crun, b);
+            let structural = backtrace(&crun, b).unwrap();
 
             let lrun = run_lineage(&s.program, &ctx, cfg()).unwrap();
             // Identifier sequences are deterministic across both captured
@@ -83,7 +83,7 @@ fn eager_and_lazy_agree_all_scenarios() {
         for s in scenarios {
             let crun = run_captured(&s.program, &ctx, cfg()).unwrap();
             let b = s.query.match_rows(&crun.output.rows);
-            let eager = backtrace(&crun, b);
+            let eager = backtrace(&crun, b).unwrap();
             let (lazy, stats) = lazy_query(&s.program, &ctx, cfg(), &s.query).unwrap();
             assert_eq!(stats.reruns, s.program.reads().len());
             assert_eq!(eager.len(), lazy.len(), "{}", s.name);
@@ -151,6 +151,7 @@ fn optimizer_preserves_results_and_provenance() {
                 let run = run_captured(program, &ctx, cfg()).unwrap();
                 let b = s.query.match_rows(&run.output.rows);
                 let mut traced: Vec<(String, Vec<usize>)> = backtrace(&run, b)
+                    .unwrap()
                     .into_iter()
                     .map(|sp| {
                         let mut idx: Vec<usize> = sp.entries.iter().map(|e| e.index).collect();
