@@ -53,6 +53,13 @@ fn main() {
         })
         .collect();
 
+    // The per-phase numbers come from the engine's own instrumentation:
+    // with metrics forced on, `BacktraceIndex::build` and `backtrace_with`
+    // record into the process-wide histograms, which we read as deltas.
+    pebble_obs::force_metrics(true);
+    let build_before = pebble_obs::global().backtrace_build_ns.snapshot();
+    let probe_before = pebble_obs::global().backtrace_probe_ns.snapshot();
+
     let times = time_interleaved(
         ROUNDS,
         &mut [
@@ -75,6 +82,15 @@ fn main() {
     let prepared_ms = times[1].as_secs_f64() * 1e3;
     let speedup = per_query_ms / prepared_ms.max(1e-9);
 
+    let build = pebble_obs::global()
+        .backtrace_build_ns
+        .snapshot()
+        .delta_since(&build_before);
+    let probe = pebble_obs::global()
+        .backtrace_probe_ns
+        .snapshot()
+        .delta_since(&probe_before);
+
     let mut body = String::from("{\n");
     let _ = writeln!(body, "  \"rounds\": {ROUNDS},");
     let _ = writeln!(body, "  \"scale\": {},", scale());
@@ -82,7 +98,20 @@ fn main() {
     let _ = writeln!(body, "  \"queries\": {},", questions.len());
     let _ = writeln!(body, "  \"per_query_build_ms\": {per_query_ms:.3},");
     let _ = writeln!(body, "  \"prepared_index_ms\": {prepared_ms:.3},");
-    let _ = writeln!(body, "  \"prepared_speedup_x\": {speedup:.2}");
+    let _ = writeln!(body, "  \"prepared_speedup_x\": {speedup:.2},");
+    let _ = writeln!(body, "  \"index_builds\": {},", build.count);
+    let _ = writeln!(
+        body,
+        "  \"index_build_mean_us\": {:.2},",
+        build.mean() / 1e3
+    );
+    let _ = writeln!(body, "  \"probes\": {},", probe.count);
+    let _ = writeln!(body, "  \"probe_mean_us\": {:.2},", probe.mean() / 1e3);
+    let _ = writeln!(
+        body,
+        "  \"probe_p99_us\": {:.2}",
+        probe.quantile(0.99) as f64 / 1e3
+    );
     body.push('}');
 
     write_json_section(&out_path, "backtrace", &body);

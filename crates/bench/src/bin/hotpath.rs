@@ -15,7 +15,7 @@ use std::fmt::Write as _;
 
 use pebble_bench::{exec_config, time_interleaved, DBLP_BASE, TWITTER_BASE};
 use pebble_core::run_captured;
-use pebble_dataflow::{run, NoSink};
+use pebble_dataflow::{run, run_observed, NoSink, ObsConfig};
 use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios};
 
 const ROUNDS: usize = 9;
@@ -24,6 +24,10 @@ struct Measurement {
     scenario: &'static str,
     plain_ms: f64,
     capture_ms: f64,
+    /// Structural facts from the engine's own run report (one metrics-on
+    /// run), replacing bench-private recounting of the workload shape.
+    rows_out: u64,
+    morsels: u64,
 }
 
 fn measure() -> Vec<Measurement> {
@@ -44,10 +48,13 @@ fn measure() -> Vec<Measurement> {
             },
         ],
     );
+    let (_, t3_report) = run_observed(&t3.program, &tctx, cfg, &NoSink, &ObsConfig::metrics());
     out.push(Measurement {
         scenario: "T3",
         plain_ms: times[0].as_secs_f64() * 1e3,
         capture_ms: times[1].as_secs_f64() * 1e3,
+        rows_out: t3_report.operators.last().map_or(0, |o| o.rows_out),
+        morsels: t3_report.morsels.executed,
     });
 
     let dctx = dblp_context(DBLP_BASE * pebble_bench::scale());
@@ -64,10 +71,13 @@ fn measure() -> Vec<Measurement> {
             },
         ],
     );
+    let (_, d3_report) = run_observed(&d3.program, &dctx, cfg, &NoSink, &ObsConfig::metrics());
     out.push(Measurement {
         scenario: "D3",
         plain_ms: times[0].as_secs_f64() * 1e3,
         capture_ms: times[1].as_secs_f64() * 1e3,
+        rows_out: d3_report.operators.last().map_or(0, |o| o.rows_out),
+        morsels: d3_report.morsels.executed,
     });
 
     out
@@ -124,8 +134,9 @@ fn main() {
         }
         let _ = writeln!(
             json,
-            "    \"{}\": {{\"plain_ms\": {:.3}, \"capture_ms\": {:.3}{extra}}}{sep}",
-            m.scenario, m.plain_ms, m.capture_ms
+            "    \"{}\": {{\"plain_ms\": {:.3}, \"capture_ms\": {:.3}, \
+             \"rows_out\": {}, \"morsels\": {}{extra}}}{sep}",
+            m.scenario, m.plain_ms, m.capture_ms, m.rows_out, m.morsels
         );
     }
     let _ = writeln!(json, "  }}");

@@ -1,0 +1,126 @@
+//! Observability overhead guard: the disabled telemetry path must be free.
+//!
+//! Everything in `pebble-obs` is compiled in unconditionally and gated at
+//! run time, so the guarded property is that the *metrics-off* path — a
+//! branch on a relaxed atomic, no allocation, no locks — adds nothing
+//! measurable to the hotpath bench. Three alternatives are timed
+//! interleaved on the Twitter T3 scenario:
+//!
+//! * `hotpath` — plain [`run`], the env-gated default (metrics off): the
+//!   PR-1 hotpath bench measurement;
+//! * `metrics_off` — [`run_observed`] with an explicit disabled
+//!   [`ObsConfig`]: the same disabled path entered through the telemetry
+//!   API;
+//! * `metrics_on` — [`run_observed`] with metrics enabled, reported
+//!   informationally (per-morsel timing + histograms, no tracing).
+//!
+//! The guard asserts `metrics_off` stays within 2% of `hotpath`; if the
+//! disabled path ever grows a per-run allocation or a lock, the gap shows
+//! up here. Scheduler noise only ever *inflates* the measured gap, so
+//! under `--assert` the measurement is retried (up to three attempts) and
+//! the guard passes if any attempt lands under the limit — a real
+//! regression fails all of them. Results fold into the `"obs_overhead"`
+//! section of `BENCH_3.json`.
+//!
+//! Usage: `obs_overhead [--out FILE] [--assert]` (default `BENCH_3.json`).
+
+use std::fmt::Write as _;
+
+use pebble_bench::{
+    exec_config, overhead_pct, scale, time_interleaved, write_json_section, TWITTER_BASE,
+};
+use pebble_dataflow::{run, run_observed, NoSink, ObsConfig};
+use pebble_workloads::{twitter_context, twitter_scenarios};
+
+const ROUNDS: usize = 15;
+/// Maximum tolerated metrics-off overhead over the plain hotpath, percent.
+const GUARD_PCT: f64 = 2.0;
+/// Measurement attempts under `--assert` before the guard is declared
+/// failed; noise can only push the measured gap up, never hide a real one.
+const ATTEMPTS: usize = 3;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_3.json");
+    let mut assert_guard = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--assert" => assert_guard = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    // The baseline must be the metrics-off path whatever the caller's
+    // environment says: neutralize the env gates before the first run.
+    std::env::remove_var("PEBBLE_TRACE");
+    std::env::remove_var("PEBBLE_METRICS");
+    pebble_obs::force_metrics(false);
+
+    let ctx = twitter_context(TWITTER_BASE * scale());
+    let t3 = twitter_scenarios().remove(2);
+    assert_eq!(t3.name, "T3");
+    let cfg = exec_config();
+
+    let attempts = if assert_guard { ATTEMPTS } else { 1 };
+    let mut times = Vec::new();
+    let mut off_pct = f64::INFINITY;
+    for attempt in 1..=attempts {
+        times = time_interleaved(
+            ROUNDS,
+            &mut [
+                &mut || {
+                    run(&t3.program, &ctx, cfg, &NoSink).unwrap();
+                },
+                &mut || {
+                    run_observed(&t3.program, &ctx, cfg, &NoSink, &ObsConfig::disabled())
+                        .0
+                        .unwrap();
+                },
+                &mut || {
+                    run_observed(&t3.program, &ctx, cfg, &NoSink, &ObsConfig::metrics())
+                        .0
+                        .unwrap();
+                },
+            ],
+        );
+        off_pct = overhead_pct(times[0], times[1]);
+        if off_pct < GUARD_PCT {
+            break;
+        }
+        if attempt < attempts {
+            eprintln!(
+                "attempt {attempt}/{attempts}: metrics-off at {off_pct:.2}% \
+                 (limit {GUARD_PCT}%), re-measuring"
+            );
+        }
+    }
+    let hotpath_ms = times[0].as_secs_f64() * 1e3;
+    let off_ms = times[1].as_secs_f64() * 1e3;
+    let on_ms = times[2].as_secs_f64() * 1e3;
+    let on_pct = overhead_pct(times[0], times[2]);
+
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(body, "  \"scale\": {},", scale());
+    let _ = writeln!(body, "  \"scenario\": \"T3\",");
+    let _ = writeln!(body, "  \"hotpath_ms\": {hotpath_ms:.3},");
+    let _ = writeln!(body, "  \"metrics_off_ms\": {off_ms:.3},");
+    let _ = writeln!(body, "  \"metrics_on_ms\": {on_ms:.3},");
+    let _ = writeln!(body, "  \"metrics_off_pct\": {off_pct:.2},");
+    let _ = writeln!(body, "  \"metrics_on_pct\": {on_pct:.2},");
+    let _ = writeln!(body, "  \"guard_pct\": {GUARD_PCT:.1}");
+    body.push('}');
+
+    write_json_section(&out_path, "obs_overhead", &body);
+    println!("\"obs_overhead\": {body}");
+    eprintln!("wrote section \"obs_overhead\" to {out_path}");
+
+    if assert_guard && off_pct >= GUARD_PCT {
+        eprintln!(
+            "overhead guard FAILED: metrics-off path adds {off_pct:.2}% \
+             to the hotpath bench (limit {GUARD_PCT}%)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -26,8 +26,8 @@ use pebble_bench::{overhead_pct, scale, time_interleaved, write_json_section};
 use pebble_core::run_captured;
 use pebble_dataflow::context::items_of;
 use pebble_dataflow::{
-    run, run_spawn, AggFunc, AggSpec, Context, ExecConfig, Expr, GroupKey, NoSink, Program,
-    ProgramBuilder,
+    run, run_observed, run_spawn, AggFunc, AggSpec, Context, ExecConfig, Expr, GroupKey, NoSink,
+    ObsConfig, Program, ProgramBuilder,
 };
 use pebble_nested::{Path, Value};
 
@@ -132,6 +132,11 @@ fn main() {
     let pool_win_pct = 100.0 * (spawn_ms - w4_ms) / spawn_ms;
     let capture_overhead = overhead_pct(times[2], times[3]);
 
+    // Skew and pool-utilization facts now come from the engine's own run
+    // report (one metrics-on run) instead of private bench-side counters.
+    let (_, report) = run_observed(&program, &ctx, w4_cfg, &NoSink, &ObsConfig::metrics());
+    let pool_stats = report.pool.clone().unwrap_or_default();
+
     let mut body = String::from("{\n");
     let _ = writeln!(body, "  \"rounds\": {ROUNDS},");
     let _ = writeln!(body, "  \"scale\": {},", scale());
@@ -142,7 +147,16 @@ fn main() {
     let _ = writeln!(body, "  \"pool_w4_ms\": {w4_ms:.3},");
     let _ = writeln!(body, "  \"pool_w4_capture_ms\": {w4_cap_ms:.3},");
     let _ = writeln!(body, "  \"pool_w4_vs_spawn_pct\": {pool_win_pct:.1},");
-    let _ = writeln!(body, "  \"capture_overhead_pct\": {capture_overhead:.1}");
+    let _ = writeln!(body, "  \"capture_overhead_pct\": {capture_overhead:.1},");
+    let _ = writeln!(body, "  \"morsels\": {},", report.morsels.executed);
+    let _ = writeln!(body, "  \"morsel_skew\": {:.3},", report.morsels.skew());
+    let _ = writeln!(body, "  \"pool_jobs\": {},", pool_stats.jobs);
+    let _ = writeln!(
+        body,
+        "  \"pool_max_queue_depth\": {},",
+        pool_stats.max_queue_depth
+    );
+    let _ = writeln!(body, "  \"pool_max_active\": {}", pool_stats.max_active);
     body.push('}');
 
     write_json_section(&out_path, "scheduler", &body);

@@ -115,7 +115,11 @@ enum OpIndex {
 
 impl BacktraceIndex {
     /// Builds the index for a captured run.
+    ///
+    /// When metrics are enabled (`PEBBLE_METRICS`), the build time is
+    /// recorded into the process-wide [`pebble_obs::global`] histograms.
     pub fn build(run: &CapturedRun) -> Self {
+        let start = pebble_obs::metrics_enabled().then(std::time::Instant::now);
         let per_op = run
             .ops
             .iter()
@@ -135,6 +139,11 @@ impl BacktraceIndex {
                 }
             })
             .collect();
+        if let Some(start) = start {
+            pebble_obs::global()
+                .backtrace_build_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
         BacktraceIndex { per_op }
     }
 
@@ -205,7 +214,25 @@ pub fn backtrace(run: &CapturedRun, b: Backtrace) -> Result<Vec<SourceProvenance
 
 /// Backtraces with a pre-built [`BacktraceIndex`]; use when answering many
 /// provenance questions over the same captured run.
+///
+/// When metrics are enabled (`PEBBLE_METRICS`), each probe's duration is
+/// recorded into the process-wide [`pebble_obs::global`] histograms.
 pub fn backtrace_with(
+    run: &CapturedRun,
+    index: &BacktraceIndex,
+    b: Backtrace,
+) -> Result<Vec<SourceProvenance>> {
+    let start = pebble_obs::metrics_enabled().then(std::time::Instant::now);
+    let result = backtrace_probe(run, index, b);
+    if let Some(start) = start {
+        pebble_obs::global()
+            .backtrace_probe_ns
+            .record(start.elapsed().as_nanos() as u64);
+    }
+    result
+}
+
+fn backtrace_probe(
     run: &CapturedRun,
     index: &BacktraceIndex,
     b: Backtrace,

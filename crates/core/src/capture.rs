@@ -20,6 +20,7 @@ use pebble_dataflow::{
     RunOutput,
 };
 use pebble_nested::{DataType, Path, Step};
+use pebble_obs::{ObsConfig, ProvenanceStats, RunReport};
 
 /// Identifier association table `P` of Def. 5.1, operator-dependent per
 /// Tab. 6.
@@ -320,6 +321,35 @@ pub fn run_captured_spawn(
     run_captured_impl(program, ctx, config, pebble_dataflow::run_spawn)
 }
 
+/// Executes `program` with capture enabled under an explicit observability
+/// configuration, returning the run report even when execution fails.
+///
+/// On success the report's `provenance` section carries the *exact*
+/// association-table sizes measured from the captured run (the report's
+/// per-operator `assoc_bytes` column stays an estimate). Like
+/// [`pebble_dataflow::run_observed`], observation never perturbs results:
+/// rows, identifiers and association tables are byte-identical with
+/// metrics on or off.
+pub fn run_captured_observed(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    obs: &ObsConfig,
+) -> (Result<CapturedRun>, RunReport) {
+    let sink = CaptureSink::new(program, ctx);
+    let (result, mut report) = pebble_dataflow::run_observed(program, ctx, config, &sink, obs);
+    let run = result.and_then(|output| assemble(program, sink, output));
+    match run {
+        Ok(mut run) => {
+            let stats = provenance_stats(&run);
+            report.provenance = Some(stats.clone());
+            run.output.report.provenance = Some(stats);
+            (Ok(run), report)
+        }
+        Err(e) => (Err(e), report),
+    }
+}
+
 fn run_captured_impl(
     program: &Program,
     ctx: &Context,
@@ -328,6 +358,22 @@ fn run_captured_impl(
 ) -> Result<CapturedRun> {
     let sink = CaptureSink::new(program, ctx);
     let output = exec(program, ctx, config, &sink)?;
+    let mut run = assemble(program, sink, output)?;
+    run.output.report.provenance = Some(provenance_stats(&run));
+    Ok(run)
+}
+
+/// Exact provenance sizes for the run report, measured from the captured
+/// association tables rather than estimated from row counts.
+fn provenance_stats(run: &CapturedRun) -> ProvenanceStats {
+    ProvenanceStats {
+        entries: run.ops.iter().map(|o| o.assoc.len() as u64).sum(),
+        lineage_bytes: run.lineage_bytes() as u64,
+        structural_bytes: run.structural_bytes() as u64,
+    }
+}
+
+fn assemble(program: &Program, sink: CaptureSink, output: RunOutput) -> Result<CapturedRun> {
     if let Some(err) = sink
         .failure
         .lock()

@@ -38,6 +38,9 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 
 use pebble_nested::{DataItem, DataType, Label, Path, Value};
+use pebble_obs::{
+    diag, MorselStats, ObsConfig, OpReport, PoolStats, RunObs, RunReport, SpanEvent, SpanKind,
+};
 
 use crate::context::Context;
 use crate::error::{panic_message, EngineError, Result};
@@ -143,23 +146,9 @@ fn env_knob(name: &str) -> Option<usize> {
     match raw.trim().parse::<i64>() {
         Ok(v) if v >= 0 => Some(v as usize),
         _ => {
-            warn_once(name, &format!("ignoring invalid {name}={raw:?}: expected a non-negative integer, using default"));
+            diag::warn_once(name, &format!("ignoring invalid {name}={raw:?}: expected a non-negative integer, using default"));
             None
         }
-    }
-}
-
-/// One-line warning, emitted at most once per key per process.
-fn warn_once(key: &str, message: &str) {
-    use std::collections::HashSet;
-    use std::sync::{Mutex, OnceLock};
-    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
-    let warned = WARNED.get_or_init(|| Mutex::new(HashSet::new()));
-    let mut warned = warned
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner);
-    if warned.insert(key.to_string()) {
-        eprintln!("pebble: {message}");
     }
 }
 
@@ -174,7 +163,7 @@ impl Default for ExecConfig {
     fn default() -> Self {
         let mut partitions = env_knob("PEBBLE_PARTITIONS").unwrap_or_else(default_parallelism);
         if partitions > MAX_PARTITIONS {
-            warn_once(
+            diag::warn_once(
                 "PEBBLE_PARTITIONS.clamp",
                 &format!("clamping PEBBLE_PARTITIONS={partitions} to {MAX_PARTITIONS}"),
             );
@@ -242,6 +231,8 @@ pub struct RunOutput {
     pub op_schemas: Vec<DataType>,
     /// Output cardinality per operator, indexed by op id.
     pub op_counts: Vec<usize>,
+    /// Telemetry summary of the run (see [`RunOutput::report`]).
+    pub report: RunReport,
 }
 
 impl RunOutput {
@@ -253,26 +244,47 @@ impl RunOutput {
     /// Output items without identifiers.
     ///
     /// Clones every item; prefer [`RunOutput::iter_items`] when borrowing
-    /// suffices.
+    /// suffices. Like [`RunOutput::iter_items`], reading output never
+    /// perturbs identifiers or provenance.
     pub fn items(&self) -> Vec<DataItem> {
         self.rows.iter().map(|r| r.item.clone()).collect()
     }
 
     /// Borrowing iterator over the output items, in row order.
+    ///
+    /// **Guarantee:** reading the output — this iterator, [`RunOutput::items`],
+    /// or [`RunOutput::report`] — never perturbs the run's rows, identifiers,
+    /// or captured provenance. The report is assembled from side counters
+    /// after execution finishes; runs with metrics on and off are
+    /// byte-identical in rows, ids, and backtraces (enforced by the
+    /// `obs_transparency` metamorphic test).
     pub fn iter_items(&self) -> impl Iterator<Item = &DataItem> + '_ {
         self.rows.iter().map(|r| &r.item)
+    }
+
+    /// The run's telemetry report.
+    ///
+    /// Always present: cheap structural counters (per-operator row counts,
+    /// morsel counts, skew statistics) are collected for every run; timing,
+    /// duration histograms, and pool gauges are populated only when the run
+    /// executed with metrics enabled (`PEBBLE_METRICS=1` or an explicit
+    /// [`ObsConfig`]). Serialize with [`RunReport::to_json`].
+    pub fn report(&self) -> &RunReport {
+        &self.report
     }
 }
 
 /// Executes `program` against `ctx`, reporting identifier associations to
-/// `sink`.
+/// `sink`. Observability comes from the environment
+/// (`PEBBLE_METRICS`/`PEBBLE_TRACE`); use [`run_observed`] to control it
+/// explicitly.
 pub fn run<S: ProvenanceSink + 'static>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
     sink: &S,
 ) -> Result<RunOutput> {
-    run_with_fusion(program, ctx, config, sink, true)
+    run_with_fusion(program, ctx, config, sink, true, &ObsConfig::from_env()).0
 }
 
 /// Executes `program` with operator fusion disabled: every operator runs as
@@ -287,7 +299,35 @@ pub fn run_unfused<S: ProvenanceSink + 'static>(
     config: ExecConfig,
     sink: &S,
 ) -> Result<RunOutput> {
-    run_with_fusion(program, ctx, config, sink, false)
+    run_with_fusion(program, ctx, config, sink, false, &ObsConfig::from_env()).0
+}
+
+/// Executes `program` with an explicit observability configuration.
+///
+/// Unlike [`run`], the [`RunReport`] is returned even when the run fails:
+/// it then describes the run *up to the contained error* (completed
+/// operators keep their exact counts, the failing operator reports its
+/// caught UDF panics, and `outcome`/`error` carry the failure).
+pub fn run_observed<S: ProvenanceSink + 'static>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    sink: &S,
+    obs: &ObsConfig,
+) -> (Result<RunOutput>, RunReport) {
+    run_with_fusion(program, ctx, config, sink, true, obs)
+}
+
+/// [`run_unfused`] with an explicit observability configuration; see
+/// [`run_observed`] for the report semantics.
+pub fn run_unfused_observed<S: ProvenanceSink + 'static>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    sink: &S,
+    obs: &ObsConfig,
+) -> (Result<RunOutput>, RunReport) {
+    run_with_fusion(program, ctx, config, sink, false, obs)
 }
 
 fn run_with_fusion<S: ProvenanceSink + 'static>(
@@ -296,22 +336,140 @@ fn run_with_fusion<S: ProvenanceSink + 'static>(
     config: ExecConfig,
     sink: &S,
     fuse: bool,
-) -> Result<RunOutput> {
-    let op_schemas = program.infer_schemas(&ctx.source_schemas())?;
+    obs_cfg: &ObsConfig,
+) -> (Result<RunOutput>, RunReport) {
     let ops = program.operators();
-    let mut scheduler = Scheduler::new(program, ops, ctx, config, sink, fuse);
-    scheduler.execute()?;
+    let op_schemas = match program.infer_schemas(&ctx.source_schemas()) {
+        Ok(schemas) => schemas,
+        Err(e) => {
+            // The program was rejected before execution: the report still
+            // describes its shape, with zero counts everywhere.
+            let zeros = vec![0usize; ops.len()];
+            let mut report = base_report(ops, &zeros, ctx, &config, "pool", S::ENABLED, Some(&e));
+            report.metrics = obs_cfg.metrics;
+            return (Err(e), report);
+        }
+    };
+    let mut scheduler = Scheduler::new(program, ops, ctx, config, sink, fuse, obs_cfg);
+    let result = scheduler.execute();
+    let mut report = scheduler.build_report(result.as_ref().err());
+    finish_trace(&scheduler.obs, obs_cfg, &mut report);
+    if let Err(e) = result {
+        return (Err(e), report);
+    }
     let sink_op = program.sink() as usize;
-    let sink_parts = scheduler.outputs[sink_op]
-        .take()
-        .ok_or_else(|| EngineError::Internal("sink unit produced no output".into()))?;
+    let Some(sink_parts) = scheduler.outputs[sink_op].take() else {
+        let e = EngineError::Internal("sink unit produced no output".into());
+        return (Err(e), report);
+    };
     let sink_parts = Arc::try_unwrap(sink_parts).unwrap_or_else(|arc| (*arc).clone());
     let rows: Vec<Row> = sink_parts.into_iter().flatten().collect();
-    Ok(RunOutput {
+    diag::info(|| {
+        format!(
+            "run ok: {} operators, {} rows out, {} morsels",
+            ops.len(),
+            rows.len(),
+            report.morsels.executed
+        )
+    });
+    let output = RunOutput {
         rows,
         op_schemas,
-        op_counts: scheduler.op_counts,
-    })
+        op_counts: scheduler.op_counts.clone(),
+        report: report.clone(),
+    };
+    (Ok(output), report)
+}
+
+/// Builds the structural part of a [`RunReport`] from a program's operators
+/// and (possibly partial) per-operator output counts. Rows-in are derived
+/// from the producing operators' counts — valid even for fused chains and
+/// failed runs, where downstream counts are simply zero. Association-table
+/// sizes are estimates from the counts and each operator's association
+/// shape; capture runs overwrite `provenance` with exact totals afterwards.
+pub(crate) fn base_report(
+    ops: &[Operator],
+    op_counts: &[usize],
+    ctx: &Context,
+    config: &ExecConfig,
+    executor: &str,
+    capture: bool,
+    error: Option<&EngineError>,
+) -> RunReport {
+    let mut report = RunReport {
+        executor: executor.to_string(),
+        outcome: if error.is_some() { "error" } else { "ok" }.to_string(),
+        error: error.map(|e| e.to_string()),
+        partitions: config.partitions as u64,
+        workers: config.effective_workers() as u64,
+        morsel_rows: config.morsel_rows as u64,
+        ..RunReport::default()
+    };
+    let mut seen_sources: Vec<&str> = Vec::new();
+    for op in ops {
+        if let OpKind::Read { source } = &op.kind {
+            if !seen_sources.contains(&source.as_str()) {
+                seen_sources.push(source);
+                let rows = ctx.source(source).map(|s| s.len() as u64).unwrap_or(0);
+                report.sources.push((source.clone(), rows));
+            }
+        }
+    }
+    for (i, op) in ops.iter().enumerate() {
+        let rows_out = op_counts.get(i).copied().unwrap_or(0) as u64;
+        let rows_in = match &op.kind {
+            OpKind::Read { source } => ctx.source(source).map(|s| s.len() as u64).unwrap_or(0),
+            _ => op
+                .inputs
+                .iter()
+                .map(|&inp| op_counts.get(inp as usize).copied().unwrap_or(0) as u64)
+                .sum(),
+        };
+        report.operators.push(OpReport {
+            op: op.id as u64,
+            op_type: op.kind.type_name().to_string(),
+            udf: op.kind.can_panic(),
+            rows_in,
+            rows_out,
+            assoc_entries: if capture { rows_out } else { 0 },
+            assoc_bytes: if capture {
+                crate::sink::estimated_assoc_bytes(&op.kind, rows_in, rows_out)
+            } else {
+                0
+            },
+            ..OpReport::default()
+        });
+    }
+    report
+}
+
+/// Closes the run span, merges all span buffers deterministically, and
+/// exports them to the configured trace path. Export failures degrade to a
+/// once-per-process warning — tracing must never fail a run.
+fn finish_trace(obs: &RunObs, obs_cfg: &ObsConfig, report: &mut RunReport) {
+    let Some(path) = &obs_cfg.trace_path else {
+        return;
+    };
+    let end = obs.now_ns();
+    obs.record_span(SpanEvent {
+        kind: SpanKind::Run,
+        name: "run",
+        op: u32::MAX,
+        phase: 0,
+        task: 0,
+        worker: 0,
+        start_ns: 0,
+        dur_ns: end,
+        rows: 0,
+    });
+    let spans = obs.drain_spans();
+    report.spans = spans.len() as u64;
+    if let Err(e) = pebble_obs::span::export(path, &spans) {
+        diag::warn_once(
+            "PEBBLE_TRACE.export",
+            &format!("failed to export trace to {path}: {e}"),
+        );
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -519,6 +677,10 @@ pub(crate) enum TaskOut {
         /// stages before the failing one stay exact — the scheduler needs
         /// them to stitch the error's input identifier.
         err: Option<ChainErr>,
+        /// Per-stage count of UDF panics caught in this morsel (telemetry;
+        /// non-zero only when `err` is set, since any caught panic fails
+        /// the unit).
+        panics: Vec<u32>,
     },
     Flatten {
         rows: Vec<Row>,
@@ -572,6 +734,7 @@ pub(crate) fn chain_morsel<S: ProvenanceSink>(
         .map(|_| Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 }))
         .collect();
     let mut counts = vec![0usize; n];
+    let mut panics = vec![0u32; n];
     let mut out = Vec::with_capacity(rows.len());
     let mut err: Option<ChainErr> = None;
     // Records a row failure at stage `s`: kept only if it beats the
@@ -600,6 +763,7 @@ pub(crate) fn chain_morsel<S: ProvenanceSink>(
                         Ok(true) => {}
                         Ok(false) => continue 'rows,
                         Err(msg) => {
+                            panics[s] += 1;
                             record(&mut err, s, prev_id, msg);
                             continue 'rows;
                         }
@@ -619,6 +783,7 @@ pub(crate) fn chain_morsel<S: ProvenanceSink>(
                     }) {
                         Ok(next) => item = next,
                         Err(msg) => {
+                            panics[s] += 1;
                             record(&mut err, s, prev_id, msg);
                             continue 'rows;
                         }
@@ -627,6 +792,7 @@ pub(crate) fn chain_morsel<S: ProvenanceSink>(
                 OwnedStage::Map(udf) => match guard(true, || (udf.f)(&item)) {
                     Ok(next) => item = next,
                     Err(msg) => {
+                        panics[s] += 1;
                         record(
                             &mut err,
                             s,
@@ -651,6 +817,7 @@ pub(crate) fn chain_morsel<S: ProvenanceSink>(
         assocs,
         counts,
         err,
+        panics,
     })
 }
 
@@ -840,7 +1007,11 @@ pub(crate) struct KeyedRow {
 
 type TaskResult = Result<TaskOut>;
 type JobFn = Box<dyn FnOnce() -> TaskResult + Send + 'static>;
-type Msg = (usize, usize, TaskResult);
+/// `(unit, task, result, busy_ns)` — `busy_ns` is 0 on inactive runs.
+type Msg = (usize, usize, TaskResult, u64);
+/// `(output partition, input rows, job)` — the row count feeds the morsel
+/// statistics without re-deriving it from the task result.
+type PlannedJob = (usize, usize, JobFn);
 
 #[derive(Clone, Copy, Debug)]
 enum Phase {
@@ -863,6 +1034,12 @@ struct UnitState {
     pending: usize,
     /// Number of output partitions the stitcher must produce.
     out_parts: usize,
+    /// Per-task busy nanoseconds (empty on inactive runs).
+    durs: Vec<u64>,
+    /// Run-clock time the current phase was dispatched (active runs only).
+    phase_start_ns: u64,
+    /// Run-clock time the unit's first phase was dispatched.
+    unit_start_ns: u64,
     aux: Option<Aux>,
     /// Unit was abandoned because an upstream unit failed (or it failed
     /// itself); it counts as completed but produces no output.
@@ -894,6 +1071,24 @@ struct Scheduler<'a, S: ProvenanceSink> {
     rx: Receiver<Msg>,
     ready: Vec<usize>,
     completed: usize,
+    /// Per-run observability runtime (the shared inert singleton when both
+    /// metrics and tracing are off — the hot path then only ever branches
+    /// on `obs.active()`).
+    obs: Arc<RunObs>,
+    /// Morsels dispatched per operator (attributed to unit heads).
+    op_morsels: Vec<u64>,
+    /// Busy kernel nanoseconds per operator (metrics runs; unit heads).
+    op_busy_ns: Vec<u64>,
+    /// UDF panics caught per operator.
+    op_panics: Vec<u64>,
+    /// Morsel size distribution (always collected; pure counters).
+    morsel_stats: MorselStats,
+    /// Jobs handed to the pool (vs run inline) this run.
+    pool_jobs: u64,
+    /// Peak queue depth sampled from the pool's lock-free gauges.
+    pool_max_queue: u64,
+    /// Peak active-worker count sampled from the pool's gauges.
+    pool_max_active: u64,
     /// First failure in deterministic order, keyed by `(operator id, task
     /// index)`. Execution keeps draining (and even starting independent
     /// units) after a failure so the *minimum* key wins — the same error a
@@ -910,6 +1105,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
         config: ExecConfig,
         sink: &'a S,
         fuse: bool,
+        obs_cfg: &ObsConfig,
     ) -> Self {
         let consumers = program.consumers();
         let units = plan_units(ops, program.sink(), &consumers, fuse);
@@ -922,6 +1118,9 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 results: Vec::new(),
                 pending: 0,
                 out_parts: 0,
+                durs: Vec::new(),
+                phase_start_ns: 0,
+                unit_start_ns: 0,
                 aux: None,
                 cancelled: false,
             })
@@ -944,6 +1143,14 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
             rx,
             ready: Vec::new(),
             completed: 0,
+            obs: RunObs::new(obs_cfg, workers),
+            op_morsels: vec![0; ops.len()],
+            op_busy_ns: vec![0; ops.len()],
+            op_panics: vec![0; ops.len()],
+            morsel_stats: MorselStats::default(),
+            pool_jobs: 0,
+            pool_max_queue: 0,
+            pool_max_active: 0,
             error: None,
         }
     }
@@ -964,11 +1171,22 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
             // Event-driven hand-off: as soon as a unit's last morsel lands,
             // its output is stitched and every newly-ready consumer is
             // scheduled — workers never wait on an operator barrier.
-            let (u, t, res) = self
+            let (u, t, res, dur) = self
                 .rx
                 .recv()
                 .map_err(|_| EngineError::Internal("worker pool disconnected mid-run".into()))?;
+            if self.obs.metrics() {
+                // Lock-free gauge sample per completion: peak queue depth
+                // and worker utilization without touching the job lock.
+                if let Some(pool) = &self.pool {
+                    self.pool_max_queue = self.pool_max_queue.max(pool.queue_depth());
+                    self.pool_max_active = self.pool_max_active.max(pool.active_workers());
+                }
+            }
             let st = &mut self.states[u];
+            if !st.durs.is_empty() {
+                st.durs[t] = dur;
+            }
             st.results[t] = Some(res);
             st.pending -= 1;
             if st.pending == 0 {
@@ -1014,11 +1232,16 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let total = items_src.len();
                 let items: Arc<Vec<DataItem>> = Arc::new(items_src.to_vec());
                 let morsel = self.config.morsel_len(total);
-                let mut jobs: Vec<(usize, JobFn)> = Vec::new();
+                let mut jobs: Vec<PlannedJob> = Vec::new();
                 for (p, range) in read_ranges(total, self.parts).into_iter().enumerate() {
                     for mr in split_range(range, morsel) {
                         let items = Arc::clone(&items);
-                        jobs.push((p, Box::new(move || Ok(read_morsel(op, p, &items[mr])))));
+                        let rows = mr.len();
+                        jobs.push((
+                            p,
+                            rows,
+                            Box::new(move || Ok(read_morsel(op, p, &items[mr]))),
+                        ));
                     }
                 }
                 self.states[u].out_parts = self.parts;
@@ -1066,7 +1289,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 self.states[u].aux = Some(Aux::Join { left, left_paths });
                 let job: JobFn =
                     Box::new(move || Ok(TaskOut::Build(join_build(&right, &right_paths))));
-                self.dispatch(u, Phase::Build, vec![(0, job)], total)
+                self.dispatch(u, Phase::Build, vec![(0, total, job)], total)
             }
             OpKind::Union => {
                 let op = head.id;
@@ -1075,14 +1298,16 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let offset = left.len();
                 let total = partition_rows(&left) + partition_rows(&right);
                 let morsel = self.config.morsel_len(total);
-                let mut jobs: Vec<(usize, JobFn)> = Vec::new();
+                let mut jobs: Vec<PlannedJob> = Vec::new();
                 for (input, is_left, pidx_offset) in [(&left, true, 0), (&right, false, offset)] {
                     for p in 0..input.len() {
                         let out_pidx = pidx_offset + p;
                         for mr in split_range(0..input[p].len(), morsel) {
                             let input = Arc::clone(input);
+                            let rows = mr.len();
                             jobs.push((
                                 out_pidx,
+                                rows,
                                 Box::new(move || {
                                     union_morsel::<S>(op, out_pidx, is_left, &input[p][mr])
                                 }),
@@ -1130,52 +1355,99 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
         &self,
         input: &Arc<Partitions>,
         mut make: impl FnMut(Arc<Partitions>, usize, Range<usize>) -> JobFn,
-    ) -> Vec<(usize, JobFn)> {
+    ) -> Vec<PlannedJob> {
         let total = partition_rows(input);
         let morsel = self.config.morsel_len(total);
         let mut jobs = Vec::new();
         for p in 0..input.len() {
             for mr in split_range(0..input[p].len(), morsel) {
-                jobs.push((p, make(Arc::clone(input), p, mr)));
+                let rows = mr.len();
+                jobs.push((p, rows, make(Arc::clone(input), p, mr)));
             }
         }
         jobs
+    }
+
+    /// Label for spans/metric attribution: the unit-head operator id, a
+    /// static phase name, and the phase ordinal within the unit.
+    fn phase_label(&self, u: usize, phase: Phase) -> (u32, &'static str, u8) {
+        let head = &self.ops[self.units[u].start];
+        match phase {
+            Phase::Build => (head.id, "join.build", 0),
+            Phase::Probe => (head.id, "join.probe", 1),
+            Phase::Shuffle => (head.id, "aggregation.shuffle", 0),
+            Phase::Aggregate => (head.id, "aggregation.agg", 1),
+            Phase::Idle | Phase::Single => (head.id, head.kind.type_name(), 0),
+        }
     }
 
     fn dispatch(
         &mut self,
         u: usize,
         phase: Phase,
-        jobs: Vec<(usize, JobFn)>,
+        jobs: Vec<PlannedJob>,
         total_rows: usize,
     ) -> Result<()> {
         let inline = self.pool.is_none()
             || jobs.is_empty()
             || (total_rows < INLINE_ROWS && self.config.morsel_rows == 0);
+        let active = self.obs.active();
+        let (op, name, phase_ord) = self.phase_label(u, phase);
+        // Structural counters are always on: plain u64 additions per morsel
+        // *dispatch* (not per row), so even metrics-off reports carry morsel
+        // counts and skew statistics.
+        self.op_morsels[op as usize] += jobs.len() as u64;
+        for (_, rows, _) in &jobs {
+            self.morsel_stats.observe(*rows as u64);
+        }
         {
             let st = &mut self.states[u];
+            if matches!(st.phase, Phase::Idle) && active {
+                st.unit_start_ns = self.obs.now_ns();
+            }
             st.phase = phase;
-            st.task_pidx = jobs.iter().map(|(p, _)| *p).collect();
+            st.task_pidx = jobs.iter().map(|(p, _, _)| *p).collect();
             st.results = jobs.iter().map(|_| None).collect();
             st.pending = jobs.len();
+            st.durs = if active {
+                vec![0; jobs.len()]
+            } else {
+                Vec::new()
+            };
+            st.phase_start_ns = if active { self.obs.now_ns() } else { 0 };
         }
         if inline {
             // Same containment as the pool path: a panicking job becomes a
             // typed task failure instead of unwinding through the caller.
-            let outs: Vec<TaskResult> = jobs
-                .into_iter()
-                .map(|(_, job)| {
-                    catch_unwind(AssertUnwindSafe(job)).unwrap_or_else(|p| {
-                        Err(EngineError::WorkerPanic {
-                            payload: panic_message(&*p),
-                        })
+            let mut outs = Vec::with_capacity(jobs.len());
+            let mut durs = Vec::new();
+            for (t, (_, rows, job)) in jobs.into_iter().enumerate() {
+                let start_ns = if active { self.obs.now_ns() } else { 0 };
+                let out = catch_unwind(AssertUnwindSafe(job)).unwrap_or_else(|p| {
+                    Err(EngineError::WorkerPanic {
+                        payload: panic_message(&*p),
                     })
-                })
-                .collect();
+                });
+                if active {
+                    let dur = self.obs.now_ns().saturating_sub(start_ns);
+                    self.obs.record_morsel(
+                        name,
+                        op,
+                        phase_ord,
+                        t as u32,
+                        rows as u64,
+                        start_ns,
+                        dur,
+                    );
+                    durs.push(dur);
+                }
+                outs.push(out);
+            }
             let st = &mut self.states[u];
             for (t, out) in outs.into_iter().enumerate() {
                 st.results[t] = Some(out);
             }
+            st.durs = durs;
             st.pending = 0;
             self.phase_done(u)
         } else {
@@ -1184,22 +1456,58 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                     "pooled dispatch without a pool".into(),
                 ));
             };
-            for (t, (_, job)) in jobs.into_iter().enumerate() {
+            self.pool_jobs += jobs.len() as u64;
+            for (t, (_, rows, job)) in jobs.into_iter().enumerate() {
                 let tx = self.tx.clone();
                 // Guaranteed delivery: the pool catches the panic and still
                 // invokes the delivery closure, so the scheduler's pending
                 // count always drains — a panicking morsel can no longer
                 // strand the run (or the pool) waiting on a result that
                 // will never arrive.
-                pool.submit_job(job, move |res| {
-                    let out = match res {
-                        Ok(out) => out,
-                        Err(p) => Err(EngineError::WorkerPanic {
-                            payload: panic_message(&*p),
-                        }),
-                    };
-                    let _ = tx.send((u, t, out));
-                });
+                if active {
+                    // Instrumented wrapper: timestamps around the kernel,
+                    // shard counters / span recorded worker-side.
+                    let obs = Arc::clone(&self.obs);
+                    pool.submit_job(
+                        move || {
+                            let start_ns = obs.now_ns();
+                            let out = job();
+                            let dur = obs.now_ns().saturating_sub(start_ns);
+                            obs.record_morsel(
+                                name,
+                                op,
+                                phase_ord,
+                                t as u32,
+                                rows as u64,
+                                start_ns,
+                                dur,
+                            );
+                            (out, dur)
+                        },
+                        move |res| {
+                            let (out, dur) = match res {
+                                Ok((out, dur)) => (out, dur),
+                                Err(p) => (
+                                    Err(EngineError::WorkerPanic {
+                                        payload: panic_message(&*p),
+                                    }),
+                                    0,
+                                ),
+                            };
+                            let _ = tx.send((u, t, out, dur));
+                        },
+                    );
+                } else {
+                    pool.submit_job(job, move |res| {
+                        let out = match res {
+                            Ok(out) => out,
+                            Err(p) => Err(EngineError::WorkerPanic {
+                                payload: panic_message(&*p),
+                            }),
+                        };
+                        let _ = tx.send((u, t, out, 0));
+                    });
+                }
             }
             Ok(())
         }
@@ -1219,6 +1527,16 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
         let head_op = self.ops[start].id;
         let task_pidx = std::mem::take(&mut self.states[u].task_pidx);
         let results = std::mem::take(&mut self.states[u].results);
+        // Telemetry: total up the UDF panics every morsel of the failing
+        // phase contained, attributed per chain stage. (Successful units
+        // never carry panics — any caught panic fails its unit.)
+        for slot in results.iter() {
+            if let Some(Ok(TaskOut::Chain { panics, .. })) = slot {
+                for (s, &n) in panics.iter().enumerate() {
+                    self.op_panics[self.ops[start + s].id as usize] += n as u64;
+                }
+            }
+        }
         let mut best: Option<((u32, usize), Cand)> = None;
         for (t, slot) in results.iter().enumerate() {
             let (key, cand) = match slot {
@@ -1281,6 +1599,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
         self.record_error((op_key, t), err);
         self.states[u].cancelled = true;
         self.completed += 1;
+        self.record_unit_span(u);
         self.cancel_consumers(u);
         Ok(())
     }
@@ -1300,7 +1619,58 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
         }
     }
 
+    /// Folds the finished phase's telemetry into the per-operator
+    /// accumulators: busy time attributed to the unit-head operator (fused
+    /// chains report under their head — documented in the report schema)
+    /// and a phase span covering dispatch → completion.
+    fn harvest_phase(&mut self, u: usize) {
+        if !self.obs.active() {
+            return;
+        }
+        let (op, name, phase_ord) = self.phase_label(u, self.states[u].phase);
+        let durs = std::mem::take(&mut self.states[u].durs);
+        self.op_busy_ns[op as usize] += durs.iter().sum::<u64>();
+        if self.obs.tracing() {
+            let start_ns = self.states[u].phase_start_ns;
+            let dur_ns = self.obs.now_ns().saturating_sub(start_ns);
+            self.obs.record_span(SpanEvent {
+                kind: SpanKind::Phase,
+                name,
+                op,
+                phase: phase_ord,
+                task: 0,
+                worker: 0,
+                start_ns,
+                dur_ns,
+                rows: 0,
+            });
+        }
+    }
+
+    /// Records the unit-level span once the unit settles (finalized or
+    /// failed).
+    fn record_unit_span(&mut self, u: usize) {
+        if !self.obs.tracing() {
+            return;
+        }
+        let head = &self.ops[self.units[u].start];
+        let start_ns = self.states[u].unit_start_ns;
+        let dur_ns = self.obs.now_ns().saturating_sub(start_ns);
+        self.obs.record_span(SpanEvent {
+            kind: SpanKind::Unit,
+            name: head.kind.type_name(),
+            op: head.id,
+            phase: 0,
+            task: 0,
+            worker: 0,
+            start_ns,
+            dur_ns,
+            rows: 0,
+        });
+    }
+
     fn phase_done(&mut self, u: usize) -> Result<()> {
+        self.harvest_phase(u);
         let failed = self.states[u].results.iter().any(|r| {
             matches!(
                 r,
@@ -1330,14 +1700,16 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let op = self.ops[self.units[u].start].id;
                 let total = partition_rows(&left);
                 let morsel = self.config.morsel_len(total);
-                let mut jobs: Vec<(usize, JobFn)> = Vec::new();
+                let mut jobs: Vec<PlannedJob> = Vec::new();
                 for p in 0..left.len() {
                     for mr in split_range(0..left[p].len(), morsel) {
                         let left = Arc::clone(&left);
                         let build = Arc::clone(&build);
                         let left_paths = Arc::clone(&left_paths);
+                        let rows = mr.len();
                         jobs.push((
                             p,
+                            rows,
                             Box::new(move || {
                                 join_probe::<S>(op, p, &build, &left_paths, &left[p][mr])
                             }),
@@ -1374,13 +1746,18 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                     ));
                 };
                 let total: usize = buckets.iter().map(Vec::len).sum();
-                let mut jobs: Vec<(usize, JobFn)> = Vec::new();
+                let mut jobs: Vec<PlannedJob> = Vec::new();
                 for (b, rows) in buckets.into_iter().enumerate() {
                     if rows.is_empty() {
                         continue; // empty buckets produce nothing
                     }
                     let kernel = Arc::clone(&kernel);
-                    jobs.push((b, Box::new(move || agg_bucket::<S>(&kernel, b, &rows))));
+                    let n_rows = rows.len();
+                    jobs.push((
+                        b,
+                        n_rows,
+                        Box::new(move || agg_bucket::<S>(&kernel, b, &rows)),
+                    ));
                 }
                 self.dispatch(u, Phase::Aggregate, jobs, total)
             }
@@ -1437,6 +1814,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                         mut assocs,
                         counts,
                         err: _,
+                        panics: _,
                     })) = results[t].take()
                     else {
                         return Err(EngineError::Internal("chain task shape mismatch".into()));
@@ -1593,6 +1971,15 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
         }
 
         self.completed += 1;
+        self.record_unit_span(u);
+        diag::debug(|| {
+            let head = &self.ops[self.units[u].start];
+            format!(
+                "unit {u} ({}) done: {} rows out",
+                head.kind.type_name(),
+                self.op_counts[self.units[u].start + self.units[u].len - 1]
+            )
+        });
         let consumers = self.units[u].consumers.clone();
         for c in consumers {
             let st = &mut self.states[c];
@@ -1607,6 +1994,41 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
     fn set_output(&mut self, op: OpId, parts: Partitions) {
         self.op_counts[op as usize] = parts.iter().map(Vec::len).sum();
         self.outputs[op as usize] = Some(Arc::new(parts));
+    }
+
+    /// Assembles the run's [`RunReport`] from the scheduler's accumulators.
+    /// Cheap structural counters are present for every run; timing fields,
+    /// the duration histogram, and pool gauges only when metrics were on.
+    fn build_report(&self, error: Option<&EngineError>) -> RunReport {
+        let mut report = base_report(
+            self.ops,
+            &self.op_counts,
+            self.ctx,
+            &self.config,
+            "pool",
+            S::ENABLED,
+            error,
+        );
+        report.metrics = self.obs.metrics();
+        for (i, op_report) in report.operators.iter_mut().enumerate() {
+            op_report.morsels = self.op_morsels[i];
+            op_report.udf_panics = self.op_panics[i];
+            op_report.busy_ns = self.op_busy_ns[i];
+        }
+        report.morsels = self.morsel_stats.clone();
+        if self.obs.metrics() {
+            report.elapsed_ns = self.obs.now_ns();
+            report.morsel_durations = self.obs.duration_summary();
+            if let Some(pool) = &self.pool {
+                report.pool = Some(PoolStats {
+                    workers: pool.size() as u64,
+                    jobs: self.pool_jobs,
+                    max_queue_depth: self.pool_max_queue,
+                    max_active: self.pool_max_active,
+                });
+            }
+        }
+        report
     }
 }
 

@@ -27,10 +27,13 @@ pub mod spawn;
 
 pub use context::Context;
 pub use error::{panic_message, EngineError, Result};
-pub use exec::{run, run_unfused, ExecConfig, ItemId, Row, RunOutput};
+pub use exec::{
+    run, run_observed, run_unfused, run_unfused_observed, ExecConfig, ItemId, Row, RunOutput,
+};
 pub use expr::{CmpOp, Expr, SelectExpr};
 pub use op::{AggFunc, AggSpec, GroupKey, MapUdf, NamedExpr, OpId, OpKind};
 pub use optimize::{optimize, OptimizeStats};
+pub use pebble_obs::{ObsConfig, RunReport};
 pub use pool::WorkerPool;
 pub use program::{Operator, Program, ProgramBuilder};
 pub use sink::{NoSink, ProvenanceSink};

@@ -226,6 +226,18 @@ impl OpKind {
         }
     }
 
+    /// Whether the operator can invoke user code (a UDF) and therefore
+    /// panic at row level. Drives both the per-row `catch_unwind` guards in
+    /// the executor and the `udf` flag of the run report's operator table.
+    pub fn can_panic(&self) -> bool {
+        match self {
+            OpKind::Filter { predicate } => predicate.contains_udf(),
+            OpKind::Select { exprs } => exprs.iter().any(|ne| ne.expr.contains_udf()),
+            OpKind::Map { .. } => true,
+            _ => false,
+        }
+    }
+
     /// Number of inputs this operator requires.
     pub fn arity(&self) -> usize {
         match self {

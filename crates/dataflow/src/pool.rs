@@ -14,7 +14,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
+
+use pebble_obs::diag;
 
 /// A unit of work for the pool.
 type Job = Box<dyn FnOnce() + Send + 'static>;
@@ -30,6 +33,13 @@ fn lock_jobs(queue: &Queue) -> std::sync::MutexGuard<'_, VecDeque<Job>> {
 struct Queue {
     jobs: Mutex<VecDeque<Job>>,
     available: Condvar,
+    /// Gauges updated with relaxed atomics on the job path and read by
+    /// [`WorkerPool::queue_depth`] & friends *without* touching `jobs`'
+    /// mutex — samplers never contend with workers.
+    queued: AtomicU64,
+    active: AtomicU64,
+    executed: AtomicU64,
+    panics: AtomicU64,
 }
 
 /// A fixed-size pool of long-lived worker threads.
@@ -62,6 +72,10 @@ impl WorkerPool {
         let queue = Arc::new(Queue {
             jobs: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
+            queued: AtomicU64::new(0),
+            active: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
         });
         let mut live = 0;
         for i in 0..size {
@@ -71,7 +85,7 @@ impl WorkerPool {
                 .spawn(move || worker_loop(&queue));
             match spawned {
                 Ok(_) => live += 1,
-                Err(e) => eprintln!("pebble: failed to spawn pool worker {i}: {e}"),
+                Err(e) => diag::warn(&format!("failed to spawn pool worker {i}: {e}")),
             }
         }
         WorkerPool { queue, size, live }
@@ -100,13 +114,44 @@ impl WorkerPool {
     /// queueing it forever.
     pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
         if self.live == 0 {
-            let _ = catch_unwind(AssertUnwindSafe(job));
+            // Degraded inline execution still maintains the gauges (the
+            // caller thread briefly *is* the worker).
+            self.queue.active.fetch_add(1, Relaxed);
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                self.queue.panics.fetch_add(1, Relaxed);
+            }
+            self.queue.active.fetch_sub(1, Relaxed);
+            self.queue.executed.fetch_add(1, Relaxed);
             return;
         }
         let mut jobs = lock_jobs(&self.queue);
         jobs.push_back(Box::new(job));
+        self.queue.queued.fetch_add(1, Relaxed);
         drop(jobs);
         self.queue.available.notify_one();
+    }
+
+    /// Jobs currently waiting in the queue. Sampled from an atomic — never
+    /// takes the job lock, so it is safe to call from hot loops.
+    pub fn queue_depth(&self) -> u64 {
+        self.queue.queued.load(Relaxed)
+    }
+
+    /// Workers currently executing a job (lock-free sample).
+    pub fn active_workers(&self) -> u64 {
+        self.queue.active.load(Relaxed)
+    }
+
+    /// Total jobs fully executed since the pool was created. Monotone
+    /// non-decreasing; a job counts only after its delivery closure ran.
+    pub fn jobs_executed(&self) -> u64 {
+        self.queue.executed.load(Relaxed)
+    }
+
+    /// Panics contained by the pool (both job panics caught by
+    /// [`WorkerPool::submit_job`] and panics escaping raw `submit` jobs).
+    pub fn panics_contained(&self) -> u64 {
+        self.queue.panics.load(Relaxed)
     }
 
     /// Runs `job` on the pool with *guaranteed result delivery*: `deliver`
@@ -121,8 +166,12 @@ impl WorkerPool {
         job: impl FnOnce() -> T + Send + 'static,
         deliver: impl FnOnce(std::thread::Result<T>) + Send + 'static,
     ) {
+        let queue = Arc::clone(&self.queue);
         self.submit(move || {
             let result = catch_unwind(AssertUnwindSafe(job));
+            if result.is_err() {
+                queue.panics.fetch_add(1, Relaxed);
+            }
             deliver(result);
         });
     }
@@ -144,9 +193,17 @@ fn worker_loop(queue: &Queue) {
                 }
             }
         };
+        queue.queued.fetch_sub(1, Relaxed);
+        queue.active.fetch_add(1, Relaxed);
         // Contain panics: the submitter observes them through its own
         // result channel; the worker must survive to serve the next job.
-        let _ = catch_unwind(AssertUnwindSafe(job));
+        // (`submit_job` wrappers catch inside and count there; this counter
+        // only sees panics escaping raw `submit` closures.)
+        if catch_unwind(AssertUnwindSafe(job)).is_err() {
+            queue.panics.fetch_add(1, Relaxed);
+        }
+        queue.active.fetch_sub(1, Relaxed);
+        queue.executed.fetch_add(1, Relaxed);
     }
 }
 
@@ -236,6 +293,83 @@ mod tests {
             sum += rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap();
         }
         assert_eq!(sum, (0..16).map(|i| i * 2).sum());
+    }
+
+    /// Regression for the lock-free gauges: across a run that mixes
+    /// panicking and normal tasks, a concurrent sampler (which never takes
+    /// the job lock) must observe a monotone `jobs_executed` counter and
+    /// bounded `active_workers`, and the gauges must settle to a consistent
+    /// final state (`queue empty`, `no active workers`, every job counted).
+    #[test]
+    fn gauges_monotone_consistent_across_panicking_run() {
+        // A worker count no other test uses, so the shared registry pool's
+        // gauges are not perturbed by concurrently-running tests.
+        let pool = WorkerPool::with_workers(6);
+        let base_executed = pool.jobs_executed();
+        let base_panics = pool.panics_contained();
+
+        let stop = Arc::new(AtomicUsize::new(0));
+        let sampler = {
+            let pool = Arc::clone(&pool);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut last = pool.jobs_executed();
+                let mut monotone = true;
+                let mut bounded = true;
+                while stop.load(Ordering::SeqCst) == 0 {
+                    let executed = pool.jobs_executed();
+                    if executed < last {
+                        monotone = false;
+                    }
+                    last = executed;
+                    if pool.active_workers() > pool.size() as u64 {
+                        bounded = false;
+                    }
+                    std::thread::yield_now();
+                }
+                (monotone, bounded)
+            })
+        };
+
+        const N: usize = 300;
+        let (tx, rx) = mpsc::channel();
+        for i in 0..N {
+            let tx = tx.clone();
+            pool.submit_job(
+                move || {
+                    if i % 3 == 0 {
+                        panic!("injected gauge-test panic");
+                    }
+                    i
+                },
+                move |r| {
+                    let _ = tx.send(r.is_ok());
+                },
+            );
+        }
+        let mut oks = 0;
+        for _ in 0..N {
+            if rx.recv_timeout(std::time::Duration::from_secs(10)).unwrap() {
+                oks += 1;
+            }
+        }
+        assert_eq!(oks, N - N.div_ceil(3));
+
+        // `executed` increments after delivery, so briefly lags the last
+        // recv; spin (bounded) until the counters settle.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while pool.jobs_executed() < base_executed + N as u64 {
+            assert!(std::time::Instant::now() < deadline, "gauges never settled");
+            std::thread::yield_now();
+        }
+        stop.store(1, Ordering::SeqCst);
+        let (monotone, bounded) = sampler.join().unwrap();
+        assert!(monotone, "jobs_executed went backwards");
+        assert!(bounded, "active_workers exceeded pool size");
+        assert_eq!(pool.jobs_executed(), base_executed + N as u64);
+        assert_eq!(pool.panics_contained(), base_panics + N.div_ceil(3) as u64);
+        assert_eq!(pool.queue_depth(), 0);
+        assert_eq!(pool.active_workers(), 0);
     }
 
     #[test]

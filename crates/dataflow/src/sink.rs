@@ -7,7 +7,7 @@
 //! provenance structures of Tab. 6.
 
 use crate::exec::ItemId;
-use crate::op::OpId;
+use crate::op::{OpId, OpKind};
 
 /// Receives the identifier associations produced during execution.
 ///
@@ -43,4 +43,29 @@ pub struct NoSink;
 
 impl ProvenanceSink for NoSink {
     const ENABLED: bool = false;
+}
+
+/// Estimated size in bytes of the association entries an operator records,
+/// derived from its Tab. 6 association shape and the run's row counts (one
+/// entry per output row; aggregation entries additionally carry the group's
+/// input identifiers, whose total count is the operator's input rows).
+///
+/// This is the id-payload estimate used by the run report's per-operator
+/// `assoc_bytes` column; capture runs report exact totals separately in the
+/// report's `provenance` section.
+pub fn estimated_assoc_bytes(kind: &OpKind, rows_in: u64, rows_out: u64) -> u64 {
+    const ID: u64 = std::mem::size_of::<ItemId>() as u64;
+    match kind {
+        // ⟨id^o⟩ per read row.
+        OpKind::Read { .. } => rows_out * ID,
+        // ⟨id^i, id^o⟩ per surviving row.
+        OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => rows_out * 2 * ID,
+        // ⟨id^i, pos, id^o⟩ — a 4-byte position between two ids.
+        OpKind::Flatten { .. } => rows_out * (2 * ID + 4),
+        // ⟨id_1^i, id_2^i, id^o⟩ (union's absent side still occupies the slot).
+        OpKind::Join { .. } | OpKind::Union => rows_out * 3 * ID,
+        // ⟨ids^i, id^o⟩ per group: every input id appears in exactly one
+        // group, plus one output id per group.
+        OpKind::GroupAggregate { .. } => (rows_in + rows_out) * ID,
+    }
 }

@@ -145,10 +145,12 @@ fn run_with_fusion<S: ProvenanceSink>(
         .into_iter()
         .flatten()
         .collect();
+    let report = crate::exec::base_report(ops, &op_counts, ctx, &config, "spawn", S::ENABLED, None);
     Ok(RunOutput {
         rows,
         op_schemas,
         op_counts,
+        report,
     })
 }
 
@@ -278,6 +280,7 @@ fn exec_chain<S: ProvenanceSink>(
             assocs,
             counts,
             err: _,
+            panics: _,
         } = out
         else {
             return Err(EngineError::Internal(

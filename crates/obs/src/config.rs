@@ -1,0 +1,123 @@
+//! Observability configuration (`PEBBLE_METRICS`, `PEBBLE_TRACE`).
+
+use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
+
+use crate::diag;
+
+/// Per-run observability configuration.
+///
+/// The default, [`ObsConfig::disabled`], turns the whole instrumentation
+/// layer into a branch on an already-resolved `bool` — no allocation, no
+/// locks on any per-morsel path (verified by the `obs_overhead` guard bench).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Collect per-operator / per-morsel metrics into the run report.
+    pub metrics: bool,
+    /// Export tracing spans to this path at the end of the run. Paths ending
+    /// in `.chrome.json` get a chrome://tracing-compatible array (file is
+    /// replaced); any other path gets NDJSON, appended per run.
+    pub trace_path: Option<String>,
+}
+
+impl ObsConfig {
+    /// Everything off: the zero-overhead default.
+    pub fn disabled() -> Self {
+        ObsConfig::default()
+    }
+
+    /// Metrics on, no trace export. Convenience for tests and benches.
+    pub fn metrics() -> Self {
+        ObsConfig {
+            metrics: true,
+            trace_path: None,
+        }
+    }
+
+    /// True when any instrumentation is requested.
+    pub fn enabled(&self) -> bool {
+        self.metrics || self.trace_path.is_some()
+    }
+
+    /// Reads `PEBBLE_METRICS` (cached) and `PEBBLE_TRACE` (per call).
+    pub fn from_env() -> Self {
+        let trace_path = match std::env::var("PEBBLE_TRACE") {
+            Ok(p) if !p.trim().is_empty() => Some(p),
+            _ => None,
+        };
+        ObsConfig {
+            metrics: metrics_enabled(),
+            trace_path,
+        }
+    }
+}
+
+/// `PEBBLE_METRICS` cache: 0 = unresolved, 1 = off, 2 = on.
+static METRICS: AtomicU8 = AtomicU8::new(0);
+
+/// Whether `PEBBLE_METRICS` asked for metrics. Parsed once, then a single
+/// relaxed atomic load — this is the gate the disabled hot path branches on.
+pub fn metrics_enabled() -> bool {
+    match METRICS.load(Relaxed) {
+        0 => {
+            let on = match std::env::var("PEBBLE_METRICS") {
+                Ok(raw) => match parse_bool(&raw) {
+                    Some(b) => b,
+                    None => {
+                        if !raw.trim().is_empty() {
+                            diag::warn_once(
+                                "PEBBLE_METRICS",
+                                &format!("ignoring invalid PEBBLE_METRICS={raw:?} (want 0/1)"),
+                            );
+                        }
+                        false
+                    }
+                },
+                Err(_) => false,
+            };
+            METRICS.store(if on { 2 } else { 1 }, Relaxed);
+            on
+        }
+        1 => false,
+        _ => true,
+    }
+}
+
+/// Overrides the cached `PEBBLE_METRICS` decision (tests / benches that flip
+/// metrics within one process).
+pub fn force_metrics(on: bool) {
+    METRICS.store(if on { 2 } else { 1 }, Relaxed);
+}
+
+fn parse_bool(raw: &str) -> Option<bool> {
+    match raw.trim().to_ascii_lowercase().as_str() {
+        "1" | "true" | "on" | "yes" => Some(true),
+        "" | "0" | "false" | "off" | "no" => Some(false),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_parsing() {
+        assert_eq!(parse_bool("1"), Some(true));
+        assert_eq!(parse_bool(" TRUE "), Some(true));
+        assert_eq!(parse_bool("0"), Some(false));
+        assert_eq!(parse_bool(""), Some(false));
+        assert_eq!(parse_bool("maybe"), None);
+    }
+
+    #[test]
+    fn disabled_config_is_inert() {
+        let cfg = ObsConfig::disabled();
+        assert!(!cfg.enabled());
+        assert!(ObsConfig::metrics().enabled());
+        assert!(ObsConfig {
+            metrics: false,
+            trace_path: Some("t".into())
+        }
+        .enabled());
+    }
+}

@@ -1,0 +1,240 @@
+//! # pebble-obs — runtime telemetry for the Pebble engine
+//!
+//! A std-only instrumentation layer: lock-free per-worker metric shards,
+//! deterministic tracing spans, a leveled diagnostics facade, and the
+//! self-describing [`RunReport`].
+//!
+//! Everything is compiled in but gated behind [`ObsConfig`]
+//! (`PEBBLE_METRICS`, `PEBBLE_TRACE`): the disabled path is a branch on an
+//! already-resolved `bool` (backed by a relaxed atomic env cache) — no
+//! allocation, no locks, no timestamps on any per-morsel path. A fully
+//! disabled run shares the process-wide [`RunObs::disabled`] singleton, so
+//! even per-run setup allocates nothing.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diag;
+pub mod metrics;
+pub mod report;
+pub mod span;
+
+pub use config::{force_metrics, metrics_enabled, ObsConfig};
+pub use metrics::{HistogramSnapshot, Log2Histogram, Shard, ShardSet, ShardTotals};
+pub use report::{
+    json_escape, DurationSummary, MorselStats, OpReport, PoolStats, ProvenanceStats, RunReport,
+    REPORT_SCHEMA_VERSION,
+};
+pub use span::{SpanEvent, SpanKind, TraceCollector};
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Per-run observability runtime handed to the executor.
+///
+/// Holds the metric shards and span buffers for one run. Workers interact
+/// with it only through [`RunObs::active`]-guarded paths; when built from a
+/// disabled [`ObsConfig`] every recording method is a single branch.
+pub struct RunObs {
+    metrics: bool,
+    tracing: bool,
+    start: Instant,
+    shards: ShardSet,
+    trace: Option<TraceCollector>,
+}
+
+impl RunObs {
+    /// Builds a runtime for `cfg` sized for `threads` workers (+1 shard for
+    /// the scheduler thread). A disabled config returns the shared inert
+    /// singleton without allocating.
+    pub fn new(cfg: &ObsConfig, threads: usize) -> Arc<RunObs> {
+        if !cfg.enabled() {
+            return RunObs::disabled();
+        }
+        Arc::new(RunObs {
+            metrics: cfg.metrics,
+            tracing: cfg.trace_path.is_some(),
+            start: Instant::now(),
+            shards: ShardSet::new(threads + 1),
+            trace: cfg
+                .trace_path
+                .as_ref()
+                .map(|_| TraceCollector::new(threads + 1)),
+        })
+    }
+
+    /// The process-wide inert runtime used by disabled runs.
+    pub fn disabled() -> Arc<RunObs> {
+        static DISABLED: OnceLock<Arc<RunObs>> = OnceLock::new();
+        DISABLED
+            .get_or_init(|| {
+                Arc::new(RunObs {
+                    metrics: false,
+                    tracing: false,
+                    start: Instant::now(),
+                    shards: ShardSet::new(1),
+                    trace: None,
+                })
+            })
+            .clone()
+    }
+
+    /// True when any instrumentation (metrics or tracing) is on — the single
+    /// branch the hot path takes before touching anything else here.
+    pub fn active(&self) -> bool {
+        self.metrics || self.tracing
+    }
+
+    /// True when metric shards are being populated.
+    pub fn metrics(&self) -> bool {
+        self.metrics
+    }
+
+    /// True when spans are being recorded.
+    pub fn tracing(&self) -> bool {
+        self.tracing
+    }
+
+    /// Nanoseconds since the runtime was created (the run clock).
+    pub fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// Records one executed morsel: shard counters + duration histogram when
+    /// metrics are on, a morsel span when tracing is on. Called from worker
+    /// threads only on active runs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_morsel(
+        &self,
+        name: &'static str,
+        op: u32,
+        phase: u8,
+        task: u32,
+        rows: u64,
+        start_ns: u64,
+        dur_ns: u64,
+    ) {
+        if self.metrics {
+            use std::sync::atomic::Ordering::Relaxed;
+            let shard = self.shards.shard();
+            shard.morsels.fetch_add(1, Relaxed);
+            shard.rows.fetch_add(rows, Relaxed);
+            shard.busy_ns.fetch_add(dur_ns, Relaxed);
+            shard.morsel_ns.record(dur_ns);
+        }
+        if self.tracing {
+            self.record_span(SpanEvent {
+                kind: SpanKind::Morsel,
+                name,
+                op,
+                phase,
+                task,
+                worker: 0,
+                start_ns,
+                dur_ns,
+                rows,
+            });
+        }
+    }
+
+    /// Appends a span event (no-op unless tracing).
+    pub fn record_span(&self, event: SpanEvent) {
+        if let Some(trace) = &self.trace {
+            trace.record(event);
+        }
+    }
+
+    /// Aggregated shard totals.
+    pub fn totals(&self) -> ShardTotals {
+        self.shards.totals()
+    }
+
+    /// Summary of the merged morsel-duration histogram (metrics runs).
+    pub fn duration_summary(&self) -> Option<DurationSummary> {
+        if !self.metrics {
+            return None;
+        }
+        let hist = self.totals().morsel_ns;
+        Some(DurationSummary {
+            count: hist.count,
+            sum_ns: hist.sum,
+            p50_ns: hist.quantile(0.50),
+            p99_ns: hist.quantile(0.99),
+        })
+    }
+
+    /// Drains and deterministically merges all recorded spans.
+    pub fn drain_spans(&self) -> Vec<SpanEvent> {
+        match &self.trace {
+            Some(trace) => trace.drain_sorted(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Process-global metric registry for phases that run outside an engine run
+/// (backtrace index builds/probes issued by user code).
+pub struct GlobalMetrics {
+    /// Backtrace index build times, ns.
+    pub backtrace_build_ns: Log2Histogram,
+    /// Backtrace probe (query) times, ns.
+    pub backtrace_probe_ns: Log2Histogram,
+}
+
+/// The process-global metric registry (gated by [`metrics_enabled`] at the
+/// recording sites).
+pub fn global() -> &'static GlobalMetrics {
+    static GLOBAL: GlobalMetrics = GlobalMetrics {
+        backtrace_build_ns: Log2Histogram::new(),
+        backtrace_probe_ns: Log2Histogram::new(),
+    };
+    &GLOBAL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_runtime_is_shared_and_inert() {
+        let a = RunObs::new(&ObsConfig::disabled(), 8);
+        let b = RunObs::disabled();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(!a.active() && !a.metrics() && !a.tracing());
+        assert!(a.duration_summary().is_none());
+        assert!(a.drain_spans().is_empty());
+    }
+
+    #[test]
+    fn metrics_runtime_records() {
+        let obs = RunObs::new(&ObsConfig::metrics(), 2);
+        assert!(obs.active() && obs.metrics() && !obs.tracing());
+        obs.record_morsel("filter", 1, 0, 0, 100, 0, 2_000);
+        obs.record_morsel("filter", 1, 0, 1, 50, 0, 4_000);
+        let t = obs.totals();
+        assert_eq!(t.morsels, 2);
+        assert_eq!(t.rows, 150);
+        assert_eq!(t.busy_ns, 6_000);
+        let d = obs.duration_summary().unwrap();
+        assert_eq!(d.count, 2);
+        assert_eq!(d.sum_ns, 6_000);
+        assert!(obs.drain_spans().is_empty()); // tracing off
+    }
+
+    #[test]
+    fn tracing_runtime_collects_spans() {
+        let cfg = ObsConfig {
+            metrics: false,
+            trace_path: Some("unused".into()),
+        };
+        let obs = RunObs::new(&cfg, 1);
+        assert!(obs.tracing() && !obs.metrics());
+        obs.record_morsel("map", 0, 0, 3, 10, 5, 7);
+        let spans = obs.drain_spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].task, 3);
+        assert_eq!(spans[0].rows, 10);
+        // Metrics shards untouched on a tracing-only run.
+        assert_eq!(obs.totals().morsels, 0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Lock-free metric primitives.
+//!
+//! The metrics core is built from two pieces:
+//!
+//! * [`Log2Histogram`] — a fixed-size (64 bucket) power-of-two histogram of
+//!   `u64` samples. Recording is a single relaxed `fetch_add` into the bucket
+//!   indexed by `floor(log2(v))`; there is no allocation and no lock.
+//! * [`ShardSet`] — cache-line-padded per-worker [`Shard`]s. Each OS thread is
+//!   assigned a stable slot index on first use (a global counter sampled into
+//!   a thread-local) and always writes `slot % shards`, so worker threads
+//!   never contend on the same cache line. Aggregation walks all shards on
+//!   demand with relaxed loads.
+//!
+//! Relaxed ordering is sufficient everywhere: metric values are advisory
+//! telemetry and are only aggregated after the run's scheduler has joined all
+//! task results through its channel (which provides the needed happens-before
+//! edge for exact totals at run end).
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
+
+/// Number of buckets in a [`Log2Histogram`] — one per possible `floor(log2)`
+/// of a `u64` sample.
+pub const HIST_BUCKETS: usize = 64;
+
+/// A fixed-bucket log2 histogram of `u64` samples (typically nanoseconds).
+///
+/// Bucket `i` counts samples `v` with `floor(log2(max(v, 1))) == i`, i.e.
+/// `v ∈ [2^i, 2^(i+1))`. All updates are relaxed atomics.
+pub struct Log2Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Log2Histogram {
+    /// Creates an empty histogram.
+    pub const fn new() -> Self {
+        Log2Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free; a zero sample lands in bucket 0.
+    pub fn record(&self, v: u64) {
+        let bucket = 63 - v.max(1).leading_zeros() as usize;
+        self.buckets[bucket].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Takes a point-in-time snapshot (relaxed loads).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for (slot, bucket) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *slot = bucket.load(Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+        }
+    }
+}
+
+/// An owned copy of a [`Log2Histogram`]'s state.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`buckets[i]` covers `[2^i, 2^(i+1))`).
+    pub buckets: [u64; HIST_BUCKETS],
+    /// Total number of recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Merges another snapshot into this one.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
+    /// Mean sample value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound (exclusive) of the bucket containing quantile `q ∈ [0, 1]`.
+    ///
+    /// Resolution is a factor of two — good enough to tell a 2µs morsel from
+    /// a 2ms one, which is what the skew diagnostics need.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Subtracts an earlier snapshot, yielding the delta between the two.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut out = HistogramSnapshot::default();
+        for (i, slot) in out.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        out.count = self.count.saturating_sub(earlier.count);
+        out.sum = self.sum.saturating_sub(earlier.sum);
+        out
+    }
+}
+
+/// One cache-line-padded metrics shard. Each worker thread owns (modulo slot
+/// wrap-around) one shard and updates it with relaxed atomics only.
+#[repr(align(128))]
+#[derive(Default)]
+pub struct Shard {
+    /// Morsels (tasks) executed by this shard's thread.
+    pub morsels: AtomicU64,
+    /// Output rows produced across those morsels.
+    pub rows: AtomicU64,
+    /// Nanoseconds spent executing morsel kernels.
+    pub busy_ns: AtomicU64,
+    /// Distribution of per-morsel execution times (ns).
+    pub morsel_ns: Log2Histogram,
+}
+
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static SLOT: usize = NEXT_SLOT.fetch_add(1, Relaxed);
+}
+
+/// Returns this thread's stable shard slot index (assigned on first use).
+pub fn thread_slot() -> usize {
+    SLOT.with(|s| *s)
+}
+
+/// A fixed set of per-worker [`Shard`]s, aggregated on demand.
+pub struct ShardSet {
+    shards: Box<[Shard]>,
+}
+
+impl ShardSet {
+    /// Creates `n.max(1)` empty shards.
+    pub fn new(n: usize) -> Self {
+        let mut shards = Vec::with_capacity(n.max(1));
+        shards.resize_with(n.max(1), Shard::default);
+        ShardSet {
+            shards: shards.into_boxed_slice(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when the set holds no shards (never happens via [`ShardSet::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shard assigned to the calling thread.
+    pub fn shard(&self) -> &Shard {
+        &self.shards[thread_slot() % self.shards.len()]
+    }
+
+    /// Aggregates all shards (relaxed loads).
+    pub fn totals(&self) -> ShardTotals {
+        let mut t = ShardTotals::default();
+        for s in self.shards.iter() {
+            t.morsels += s.morsels.load(Relaxed);
+            t.rows += s.rows.load(Relaxed);
+            t.busy_ns += s.busy_ns.load(Relaxed);
+            t.morsel_ns.merge(&s.morsel_ns.snapshot());
+        }
+        t
+    }
+}
+
+/// Aggregated view over a [`ShardSet`].
+#[derive(Clone, Debug, Default)]
+pub struct ShardTotals {
+    /// Total morsels executed.
+    pub morsels: u64,
+    /// Total output rows.
+    pub rows: u64,
+    /// Total busy nanoseconds.
+    pub busy_ns: u64,
+    /// Merged per-morsel duration histogram.
+    pub morsel_ns: HistogramSnapshot,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Log2Histogram::new();
+        for v in [0u64, 1, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 7);
+        assert_eq!(s.sum, 1011);
+        assert_eq!(s.buckets[0], 3); // 0 (clamped), 1, 1
+        assert_eq!(s.buckets[1], 2); // 2, 3
+        assert_eq!(s.buckets[2], 1); // 4
+        assert_eq!(s.buckets[9], 1); // 1000
+        assert_eq!(s.quantile(0.0), 2);
+        assert_eq!(s.quantile(1.0), 1 << 10);
+        assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn shard_set_aggregates() {
+        let set = ShardSet::new(4);
+        set.shard().morsels.fetch_add(3, Relaxed);
+        set.shard().rows.fetch_add(10, Relaxed);
+        set.shard().busy_ns.fetch_add(500, Relaxed);
+        set.shard().morsel_ns.record(500);
+        let t = set.totals();
+        assert_eq!(t.morsels, 3);
+        assert_eq!(t.rows, 10);
+        assert_eq!(t.busy_ns, 500);
+        assert_eq!(t.morsel_ns.count, 1);
+    }
+
+    #[test]
+    fn delta_since_subtracts() {
+        let h = Log2Histogram::new();
+        h.record(8);
+        let before = h.snapshot();
+        h.record(8);
+        h.record(16);
+        let delta = h.snapshot().delta_since(&before);
+        assert_eq!(delta.count, 2);
+        assert_eq!(delta.sum, 24);
+    }
+}

@@ -1,0 +1,384 @@
+//! The self-describing run report.
+//!
+//! [`RunReport`] is a plain-old-data summary of one engine run: the
+//! per-operator metrics table, morsel/skew statistics, pool gauges, and the
+//! provenance-size breakdown. [`RunReport::to_json`] renders it with a
+//! stable key order under a `schema_version` field so downstream tooling
+//! (bench bins, the CI smoke) can validate it structurally.
+
+/// Version of the JSON layout emitted by [`RunReport::to_json`]. Bump on any
+/// key rename/removal; additions are allowed within a version.
+pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Escapes a string for embedding inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-operator metrics row.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OpReport {
+    /// Operator id (equal to its index in the program).
+    pub op: u64,
+    /// Operator type name (`read`, `filter`, `join`, …).
+    pub op_type: String,
+    /// True when the operator can invoke user code (map / UDF predicates).
+    pub udf: bool,
+    /// Rows flowing into the operator (sum over its inputs).
+    pub rows_in: u64,
+    /// Rows the operator produced.
+    pub rows_out: u64,
+    /// Morsels executed for the unit this operator heads (0 for fused
+    /// non-head operators — their work is attributed to the chain head).
+    pub morsels: u64,
+    /// UDF panics caught and contained while running this operator.
+    pub udf_panics: u64,
+    /// Kernel nanoseconds attributed to this operator's unit (head only;
+    /// populated only when metrics are enabled).
+    pub busy_ns: u64,
+    /// Provenance association-table entries recorded for this operator
+    /// (0 when capture is off).
+    pub assoc_entries: u64,
+    /// Estimated bytes of those associations (id-payload estimate).
+    pub assoc_bytes: u64,
+}
+
+/// Morsel-level statistics for skew diagnosis.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MorselStats {
+    /// Total morsels (tasks) executed.
+    pub executed: u64,
+    /// Smallest morsel, in input rows.
+    pub min_rows: u64,
+    /// Largest morsel, in input rows.
+    pub max_rows: u64,
+    /// Total rows across all morsels.
+    pub total_rows: u64,
+}
+
+impl MorselStats {
+    /// Mean rows per morsel (0.0 when none ran).
+    pub fn mean_rows(&self) -> f64 {
+        if self.executed == 0 {
+            0.0
+        } else {
+            self.total_rows as f64 / self.executed as f64
+        }
+    }
+
+    /// Skew factor: largest morsel over the mean (1.0 = perfectly even).
+    pub fn skew(&self) -> f64 {
+        let mean = self.mean_rows();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.max_rows as f64 / mean
+        }
+    }
+
+    /// Folds one morsel of `rows` input rows into the stats.
+    pub fn observe(&mut self, rows: u64) {
+        if self.executed == 0 || rows < self.min_rows {
+            self.min_rows = rows;
+        }
+        if rows > self.max_rows {
+            self.max_rows = rows;
+        }
+        self.executed += 1;
+        self.total_rows += rows;
+    }
+}
+
+/// Summary of a per-morsel duration histogram (metrics-on runs only).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DurationSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of all samples, ns.
+    pub sum_ns: u64,
+    /// Median bucket upper bound, ns.
+    pub p50_ns: u64,
+    /// 99th-percentile bucket upper bound, ns.
+    pub p99_ns: u64,
+}
+
+/// Worker-pool gauges sampled (lock-free) during the run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PoolStats {
+    /// Pool size (worker threads).
+    pub workers: u64,
+    /// Jobs this run handed to the pool (morsels not run inline).
+    pub jobs: u64,
+    /// Highest queue depth observed by the scheduler's samples.
+    pub max_queue_depth: u64,
+    /// Highest concurrently-active worker count observed.
+    pub max_active: u64,
+}
+
+/// Provenance capture size breakdown (capture runs only).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ProvenanceStats {
+    /// Association-table entries across all operators.
+    pub entries: u64,
+    /// Exact bytes of lineage ids (Tab. 6 associations).
+    pub lineage_bytes: u64,
+    /// Exact bytes of structural extras (paths, shapes).
+    pub structural_bytes: u64,
+}
+
+/// A structured, serializable summary of one engine run.
+///
+/// Built for every run (cheap counters are always on); timing fields,
+/// duration histograms and pool gauges are only populated when metrics were
+/// enabled for the run. Reading the report never perturbs the run's rows,
+/// ids, or provenance — it is assembled from side counters after the fact.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunReport {
+    /// Layout version ([`REPORT_SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// Which executor produced the run: `pool`, `spawn`, or `reference`.
+    pub executor: String,
+    /// Whether metrics collection was enabled.
+    pub metrics: bool,
+    /// `ok` or `error`.
+    pub outcome: String,
+    /// The contained error's display string, when `outcome == "error"`.
+    pub error: Option<String>,
+    /// Partition count the run used.
+    pub partitions: u64,
+    /// Worker threads the run used.
+    pub workers: u64,
+    /// Configured morsel row cap (0 = auto).
+    pub morsel_rows: u64,
+    /// Wall-clock nanoseconds for the run (metrics runs only, else 0).
+    pub elapsed_ns: u64,
+    /// Source datasets read by the program: `(name, rows)`.
+    pub sources: Vec<(String, u64)>,
+    /// Per-operator metrics table, indexed by operator id.
+    pub operators: Vec<OpReport>,
+    /// Morsel/skew statistics.
+    pub morsels: MorselStats,
+    /// Morsel duration distribution (metrics runs only).
+    pub morsel_durations: Option<DurationSummary>,
+    /// Pool gauges (pool executor with metrics only).
+    pub pool: Option<PoolStats>,
+    /// Provenance size breakdown (capture runs only).
+    pub provenance: Option<ProvenanceStats>,
+    /// Number of span events recorded (tracing runs only).
+    pub spans: u64,
+}
+
+impl Default for RunReport {
+    fn default() -> Self {
+        RunReport {
+            schema_version: REPORT_SCHEMA_VERSION,
+            executor: String::new(),
+            metrics: false,
+            outcome: String::new(),
+            error: None,
+            partitions: 0,
+            workers: 0,
+            morsel_rows: 0,
+            elapsed_ns: 0,
+            sources: Vec::new(),
+            operators: Vec::new(),
+            morsels: MorselStats::default(),
+            morsel_durations: None,
+            pool: None,
+            provenance: None,
+            spans: 0,
+        }
+    }
+}
+
+impl RunReport {
+    /// Total UDF panics caught across all operators.
+    pub fn udf_panics(&self) -> u64 {
+        self.operators.iter().map(|o| o.udf_panics).sum()
+    }
+
+    /// Renders the report as JSON with a stable key order.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512 + self.operators.len() * 192);
+        s.push_str("{\n");
+        s.push_str(&format!("  \"schema_version\": {},\n", self.schema_version));
+        s.push_str(&format!(
+            "  \"executor\": \"{}\",\n",
+            json_escape(&self.executor)
+        ));
+        s.push_str(&format!("  \"metrics\": {},\n", self.metrics));
+        s.push_str(&format!(
+            "  \"outcome\": \"{}\",\n",
+            json_escape(&self.outcome)
+        ));
+        match &self.error {
+            Some(e) => s.push_str(&format!("  \"error\": \"{}\",\n", json_escape(e))),
+            None => s.push_str("  \"error\": null,\n"),
+        }
+        s.push_str(&format!("  \"partitions\": {},\n", self.partitions));
+        s.push_str(&format!("  \"workers\": {},\n", self.workers));
+        s.push_str(&format!("  \"morsel_rows\": {},\n", self.morsel_rows));
+        s.push_str(&format!("  \"elapsed_ns\": {},\n", self.elapsed_ns));
+        s.push_str("  \"sources\": [");
+        for (i, (name, rows)) in self.sources.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"name\": \"{}\", \"rows\": {}}}",
+                json_escape(name),
+                rows
+            ));
+        }
+        s.push_str("],\n");
+        s.push_str("  \"operators\": [\n");
+        for (i, o) in self.operators.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"op\": {}, \"type\": \"{}\", \"udf\": {}, \"rows_in\": {}, \
+                 \"rows_out\": {}, \"morsels\": {}, \"udf_panics\": {}, \"busy_ns\": {}, \
+                 \"assoc_entries\": {}, \"assoc_bytes\": {}}}{}\n",
+                o.op,
+                json_escape(&o.op_type),
+                o.udf,
+                o.rows_in,
+                o.rows_out,
+                o.morsels,
+                o.udf_panics,
+                o.busy_ns,
+                o.assoc_entries,
+                o.assoc_bytes,
+                if i + 1 < self.operators.len() {
+                    ","
+                } else {
+                    ""
+                },
+            ));
+        }
+        s.push_str("  ],\n");
+        s.push_str(&format!(
+            "  \"morsels\": {{\"executed\": {}, \"min_rows\": {}, \"max_rows\": {}, \
+             \"total_rows\": {}, \"mean_rows\": {:.3}, \"skew\": {:.3}}},\n",
+            self.morsels.executed,
+            self.morsels.min_rows,
+            self.morsels.max_rows,
+            self.morsels.total_rows,
+            self.morsels.mean_rows(),
+            self.morsels.skew(),
+        ));
+        match &self.morsel_durations {
+            Some(d) => s.push_str(&format!(
+                "  \"morsel_durations\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \
+                 \"p99_ns\": {}}},\n",
+                d.count, d.sum_ns, d.p50_ns, d.p99_ns,
+            )),
+            None => s.push_str("  \"morsel_durations\": null,\n"),
+        }
+        match &self.pool {
+            Some(p) => s.push_str(&format!(
+                "  \"pool\": {{\"workers\": {}, \"jobs\": {}, \"max_queue_depth\": {}, \
+                 \"max_active\": {}}},\n",
+                p.workers, p.jobs, p.max_queue_depth, p.max_active,
+            )),
+            None => s.push_str("  \"pool\": null,\n"),
+        }
+        match &self.provenance {
+            Some(p) => s.push_str(&format!(
+                "  \"provenance\": {{\"entries\": {}, \"lineage_bytes\": {}, \
+                 \"structural_bytes\": {}}},\n",
+                p.entries, p.lineage_bytes, p.structural_bytes,
+            )),
+            None => s.push_str("  \"provenance\": null,\n"),
+        }
+        s.push_str(&format!("  \"spans\": {}\n", self.spans));
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn morsel_stats() {
+        let mut m = MorselStats::default();
+        m.observe(10);
+        m.observe(2);
+        m.observe(30);
+        assert_eq!(m.executed, 3);
+        assert_eq!(m.min_rows, 2);
+        assert_eq!(m.max_rows, 30);
+        assert_eq!(m.total_rows, 42);
+        assert!((m.mean_rows() - 14.0).abs() < 1e-9);
+        assert!((m.skew() - 30.0 / 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_carries_schema_version() {
+        let r = RunReport::default();
+        assert_eq!(r.schema_version, REPORT_SCHEMA_VERSION);
+        let json = r.to_json();
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"error\": null"));
+        assert!(json.contains("\"pool\": null"));
+    }
+
+    #[test]
+    fn json_has_stable_keys() {
+        let mut r = RunReport {
+            executor: "pool".into(),
+            outcome: "ok".into(),
+            ..RunReport::default()
+        };
+        r.operators.push(OpReport {
+            op: 0,
+            op_type: "read".into(),
+            ..OpReport::default()
+        });
+        r.pool = Some(PoolStats {
+            workers: 4,
+            jobs: 9,
+            max_queue_depth: 3,
+            max_active: 4,
+        });
+        let json = r.to_json();
+        for key in [
+            "schema_version",
+            "executor",
+            "metrics",
+            "outcome",
+            "error",
+            "partitions",
+            "workers",
+            "morsel_rows",
+            "elapsed_ns",
+            "sources",
+            "operators",
+            "morsels",
+            "morsel_durations",
+            "pool",
+            "provenance",
+            "spans",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");
+        }
+    }
+}

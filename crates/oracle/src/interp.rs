@@ -25,7 +25,7 @@
 use pebble_core::{CapturedRun, InputProv, OperatorProvenance, ProvAssoc};
 use pebble_dataflow::{
     op::merge_item_schemas, AggFunc, AggSpec, Context, EngineError, ExecConfig, GroupKey, ItemId,
-    NamedExpr, OpId, OpKind, Program, Result, Row, RunOutput,
+    NamedExpr, OpId, OpKind, Program, Result, Row, RunOutput, RunReport,
 };
 use pebble_nested::{DataItem, DataType, Path, Step, Value};
 
@@ -119,6 +119,12 @@ pub fn run_reference(program: &Program, ctx: &Context) -> Result<CapturedRun> {
             rows,
             op_schemas,
             op_counts,
+            // The reference is a spec, not an instrumented engine: its
+            // report carries only the executor tag.
+            report: RunReport {
+                executor: "reference".to_string(),
+                ..RunReport::default()
+            },
         },
         ops: prov,
     })

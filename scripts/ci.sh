@@ -36,6 +36,18 @@ cargo run -q --release -p pebble-oracle --bin oracle_fuzz -- 1500 0
 echo "==> oracle malformed-input smoke"
 cargo run -q --release -p pebble-oracle --bin oracle_fuzz -- 500 0 malformed
 
+# Observability smoke: run a Twitter scenario with metrics + tracing
+# enabled and validate the emitted run report and trace files against the
+# schema documented in DESIGN.md ("Observability").
+echo "==> observability smoke (report + trace schema)"
+PEBBLE_METRICS=1 PEBBLE_TRACE=target/obs_smoke.trace.ndjson \
+    cargo run -q --release -p pebble-bench --bin obs_smoke
+
+# Overhead guard: the disabled telemetry path must add <2% to the hotpath
+# bench; numbers fold into the "obs_overhead" section of BENCH_3.json.
+echo "==> observability overhead guard (metrics-off < 2%)"
+cargo run -q --release -p pebble-bench --bin obs_overhead -- --assert --out BENCH_3.json
+
 # Panic-injection smoke at the two extreme scheduler shapes: the fault
 # harness itself sweeps partition/worker shapes, and the env knobs swing
 # every other test's default config across the same extremes.

@@ -10,6 +10,8 @@
 //! * [`core`] — structural provenance: lightweight capture, tree-pattern
 //!   queries (with a textual syntax), the backtracing algorithm,
 //!   persistence, and the use-case analyses;
+//! * [`obs`] — runtime telemetry: per-operator metrics, tracing spans,
+//!   the structured run report, and the leveled diagnostics facade;
 //! * [`baselines`] — the comparison systems: Titian-style lineage,
 //!   PROVision-style lazy querying and how-provenance polynomials,
 //!   Lipstick-style per-value annotations, and where-provenance;
@@ -23,4 +25,5 @@ pub use pebble_baselines as baselines;
 pub use pebble_core as core;
 pub use pebble_dataflow as dataflow;
 pub use pebble_nested as nested;
+pub use pebble_obs as obs;
 pub use pebble_workloads as workloads;
