@@ -1,0 +1,313 @@
+//! Columnar benchmark: vectorized column-at-a-time kernels vs the
+//! row-at-a-time executor path (`ExecConfig::columnar`).
+//!
+//! Runs the Tab. 7 scenarios T1–T5 / D1–D5 plus two chain-dominated
+//! scenarios (`T-chain`, `D-chain`: fused multi-stage filter/select
+//! pipelines over the same Twitter/DBLP datasets — the shape the columnar
+//! kernels target) and times four variants interleaved per scenario:
+//!
+//! * `row` / `columnar` — plain runs (no provenance capture);
+//! * `row+capture` / `columnar+capture` — with structural provenance
+//!   capture, where the columnar path additionally appends association
+//!   *runs* (id ranges) instead of per-row pairs.
+//!
+//! Before timing, every scenario is checked bit-for-bit: the columnar run
+//! must produce identical rows, identifiers and association tables, or the
+//! numbers would be lies.
+//!
+//! Results are folded into the `"columnar"` section of `BENCH_4.json`.
+//!
+//! Usage: `colbench [--out FILE] [--assert]`
+//!
+//! `--assert` skips the report and instead runs T3 at the current scale,
+//! exiting non-zero if the columnar path is slower than the row path
+//! (beyond a small noise margin) — the CI regression gate.
+
+use std::fmt::Write as _;
+
+use pebble_bench::{scale, time_interleaved, write_json_section, DBLP_BASE, TWITTER_BASE};
+use pebble_core::run_captured;
+use pebble_dataflow::{
+    run, Context, ExecConfig, Expr, NamedExpr, NoSink, ObsConfig, Program, ProgramBuilder,
+    SelectExpr,
+};
+use pebble_workloads::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios};
+
+const ROUNDS: usize = 7;
+
+/// Chain-dominated Twitter scenario: an eight-stage fused filter/select
+/// pipeline (no flatten/join/aggregate), isolating the kernels the
+/// columnar path vectorizes.
+fn t_chain() -> Program {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("tweets");
+    let f1 = b.filter(r, Expr::col("text").contains(Expr::lit("e")));
+    let s1 = b.select(
+        f1,
+        vec![
+            NamedExpr::path("text"),
+            NamedExpr::aliased("uid", "user.id_str"),
+            NamedExpr::aliased("uname", "user.name"),
+            NamedExpr::path("retweet_count"),
+            NamedExpr::path("lang"),
+        ],
+    );
+    let f2 = b.filter(s1, Expr::col("retweet_count").ge(Expr::lit(0i64)));
+    let s2 = b.select(
+        f2,
+        vec![
+            NamedExpr::new(
+                "user",
+                SelectExpr::strct([
+                    ("id_str", SelectExpr::path("uid")),
+                    ("name", SelectExpr::path("uname")),
+                ]),
+            ),
+            NamedExpr::path("text"),
+            NamedExpr::path("retweet_count"),
+        ],
+    );
+    let f3 = b.filter(s2, Expr::col("retweet_count").le(Expr::lit(i64::MAX)));
+    let s3 = b.select(
+        f3,
+        vec![
+            NamedExpr::aliased("who", "user.name"),
+            NamedExpr::path("text"),
+            NamedExpr::path("retweet_count"),
+        ],
+    );
+    let f4 = b.filter(s3, Expr::col("who").contains(Expr::lit("user")));
+    let s4 = b.select(f4, vec![NamedExpr::path("who"), NamedExpr::path("text")]);
+    b.build(s4)
+}
+
+/// Chain-dominated DBLP scenario over `inproceedings`, eight fused stages.
+fn d_chain() -> Program {
+    let mut b = ProgramBuilder::new();
+    let r = b.read("inproceedings");
+    let f1 = b.filter(r, Expr::col("year").ge(Expr::lit(2012i64)));
+    let s1 = b.select(
+        f1,
+        vec![
+            NamedExpr::path("key"),
+            NamedExpr::path("title"),
+            NamedExpr::path("year"),
+            NamedExpr::path("booktitle"),
+        ],
+    );
+    let f2 = b.filter(s1, Expr::col("key").contains(Expr::lit("conf/")));
+    let s2 = b.select(
+        f2,
+        vec![
+            NamedExpr::new(
+                "paper",
+                SelectExpr::strct([
+                    ("title", SelectExpr::path("title")),
+                    ("venue", SelectExpr::path("booktitle")),
+                ]),
+            ),
+            NamedExpr::path("year"),
+        ],
+    );
+    let f3 = b.filter(s2, Expr::col("year").ge(Expr::lit(2014i64)));
+    let s3 = b.select(
+        f3,
+        vec![
+            NamedExpr::aliased("title", "paper.title"),
+            NamedExpr::aliased("venue", "paper.venue"),
+            NamedExpr::path("year"),
+        ],
+    );
+    let f4 = b.filter(s3, Expr::col("venue").contains(Expr::lit("c")));
+    let s4 = b.select(f4, vec![NamedExpr::path("title"), NamedExpr::path("venue")]);
+    b.build(s4)
+}
+
+struct Measured {
+    name: String,
+    row_ms: f64,
+    col_ms: f64,
+    row_cap_ms: f64,
+    col_cap_ms: f64,
+    id_ranges: u64,
+    id_pairs: u64,
+    selection_density: f64,
+    fallback_units: u64,
+}
+
+fn ms(d: std::time::Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Asserts row and columnar runs agree bit-for-bit (rows, ids, association
+/// tables) before any timing, then measures the four variants interleaved.
+fn measure(name: &str, program: &Program, ctx: &Context) -> Measured {
+    let row_cfg = ExecConfig::default().columnar(false);
+    let col_cfg = ExecConfig::default().columnar(true);
+
+    let a = run_captured(program, ctx, row_cfg).expect("row run failed");
+    let b = run_captured(program, ctx, col_cfg).expect("columnar run failed");
+    assert_eq!(
+        a.output.rows, b.output.rows,
+        "{name}: columnar rows/ids diverge from row path"
+    );
+    for (x, y) in a.ops.iter().zip(&b.ops) {
+        assert_eq!(
+            x, y,
+            "{name}: columnar association tables diverge from row path"
+        );
+    }
+
+    let times = time_interleaved(
+        ROUNDS,
+        &mut [
+            &mut || {
+                run(program, ctx, row_cfg, &NoSink).unwrap();
+            },
+            &mut || {
+                run(program, ctx, col_cfg, &NoSink).unwrap();
+            },
+            &mut || {
+                run_captured(program, ctx, row_cfg).unwrap();
+            },
+            &mut || {
+                run_captured(program, ctx, col_cfg).unwrap();
+            },
+        ],
+    );
+
+    // Columnar run-shape facts come from the engine's own report.
+    let (_, report) =
+        pebble_dataflow::run_observed(program, ctx, col_cfg, &NoSink, &ObsConfig::disabled());
+    let stats = report.columnar.unwrap_or_default();
+
+    Measured {
+        name: name.to_string(),
+        row_ms: ms(times[0]),
+        col_ms: ms(times[1]),
+        row_cap_ms: ms(times[2]),
+        col_cap_ms: ms(times[3]),
+        id_ranges: stats.id_ranges,
+        id_pairs: stats.id_pairs,
+        selection_density: stats.selection_density(),
+        fallback_units: stats.fallback_units,
+    }
+}
+
+fn assert_mode() {
+    let ctx = twitter_context(TWITTER_BASE * scale());
+    let s = twitter_scenarios()
+        .into_iter()
+        .find(|s| s.name == "T3")
+        .expect("T3 scenario");
+    let m = measure("T3", &s.program, &ctx);
+    // Noise margin: interleaved medians still jitter a few percent on a
+    // loaded CI box; a genuinely slower columnar path shows far more.
+    let margin = 1.05;
+    println!(
+        "colbench --assert: T3 row {:.2} ms vs columnar {:.2} ms (capture {:.2} vs {:.2})",
+        m.row_ms, m.col_ms, m.row_cap_ms, m.col_cap_ms
+    );
+    assert!(
+        m.col_ms <= m.row_ms * margin,
+        "columnar plain run slower than row path: {:.2} ms vs {:.2} ms",
+        m.col_ms,
+        m.row_ms
+    );
+    assert!(
+        m.col_cap_ms <= m.row_cap_ms * margin,
+        "columnar capture run slower than row path: {:.2} ms vs {:.2} ms",
+        m.col_cap_ms,
+        m.row_cap_ms
+    );
+    println!("colbench --assert: ok");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_4.json");
+    let mut assert_only = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--assert" => assert_only = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    if assert_only {
+        assert_mode();
+        return;
+    }
+
+    let tweets = TWITTER_BASE * scale();
+    let records = DBLP_BASE * scale();
+    let t_ctx = twitter_context(tweets);
+    let d_ctx = dblp_context(records);
+
+    println!("colbench — row vs columnar, scale {}", scale());
+    println!(
+        "{:<10} {:>10} {:>12} {:>8} {:>12} {:>14} {:>8}",
+        "scenario", "row ms", "columnar ms", "speedup", "row+cap ms", "col+cap ms", "speedup"
+    );
+
+    let mut results: Vec<Measured> = Vec::new();
+    for s in twitter_scenarios() {
+        results.push(measure(s.name, &s.program, &t_ctx));
+    }
+    results.push(measure("T-chain", &t_chain(), &t_ctx));
+    for s in dblp_scenarios() {
+        results.push(measure(s.name, &s.program, &d_ctx));
+    }
+    results.push(measure("D-chain", &d_chain(), &d_ctx));
+
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"rounds\": {ROUNDS},");
+    let _ = writeln!(body, "  \"scale\": {},", scale());
+    let _ = writeln!(body, "  \"tweets\": {tweets},");
+    let _ = writeln!(body, "  \"dblp_records\": {records},");
+    let _ = writeln!(body, "  \"scenarios\": [");
+    for (i, m) in results.iter().enumerate() {
+        let speed_plain = m.row_ms / m.col_ms;
+        let speed_cap = m.row_cap_ms / m.col_cap_ms;
+        println!(
+            "{:<10} {:>10.2} {:>12.2} {:>7.2}x {:>12.2} {:>14.2} {:>7.2}x",
+            m.name, m.row_ms, m.col_ms, speed_plain, m.row_cap_ms, m.col_cap_ms, speed_cap
+        );
+        let sep = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            body,
+            "    {{\"name\": \"{}\", \"row_ms\": {:.3}, \"columnar_ms\": {:.3}, \
+             \"speedup\": {:.3}, \"row_capture_ms\": {:.3}, \"columnar_capture_ms\": {:.3}, \
+             \"capture_speedup\": {:.3}, \"id_ranges\": {}, \"id_pairs\": {}, \
+             \"selection_density\": {:.3}, \"fallback_units\": {}}}{sep}",
+            m.name,
+            m.row_ms,
+            m.col_ms,
+            speed_plain,
+            m.row_cap_ms,
+            m.col_cap_ms,
+            speed_cap,
+            m.id_ranges,
+            m.id_pairs,
+            m.selection_density,
+            m.fallback_units,
+        );
+    }
+    let _ = writeln!(body, "  ],");
+    let best_t = results
+        .iter()
+        .filter(|m| m.name.starts_with('T'))
+        .map(|m| m.row_ms / m.col_ms)
+        .fold(0.0f64, f64::max);
+    let best_d = results
+        .iter()
+        .filter(|m| m.name.starts_with('D'))
+        .map(|m| m.row_ms / m.col_ms)
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(body, "  \"best_twitter_speedup\": {best_t:.3},");
+    let _ = writeln!(body, "  \"best_dblp_speedup\": {best_d:.3}");
+    body.push('}');
+
+    write_json_section(&out_path, "columnar", &body);
+    eprintln!("wrote section \"columnar\" to {out_path}");
+}

@@ -264,6 +264,17 @@ impl ProvenanceSink for CaptureSink {
         }
     }
 
+    fn unary_run(&self, op: OpId, in_first: ItemId, out_first: ItemId, len: u64) {
+        // The stored table stays expanded pairs — byte-identical to a
+        // per-pair capture — but a whole id range appends in one lock hold
+        // with no intermediate batch buffer.
+        if let ProvAssoc::Unary(v) = &mut *self.assoc(op) {
+            v.extend((0..len).map(|k| (in_first + k, out_first + k)));
+        } else {
+            self.fail(op, "unary");
+        }
+    }
+
     fn binary_batch(&self, op: OpId, assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {
         if let ProvAssoc::Binary(v) = &mut *self.assoc(op) {
             v.extend_from_slice(assoc);

@@ -39,7 +39,8 @@ use std::sync::Arc;
 
 use pebble_nested::{DataItem, DataType, Label, Path, Value};
 use pebble_obs::{
-    diag, MorselStats, ObsConfig, OpReport, PoolStats, RunObs, RunReport, SpanEvent, SpanKind,
+    diag, ColumnarStats, MorselStats, ObsConfig, OpReport, PoolStats, RunObs, RunReport, SpanEvent,
+    SpanKind,
 };
 
 use crate::context::Context;
@@ -115,7 +116,7 @@ const INLINE_ROWS: usize = 512;
 ///
 /// Every knob has an environment override read by [`ExecConfig::default`]
 /// (and thus by [`ExecConfig::with_partitions`]): `PEBBLE_PARTITIONS`,
-/// `PEBBLE_WORKERS`, and `PEBBLE_MORSEL_ROWS`.
+/// `PEBBLE_WORKERS`, `PEBBLE_MORSEL_ROWS`, and `PEBBLE_COLUMNAR`.
 #[derive(Clone, Copy, Debug)]
 pub struct ExecConfig {
     /// Number of logical partitions. Identifiers depend on this (a
@@ -131,6 +132,12 @@ pub struct ExecConfig {
     /// input cardinality (targeting several morsels per worker). Output is
     /// byte-identical at any morsel size.
     pub morsel_rows: usize,
+    /// Execute fused per-row chains (and shuffle/probe key hashing) with
+    /// the vectorized columnar kernels (`PEBBLE_COLUMNAR=1`). Rows,
+    /// identifiers, association tables, and backtraces are byte-identical
+    /// to the row path; units the columnar planner cannot vectorize (UDFs)
+    /// fall back to rows per unit.
+    pub columnar: bool,
 }
 
 /// Hard ceiling on the logical partition count: a partition index must fit
@@ -169,12 +176,28 @@ impl Default for ExecConfig {
             );
             partitions = MAX_PARTITIONS;
         }
+        // Boolean knob with the same clamp-and-warn contract as the other
+        // env overrides: invalid values warn once and fall back to the row
+        // path; values above 1 clamp to "on" with a warning.
+        let columnar = match env_knob("PEBBLE_COLUMNAR") {
+            Some(v) => {
+                if v > 1 {
+                    diag::warn_once(
+                        "PEBBLE_COLUMNAR.clamp",
+                        &format!("clamping PEBBLE_COLUMNAR={v} to 1"),
+                    );
+                }
+                v != 0
+            }
+            None => false,
+        };
         ExecConfig {
             // `0` (explicit or from clamping a negative value) means "use
             // one partition"; `workers`/`morsel_rows` keep `0` as "auto".
             partitions: partitions.max(1),
             workers: env_knob("PEBBLE_WORKERS").unwrap_or(0),
             morsel_rows: env_knob("PEBBLE_MORSEL_ROWS").unwrap_or(0),
+            columnar,
         }
     }
 }
@@ -198,6 +221,12 @@ impl ExecConfig {
     /// Sets the morsel length in rows (builder style).
     pub fn morsel_rows(mut self, morsel_rows: usize) -> Self {
         self.morsel_rows = morsel_rows;
+        self
+    }
+
+    /// Enables or disables the columnar kernels (builder style).
+    pub fn columnar(mut self, columnar: bool) -> Self {
+        self.columnar = columnar;
         self
     }
 
@@ -655,7 +684,41 @@ pub(crate) struct GroupKernel {
     pub(crate) agg_labels: Vec<Label>,
 }
 
-pub(crate) type JoinBuild = FxHashMap<Vec<Value>, Vec<Row>>;
+/// Join hash table keyed by the *cached* key hash.
+///
+/// Build computes each row's key hash exactly once and stores it as the
+/// map key; probe computes each row's hash once (column-at-a-time in
+/// columnar mode) and reuses it for the lookup, instead of re-walking the
+/// key `Value`s through the map's hasher on every probe. Hash collisions
+/// keep their keys in insertion order, so per-key match lists preserve the
+/// deterministic global row order.
+/// Build-side rows bucketed by key hash: each entry keeps the exact key
+/// values alongside the rows that produced them, in insertion order.
+type JoinBuckets = FxHashMap<u64, Vec<(Vec<Value>, Vec<Row>)>>;
+
+#[derive(Default)]
+pub(crate) struct JoinBuild {
+    map: JoinBuckets,
+}
+
+impl JoinBuild {
+    fn insert(&mut self, key: Vec<Value>, hash: u64, row: Row) {
+        let bucket = self.map.entry(hash).or_default();
+        match bucket.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, rows)) => rows.push(row),
+            None => bucket.push((key, vec![row])),
+        }
+    }
+
+    /// Matching build rows for a probe key with a pre-computed hash.
+    pub(crate) fn get(&self, key: &[&Value], hash: u64) -> Option<&[Row]> {
+        let bucket = self.map.get(&hash)?;
+        bucket
+            .iter()
+            .find(|(k, _)| k.len() == key.len() && k.iter().zip(key).all(|(a, &b)| a == b))
+            .map(|(_, rows)| rows.as_slice())
+    }
+}
 
 /// Association rows of a binary operator: `(left input, right input,
 /// output)`, with `None` marking the absent side (e.g. union branches).
@@ -667,6 +730,25 @@ type BinaryAssoc = Vec<(Option<ItemId>, Option<ItemId>, ItemId)>;
 pub(crate) enum TaskOut {
     Read {
         rows: Vec<Row>,
+    },
+    /// Result of a vectorized chain morsel. Identifier layout matches
+    /// `Chain` (full `op|partition|seq` ids, morsel-local sequences), but
+    /// 1:1 stages report *runs* instead of materialized pairs, and
+    /// vectorized stages never host UDFs, so there is no error/panic
+    /// bookkeeping — hard failures surface as task `Err`s.
+    ColChain {
+        rows: Vec<Row>,
+        /// Per-stage associations (empty when the sink is disabled).
+        stages: Vec<StageAssoc>,
+        counts: Vec<usize>,
+        /// Rows fed into the morsel (for batch-size telemetry).
+        rows_in: usize,
+        /// Column batches materialized by select stages.
+        batches: u32,
+        /// Rows considered by filter stages.
+        filter_in: u64,
+        /// Rows kept by filter stages.
+        filter_kept: u64,
     },
     Chain {
         rows: Vec<Row>,
@@ -696,6 +778,24 @@ pub(crate) enum TaskOut {
         rows: Vec<KeyedRow>,
         assoc: Vec<(Vec<ItemId>, ItemId)>,
     },
+}
+
+/// Associations of one vectorized chain stage within one morsel.
+///
+/// A 1:1 stage over positionally-consecutive inputs collapses to a `Run`:
+/// `(in_first + i, out_first + i)` for `i < len`. The scheduler
+/// concatenates adjacent runs across morsels and hands the capture sink
+/// id *ranges* instead of per-row pairs; anything non-contiguous degrades
+/// to explicit `Pairs` with the row path's exact contents.
+pub(crate) enum StageAssoc {
+    /// `len` consecutive input→output pairs starting at the given ids.
+    Run {
+        in_first: ItemId,
+        out_first: ItemId,
+        len: usize,
+    },
+    /// Explicit pairs, ordered like the row kernel would emit them.
+    Pairs(Vec<(ItemId, ItemId)>),
 }
 
 /// A row-level failure inside a fused chain, recorded morsel-locally.
@@ -861,15 +961,30 @@ pub(crate) fn join_key(item: &DataItem, paths: &[Path]) -> Option<Vec<Value>> {
     Some(key)
 }
 
-/// Builds the join hash table over the (by convention right) input.
-/// Rows are visited in partition order, so per-key match lists preserve
-/// the deterministic global row order.
+/// Borrowing variant of [`join_key`]: probe rows hash and compare their
+/// key without cloning a single value.
+pub(crate) fn join_key_ref<'a>(item: &'a DataItem, paths: &[Path]) -> Option<Vec<&'a Value>> {
+    let mut key = Vec::with_capacity(paths.len());
+    for p in paths {
+        match p.eval(item) {
+            Some(v) if !v.is_null() => key.push(v),
+            _ => return None, // null keys never join
+        }
+    }
+    Some(key)
+}
+
+/// Builds the join hash table over the (by convention right) input,
+/// computing each row's key hash exactly once. Rows are visited in
+/// partition order, so per-key match lists preserve the deterministic
+/// global row order.
 pub(crate) fn join_build(right: &Partitions, right_paths: &[Path]) -> JoinBuild {
-    let mut build: JoinBuild = FxHashMap::default();
+    let mut build = JoinBuild::default();
     for partition in right {
         for row in partition {
             if let Some(k) = join_key(&row.item, right_paths) {
-                build.entry(k).or_default().push(row.clone());
+                let hash = crate::hash::hash_values(&k);
+                build.insert(k, hash, row.clone());
             }
         }
     }
@@ -889,10 +1004,47 @@ pub(crate) fn join_probe<S: ProvenanceSink>(
         Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 });
     for lrow in rows {
         fault::check(op, lrow.id)?;
-        let Some(k) = join_key(&lrow.item, left_paths) else {
+        let Some(k) = join_key_ref(&lrow.item, left_paths) else {
             continue;
         };
-        if let Some(matches) = build.get(&k) {
+        let hash = crate::hash::hash_value_refs(&k);
+        if let Some(matches) = build.get(&k, hash) {
+            for rrow in matches {
+                let item = lrow.item.merged(&rrow.item);
+                let id = ids.next();
+                out.push(Row { id, item });
+                if S::ENABLED {
+                    assoc.push((Some(lrow.id), Some(rrow.id), id));
+                }
+            }
+        }
+    }
+    Ok(TaskOut::Binary { rows: out, assoc })
+}
+
+/// Columnar probe: key values and cached hashes are computed
+/// column-at-a-time for the whole morsel before any table lookup. Output
+/// rows, ids, and associations are identical to [`join_probe`].
+pub(crate) fn join_probe_columnar<S: ProvenanceSink>(
+    op: OpId,
+    pidx: usize,
+    build: &JoinBuild,
+    keys: &crate::vector::ColKeys,
+    rows: &[Row],
+) -> Result<TaskOut> {
+    for row in rows {
+        fault::check(op, row.id)?;
+    }
+    let keyed = keys.probe_keys(rows);
+    let mut ids = IdGen::new(op, pidx);
+    let mut out = Vec::with_capacity(rows.len());
+    let mut assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)> =
+        Vec::with_capacity(if S::ENABLED { rows.len() } else { 0 });
+    for (lrow, slot) in rows.iter().zip(keyed) {
+        let Some((k, hash)) = slot else {
+            continue;
+        };
+        if let Some(matches) = build.get(&k, hash) {
             for rrow in matches {
                 let item = lrow.item.merged(&rrow.item);
                 let id = ids.next();
@@ -941,6 +1093,21 @@ pub(crate) fn shuffle_morsel(keys: &[GroupKey], parts: usize, rows: &[Row]) -> V
         let key: Vec<Value> = keys.iter().map(|k| key_value(&row.item, &k.path)).collect();
         let bucket = (hash_one(&key) as usize) % parts;
         buckets[bucket].push(row.clone());
+    }
+    buckets
+}
+
+/// Columnar shuffle: bucket hashes are computed column-at-a-time over the
+/// morsel's key columns without cloning a single key value; buckets are
+/// bit-identical to [`shuffle_morsel`]'s.
+pub(crate) fn shuffle_morsel_columnar(
+    keys: &crate::vector::ColKeys,
+    parts: usize,
+    rows: &[Row],
+) -> Vec<Vec<Row>> {
+    let mut buckets: Vec<Vec<Row>> = (0..parts).map(|_| Vec::new()).collect();
+    for (row, b) in rows.iter().zip(keys.shuffle_buckets(rows, parts)) {
+        buckets[b].push(row.clone());
     }
     buckets
 }
@@ -1083,6 +1250,8 @@ struct Scheduler<'a, S: ProvenanceSink> {
     op_panics: Vec<u64>,
     /// Morsel size distribution (always collected; pure counters).
     morsel_stats: MorselStats,
+    /// Columnar-path counters (only meaningful when `config.columnar`).
+    col_stats: ColumnarStats,
     /// Jobs handed to the pool (vs run inline) this run.
     pool_jobs: u64,
     /// Peak queue depth sampled from the pool's lock-free gauges.
@@ -1148,6 +1317,7 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
             op_busy_ns: vec![0; ops.len()],
             op_panics: vec![0; ops.len()],
             morsel_stats: MorselStats::default(),
+            col_stats: ColumnarStats::default(),
             pool_jobs: 0,
             pool_max_queue: 0,
             pool_max_active: 0,
@@ -1248,15 +1418,34 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 self.dispatch(u, Phase::Single, jobs, total)
             }
             OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => {
-                let kernel = Arc::new(ChainKernel {
-                    ops: ops[start..start + len].iter().map(|o| o.id).collect(),
-                    stages: ops[start..start + len]
-                        .iter()
-                        .map(|o| owned_stage(&o.kind))
-                        .collect::<Result<Vec<_>>>()?,
-                });
+                let chain_ops: Vec<OpId> = ops[start..start + len].iter().map(|o| o.id).collect();
+                let stages = ops[start..start + len]
+                    .iter()
+                    .map(|o| owned_stage(&o.kind))
+                    .collect::<Result<Vec<_>>>()?;
                 let input = self.input_arc(head.inputs[0])?;
                 let total = partition_rows(&input);
+                if self.config.columnar {
+                    // Vectorize the whole unit when the planner accepts it;
+                    // otherwise the unit falls back to the row path (UDF
+                    // stages, duplicate select labels).
+                    if let Some(ck) = crate::vector::plan_columnar(chain_ops.clone(), &stages) {
+                        let kernel = Arc::new(ck);
+                        let jobs = self.per_partition_jobs(&input, |input, p, mr| {
+                            let kernel = Arc::clone(&kernel);
+                            Box::new(move || {
+                                crate::vector::col_chain_morsel::<S>(&kernel, p, &input[p][mr])
+                            })
+                        });
+                        self.states[u].out_parts = input.len();
+                        return self.dispatch(u, Phase::Single, jobs, total);
+                    }
+                    self.col_stats.fallback_units += 1;
+                }
+                let kernel = Arc::new(ChainKernel {
+                    ops: chain_ops,
+                    stages,
+                });
                 let jobs = self.per_partition_jobs(&input, |input, p, mr| {
                     let kernel = Arc::clone(&kernel);
                     Box::new(move || chain_morsel::<S>(&kernel, p, &input[p][mr]))
@@ -1329,17 +1518,31 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let input = self.input_arc(head.inputs[0])?;
                 let total = partition_rows(&input);
                 let parts = self.parts;
-                let shuffle_keys = Arc::new(keys.clone());
-                let jobs = self.per_partition_jobs(&input, |input, p, mr| {
-                    let keys = Arc::clone(&shuffle_keys);
-                    Box::new(move || {
-                        Ok(TaskOut::Shuffle(shuffle_morsel(
-                            &keys,
-                            parts,
-                            &input[p][mr],
-                        )))
+                let jobs = if self.config.columnar {
+                    let ckeys = Arc::new(crate::vector::ColKeys::compile_group(keys));
+                    self.per_partition_jobs(&input, |input, p, mr| {
+                        let keys = Arc::clone(&ckeys);
+                        Box::new(move || {
+                            Ok(TaskOut::Shuffle(shuffle_morsel_columnar(
+                                &keys,
+                                parts,
+                                &input[p][mr],
+                            )))
+                        })
                     })
-                });
+                } else {
+                    let shuffle_keys = Arc::new(keys.clone());
+                    self.per_partition_jobs(&input, |input, p, mr| {
+                        let keys = Arc::clone(&shuffle_keys);
+                        Box::new(move || {
+                            Ok(TaskOut::Shuffle(shuffle_morsel(
+                                &keys,
+                                parts,
+                                &input[p][mr],
+                            )))
+                        })
+                    })
+                };
                 self.states[u].aux = Some(Aux::Group { kernel });
                 self.dispatch(u, Phase::Shuffle, jobs, total)
             }
@@ -1700,20 +1903,31 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 let op = self.ops[self.units[u].start].id;
                 let total = partition_rows(&left);
                 let morsel = self.config.morsel_len(total);
+                let ckeys = self
+                    .config
+                    .columnar
+                    .then(|| Arc::new(crate::vector::ColKeys::compile_paths(&left_paths)));
                 let mut jobs: Vec<PlannedJob> = Vec::new();
                 for p in 0..left.len() {
                     for mr in split_range(0..left[p].len(), morsel) {
                         let left = Arc::clone(&left);
                         let build = Arc::clone(&build);
-                        let left_paths = Arc::clone(&left_paths);
                         let rows = mr.len();
-                        jobs.push((
-                            p,
-                            rows,
-                            Box::new(move || {
-                                join_probe::<S>(op, p, &build, &left_paths, &left[p][mr])
-                            }),
-                        ));
+                        let job: JobFn = match &ckeys {
+                            Some(ckeys) => {
+                                let ckeys = Arc::clone(ckeys);
+                                Box::new(move || {
+                                    join_probe_columnar::<S>(op, p, &build, &ckeys, &left[p][mr])
+                                })
+                            }
+                            None => {
+                                let left_paths = Arc::clone(&left_paths);
+                                Box::new(move || {
+                                    join_probe::<S>(op, p, &build, &left_paths, &left[p][mr])
+                                })
+                            }
+                        };
+                        jobs.push((p, rows, job));
                     }
                 }
                 self.states[u].out_parts = left.len();
@@ -1801,63 +2015,15 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
                 self.set_output(op, parts);
             }
             OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => {
-                let n = len;
-                let chain_ids: Vec<OpId> = ops[start..start + len].iter().map(|o| o.id).collect();
-                let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
-                let mut assoc_parts: Vec<Vec<Vec<(ItemId, ItemId)>>> =
-                    vec![vec![Vec::new(); n]; out_parts];
-                let mut offsets: Vec<Vec<u64>> = vec![vec![0u64; n]; out_parts];
-                let mut totals = vec![0usize; n];
-                for (t, &p) in task_pidx.iter().enumerate() {
-                    let Some(Ok(TaskOut::Chain {
-                        mut rows,
-                        mut assocs,
-                        counts,
-                        err: _,
-                        panics: _,
-                    })) = results[t].take()
-                    else {
-                        return Err(EngineError::Internal("chain task shape mismatch".into()));
-                    };
-                    let off = &mut offsets[p];
-                    for s in 0..n {
-                        for entry in assocs[s].iter_mut() {
-                            if s > 0 {
-                                entry.0 += off[s - 1];
-                            }
-                            entry.1 += off[s];
-                        }
-                    }
-                    let last = off[n - 1];
-                    for r in &mut rows {
-                        r.id += last;
-                    }
-                    for s in 0..n {
-                        totals[s] += counts[s];
-                        off[s] += counts[s] as u64;
-                        assoc_parts[p][s].append(&mut assocs[s]);
-                    }
-                    parts[p].append(&mut rows);
+                let columnar = matches!(
+                    results.iter().flatten().next(),
+                    Some(Ok(TaskOut::ColChain { .. }))
+                );
+                if columnar {
+                    self.finalize_col_chain(start, len, out_parts, &task_pidx, &mut results)?;
+                } else {
+                    self.finalize_row_chain(start, len, out_parts, &task_pidx, &mut results)?;
                 }
-                if S::ENABLED {
-                    // Stage-major, partition-ordered emission — the batch
-                    // sequence an unfused execution reports per operator.
-                    for (s, &op) in chain_ids.iter().enumerate() {
-                        for part in assoc_parts.iter() {
-                            if !part[s].is_empty() {
-                                self.sink.unary_batch(op, &part[s]);
-                            }
-                        }
-                    }
-                }
-                for (s, &op) in chain_ids.iter().enumerate() {
-                    self.op_counts[op as usize] = totals[s];
-                    if s + 1 < n {
-                        // Fused-away intermediate: nothing consumes its rows.
-                        self.outputs[op as usize] = Some(Arc::new(Vec::new()));
-                    }
-                }
-                self.outputs[chain_ids[n - 1] as usize] = Some(Arc::new(parts));
             }
             OpKind::Flatten { .. } => {
                 let op = ops[start].id;
@@ -1991,6 +2157,254 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
         Ok(())
     }
 
+    /// Row-path stitch for a fused filter/select/map chain: re-bases each
+    /// morsel's partition-local ids by the per-stage running offsets and
+    /// emits the per-stage association pairs stage-major, partition-ordered
+    /// — the batch sequence an unfused execution reports per operator.
+    fn finalize_row_chain(
+        &mut self,
+        start: usize,
+        len: usize,
+        out_parts: usize,
+        task_pidx: &[usize],
+        results: &mut [Option<TaskResult>],
+    ) -> Result<()> {
+        let ops = self.ops;
+        let n = len;
+        let chain_ids: Vec<OpId> = ops[start..start + len].iter().map(|o| o.id).collect();
+        let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
+        let mut assoc_parts: Vec<Vec<Vec<(ItemId, ItemId)>>> = vec![vec![Vec::new(); n]; out_parts];
+        let mut offsets: Vec<Vec<u64>> = vec![vec![0u64; n]; out_parts];
+        let mut totals = vec![0usize; n];
+        for (t, &p) in task_pidx.iter().enumerate() {
+            let Some(Ok(TaskOut::Chain {
+                mut rows,
+                mut assocs,
+                counts,
+                err: _,
+                panics: _,
+            })) = results[t].take()
+            else {
+                return Err(EngineError::Internal("chain task shape mismatch".into()));
+            };
+            let off = &mut offsets[p];
+            for s in 0..n {
+                for entry in assocs[s].iter_mut() {
+                    if s > 0 {
+                        entry.0 += off[s - 1];
+                    }
+                    entry.1 += off[s];
+                }
+            }
+            let last = off[n - 1];
+            for r in &mut rows {
+                r.id += last;
+            }
+            for s in 0..n {
+                totals[s] += counts[s];
+                off[s] += counts[s] as u64;
+                assoc_parts[p][s].append(&mut assocs[s]);
+            }
+            parts[p].append(&mut rows);
+        }
+        if S::ENABLED {
+            // Stage-major, partition-ordered emission — the batch
+            // sequence an unfused execution reports per operator.
+            for (s, &op) in chain_ids.iter().enumerate() {
+                for part in assoc_parts.iter() {
+                    if !part[s].is_empty() {
+                        self.sink.unary_batch(op, &part[s]);
+                    }
+                }
+            }
+        }
+        for (s, &op) in chain_ids.iter().enumerate() {
+            self.op_counts[op as usize] = totals[s];
+            if s + 1 < n {
+                // Fused-away intermediate: nothing consumes its rows.
+                self.outputs[op as usize] = Some(Arc::new(Vec::new()));
+            }
+        }
+        self.outputs[chain_ids[n - 1] as usize] = Some(Arc::new(parts));
+        Ok(())
+    }
+
+    /// Columnar-path stitch: morsels report per-stage associations as either
+    /// contiguous id *runs* or explicit pairs. Runs from adjacent morsels of
+    /// the same partition coalesce (offset re-basing makes them contiguous),
+    /// so a whole partition's select stage usually emits as one
+    /// [`ProvenanceSink::unary_run`] instead of per-row pushes. Association
+    /// *content* is identical to the row path; only the batching differs.
+    fn finalize_col_chain(
+        &mut self,
+        start: usize,
+        len: usize,
+        out_parts: usize,
+        task_pidx: &[usize],
+        results: &mut [Option<TaskResult>],
+    ) -> Result<()> {
+        enum AccAssoc {
+            Empty,
+            Run {
+                in_first: ItemId,
+                out_first: ItemId,
+                len: u64,
+            },
+            Pairs(Vec<(ItemId, ItemId)>),
+        }
+        impl AccAssoc {
+            fn expand(in_first: ItemId, out_first: ItemId, len: u64) -> Vec<(ItemId, ItemId)> {
+                (0..len).map(|i| (in_first + i, out_first + i)).collect()
+            }
+            fn push_run(&mut self, in_first: ItemId, out_first: ItemId, run_len: u64) {
+                if run_len == 0 {
+                    return;
+                }
+                match self {
+                    AccAssoc::Empty => {
+                        *self = AccAssoc::Run {
+                            in_first,
+                            out_first,
+                            len: run_len,
+                        };
+                    }
+                    AccAssoc::Run {
+                        in_first: i0,
+                        out_first: o0,
+                        len: l,
+                    } => {
+                        if *i0 + *l == in_first && *o0 + *l == out_first {
+                            *l += run_len;
+                        } else {
+                            let mut pairs = AccAssoc::expand(*i0, *o0, *l);
+                            pairs.extend(AccAssoc::expand(in_first, out_first, run_len));
+                            *self = AccAssoc::Pairs(pairs);
+                        }
+                    }
+                    AccAssoc::Pairs(pairs) => {
+                        pairs.extend(AccAssoc::expand(in_first, out_first, run_len));
+                    }
+                }
+            }
+            fn push_pairs(&mut self, new: Vec<(ItemId, ItemId)>) {
+                if new.is_empty() {
+                    return;
+                }
+                match self {
+                    AccAssoc::Empty => *self = AccAssoc::Pairs(new),
+                    AccAssoc::Run {
+                        in_first,
+                        out_first,
+                        len,
+                    } => {
+                        let mut pairs = AccAssoc::expand(*in_first, *out_first, *len);
+                        pairs.extend(new);
+                        *self = AccAssoc::Pairs(pairs);
+                    }
+                    AccAssoc::Pairs(pairs) => pairs.extend(new),
+                }
+            }
+        }
+
+        let ops = self.ops;
+        let n = len;
+        let chain_ids: Vec<OpId> = ops[start..start + len].iter().map(|o| o.id).collect();
+        let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
+        let mut acc: Vec<Vec<AccAssoc>> = (0..out_parts)
+            .map(|_| (0..n).map(|_| AccAssoc::Empty).collect())
+            .collect();
+        let mut offsets: Vec<Vec<u64>> = vec![vec![0u64; n]; out_parts];
+        let mut totals = vec![0usize; n];
+        for (t, &p) in task_pidx.iter().enumerate() {
+            let Some(Ok(TaskOut::ColChain {
+                mut rows,
+                stages,
+                counts,
+                rows_in,
+                batches,
+                filter_in,
+                filter_kept,
+            })) = results[t].take()
+            else {
+                return Err(EngineError::Internal("chain task shape mismatch".into()));
+            };
+            self.col_stats.batches += batches as u64;
+            self.col_stats.batch_rows.observe(rows_in as u64);
+            self.col_stats.filter_in += filter_in;
+            self.col_stats.filter_kept += filter_kept;
+            let off = &mut offsets[p];
+            if S::ENABLED {
+                for (s, stage) in stages.into_iter().enumerate() {
+                    match stage {
+                        StageAssoc::Run {
+                            mut in_first,
+                            mut out_first,
+                            len: run_len,
+                        } => {
+                            if s > 0 {
+                                in_first += off[s - 1];
+                            }
+                            out_first += off[s];
+                            acc[p][s].push_run(in_first, out_first, run_len as u64);
+                        }
+                        StageAssoc::Pairs(mut pairs) => {
+                            for entry in pairs.iter_mut() {
+                                if s > 0 {
+                                    entry.0 += off[s - 1];
+                                }
+                                entry.1 += off[s];
+                            }
+                            acc[p][s].push_pairs(pairs);
+                        }
+                    }
+                }
+            }
+            let last = off[n - 1];
+            for r in &mut rows {
+                r.id += last;
+            }
+            for s in 0..n {
+                totals[s] += counts[s];
+                off[s] += counts[s] as u64;
+            }
+            parts[p].append(&mut rows);
+        }
+        if S::ENABLED {
+            // Same stage-major, partition-ordered discipline as the row
+            // path; run-shaped batches go through the range entry point.
+            for (s, &op) in chain_ids.iter().enumerate() {
+                for part in acc.iter_mut() {
+                    match std::mem::replace(&mut part[s], AccAssoc::Empty) {
+                        AccAssoc::Empty => {}
+                        AccAssoc::Run {
+                            in_first,
+                            out_first,
+                            len,
+                        } => {
+                            self.col_stats.id_ranges += 1;
+                            self.sink.unary_run(op, in_first, out_first, len);
+                        }
+                        AccAssoc::Pairs(pairs) => {
+                            if !pairs.is_empty() {
+                                self.col_stats.id_pairs += pairs.len() as u64;
+                                self.sink.unary_batch(op, &pairs);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for (s, &op) in chain_ids.iter().enumerate() {
+            self.op_counts[op as usize] = totals[s];
+            if s + 1 < n {
+                // Fused-away intermediate: nothing consumes its rows.
+                self.outputs[op as usize] = Some(Arc::new(Vec::new()));
+            }
+        }
+        self.outputs[chain_ids[n - 1] as usize] = Some(Arc::new(parts));
+        Ok(())
+    }
+
     fn set_output(&mut self, op: OpId, parts: Partitions) {
         self.op_counts[op as usize] = parts.iter().map(Vec::len).sum();
         self.outputs[op as usize] = Some(Arc::new(parts));
@@ -2016,6 +2430,9 @@ impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
             op_report.busy_ns = self.op_busy_ns[i];
         }
         report.morsels = self.morsel_stats.clone();
+        if self.config.columnar {
+            report.columnar = Some(self.col_stats.clone());
+        }
         if self.obs.metrics() {
             report.elapsed_ns = self.obs.now_ns();
             report.morsel_durations = self.obs.duration_summary();

@@ -63,6 +63,31 @@ pub fn hash_one<T: Hash>(value: &T) -> u64 {
     h.finish()
 }
 
+/// Hashes a join/group key exactly like `hash_one(&Vec<Value>)` — a length
+/// prefix followed by the element hashes — without owning the values.
+///
+/// Join build and probe compute this once per row and reuse the cached
+/// `u64` for both the table lookup and the bucket scan, instead of
+/// re-walking the key values on every phase.
+pub fn hash_value_refs(values: &[&pebble_nested::Value]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(values.len());
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Owned-slice variant of [`hash_value_refs`]; identical output.
+pub fn hash_values(values: &[pebble_nested::Value]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(values.len());
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +97,23 @@ mod tests {
         assert_eq!(hash_one(&"abc"), hash_one(&"abc"));
         assert_ne!(hash_one(&"abc"), hash_one(&"abd"));
         assert_ne!(hash_one(&1u64), hash_one(&2u64));
+    }
+
+    #[test]
+    fn key_hash_matches_vec_hash() {
+        use pebble_nested::{DataItem, Value};
+        let keys = [
+            vec![],
+            vec![Value::Null],
+            vec![Value::Int(42), Value::str("abc")],
+            vec![Value::Bool(true), Value::Double(1.5), Value::str("")],
+            vec![Value::Item(DataItem::from_fields([("a", Value::Int(1))]))],
+        ];
+        for key in keys {
+            let refs: Vec<&Value> = key.iter().collect();
+            assert_eq!(hash_values(&key), hash_one(&key), "{key:?}");
+            assert_eq!(hash_value_refs(&refs), hash_one(&key), "{key:?}");
+        }
     }
 
     #[test]

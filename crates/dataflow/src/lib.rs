@@ -24,6 +24,7 @@ pub mod pool;
 pub mod program;
 pub mod sink;
 pub mod spawn;
+pub mod vector;
 
 pub use context::Context;
 pub use error::{panic_message, EngineError, Result};

@@ -25,6 +25,19 @@ pub trait ProvenanceSink: Sync {
     /// `⟨id^i, id^o⟩` pairs for `map`, `select`, `filter` (Tab. 6 row 1).
     fn unary_batch(&self, _op: OpId, _assoc: &[(ItemId, ItemId)]) {}
 
+    /// A contiguous run of `len` unary pairs `⟨in_first + k, out_first + k⟩`
+    /// for `k in 0..len` — the shape the columnar path produces when a whole
+    /// partition maps positionally. The default expands to [`unary_batch`],
+    /// so existing sinks observe identical associations; table-backed sinks
+    /// can override to append the range without materializing pairs.
+    ///
+    /// [`unary_batch`]: ProvenanceSink::unary_batch
+    fn unary_run(&self, op: OpId, in_first: ItemId, out_first: ItemId, len: u64) {
+        let pairs: Vec<(ItemId, ItemId)> =
+            (0..len).map(|k| (in_first + k, out_first + k)).collect();
+        self.unary_batch(op, &pairs);
+    }
+
     /// `⟨id_1^i, id_2^i, id^o⟩` triples for `join` and `union` (Tab. 6
     /// row 2); for `union` the non-originating side is `None`.
     fn binary_batch(&self, _op: OpId, _assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {}

@@ -223,6 +223,73 @@ fn assert_matrix_deterministic(program: &Program, ctx: &Context, partitions: usi
     }
 }
 
+/// Concatenates each operator's event payloads into its association
+/// *table* — the durable artifact. The columnar path may batch
+/// differently (whole-partition id runs instead of per-morsel pair
+/// batches), but the tables themselves are specified byte-identical.
+#[allow(clippy::type_complexity)]
+fn flatten_tables(
+    per_op: &std::collections::BTreeMap<OpId, Vec<Event>>,
+) -> std::collections::BTreeMap<OpId, Event> {
+    per_op
+        .iter()
+        .map(|(&op, events)| {
+            let mut iter = events.iter();
+            let mut table = iter.next().expect("operator with no events").clone();
+            for e in iter {
+                match (&mut table, e) {
+                    (Event::Read(_, acc), Event::Read(_, v)) => acc.extend_from_slice(v),
+                    (Event::Unary(_, acc), Event::Unary(_, v)) => acc.extend_from_slice(v),
+                    (Event::Binary(_, acc), Event::Binary(_, v)) => acc.extend_from_slice(v),
+                    (Event::Flatten(_, acc), Event::Flatten(_, v)) => acc.extend_from_slice(v),
+                    (Event::Agg(_, acc), Event::Agg(_, v)) => acc.extend_from_slice(v),
+                    _ => panic!("operator {op} emitted mixed event kinds"),
+                }
+            }
+            (op, table)
+        })
+        .collect()
+}
+
+/// Columnar on/off × workers {1, 2, 7} × partitions {1, 2, 7}: rows,
+/// identifiers, operator counts, and association tables are byte-identical
+/// between the vectorized kernels and the row path at every configuration.
+fn assert_columnar_matrix(program: &Program, ctx: &Context) {
+    for partitions in [1, 2, 7] {
+        let row_base = ExecConfig::with_partitions(partitions)
+            .workers(1)
+            .morsel_rows(0)
+            .columnar(false);
+        let baseline = observe(pool_exec, program, ctx, row_base);
+        let base_tables = flatten_tables(&baseline.2);
+        for workers in WORKER_COUNTS {
+            for columnar in [false, true] {
+                let cfg = ExecConfig::with_partitions(partitions)
+                    .workers(workers)
+                    .morsel_rows(if workers == 1 { 0 } else { 7 })
+                    .columnar(columnar);
+                let got = observe(pool_exec, program, ctx, cfg);
+                let tag = format!("p={partitions} w={workers} columnar={columnar}");
+                assert_eq!(baseline.0, got.0, "rows: {tag}");
+                assert_eq!(baseline.1, got.1, "op_counts: {tag}");
+                assert_eq!(base_tables, flatten_tables(&got.2), "assoc tables: {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_columnar_matches_row_path() {
+    let ctx = skewed_ctx();
+    assert_columnar_matrix(&full_pipeline(), &ctx);
+}
+
+#[test]
+fn chain_pipeline_columnar_matches_row_path() {
+    let ctx = skewed_ctx();
+    assert_columnar_matrix(&chain_pipeline(), &ctx);
+}
+
 #[test]
 fn full_pipeline_deterministic_across_workers_and_morsels() {
     let ctx = skewed_ctx();

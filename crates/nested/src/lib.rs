@@ -8,11 +8,14 @@
 //! * [`path`] — access paths `d.a[i].b` (Def. 4.3) and schema-level paths
 //!   with `[pos]` placeholders (Sec. 5.1);
 //! * [`label`] — interned attribute names shared across items;
+//! * [`column`] — column-major batches with selection vectors for the
+//!   vectorized execution path;
 //! * [`json`] — a minimal JSON reader/writer for examples and golden data;
 //! * [`fmt`] — a table renderer used by the runnable examples.
 
 #![warn(missing_docs)]
 
+pub mod column;
 pub mod fmt;
 pub mod json;
 pub mod label;
@@ -20,6 +23,7 @@ pub mod path;
 pub mod types;
 pub mod value;
 
+pub use column::{Column, ColumnBatch, ColumnData, SelectionVector};
 pub use label::Label;
 pub use path::{Path, PathParseError, Step};
 pub use types::{DataType, Field};

@@ -300,6 +300,30 @@ impl DataItem {
         item
     }
 
+    /// Wraps pre-built fields without the per-push duplicate scan of
+    /// [`DataItem::push`]. Callers must guarantee unique labels (checked in
+    /// debug builds); the columnar kernels use this when the label set was
+    /// validated once at plan time instead of once per row.
+    pub fn from_parts(fields: Vec<(Label, Value)>) -> Self {
+        debug_assert!(
+            fields
+                .iter()
+                .enumerate()
+                .all(|(i, (n, _))| fields[..i].iter().all(|(m, _)| m != n)),
+            "duplicate attribute name in data item parts"
+        );
+        DataItem {
+            fields: Arc::new(fields),
+        }
+    }
+
+    /// The raw `(label, value)` pairs in attribute order. Unlike
+    /// [`DataItem::fields`] this exposes the interned [`Label`]s, so
+    /// scanning code can compare them by pointer.
+    pub fn entries(&self) -> &[(Label, Value)] {
+        &self.fields
+    }
+
     /// Appends an attribute.
     ///
     /// # Panics

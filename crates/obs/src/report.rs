@@ -138,6 +138,40 @@ pub struct ProvenanceStats {
     pub structural_bytes: u64,
 }
 
+/// Columnar-execution statistics (populated only when the run executed
+/// with the columnar kernels enabled).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ColumnarStats {
+    /// Column batches materialized by vectorized select stages.
+    pub batches: u64,
+    /// Rows-per-batch distribution over the morsels fed to vectorized
+    /// chains (same shape as the morsel statistics).
+    pub batch_rows: MorselStats,
+    /// Rows considered by vectorized filter stages.
+    pub filter_in: u64,
+    /// Rows those filters kept (selection-vector survivors).
+    pub filter_kept: u64,
+    /// Provenance associations emitted as contiguous id *ranges*.
+    pub id_ranges: u64,
+    /// Provenance associations emitted as expanded per-row pairs.
+    pub id_pairs: u64,
+    /// Chain units that fell back to the row path (UDF stages, duplicate
+    /// select labels).
+    pub fallback_units: u64,
+}
+
+impl ColumnarStats {
+    /// Fraction of filter-considered rows that survived (1.0 when no
+    /// vectorized filter ran).
+    pub fn selection_density(&self) -> f64 {
+        if self.filter_in == 0 {
+            1.0
+        } else {
+            self.filter_kept as f64 / self.filter_in as f64
+        }
+    }
+}
+
 /// A structured, serializable summary of one engine run.
 ///
 /// Built for every run (cheap counters are always on); timing fields,
@@ -176,6 +210,8 @@ pub struct RunReport {
     pub pool: Option<PoolStats>,
     /// Provenance size breakdown (capture runs only).
     pub provenance: Option<ProvenanceStats>,
+    /// Columnar-execution statistics (columnar runs only).
+    pub columnar: Option<ColumnarStats>,
     /// Number of span events recorded (tracing runs only).
     pub spans: u64,
 }
@@ -198,6 +234,7 @@ impl Default for RunReport {
             morsel_durations: None,
             pool: None,
             provenance: None,
+            columnar: None,
             spans: 0,
         }
     }
@@ -301,6 +338,27 @@ impl RunReport {
             )),
             None => s.push_str("  \"provenance\": null,\n"),
         }
+        match &self.columnar {
+            Some(c) => s.push_str(&format!(
+                "  \"columnar\": {{\"batches\": {}, \"batch_rows\": {{\"executed\": {}, \
+                 \"min_rows\": {}, \"max_rows\": {}, \"total_rows\": {}, \"mean_rows\": {:.3}}}, \
+                 \"filter_in\": {}, \"filter_kept\": {}, \"selection_density\": {:.3}, \
+                 \"id_ranges\": {}, \"id_pairs\": {}, \"fallback_units\": {}}},\n",
+                c.batches,
+                c.batch_rows.executed,
+                c.batch_rows.min_rows,
+                c.batch_rows.max_rows,
+                c.batch_rows.total_rows,
+                c.batch_rows.mean_rows(),
+                c.filter_in,
+                c.filter_kept,
+                c.selection_density(),
+                c.id_ranges,
+                c.id_pairs,
+                c.fallback_units,
+            )),
+            None => s.push_str("  \"columnar\": null,\n"),
+        }
         s.push_str(&format!("  \"spans\": {}\n", self.spans));
         s.push_str("}\n");
         s
@@ -376,6 +434,7 @@ mod tests {
             "morsel_durations",
             "pool",
             "provenance",
+            "columnar",
             "spans",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");

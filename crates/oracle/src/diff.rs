@@ -19,6 +19,10 @@
 //! * **partition-invariant** — at `partitions: 2` and `7` the engine's
 //!   item sequence and operator counts are unchanged (identifiers may
 //!   differ);
+//! * **columnar-invariant** — the vectorized columnar kernels
+//!   ([`ExecConfig::columnar`]) reproduce the row path bit-for-bit (rows,
+//!   ids, association tables) at worker counts {1, 2, 7} and at every
+//!   partition count;
 //! * **backtrace-equivalent** — for sampled output items (whole-item
 //!   trees over [`Path::path_set`]) and one tree-pattern query, the
 //!   backtracing results agree bit-for-bit across reference / fused /
@@ -358,6 +362,38 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
         }
     }
 
+    // Columnar/row equivalence, bit-for-bit: the vectorized kernels are
+    // specified byte-identical to the row path — same ids, association
+    // tables, and batch content — at every worker count (tiny morsels at
+    // w>1 exercise the id-range stitcher across many morsels).
+    {
+        let configs = std::iter::once(reference_config().columnar(true)).chain(
+            ALT_WORKERS.iter().map(|&w| {
+                reference_config()
+                    .columnar(true)
+                    .workers(w)
+                    .morsel_rows(ALT_WORKER_MORSEL)
+            }),
+        );
+        for config in configs {
+            let name = format!("row vs columnar (p=1, w={})", config.workers.max(1));
+            match run_captured(&program, &ctx, config) {
+                Ok(r) => {
+                    if let Some(d) = compare_captured(seed, &name, &fused, &r) {
+                        return Some(d);
+                    }
+                }
+                Err(e) => {
+                    return diverge(
+                        seed,
+                        "error agreement",
+                        format!("columnar engine errors ({e}), row path succeeds ({name})"),
+                    )
+                }
+            }
+        }
+    }
+
     // Capture transparency: a plain run returns the same rows.
     match run(&program, &ctx, reference_config(), &NoSink) {
         Ok(plain) => {
@@ -397,6 +433,23 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
                 }
                 if let Some(d) = compare_items(seed, &name, &fused.output.rows, &r.output.rows) {
                     return Some(d);
+                }
+                // Within a partition count ids are fixed, so columnar vs
+                // row is again a bit-for-bit comparison.
+                match run_captured(&program, &ctx, config.columnar(true)) {
+                    Ok(c) => {
+                        let name = format!("row vs columnar (p={parts})");
+                        if let Some(d) = compare_captured(seed, &name, &r, &c) {
+                            return Some(d);
+                        }
+                    }
+                    Err(e) => {
+                        return diverge(
+                            seed,
+                            "error agreement",
+                            format!("columnar engine at p={parts} errors ({e}), row succeeds"),
+                        )
+                    }
                 }
                 alt_runs.push((parts, r));
             }
@@ -567,6 +620,27 @@ pub fn check_malformed(gen: &Generated) -> Option<Divergence> {
         }
     }
 
+    // The columnar kernels agree on the exact outcome too — including
+    // which row faults first and with what error (fault checks run before
+    // any vectorized work, so failure selection cannot move).
+    {
+        let col = run_captured(&program, &ctx, reference_config().columnar(true));
+        if let Some(d) = same_outcome(seed, "row vs columnar (p=1, w=1)", &fused, &col) {
+            return Some(d);
+        }
+        for workers in ALT_WORKERS {
+            let config = reference_config()
+                .columnar(true)
+                .workers(workers)
+                .morsel_rows(ALT_WORKER_MORSEL);
+            let alt = run_captured(&program, &ctx, config);
+            let name = format!("row vs columnar (p=1, w={workers})");
+            if let Some(d) = same_outcome(seed, &name, &fused, &alt) {
+                return Some(d);
+            }
+        }
+    }
+
     // At other partition counts identifiers (and hence failing-row ids)
     // legitimately move, so the comparison is pool vs spawn *within* each
     // partition count, not across counts.
@@ -575,6 +649,10 @@ pub fn check_malformed(gen: &Generated) -> Option<Divergence> {
         let p = run_captured(&program, &ctx, config);
         let s = run_captured_spawn(&program, &ctx, config);
         if let Some(d) = same_outcome(seed, &format!("pool vs spawn (p={parts})"), &p, &s) {
+            return Some(d);
+        }
+        let c = run_captured(&program, &ctx, config.columnar(true));
+        if let Some(d) = same_outcome(seed, &format!("row vs columnar (p={parts})"), &p, &c) {
             return Some(d);
         }
     }

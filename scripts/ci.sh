@@ -25,8 +25,15 @@ PEBBLE_PARTITIONS=1 PEBBLE_WORKERS=1 cargo test -q --workspace --release
 echo "==> cargo test -q (PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16)"
 PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16 cargo test -q --workspace --release
 
+# Columnar executor matrix: the whole suite again with the vectorized
+# column-at-a-time kernels forced on; every determinism / provenance /
+# fault test must pass bit-for-bit against the row path's expectations.
+echo "==> cargo test -q (PEBBLE_COLUMNAR=1)"
+PEBBLE_COLUMNAR=1 cargo test -q --workspace --release
+
 # Bounded differential-fuzz smoke: fixed seed window, ~1500 pipelines
-# through the Tab. 5 reference oracle (well under 30 s in release).
+# through the Tab. 5 reference oracle (well under 30 s in release). The
+# oracle sweeps the columnar axis internally on every seed.
 echo "==> oracle differential smoke"
 cargo run -q --release -p pebble-oracle --bin oracle_fuzz -- 1500 0
 
@@ -58,5 +65,10 @@ PEBBLE_PARTITIONS=1 PEBBLE_WORKERS=1 \
 echo "==> panic-injection smoke (PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8)"
 PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16 \
     cargo test -q --release -p pebble-dataflow --test fault_injection
+
+# Columnar regression guard: the vectorized path must not be slower than
+# the row path on T3 (plain and capture) beyond a small noise margin.
+echo "==> columnar regression guard (colbench --assert)"
+cargo run -q --release -p pebble-bench --bin colbench -- --assert
 
 echo "CI OK"
