@@ -1,0 +1,122 @@
+//! CI smoke for the persistent store and query service: two workload
+//! scenarios (one Twitter, one DBLP) are captured, persisted to
+//! `$PEBBLE_STORE_DIR` (temp dir by default), cold-opened from disk, and
+//! queried both directly and through a live server — every answer must
+//! be byte-identical to the in-memory run.
+
+use std::sync::Arc;
+
+use pebble_bench::{DBLP_BASE, TWITTER_BASE};
+use pebble_core::{
+    backtrace, canonical_provenance, run_captured, Backtrace, CapturedRun, ProvTree,
+};
+use pebble_dataflow::{Context, ExecConfig};
+use pebble_nested::Path;
+use pebble_serve::{persist_file, query, ProvStore, ServeConfig, Server};
+use pebble_workloads::{
+    dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario,
+};
+
+fn store_dir() -> std::path::PathBuf {
+    match std::env::var("PEBBLE_STORE_DIR") {
+        Ok(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
+        _ => std::env::temp_dir().join(format!("pebble-serve-smoke-{}", std::process::id())),
+    }
+}
+
+fn whole_item(run: &CapturedRun, idx: usize) -> Backtrace {
+    let row = &run.output.rows[idx];
+    let paths = Path::path_set(&row.item);
+    Backtrace {
+        entries: vec![(row.id, ProvTree::from_paths(paths.iter()))],
+    }
+}
+
+/// Picks the first scenario of the batch whose run yields result rows.
+fn pick(scenarios: Vec<Scenario>, ctx: &Context) -> (Scenario, CapturedRun) {
+    for s in scenarios {
+        let run = run_captured(&s.program, ctx, ExecConfig::default()).expect("capture failed");
+        if !run.output.rows.is_empty() {
+            return (s, run);
+        }
+    }
+    panic!("no scenario produced result rows");
+}
+
+fn smoke(label: &str, scenario: &Scenario, run: &CapturedRun, dir: &std::path::Path) {
+    let path = dir.join(format!("{label}.seg"));
+    let written = persist_file(run, &path).expect("persist failed");
+
+    // Cold-open: decoded tables bit-identical to the in-memory run.
+    let store = Arc::new(ProvStore::open(&path).expect("cold open failed"));
+    assert_eq!(store.on_disk_bytes(), written);
+    assert_eq!(store.ops(), run.ops.as_slice(), "{label}: operator tables");
+    assert_eq!(store.rows(), run.output.rows.as_slice(), "{label}: rows");
+    assert_eq!(
+        store.op_schemas(),
+        run.output.op_schemas.as_slice(),
+        "{label}: schemas"
+    );
+
+    // Direct query equality: sampled whole-item backtraces plus the
+    // scenario's own tree-pattern question.
+    let n = run.output.rows.len();
+    for idx in (0..n).step_by((n / 5).max(1)) {
+        let mem = backtrace(run, whole_item(run, idx)).expect("memory backtrace");
+        let stored = store
+            .backtrace(whole_item(run, idx))
+            .expect("store backtrace");
+        assert_eq!(mem, stored, "{label}: backtrace of row {idx}");
+    }
+    let mem = backtrace(run, scenario.query.match_rows(&run.output.rows)).expect("memory pattern");
+    let stored = store
+        .backtrace(scenario.query.match_rows(store.rows()))
+        .expect("store pattern");
+    assert_eq!(mem, stored, "{label}: pattern backtrace");
+
+    // Live service: the DATA frames for row 0 carry exactly the canonical
+    // source triples the in-memory referee computes.
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        debug_panic: false,
+    };
+    let mut server = Server::start(Arc::clone(&store), &cfg).expect("server start");
+    let addr = server.local_addr();
+    let frames = query(addr, "BACKTRACE 0").expect("server query");
+    let triples = canonical_provenance(&backtrace(run, whole_item(run, 0)).unwrap());
+    assert_eq!(*frames.last().unwrap(), format!("DONE {}", triples.len()));
+    let data: Vec<&String> = frames.iter().filter(|f| f.starts_with("DATA ")).collect();
+    assert_eq!(data.len(), triples.len(), "{label}: DATA frame count");
+    for ((source, index, _), frame) in triples.iter().zip(&data) {
+        assert!(frame.contains(&format!("\"source\": \"{source}\"")));
+        assert!(frame.contains(&format!("\"index\": {index}")));
+    }
+    assert!(query(addr, "AUDIT")
+        .expect("audit query")
+        .last()
+        .unwrap()
+        .starts_with("DONE "));
+    server.shutdown();
+
+    println!(
+        "serve smoke: {label} ({} rows, {written} B on disk) ok",
+        store.rows().len()
+    );
+}
+
+fn main() {
+    let dir = store_dir();
+    std::fs::create_dir_all(&dir).expect("create store dir");
+
+    let (ts, trun) = pick(twitter_scenarios(), &twitter_context(TWITTER_BASE));
+    smoke(&format!("twitter-{}", ts.name), &ts, &trun, &dir);
+
+    let (ds, drun) = pick(dblp_scenarios(), &dblp_context(DBLP_BASE));
+    smoke(&format!("dblp-{}", ds.name), &ds, &drun, &dir);
+
+    if std::env::var("PEBBLE_STORE_DIR").is_err() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("serve smoke: ok");
+}

@@ -1,0 +1,267 @@
+//! Store/serve benchmark: persistent-segment size and cold-open latency,
+//! plus query-service throughput under concurrent clients.
+//!
+//! Persists a captured DBLP run to `$PEBBLE_STORE_DIR` (a temp directory
+//! by default), then measures:
+//!
+//! * `persist_ms` / `cold_open_ms` — write and read-back latency of the
+//!   compressed segment file;
+//! * `compression_ratio` — naive in-memory dump bytes over on-disk bytes
+//!   (the RLE + delta encoding must win by ≥3×);
+//! * `queries_per_sec` — sustained throughput with 64 concurrent client
+//!   connections issuing a backtrace/heatmap/audit mix.
+//!
+//! Before any timing, the cold-opened store is checked bit-for-bit
+//! against the in-memory run (tables and sampled backtraces), or the
+//! numbers would be lies.
+//!
+//! Results are folded into the `"serve"` section of `BENCH_5.json`.
+//!
+//! Usage: `servebench [--out FILE] [--assert]`
+//!
+//! `--assert` skips the report and instead runs a reduced workload,
+//! exiting non-zero if store answers diverge from memory or the
+//! compression ratio drops below 3× — the CI regression gate.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use pebble_bench::{scale, write_json_section, DBLP_BASE};
+use pebble_core::{backtrace, run_captured, Backtrace, CapturedRun, ProvTree};
+use pebble_dataflow::ExecConfig;
+use pebble_nested::Path;
+use pebble_serve::{naive_dump_bytes, persist_file, query, ProvStore, ServeConfig, Server};
+use pebble_workloads::dblp_scenarios;
+
+const CLIENTS: usize = 64;
+const QUERIES_PER_CLIENT: usize = 24;
+const COLD_OPEN_ROUNDS: usize = 9;
+
+fn store_dir() -> std::path::PathBuf {
+    match std::env::var("PEBBLE_STORE_DIR") {
+        Ok(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
+        _ => std::env::temp_dir().join(format!("pebble-servebench-{}", std::process::id())),
+    }
+}
+
+/// First DBLP scenario with a non-empty result at the given record count.
+fn build_run(records: usize) -> (String, CapturedRun) {
+    let ctx = pebble_workloads::dblp_context(records);
+    for s in dblp_scenarios() {
+        let run = run_captured(&s.program, &ctx, ExecConfig::with_partitions(2).workers(2))
+            .expect("capture run failed");
+        if !run.output.rows.is_empty() {
+            return (s.name.to_string(), run);
+        }
+    }
+    panic!("no DBLP scenario produced result rows at {records} records");
+}
+
+fn whole_item(run: &CapturedRun, idx: usize) -> Backtrace {
+    let row = &run.output.rows[idx];
+    let paths = Path::path_set(&row.item);
+    Backtrace {
+        entries: vec![(row.id, ProvTree::from_paths(paths.iter()))],
+    }
+}
+
+/// Equality check before timing: the cold-opened store must be
+/// indistinguishable from the in-memory run.
+fn check_equality(run: &CapturedRun, store: &ProvStore) {
+    assert_eq!(store.ops(), run.ops.as_slice(), "operator tables diverge");
+    assert_eq!(store.rows(), run.output.rows.as_slice(), "rows diverge");
+    assert_eq!(
+        store.op_schemas(),
+        run.output.op_schemas.as_slice(),
+        "schemas diverge"
+    );
+    let n = run.output.rows.len();
+    for idx in (0..n).step_by((n / 7).max(1)) {
+        let mem = backtrace(run, whole_item(run, idx)).expect("memory backtrace failed");
+        let stored = store
+            .backtrace(whole_item(run, idx))
+            .expect("store backtrace failed");
+        assert_eq!(mem, stored, "backtrace of row {idx} diverges");
+    }
+}
+
+struct Measured {
+    scenario: String,
+    rows: usize,
+    persist_ms: f64,
+    cold_open_ms: f64,
+    on_disk_bytes: usize,
+    naive_bytes: usize,
+    queries: usize,
+    seconds: f64,
+}
+
+fn measure(records: usize) -> Measured {
+    let (scenario, run) = build_run(records);
+    let dir = store_dir();
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    let path = dir.join("servebench.seg");
+
+    let t = Instant::now();
+    let written = persist_file(&run, &path).expect("persist failed");
+    let persist_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Median cold-open latency.
+    let mut opens: Vec<f64> = (0..COLD_OPEN_ROUNDS)
+        .map(|_| {
+            let t = Instant::now();
+            let s = ProvStore::open(&path).expect("cold open failed");
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(s.on_disk_bytes(), written);
+            ms
+        })
+        .collect();
+    opens.sort_by(|a, b| a.total_cmp(b));
+    let cold_open_ms = opens[COLD_OPEN_ROUNDS / 2];
+
+    let store = Arc::new(ProvStore::open(&path).expect("cold open failed"));
+    check_equality(&run, &store);
+    let naive_bytes = naive_dump_bytes(&run);
+
+    // Throughput: CLIENTS concurrent connections, each walking a
+    // backtrace-heavy query mix from its own offset.
+    let n = store.rows().len();
+    let mut mix: Vec<String> = vec!["HEATMAP 10".into(), "AUDIT".into()];
+    for idx in (0..n).step_by((n / 10).max(1)) {
+        mix.push(format!("BACKTRACE {idx}"));
+    }
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 8,
+        debug_panic: false,
+    };
+    let mut server = Server::start(Arc::clone(&store), &cfg).expect("server start failed");
+    let addr = server.local_addr();
+
+    // Warm-up: one serial pass so listener and pool are hot.
+    for q in &mix {
+        query(addr, q).expect("warm-up query failed");
+    }
+
+    let t = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let mix = mix.clone();
+            std::thread::spawn(move || {
+                for round in 0..QUERIES_PER_CLIENT {
+                    let q = &mix[(client + round) % mix.len()];
+                    let frames = query(addr, q).expect("bench query failed");
+                    assert!(!frames.is_empty());
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread panicked");
+    }
+    let seconds = t.elapsed().as_secs_f64();
+    let stats = server.stats();
+    assert_eq!(stats.panics_contained, 0);
+    server.shutdown();
+
+    if std::env::var("PEBBLE_STORE_DIR").is_err() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    Measured {
+        scenario,
+        rows: n,
+        persist_ms,
+        cold_open_ms,
+        on_disk_bytes: written,
+        naive_bytes,
+        queries: CLIENTS * QUERIES_PER_CLIENT,
+        seconds,
+    }
+}
+
+fn assert_mode() {
+    let m = measure(DBLP_BASE);
+    let ratio = m.naive_bytes as f64 / m.on_disk_bytes as f64;
+    println!(
+        "servebench --assert: {} ({} rows) segment {} B vs naive {} B ({ratio:.2}x), \
+         cold open {:.2} ms, {:.0} queries/s at {CLIENTS} clients",
+        m.scenario,
+        m.rows,
+        m.on_disk_bytes,
+        m.naive_bytes,
+        m.cold_open_ms,
+        m.queries as f64 / m.seconds,
+    );
+    assert!(
+        ratio >= 3.0,
+        "segment compression below the 3x floor: {ratio:.2}x \
+         ({} on disk vs {} naive)",
+        m.on_disk_bytes,
+        m.naive_bytes
+    );
+    println!("servebench --assert: ok");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_5.json");
+    let mut assert_only = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--assert" => assert_only = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    if assert_only {
+        assert_mode();
+        return;
+    }
+
+    let records = DBLP_BASE * scale();
+    let m = measure(records);
+    let ratio = m.naive_bytes as f64 / m.on_disk_bytes as f64;
+    let qps = m.queries as f64 / m.seconds;
+
+    println!(
+        "servebench — persistent store & query service, scale {}",
+        scale()
+    );
+    println!(
+        "scenario {} ({} result rows, {} dblp records)",
+        m.scenario, m.rows, records
+    );
+    println!(
+        "persist {:.2} ms, cold open {:.2} ms (median of {COLD_OPEN_ROUNDS})",
+        m.persist_ms, m.cold_open_ms
+    );
+    println!(
+        "segment {} B vs naive dump {} B — {ratio:.2}x smaller",
+        m.on_disk_bytes, m.naive_bytes
+    );
+    println!(
+        "{} queries over {CLIENTS} concurrent clients in {:.2} s — {qps:.0} queries/s",
+        m.queries, m.seconds
+    );
+
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"scale\": {},", scale());
+    let _ = writeln!(body, "  \"dblp_records\": {records},");
+    let _ = writeln!(body, "  \"scenario\": \"{}\",", m.scenario);
+    let _ = writeln!(body, "  \"result_rows\": {},", m.rows);
+    let _ = writeln!(body, "  \"persist_ms\": {:.3},", m.persist_ms);
+    let _ = writeln!(body, "  \"cold_open_ms\": {:.3},", m.cold_open_ms);
+    let _ = writeln!(body, "  \"on_disk_bytes\": {},", m.on_disk_bytes);
+    let _ = writeln!(body, "  \"naive_dump_bytes\": {},", m.naive_bytes);
+    let _ = writeln!(body, "  \"compression_ratio\": {ratio:.3},");
+    let _ = writeln!(body, "  \"clients\": {CLIENTS},");
+    let _ = writeln!(body, "  \"queries\": {},", m.queries);
+    let _ = writeln!(body, "  \"seconds\": {:.3},", m.seconds);
+    let _ = writeln!(body, "  \"queries_per_sec\": {qps:.1}");
+    body.push('}');
+
+    write_json_section(&out_path, "serve", &body);
+    eprintln!("wrote section \"serve\" to {out_path}");
+}

@@ -88,6 +88,93 @@ pub fn canonical_provenance(sources: &[SourceProvenance]) -> Vec<(String, usize,
     out
 }
 
+/// Read-only view of a captured run's provenance — everything the
+/// backtracing algorithm needs, abstracted over where the provenance lives.
+///
+/// [`CapturedRun`] implements it over the in-memory capture (answers come
+/// straight from the program); `pebble-serve`'s `ProvStore` implements it
+/// over a cold-opened segment file. The algorithm itself
+/// ([`backtrace_from`]) is generic, which is what guarantees store-backed
+/// answers are byte-identical to in-memory ones: both paths execute the
+/// same code over the same association tables.
+pub trait ProvView {
+    /// The sink (final) operator of the program.
+    fn sink_op(&self) -> OpId;
+
+    /// Captured provenance per operator, indexed by operator id.
+    fn prov_ops(&self) -> &[OperatorProvenance];
+
+    /// Output schema per operator, indexed by operator id.
+    fn schemas(&self) -> &[DataType];
+
+    /// Source dataset name of a `read` operator; an error when `oid` is
+    /// not a read.
+    fn read_source(&self, oid: OpId) -> Result<String>;
+
+    /// Output paths of position-less aggregates (`count(*)`, whole-item
+    /// set nesting) at aggregation operator `oid` — see
+    /// `backtrace_aggregation` for why these need the all-members rule.
+    fn countstar_outputs(&self, oid: OpId) -> Vec<Path>;
+
+    /// The provenance record of operator `oid`.
+    fn prov_op(&self, oid: OpId) -> &OperatorProvenance {
+        &self.prov_ops()[oid as usize]
+    }
+
+    /// Schema of the `idx`-th input of `oid` (its predecessor's output
+    /// schema).
+    fn input_schema_of(&self, oid: OpId, idx: usize) -> &DataType {
+        let pred = self.prov_ops()[oid as usize].inputs[idx]
+            .pred
+            .expect("operator input without captured predecessor");
+        &self.schemas()[pred as usize]
+    }
+}
+
+impl ProvView for CapturedRun {
+    fn sink_op(&self) -> OpId {
+        self.program.sink()
+    }
+
+    fn prov_ops(&self) -> &[OperatorProvenance] {
+        &self.ops
+    }
+
+    fn schemas(&self) -> &[DataType] {
+        &self.output.op_schemas
+    }
+
+    fn read_source(&self, oid: OpId) -> Result<String> {
+        match &self.program.operators()[oid as usize].kind {
+            pebble_dataflow::OpKind::Read { source } => Ok(source.clone()),
+            other => Err(EngineError::BacktraceError(format!(
+                "operator #{oid} is {other:?}, expected a read"
+            ))),
+        }
+    }
+
+    fn countstar_outputs(&self, oid: OpId) -> Vec<Path> {
+        match &self.program.operators()[oid as usize].kind {
+            pebble_dataflow::OpKind::GroupAggregate { aggs, .. } => aggs
+                .iter()
+                .filter(|a| {
+                    // Whole-item bag nesting (collect_list with no input
+                    // path) is handled positionally through M; only
+                    // count(*) and whole-item set nesting (position-less)
+                    // fall back to the all-members rule.
+                    a.input.is_empty() && a.func != pebble_dataflow::AggFunc::CollectList
+                })
+                .map(|a| Path::attr(&a.output))
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    fn input_schema_of(&self, oid: OpId, idx: usize) -> &DataType {
+        self.input_schema(oid, idx)
+    }
+}
+
 /// Pre-built per-operator hash indexes over the identifier association
 /// tables. Building them is linear in the provenance size; reusing one
 /// index across many provenance questions amortizes that cost (the
@@ -111,6 +198,76 @@ enum OpIndex {
     Flatten(FxHashMap<ItemId, (ItemId, u32)>),
     /// output id → group member ids in nesting order.
     Agg(FxHashMap<ItemId, Vec<ItemId>>),
+    /// Prepared variants: entries sorted by output id, probed by binary
+    /// search. Reconstructed from persisted sort permutations, avoiding
+    /// the hash-build cost at cold open.
+    SortedRead(Vec<(ItemId, usize)>),
+    /// Sorted `output id → input id`.
+    SortedUnary(Vec<(ItemId, ItemId)>),
+    /// Sorted `output id → (left input, right input)`.
+    SortedBinary(Vec<(ItemId, BinaryEntry)>),
+    /// Sorted `output id → (input id, element position)`.
+    SortedFlatten(Vec<(ItemId, (ItemId, u32))>),
+    /// Sorted `output id → group member ids`.
+    SortedAgg(Vec<(ItemId, Vec<ItemId>)>),
+}
+
+/// A probe handle over either index representation. Output identifiers are
+/// unique per operator (each output row carries exactly one id), so hash
+/// lookup and binary search return identical answers.
+enum Lookup<'a, V> {
+    Map(&'a FxHashMap<ItemId, V>),
+    Sorted(&'a [(ItemId, V)]),
+}
+
+impl<'a, V> Lookup<'a, V> {
+    fn get(&self, id: &ItemId) -> Option<&'a V> {
+        match self {
+            Lookup::Map(m) => m.get(id),
+            Lookup::Sorted(s) => s.binary_search_by_key(id, |e| e.0).ok().map(|i| &s[i].1),
+        }
+    }
+}
+
+/// A prepared-index permutation that does not describe its association
+/// table.
+fn perm_error(oid: OpId, detail: &str) -> EngineError {
+    EngineError::BacktraceError(format!("prepared index for operator #{oid} {detail}"))
+}
+
+/// Checks a prepared entry list is strictly ascending by output id (which,
+/// together with the length check, proves the permutation is a bijection —
+/// output ids are unique).
+fn check_sorted<V>(oid: OpId, entries: &[(ItemId, V)]) -> Result<()> {
+    if entries.windows(2).any(|w| w[0].0 >= w[1].0) {
+        return Err(perm_error(oid, "is not sorted by output identifier"));
+    }
+    Ok(())
+}
+
+/// Applies a persisted permutation to an association table, producing the
+/// sorted entry list. `pick` projects one association entry to its
+/// `(output id, payload)` pair.
+fn apply_perm<T, V>(
+    oid: OpId,
+    table: &[T],
+    perm: &[u32],
+    pick: impl Fn(&T) -> (ItemId, V),
+) -> Result<Vec<(ItemId, V)>> {
+    if perm.len() != table.len() {
+        return Err(perm_error(oid, "does not cover its association table"));
+    }
+    let entries = perm
+        .iter()
+        .map(|&p| {
+            table
+                .get(p as usize)
+                .map(&pick)
+                .ok_or_else(|| perm_error(oid, "references an out-of-range position"))
+        })
+        .collect::<Result<Vec<_>>>()?;
+    check_sorted(oid, &entries)?;
+    Ok(entries)
 }
 
 impl BacktraceIndex {
@@ -119,9 +276,15 @@ impl BacktraceIndex {
     /// When metrics are enabled (`PEBBLE_METRICS`), the build time is
     /// recorded into the process-wide [`pebble_obs::global`] histograms.
     pub fn build(run: &CapturedRun) -> Self {
+        Self::build_ops(&run.ops)
+    }
+
+    /// Builds the hash index over bare association tables (what
+    /// [`BacktraceIndex::build`] does under the hood; also the path a
+    /// loaded store without persisted permutations takes).
+    pub fn build_ops(ops: &[OperatorProvenance]) -> Self {
         let start = pebble_obs::metrics_enabled().then(std::time::Instant::now);
-        let per_op = run
-            .ops
+        let per_op = ops
             .iter()
             .map(|op| match &op.assoc {
                 ProvAssoc::Read(ids) => {
@@ -147,37 +310,129 @@ impl BacktraceIndex {
         BacktraceIndex { per_op }
     }
 
-    fn unary(&self, oid: OpId) -> Result<&FxHashMap<ItemId, ItemId>> {
+    /// Reconstructs a prepared (binary-search) index from persisted sort
+    /// permutations — `perms[oid]` lists the association-table positions of
+    /// operator `oid` in ascending output-id order, as produced by
+    /// [`BacktraceIndex::permutation`].
+    ///
+    /// Fails with a typed [`EngineError::BacktraceError`] when a
+    /// permutation does not describe its table (wrong length, out-of-range
+    /// position, not sorted) — loaded data is never trusted blindly.
+    pub fn from_sorted(ops: &[OperatorProvenance], perms: &[Vec<u32>]) -> Result<Self> {
+        if perms.len() != ops.len() {
+            return Err(EngineError::BacktraceError(format!(
+                "prepared index has {} permutations for {} operators",
+                perms.len(),
+                ops.len()
+            )));
+        }
+        let start = pebble_obs::metrics_enabled().then(std::time::Instant::now);
+        let per_op = ops
+            .iter()
+            .zip(perms)
+            .map(|(op, perm)| {
+                let oid = op.oid;
+                Ok(match &op.assoc {
+                    ProvAssoc::Read(ids) => OpIndex::SortedRead(apply_perm(
+                        oid,
+                        ids,
+                        perm,
+                        |&id| (id, 0usize), // position patched below
+                    )?),
+                    ProvAssoc::Unary(v) => {
+                        OpIndex::SortedUnary(apply_perm(oid, v, perm, |&(i, o)| (o, i))?)
+                    }
+                    ProvAssoc::Binary(v) => {
+                        OpIndex::SortedBinary(apply_perm(oid, v, perm, |&(l, r, o)| (o, (l, r)))?)
+                    }
+                    ProvAssoc::Flatten(v) => {
+                        OpIndex::SortedFlatten(apply_perm(oid, v, perm, |&(i, pos, o)| {
+                            (o, (i, pos))
+                        })?)
+                    }
+                    ProvAssoc::Agg(v) => {
+                        OpIndex::SortedAgg(apply_perm(oid, v, perm, |(ids, o)| (*o, ids.clone()))?)
+                    }
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        // Read entries map to *dataset positions*, which are the
+        // permutation values themselves.
+        let per_op = per_op
+            .into_iter()
+            .zip(perms)
+            .map(|(idx, perm)| match idx {
+                OpIndex::SortedRead(entries) => OpIndex::SortedRead(
+                    entries
+                        .into_iter()
+                        .zip(perm)
+                        .map(|((id, _), &p)| (id, p as usize))
+                        .collect(),
+                ),
+                other => other,
+            })
+            .collect();
+        if let Some(start) = start {
+            pebble_obs::global()
+                .backtrace_build_ns
+                .record(start.elapsed().as_nanos() as u64);
+        }
+        Ok(BacktraceIndex { per_op })
+    }
+
+    /// The sort permutation of one operator's association table: positions
+    /// ordered by ascending output id. This is what `pebble-serve`
+    /// persists so cold open can rebuild the prepared index with
+    /// [`BacktraceIndex::from_sorted`] instead of re-hashing.
+    pub fn permutation(op: &OperatorProvenance) -> Vec<u32> {
+        let keys: Vec<ItemId> = match &op.assoc {
+            ProvAssoc::Read(ids) => ids.clone(),
+            ProvAssoc::Unary(v) => v.iter().map(|&(_, o)| o).collect(),
+            ProvAssoc::Binary(v) => v.iter().map(|&(_, _, o)| o).collect(),
+            ProvAssoc::Flatten(v) => v.iter().map(|&(_, _, o)| o).collect(),
+            ProvAssoc::Agg(v) => v.iter().map(|(_, o)| *o).collect(),
+        };
+        let mut perm: Vec<u32> = (0..keys.len() as u32).collect();
+        perm.sort_by_key(|&p| keys[p as usize]);
+        perm
+    }
+
+    fn unary(&self, oid: OpId) -> Result<Lookup<'_, ItemId>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Unary(m) => Ok(m),
+            OpIndex::Unary(m) => Ok(Lookup::Map(m)),
+            OpIndex::SortedUnary(v) => Ok(Lookup::Sorted(v)),
             _ => Err(shape_error(oid, "a unary")),
         }
     }
 
-    fn binary(&self, oid: OpId) -> Result<&FxHashMap<ItemId, BinaryEntry>> {
+    fn binary(&self, oid: OpId) -> Result<Lookup<'_, BinaryEntry>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Binary(m) => Ok(m),
+            OpIndex::Binary(m) => Ok(Lookup::Map(m)),
+            OpIndex::SortedBinary(v) => Ok(Lookup::Sorted(v)),
             _ => Err(shape_error(oid, "a binary")),
         }
     }
 
-    fn flatten(&self, oid: OpId) -> Result<&FxHashMap<ItemId, (ItemId, u32)>> {
+    fn flatten(&self, oid: OpId) -> Result<Lookup<'_, (ItemId, u32)>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Flatten(m) => Ok(m),
+            OpIndex::Flatten(m) => Ok(Lookup::Map(m)),
+            OpIndex::SortedFlatten(v) => Ok(Lookup::Sorted(v)),
             _ => Err(shape_error(oid, "a flatten")),
         }
     }
 
-    fn agg(&self, oid: OpId) -> Result<&FxHashMap<ItemId, Vec<ItemId>>> {
+    fn agg(&self, oid: OpId) -> Result<Lookup<'_, Vec<ItemId>>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Agg(m) => Ok(m),
+            OpIndex::Agg(m) => Ok(Lookup::Map(m)),
+            OpIndex::SortedAgg(v) => Ok(Lookup::Sorted(v)),
             _ => Err(shape_error(oid, "an aggregation")),
         }
     }
 
-    fn read(&self, oid: OpId) -> Result<&FxHashMap<ItemId, usize>> {
+    fn read(&self, oid: OpId) -> Result<Lookup<'_, usize>> {
         match &self.per_op[oid as usize] {
-            OpIndex::Read(m) => Ok(m),
+            OpIndex::Read(m) => Ok(Lookup::Map(m)),
+            OpIndex::SortedRead(v) => Ok(Lookup::Sorted(v)),
             _ => Err(shape_error(oid, "a read")),
         }
     }
@@ -222,8 +477,21 @@ pub fn backtrace_with(
     index: &BacktraceIndex,
     b: Backtrace,
 ) -> Result<Vec<SourceProvenance>> {
+    backtrace_from(run, index, b)
+}
+
+/// Backtraces over any [`ProvView`] — the generic entry point shared by the
+/// in-memory path ([`backtrace_with`]) and loaded provenance stores.
+///
+/// When metrics are enabled (`PEBBLE_METRICS`), each probe's duration is
+/// recorded into the process-wide [`pebble_obs::global`] histograms.
+pub fn backtrace_from<V: ProvView + ?Sized>(
+    view: &V,
+    index: &BacktraceIndex,
+    b: Backtrace,
+) -> Result<Vec<SourceProvenance>> {
     let start = pebble_obs::metrics_enabled().then(std::time::Instant::now);
-    let result = backtrace_probe(run, index, b);
+    let result = backtrace_probe(view, index, b);
     if let Some(start) = start {
         pebble_obs::global()
             .backtrace_probe_ns
@@ -232,12 +500,12 @@ pub fn backtrace_with(
     result
 }
 
-fn backtrace_probe(
-    run: &CapturedRun,
+fn backtrace_probe<V: ProvView + ?Sized>(
+    view: &V,
     index: &BacktraceIndex,
     b: Backtrace,
 ) -> Result<Vec<SourceProvenance>> {
-    let mut worklist: Vec<(OpId, Backtrace)> = vec![(run.program.sink(), b)];
+    let mut worklist: Vec<(OpId, Backtrace)> = vec![(view.sink_op(), b)];
     let mut per_read: FxHashMap<OpId, Backtrace> = FxHashMap::default();
 
     while let Some((oid, mut b)) = worklist.pop() {
@@ -245,26 +513,26 @@ fn backtrace_probe(
         if b.entries.is_empty() {
             continue;
         }
-        let p = run.op(oid);
+        let p = view.prov_op(oid);
         match p.op_type.as_str() {
             "read" => {
                 per_read.entry(oid).or_default().entries.extend(b.entries);
             }
             "filter" | "select" | "map" => {
-                let b2 = backtrace_generic(run, index, p, b)?;
+                let b2 = backtrace_generic(view, index, p, b)?;
                 worklist.push((pred_of(p, 0)?, b2));
             }
             "flatten" => {
-                let b2 = backtrace_flatten(run, index, p, b)?;
+                let b2 = backtrace_flatten(view, index, p, b)?;
                 worklist.push((pred_of(p, 0)?, b2));
             }
             "aggregation" => {
-                let b2 = backtrace_aggregation(run, index, p, b)?;
+                let b2 = backtrace_aggregation(view, index, p, b)?;
                 worklist.push((pred_of(p, 0)?, b2));
             }
             "join" => {
                 for side in 0..2 {
-                    let b2 = backtrace_join_side(run, index, p, &b, side)?;
+                    let b2 = backtrace_join_side(view, index, p, &b, side)?;
                     worklist.push((pred_of(p, side)?, b2));
                 }
             }
@@ -286,14 +554,7 @@ fn backtrace_probe(
     for (read_op, mut b) in per_read {
         b.merge_by_id();
         let index_of = index.read(read_op)?;
-        let source = match &run.program.operators()[read_op as usize].kind {
-            pebble_dataflow::OpKind::Read { source } => source.clone(),
-            other => {
-                return Err(EngineError::BacktraceError(format!(
-                    "operator #{read_op} is {other:?}, expected a read"
-                )))
-            }
-        };
+        let source = view.read_source(read_op)?;
         let entries = b
             .entries
             .into_iter()
@@ -339,14 +600,14 @@ fn record_accesses(p: &OperatorProvenance, schema: &DataType, tree: &mut ProvTre
 }
 
 /// Alg. 3: generic backtracing for `filter`, `select`, and `map`.
-fn backtrace_generic(
-    run: &CapturedRun,
+fn backtrace_generic<V: ProvView + ?Sized>(
+    view: &V,
     index: &BacktraceIndex,
     p: &OperatorProvenance,
     b: Backtrace,
 ) -> Result<Backtrace> {
     let to_input = index.unary(p.oid)?;
-    let input_schema = run.input_schema(p.oid, 0);
+    let input_schema = view.input_schema_of(p.oid, 0);
     let mut out = Backtrace::new();
     for (id, mut tree) in b.entries {
         let Some(&input_id) = to_input.get(&id) else {
@@ -386,8 +647,8 @@ fn backtrace_generic(
 /// Alg. 2: backtracing `flatten` — generic step with `[pos]` placeholders,
 /// then grouping by input id and substituting concrete positions while
 /// merging trees.
-fn backtrace_flatten(
-    run: &CapturedRun,
+fn backtrace_flatten<V: ProvView + ?Sized>(
+    view: &V,
     index: &BacktraceIndex,
     p: &OperatorProvenance,
     b: Backtrace,
@@ -405,7 +666,7 @@ fn backtrace_flatten(
             p.oid
         )));
     };
-    let input_schema = run.input_schema(p.oid, 0);
+    let input_schema = view.input_schema_of(p.oid, 0);
     let mut out = Backtrace::new();
     for (id, mut tree) in b.entries {
         let Some(&(input_id, pos)) = to_input.get(&id) else {
@@ -446,8 +707,8 @@ fn record_rest_accesses(
 }
 
 /// Alg. 4: backtracing aggregation/nesting back to the grouping input.
-fn backtrace_aggregation(
-    run: &CapturedRun,
+fn backtrace_aggregation<V: ProvView + ?Sized>(
+    view: &V,
     index: &BacktraceIndex,
     p: &OperatorProvenance,
     b: Backtrace,
@@ -460,25 +721,13 @@ fn backtrace_aggregation(
             p.oid
         ))
     })?;
-    let input_schema = run.input_schema(p.oid, 0);
+    let input_schema = view.input_schema_of(p.oid, 0);
     // `count(*)`-style aggregates read no attribute, so they have no entry
     // in M; their output attributes still make every group member relevant
     // when queried (each row feeds the count). The nodes are removed from
-    // the tree — there is no input attribute to rewrite them to.
-    let countstar_outputs: Vec<Path> = match &run.program.operators()[p.oid as usize].kind {
-        pebble_dataflow::OpKind::GroupAggregate { aggs, .. } => aggs
-            .iter()
-            .filter(|a| {
-                // Whole-item bag nesting (collect_list with no input path)
-                // is handled positionally through M; only count(*) and
-                // whole-item set nesting (position-less) fall back to the
-                // all-members rule.
-                a.input.is_empty() && a.func != pebble_dataflow::AggFunc::CollectList
-            })
-            .map(|a| Path::attr(&a.output))
-            .collect(),
-        _ => Vec::new(),
-    };
+    // the tree — there is no input attribute to rewrite them to (the view
+    // knows which outputs these are; see [`ProvView::countstar_outputs`]).
+    let countstar_outputs: Vec<Path> = view.countstar_outputs(p.oid);
     let mut out = Backtrace::new();
 
     for (out_id, tree) in &b.entries {
@@ -569,8 +818,8 @@ fn collection_prefix(m_out: &Path) -> Path {
 /// Join backtracing for one input side: move to that side's identifiers,
 /// undo that side's attribute copies/renames, prune nodes belonging to the
 /// other input's schema, and record the key accesses.
-fn backtrace_join_side(
-    run: &CapturedRun,
+fn backtrace_join_side<V: ProvView + ?Sized>(
+    view: &V,
     index: &BacktraceIndex,
     p: &OperatorProvenance,
     b: &Backtrace,
@@ -584,7 +833,7 @@ fn backtrace_join_side(
             pair.1
         }
     };
-    let input_schema = run.input_schema(p.oid, side);
+    let input_schema = view.input_schema_of(p.oid, side);
     let side_fields: Vec<String> = input_schema
         .fields()
         .map(|fs| fs.iter().map(|f| f.name.clone()).collect())
@@ -593,8 +842,8 @@ fn backtrace_join_side(
     // left fields keep their names, clashing right fields are renamed — so
     // a mapping belongs to the left side iff its output attribute is a
     // left field name.
-    let left_fields: Vec<String> = run
-        .input_schema(p.oid, 0)
+    let left_fields: Vec<String> = view
+        .input_schema_of(p.oid, 0)
         .fields()
         .map(|fs| fs.iter().map(|f| f.name.clone()).collect())
         .unwrap_or_default();

@@ -305,6 +305,28 @@ pub fn run_captured(program: &Program, ctx: &Context, config: ExecConfig) -> Res
     run_captured_impl(program, ctx, config, run)
 }
 
+/// Executes `program` with capture enabled, teeing every association batch
+/// into `extra` as well.
+///
+/// The in-memory capture stays the primary record; `extra` (e.g. a
+/// streaming segment writer) observes the identical batch sequence via
+/// [`pebble_dataflow::Tee`]. Association batches are emitted from the
+/// scheduler thread in a deterministic per-operator order, so what `extra`
+/// sees is reproducible run to run.
+pub fn run_captured_with<S: pebble_dataflow::ProvenanceSink>(
+    program: &Program,
+    ctx: &Context,
+    config: ExecConfig,
+    extra: &S,
+) -> Result<CapturedRun> {
+    let sink = CaptureSink::new(program, ctx);
+    let tee = pebble_dataflow::Tee(&sink, extra);
+    let output = run(program, ctx, config, &tee)?;
+    let mut captured = assemble(program, sink, output)?;
+    captured.output.report.provenance = Some(provenance_stats(&captured));
+    Ok(captured)
+}
+
 /// Executes `program` with capture enabled and operator fusion disabled.
 ///
 /// Fused and unfused executions are specified to capture byte-identical

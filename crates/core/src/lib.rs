@@ -25,12 +25,13 @@ pub mod storage;
 
 pub use analysis::{co_access_pairs, AuditReport, Heatmap, ItemUsage};
 pub use backtrace::{
-    backtrace, backtrace_with, canonical_provenance, BacktraceIndex, SourceProvenance, TracedItem,
+    backtrace, backtrace_from, backtrace_with, canonical_provenance, BacktraceIndex, ProvView,
+    SourceProvenance, TracedItem,
 };
 pub use btree::{BNode, Backtrace, NodeLabel, ProvTree};
 pub use capture::{
-    run_captured, run_captured_observed, run_captured_spawn, run_captured_unfused, CapturedRun,
-    InputProv, OperatorProvenance, ProvAssoc,
+    run_captured, run_captured_observed, run_captured_spawn, run_captured_unfused,
+    run_captured_with, CapturedRun, InputProv, OperatorProvenance, ProvAssoc,
 };
 pub use pattern::{EdgeKind, PatternNode, TreePattern, ValuePred};
 pub use pattern_parse::PatternParseError;

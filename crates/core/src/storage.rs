@@ -6,12 +6,18 @@
 //! versioned, self-contained binary codec for `Vec<OperatorProvenance>`:
 //! varint-compressed identifiers and schema-level paths as UTF-8.
 //!
-//! The format is deliberately simple — a magic header, one record per
-//! operator — and intentionally dependency-free so its size is
-//! predictable; the size accounting of Fig. 8 matches what this codec
-//! writes within a few percent.
+//! The low-level primitives (varints, zigzag deltas, strings) live in
+//! [`pebble_nested::encode`] and are shared with the on-disk segment format
+//! of `pebble-serve`; this module owns only the record layout. The format
+//! is deliberately simple — a magic header, one record per operator — and
+//! intentionally dependency-free so its size is predictable; the size
+//! accounting of Fig. 8 matches what this codec writes within a few
+//! percent.
 
 use pebble_dataflow::ItemId;
+use pebble_nested::encode::{
+    get_str, get_u8, get_varint, put_str, put_varint, unzigzag, zigzag, CodecError,
+};
 use pebble_nested::Path;
 
 use crate::capture::{InputProv, OperatorProvenance, ProvAssoc};
@@ -29,6 +35,12 @@ impl std::fmt::Display for DecodeError {
 }
 
 impl std::error::Error for DecodeError {}
+
+impl From<CodecError> for DecodeError {
+    fn from(e: CodecError) -> Self {
+        DecodeError(e.0)
+    }
+}
 
 /// Serializes operator provenance to a compact binary blob.
 pub fn encode(ops: &[OperatorProvenance]) -> Vec<u8> {
@@ -231,7 +243,9 @@ fn decode_assoc(buf: &mut &[u8]) -> Result<ProvAssoc, DecodeError> {
 }
 
 /// Delta-encodes an identifier run: ids from one partition are ascending,
-/// so deltas varint-compress to one or two bytes each.
+/// so deltas varint-compress to one or two bytes each. The element count is
+/// written separately by the caller (unlike
+/// [`pebble_nested::encode::put_ids_delta`], which prefixes it).
 fn put_ids_delta(buf: &mut Vec<u8>, ids: &[ItemId]) {
     let mut prev = 0u64;
     for &id in ids {
@@ -268,65 +282,6 @@ fn get_opt_id(buf: &mut &[u8]) -> Result<Option<ItemId>, DecodeError> {
         0 => None,
         _ => Some(get_varint(buf)?),
     })
-}
-
-fn zigzag(v: i64) -> u64 {
-    ((v << 1) ^ (v >> 63)) as u64
-}
-
-fn unzigzag(v: u64) -> i64 {
-    ((v >> 1) as i64) ^ -((v & 1) as i64)
-}
-
-fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf.push(byte);
-            return;
-        }
-        buf.push(byte | 0x80);
-    }
-}
-
-fn get_varint(buf: &mut &[u8]) -> Result<u64, DecodeError> {
-    let mut out = 0u64;
-    let mut shift = 0u32;
-    loop {
-        let byte = get_u8(buf)?;
-        out |= ((byte & 0x7f) as u64) << shift;
-        if byte & 0x80 == 0 {
-            return Ok(out);
-        }
-        shift += 7;
-        if shift >= 64 {
-            return Err(DecodeError("varint overflow".into()));
-        }
-    }
-}
-
-fn get_u8(buf: &mut &[u8]) -> Result<u8, DecodeError> {
-    let (&byte, rest) = buf
-        .split_first()
-        .ok_or_else(|| DecodeError("unexpected end of input".into()))?;
-    *buf = rest;
-    Ok(byte)
-}
-
-fn put_str(buf: &mut Vec<u8>, s: &str) {
-    put_varint(buf, s.len() as u64);
-    buf.extend_from_slice(s.as_bytes());
-}
-
-fn get_str(buf: &mut &[u8]) -> Result<String, DecodeError> {
-    let len = get_varint(buf)? as usize;
-    if buf.len() < len {
-        return Err(DecodeError("truncated string".into()));
-    }
-    let (bytes, rest) = buf.split_at(len);
-    *buf = rest;
-    String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError("invalid UTF-8".into()))
 }
 
 fn parse_path(s: &str) -> Result<Path, DecodeError> {

@@ -307,7 +307,7 @@ impl RunOutput {
 /// `sink`. Observability comes from the environment
 /// (`PEBBLE_METRICS`/`PEBBLE_TRACE`); use [`run_observed`] to control it
 /// explicitly.
-pub fn run<S: ProvenanceSink + 'static>(
+pub fn run<S: ProvenanceSink>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
@@ -322,7 +322,7 @@ pub fn run<S: ProvenanceSink + 'static>(
 /// Identifiers and captured provenance are specified to be byte-identical
 /// to the fused [`run`]; this entry point exists so tests and the
 /// differential oracle can verify that claim rather than assume it.
-pub fn run_unfused<S: ProvenanceSink + 'static>(
+pub fn run_unfused<S: ProvenanceSink>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
@@ -337,7 +337,7 @@ pub fn run_unfused<S: ProvenanceSink + 'static>(
 /// it then describes the run *up to the contained error* (completed
 /// operators keep their exact counts, the failing operator reports its
 /// caught UDF panics, and `outcome`/`error` carry the failure).
-pub fn run_observed<S: ProvenanceSink + 'static>(
+pub fn run_observed<S: ProvenanceSink>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
@@ -349,7 +349,7 @@ pub fn run_observed<S: ProvenanceSink + 'static>(
 
 /// [`run_unfused`] with an explicit observability configuration; see
 /// [`run_observed`] for the report semantics.
-pub fn run_unfused_observed<S: ProvenanceSink + 'static>(
+pub fn run_unfused_observed<S: ProvenanceSink>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
@@ -359,7 +359,7 @@ pub fn run_unfused_observed<S: ProvenanceSink + 'static>(
     run_with_fusion(program, ctx, config, sink, false, obs)
 }
 
-fn run_with_fusion<S: ProvenanceSink + 'static>(
+fn run_with_fusion<S: ProvenanceSink>(
     program: &Program,
     ctx: &Context,
     config: ExecConfig,
@@ -1266,7 +1266,7 @@ struct Scheduler<'a, S: ProvenanceSink> {
     error: Option<((u32, usize), EngineError)>,
 }
 
-impl<'a, S: ProvenanceSink + 'static> Scheduler<'a, S> {
+impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
     fn new(
         program: &Program,
         ops: &'a [Operator],

@@ -37,5 +37,5 @@ pub use optimize::{optimize, OptimizeStats};
 pub use pebble_obs::{ObsConfig, RunReport};
 pub use pool::WorkerPool;
 pub use program::{Operator, Program, ProgramBuilder};
-pub use sink::{NoSink, ProvenanceSink};
+pub use sink::{NoSink, ProvenanceSink, Tee};
 pub use spawn::{run_spawn, run_spawn_unfused};

@@ -1,0 +1,584 @@
+//! Binary codec primitives for identifiers, labels and nested values.
+//!
+//! The provenance layer persists association tables (dense `u64` identifier
+//! sequences), schemas, and result rows. This module owns the low-level
+//! encoding shared by the in-memory snapshot codec (`pebble-core::storage`)
+//! and the on-disk segment format (`pebble-serve`):
+//!
+//! * LEB128 varints and zigzag signed varints;
+//! * delta-encoded identifier sequences (ids are near-sequential, so the
+//!   deltas are tiny);
+//! * an interned [`StringTable`] so repeated labels and string constants
+//!   are stored once;
+//! * recursive codecs for [`Value`], [`DataItem`] and [`DataType`].
+//!
+//! Every decoder is total: malformed input yields a [`CodecError`], never a
+//! panic, and recursion is depth-limited so corrupt nesting cannot blow the
+//! stack.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::label::Label;
+use crate::types::{DataType, Field};
+use crate::value::{DataItem, Value};
+
+/// Maximum nesting depth accepted when decoding values or types. Valid
+/// pebble data is a handful of levels deep; the limit only exists so a
+/// corrupt byte stream cannot trigger unbounded recursion.
+pub const MAX_DEPTH: usize = 128;
+
+/// A decoding failure: the input bytes do not form a valid encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, CodecError> {
+    Err(CodecError(msg.into()))
+}
+
+/// Appends `v` as an LEB128 varint (7 bits per byte, little endian).
+pub fn put_varint(buf: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Reads an LEB128 varint, advancing the cursor.
+pub fn get_varint(buf: &mut &[u8]) -> Result<u64, CodecError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let Some((&byte, rest)) = buf.split_first() else {
+            return err("unexpected end of input");
+        };
+        *buf = rest;
+        if shift >= 64 {
+            return err("varint overflow");
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag-maps a signed value onto an unsigned one (small magnitudes stay
+/// small).
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Appends a signed value as a zigzag varint.
+pub fn put_signed(buf: &mut Vec<u8>, v: i64) {
+    put_varint(buf, zigzag(v));
+}
+
+/// Reads a zigzag varint.
+pub fn get_signed(buf: &mut &[u8]) -> Result<i64, CodecError> {
+    Ok(unzigzag(get_varint(buf)?))
+}
+
+/// Reads one raw byte.
+pub fn get_u8(buf: &mut &[u8]) -> Result<u8, CodecError> {
+    let Some((&byte, rest)) = buf.split_first() else {
+        return err("unexpected end of input");
+    };
+    *buf = rest;
+    Ok(byte)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string.
+pub fn get_str(buf: &mut &[u8]) -> Result<String, CodecError> {
+    let len = get_varint(buf)? as usize;
+    if buf.len() < len {
+        return err("truncated string");
+    }
+    let (bytes, rest) = buf.split_at(len);
+    *buf = rest;
+    match std::str::from_utf8(bytes) {
+        Ok(s) => Ok(s.to_string()),
+        Err(_) => err("invalid UTF-8"),
+    }
+}
+
+/// Appends an `f64` as its 8 little-endian IEEE-754 bytes.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Reads an `f64` written by [`put_f64`].
+pub fn get_f64(buf: &mut &[u8]) -> Result<f64, CodecError> {
+    if buf.len() < 8 {
+        return err("unexpected end of input");
+    }
+    let (bytes, rest) = buf.split_at(8);
+    *buf = rest;
+    Ok(f64::from_bits(u64::from_le_bytes(
+        bytes.try_into().unwrap(),
+    )))
+}
+
+/// Appends a length-prefixed identifier sequence, delta-encoded: runtime
+/// identifiers are near-sequential, so consecutive deltas are mostly `±1`
+/// and fit in one byte each.
+pub fn put_ids_delta(buf: &mut Vec<u8>, ids: &[u64]) {
+    put_varint(buf, ids.len() as u64);
+    let mut prev: u64 = 0;
+    for &id in ids {
+        put_signed(buf, id.wrapping_sub(prev) as i64);
+        prev = id;
+    }
+}
+
+/// Reads a sequence written by [`put_ids_delta`].
+pub fn get_ids_delta(buf: &mut &[u8]) -> Result<Vec<u64>, CodecError> {
+    let len = get_varint(buf)? as usize;
+    // A delta costs at least one byte; reject lengths the remaining input
+    // cannot possibly satisfy before allocating.
+    if buf.len() < len {
+        return err("truncated identifier sequence");
+    }
+    let mut ids = Vec::with_capacity(len);
+    let mut prev: u64 = 0;
+    for _ in 0..len {
+        prev = prev.wrapping_add(get_signed(buf)? as u64);
+        ids.push(prev);
+    }
+    Ok(ids)
+}
+
+/// An interned string table: encode side assigns dense ids on first use,
+/// decode side resolves ids back to shared [`Arc<str>`] allocations.
+#[derive(Debug, Default, Clone)]
+pub struct StringTable {
+    index: HashMap<String, u64>,
+    strings: Vec<Arc<str>>,
+}
+
+impl StringTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its dense id.
+    pub fn intern(&mut self, s: &str) -> u64 {
+        if let Some(&id) = self.index.get(s) {
+            return id;
+        }
+        let id = self.strings.len() as u64;
+        self.strings.push(Arc::from(s));
+        self.index.insert(s.to_string(), id);
+        id
+    }
+
+    /// Resolves an id assigned by [`StringTable::intern`] or read by
+    /// [`StringTable::decode`].
+    pub fn get(&self, id: u64) -> Result<&Arc<str>, CodecError> {
+        match self.strings.get(id as usize) {
+            Some(s) => Ok(s),
+            None => err(format!("string id {id} out of range")),
+        }
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when no strings have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Appends the table: count followed by length-prefixed strings in id
+    /// order.
+    pub fn encode(&self, buf: &mut Vec<u8>) {
+        put_varint(buf, self.strings.len() as u64);
+        for s in &self.strings {
+            put_str(buf, s);
+        }
+    }
+
+    /// Reads a table written by [`StringTable::encode`].
+    pub fn decode(buf: &mut &[u8]) -> Result<StringTable, CodecError> {
+        let len = get_varint(buf)? as usize;
+        if buf.len() < len {
+            return err("truncated string table");
+        }
+        let mut table = StringTable::default();
+        for _ in 0..len {
+            let s = get_str(buf)?;
+            table.intern(&s);
+        }
+        Ok(table)
+    }
+}
+
+const VAL_NULL: u8 = 0;
+const VAL_FALSE: u8 = 1;
+const VAL_TRUE: u8 = 2;
+const VAL_INT: u8 = 3;
+const VAL_DOUBLE: u8 = 4;
+const VAL_STR: u8 = 5;
+const VAL_ITEM: u8 = 6;
+const VAL_BAG: u8 = 7;
+const VAL_SET: u8 = 8;
+
+/// Appends a [`Value`], interning strings and labels into `table`.
+pub fn put_value(buf: &mut Vec<u8>, table: &mut StringTable, v: &Value) {
+    match v {
+        Value::Null => buf.push(VAL_NULL),
+        Value::Bool(false) => buf.push(VAL_FALSE),
+        Value::Bool(true) => buf.push(VAL_TRUE),
+        Value::Int(i) => {
+            buf.push(VAL_INT);
+            put_signed(buf, *i);
+        }
+        Value::Double(d) => {
+            buf.push(VAL_DOUBLE);
+            put_f64(buf, *d);
+        }
+        Value::Str(s) => {
+            buf.push(VAL_STR);
+            put_varint(buf, table.intern(s));
+        }
+        Value::Item(item) => {
+            buf.push(VAL_ITEM);
+            put_item_body(buf, table, item);
+        }
+        Value::Bag(vs) => {
+            buf.push(VAL_BAG);
+            put_varint(buf, vs.len() as u64);
+            for v in vs {
+                put_value(buf, table, v);
+            }
+        }
+        Value::Set(vs) => {
+            buf.push(VAL_SET);
+            put_varint(buf, vs.len() as u64);
+            for v in vs {
+                put_value(buf, table, v);
+            }
+        }
+    }
+}
+
+fn put_item_body(buf: &mut Vec<u8>, table: &mut StringTable, item: &DataItem) {
+    let entries = item.entries();
+    put_varint(buf, entries.len() as u64);
+    for (label, value) in entries {
+        put_varint(buf, table.intern(label.as_str()));
+        put_value(buf, table, value);
+    }
+}
+
+/// Reads a [`Value`] written by [`put_value`].
+pub fn get_value(buf: &mut &[u8], table: &StringTable) -> Result<Value, CodecError> {
+    get_value_at(buf, table, 0)
+}
+
+fn get_value_at(buf: &mut &[u8], table: &StringTable, depth: usize) -> Result<Value, CodecError> {
+    if depth > MAX_DEPTH {
+        return err("value nesting too deep");
+    }
+    match get_u8(buf)? {
+        VAL_NULL => Ok(Value::Null),
+        VAL_FALSE => Ok(Value::Bool(false)),
+        VAL_TRUE => Ok(Value::Bool(true)),
+        VAL_INT => Ok(Value::Int(get_signed(buf)?)),
+        VAL_DOUBLE => Ok(Value::Double(get_f64(buf)?)),
+        VAL_STR => Ok(Value::Str(table.get(get_varint(buf)?)?.clone())),
+        VAL_ITEM => Ok(Value::Item(get_item_body(buf, table, depth)?)),
+        tag @ (VAL_BAG | VAL_SET) => {
+            let len = get_varint(buf)? as usize;
+            if buf.len() < len {
+                return err("truncated collection");
+            }
+            let mut vs = Vec::with_capacity(len);
+            for _ in 0..len {
+                vs.push(get_value_at(buf, table, depth + 1)?);
+            }
+            Ok(if tag == VAL_BAG {
+                Value::Bag(vs)
+            } else {
+                Value::Set(vs)
+            })
+        }
+        tag => err(format!("unknown value tag {tag}")),
+    }
+}
+
+fn get_item_body(
+    buf: &mut &[u8],
+    table: &StringTable,
+    depth: usize,
+) -> Result<DataItem, CodecError> {
+    let len = get_varint(buf)? as usize;
+    if buf.len() < len {
+        return err("truncated item");
+    }
+    let mut parts = Vec::with_capacity(len);
+    for _ in 0..len {
+        let label = Label::new(table.get(get_varint(buf)?)?);
+        let value = get_value_at(buf, table, depth + 1)?;
+        parts.push((label, value));
+    }
+    Ok(DataItem::from_parts(parts))
+}
+
+/// Appends a top-level [`DataItem`].
+pub fn put_item(buf: &mut Vec<u8>, table: &mut StringTable, item: &DataItem) {
+    put_item_body(buf, table, item);
+}
+
+/// Reads a top-level [`DataItem`] written by [`put_item`].
+pub fn get_item(buf: &mut &[u8], table: &StringTable) -> Result<DataItem, CodecError> {
+    get_item_body(buf, table, 0)
+}
+
+const TY_NULL: u8 = 0;
+const TY_BOOL: u8 = 1;
+const TY_INT: u8 = 2;
+const TY_DOUBLE: u8 = 3;
+const TY_STR: u8 = 4;
+const TY_ITEM: u8 = 5;
+const TY_BAG: u8 = 6;
+const TY_SET: u8 = 7;
+
+/// Appends a [`DataType`].
+pub fn put_type(buf: &mut Vec<u8>, ty: &DataType) {
+    match ty {
+        DataType::Null => buf.push(TY_NULL),
+        DataType::Bool => buf.push(TY_BOOL),
+        DataType::Int => buf.push(TY_INT),
+        DataType::Double => buf.push(TY_DOUBLE),
+        DataType::Str => buf.push(TY_STR),
+        DataType::Item(fields) => {
+            buf.push(TY_ITEM);
+            put_varint(buf, fields.len() as u64);
+            for f in fields {
+                put_str(buf, &f.name);
+                put_type(buf, &f.ty);
+            }
+        }
+        DataType::Bag(elem) => {
+            buf.push(TY_BAG);
+            put_type(buf, elem);
+        }
+        DataType::Set(elem) => {
+            buf.push(TY_SET);
+            put_type(buf, elem);
+        }
+    }
+}
+
+/// Reads a [`DataType`] written by [`put_type`].
+pub fn get_type(buf: &mut &[u8]) -> Result<DataType, CodecError> {
+    get_type_at(buf, 0)
+}
+
+fn get_type_at(buf: &mut &[u8], depth: usize) -> Result<DataType, CodecError> {
+    if depth > MAX_DEPTH {
+        return err("type nesting too deep");
+    }
+    match get_u8(buf)? {
+        TY_NULL => Ok(DataType::Null),
+        TY_BOOL => Ok(DataType::Bool),
+        TY_INT => Ok(DataType::Int),
+        TY_DOUBLE => Ok(DataType::Double),
+        TY_STR => Ok(DataType::Str),
+        TY_ITEM => {
+            let len = get_varint(buf)? as usize;
+            if buf.len() < len {
+                return err("truncated item type");
+            }
+            let mut fields = Vec::with_capacity(len);
+            for _ in 0..len {
+                let name = get_str(buf)?;
+                let ty = get_type_at(buf, depth + 1)?;
+                fields.push(Field::new(name, ty));
+            }
+            Ok(DataType::Item(fields))
+        }
+        TY_BAG => Ok(DataType::Bag(Box::new(get_type_at(buf, depth + 1)?))),
+        TY_SET => Ok(DataType::Set(Box::new(get_type_at(buf, depth + 1)?))),
+        tag => err(format!("unknown type tag {tag}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip() {
+        let mut buf = Vec::new();
+        let values = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &values {
+            put_varint(&mut buf, v);
+        }
+        let mut cur = buf.as_slice();
+        for &v in &values {
+            assert_eq!(get_varint(&mut cur).unwrap(), v);
+        }
+        assert!(cur.is_empty());
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut cur: &[u8] = &[0x80];
+        assert!(get_varint(&mut cur).is_err());
+        let mut cur: &[u8] = &[0x80; 11];
+        assert!(get_varint(&mut cur).is_err());
+    }
+
+    #[test]
+    fn zigzag_round_trip() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn ids_delta_round_trip() {
+        let ids = vec![
+            1u64 << 48,
+            (1u64 << 48) + 1,
+            (1u64 << 48) + 2,
+            (7u64 << 48) + 5,
+            3,
+        ];
+        let mut buf = Vec::new();
+        put_ids_delta(&mut buf, &ids);
+        let mut cur = buf.as_slice();
+        assert_eq!(get_ids_delta(&mut cur).unwrap(), ids);
+        assert!(cur.is_empty());
+        // Sequential ids cost ~1 byte each after the first.
+        let seq: Vec<u64> = (1000..1100).collect();
+        let mut buf = Vec::new();
+        put_ids_delta(&mut buf, &seq);
+        assert!(buf.len() < 110);
+    }
+
+    #[test]
+    fn ids_delta_rejects_absurd_length() {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, u64::MAX);
+        let mut cur = buf.as_slice();
+        assert!(get_ids_delta(&mut cur).is_err());
+    }
+
+    #[test]
+    fn string_table_interns_and_round_trips() {
+        let mut t = StringTable::new();
+        assert_eq!(t.intern("alpha"), 0);
+        assert_eq!(t.intern("beta"), 1);
+        assert_eq!(t.intern("alpha"), 0);
+        assert_eq!(t.len(), 2);
+        let mut buf = Vec::new();
+        t.encode(&mut buf);
+        let mut cur = buf.as_slice();
+        let d = StringTable::decode(&mut cur).unwrap();
+        assert_eq!(d.get(0).unwrap().as_ref(), "alpha");
+        assert_eq!(d.get(1).unwrap().as_ref(), "beta");
+        assert!(d.get(2).is_err());
+    }
+
+    #[test]
+    fn value_round_trip() {
+        let item = DataItem::from_parts(vec![
+            (Label::new("name"), Value::str("ada")),
+            (Label::new("score"), Value::Double(2.5)),
+            (
+                Label::new("tags"),
+                Value::Bag(vec![Value::str("x"), Value::Int(-7), Value::Null]),
+            ),
+            (
+                Label::new("nested"),
+                Value::Item(DataItem::from_parts(vec![(
+                    Label::new("name"),
+                    Value::Bool(true),
+                )])),
+            ),
+            (Label::new("set"), Value::set_from([Value::Int(1)])),
+        ]);
+        let mut table = StringTable::new();
+        let mut buf = Vec::new();
+        put_item(&mut buf, &mut table, &item);
+        let mut tbuf = Vec::new();
+        table.encode(&mut tbuf);
+        let mut tcur = tbuf.as_slice();
+        let dtable = StringTable::decode(&mut tcur).unwrap();
+        let mut cur = buf.as_slice();
+        let back = get_item(&mut cur, &dtable).unwrap();
+        assert!(cur.is_empty());
+        assert_eq!(back, item);
+        // "name" is interned once even though it appears twice.
+        assert_eq!(table.len(), 7);
+    }
+
+    #[test]
+    fn value_decoder_is_total() {
+        let table = StringTable::new();
+        // Unknown tag.
+        let mut cur: &[u8] = &[200];
+        assert!(get_value(&mut cur, &table).is_err());
+        // String id out of range.
+        let mut cur: &[u8] = &[VAL_STR, 9];
+        assert!(get_value(&mut cur, &table).is_err());
+        // Deep nesting is rejected, not a stack overflow.
+        let deep: Vec<u8> = std::iter::repeat_n([VAL_BAG, 1], MAX_DEPTH + 8)
+            .flatten()
+            .collect();
+        let mut cur: &[u8] = &deep;
+        let e = get_value(&mut cur, &table).unwrap_err();
+        assert!(e.to_string().contains("too deep"));
+    }
+
+    #[test]
+    fn type_round_trip_and_total() {
+        let ty = DataType::bag(DataType::item([
+            ("a", DataType::Int),
+            ("b", DataType::Set(Box::new(DataType::Str))),
+            ("c", DataType::item([("d", DataType::Double)])),
+        ]));
+        let mut buf = Vec::new();
+        put_type(&mut buf, &ty);
+        let mut cur = buf.as_slice();
+        assert_eq!(get_type(&mut cur).unwrap(), ty);
+        assert!(cur.is_empty());
+        let mut cur: &[u8] = &[250];
+        assert!(get_type(&mut cur).is_err());
+        let deep = vec![TY_BAG; MAX_DEPTH + 8];
+        let mut cur: &[u8] = &deep;
+        assert!(get_type(&mut cur).is_err());
+    }
+}

@@ -10,12 +10,16 @@
 //! * [`label`] — interned attribute names shared across items;
 //! * [`column`] — column-major batches with selection vectors for the
 //!   vectorized execution path;
+//! * [`encode`] — binary codec primitives (varints, delta-coded id
+//!   sequences, interned string tables, value/type codecs) shared by the
+//!   provenance snapshot codec and the on-disk segment format;
 //! * [`json`] — a minimal JSON reader/writer for examples and golden data;
 //! * [`fmt`] — a table renderer used by the runnable examples.
 
 #![warn(missing_docs)]
 
 pub mod column;
+pub mod encode;
 pub mod fmt;
 pub mod json;
 pub mod label;

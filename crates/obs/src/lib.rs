@@ -23,7 +23,7 @@ pub use config::{force_metrics, metrics_enabled, ObsConfig};
 pub use metrics::{HistogramSnapshot, Log2Histogram, Shard, ShardSet, ShardTotals};
 pub use report::{
     json_escape, ColumnarStats, DurationSummary, MorselStats, OpReport, PoolStats, ProvenanceStats,
-    RunReport, REPORT_SCHEMA_VERSION,
+    RunReport, ServeStats, REPORT_SCHEMA_VERSION,
 };
 pub use span::{SpanEvent, SpanKind, TraceCollector};
 
@@ -179,6 +179,9 @@ pub struct GlobalMetrics {
     pub backtrace_build_ns: Log2Histogram,
     /// Backtrace probe (query) times, ns.
     pub backtrace_probe_ns: Log2Histogram,
+    /// End-to-end query-service request times, ns (recorded by
+    /// `pebble-serve` per answered query).
+    pub serve_query_ns: Log2Histogram,
 }
 
 /// The process-global metric registry (gated by [`metrics_enabled`] at the
@@ -187,6 +190,7 @@ pub fn global() -> &'static GlobalMetrics {
     static GLOBAL: GlobalMetrics = GlobalMetrics {
         backtrace_build_ns: Log2Histogram::new(),
         backtrace_probe_ns: Log2Histogram::new(),
+        serve_query_ns: Log2Histogram::new(),
     };
     &GLOBAL
 }

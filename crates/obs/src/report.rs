@@ -172,6 +172,22 @@ impl ColumnarStats {
     }
 }
 
+/// Query-service counters (populated by `pebble-serve` when a run report
+/// is assembled for a serving session).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServeStats {
+    /// Connections the service accepted.
+    pub connections: u64,
+    /// Query requests parsed and executed.
+    pub queries: u64,
+    /// Queries that ended in an `ERROR` frame.
+    pub errors: u64,
+    /// Query jobs whose panic was contained by the pool.
+    pub panics_contained: u64,
+    /// Response frames written to clients.
+    pub frames_sent: u64,
+}
+
 /// A structured, serializable summary of one engine run.
 ///
 /// Built for every run (cheap counters are always on); timing fields,
@@ -212,6 +228,8 @@ pub struct RunReport {
     pub provenance: Option<ProvenanceStats>,
     /// Columnar-execution statistics (columnar runs only).
     pub columnar: Option<ColumnarStats>,
+    /// Query-service counters (serving sessions only).
+    pub serve: Option<ServeStats>,
     /// Number of span events recorded (tracing runs only).
     pub spans: u64,
 }
@@ -235,6 +253,7 @@ impl Default for RunReport {
             pool: None,
             provenance: None,
             columnar: None,
+            serve: None,
             spans: 0,
         }
     }
@@ -359,6 +378,14 @@ impl RunReport {
             )),
             None => s.push_str("  \"columnar\": null,\n"),
         }
+        match &self.serve {
+            Some(v) => s.push_str(&format!(
+                "  \"serve\": {{\"connections\": {}, \"queries\": {}, \"errors\": {}, \
+                 \"panics_contained\": {}, \"frames_sent\": {}}},\n",
+                v.connections, v.queries, v.errors, v.panics_contained, v.frames_sent,
+            )),
+            None => s.push_str("  \"serve\": null,\n"),
+        }
         s.push_str(&format!("  \"spans\": {}\n", self.spans));
         s.push_str("}\n");
         s
@@ -435,6 +462,7 @@ mod tests {
             "pool",
             "provenance",
             "columnar",
+            "serve",
             "spans",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");

@@ -27,7 +27,12 @@
 //!   trees over [`Path::path_set`]) and one tree-pattern query, the
 //!   backtracing results agree bit-for-bit across reference / fused /
 //!   unfused at `partitions: 1`, and modulo identifiers (via
-//!   [`canonical_provenance`]) across partition counts.
+//!   [`canonical_provenance`]) across partition counts;
+//! * **store-equivalent** — every captured run round-trips through the
+//!   persistent segment format (`pebble_serve::persist` → cold-open
+//!   `ProvStore::from_bytes`): the decoded association tables, rows, and
+//!   schemas are bit-identical, and every backtrace question answered
+//!   from the store matches the in-memory answer byte for byte.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -270,6 +275,74 @@ impl Questions {
     }
 }
 
+/// The store axis: persists a captured run to segment bytes, cold-opens
+/// it as a `ProvStore`, and requires the decoded tables and every
+/// store-backed backtrace answer to be byte-identical to the in-memory
+/// run — the in-memory path is the referee.
+fn store_axis(
+    seed: u64,
+    check: &str,
+    run: &CapturedRun,
+    questions: Option<&Questions>,
+) -> Option<Divergence> {
+    let bytes = pebble_serve::persist(run);
+    let store = match pebble_serve::ProvStore::from_bytes(&bytes) {
+        Ok(s) => s,
+        Err(e) => return diverge(seed, check, format!("cold-open failed: {e}")),
+    };
+    if store.ops() != run.ops.as_slice() {
+        let at = run
+            .ops
+            .iter()
+            .zip(store.ops())
+            .position(|(a, b)| a != b)
+            .map_or_else(String::new, |i| {
+                trunc(format!(": op {i} {:?} vs {:?}", run.ops[i], store.ops()[i]))
+            });
+        return diverge(
+            seed,
+            check,
+            format!("decoded operator provenance differs{at}"),
+        );
+    }
+    if store.rows() != run.output.rows.as_slice() {
+        return diverge(seed, check, "decoded rows differ".to_string());
+    }
+    if store.op_schemas() != run.output.op_schemas.as_slice() {
+        return diverge(seed, check, "decoded schemas differ".to_string());
+    }
+    let questions = questions?;
+    let mut asks: Vec<(String, Backtrace)> = Vec::new();
+    for &i in &questions.samples {
+        let row = &run.output.rows[i];
+        let paths = Path::path_set(&row.item);
+        let tree = ProvTree::from_paths(paths.iter());
+        asks.push((
+            format!("whole-item backtrace of output[{i}]"),
+            Backtrace {
+                entries: vec![(row.id, tree)],
+            },
+        ));
+    }
+    if let Some(pattern) = &questions.pattern {
+        asks.push((
+            "tree-pattern backtrace".to_string(),
+            pattern.match_rows(&run.output.rows),
+        ));
+    }
+    for (name, bt) in asks {
+        let mem = backtrace(run, bt.clone()).expect("backtrace failed on a captured oracle run");
+        let stored = match store.backtrace(bt) {
+            Ok(s) => s,
+            Err(e) => return diverge(seed, check, format!("{name}: store backtrace errors ({e})")),
+        };
+        if mem != stored {
+            return diverge(seed, check, trunc(format!("{name}: {mem:?} vs {stored:?}")));
+        }
+    }
+    None
+}
+
 /// Runs one generated case through every comparison. `None` means the
 /// engine and the reference agree everywhere.
 pub fn check(gen: &Generated) -> Option<Divergence> {
@@ -464,8 +537,8 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
     }
 
     // Backtracing equivalence.
-    if !fused.output.rows.is_empty() {
-        let questions = Questions::new(gen, &fused);
+    let questions = (!fused.output.rows.is_empty()).then(|| Questions::new(gen, &fused));
+    if let Some(questions) = &questions {
         let baseline = questions.answers(&fused);
         for (name, other) in [("reference", &reference), ("unfused engine", &unfused)] {
             for (base, got) in baseline.iter().zip(questions.answers(other)) {
@@ -488,6 +561,20 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
                     );
                 }
             }
+        }
+    }
+
+    // Store equivalence: round-trip every partition count through the
+    // segment format and re-ask the questions from the cold-opened store.
+    // (Worker-count and columnar runs are bit-identical to these captures
+    // — proven above — so persisting them would persist the same bytes.)
+    if let Some(d) = store_axis(seed, "store vs memory (p=1)", &fused, questions.as_ref()) {
+        return Some(d);
+    }
+    for (parts, alt) in &alt_runs {
+        let name = format!("store vs memory (p={parts})");
+        if let Some(d) = store_axis(seed, &name, alt, questions.as_ref()) {
+            return Some(d);
         }
     }
 
@@ -653,6 +740,22 @@ pub fn check_malformed(gen: &Generated) -> Option<Divergence> {
         }
         let c = run_captured(&program, &ctx, config.columnar(true));
         if let Some(d) = same_outcome(seed, &format!("row vs columnar (p={parts})"), &p, &c) {
+            return Some(d);
+        }
+        if let Ok(p) = &p {
+            if let Some(d) = store_axis(seed, &format!("store vs memory (p={parts})"), p, None) {
+                return Some(d);
+            }
+        }
+    }
+
+    // Store equivalence on the (rarer) malformed cases that still succeed:
+    // whatever the run captured must survive persist → cold-open intact,
+    // with store-backed question answers matching memory.
+    if let Ok(fused) = &fused {
+        let questions = (!fused.output.rows.is_empty()).then(|| Questions::new(gen, fused));
+        let name = "store vs memory (malformed, p=1)";
+        if let Some(d) = store_axis(seed, name, fused, questions.as_ref()) {
             return Some(d);
         }
     }

@@ -1,0 +1,228 @@
+//! Pinned store-axis repros (see `regressions/README.md`).
+//!
+//! Same shape as `regressions.rs`, but each case is chosen to stress a
+//! specific encoder path in the persistent segment format: unary RLE
+//! runs, binary join/union deltas, flatten position columns, aggregate
+//! member lists, the row string table, and the empty-result degenerate.
+//! `check` runs the full oracle — including the persist → cold-open →
+//! query axis added with the store — so `None` here means the store
+//! answered byte-identically to the in-memory referee; a direct
+//! persist/decode equality assertion is layered on top so a store-axis
+//! break fails loudly even if the oracle's sampling misses it.
+
+use pebble_core::run_captured;
+use pebble_dataflow::ExecConfig;
+use pebble_oracle::{
+    check, check_malformed, AggKind, CmpKind, ColSpec, DatasetSpec, Generated, LitSpec, OpSpec,
+    PipelineSpec, PredSpec, UdfSpec,
+};
+use pebble_serve::{persist, ProvStore};
+
+/// Persists `gen`'s fused run and asserts the cold-opened tables are
+/// bit-identical to the in-memory ones.
+fn assert_store_roundtrip(gen: &Generated) {
+    let program = gen.spec.compile();
+    let ctx = gen.dataset.context();
+    let run = run_captured(&program, &ctx, ExecConfig::with_partitions(1)).unwrap();
+    let store = ProvStore::from_bytes(&persist(&run)).unwrap();
+    assert_eq!(store.ops(), run.ops.as_slice());
+    assert_eq!(store.rows(), run.output.rows.as_slice());
+    assert_eq!(store.op_schemas(), run.output.op_schemas.as_slice());
+}
+
+/// A filter that passes long consecutive ranges: the unary association
+/// table is one giant run, the RLE encoder's best case — and its most
+/// dangerous one if run lengths or delta resets are wrong.
+#[test]
+fn store_pinned_unary_rle_long_runs() {
+    let rows: Vec<String> = (0..200).map(|i| format!("{{\"a\": {i}}}")).collect();
+    let dataset = DatasetSpec::from_ndjson(&[("t", rows.join("\n").as_str())]);
+    let spec = PipelineSpec {
+        ops: vec![
+            OpSpec::Read { source: "t".into() },
+            OpSpec::Filter {
+                input: 0,
+                pred: PredSpec::Cmp {
+                    path: "a".into(),
+                    cmp: CmpKind::Lt,
+                    lit: LitSpec::Int(150),
+                },
+            },
+            OpSpec::Select {
+                input: 1,
+                cols: vec![ColSpec::Path {
+                    name: "a".into(),
+                    path: "a".into(),
+                }],
+            },
+        ],
+    };
+    let gen = Generated {
+        seed: 0,
+        dataset,
+        spec,
+    };
+    assert_eq!(check(&gen), None);
+    assert_store_roundtrip(&gen);
+}
+
+/// Join then union: both binary association kinds in one segment, with
+/// out-of-order id pairs exercising the signed zigzag deltas.
+#[test]
+fn store_pinned_binary_assoc_join_union() {
+    let dataset = DatasetSpec::from_ndjson(&[
+        (
+            "l",
+            "{\"k\": 1, \"v\": 10}\n{\"k\": 2, \"v\": 20}\n{\"k\": 1, \"v\": 30}",
+        ),
+        (
+            "r",
+            "{\"k\": 2, \"w\": 5}\n{\"k\": 1, \"w\": 6}\n{\"k\": 1, \"w\": 7}",
+        ),
+    ]);
+    let spec = PipelineSpec {
+        ops: vec![
+            OpSpec::Read { source: "l".into() },
+            OpSpec::Read { source: "r".into() },
+            OpSpec::Join {
+                left: 0,
+                right: 1,
+                keys: vec![("k".into(), "k".into())],
+            },
+            OpSpec::Union { left: 2, right: 2 },
+        ],
+    };
+    let gen = Generated {
+        seed: 0,
+        dataset,
+        spec,
+    };
+    assert_eq!(check(&gen), None);
+    assert_store_roundtrip(&gen);
+}
+
+/// Flatten over mixed collections: the flatten chunk carries a position
+/// column whose values repeat and reset per input item.
+#[test]
+fn store_pinned_flatten_position_column() {
+    let dataset = DatasetSpec::from_ndjson(&[(
+        "t",
+        "{\"k\": 1, \"xs\": [1, 2, 3]}\n{\"k\": 2, \"xs\": []}\n{\"k\": 3, \"xs\": [4]}\n{\"k\": 4, \"xs\": [5, 6]}",
+    )]);
+    let spec = PipelineSpec {
+        ops: vec![
+            OpSpec::Read { source: "t".into() },
+            OpSpec::Flatten {
+                input: 0,
+                col: "xs".into(),
+                new_attr: "x".into(),
+            },
+            OpSpec::Filter {
+                input: 1,
+                pred: PredSpec::Cmp {
+                    path: "x".into(),
+                    cmp: CmpKind::Gt,
+                    lit: LitSpec::Int(1),
+                },
+            },
+        ],
+    };
+    let gen = Generated {
+        seed: 0,
+        dataset,
+        spec,
+    };
+    assert_eq!(check(&gen), None);
+    assert_store_roundtrip(&gen);
+}
+
+/// Group-aggregate with a count: member lists in the agg chunk plus
+/// count-star output paths in the operator-aux block.
+#[test]
+fn store_pinned_agg_members_and_countstar() {
+    let dataset = DatasetSpec::from_ndjson(&[(
+        "t",
+        "{\"g\": 1, \"v\": 5}\n{\"g\": 2, \"v\": 6}\n{\"g\": 1, \"v\": 7}\n{\"g\": 2, \"v\": 8}\n{\"g\": 1, \"v\": 9}",
+    )]);
+    let spec = PipelineSpec {
+        ops: vec![
+            OpSpec::Read { source: "t".into() },
+            OpSpec::GroupAgg {
+                input: 0,
+                keys: vec![("g".into(), "g".into())],
+                aggs: vec![
+                    (AggKind::Count, String::new(), "n".into()),
+                    (AggKind::CollectList, "v".into(), "vs".into()),
+                ],
+            },
+        ],
+    };
+    let gen = Generated {
+        seed: 0,
+        dataset,
+        spec,
+    };
+    assert_eq!(check(&gen), None);
+    assert_store_roundtrip(&gen);
+}
+
+/// A filter that rejects everything: zero result rows, so the store has
+/// an empty row table and an empty backtrace index — the degenerate the
+/// length validators must accept.
+#[test]
+fn store_pinned_empty_result_set() {
+    let dataset = DatasetSpec::from_ndjson(&[("t", "{\"a\": 1}\n{\"a\": 2}\n{\"a\": 3}")]);
+    let spec = PipelineSpec {
+        ops: vec![
+            OpSpec::Read { source: "t".into() },
+            OpSpec::Filter {
+                input: 0,
+                pred: PredSpec::Cmp {
+                    path: "a".into(),
+                    cmp: CmpKind::Gt,
+                    lit: LitSpec::Int(100),
+                },
+            },
+        ],
+    };
+    let gen = Generated {
+        seed: 0,
+        dataset,
+        spec,
+    };
+    assert_eq!(check(&gen), None);
+    let program = gen.spec.compile();
+    let ctx = gen.dataset.context();
+    let run = run_captured(&program, &ctx, ExecConfig::with_partitions(1)).unwrap();
+    assert!(run.output.rows.is_empty());
+    let store = ProvStore::from_bytes(&persist(&run)).unwrap();
+    assert!(store.rows().is_empty());
+    assert_eq!(store.ops(), run.ops.as_slice());
+}
+
+/// Malformed axis with a dud trigger: the panic-armed UDF never fires,
+/// so every partition run is `Ok` — and `check_malformed` round-trips
+/// each of them (plus the fused run, with sampled backtrace questions)
+/// through the store byte-identically.
+#[test]
+fn store_pinned_malformed_axis_ok_runs_roundtrip() {
+    let dataset =
+        DatasetSpec::from_ndjson(&[("t", "{\"a\": 1}\n{\"a\": 2}\n{\"a\": 3}\n{\"a\": 4}")]);
+    let spec = PipelineSpec {
+        ops: vec![
+            OpSpec::Read { source: "t".into() },
+            OpSpec::Map {
+                input: 0,
+                udf: UdfSpec::PanicOnNeedle {
+                    needle: "never-present".into(),
+                },
+            },
+        ],
+    };
+    let gen = Generated {
+        seed: 0,
+        dataset,
+        spec,
+    };
+    assert_eq!(check_malformed(&gen), None);
+}

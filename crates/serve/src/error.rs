@@ -1,0 +1,150 @@
+//! Typed errors of the persistent store and query service.
+//!
+//! Like the engine's `EngineError` (PR 4), every failure mode is a typed
+//! variant with a pinned, human-readable `Display` — the corruption
+//! harness asserts these strings stay stable, and the query service frames
+//! errors with them. No code path panics on malformed input.
+
+use std::fmt;
+
+use pebble_dataflow::EngineError;
+
+use crate::segment::VERSION;
+
+/// A failure while persisting, loading, or querying a provenance segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Underlying file or socket I/O failed.
+    Io(String),
+    /// The input does not start with the segment magic — not a pebble
+    /// segment file at all.
+    BadMagic,
+    /// The segment carries a format version this reader does not speak.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+    },
+    /// The input ended inside a header, block frame, or payload.
+    Truncated(String),
+    /// A block's payload does not match its stored CRC-32.
+    ChecksumMismatch {
+        /// Block type byte of the damaged block.
+        block: u8,
+    },
+    /// A block's declared length exceeds the remaining input.
+    BadLength {
+        /// Block type byte of the offending block.
+        block: u8,
+    },
+    /// A block payload decoded to something structurally invalid.
+    Corrupt(String),
+    /// A query request line the service does not understand.
+    BadRequest(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store i/o error: {msg}"),
+            StoreError::BadMagic => {
+                write!(f, "not a pebble segment (bad magic)")
+            }
+            StoreError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported segment version {found} (this reader speaks version {VERSION})"
+                )
+            }
+            StoreError::Truncated(what) => write!(f, "truncated segment: {what}"),
+            StoreError::ChecksumMismatch { block } => {
+                write!(f, "checksum mismatch in block type {block}")
+            }
+            StoreError::BadLength { block } => {
+                write!(f, "block type {block} declares a length beyond the input")
+            }
+            StoreError::Corrupt(msg) => write!(f, "corrupt segment: {msg}"),
+            StoreError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl From<pebble_nested::encode::CodecError> for StoreError {
+    fn from(e: pebble_nested::encode::CodecError) -> Self {
+        StoreError::Corrupt(e.0)
+    }
+}
+
+/// Store failures surface to query clients as [`EngineError`]s, the error
+/// type the rest of the system already speaks.
+impl From<StoreError> for EngineError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::BadRequest(msg) => {
+                EngineError::BacktraceError(format!("bad request: {msg}"))
+            }
+            other => EngineError::Internal(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Display contract: exact strings, pinned. Changing any of these
+    /// is a breaking change for anything that parses service error frames.
+    #[test]
+    fn display_strings_are_pinned() {
+        let table: Vec<(StoreError, &str)> = vec![
+            (
+                StoreError::Io("no such file".into()),
+                "store i/o error: no such file",
+            ),
+            (StoreError::BadMagic, "not a pebble segment (bad magic)"),
+            (
+                StoreError::UnsupportedVersion { found: 9 },
+                "unsupported segment version 9 (this reader speaks version 1)",
+            ),
+            (
+                StoreError::Truncated("block header".into()),
+                "truncated segment: block header",
+            ),
+            (
+                StoreError::ChecksumMismatch { block: 4 },
+                "checksum mismatch in block type 4",
+            ),
+            (
+                StoreError::BadLength { block: 2 },
+                "block type 2 declares a length beyond the input",
+            ),
+            (
+                StoreError::Corrupt("string id 7 out of range".into()),
+                "corrupt segment: string id 7 out of range",
+            ),
+            (
+                StoreError::BadRequest("unknown verb `FROB`".into()),
+                "bad request: unknown verb `FROB`",
+            ),
+        ];
+        for (err, expect) in table {
+            assert_eq!(err.to_string(), expect);
+        }
+    }
+
+    #[test]
+    fn engine_error_conversion_is_typed() {
+        let e: EngineError = StoreError::BadMagic.into();
+        assert!(matches!(e, EngineError::Internal(_)));
+        let e: EngineError = StoreError::BadRequest("nope".into()).into();
+        assert!(matches!(e, EngineError::BacktraceError(_)));
+        assert_eq!(e.to_string(), "backtrace failed: bad request: nope");
+    }
+}

@@ -1,0 +1,455 @@
+//! The concurrent provenance query service.
+//!
+//! A std-only TCP server over one read-only [`ProvStore`]: a
+//! thread-per-connection accept loop reads newline-delimited request
+//! lines, evaluates each query as a job on the engine's [`WorkerPool`]
+//! (so a panicking query is contained exactly like a panicking morsel,
+//! PR 4's contract), and streams the answer back as framed lines:
+//!
+//! ```text
+//! PROGRESS <done>/<total>      deterministic, count-based
+//! DATA <json>                  one frame per result element
+//! ERROR <EngineError display>  terminal; no DONE follows
+//! DONE <n data frames>         terminal
+//! ```
+//!
+//! Requests:
+//!
+//! ```text
+//! BACKTRACE <row>              whole-item backtrace of result row <row>
+//! BACKTRACE <row> <p1,p2,..>   …restricted to the given paths
+//! PATTERN <tree pattern>       backtrace rows matching a tree pattern
+//! HEATMAP <n>                  usage heatmap over the first <n> source items
+//! AUDIT                        leaked/influencing attribute audit
+//! ```
+//!
+//! Frames are fully determined by the store contents and the request —
+//! never by timing — so concurrent results can be compared against a
+//! serial baseline byte for byte.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+use pebble_core::{canonical_provenance, AuditReport, Heatmap, TreePattern};
+use pebble_dataflow::{panic_message, EngineError, WorkerPool};
+use pebble_nested::Path;
+use pebble_obs::{diag, json_escape, ServeStats};
+
+use crate::error::StoreError;
+use crate::store::ProvStore;
+
+/// Configuration of the query service.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address (`PEBBLE_SERVE_ADDR`, default `127.0.0.1:0` — an
+    /// ephemeral port reported by [`Server::local_addr`]).
+    pub addr: String,
+    /// Query worker threads (`PEBBLE_SERVE_WORKERS`, default 4, clamped
+    /// to 1..=64 with a one-line warning).
+    pub workers: usize,
+    /// Enables the test-only `PANIC` request that deliberately panics a
+    /// query job, for exercising panic containment. Never read from the
+    /// environment.
+    pub debug_panic: bool,
+}
+
+/// Hard ceiling on query workers; more threads than this never helps a
+/// single store and usually signals a typo in the knob.
+const MAX_SERVE_WORKERS: usize = 64;
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        let addr = std::env::var("PEBBLE_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:0".to_string());
+        let mut workers = match std::env::var("PEBBLE_SERVE_WORKERS") {
+            Err(_) => 4,
+            Ok(raw) => match raw.trim().parse::<i64>() {
+                Ok(v) if v > 0 => v as usize,
+                _ => {
+                    diag::warn_once(
+                        "PEBBLE_SERVE_WORKERS",
+                        &format!(
+                            "ignoring invalid PEBBLE_SERVE_WORKERS={raw:?}: expected a \
+                             positive integer, using default"
+                        ),
+                    );
+                    4
+                }
+            },
+        };
+        if workers > MAX_SERVE_WORKERS {
+            diag::warn_once(
+                "PEBBLE_SERVE_WORKERS.clamp",
+                &format!("clamping PEBBLE_SERVE_WORKERS={workers} to {MAX_SERVE_WORKERS}"),
+            );
+            workers = MAX_SERVE_WORKERS;
+        }
+        ServeConfig {
+            addr,
+            workers,
+            debug_panic: false,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    panics: AtomicU64,
+    frames: AtomicU64,
+}
+
+/// A running query service. Dropping the server shuts it down.
+pub struct Server {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    counters: Arc<Counters>,
+}
+
+impl Server {
+    /// Binds and starts serving `store` in background threads.
+    pub fn start(store: Arc<ProvStore>, cfg: &ServeConfig) -> Result<Server, StoreError> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let pool = WorkerPool::with_workers(cfg.workers.max(1));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = Arc::new(Counters::default());
+        let debug_panic = cfg.debug_panic;
+
+        let accept = {
+            let shutdown = Arc::clone(&shutdown);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    counters.connections.fetch_add(1, Relaxed);
+                    let store = Arc::clone(&store);
+                    let pool = Arc::clone(&pool);
+                    let counters = Arc::clone(&counters);
+                    std::thread::spawn(move || {
+                        serve_connection(stream, store, pool, counters, debug_panic);
+                    });
+                }
+            })
+        };
+        Ok(Server {
+            local_addr,
+            shutdown,
+            accept: Some(accept),
+            counters,
+        })
+    }
+
+    /// The address the service actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Point-in-time service counters (the `serve` report section).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            connections: self.counters.connections.load(Relaxed),
+            queries: self.counters.queries.load(Relaxed),
+            errors: self.counters.errors.load(Relaxed),
+            panics_contained: self.counters.panics.load(Relaxed),
+            frames_sent: self.counters.frames.load(Relaxed),
+        }
+    }
+
+    /// Stops accepting connections and joins the accept thread. In-flight
+    /// connections finish their current query.
+    pub fn shutdown(&mut self) {
+        if self.shutdown.swap(true, Relaxed) {
+            return;
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    store: Arc<ProvStore>,
+    pool: Arc<WorkerPool>,
+    counters: Arc<Counters>,
+    debug_panic: bool,
+) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let request = line.trim().to_string();
+        if request.is_empty() {
+            continue;
+        }
+        counters.queries.fetch_add(1, Relaxed);
+        // Evaluate on the pool so a panicking query is contained there and
+        // the connection (and server) survive to report it as a frame.
+        let (tx, rx) = mpsc::channel::<std::thread::Result<Vec<String>>>();
+        {
+            let store = Arc::clone(&store);
+            pool.submit_job(
+                move || answer(&store, &request, debug_panic),
+                move |result| {
+                    let _ = tx.send(result);
+                },
+            );
+        }
+        let frames = match rx.recv() {
+            Ok(Ok(frames)) => frames,
+            Ok(Err(payload)) => {
+                counters.panics.fetch_add(1, Relaxed);
+                let err = EngineError::WorkerPanic {
+                    payload: panic_message(payload.as_ref()),
+                };
+                vec![format!("ERROR {err}")]
+            }
+            Err(_) => vec![format!(
+                "ERROR {}",
+                EngineError::Internal("query job was dropped without a result".into())
+            )],
+        };
+        if frames.last().is_some_and(|f| f.starts_with("ERROR ")) {
+            counters.errors.fetch_add(1, Relaxed);
+        }
+        counters.frames.fetch_add(frames.len() as u64, Relaxed);
+        let mut broken = false;
+        for frame in &frames {
+            if writer
+                .write_all(frame.as_bytes())
+                .and_then(|_| writer.write_all(b"\n"))
+                .is_err()
+            {
+                broken = true;
+                break;
+            }
+        }
+        if broken || writer.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Computes the full frame sequence for one request line. Runs inside a
+/// pool job; panics are contained by the caller.
+fn answer(store: &ProvStore, request: &str, debug_panic: bool) -> Vec<String> {
+    let start = pebble_obs::metrics_enabled().then(std::time::Instant::now);
+    let frames = match evaluate(store, request, debug_panic) {
+        Ok(frames) => frames,
+        Err(e) => vec![format!("ERROR {}", EngineError::from(e))],
+    };
+    if let Some(start) = start {
+        pebble_obs::global()
+            .serve_query_ns
+            .record(start.elapsed().as_nanos() as u64);
+    }
+    frames
+}
+
+fn evaluate(
+    store: &ProvStore,
+    request: &str,
+    debug_panic: bool,
+) -> Result<Vec<String>, StoreError> {
+    let (verb, rest) = match request.split_once(char::is_whitespace) {
+        Some((v, r)) => (v, r.trim()),
+        None => (request, ""),
+    };
+    match verb {
+        "BACKTRACE" => {
+            let mut parts = rest.split_whitespace();
+            let idx: usize = parts
+                .next()
+                .ok_or_else(|| StoreError::BadRequest("BACKTRACE needs a row index".into()))?
+                .parse()
+                .map_err(|_| StoreError::BadRequest(format!("invalid row index in `{request}`")))?;
+            let b = match parts.next() {
+                None => store.whole_item(idx)?,
+                Some(list) => {
+                    let mut paths = Vec::new();
+                    for s in list.split(',').filter(|s| !s.is_empty()) {
+                        let p: Path = s.parse().map_err(|e| {
+                            StoreError::BadRequest(format!("invalid path `{s}`: {e}"))
+                        })?;
+                        paths.push(p);
+                    }
+                    store.item_with_paths(idx, &paths)?
+                }
+            };
+            if let Some(extra) = parts.next() {
+                return Err(StoreError::BadRequest(format!(
+                    "unexpected argument `{extra}`"
+                )));
+            }
+            backtrace_frames(store, b)
+        }
+        "PATTERN" => {
+            if rest.is_empty() {
+                return Err(StoreError::BadRequest("PATTERN needs a pattern".into()));
+            }
+            let pattern = TreePattern::parse(rest)
+                .map_err(|e| StoreError::BadRequest(format!("invalid pattern: {e}")))?;
+            let b = pattern.match_rows(store.rows());
+            backtrace_frames(store, b)
+        }
+        "HEATMAP" => {
+            let n: usize = rest.parse().map_err(|_| {
+                StoreError::BadRequest(format!("invalid item count in `{request}`"))
+            })?;
+            heatmap_frames(store, n)
+        }
+        "AUDIT" => {
+            if !rest.is_empty() {
+                return Err(StoreError::BadRequest(format!(
+                    "unexpected argument `{rest}`"
+                )));
+            }
+            audit_frames(store)
+        }
+        "PANIC" if debug_panic => panic!("debug panic requested by client"),
+        other => Err(StoreError::BadRequest(format!("unknown verb `{other}`"))),
+    }
+}
+
+fn backtrace_frames(
+    store: &ProvStore,
+    b: pebble_core::Backtrace,
+) -> Result<Vec<String>, StoreError> {
+    let sources = store
+        .backtrace(b)
+        .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    let triples = canonical_provenance(&sources);
+    let mut frames = Vec::with_capacity(triples.len() + 2);
+    frames.push(format!("PROGRESS 0/{}", triples.len()));
+    for (source, index, tree) in &triples {
+        frames.push(format!(
+            "DATA {{\"source\": \"{}\", \"index\": {index}, \"tree\": \"{}\"}}",
+            json_escape(source),
+            json_escape(tree),
+        ));
+    }
+    frames.push(format!("DONE {}", triples.len()));
+    Ok(frames)
+}
+
+/// Backtraces every result row and folds the provenance into `f`, pushing
+/// count-based `PROGRESS` frames at each completed quarter.
+fn fold_rows(
+    store: &ProvStore,
+    frames: &mut Vec<String>,
+    mut f: impl FnMut(&pebble_core::SourceProvenance),
+) -> Result<(), StoreError> {
+    let total = store.rows().len();
+    let step = (total / 4).max(1);
+    for idx in 0..total {
+        let b = store.whole_item(idx)?;
+        let sources = store
+            .backtrace(b)
+            .map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        for source in &sources {
+            f(source);
+        }
+        let done = idx + 1;
+        if done % step == 0 || done == total {
+            frames.push(format!("PROGRESS {done}/{total}"));
+        }
+    }
+    if total == 0 {
+        frames.push("PROGRESS 0/0".to_string());
+    }
+    Ok(())
+}
+
+fn heatmap_frames(store: &ProvStore, n: usize) -> Result<Vec<String>, StoreError> {
+    let mut frames = Vec::new();
+    let mut heatmap = Heatmap::new();
+    fold_rows(store, &mut frames, |source| heatmap.absorb(source))?;
+    let attributes = heatmap.attributes.clone();
+    frames.push(format!(
+        "DATA {{\"heatmap\": \"{}\"}}",
+        json_escape(&heatmap.render(n, &attributes))
+    ));
+    let cold: Vec<String> = heatmap
+        .cold_attributes(&attributes)
+        .into_iter()
+        .map(|a| format!("\"{}\"", json_escape(a)))
+        .collect();
+    frames.push(format!(
+        "DATA {{\"cold_attributes\": [{}], \"cold_items\": {}}}",
+        cold.join(", "),
+        heatmap.cold_items(n).len()
+    ));
+    frames.push("DONE 2".to_string());
+    Ok(frames)
+}
+
+fn audit_frames(store: &ProvStore) -> Result<Vec<String>, StoreError> {
+    let mut frames = Vec::new();
+    let mut report = AuditReport::default();
+    fold_rows(store, &mut frames, |source| {
+        report.merge(AuditReport::from_provenance(source))
+    })?;
+    let mut data = 0usize;
+    for (index, paths) in &report.leaked {
+        let mut rendered: Vec<String> = paths.iter().map(|p| p.to_string()).collect();
+        rendered.sort();
+        rendered.dedup();
+        let quoted: Vec<String> = rendered
+            .iter()
+            .map(|p| format!("\"{}\"", json_escape(p)))
+            .collect();
+        frames.push(format!(
+            "DATA {{\"index\": {index}, \"leaked\": [{}]}}",
+            quoted.join(", ")
+        ));
+        data += 1;
+    }
+    frames.push(format!("DONE {data}"));
+    Ok(frames)
+}
+
+/// Blocking client helper: connects, sends one request line, and returns
+/// all frames up to and including the terminal `DONE`/`ERROR`.
+pub fn query(addr: impl ToSocketAddrs, request: &str) -> std::io::Result<Vec<String>> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(request.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()?;
+    let reader = BufReader::new(stream);
+    let mut frames = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let terminal = line.starts_with("DONE ") || line.starts_with("ERROR ");
+        frames.push(line);
+        if terminal {
+            break;
+        }
+    }
+    Ok(frames)
+}

@@ -1,0 +1,689 @@
+//! Persisting a captured run and cold-opening it as a read-only
+//! [`ProvStore`].
+//!
+//! `persist` lowers a [`CapturedRun`] into the segment format of
+//! [`crate::segment`]; `ProvStore::from_bytes`/[`ProvStore::open`] load it
+//! back without re-running anything. The store implements
+//! [`pebble_core::ProvView`], so the *same* backtracing algorithm answers
+//! questions from disk as from memory — the in-memory path stays the
+//! referee, and every store-backed answer must match it byte for byte.
+
+use std::path::Path as FsPath;
+
+use pebble_core::{
+    backtrace_from, Backtrace, BacktraceIndex, CapturedRun, InputProv, OperatorProvenance,
+    ProvAssoc, ProvTree, ProvView, SourceProvenance,
+};
+use pebble_dataflow::{EngineError, ItemId, OpId, Row};
+use pebble_nested::encode::{
+    get_signed, get_str, get_u8, get_varint, put_signed, put_str, put_varint, StringTable,
+};
+use pebble_nested::{DataType, Path};
+
+use crate::error::StoreError;
+use crate::segment::{
+    chunk_table, frame_block, segment_header, BlockIter, BLOCK_ASSOC, BLOCK_END, BLOCK_INDEX,
+    BLOCK_META, BLOCK_OPAUX, BLOCK_ROWS, BLOCK_SCHEMAS,
+};
+
+/// Association-table kind tag persisted in the OPAUX block, so operators
+/// that streamed zero chunks still decode to a correctly-typed empty table.
+fn assoc_kind(assoc: &ProvAssoc) -> u8 {
+    match assoc {
+        ProvAssoc::Read(_) => 0,
+        ProvAssoc::Unary(_) => 1,
+        ProvAssoc::Binary(_) => 2,
+        ProvAssoc::Flatten(_) => 3,
+        ProvAssoc::Agg(_) => 4,
+    }
+}
+
+fn empty_assoc(kind: u8) -> Result<ProvAssoc, StoreError> {
+    Ok(match kind {
+        0 => ProvAssoc::Read(Vec::new()),
+        1 => ProvAssoc::Unary(Vec::new()),
+        2 => ProvAssoc::Binary(Vec::new()),
+        3 => ProvAssoc::Flatten(Vec::new()),
+        4 => ProvAssoc::Agg(Vec::new()),
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "unknown association kind {other}"
+            )))
+        }
+    })
+}
+
+fn put_opt_str(buf: &mut Vec<u8>, s: Option<&str>) {
+    match s {
+        None => buf.push(0),
+        Some(s) => {
+            buf.push(1);
+            put_str(buf, s);
+        }
+    }
+}
+
+fn get_opt_str(buf: &mut &[u8]) -> Result<Option<String>, StoreError> {
+    Ok(match get_u8(buf)? {
+        0 => None,
+        1 => Some(get_str(buf)?),
+        other => return Err(StoreError::Corrupt(format!("invalid option tag {other}"))),
+    })
+}
+
+fn put_paths(buf: &mut Vec<u8>, paths: &[Path]) {
+    put_varint(buf, paths.len() as u64);
+    for p in paths {
+        put_str(buf, &p.to_string());
+    }
+}
+
+fn get_paths(buf: &mut &[u8]) -> Result<Vec<Path>, StoreError> {
+    let n = get_varint(buf)? as usize;
+    if buf.len() < n {
+        return Err(StoreError::Truncated("path list".into()));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let s = get_str(buf)?;
+        out.push(parse_path(&s)?);
+    }
+    Ok(out)
+}
+
+fn parse_path(s: &str) -> Result<Path, StoreError> {
+    s.parse()
+        .map_err(|e| StoreError::Corrupt(format!("invalid path `{s}`: {e}")))
+}
+
+// ---------------------------------------------------------------------------
+// Persist
+// ---------------------------------------------------------------------------
+
+fn encode_meta(run: &CapturedRun, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(16);
+    put_varint(&mut payload, run.ops.len() as u64);
+    put_varint(&mut payload, run.program.sink() as u64);
+    put_varint(&mut payload, run.output.rows.len() as u64);
+    frame_block(out, BLOCK_META, &payload);
+}
+
+fn encode_schemas(run: &CapturedRun, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(64 * run.output.op_schemas.len());
+    put_varint(&mut payload, run.output.op_schemas.len() as u64);
+    for ty in &run.output.op_schemas {
+        pebble_nested::encode::put_type(&mut payload, ty);
+    }
+    frame_block(out, BLOCK_SCHEMAS, &payload);
+}
+
+fn encode_opaux(run: &CapturedRun, out: &mut Vec<u8>) {
+    let mut payload = Vec::with_capacity(128 * run.ops.len());
+    put_varint(&mut payload, run.ops.len() as u64);
+    for op in &run.ops {
+        put_varint(&mut payload, op.oid as u64);
+        put_str(&mut payload, &op.op_type);
+        put_varint(&mut payload, op.inputs.len() as u64);
+        for input in &op.inputs {
+            match input.pred {
+                None => payload.push(0),
+                Some(p) => {
+                    payload.push(1);
+                    put_varint(&mut payload, p as u64);
+                }
+            }
+            match &input.accessed {
+                None => payload.push(0),
+                Some(paths) => {
+                    payload.push(1);
+                    put_paths(&mut payload, paths);
+                }
+            }
+        }
+        match &op.manipulated {
+            None => payload.push(0),
+            Some(pairs) => {
+                payload.push(1);
+                put_varint(&mut payload, pairs.len() as u64);
+                for (a, b) in pairs {
+                    put_str(&mut payload, &a.to_string());
+                    put_str(&mut payload, &b.to_string());
+                }
+            }
+        }
+        payload.push(assoc_kind(&op.assoc));
+        put_opt_str(&mut payload, run.read_source(op.oid).ok().as_deref());
+        put_paths(&mut payload, &run.countstar_outputs(op.oid));
+    }
+    frame_block(out, BLOCK_OPAUX, &payload);
+}
+
+fn encode_rows(rows: &[Row], out: &mut Vec<u8>) {
+    // Two passes: encode items into a temporary buffer while the string
+    // table grows, then emit the finished table ahead of the row bytes.
+    let mut table = StringTable::new();
+    let mut body = Vec::with_capacity(64 * rows.len());
+    put_varint(&mut body, rows.len() as u64);
+    let mut prev_id = 0u64;
+    for row in rows {
+        put_signed(&mut body, row.id.wrapping_sub(prev_id) as i64);
+        prev_id = row.id;
+        pebble_nested::encode::put_item(&mut body, &mut table, &row.item);
+    }
+    let mut payload = Vec::with_capacity(body.len() + 256);
+    table.encode(&mut payload);
+    payload.extend_from_slice(&body);
+    frame_block(out, BLOCK_ROWS, &payload);
+}
+
+fn encode_index(ops: &[OperatorProvenance], out: &mut Vec<u8>) {
+    let mut payload = Vec::new();
+    put_varint(&mut payload, ops.len() as u64);
+    for op in ops {
+        let perm = BacktraceIndex::permutation(op);
+        put_varint(&mut payload, perm.len() as u64);
+        for p in perm {
+            put_varint(&mut payload, p as u64);
+        }
+    }
+    frame_block(out, BLOCK_INDEX, &payload);
+}
+
+fn encode_static(run: &CapturedRun, out: &mut Vec<u8>) {
+    encode_meta(run, out);
+    encode_schemas(run, out);
+    encode_opaux(run, out);
+}
+
+fn encode_tail(run: &CapturedRun, out: &mut Vec<u8>) {
+    encode_rows(&run.output.rows, out);
+    encode_index(&run.ops, out);
+    frame_block(out, BLOCK_END, &[]);
+}
+
+/// Serializes a captured run into segment bytes (post-hoc: association
+/// tables are chunked from the in-memory capture, one chunk per operator).
+pub fn persist(run: &CapturedRun) -> Vec<u8> {
+    let mut out = segment_header();
+    encode_static(run, &mut out);
+    for op in &run.ops {
+        frame_block(&mut out, BLOCK_ASSOC, &chunk_table(op));
+    }
+    encode_tail(run, &mut out);
+    out
+}
+
+/// Serializes a captured run around association blocks that were streamed
+/// during execution by a [`crate::segment::SegmentSink`] (one chunk per
+/// captured batch). Decodes to the same store as [`persist`].
+pub fn persist_streamed(run: &CapturedRun, assoc_blocks: &[u8]) -> Vec<u8> {
+    let mut out = segment_header();
+    encode_static(run, &mut out);
+    out.extend_from_slice(assoc_blocks);
+    encode_tail(run, &mut out);
+    out
+}
+
+/// Persists a run to a segment file, returning the byte count written.
+pub fn persist_file(run: &CapturedRun, path: &FsPath) -> Result<usize, StoreError> {
+    let bytes = persist(run);
+    std::fs::write(path, &bytes)?;
+    Ok(bytes.len())
+}
+
+/// Bytes a naive uncompressed dump of the same run would occupy: fixed
+/// 8-byte identifiers for every association column, 4-byte flatten
+/// positions, path/schema/source strings, and rows rendered as display
+/// text. The `servebench` compression gate compares segment bytes against
+/// this.
+pub fn naive_dump_bytes(run: &CapturedRun) -> usize {
+    let assoc = run.lineage_bytes()
+        + run
+            .ops
+            .iter()
+            .map(|o| o.assoc.structural_extra_bytes() + o.path_bytes())
+            .sum::<usize>();
+    let schemas: usize = run
+        .output
+        .op_schemas
+        .iter()
+        .map(|t| format!("{t:?}").len())
+        .sum();
+    let rows: usize = run
+        .output
+        .rows
+        .iter()
+        .map(|r| 8 + format!("{:?}", r.item).len())
+        .sum();
+    assoc + schemas + rows
+}
+
+// ---------------------------------------------------------------------------
+// Load
+// ---------------------------------------------------------------------------
+
+/// A cold-opened, read-only provenance store: everything the backtracing
+/// algorithm and the analysis queries need, decoded from one segment.
+pub struct ProvStore {
+    sink_op: OpId,
+    ops: Vec<OperatorProvenance>,
+    schemas: Vec<DataType>,
+    read_sources: Vec<Option<String>>,
+    countstar: Vec<Vec<Path>>,
+    rows: Vec<Row>,
+    index: BacktraceIndex,
+    on_disk_bytes: usize,
+}
+
+struct Pending {
+    meta: Option<(usize, OpId, usize)>,
+    schemas: Option<Vec<DataType>>,
+    ops: Option<Vec<OperatorProvenance>>,
+    read_sources: Vec<Option<String>>,
+    countstar: Vec<Vec<Path>>,
+    rows: Option<Vec<Row>>,
+    perms: Option<Vec<Vec<u32>>>,
+}
+
+impl ProvStore {
+    /// Loads a store from a segment file on disk (the cold-open path).
+    pub fn open(path: &FsPath) -> Result<ProvStore, StoreError> {
+        let bytes = std::fs::read(path)?;
+        ProvStore::from_bytes(&bytes)
+    }
+
+    /// Decodes a store from segment bytes, validating framing, checksums,
+    /// and structural invariants. Never panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ProvStore, StoreError> {
+        let mut it = BlockIter::parse(bytes)?;
+        let mut p = Pending {
+            meta: None,
+            schemas: None,
+            ops: None,
+            read_sources: Vec::new(),
+            countstar: Vec::new(),
+            rows: None,
+            perms: None,
+        };
+        while let Some((ty, payload)) = it.next_block()? {
+            match ty {
+                BLOCK_META => decode_meta(payload, &mut p)?,
+                BLOCK_SCHEMAS => decode_schemas(payload, &mut p)?,
+                BLOCK_OPAUX => decode_opaux(payload, &mut p)?,
+                BLOCK_ASSOC => {
+                    let ops = p.ops.as_mut().ok_or_else(|| {
+                        StoreError::Corrupt("assoc chunk before operator table".into())
+                    })?;
+                    crate::segment::apply_chunk(payload, ops)?;
+                }
+                BLOCK_ROWS => decode_rows(payload, &mut p)?,
+                BLOCK_INDEX => decode_index(payload, &mut p)?,
+                other => {
+                    return Err(StoreError::Corrupt(format!("unknown block type {other}")));
+                }
+            }
+        }
+        finish(p, bytes.len())
+    }
+
+    /// The sink output rows of the persisted run, in run order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Bytes of the segment this store was loaded from.
+    pub fn on_disk_bytes(&self) -> usize {
+        self.on_disk_bytes
+    }
+
+    /// The decoded operator provenance (for equality checks against the
+    /// in-memory referee).
+    pub fn ops(&self) -> &[OperatorProvenance] {
+        &self.ops
+    }
+
+    /// The decoded per-operator schemas.
+    pub fn op_schemas(&self) -> &[DataType] {
+        &self.schemas
+    }
+
+    /// Answers a backtrace against the store using the prepared index —
+    /// the same algorithm the in-memory path runs.
+    pub fn backtrace(&self, b: Backtrace) -> Result<Vec<SourceProvenance>, EngineError> {
+        backtrace_from(self, &self.index, b)
+    }
+
+    /// Whole-item backtrace structure for result row `idx`: every path of
+    /// the item, marked contributing.
+    pub fn whole_item(&self, idx: usize) -> Result<Backtrace, StoreError> {
+        let row = self.row(idx)?;
+        let paths = Path::path_set(&row.item);
+        let tree = ProvTree::from_paths(paths.iter());
+        Ok(Backtrace {
+            entries: vec![(row.id, tree)],
+        })
+    }
+
+    /// Backtrace structure for result row `idx` restricted to `paths`.
+    pub fn item_with_paths(&self, idx: usize, paths: &[Path]) -> Result<Backtrace, StoreError> {
+        let row = self.row(idx)?;
+        let tree = ProvTree::from_paths(paths.iter());
+        Ok(Backtrace {
+            entries: vec![(row.id, tree)],
+        })
+    }
+
+    fn row(&self, idx: usize) -> Result<&Row, StoreError> {
+        self.rows.get(idx).ok_or_else(|| {
+            StoreError::BadRequest(format!(
+                "row index {idx} out of range ({} result rows)",
+                self.rows.len()
+            ))
+        })
+    }
+}
+
+impl std::fmt::Debug for ProvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProvStore")
+            .field("sink_op", &self.sink_op)
+            .field("ops", &self.ops.len())
+            .field("rows", &self.rows.len())
+            .field("on_disk_bytes", &self.on_disk_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ProvView for ProvStore {
+    fn sink_op(&self) -> OpId {
+        self.sink_op
+    }
+
+    fn prov_ops(&self) -> &[OperatorProvenance] {
+        &self.ops
+    }
+
+    fn schemas(&self) -> &[DataType] {
+        &self.schemas
+    }
+
+    fn read_source(&self, oid: OpId) -> Result<String, EngineError> {
+        self.read_sources
+            .get(oid as usize)
+            .and_then(Clone::clone)
+            .ok_or_else(|| EngineError::BacktraceError(format!("operator #{oid} is not a read")))
+    }
+
+    fn countstar_outputs(&self, oid: OpId) -> Vec<Path> {
+        self.countstar
+            .get(oid as usize)
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+fn decode_meta(mut payload: &[u8], p: &mut Pending) -> Result<(), StoreError> {
+    if p.meta.is_some() {
+        return Err(StoreError::Corrupt("duplicate meta block".into()));
+    }
+    let buf = &mut payload;
+    let n_ops = get_varint(buf)? as usize;
+    let sink = get_varint(buf)?;
+    let n_rows = get_varint(buf)? as usize;
+    if sink > u32::MAX as u64 {
+        return Err(StoreError::Corrupt("sink operator id out of range".into()));
+    }
+    p.meta = Some((n_ops, sink as OpId, n_rows));
+    Ok(())
+}
+
+fn decode_schemas(mut payload: &[u8], p: &mut Pending) -> Result<(), StoreError> {
+    if p.schemas.is_some() {
+        return Err(StoreError::Corrupt("duplicate schema block".into()));
+    }
+    let buf = &mut payload;
+    let n = get_varint(buf)? as usize;
+    if buf.len() < n {
+        return Err(StoreError::Truncated("schema block".into()));
+    }
+    let mut schemas = Vec::with_capacity(n);
+    for _ in 0..n {
+        schemas.push(pebble_nested::encode::get_type(buf)?);
+    }
+    p.schemas = Some(schemas);
+    Ok(())
+}
+
+fn decode_opaux(mut payload: &[u8], p: &mut Pending) -> Result<(), StoreError> {
+    if p.ops.is_some() {
+        return Err(StoreError::Corrupt("duplicate operator table block".into()));
+    }
+    let buf = &mut payload;
+    let n = get_varint(buf)? as usize;
+    if buf.len() < n {
+        return Err(StoreError::Truncated("operator table block".into()));
+    }
+    let mut ops = Vec::with_capacity(n);
+    let mut sources = Vec::with_capacity(n);
+    let mut countstar = Vec::with_capacity(n);
+    for i in 0..n {
+        let oid = get_varint(buf)?;
+        if oid != i as u64 {
+            return Err(StoreError::Corrupt(format!(
+                "operator #{oid} stored at position {i}"
+            )));
+        }
+        let op_type = get_str(buf)?;
+        let n_inputs = get_varint(buf)? as usize;
+        if buf.len() < n_inputs {
+            return Err(StoreError::Truncated("operator input list".into()));
+        }
+        let mut inputs = Vec::with_capacity(n_inputs);
+        for _ in 0..n_inputs {
+            let pred = match get_u8(buf)? {
+                0 => None,
+                1 => {
+                    let pv = get_varint(buf)?;
+                    if pv > u32::MAX as u64 {
+                        return Err(StoreError::Corrupt(
+                            "predecessor operator id out of range".into(),
+                        ));
+                    }
+                    Some(pv as OpId)
+                }
+                other => return Err(StoreError::Corrupt(format!("invalid option tag {other}"))),
+            };
+            let accessed = match get_u8(buf)? {
+                0 => None,
+                1 => Some(get_paths(buf)?),
+                other => return Err(StoreError::Corrupt(format!("invalid option tag {other}"))),
+            };
+            inputs.push(InputProv { pred, accessed });
+        }
+        let manipulated = match get_u8(buf)? {
+            0 => None,
+            1 => {
+                let n_pairs = get_varint(buf)? as usize;
+                if buf.len() < n_pairs {
+                    return Err(StoreError::Truncated("manipulated path list".into()));
+                }
+                let mut pairs = Vec::with_capacity(n_pairs);
+                for _ in 0..n_pairs {
+                    let a = get_str(buf)?;
+                    let b = get_str(buf)?;
+                    pairs.push((parse_path(&a)?, parse_path(&b)?));
+                }
+                Some(pairs)
+            }
+            other => return Err(StoreError::Corrupt(format!("invalid option tag {other}"))),
+        };
+        let kind = get_u8(buf)?;
+        let source = get_opt_str(buf)?;
+        let cs = get_paths(buf)?;
+        ops.push(OperatorProvenance {
+            oid: i as OpId,
+            op_type,
+            inputs,
+            manipulated,
+            assoc: empty_assoc(kind)?,
+        });
+        sources.push(source);
+        countstar.push(cs);
+    }
+    p.ops = Some(ops);
+    p.read_sources = sources;
+    p.countstar = countstar;
+    Ok(())
+}
+
+fn decode_rows(mut payload: &[u8], p: &mut Pending) -> Result<(), StoreError> {
+    if p.rows.is_some() {
+        return Err(StoreError::Corrupt("duplicate row block".into()));
+    }
+    let buf = &mut payload;
+    let table = StringTable::decode(buf)?;
+    let n = get_varint(buf)? as usize;
+    if buf.len() < n {
+        return Err(StoreError::Truncated("row block".into()));
+    }
+    let mut rows = Vec::with_capacity(n);
+    let mut prev_id = 0u64;
+    for _ in 0..n {
+        prev_id = prev_id.wrapping_add(get_signed(buf)? as u64);
+        let item = pebble_nested::encode::get_item(buf, &table)?;
+        rows.push(Row {
+            id: prev_id as ItemId,
+            item,
+        });
+    }
+    if !buf.is_empty() {
+        return Err(StoreError::Corrupt("trailing bytes in row block".into()));
+    }
+    p.rows = Some(rows);
+    Ok(())
+}
+
+fn decode_index(mut payload: &[u8], p: &mut Pending) -> Result<(), StoreError> {
+    if p.perms.is_some() {
+        return Err(StoreError::Corrupt("duplicate index block".into()));
+    }
+    let buf = &mut payload;
+    let n = get_varint(buf)? as usize;
+    if buf.len() < n {
+        return Err(StoreError::Truncated("index block".into()));
+    }
+    let mut perms = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = get_varint(buf)? as usize;
+        if buf.len() < len {
+            return Err(StoreError::Truncated("index permutation".into()));
+        }
+        let mut perm = Vec::with_capacity(len);
+        for _ in 0..len {
+            let v = get_varint(buf)?;
+            if v > u32::MAX as u64 {
+                return Err(StoreError::Corrupt(
+                    "index permutation entry out of range".into(),
+                ));
+            }
+            perm.push(v as u32);
+        }
+        perms.push(perm);
+    }
+    p.perms = Some(perms);
+    Ok(())
+}
+
+/// Structural validation + index construction: everything that must hold
+/// for the backtracing algorithm to run panic-free over the decoded data.
+fn finish(p: Pending, on_disk_bytes: usize) -> Result<ProvStore, StoreError> {
+    let (n_ops, sink_op, n_rows) = p
+        .meta
+        .ok_or_else(|| StoreError::Corrupt("missing meta block".into()))?;
+    let schemas = p
+        .schemas
+        .ok_or_else(|| StoreError::Corrupt("missing schema block".into()))?;
+    let ops = p
+        .ops
+        .ok_or_else(|| StoreError::Corrupt("missing operator table block".into()))?;
+    let rows = p
+        .rows
+        .ok_or_else(|| StoreError::Corrupt("missing row block".into()))?;
+    if n_ops == 0 {
+        return Err(StoreError::Corrupt("segment has no operators".into()));
+    }
+    if ops.len() != n_ops {
+        return Err(StoreError::Corrupt(format!(
+            "operator table has {} entries, meta declares {n_ops}",
+            ops.len()
+        )));
+    }
+    if schemas.len() != n_ops {
+        return Err(StoreError::Corrupt(format!(
+            "schema block has {} entries for {n_ops} operators",
+            schemas.len()
+        )));
+    }
+    if rows.len() != n_rows {
+        return Err(StoreError::Corrupt(format!(
+            "row block has {} rows, meta declares {n_rows}",
+            rows.len()
+        )));
+    }
+    if (sink_op as usize) >= n_ops {
+        return Err(StoreError::Corrupt(format!(
+            "sink operator #{sink_op} out of range for {n_ops} operators"
+        )));
+    }
+    for (i, op) in ops.iter().enumerate() {
+        // Backtracing walks `inputs[k].pred` unconditionally for non-read
+        // operators; reject anything that would make that walk panic.
+        let min_inputs = match &op.assoc {
+            ProvAssoc::Read(_) => 0,
+            ProvAssoc::Binary(_) => 2,
+            _ => 1,
+        };
+        if op.inputs.len() < min_inputs {
+            return Err(StoreError::Corrupt(format!(
+                "operator #{i} ({}) has {} inputs, needs at least {min_inputs}",
+                op.op_type,
+                op.inputs.len()
+            )));
+        }
+        if !matches!(op.assoc, ProvAssoc::Read(_)) {
+            for (k, input) in op.inputs.iter().enumerate() {
+                let Some(pred) = input.pred else {
+                    return Err(StoreError::Corrupt(format!(
+                        "operator #{i} input {k} has no predecessor"
+                    )));
+                };
+                if pred as usize >= n_ops {
+                    return Err(StoreError::Corrupt(format!(
+                        "operator #{i} input {k} references operator #{pred}, \
+                         only {n_ops} exist"
+                    )));
+                }
+            }
+        }
+        if matches!(op.assoc, ProvAssoc::Read(_)) && p.read_sources[i].is_none() {
+            return Err(StoreError::Corrupt(format!(
+                "read operator #{i} has no source name"
+            )));
+        }
+    }
+    let index = match &p.perms {
+        Some(perms) => BacktraceIndex::from_sorted(&ops, perms)
+            .map_err(|e| StoreError::Corrupt(e.to_string()))?,
+        None => BacktraceIndex::build_ops(&ops),
+    };
+    Ok(ProvStore {
+        sink_op,
+        ops,
+        schemas,
+        read_sources: p.read_sources,
+        countstar: p.countstar,
+        rows,
+        index,
+        on_disk_bytes,
+    })
+}

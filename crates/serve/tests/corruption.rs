@@ -1,0 +1,147 @@
+//! Decoder robustness: the segment reader must never panic on malformed
+//! input, and every rejection must be one of the typed, `Display`-stable
+//! [`StoreError`] forms of the PR 4 error contract.
+
+use pebble_core::run_captured;
+use pebble_dataflow::ExecConfig;
+use pebble_serve::{persist, ProvStore, StoreError};
+use pebble_workloads::running_example;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn base_segment() -> Vec<u8> {
+    let run = run_captured(
+        &running_example::program(),
+        &running_example::context(),
+        ExecConfig::with_partitions(1).workers(1),
+    )
+    .unwrap();
+    persist(&run)
+}
+
+/// Every error the decoder may legally produce, by pinned `Display`
+/// prefix. Anything else — above all a panic — is a bug.
+fn is_typed_rejection(e: &StoreError) -> bool {
+    let s = e.to_string();
+    s == "not a pebble segment (bad magic)"
+        || s.starts_with("unsupported segment version ")
+        || s.starts_with("truncated segment: ")
+        || s.starts_with("checksum mismatch in block type ")
+        || (s.starts_with("block type ") && s.ends_with(" declares a length beyond the input"))
+        || s.starts_with("corrupt segment: ")
+        || s.starts_with("store i/o error: ")
+}
+
+#[test]
+fn truncation_at_every_prefix_is_typed() {
+    let bytes = base_segment();
+    for len in 0..bytes.len() {
+        match ProvStore::from_bytes(&bytes[..len]) {
+            Ok(_) => panic!("prefix of {len} bytes decoded as a whole store"),
+            Err(e) => assert!(is_typed_rejection(&e), "untyped error at len {len}: {e}"),
+        }
+    }
+    // The untouched segment still loads.
+    assert!(ProvStore::from_bytes(&bytes).is_ok());
+}
+
+#[test]
+fn random_corruption_never_panics() {
+    let bytes = base_segment();
+    let mut rng = StdRng::seed_from_u64(0x5e9_5e9);
+    for case in 0..1500 {
+        let mut mutated = bytes.clone();
+        match case % 5 {
+            // Single bit flip.
+            0 => {
+                let i = rng.gen_range(0..mutated.len());
+                mutated[i] ^= 1u8 << rng.gen_range(0..8u32);
+            }
+            // Byte overwrite.
+            1 => {
+                let i = rng.gen_range(0..mutated.len());
+                mutated[i] = rng.gen_range(0..=255u32) as u8;
+            }
+            // Random truncation.
+            2 => {
+                let len = rng.gen_range(0..mutated.len());
+                mutated.truncate(len);
+            }
+            // Garbage insertion.
+            3 => {
+                let i = rng.gen_range(0..=mutated.len());
+                let n = rng.gen_range(1..16usize);
+                let junk: Vec<u8> = (0..n).map(|_| rng.gen_range(0..=255u32) as u8).collect();
+                mutated.splice(i..i, junk);
+            }
+            // Length-field scribble: stomp the 4 bytes after a block tag.
+            _ => {
+                let i = rng.gen_range(6..mutated.len().saturating_sub(5).max(7));
+                for k in 0..4 {
+                    mutated[i + k] = rng.gen_range(0..=255u32) as u8;
+                }
+            }
+        }
+        // Must not panic; must either load or reject with a typed error.
+        if let Err(e) = ProvStore::from_bytes(&mutated) {
+            assert!(is_typed_rejection(&e), "case {case}: untyped error: {e}");
+        }
+    }
+}
+
+#[test]
+fn specific_damage_yields_specific_errors() {
+    let bytes = base_segment();
+
+    // Not a segment at all.
+    let err = ProvStore::from_bytes(b"PBSXjunk").unwrap_err();
+    assert_eq!(err, StoreError::BadMagic);
+    assert_eq!(err.to_string(), "not a pebble segment (bad magic)");
+
+    // Empty and header-only inputs.
+    assert!(matches!(
+        ProvStore::from_bytes(&[]).unwrap_err(),
+        StoreError::Truncated(_)
+    ));
+    assert!(matches!(
+        ProvStore::from_bytes(&bytes[..5]).unwrap_err(),
+        StoreError::Truncated(_)
+    ));
+
+    // Future version: rejected before anything else is trusted, with the
+    // reader's own version named in the message.
+    let mut future = bytes.clone();
+    future[4] = 2;
+    future[5] = 0;
+    let err = ProvStore::from_bytes(&future).unwrap_err();
+    assert_eq!(err, StoreError::UnsupportedVersion { found: 2 });
+    assert_eq!(
+        err.to_string(),
+        "unsupported segment version 2 (this reader speaks version 1)"
+    );
+
+    // Payload bit flip in the first block: checksum catches it and names
+    // the block type.
+    let mut flipped = bytes.clone();
+    flipped[6 + 5] ^= 0x40; // first payload byte of the META block
+    let err = ProvStore::from_bytes(&flipped).unwrap_err();
+    assert_eq!(err, StoreError::ChecksumMismatch { block: 1 });
+    assert_eq!(err.to_string(), "checksum mismatch in block type 1");
+
+    // Oversized declared length.
+    let mut long = bytes.clone();
+    long[7] = 0xff;
+    long[8] = 0xff;
+    let err = ProvStore::from_bytes(&long).unwrap_err();
+    assert!(matches!(err, StoreError::BadLength { .. }));
+
+    // Trailing garbage after the END block.
+    let mut trailing = bytes.clone();
+    trailing.push(0);
+    let err = ProvStore::from_bytes(&trailing).unwrap_err();
+    assert!(matches!(err, StoreError::Corrupt(_)));
+    assert_eq!(
+        err.to_string(),
+        "corrupt segment: trailing bytes after end-of-segment block"
+    );
+}

@@ -1,0 +1,184 @@
+//! Persist → cold-open → query equality against the in-memory referee,
+//! across the executor matrix and both persist paths (post-hoc and
+//! streamed), plus a live query-service smoke.
+
+use std::sync::Arc;
+
+use pebble_core::{
+    backtrace, canonical_provenance, run_captured, run_captured_with, Backtrace, CapturedRun,
+    ProvTree,
+};
+use pebble_dataflow::{Context, ExecConfig, Program};
+use pebble_nested::Path;
+use pebble_serve::{
+    persist, persist_file, persist_streamed, query, ProvStore, SegmentSink, ServeConfig, Server,
+};
+use pebble_workloads::{dblp_context, dblp_scenarios, running_example};
+
+fn whole_item(run: &CapturedRun, idx: usize) -> Backtrace {
+    let row = &run.output.rows[idx];
+    let paths = Path::path_set(&row.item);
+    Backtrace {
+        entries: vec![(row.id, ProvTree::from_paths(paths.iter()))],
+    }
+}
+
+/// Asserts the cold-opened store is indistinguishable from the in-memory
+/// run: decoded tables bit-identical, and every sampled backtrace answer
+/// byte-identical.
+fn assert_store_equals_memory(run: &CapturedRun, store: &ProvStore, what: &str) {
+    assert_eq!(store.ops(), run.ops.as_slice(), "{what}: operator tables");
+    assert_eq!(store.rows(), run.output.rows.as_slice(), "{what}: rows");
+    assert_eq!(
+        store.op_schemas(),
+        run.output.op_schemas.as_slice(),
+        "{what}: schemas"
+    );
+    let n = run.output.rows.len();
+    for idx in (0..n).step_by((n / 5).max(1)) {
+        let mem = backtrace(run, whole_item(run, idx)).unwrap();
+        let stored = store.backtrace(whole_item(run, idx)).unwrap();
+        assert_eq!(mem, stored, "{what}: backtrace of row {idx}");
+    }
+}
+
+#[test]
+fn store_matches_memory_across_executor_matrix() {
+    let ctx = dblp_context(120);
+    for scenario in dblp_scenarios() {
+        for (parts, workers) in [(1, 1), (2, 2), (7, 7)] {
+            for columnar in [false, true] {
+                let config = ExecConfig::with_partitions(parts)
+                    .workers(workers)
+                    .morsel_rows(if workers > 1 { 7 } else { 0 })
+                    .columnar(columnar);
+                let run = run_captured(&scenario.program, &ctx, config).unwrap();
+                let bytes = persist(&run);
+                let store = ProvStore::from_bytes(&bytes).unwrap();
+                let what = format!(
+                    "{} (p={parts}, w={workers}, columnar={columnar})",
+                    scenario.name
+                );
+                assert_store_equals_memory(&run, &store, &what);
+
+                // The scenario's own tree-pattern question, answered from
+                // both sides.
+                let mem = backtrace(&run, scenario.query.match_rows(&run.output.rows)).unwrap();
+                let stored = store
+                    .backtrace(scenario.query.match_rows(store.rows()))
+                    .unwrap();
+                assert_eq!(mem, stored, "{what}: pattern backtrace");
+            }
+        }
+    }
+}
+
+#[test]
+fn streamed_segments_decode_like_posthoc_persist() {
+    let (program, ctx): (Program, Context) =
+        (running_example::program(), running_example::context());
+    for (parts, workers) in [(1, 1), (2, 2), (7, 7)] {
+        let config = ExecConfig::with_partitions(parts)
+            .workers(workers)
+            .morsel_rows(if workers > 1 { 2 } else { 0 });
+        let sink = SegmentSink::new();
+        let run = run_captured_with(&program, &ctx, config, &sink).unwrap();
+        let streamed = persist_streamed(&run, &sink.into_blocks());
+        let posthoc = persist(&run);
+        let a = ProvStore::from_bytes(&streamed).unwrap();
+        let b = ProvStore::from_bytes(&posthoc).unwrap();
+        let what = format!("streamed vs posthoc (p={parts}, w={workers})");
+        assert_eq!(a.ops(), b.ops(), "{what}");
+        assert_eq!(a.rows(), b.rows(), "{what}");
+        assert_store_equals_memory(&run, &a, &what);
+    }
+}
+
+#[test]
+fn persist_file_and_cold_open() {
+    let run = run_captured(
+        &running_example::program(),
+        &running_example::context(),
+        ExecConfig::with_partitions(1).workers(1),
+    )
+    .unwrap();
+    let dir = std::env::temp_dir().join(format!("pebble-serve-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.seg");
+    let written = persist_file(&run, &path).unwrap();
+    assert_eq!(written, std::fs::metadata(&path).unwrap().len() as usize);
+    let store = ProvStore::open(&path).unwrap();
+    assert_eq!(store.on_disk_bytes(), written);
+    assert_store_equals_memory(&run, &store, "cold-open from file");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn server_answers_match_local_computation() {
+    let run = run_captured(
+        &running_example::program(),
+        &running_example::context(),
+        ExecConfig::with_partitions(1).workers(1),
+    )
+    .unwrap();
+    let store = Arc::new(ProvStore::from_bytes(&persist(&run)).unwrap());
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        debug_panic: false,
+    };
+    let local = Arc::clone(&store);
+    let mut server = Server::start(store, &cfg).unwrap();
+    let addr = server.local_addr();
+
+    // BACKTRACE frames carry exactly the canonical triples.
+    let frames = query(addr, "BACKTRACE 0").unwrap();
+    let triples = canonical_provenance(&local.backtrace(local.whole_item(0).unwrap()).unwrap());
+    assert_eq!(frames[0], format!("PROGRESS 0/{}", triples.len()));
+    assert_eq!(*frames.last().unwrap(), format!("DONE {}", triples.len()));
+    let data: Vec<&String> = frames.iter().filter(|f| f.starts_with("DATA ")).collect();
+    assert_eq!(data.len(), triples.len());
+    for ((source, index, _), frame) in triples.iter().zip(&data) {
+        assert!(
+            frame.contains(&format!("\"source\": \"{source}\"")),
+            "frame {frame} should name source {source}"
+        );
+        assert!(frame.contains(&format!("\"index\": {index}")));
+    }
+
+    // Heatmap and audit terminate with DONE and stream count-based
+    // progress.
+    let frames = query(addr, &format!("HEATMAP {}", local.rows().len())).unwrap();
+    assert!(frames.iter().any(|f| f.starts_with("PROGRESS ")));
+    assert!(frames.last().unwrap().starts_with("DONE "));
+    let frames = query(addr, "AUDIT").unwrap();
+    assert!(frames.last().unwrap().starts_with("DONE "));
+
+    // Errors are typed frames, not dropped connections.
+    let frames = query(addr, "FROB 12").unwrap();
+    assert_eq!(
+        frames,
+        vec!["ERROR backtrace failed: bad request: unknown verb `FROB`".to_string()]
+    );
+    let frames = query(addr, "BACKTRACE 99999").unwrap();
+    assert_eq!(
+        frames,
+        vec![format!(
+            "ERROR backtrace failed: bad request: row index 99999 out of range ({} result rows)",
+            local.rows().len()
+        )]
+    );
+    // PANIC is rejected unless debug_panic is configured.
+    let frames = query(addr, "PANIC").unwrap();
+    assert_eq!(
+        frames,
+        vec!["ERROR backtrace failed: bad request: unknown verb `PANIC`".to_string()]
+    );
+
+    let stats = server.stats();
+    assert!(stats.connections >= 6);
+    assert!(stats.queries >= 6);
+    assert!(stats.errors >= 3);
+    assert_eq!(stats.panics_contained, 0);
+    server.shutdown();
+}

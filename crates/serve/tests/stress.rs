@@ -1,0 +1,134 @@
+//! Concurrency stress: many client threads issuing interleaved backtrace
+//! and heatmap queries against one server must each observe exactly the
+//! frames a serial client observes, and a panicking query must not take
+//! down the server or any other client's query.
+
+use std::sync::Arc;
+
+use pebble_core::run_captured;
+use pebble_dataflow::ExecConfig;
+use pebble_serve::{persist, query, ProvStore, ServeConfig, Server};
+use pebble_workloads::{dblp_context, dblp_scenarios};
+
+const CLIENTS: usize = 32;
+
+fn build_store() -> Arc<ProvStore> {
+    let ctx = dblp_context(200);
+    for scenario in dblp_scenarios() {
+        let run = run_captured(
+            &scenario.program,
+            &ctx,
+            ExecConfig::with_partitions(2).workers(2),
+        )
+        .unwrap();
+        if !run.output.rows.is_empty() {
+            return Arc::new(ProvStore::from_bytes(&persist(&run)).unwrap());
+        }
+    }
+    panic!("no DBLP scenario produced result rows at 200 records");
+}
+
+fn query_mix(store: &ProvStore) -> Vec<String> {
+    let n = store.rows().len();
+    assert!(n > 0, "stress scenario produced no rows");
+    let mut mix = vec![
+        "HEATMAP 10".to_string(),
+        "AUDIT".to_string(),
+        "BACKTRACE 999999".to_string(), // typed error, same for everyone
+    ];
+    for idx in (0..n).step_by((n / 6).max(1)) {
+        mix.push(format!("BACKTRACE {idx}"));
+    }
+    mix
+}
+
+#[test]
+fn concurrent_clients_match_serial_baseline() {
+    let store = build_store();
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 4,
+        debug_panic: false,
+    };
+    let mut server = Server::start(Arc::clone(&store), &cfg).unwrap();
+    let addr = server.local_addr();
+    let mix = query_mix(&store);
+
+    // Serial baseline, one connection per query.
+    let baseline: Vec<Vec<String>> = mix.iter().map(|q| query(addr, q).unwrap()).collect();
+
+    // Every client walks the mix from a different starting offset so the
+    // in-flight query set is genuinely interleaved.
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let mix = mix.clone();
+            let baseline = baseline.clone();
+            std::thread::spawn(move || {
+                for round in 0..mix.len() {
+                    let i = (client + round) % mix.len();
+                    let frames = query(addr, &mix[i]).unwrap();
+                    assert_eq!(
+                        frames, baseline[i],
+                        "client {client} round {round} diverged on `{}`",
+                        mix[i]
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let stats = server.stats();
+    let expected = (CLIENTS + 1) * mix.len();
+    assert_eq!(stats.queries, expected as u64);
+    assert_eq!(stats.panics_contained, 0);
+    server.shutdown();
+}
+
+#[test]
+fn panicking_query_is_contained() {
+    let store = build_store();
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        debug_panic: true,
+    };
+    let mut server = Server::start(Arc::clone(&store), &cfg).unwrap();
+    let addr = server.local_addr();
+
+    let before = query(addr, "BACKTRACE 0").unwrap();
+
+    // Panics race against normal queries; every client must still get a
+    // well-formed answer.
+    let handles: Vec<_> = (0..8)
+        .map(|client| {
+            let before = before.clone();
+            std::thread::spawn(move || {
+                for round in 0..4 {
+                    if (client + round) % 2 == 0 {
+                        let frames = query(addr, "PANIC").unwrap();
+                        assert_eq!(
+                            frames,
+                            vec!["ERROR worker panicked: debug panic requested by client"
+                                .to_string()]
+                        );
+                    } else {
+                        assert_eq!(query(addr, "BACKTRACE 0").unwrap(), before);
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // The server survived and still answers.
+    assert_eq!(query(addr, "BACKTRACE 0").unwrap(), before);
+    let stats = server.stats();
+    assert_eq!(stats.panics_contained, 16);
+    assert_eq!(stats.errors, 16);
+    server.shutdown();
+}

@@ -71,4 +71,15 @@ PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16 \
 echo "==> columnar regression guard (colbench --assert)"
 cargo run -q --release -p pebble-bench --bin colbench -- --assert
 
+# Persistent-store smoke: two workload scenarios persisted to disk,
+# cold-opened, and queried directly and through a live server — every
+# answer must be byte-identical to the in-memory run.
+echo "==> persistent store smoke (persist / cold-open / query equality)"
+PEBBLE_STORE_DIR=target/ci_store cargo run -q --release -p pebble-bench --bin serve_smoke
+
+# Store regression guard: the compressed segment must stay >=3x smaller
+# than a naive dump, with store answers checked against memory first.
+echo "==> store regression guard (servebench --assert)"
+cargo run -q --release -p pebble-bench --bin servebench -- --assert
+
 echo "CI OK"
