@@ -13,7 +13,10 @@
 //!   `run` span, and as many lines as the report's `spans` count;
 //! * the chrome://tracing export is a JSON array of complete-events;
 //! * span merging is deterministic: two identical runs produce the same
-//!   logical span sequence (`kind`, `name`, `op`, `phase`, `task`).
+//!   logical span sequence (`kind`, `name`, `op`, `phase`, `task`);
+//! * a memory-budgeted run emits the report's `spill` section with
+//!   consistent accounting (per-operator `spill_bytes` sums to the
+//!   section total) and byte-identical sink rows.
 
 use pebble_bench::{exec_config, scale, TWITTER_BASE};
 use pebble_core::run_captured_observed;
@@ -273,6 +276,55 @@ fn main() {
     }
     let _ = std::fs::remove_file(&chrome_path);
     let _ = std::fs::remove_file(&second_path);
+
+    // ---- Spill section on a memory-budgeted run. ----
+    // An unbudgeted report must omit the section entirely.
+    if report.spill.is_some() {
+        fail("unbudgeted run emitted a spill section");
+    }
+    let budget = 64 * 1024;
+    let ctx = twitter_context(TWITTER_BASE * scale());
+    let t3 = twitter_scenarios().remove(2);
+    let cfg = ObsConfig {
+        metrics: true,
+        trace_path: None,
+    };
+    let (budgeted, breport) =
+        run_captured_observed(&t3.program, &ctx, exec_config().mem_budget(budget), &cfg);
+    let budgeted = budgeted.unwrap_or_else(|e| fail(&format!("budgeted T3 run failed: {e}")));
+    if budgeted.output.rows != run.output.rows {
+        fail("budgeted run rows differ from unbudgeted run");
+    }
+    let broot = match json::parse(&breport.to_json()) {
+        Ok(Value::Item(d)) => d,
+        other => fail(&format!("budgeted report does not parse: {other:?}")),
+    };
+    let spill = get_obj(&broot, "spill");
+    if get_int(spill, "budget_bytes") != budget as i64 {
+        fail("spill.budget_bytes != configured budget");
+    }
+    if get_int(spill, "peak_tracked_bytes") <= 0 {
+        fail("spill.peak_tracked_bytes not populated");
+    }
+    if get_int(spill, "spills") <= 0 || get_int(spill, "spill_bytes") <= 0 {
+        fail("tight budget forced no spills — smoke validates nothing");
+    }
+    if get_int(spill, "reloads") <= 0 {
+        fail("spill.reloads is zero despite spills");
+    }
+    for key in ["capture_spills", "capture_spill_bytes"] {
+        let _ = get_int(spill, key);
+    }
+    let op_spill_sum: i64 = get_array(&broot, "operators")
+        .iter()
+        .map(|o| match o {
+            Value::Item(d) => get_int(d, "spill_bytes"),
+            other => fail(&format!("operator entry is not an object: {other:?}")),
+        })
+        .sum();
+    if op_spill_sum != get_int(spill, "spill_bytes") {
+        fail("per-operator spill_bytes do not sum to spill.spill_bytes");
+    }
 
     println!(
         "obs smoke OK: {} operators, {} morsels, {spans} spans, report schema v{}",

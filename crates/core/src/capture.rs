@@ -13,11 +13,18 @@
 //! at run time, through the engine's [`ProvenanceSink`] hook. This is what
 //! keeps the capture overhead comparable to plain lineage systems.
 
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use pebble_dataflow::{
     run, Context, EngineError, ExecConfig, ItemId, OpId, OpKind, Program, ProvenanceSink, Result,
     RunOutput,
+};
+use pebble_nested::encode::{
+    frame_block, get_ids_delta, get_varint, put_ids_delta, put_varint, take_frame, CodecError,
 };
 use pebble_nested::{DataType, Path, Step};
 use pebble_obs::{ObsConfig, ProvenanceStats, RunReport};
@@ -78,6 +85,308 @@ impl ProvAssoc {
             ProvAssoc::Flatten(v) => v.len() * std::mem::size_of::<u32>(),
             _ => 0,
         }
+    }
+
+    /// Resident heap bytes of the stored entries — the quantity the capture
+    /// memory budget accounts (identifiers plus flatten positions).
+    fn resident_bytes(&self) -> usize {
+        self.lineage_bytes() + self.structural_extra_bytes()
+    }
+
+    /// An empty table of the same shape.
+    fn empty_like(&self) -> ProvAssoc {
+        match self {
+            ProvAssoc::Read(_) => ProvAssoc::Read(Vec::new()),
+            ProvAssoc::Unary(_) => ProvAssoc::Unary(Vec::new()),
+            ProvAssoc::Binary(_) => ProvAssoc::Binary(Vec::new()),
+            ProvAssoc::Flatten(_) => ProvAssoc::Flatten(Vec::new()),
+            ProvAssoc::Agg(_) => ProvAssoc::Agg(Vec::new()),
+        }
+    }
+
+    /// Appends the other table's entries (shapes must match; the sink only
+    /// merges tables it created for the same operator).
+    fn append_from(&mut self, other: ProvAssoc) -> std::result::Result<(), CodecError> {
+        match (self, other) {
+            (ProvAssoc::Read(a), ProvAssoc::Read(b)) => a.extend(b),
+            (ProvAssoc::Unary(a), ProvAssoc::Unary(b)) => a.extend(b),
+            (ProvAssoc::Binary(a), ProvAssoc::Binary(b)) => a.extend(b),
+            (ProvAssoc::Flatten(a), ProvAssoc::Flatten(b)) => a.extend(b),
+            (ProvAssoc::Agg(a), ProvAssoc::Agg(b)) => a.extend(b),
+            _ => return Err(CodecError("association table shape mismatch".into())),
+        }
+        Ok(())
+    }
+}
+
+/// Frame type byte for spilled association chunks (the framing itself is
+/// [`frame_block`], shared with segments and row spill blocks).
+const BLOCK_CAPTURE_ASSOC: u8 = 0x53;
+
+/// Encodes a drained association table as one framed chunk. Identifier
+/// columns are delta-encoded — they are near-sequential, so spilled chunks
+/// are far smaller than the resident tables they replace.
+fn encode_assoc_chunk(assoc: &ProvAssoc, out: &mut Vec<u8>) {
+    let mut buf = Vec::new();
+    match assoc {
+        ProvAssoc::Read(v) => {
+            buf.push(0);
+            put_ids_delta(&mut buf, v);
+        }
+        ProvAssoc::Unary(v) => {
+            buf.push(1);
+            let ins: Vec<u64> = v.iter().map(|e| e.0).collect();
+            let outs: Vec<u64> = v.iter().map(|e| e.1).collect();
+            put_ids_delta(&mut buf, &ins);
+            put_ids_delta(&mut buf, &outs);
+        }
+        ProvAssoc::Binary(v) => {
+            buf.push(2);
+            put_varint(&mut buf, v.len() as u64);
+            for e in v {
+                buf.push(u8::from(e.0.is_some()) | u8::from(e.1.is_some()) << 1);
+            }
+            let lefts: Vec<u64> = v.iter().filter_map(|e| e.0).collect();
+            let rights: Vec<u64> = v.iter().filter_map(|e| e.1).collect();
+            let outs: Vec<u64> = v.iter().map(|e| e.2).collect();
+            put_ids_delta(&mut buf, &lefts);
+            put_ids_delta(&mut buf, &rights);
+            put_ids_delta(&mut buf, &outs);
+        }
+        ProvAssoc::Flatten(v) => {
+            buf.push(3);
+            let ins: Vec<u64> = v.iter().map(|e| e.0).collect();
+            let outs: Vec<u64> = v.iter().map(|e| e.2).collect();
+            put_ids_delta(&mut buf, &ins);
+            for e in v {
+                put_varint(&mut buf, e.1 as u64);
+            }
+            put_ids_delta(&mut buf, &outs);
+        }
+        ProvAssoc::Agg(v) => {
+            buf.push(4);
+            put_varint(&mut buf, v.len() as u64);
+            for (ids, out) in v {
+                put_ids_delta(&mut buf, ids);
+                put_varint(&mut buf, *out);
+            }
+        }
+    }
+    frame_block(out, BLOCK_CAPTURE_ASSOC, &buf);
+}
+
+/// Decodes one chunk written by [`encode_assoc_chunk`]. Total: malformed
+/// bytes yield a [`CodecError`], never a panic.
+fn decode_assoc_chunk(payload: &[u8]) -> std::result::Result<ProvAssoc, CodecError> {
+    let Some((&tag, mut rest)) = payload.split_first() else {
+        return Err(CodecError("empty association chunk".into()));
+    };
+    let buf = &mut rest;
+    let assoc = match tag {
+        0 => ProvAssoc::Read(get_ids_delta(buf)?),
+        1 => {
+            let ins = get_ids_delta(buf)?;
+            let outs = get_ids_delta(buf)?;
+            if ins.len() != outs.len() {
+                return Err(CodecError("unary chunk column length mismatch".into()));
+            }
+            ProvAssoc::Unary(ins.into_iter().zip(outs).collect())
+        }
+        2 => {
+            let n = get_varint(buf)? as usize;
+            if buf.len() < n {
+                return Err(CodecError("truncated binary chunk flags".into()));
+            }
+            let (flags, rest) = buf.split_at(n);
+            let flags = flags.to_vec();
+            *buf = rest;
+            let mut lefts = get_ids_delta(buf)?.into_iter();
+            let mut rights = get_ids_delta(buf)?.into_iter();
+            let outs = get_ids_delta(buf)?;
+            if outs.len() != n {
+                return Err(CodecError("binary chunk column length mismatch".into()));
+            }
+            let mut v = Vec::with_capacity(n);
+            for (f, out) in flags.into_iter().zip(outs) {
+                let l =
+                    if f & 1 != 0 {
+                        Some(lefts.next().ok_or_else(|| {
+                            CodecError("binary chunk left column too short".into())
+                        })?)
+                    } else {
+                        None
+                    };
+                let r =
+                    if f & 2 != 0 {
+                        Some(rights.next().ok_or_else(|| {
+                            CodecError("binary chunk right column too short".into())
+                        })?)
+                    } else {
+                        None
+                    };
+                v.push((l, r, out));
+            }
+            ProvAssoc::Binary(v)
+        }
+        3 => {
+            let ins = get_ids_delta(buf)?;
+            let mut pos = Vec::with_capacity(ins.len());
+            for _ in 0..ins.len() {
+                pos.push(
+                    u32::try_from(get_varint(buf)?)
+                        .map_err(|_| CodecError("flatten chunk position out of range".into()))?,
+                );
+            }
+            let outs = get_ids_delta(buf)?;
+            if outs.len() != ins.len() {
+                return Err(CodecError("flatten chunk column length mismatch".into()));
+            }
+            ProvAssoc::Flatten(
+                ins.into_iter()
+                    .zip(pos)
+                    .zip(outs)
+                    .map(|((i, p), o)| (i, p, o))
+                    .collect(),
+            )
+        }
+        4 => {
+            let n = get_varint(buf)? as usize;
+            if buf.len() < n {
+                return Err(CodecError("truncated aggregation chunk".into()));
+            }
+            let mut v = Vec::with_capacity(n);
+            for _ in 0..n {
+                let ids = get_ids_delta(buf)?;
+                let out = get_varint(buf)?;
+                v.push((ids, out));
+            }
+            ProvAssoc::Agg(v)
+        }
+        tag => return Err(CodecError(format!("unknown association chunk tag {tag}"))),
+    };
+    if !buf.is_empty() {
+        return Err(CodecError("trailing bytes after association chunk".into()));
+    }
+    Ok(assoc)
+}
+
+/// Out-of-core state for a budgeted capture: per-operator append-only spill
+/// files holding drained association chunks. Created only when the run's
+/// [`ExecConfig`] carries a memory budget; dropped state removes the
+/// directory.
+struct CaptureSpill {
+    budget: usize,
+    /// Resident entry bytes across all operators' in-memory tables.
+    resident: AtomicUsize,
+    dir: PathBuf,
+    files: Vec<Mutex<Option<fs::File>>>,
+    spills: AtomicU64,
+    spill_bytes: AtomicU64,
+}
+
+impl CaptureSpill {
+    fn new(budget: usize, n_ops: usize) -> CaptureSpill {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let base = std::env::var_os("PEBBLE_SPILL_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(std::env::temp_dir);
+        let dir = base.join(format!(
+            "pebble-capture-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        CaptureSpill {
+            budget,
+            resident: AtomicUsize::new(0),
+            dir,
+            files: (0..n_ops).map(|_| Mutex::new(None)).collect(),
+            spills: AtomicU64::new(0),
+            spill_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Drains `assoc` to the operator's spill file, leaving it empty. The
+    /// error message carries the io error *kind* only — never a filesystem
+    /// path — so failing runs stay `Display`-comparable across machines.
+    fn drain(&self, op: OpId, assoc: &mut ProvAssoc) -> Result<()> {
+        let bytes = assoc.resident_bytes();
+        if bytes == 0 {
+            return Ok(());
+        }
+        pebble_dataflow::fault::check_spill(op)?;
+        let io_err = |what: &str, e: &std::io::Error| EngineError::SpillError {
+            op,
+            message: format!("{what}: {}", e.kind()),
+        };
+        let mut chunk = Vec::new();
+        encode_assoc_chunk(assoc, &mut chunk);
+        let mut slot = self.files[op as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            fs::create_dir_all(&self.dir)
+                .map_err(|e| io_err("create capture spill directory", &e))?;
+            let file = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.dir.join(format!("op{op}.assoc")))
+                .map_err(|e| io_err("create capture spill file", &e))?;
+            *slot = Some(file);
+        }
+        slot.as_mut()
+            .expect("file was just opened")
+            .write_all(&chunk)
+            .map_err(|e| io_err("write capture spill chunk", &e))?;
+        *assoc = assoc.empty_like();
+        self.resident.fetch_sub(bytes, Ordering::Relaxed);
+        self.spills.fetch_add(1, Ordering::Relaxed);
+        self.spill_bytes
+            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Reads back every chunk spilled for `op`, in write order, into one
+    /// table shaped like `tail`, then re-appends the resident tail — the
+    /// exact append sequence an unbudgeted capture accumulates in memory.
+    fn restore(&self, op: OpId, tail: ProvAssoc) -> Result<ProvAssoc> {
+        let slot = self.files[op as usize]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if slot.is_none() {
+            return Ok(tail);
+        }
+        drop(slot);
+        let codec_err = |e: CodecError| EngineError::SpillError {
+            op,
+            message: format!("read capture spill chunk: {e}"),
+        };
+        let bytes = fs::read(self.dir.join(format!("op{op}.assoc"))).map_err(|e| {
+            EngineError::SpillError {
+                op,
+                message: format!("read capture spill file: {}", e.kind()),
+            }
+        })?;
+        let mut full = tail.empty_like();
+        let mut cur = bytes.as_slice();
+        while !cur.is_empty() {
+            let (ty, payload) = take_frame(&mut cur).map_err(codec_err)?;
+            if ty != BLOCK_CAPTURE_ASSOC {
+                return Err(codec_err(CodecError(format!("unexpected frame type {ty}"))));
+            }
+            full.append_from(decode_assoc_chunk(payload).map_err(codec_err)?)
+                .map_err(codec_err)?;
+        }
+        full.append_from(tail).map_err(codec_err)?;
+        Ok(full)
+    }
+}
+
+impl Drop for CaptureSpill {
+    fn drop(&mut self) {
+        for f in &self.files {
+            f.lock().unwrap_or_else(PoisonError::into_inner).take();
+        }
+        let _ = fs::remove_dir_all(&self.dir);
     }
 }
 
@@ -173,6 +482,10 @@ impl CapturedRun {
 /// Worker threads contend only when flushing whole partitions.
 struct CaptureSink {
     per_op: Vec<Mutex<ProvAssoc>>,
+    /// Out-of-core state, present iff the run's config carries a memory
+    /// budget: association tables overflow to per-operator chunk files and
+    /// are merged back (byte-identically) when the run is assembled.
+    spill: Option<CaptureSpill>,
     /// First association-building failure, if any. Sink callbacks cannot
     /// return errors through the engine, so the failure is parked here and
     /// surfaced as a typed [`EngineError::CaptureError`] after the run.
@@ -180,7 +493,7 @@ struct CaptureSink {
 }
 
 impl CaptureSink {
-    fn new(program: &Program, ctx: &Context) -> Self {
+    fn new(program: &Program, ctx: &Context, config: &ExecConfig) -> Self {
         // Forward row-count estimates seed each association table's
         // capacity, so capture appends without reallocating along the way.
         // Estimates are upper bounds for everything except flatten and
@@ -217,6 +530,8 @@ impl CaptureSink {
             .collect();
         CaptureSink {
             per_op,
+            spill: (config.mem_budget_bytes > 0)
+                .then(|| CaptureSpill::new(config.mem_budget_bytes, ops.len())),
             failure: Mutex::new(None),
         }
     }
@@ -243,22 +558,55 @@ impl CaptureSink {
             });
         }
     }
+
+    /// Budget accounting after a batch append: charges `added` entry bytes
+    /// and drains this operator's table to disk when the capture-resident
+    /// total exceeds the budget. A drain failure is parked like any other
+    /// capture failure and surfaced after the run.
+    fn recorded(&self, op: OpId, assoc: &mut ProvAssoc, added: usize) {
+        let Some(spill) = &self.spill else { return };
+        let resident = spill.resident.fetch_add(added, Ordering::Relaxed) + added;
+        if resident <= spill.budget {
+            return;
+        }
+        if let Err(e) = spill.drain(op, assoc) {
+            let mut slot = self.failure.lock().unwrap_or_else(PoisonError::into_inner);
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        }
+    }
+
+    /// Spill activity counters (chunks written, encoded bytes), if this
+    /// capture ran under a budget.
+    fn spill_stats(&self) -> Option<(u64, u64)> {
+        self.spill.as_ref().map(|s| {
+            (
+                s.spills.load(Ordering::Relaxed),
+                s.spill_bytes.load(Ordering::Relaxed),
+            )
+        })
+    }
 }
 
 impl ProvenanceSink for CaptureSink {
     const ENABLED: bool = true;
 
     fn read_batch(&self, op: OpId, ids: &[ItemId]) {
-        if let ProvAssoc::Read(v) = &mut *self.assoc(op) {
+        let mut guard = self.assoc(op);
+        if let ProvAssoc::Read(v) = &mut *guard {
             v.extend_from_slice(ids);
+            self.recorded(op, &mut guard, std::mem::size_of_val(ids));
         } else {
             self.fail(op, "read");
         }
     }
 
     fn unary_batch(&self, op: OpId, assoc: &[(ItemId, ItemId)]) {
-        if let ProvAssoc::Unary(v) = &mut *self.assoc(op) {
+        let mut guard = self.assoc(op);
+        if let ProvAssoc::Unary(v) = &mut *guard {
             v.extend_from_slice(assoc);
+            self.recorded(op, &mut guard, std::mem::size_of_val(assoc));
         } else {
             self.fail(op, "unary");
         }
@@ -268,32 +616,41 @@ impl ProvenanceSink for CaptureSink {
         // The stored table stays expanded pairs — byte-identical to a
         // per-pair capture — but a whole id range appends in one lock hold
         // with no intermediate batch buffer.
-        if let ProvAssoc::Unary(v) = &mut *self.assoc(op) {
+        let mut guard = self.assoc(op);
+        if let ProvAssoc::Unary(v) = &mut *guard {
             v.extend((0..len).map(|k| (in_first + k, out_first + k)));
+            self.recorded(op, &mut guard, len as usize * 16);
         } else {
             self.fail(op, "unary");
         }
     }
 
     fn binary_batch(&self, op: OpId, assoc: &[(Option<ItemId>, Option<ItemId>, ItemId)]) {
-        if let ProvAssoc::Binary(v) = &mut *self.assoc(op) {
+        let mut guard = self.assoc(op);
+        if let ProvAssoc::Binary(v) = &mut *guard {
             v.extend_from_slice(assoc);
+            self.recorded(op, &mut guard, assoc.len() * 24);
         } else {
             self.fail(op, "binary");
         }
     }
 
     fn flatten_batch(&self, op: OpId, assoc: &[(ItemId, u32, ItemId)]) {
-        if let ProvAssoc::Flatten(v) = &mut *self.assoc(op) {
+        let mut guard = self.assoc(op);
+        if let ProvAssoc::Flatten(v) = &mut *guard {
             v.extend_from_slice(assoc);
+            self.recorded(op, &mut guard, assoc.len() * 20);
         } else {
             self.fail(op, "flatten");
         }
     }
 
     fn agg_batch(&self, op: OpId, assoc: Vec<(Vec<ItemId>, ItemId)>) {
-        if let ProvAssoc::Agg(v) = &mut *self.assoc(op) {
+        let mut guard = self.assoc(op);
+        if let ProvAssoc::Agg(v) = &mut *guard {
+            let added: usize = assoc.iter().map(|(ids, _)| (ids.len() + 1) * 8).sum();
             v.extend(assoc);
+            self.recorded(op, &mut guard, added);
         } else {
             self.fail(op, "aggregation");
         }
@@ -319,12 +676,23 @@ pub fn run_captured_with<S: pebble_dataflow::ProvenanceSink>(
     config: ExecConfig,
     extra: &S,
 ) -> Result<CapturedRun> {
-    let sink = CaptureSink::new(program, ctx);
+    let sink = CaptureSink::new(program, ctx, &config);
     let tee = pebble_dataflow::Tee(&sink, extra);
     let output = run(program, ctx, config, &tee)?;
+    let cap_spill = sink.spill_stats();
     let mut captured = assemble(program, sink, output)?;
     captured.output.report.provenance = Some(provenance_stats(&captured));
+    apply_capture_spill(&mut captured.output.report, cap_spill);
     Ok(captured)
+}
+
+/// Folds the capture layer's spill counters into the run report's `spill`
+/// section (present whenever the engine ran under a budget).
+fn apply_capture_spill(report: &mut RunReport, stats: Option<(u64, u64)>) {
+    if let (Some(section), Some((spills, bytes))) = (report.spill.as_mut(), stats) {
+        section.capture_spills = spills;
+        section.capture_spill_bytes = bytes;
+    }
 }
 
 /// Executes `program` with capture enabled and operator fusion disabled.
@@ -369,14 +737,17 @@ pub fn run_captured_observed(
     config: ExecConfig,
     obs: &ObsConfig,
 ) -> (Result<CapturedRun>, RunReport) {
-    let sink = CaptureSink::new(program, ctx);
+    let sink = CaptureSink::new(program, ctx, &config);
     let (result, mut report) = pebble_dataflow::run_observed(program, ctx, config, &sink, obs);
+    let cap_spill = sink.spill_stats();
     let run = result.and_then(|output| assemble(program, sink, output));
     match run {
         Ok(mut run) => {
             let stats = provenance_stats(&run);
             report.provenance = Some(stats.clone());
             run.output.report.provenance = Some(stats);
+            apply_capture_spill(&mut report, cap_spill);
+            apply_capture_spill(&mut run.output.report, cap_spill);
             (Ok(run), report)
         }
         Err(e) => (Err(e), report),
@@ -389,10 +760,12 @@ fn run_captured_impl(
     config: ExecConfig,
     exec: fn(&Program, &Context, ExecConfig, &CaptureSink) -> Result<RunOutput>,
 ) -> Result<CapturedRun> {
-    let sink = CaptureSink::new(program, ctx);
+    let sink = CaptureSink::new(program, ctx, &config);
     let output = exec(program, ctx, config, &sink)?;
+    let cap_spill = sink.spill_stats();
     let mut run = assemble(program, sink, output)?;
     run.output.report.provenance = Some(provenance_stats(&run));
+    apply_capture_spill(&mut run.output.report, cap_spill);
     Ok(run)
 }
 
@@ -407,8 +780,12 @@ fn provenance_stats(run: &CapturedRun) -> ProvenanceStats {
 }
 
 fn assemble(program: &Program, sink: CaptureSink, output: RunOutput) -> Result<CapturedRun> {
-    if let Some(err) = sink
-        .failure
+    let CaptureSink {
+        per_op,
+        spill,
+        failure,
+    } = sink;
+    if let Some(err) = failure
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .take()
@@ -418,7 +795,7 @@ fn assemble(program: &Program, sink: CaptureSink, output: RunOutput) -> Result<C
     let ops = program
         .operators()
         .iter()
-        .zip(sink.per_op)
+        .zip(per_op)
         .map(|(op, assoc)| {
             let input_schemas: Vec<&DataType> = op
                 .inputs
@@ -426,15 +803,24 @@ fn assemble(program: &Program, sink: CaptureSink, output: RunOutput) -> Result<C
                 .map(|&i| &output.op_schemas[i as usize])
                 .collect();
             let (inputs, manipulated) = static_provenance(&op.kind, &op.inputs, &input_schemas);
-            OperatorProvenance {
+            // Under a budget, the in-memory table is only the tail written
+            // since the last drain; splice the spilled chunks back in front
+            // so the assembled table is byte-identical to an unbudgeted
+            // capture.
+            let tail = assoc.into_inner().unwrap_or_else(PoisonError::into_inner);
+            let assoc = match &spill {
+                Some(s) => s.restore(op.id, tail)?,
+                None => tail,
+            };
+            Ok(OperatorProvenance {
                 oid: op.id,
                 op_type: op.kind.type_name().to_string(),
                 inputs,
                 manipulated,
-                assoc: assoc.into_inner().unwrap_or_else(PoisonError::into_inner),
-            }
+                assoc,
+            })
         })
-        .collect();
+        .collect::<Result<Vec<_>>>()?;
     Ok(CapturedRun {
         program: program.clone(),
         output,

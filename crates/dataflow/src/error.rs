@@ -48,6 +48,16 @@ pub enum EngineError {
         /// Description of the failure.
         message: String,
     },
+    /// Writing or re-reading spilled operator state failed (disk full,
+    /// corrupt spill block, injected spill fault). The message never
+    /// contains filesystem paths: spill directories are per-run, and the
+    /// oracle compares failing runs by their `Display` rendering.
+    SpillError {
+        /// Operator whose state was being spilled or reloaded.
+        op: u32,
+        /// Description of the failure.
+        message: String,
+    },
     /// Backtracing failed (capture tables inconsistent with the program,
     /// or an operator type the tracer does not know).
     BacktraceError(String),
@@ -84,6 +94,9 @@ impl fmt::Display for EngineError {
             EngineError::CaptureError { op, message } => {
                 write!(f, "capture failed at operator #{op}: {message}")
             }
+            EngineError::SpillError { op, message } => {
+                write!(f, "spill failed at operator #{op}: {message}")
+            }
             EngineError::BacktraceError(msg) => write!(f, "backtrace failed: {msg}"),
             EngineError::WorkerPanic { payload } => write!(f, "worker panicked: {payload}"),
             EngineError::Internal(msg) => write!(f, "internal engine invariant violated: {msg}"),
@@ -103,7 +116,8 @@ impl EngineError {
             | EngineError::UnresolvedPath { op, .. }
             | EngineError::TypeError { op, .. }
             | EngineError::RowError { op, .. }
-            | EngineError::CaptureError { op, .. } => Some(*op),
+            | EngineError::CaptureError { op, .. }
+            | EngineError::SpillError { op, .. } => Some(*op),
             _ => None,
         }
     }
@@ -173,6 +187,13 @@ mod tests {
                     message: "association variant mismatch".into(),
                 },
                 "capture failed at operator #5: association variant mismatch",
+            ),
+            (
+                EngineError::SpillError {
+                    op: 6,
+                    message: "injected spill-write failure".into(),
+                },
+                "spill failed at operator #6: injected spill-write failure",
             ),
             (
                 EngineError::BacktraceError("operator #9 not captured".into()),

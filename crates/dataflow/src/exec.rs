@@ -40,7 +40,7 @@ use std::sync::Arc;
 use pebble_nested::{DataItem, DataType, Label, Path, Value};
 use pebble_obs::{
     diag, ColumnarStats, MorselStats, ObsConfig, OpReport, PoolStats, RunObs, RunReport, SpanEvent,
-    SpanKind,
+    SpanKind, SpillStats,
 };
 
 use crate::context::Context;
@@ -52,6 +52,7 @@ use crate::op::{key_value, AggFunc, AggSpec, GroupKey, MapUdf, NamedExpr, OpId, 
 use crate::pool::WorkerPool;
 use crate::program::{Operator, Program};
 use crate::sink::ProvenanceSink;
+use crate::spill::{self, BucketWriter, MemoryTracker, SpillDir, SpilledBucket, SpilledRows};
 
 /// Unique identifier of a top-level data item within one execution.
 ///
@@ -101,6 +102,54 @@ pub struct Row {
 
 pub(crate) type Partitions = Vec<Vec<Row>>;
 
+/// A unit's materialized output: resident in memory, or spilled to disk as
+/// checksummed row blocks. Consumers plan one job per morsel (memory) or
+/// per block (spilled) — a spilled block simply *is* a morsel, and the
+/// scheduler's stitching is byte-identical at any morsel size, so the two
+/// forms are interchangeable without changing results or provenance.
+#[derive(Clone)]
+enum UnitOutput {
+    Mem(Arc<Partitions>),
+    Spilled(Arc<SpilledRows>),
+    /// Spilled pre-partitioned by the consuming aggregation's grouping
+    /// keys (see [`GroupSpill`]); only that aggregation may read it.
+    SpilledBuckets(Arc<GroupSpill>),
+}
+
+impl UnitOutput {
+    fn total_rows(&self) -> usize {
+        match self {
+            UnitOutput::Mem(parts) => partition_rows(parts),
+            UnitOutput::Spilled(s) => s.total_rows(),
+            UnitOutput::SpilledBuckets(g) => g.rows,
+        }
+    }
+
+    fn n_parts(&self) -> usize {
+        match self {
+            UnitOutput::Mem(parts) => parts.len(),
+            UnitOutput::Spilled(s) => s.parts.len(),
+            UnitOutput::SpilledBuckets(g) => g.buckets.len(),
+        }
+    }
+}
+
+/// An operator output spilled already partitioned by its sole consuming
+/// aggregation's grouping keys. Writing the spill through the shuffle hash
+/// lets the aggregation skip its shuffle phase entirely — the alternative
+/// (spill as plain blocks, reload them, re-partition, re-spill the
+/// buckets) encodes and decodes every row twice. Bucket contents hold the
+/// same rows in the same order the shuffle phase would feed them, so
+/// results, ids, and provenance are byte-identical.
+struct GroupSpill {
+    /// The aggregation operator the buckets were partitioned for.
+    for_op: OpId,
+    /// One bucket per scheduler partition, indexed by shuffle hash.
+    buckets: Vec<Arc<SpilledBucket>>,
+    /// Total rows across buckets.
+    rows: usize,
+}
+
 /// Morsels-per-worker target used when `morsel_rows` is 0 (auto).
 const MORSELS_PER_WORKER: usize = 4;
 /// Smallest auto-chosen morsel length.
@@ -116,7 +165,9 @@ const INLINE_ROWS: usize = 512;
 ///
 /// Every knob has an environment override read by [`ExecConfig::default`]
 /// (and thus by [`ExecConfig::with_partitions`]): `PEBBLE_PARTITIONS`,
-/// `PEBBLE_WORKERS`, `PEBBLE_MORSEL_ROWS`, and `PEBBLE_COLUMNAR`.
+/// `PEBBLE_WORKERS`, `PEBBLE_MORSEL_ROWS`, `PEBBLE_COLUMNAR`, and
+/// `PEBBLE_MEM_BUDGET` (with `PEBBLE_SPILL_DIR` naming where spilled
+/// state goes).
 #[derive(Clone, Copy, Debug)]
 pub struct ExecConfig {
     /// Number of logical partitions. Identifiers depend on this (a
@@ -138,6 +189,14 @@ pub struct ExecConfig {
     /// to the row path; units the columnar planner cannot vectorize (UDFs)
     /// fall back to rows per unit.
     pub columnar: bool,
+    /// Memory budget in bytes for pipeline-resident state (`0` =
+    /// unlimited, the default; `PEBBLE_MEM_BUDGET`). When set, a
+    /// [`crate::MemoryTracker`] accounts for materialized unit outputs,
+    /// join build tables, and group tables; state that would exceed the
+    /// budget spills to `PEBBLE_SPILL_DIR` (default: the system temp dir)
+    /// and is re-read morsel-at-a-time. Rows, identifiers, association
+    /// tables, and backtraces are byte-identical at every budget.
+    pub mem_budget_bytes: usize,
 }
 
 /// Hard ceiling on the logical partition count: a partition index must fit
@@ -198,6 +257,7 @@ impl Default for ExecConfig {
             workers: env_knob("PEBBLE_WORKERS").unwrap_or(0),
             morsel_rows: env_knob("PEBBLE_MORSEL_ROWS").unwrap_or(0),
             columnar,
+            mem_budget_bytes: env_knob("PEBBLE_MEM_BUDGET").unwrap_or(0),
         }
     }
 }
@@ -227,6 +287,12 @@ impl ExecConfig {
     /// Enables or disables the columnar kernels (builder style).
     pub fn columnar(mut self, columnar: bool) -> Self {
         self.columnar = columnar;
+        self
+    }
+
+    /// Sets the memory budget in bytes (builder style; `0` = unlimited).
+    pub fn mem_budget(mut self, bytes: usize) -> Self {
+        self.mem_budget_bytes = bytes;
         self
     }
 
@@ -391,8 +457,23 @@ fn run_with_fusion<S: ProvenanceSink>(
         let e = EngineError::Internal("sink unit produced no output".into());
         return (Err(e), report);
     };
-    let sink_parts = Arc::try_unwrap(sink_parts).unwrap_or_else(|arc| (*arc).clone());
-    let rows: Vec<Row> = sink_parts.into_iter().flatten().collect();
+    let rows: Vec<Row> = match sink_parts {
+        UnitOutput::Mem(parts) => {
+            let parts = Arc::try_unwrap(parts).unwrap_or_else(|arc| (*arc).clone());
+            parts.into_iter().flatten().collect()
+        }
+        // The sink output is exempt from spilling, but stay total anyway.
+        UnitOutput::Spilled(s) => match s.load() {
+            Ok(parts) => parts.into_iter().flatten().collect(),
+            Err(e) => return (Err(e), report),
+        },
+        // Pre-bucketed spills only materialize for aggregation inputs,
+        // never for the (spill-exempt) sink output.
+        UnitOutput::SpilledBuckets(_) => {
+            let e = EngineError::Internal("sink output spilled pre-bucketed".into());
+            return (Err(e), report);
+        }
+    };
     diag::info(|| {
         format!(
             "run ok: {} operators, {} rows out, {} morsels",
@@ -773,6 +854,13 @@ pub(crate) enum TaskOut {
         assoc: Vec<(Option<ItemId>, Option<ItemId>, ItemId)>,
     },
     Build(JoinBuild),
+    /// Grace-hash build: the build side was partitioned into on-disk
+    /// buckets instead of one in-memory table.
+    GraceBuild(Vec<Arc<SpilledBucket>>),
+    /// One probe pass's matches for the grace-join path, morsel-local in
+    /// nothing: left ordinals and both input ids are final, output ids are
+    /// assigned at finalize after all passes merge.
+    GraceProbe(Vec<GraceMatch>),
     Shuffle(Vec<Vec<Row>>),
     Agg {
         rows: Vec<KeyedRow>,
@@ -1058,6 +1146,145 @@ pub(crate) fn join_probe_columnar<S: ProvenanceSink>(
     Ok(TaskOut::Binary { rows: out, assoc })
 }
 
+/// Number of on-disk buckets a grace-hash join partitions its build side
+/// into. Fixed (not budget-derived) so the bucket a key lands in — and
+/// therefore the pass structure — is deterministic.
+const GRACE_BUCKETS: usize = 8;
+
+/// The grace bucket a key hash belongs to. Uses high hash bits so bucket
+/// choice is independent from the [`JoinBuild`] map's use of the full hash.
+fn grace_bucket(hash: u64) -> usize {
+    ((hash >> 32) as usize ^ hash as usize) % GRACE_BUCKETS
+}
+
+/// One left row's matches discovered during a grace-join probe pass.
+///
+/// `ordinal` is the row's position within its input partition: every left
+/// row's key lands in exactly one bucket, so merging all passes' matches by
+/// ordinal reconstructs the exact left row order an in-memory probe visits.
+pub(crate) struct GraceMatch {
+    ordinal: u64,
+    left_id: ItemId,
+    /// `(right row id, merged output item)` in build insertion order —
+    /// bucket files preserve global right row order restricted to the
+    /// bucket, which is exactly the in-memory match order for these keys.
+    matches: Vec<(ItemId, DataItem)>,
+}
+
+/// Build phase of a grace-hash join: streams the right input (resident or
+/// spilled) into [`GRACE_BUCKETS`] on-disk bucket files keyed by join-key
+/// hash. Rows without a key are dropped here, exactly as [`join_build`]
+/// drops them.
+fn grace_partition_build(
+    op: OpId,
+    dir: &SpillDir,
+    right: &UnitOutput,
+    right_paths: &[Path],
+) -> TaskResult {
+    let mut writers = Vec::with_capacity(GRACE_BUCKETS);
+    for b in 0..GRACE_BUCKETS {
+        let path = dir
+            .file(&format!("op{op}.join{b}"))
+            .map_err(|e| spill::spill_io(op, "create spill file", &e))?;
+        writers.push(BucketWriter::create(op, path)?);
+    }
+    let mut bufs: Vec<Vec<Row>> = (0..GRACE_BUCKETS).map(|_| Vec::new()).collect();
+    let mut route = |writers: &mut [BucketWriter], rows: &[Row]| -> Result<()> {
+        for row in rows {
+            let Some(k) = join_key(&row.item, right_paths) else {
+                continue;
+            };
+            let b = grace_bucket(crate::hash::hash_values(&k));
+            bufs[b].push(row.clone());
+            if bufs[b].len() >= 512 {
+                writers[b].append(&bufs[b])?;
+                bufs[b].clear();
+            }
+        }
+        Ok(())
+    };
+    match right {
+        UnitOutput::Mem(parts) => {
+            for part in parts.iter() {
+                route(&mut writers, part)?;
+            }
+        }
+        UnitOutput::Spilled(s) => {
+            for blocks in &s.parts {
+                for &meta in blocks {
+                    route(&mut writers, &s.read_block(meta)?)?;
+                }
+            }
+        }
+        // Outputs only spill pre-bucketed when their sole consumer is an
+        // aggregation — never a join build side.
+        UnitOutput::SpilledBuckets(_) => {
+            return Err(EngineError::Internal(
+                "join build side spilled pre-bucketed".into(),
+            ))
+        }
+    }
+    let mut buckets = Vec::with_capacity(GRACE_BUCKETS);
+    for (mut w, buf) in writers.into_iter().zip(bufs) {
+        w.append(&buf)?;
+        buckets.push(w.finish()?);
+    }
+    Ok(TaskOut::GraceBuild(buckets))
+}
+
+/// Rebuilds the in-memory hash table for one reloaded grace bucket. Rows
+/// arrive in bucket append order (global right order restricted to the
+/// bucket), so per-key match lists match the in-memory build exactly.
+fn grace_bucket_build(rows: Vec<Row>, right_paths: &[Path]) -> JoinBuild {
+    let mut build = JoinBuild::default();
+    for row in rows {
+        if let Some(k) = join_key(&row.item, right_paths) {
+            let hash = crate::hash::hash_values(&k);
+            build.insert(k, hash, row);
+        }
+    }
+    build
+}
+
+/// One probe morsel of one grace pass: probes only the left rows whose key
+/// hashes into `bucket`, recording matches by left ordinal for the final
+/// merge. The per-row fault hook runs in the *first* pass only, so every
+/// left row is checked exactly once with the same `(op, task)` layout as
+/// an in-memory probe — failing runs pick identical deterministic errors.
+fn grace_probe_morsel(
+    op: OpId,
+    start_ordinal: u64,
+    bucket: usize,
+    build: &JoinBuild,
+    left_paths: &[Path],
+    rows: &[Row],
+) -> TaskResult {
+    let mut out = Vec::new();
+    for (i, lrow) in rows.iter().enumerate() {
+        if bucket == 0 {
+            fault::check(op, lrow.id)?;
+        }
+        let Some(k) = join_key_ref(&lrow.item, left_paths) else {
+            continue;
+        };
+        let hash = crate::hash::hash_value_refs(&k);
+        if grace_bucket(hash) != bucket {
+            continue;
+        }
+        if let Some(matches) = build.get(&k, hash) {
+            out.push(GraceMatch {
+                ordinal: start_ordinal + i as u64,
+                left_id: lrow.id,
+                matches: matches
+                    .iter()
+                    .map(|rrow| (rrow.id, lrow.item.merged(&rrow.item)))
+                    .collect(),
+            });
+        }
+    }
+    Ok(TaskOut::GraceProbe(out))
+}
+
 pub(crate) fn union_morsel<S: ProvenanceSink>(
     op: OpId,
     out_pidx: usize,
@@ -1174,6 +1401,10 @@ pub(crate) struct KeyedRow {
 
 type TaskResult = Result<TaskOut>;
 type JobFn = Box<dyn FnOnce() -> TaskResult + Send + 'static>;
+/// A reusable morsel kernel: `(output partition, start ordinal within the
+/// partition, rows)`. Shared by resident and spilled inputs — the planner
+/// wraps it per morsel or per spilled block.
+type RowKernel = dyn Fn(usize, u64, &[Row]) -> TaskResult + Send + Sync;
 /// `(unit, task, result, busy_ns)` — `busy_ns` is 0 on inactive runs.
 type Msg = (usize, usize, TaskResult, u64);
 /// `(output partition, input rows, job)` — the row count feeds the morsel
@@ -1215,8 +1446,21 @@ struct UnitState {
 
 enum Aux {
     Join {
-        left: Arc<Partitions>,
+        left: UnitOutput,
         left_paths: Arc<Vec<Path>>,
+        right_paths: Arc<Vec<Path>>,
+    },
+    /// A join whose build side grace-hash partitioned to disk: the probe
+    /// phase runs one pass per bucket, accumulating matches per left
+    /// partition until the final merge assigns output ids.
+    GraceJoin {
+        left: UnitOutput,
+        left_paths: Arc<Vec<Path>>,
+        right_paths: Arc<Vec<Path>>,
+        buckets: Vec<Arc<SpilledBucket>>,
+        next_bucket: usize,
+        /// Per left partition: matches accumulated across passes.
+        acc: Vec<Vec<GraceMatch>>,
     },
     Group {
         kernel: Arc<GroupKernel>,
@@ -1231,8 +1475,27 @@ struct Scheduler<'a, S: ProvenanceSink> {
     parts: usize,
     units: Vec<Unit>,
     states: Vec<UnitState>,
-    outputs: Vec<Option<Arc<Partitions>>>,
+    outputs: Vec<Option<UnitOutput>>,
     op_counts: Vec<usize>,
+    /// The program's sink operator: its output is what the run returns, so
+    /// it is tracked but never spilled.
+    sink_op: usize,
+    /// Memory-budget accountant (inert when no budget is configured).
+    tracker: MemoryTracker,
+    /// Per-run spill directory (present only under a budget); removed with
+    /// everything in it when the scheduler drops.
+    spill_dir: Option<Arc<SpillDir>>,
+    /// Tracked resident bytes per operator output (0 for spilled outputs).
+    out_bytes: Vec<usize>,
+    /// Consumer units not yet finalized, per operator output; an output is
+    /// dropped (and its tracked bytes released) when this reaches 0.
+    remaining_uses: Vec<usize>,
+    /// Spill events per operator.
+    op_spills: Vec<u64>,
+    /// Bytes written to spill files per operator.
+    op_spill_bytes: Vec<u64>,
+    /// Spilled blocks/buckets read back per operator.
+    op_reloads: Vec<u64>,
     pool: Option<Arc<WorkerPool>>,
     tx: Sender<Msg>,
     rx: Receiver<Msg>,
@@ -1297,6 +1560,18 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
         let workers = config.effective_workers();
         let pool = (workers > 1).then(|| WorkerPool::with_workers(workers));
         let (tx, rx) = channel();
+        let tracker = MemoryTracker::new(config.mem_budget_bytes);
+        let spill_dir = tracker.enabled().then(|| Arc::new(SpillDir::for_run()));
+        let mut remaining_uses = vec![0usize; ops.len()];
+        for unit in &units {
+            let mut inputs: Vec<usize> =
+                ops[unit.start].inputs.iter().map(|&i| i as usize).collect();
+            inputs.sort_unstable();
+            inputs.dedup();
+            for op in inputs {
+                remaining_uses[op] += 1;
+            }
+        }
         Scheduler {
             ops,
             ctx,
@@ -1307,6 +1582,14 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
             states,
             outputs: vec![None; ops.len()],
             op_counts: vec![0; ops.len()],
+            sink_op: program.sink() as usize,
+            tracker,
+            spill_dir,
+            out_bytes: vec![0; ops.len()],
+            remaining_uses,
+            op_spills: vec![0; ops.len()],
+            op_spill_bytes: vec![0; ops.len()],
+            op_reloads: vec![0; ops.len()],
             pool,
             tx,
             rx,
@@ -1379,13 +1662,18 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
         }
     }
 
-    fn input_arc(&self, op: OpId) -> Result<Arc<Partitions>> {
-        self.outputs[op as usize]
+    fn input(&self, op: OpId) -> Result<UnitOutput> {
+        self.outputs[op as usize].clone().ok_or_else(|| {
+            EngineError::Internal(format!("operator #{op} input was never materialized"))
+        })
+    }
+
+    /// The run's spill directory (only present under a memory budget).
+    fn spill_dir(&self) -> Result<Arc<SpillDir>> {
+        self.spill_dir
             .as_ref()
             .map(Arc::clone)
-            .ok_or_else(|| {
-                EngineError::Internal(format!("operator #{op} input was never materialized"))
-            })
+            .ok_or_else(|| EngineError::Internal("spill requested without a budget".into()))
     }
 
     fn start_unit(&mut self, u: usize) -> Result<()> {
@@ -1423,88 +1711,113 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
                     .iter()
                     .map(|o| owned_stage(&o.kind))
                     .collect::<Result<Vec<_>>>()?;
-                let input = self.input_arc(head.inputs[0])?;
-                let total = partition_rows(&input);
+                let input = self.input(head.inputs[0])?;
+                let total = input.total_rows();
                 if self.config.columnar {
                     // Vectorize the whole unit when the planner accepts it;
                     // otherwise the unit falls back to the row path (UDF
                     // stages, duplicate select labels).
                     if let Some(ck) = crate::vector::plan_columnar(chain_ops.clone(), &stages) {
-                        let kernel = Arc::new(ck);
-                        let jobs = self.per_partition_jobs(&input, |input, p, mr| {
-                            let kernel = Arc::clone(&kernel);
-                            Box::new(move || {
-                                crate::vector::col_chain_morsel::<S>(&kernel, p, &input[p][mr])
-                            })
+                        let ck = Arc::new(ck);
+                        let kernel: Arc<RowKernel> = Arc::new(move |p, _start, rows: &[Row]| {
+                            crate::vector::col_chain_morsel::<S>(&ck, p, rows)
                         });
-                        self.states[u].out_parts = input.len();
+                        let jobs = self.plan_row_jobs(&input, 0, total, kernel);
+                        self.states[u].out_parts = input.n_parts();
                         return self.dispatch(u, Phase::Single, jobs, total);
                     }
                     self.col_stats.fallback_units += 1;
                 }
-                let kernel = Arc::new(ChainKernel {
+                let ck = Arc::new(ChainKernel {
                     ops: chain_ops,
                     stages,
                 });
-                let jobs = self.per_partition_jobs(&input, |input, p, mr| {
-                    let kernel = Arc::clone(&kernel);
-                    Box::new(move || chain_morsel::<S>(&kernel, p, &input[p][mr]))
-                });
-                self.states[u].out_parts = input.len();
+                let kernel: Arc<RowKernel> =
+                    Arc::new(move |p, _start, rows: &[Row]| chain_morsel::<S>(&ck, p, rows));
+                let jobs = self.plan_row_jobs(&input, 0, total, kernel);
+                self.states[u].out_parts = input.n_parts();
                 self.dispatch(u, Phase::Single, jobs, total)
             }
             OpKind::Flatten { col, new_attr } => {
                 let op = head.id;
                 let col = Arc::new(col.clone());
                 let attr = Label::new(new_attr);
-                let input = self.input_arc(head.inputs[0])?;
-                let total = partition_rows(&input);
-                let jobs = self.per_partition_jobs(&input, |input, p, mr| {
-                    let col = Arc::clone(&col);
-                    let attr = attr.clone();
-                    Box::new(move || flatten_morsel::<S>(op, p, &col, &attr, &input[p][mr]))
+                let input = self.input(head.inputs[0])?;
+                let total = input.total_rows();
+                let kernel: Arc<RowKernel> = Arc::new(move |p, _start, rows: &[Row]| {
+                    flatten_morsel::<S>(op, p, &col, &attr, rows)
                 });
-                self.states[u].out_parts = input.len();
+                let jobs = self.plan_row_jobs(&input, 0, total, kernel);
+                self.states[u].out_parts = input.n_parts();
                 self.dispatch(u, Phase::Single, jobs, total)
             }
             OpKind::Join { keys } => {
-                let left = self.input_arc(head.inputs[0])?;
-                let right = self.input_arc(head.inputs[1])?;
+                let op = head.id;
+                let left = self.input(head.inputs[0])?;
+                let right = self.input(head.inputs[1])?;
                 let left_paths: Arc<Vec<Path>> =
                     Arc::new(keys.iter().map(|(l, _)| l.clone()).collect());
                 let right_paths: Arc<Vec<Path>> =
                     Arc::new(keys.iter().map(|(_, r)| r.clone()).collect());
-                let total = partition_rows(&right);
-                self.states[u].aux = Some(Aux::Join { left, left_paths });
-                let job: JobFn =
-                    Box::new(move || Ok(TaskOut::Build(join_build(&right, &right_paths))));
+                let total = right.total_rows();
+                // Grace-hash when the in-memory build table would not fit:
+                // the build side already spilled, or another copy of its
+                // tracked bytes would exceed the budget (the table clones
+                // every keyed row).
+                let grace = self.tracker.enabled()
+                    && (matches!(right, UnitOutput::Spilled(_))
+                        || self
+                            .tracker
+                            .would_exceed(self.out_bytes[head.inputs[1] as usize]));
+                let job: JobFn = if grace {
+                    if let UnitOutput::Spilled(s) = &right {
+                        self.op_reloads[s.op as usize] +=
+                            s.parts.iter().map(Vec::len).sum::<usize>() as u64;
+                    }
+                    let dir = self.spill_dir()?;
+                    let right_paths = Arc::clone(&right_paths);
+                    Box::new(move || grace_partition_build(op, &dir, &right, &right_paths))
+                } else {
+                    let right_paths = Arc::clone(&right_paths);
+                    Box::new(move || {
+                        let build = match &right {
+                            UnitOutput::Mem(parts) => join_build(parts, &right_paths),
+                            UnitOutput::Spilled(s) => {
+                                let parts = s.load()?;
+                                join_build(&parts, &right_paths)
+                            }
+                            UnitOutput::SpilledBuckets(_) => {
+                                return Err(EngineError::Internal(
+                                    "join build side spilled pre-bucketed".into(),
+                                ))
+                            }
+                        };
+                        Ok(TaskOut::Build(build))
+                    })
+                };
+                self.states[u].aux = Some(Aux::Join {
+                    left,
+                    left_paths,
+                    right_paths,
+                });
                 self.dispatch(u, Phase::Build, vec![(0, total, job)], total)
             }
             OpKind::Union => {
                 let op = head.id;
-                let left = self.input_arc(head.inputs[0])?;
-                let right = self.input_arc(head.inputs[1])?;
-                let offset = left.len();
-                let total = partition_rows(&left) + partition_rows(&right);
-                let morsel = self.config.morsel_len(total);
+                let left = self.input(head.inputs[0])?;
+                let right = self.input(head.inputs[1])?;
+                let offset = left.n_parts();
+                // Both sides share one morsel length derived from the
+                // combined cardinality.
+                let total = left.total_rows() + right.total_rows();
                 let mut jobs: Vec<PlannedJob> = Vec::new();
                 for (input, is_left, pidx_offset) in [(&left, true, 0), (&right, false, offset)] {
-                    for p in 0..input.len() {
-                        let out_pidx = pidx_offset + p;
-                        for mr in split_range(0..input[p].len(), morsel) {
-                            let input = Arc::clone(input);
-                            let rows = mr.len();
-                            jobs.push((
-                                out_pidx,
-                                rows,
-                                Box::new(move || {
-                                    union_morsel::<S>(op, out_pidx, is_left, &input[p][mr])
-                                }),
-                            ));
-                        }
-                    }
+                    let kernel: Arc<RowKernel> = Arc::new(move |out_pidx, _start, rows: &[Row]| {
+                        union_morsel::<S>(op, out_pidx, is_left, rows)
+                    });
+                    jobs.extend(self.plan_row_jobs(input, pidx_offset, total, kernel));
                 }
-                self.states[u].out_parts = left.len() + right.len();
+                self.states[u].out_parts = left.n_parts() + right.n_parts();
                 self.dispatch(u, Phase::Single, jobs, total)
             }
             OpKind::GroupAggregate { keys, aggs } => {
@@ -1515,57 +1828,124 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
                     keys: keys.clone(),
                     aggs: aggs.clone(),
                 });
-                let input = self.input_arc(head.inputs[0])?;
-                let total = partition_rows(&input);
+                let input = self.input(head.inputs[0])?;
+                if let UnitOutput::SpilledBuckets(g) = &input {
+                    // The input was spilled already partitioned by this
+                    // aggregation's keys — skip the shuffle phase and feed
+                    // each bucket straight to an aggregation job.
+                    if g.for_op != head.id {
+                        return Err(EngineError::Internal(format!(
+                            "pre-bucketed spill for operator #{} read by operator #{}",
+                            g.for_op, head.id
+                        )));
+                    }
+                    let op = head.id;
+                    let total = g.rows;
+                    let mut jobs: Vec<PlannedJob> = Vec::new();
+                    for (b, bucket) in g.buckets.iter().enumerate() {
+                        if bucket.rows() == 0 {
+                            continue; // empty buckets produce nothing
+                        }
+                        self.op_reloads[op as usize] += 1;
+                        let kernel = Arc::clone(&kernel);
+                        let bucket = Arc::clone(bucket);
+                        let n_rows = bucket.rows();
+                        jobs.push((
+                            b,
+                            n_rows,
+                            Box::new(move || {
+                                let rows = bucket.load()?;
+                                agg_bucket::<S>(&kernel, b, &rows)
+                            }),
+                        ));
+                    }
+                    return self.dispatch(u, Phase::Aggregate, jobs, total);
+                }
+                let total = input.total_rows();
                 let parts = self.parts;
-                let jobs = if self.config.columnar {
+                let shuffle: Arc<RowKernel> = if self.config.columnar {
                     let ckeys = Arc::new(crate::vector::ColKeys::compile_group(keys));
-                    self.per_partition_jobs(&input, |input, p, mr| {
-                        let keys = Arc::clone(&ckeys);
-                        Box::new(move || {
-                            Ok(TaskOut::Shuffle(shuffle_morsel_columnar(
-                                &keys,
-                                parts,
-                                &input[p][mr],
-                            )))
-                        })
+                    Arc::new(move |_p, _start, rows: &[Row]| {
+                        Ok(TaskOut::Shuffle(shuffle_morsel_columnar(
+                            &ckeys, parts, rows,
+                        )))
                     })
                 } else {
-                    let shuffle_keys = Arc::new(keys.clone());
-                    self.per_partition_jobs(&input, |input, p, mr| {
-                        let keys = Arc::clone(&shuffle_keys);
-                        Box::new(move || {
-                            Ok(TaskOut::Shuffle(shuffle_morsel(
-                                &keys,
-                                parts,
-                                &input[p][mr],
-                            )))
-                        })
+                    let keys = Arc::new(keys.clone());
+                    Arc::new(move |_p, _start, rows: &[Row]| {
+                        Ok(TaskOut::Shuffle(shuffle_morsel(&keys, parts, rows)))
                     })
                 };
+                let jobs = self.plan_row_jobs(&input, 0, total, shuffle);
                 self.states[u].aux = Some(Aux::Group { kernel });
                 self.dispatch(u, Phase::Shuffle, jobs, total)
             }
         }
     }
 
-    /// Plans one morsel job per row range of every input partition, in
+    /// Plans one job per morsel of every input partition, in
     /// partition-major order (the stitcher relies on this ordering).
-    /// Morsel length derives from the *current* input cardinality, so
-    /// partitions fattened by an upstream fan-out yield proportionally
-    /// more morsels (skew-aware re-morselization).
-    fn per_partition_jobs(
-        &self,
-        input: &Arc<Partitions>,
-        mut make: impl FnMut(Arc<Partitions>, usize, Range<usize>) -> JobFn,
+    ///
+    /// A resident input is sliced into morsels whose length derives from
+    /// `morsel_total` — usually the input's own cardinality, so partitions
+    /// fattened by an upstream fan-out yield proportionally more morsels
+    /// (skew-aware re-morselization); union passes the combined two-sided
+    /// total so both sides share one morsel length. A spilled input plans
+    /// one job per on-disk block, which decodes the block worker-side and
+    /// applies the same kernel — a spilled block simply *is* a morsel, and
+    /// output is specified byte-identical at any morsel boundaries.
+    fn plan_row_jobs(
+        &mut self,
+        input: &UnitOutput,
+        out_pidx_offset: usize,
+        morsel_total: usize,
+        kernel: Arc<RowKernel>,
     ) -> Vec<PlannedJob> {
-        let total = partition_rows(input);
-        let morsel = self.config.morsel_len(total);
-        let mut jobs = Vec::new();
-        for p in 0..input.len() {
-            for mr in split_range(0..input[p].len(), morsel) {
-                let rows = mr.len();
-                jobs.push((p, rows, make(Arc::clone(input), p, mr)));
+        let mut jobs: Vec<PlannedJob> = Vec::new();
+        match input {
+            UnitOutput::Mem(parts) => {
+                let morsel = self.config.morsel_len(morsel_total);
+                for p in 0..parts.len() {
+                    for mr in split_range(0..parts[p].len(), morsel) {
+                        let parts = Arc::clone(parts);
+                        let kernel = Arc::clone(&kernel);
+                        let rows = mr.len();
+                        let out_p = out_pidx_offset + p;
+                        let start = mr.start as u64;
+                        jobs.push((
+                            out_p,
+                            rows,
+                            Box::new(move || kernel(out_p, start, &parts[p][mr])),
+                        ));
+                    }
+                }
+            }
+            UnitOutput::Spilled(s) => {
+                self.op_reloads[s.op as usize] +=
+                    s.parts.iter().map(Vec::len).sum::<usize>() as u64;
+                for (p, blocks) in s.parts.iter().enumerate() {
+                    let mut start = 0u64;
+                    for &meta in blocks {
+                        let s = Arc::clone(s);
+                        let kernel = Arc::clone(&kernel);
+                        let out_p = out_pidx_offset + p;
+                        jobs.push((
+                            out_p,
+                            meta.rows,
+                            Box::new(move || {
+                                let rows = s.read_block(meta)?;
+                                kernel(out_p, start, &rows)
+                            }),
+                        ));
+                        start += meta.rows as u64;
+                    }
+                }
+            }
+            UnitOutput::SpilledBuckets(_) => {
+                // set_output only pre-buckets an output whose sole consumer
+                // is an aggregation, and the aggregation consumes buckets
+                // directly without planning row jobs.
+                unreachable!("pre-bucketed spill read by a non-aggregation consumer")
             }
         }
         jobs
@@ -1885,57 +2265,155 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
         }
         match self.states[u].phase {
             Phase::Idle => Err(EngineError::Internal("phase_done on an idle unit".into())),
-            Phase::Single | Phase::Probe | Phase::Aggregate => self.finalize_unit(u),
-            Phase::Build => {
-                let build = match self.states[u].results.first_mut().and_then(Option::take) {
-                    Some(Ok(TaskOut::Build(map))) => Arc::new(map),
-                    _ => {
-                        return Err(EngineError::Internal(
-                            "build phase did not return a build table".into(),
-                        ))
-                    }
-                };
-                let Some(Aux::Join { left, left_paths }) = self.states[u].aux.take() else {
-                    return Err(EngineError::Internal(
-                        "join unit lost its probe-side state".into(),
-                    ));
-                };
-                let op = self.ops[self.units[u].start].id;
-                let total = partition_rows(&left);
-                let morsel = self.config.morsel_len(total);
-                let ckeys = self
-                    .config
-                    .columnar
-                    .then(|| Arc::new(crate::vector::ColKeys::compile_paths(&left_paths)));
-                let mut jobs: Vec<PlannedJob> = Vec::new();
-                for p in 0..left.len() {
-                    for mr in split_range(0..left[p].len(), morsel) {
-                        let left = Arc::clone(&left);
-                        let build = Arc::clone(&build);
-                        let rows = mr.len();
-                        let job: JobFn = match &ckeys {
-                            Some(ckeys) => {
-                                let ckeys = Arc::clone(ckeys);
-                                Box::new(move || {
-                                    join_probe_columnar::<S>(op, p, &build, &ckeys, &left[p][mr])
-                                })
-                            }
-                            None => {
-                                let left_paths = Arc::clone(&left_paths);
-                                Box::new(move || {
-                                    join_probe::<S>(op, p, &build, &left_paths, &left[p][mr])
-                                })
-                            }
-                        };
-                        jobs.push((p, rows, job));
-                    }
+            Phase::Single | Phase::Aggregate => self.finalize_unit(u),
+            Phase::Probe => {
+                if matches!(self.states[u].aux, Some(Aux::GraceJoin { .. })) {
+                    self.grace_pass_done(u)
+                } else {
+                    self.finalize_unit(u)
                 }
-                self.states[u].out_parts = left.len();
-                self.dispatch(u, Phase::Probe, jobs, total)
+            }
+            Phase::Build => {
+                let out = self.states[u].results.first_mut().and_then(Option::take);
+                match out {
+                    Some(Ok(TaskOut::Build(map))) => {
+                        let build = Arc::new(map);
+                        let Some(Aux::Join {
+                            left, left_paths, ..
+                        }) = self.states[u].aux.take()
+                        else {
+                            return Err(EngineError::Internal(
+                                "join unit lost its probe-side state".into(),
+                            ));
+                        };
+                        let op = self.ops[self.units[u].start].id;
+                        let total = left.total_rows();
+                        let ckeys = self
+                            .config
+                            .columnar
+                            .then(|| Arc::new(crate::vector::ColKeys::compile_paths(&left_paths)));
+                        let kernel: Arc<RowKernel> = match ckeys {
+                            Some(ckeys) => Arc::new(move |p, _start, rows: &[Row]| {
+                                join_probe_columnar::<S>(op, p, &build, &ckeys, rows)
+                            }),
+                            None => Arc::new(move |p, _start, rows: &[Row]| {
+                                join_probe::<S>(op, p, &build, &left_paths, rows)
+                            }),
+                        };
+                        let jobs = self.plan_row_jobs(&left, 0, total, kernel);
+                        self.states[u].out_parts = left.n_parts();
+                        self.dispatch(u, Phase::Probe, jobs, total)
+                    }
+                    Some(Ok(TaskOut::GraceBuild(buckets))) => {
+                        let Some(Aux::Join {
+                            left,
+                            left_paths,
+                            right_paths,
+                        }) = self.states[u].aux.take()
+                        else {
+                            return Err(EngineError::Internal(
+                                "join unit lost its probe-side state".into(),
+                            ));
+                        };
+                        let op = self.ops[self.units[u].start].id;
+                        self.op_spills[op as usize] += 1;
+                        self.op_spill_bytes[op as usize] +=
+                            buckets.iter().map(|b| b.bytes()).sum::<u64>();
+                        let n_parts = left.n_parts();
+                        self.states[u].aux = Some(Aux::GraceJoin {
+                            left,
+                            left_paths,
+                            right_paths,
+                            buckets,
+                            next_bucket: 0,
+                            acc: (0..n_parts).map(|_| Vec::new()).collect(),
+                        });
+                        self.start_grace_pass(u)
+                    }
+                    _ => Err(EngineError::Internal(
+                        "build phase did not return a build table".into(),
+                    )),
+                }
             }
             Phase::Shuffle => {
                 let parts = self.parts;
                 let results = std::mem::take(&mut self.states[u].results);
+                let Some(Aux::Group { kernel }) = self.states[u].aux.take() else {
+                    return Err(EngineError::Internal(
+                        "group unit lost its aggregation state".into(),
+                    ));
+                };
+                // Under a budget, the merged group table would double the
+                // shuffle output's footprint; stream the morsel buckets to
+                // per-bucket spill files instead and let each aggregation
+                // job reload its own bucket (bounding residency to one
+                // bucket per in-flight job).
+                let spill = self.tracker.enabled() && {
+                    let est: usize = results
+                        .iter()
+                        .filter_map(|slot| match slot {
+                            Some(Ok(TaskOut::Shuffle(bs))) => {
+                                Some(bs.iter().map(|b| spill::rows_bytes(b)).sum::<usize>())
+                            }
+                            _ => None,
+                        })
+                        .sum();
+                    self.tracker.would_exceed(est)
+                };
+                if spill {
+                    let op = kernel.op;
+                    let dir = self.spill_dir()?;
+                    let mut writers = Vec::with_capacity(parts);
+                    for b in 0..parts {
+                        let path = dir
+                            .file(&format!("op{op}.agg{b}"))
+                            .map_err(|e| spill::spill_io(op, "create spill file", &e))?;
+                        writers.push(BucketWriter::create(op, path)?);
+                    }
+                    // Stream per-morsel buckets to disk in task (= global
+                    // row) order — the same order the in-memory merge
+                    // appends them, so reloaded buckets are identical.
+                    for slot in results {
+                        match slot {
+                            Some(Ok(TaskOut::Shuffle(bs))) => {
+                                for (b, rows) in bs.iter().enumerate() {
+                                    writers[b].append(rows)?;
+                                }
+                            }
+                            _ => {
+                                return Err(EngineError::Internal(
+                                    "shuffle phase did not return buckets".into(),
+                                ))
+                            }
+                        }
+                    }
+                    let mut buckets = Vec::with_capacity(parts);
+                    for w in writers {
+                        buckets.push(w.finish()?);
+                    }
+                    self.op_spills[op as usize] += 1;
+                    self.op_spill_bytes[op as usize] +=
+                        buckets.iter().map(|b| b.bytes()).sum::<u64>();
+                    let total: usize = buckets.iter().map(|b| b.rows()).sum();
+                    let mut jobs: Vec<PlannedJob> = Vec::new();
+                    for (b, bucket) in buckets.into_iter().enumerate() {
+                        if bucket.rows() == 0 {
+                            continue; // empty buckets produce nothing
+                        }
+                        self.op_reloads[op as usize] += 1;
+                        let kernel = Arc::clone(&kernel);
+                        let n_rows = bucket.rows();
+                        jobs.push((
+                            b,
+                            n_rows,
+                            Box::new(move || {
+                                let rows = bucket.load()?;
+                                agg_bucket::<S>(&kernel, b, &rows)
+                            }),
+                        ));
+                    }
+                    return self.dispatch(u, Phase::Aggregate, jobs, total);
+                }
                 // Merge per-morsel buckets in task (= global row) order, so
                 // each bucket sees rows exactly as a sequential shuffle
                 // would.
@@ -1954,11 +2432,6 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
                         }
                     }
                 }
-                let Some(Aux::Group { kernel }) = self.states[u].aux.take() else {
-                    return Err(EngineError::Internal(
-                        "group unit lost its aggregation state".into(),
-                    ));
-                };
                 let total: usize = buckets.iter().map(Vec::len).sum();
                 let mut jobs: Vec<PlannedJob> = Vec::new();
                 for (b, rows) in buckets.into_iter().enumerate() {
@@ -1976,6 +2449,124 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
                 self.dispatch(u, Phase::Aggregate, jobs, total)
             }
         }
+    }
+
+    /// Dispatches the next grace-join probe pass: reloads the pass's bucket
+    /// into an in-memory hash table and probes the whole left input against
+    /// it (same task layout every pass). Empty buckets after the first are
+    /// skipped outright — only pass 0 runs the per-row fault hook, so it
+    /// must run even over an empty table.
+    fn start_grace_pass(&mut self, u: usize) -> Result<()> {
+        let op = self.ops[self.units[u].start].id;
+        let (b, bucket, left, left_paths, right_paths) = {
+            let Some(Aux::GraceJoin {
+                left,
+                left_paths,
+                right_paths,
+                buckets,
+                next_bucket,
+                ..
+            }) = &mut self.states[u].aux
+            else {
+                return Err(EngineError::Internal(
+                    "grace pass without grace-join state".into(),
+                ));
+            };
+            while *next_bucket > 0
+                && *next_bucket < buckets.len()
+                && buckets[*next_bucket].rows() == 0
+            {
+                *next_bucket += 1;
+            }
+            if *next_bucket >= buckets.len() {
+                return self.finalize_grace_join(u);
+            }
+            (
+                *next_bucket,
+                Arc::clone(&buckets[*next_bucket]),
+                left.clone(),
+                Arc::clone(left_paths),
+                Arc::clone(right_paths),
+            )
+        };
+        let build = if bucket.rows() == 0 {
+            JoinBuild::default()
+        } else {
+            self.op_reloads[op as usize] += 1;
+            grace_bucket_build(bucket.load()?, &right_paths)
+        };
+        let build = Arc::new(build);
+        let kernel: Arc<RowKernel> = Arc::new(move |_p, start, rows: &[Row]| {
+            grace_probe_morsel(op, start, b, &build, &left_paths, rows)
+        });
+        let total = left.total_rows();
+        let jobs = self.plan_row_jobs(&left, 0, total, kernel);
+        self.states[u].out_parts = left.n_parts();
+        self.dispatch(u, Phase::Probe, jobs, total)
+    }
+
+    /// Collects one finished grace probe pass into the per-partition match
+    /// accumulators, then starts the next pass (or the final merge).
+    fn grace_pass_done(&mut self, u: usize) -> Result<()> {
+        let task_pidx = std::mem::take(&mut self.states[u].task_pidx);
+        let mut results = std::mem::take(&mut self.states[u].results);
+        let Some(Aux::GraceJoin {
+            next_bucket, acc, ..
+        }) = &mut self.states[u].aux
+        else {
+            return Err(EngineError::Internal(
+                "grace pass without grace-join state".into(),
+            ));
+        };
+        for (t, &p) in task_pidx.iter().enumerate() {
+            let Some(Ok(TaskOut::GraceProbe(ms))) = results[t].take() else {
+                return Err(EngineError::Internal(
+                    "grace probe task shape mismatch".into(),
+                ));
+            };
+            acc[p].extend(ms);
+        }
+        *next_bucket += 1;
+        self.start_grace_pass(u)
+    }
+
+    /// Final merge of a grace-hash join: per left partition, order the
+    /// accumulated matches by left ordinal (each left key probes exactly
+    /// one bucket, so this is the left row order an in-memory probe
+    /// visits), assign output ids sequentially, and emit the association
+    /// batches — byte-identical to the in-memory probe's stitched output.
+    fn finalize_grace_join(&mut self, u: usize) -> Result<()> {
+        let op = self.ops[self.units[u].start].id;
+        let Some(Aux::GraceJoin { mut acc, .. }) = self.states[u].aux.take() else {
+            return Err(EngineError::Internal(
+                "grace merge without grace-join state".into(),
+            ));
+        };
+        let out_parts = acc.len();
+        let mut parts: Partitions = (0..out_parts).map(|_| Vec::new()).collect();
+        let mut assoc_parts: Vec<BinaryAssoc> = (0..out_parts).map(|_| Vec::new()).collect();
+        for (p, matches) in acc.iter_mut().enumerate() {
+            matches.sort_by_key(|m| m.ordinal);
+            let mut ids = IdGen::new(op, p);
+            for m in matches.drain(..) {
+                for (rid, item) in m.matches {
+                    let id = ids.next();
+                    parts[p].push(Row { id, item });
+                    if S::ENABLED {
+                        assoc_parts[p].push((Some(m.left_id), Some(rid), id));
+                    }
+                }
+            }
+        }
+        if S::ENABLED {
+            for assoc in &assoc_parts {
+                if !assoc.is_empty() {
+                    self.sink.binary_batch(op, assoc);
+                }
+            }
+        }
+        self.set_output(op, parts)?;
+        self.unit_finished(u)
     }
 
     /// Stitches the completed unit's morsel results into its output
@@ -2012,7 +2603,7 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
                         }
                     }
                 }
-                self.set_output(op, parts);
+                self.set_output(op, parts)?;
             }
             OpKind::Filter { .. } | OpKind::Select { .. } | OpKind::Map { .. } => {
                 let columnar = matches!(
@@ -2057,7 +2648,7 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
                         }
                     }
                 }
-                self.set_output(op, parts);
+                self.set_output(op, parts)?;
             }
             OpKind::Join { .. } | OpKind::Union => {
                 let op = ops[start].id;
@@ -2091,7 +2682,7 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
                         }
                     }
                 }
-                self.set_output(op, parts);
+                self.set_output(op, parts)?;
             }
             OpKind::GroupAggregate { .. } => {
                 let op = ops[start].id;
@@ -2132,29 +2723,11 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
                 if partitions.is_empty() {
                     partitions.push(Vec::new());
                 }
-                self.set_output(op, partitions);
+                self.set_output(op, partitions)?;
             }
         }
 
-        self.completed += 1;
-        self.record_unit_span(u);
-        diag::debug(|| {
-            let head = &self.ops[self.units[u].start];
-            format!(
-                "unit {u} ({}) done: {} rows out",
-                head.kind.type_name(),
-                self.op_counts[self.units[u].start + self.units[u].len - 1]
-            )
-        });
-        let consumers = self.units[u].consumers.clone();
-        for c in consumers {
-            let st = &mut self.states[c];
-            st.remaining_deps -= 1;
-            if st.remaining_deps == 0 {
-                self.ready.push(c);
-            }
-        }
-        Ok(())
+        self.unit_finished(u)
     }
 
     /// Row-path stitch for a fused filter/select/map chain: re-bases each
@@ -2222,10 +2795,10 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
             self.op_counts[op as usize] = totals[s];
             if s + 1 < n {
                 // Fused-away intermediate: nothing consumes its rows.
-                self.outputs[op as usize] = Some(Arc::new(Vec::new()));
+                self.outputs[op as usize] = Some(UnitOutput::Mem(Arc::new(Vec::new())));
             }
         }
-        self.outputs[chain_ids[n - 1] as usize] = Some(Arc::new(parts));
+        self.set_output(chain_ids[n - 1], parts)?;
         Ok(())
     }
 
@@ -2398,16 +2971,178 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
             self.op_counts[op as usize] = totals[s];
             if s + 1 < n {
                 // Fused-away intermediate: nothing consumes its rows.
-                self.outputs[op as usize] = Some(Arc::new(Vec::new()));
+                self.outputs[op as usize] = Some(UnitOutput::Mem(Arc::new(Vec::new())));
             }
         }
-        self.outputs[chain_ids[n - 1] as usize] = Some(Arc::new(parts));
+        self.set_output(chain_ids[n - 1], parts)?;
         Ok(())
     }
 
-    fn set_output(&mut self, op: OpId, parts: Partitions) {
-        self.op_counts[op as usize] = parts.iter().map(Vec::len).sum();
-        self.outputs[op as usize] = Some(Arc::new(parts));
+    /// Publishes a unit's stitched output, spilling it to disk when the
+    /// memory budget says the run cannot afford to keep it resident. The
+    /// sink operator's output is exempt — it is about to be handed back to
+    /// the caller anyway. Spilled outputs re-enter downstream units one
+    /// block at a time via [`Scheduler::plan_row_jobs`], preserving row
+    /// order exactly (a block is just a morsel that lives on disk).
+    fn set_output(&mut self, op: OpId, parts: Partitions) -> Result<()> {
+        let total: usize = parts.iter().map(Vec::len).sum();
+        self.op_counts[op as usize] = total;
+        let out = if !self.tracker.enabled() {
+            UnitOutput::Mem(Arc::new(parts))
+        } else {
+            // A read's rows alias the `Context` source (items are shared
+            // `Arc`s the caller keeps alive for the whole run), so spilling
+            // them cannot release the underlying data — account the
+            // per-row shells only, and deep bytes everywhere else.
+            let bytes = if matches!(self.ops[op as usize].kind, OpKind::Read { .. }) {
+                parts.iter().map(Vec::len).sum::<usize>() * spill::ROW_SHELL_BYTES
+            } else {
+                spill::parts_bytes(&parts)
+            };
+            if op as usize != self.sink_op && self.tracker.would_exceed(bytes) {
+                // When the rows are headed for exactly one aggregation,
+                // spill them through its shuffle hash instead of as plain
+                // blocks — the aggregation then loads buckets directly,
+                // saving a full decode + re-encode of the output.
+                if let Some(agg) = self.group_shuffle_consumer(op) {
+                    let spilled = self.spill_group_partitioned(op, agg, &parts, total)?;
+                    self.outputs[op as usize] = Some(UnitOutput::SpilledBuckets(Arc::new(spilled)));
+                    return Ok(());
+                }
+                let dir = self.spill_dir()?;
+                let path = dir
+                    .file(&format!("op{op}.out"))
+                    .map_err(|e| spill::spill_io(op, "create spill file", &e))?;
+                let spilled = SpilledRows::write(op, path, &parts, self.config.morsel_len(total))?;
+                self.op_spills[op as usize] += 1;
+                self.op_spill_bytes[op as usize] += spilled.bytes;
+                UnitOutput::Spilled(Arc::new(spilled))
+            } else {
+                self.tracker.add(bytes);
+                self.out_bytes[op as usize] = bytes;
+                UnitOutput::Mem(Arc::new(parts))
+            }
+        };
+        self.outputs[op as usize] = Some(out);
+        Ok(())
+    }
+
+    /// The aggregation that is the *sole* consumer of `op`'s output, if
+    /// there is one — the precondition for spilling that output
+    /// pre-partitioned by the aggregation's grouping keys.
+    fn group_shuffle_consumer(&self, op: OpId) -> Option<OpId> {
+        let mut found: Option<OpId> = None;
+        for unit in &self.units {
+            let head = &self.ops[unit.start];
+            let uses = head.inputs.iter().filter(|&&i| i == op).count();
+            if uses == 0 {
+                continue;
+            }
+            if uses > 1 || found.is_some() || !matches!(head.kind, OpKind::GroupAggregate { .. }) {
+                return None;
+            }
+            found = Some(head.id);
+        }
+        found
+    }
+
+    /// Spills `parts` partitioned by the consuming aggregation `agg`'s
+    /// grouping keys: one bucket file per scheduler partition, rows
+    /// appended in global (partition-major) row order — exactly the
+    /// sequence the shuffle phase's task-order merge would feed each
+    /// bucket, so the aggregation's per-bucket input is identical. The
+    /// spill is charged to `agg` (it is the aggregation's shuffle,
+    /// performed at spill time), which also keeps injected spill faults
+    /// firing under `agg`'s operator id.
+    fn spill_group_partitioned(
+        &mut self,
+        op: OpId,
+        agg: OpId,
+        parts: &[Vec<Row>],
+        total: usize,
+    ) -> Result<GroupSpill> {
+        let OpKind::GroupAggregate { keys, .. } = &self.ops[agg as usize].kind else {
+            return Err(EngineError::Internal(
+                "group-partitioned spill for a non-aggregation consumer".into(),
+            ));
+        };
+        let dir = self.spill_dir()?;
+        let n = self.parts;
+        let mut writers = Vec::with_capacity(n);
+        for b in 0..n {
+            let path = dir
+                .file(&format!("op{op}.pre{b}"))
+                .map_err(|e| spill::spill_io(agg, "create spill file", &e))?;
+            writers.push(BucketWriter::create(agg, path)?);
+        }
+        // Morsel-sized chunks bound transient memory; chunk boundaries
+        // only shape on-disk blocks, never the row sequence per bucket.
+        let chunk = self.config.morsel_len(total).max(1);
+        for rows in parts {
+            for c in rows.chunks(chunk) {
+                for (b, bucket) in shuffle_morsel(keys, n, c).iter().enumerate() {
+                    writers[b].append(bucket)?;
+                }
+            }
+        }
+        let mut buckets = Vec::with_capacity(n);
+        for w in writers {
+            buckets.push(w.finish()?);
+        }
+        self.op_spills[agg as usize] += 1;
+        self.op_spill_bytes[agg as usize] += buckets.iter().map(|b| b.bytes()).sum::<u64>();
+        Ok(GroupSpill {
+            for_op: agg,
+            buckets,
+            rows: total,
+        })
+    }
+
+    /// Drops the outputs a finished unit consumed once no other unit still
+    /// needs them, returning their bytes to the memory budget. Dropping a
+    /// spilled output deletes its file. The sink's output is never
+    /// released — it is the run's result.
+    fn release_inputs(&mut self, u: usize) {
+        let head = &self.ops[self.units[u].start];
+        let mut inputs = head.inputs.clone();
+        inputs.dedup();
+        for dep in inputs {
+            let i = dep as usize;
+            if i == self.sink_op || self.remaining_uses[i] == 0 {
+                continue;
+            }
+            self.remaining_uses[i] -= 1;
+            if self.remaining_uses[i] == 0 {
+                self.tracker.sub(self.out_bytes[i]);
+                self.out_bytes[i] = 0;
+                self.outputs[i] = None;
+            }
+        }
+    }
+
+    /// Shared completion tail for every unit: bookkeeping, span recording,
+    /// input release, and waking consumers whose dependencies are now met.
+    fn unit_finished(&mut self, u: usize) -> Result<()> {
+        self.completed += 1;
+        self.record_unit_span(u);
+        diag::debug(|| {
+            let head = &self.ops[self.units[u].start];
+            format!(
+                "unit {u} ({}) done: {} rows out",
+                head.kind.type_name(),
+                self.op_counts[self.units[u].start + self.units[u].len - 1]
+            )
+        });
+        self.release_inputs(u);
+        let consumers = self.units[u].consumers.clone();
+        for c in consumers {
+            let st = &mut self.states[c];
+            st.remaining_deps -= 1;
+            if st.remaining_deps == 0 {
+                self.ready.push(c);
+            }
+        }
+        Ok(())
     }
 
     /// Assembles the run's [`RunReport`] from the scheduler's accumulators.
@@ -2428,8 +3163,20 @@ impl<'a, S: ProvenanceSink> Scheduler<'a, S> {
             op_report.morsels = self.op_morsels[i];
             op_report.udf_panics = self.op_panics[i];
             op_report.busy_ns = self.op_busy_ns[i];
+            op_report.spill_bytes = self.op_spill_bytes[i];
         }
         report.morsels = self.morsel_stats.clone();
+        if self.tracker.enabled() {
+            report.spill = Some(SpillStats {
+                budget_bytes: self.tracker.budget() as u64,
+                peak_tracked_bytes: self.tracker.peak() as u64,
+                spills: self.op_spills.iter().sum(),
+                spill_bytes: self.op_spill_bytes.iter().sum(),
+                reloads: self.op_reloads.iter().sum(),
+                capture_spills: 0,
+                capture_spill_bytes: 0,
+            });
+        }
         if self.config.columnar {
             report.columnar = Some(self.col_stats.clone());
         }
@@ -2813,6 +3560,66 @@ mod tests {
             .unwrap();
             assert_eq!(baseline.rows, alt.rows, "workers={w} morsel={m}");
             assert_eq!(baseline.op_counts, alt.op_counts, "workers={w} morsel={m}");
+        }
+    }
+
+    #[test]
+    fn budgeted_run_spills_and_matches_in_memory() {
+        // Same skewed pipeline as above, squeezed through a budget so small
+        // every intermediate spills: rows, ids and counts must be
+        // byte-identical to the unbudgeted run, and the report must show
+        // spill traffic for join build, group shuffle and unit outputs.
+        let mut c = Context::new();
+        let items: Vec<Vec<(&str, Value)>> = (0..40i64)
+            .map(|i| {
+                let tags = if i == 0 { 25 } else { i % 4 };
+                vec![
+                    ("id", Value::Int(i % 7)),
+                    ("tags", Value::Bag((0..tags).map(Value::Int).collect())),
+                ]
+            })
+            .collect();
+        c.register("s", items_of(items));
+        c.register(
+            "dim",
+            items_of((0..7i64).map(|i| vec![("id2", Value::Int(i))]).collect()),
+        );
+        let mut b = ProgramBuilder::new();
+        let r = b.read("s");
+        let fl = b.flatten(r, "tags", "tag");
+        let f = b.filter(fl, Expr::col("tag").ge(Expr::lit(1i64)));
+        let u = b.union(f, f);
+        let d = b.read("dim");
+        let j = b.join(u, d, vec![(Path::attr("id"), Path::attr("id2"))]);
+        let g = b.group_aggregate(
+            j,
+            vec![GroupKey::new("id")],
+            vec![AggSpec::new(AggFunc::Count, "", "n")],
+        );
+        let p = b.build(g);
+        // Pin the baseline to unlimited even when PEBBLE_MEM_BUDGET is set
+        // in the environment (the CI tight-budget pass does exactly that).
+        let baseline = run(
+            &p,
+            &c,
+            ExecConfig::with_partitions(3).mem_budget(0),
+            &NoSink,
+        )
+        .unwrap();
+        assert!(baseline.report.spill.is_none());
+        for (budget, workers, morsel) in [(1, 1, 1), (1, 7, 3), (4096, 2, 0)] {
+            let cfg = ExecConfig::with_partitions(3)
+                .workers(workers)
+                .morsel_rows(morsel)
+                .mem_budget(budget);
+            let alt = run(&p, &c, cfg, &NoSink).unwrap();
+            assert_eq!(baseline.rows, alt.rows, "budget={budget}");
+            assert_eq!(baseline.op_counts, alt.op_counts, "budget={budget}");
+            let spill = alt.report.spill.as_ref().expect("budgeted run reports");
+            assert_eq!(spill.budget_bytes, budget as u64);
+            assert!(spill.spills > 0, "budget={budget}: nothing spilled");
+            assert!(spill.spill_bytes > 0);
+            assert!(spill.reloads > 0);
         }
     }
 }

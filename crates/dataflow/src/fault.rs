@@ -76,9 +76,46 @@ pub fn arm(plan: FaultPlan) {
     );
 }
 
-/// Disarms any armed fault.
+/// Armed spill fault: `0` = disarmed, else `1 << 63 | op`. Fires whenever
+/// the engine is about to write spilled state for the target operator.
+static SPILL_PLAN: AtomicU64 = AtomicU64::new(0);
+
+/// Arms a spill-write fault for `op` process-wide: every attempt to write
+/// spilled state (operator output blocks, grace-join buckets, capture
+/// association chunks) for that operator fails with a deterministic
+/// [`EngineError::SpillError`]. The error message carries no filesystem
+/// paths, so failing runs stay `Display`-comparable across configurations.
+pub fn arm_spill(op: OpId) {
+    SPILL_PLAN.store(ARMED_BIT | op as u64, Ordering::SeqCst);
+}
+
+/// Disarms any armed fault (row-level and spill).
 pub fn disarm() {
     PLAN.store(0, Ordering::SeqCst);
+    SPILL_PLAN.store(0, Ordering::SeqCst);
+}
+
+/// Spill hook: fails iff a spill fault is armed for `op`. Public because
+/// the capture layer (a downstream crate) calls it before writing
+/// association spill chunks.
+#[inline]
+pub fn check_spill(op: OpId) -> Result<()> {
+    let packed = SPILL_PLAN.load(Ordering::Relaxed);
+    if packed == 0 {
+        return Ok(());
+    }
+    check_spill_armed(packed, op)
+}
+
+#[cold]
+fn check_spill_armed(packed: u64, op: OpId) -> Result<()> {
+    if (packed & !ARMED_BIT) as u32 != op {
+        return Ok(());
+    }
+    Err(EngineError::SpillError {
+        op,
+        message: "injected spill-write failure".into(),
+    })
 }
 
 /// Kernel hook: fails iff an armed plan matches `(op, row)`.

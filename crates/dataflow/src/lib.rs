@@ -24,6 +24,7 @@ pub mod pool;
 pub mod program;
 pub mod sink;
 pub mod spawn;
+pub mod spill;
 pub mod vector;
 
 pub use context::Context;
@@ -39,3 +40,4 @@ pub use pool::WorkerPool;
 pub use program::{Operator, Program, ProgramBuilder};
 pub use sink::{NoSink, ProvenanceSink, Tee};
 pub use spawn::{run_spawn, run_spawn_unfused};
+pub use spill::MemoryTracker;

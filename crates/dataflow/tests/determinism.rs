@@ -278,6 +278,48 @@ fn assert_columnar_matrix(program: &Program, ctx: &Context) {
     }
 }
 
+/// Memory-budget axis: budget {unlimited, tight, pathological 1-byte with
+/// 1-row morsels} × workers {1, 2, 7} × columnar on/off. Spilling must be
+/// invisible in everything the determinism contract covers — rows,
+/// identifiers, operator counts, association tables — while the
+/// pathological budgets demonstrably spill.
+fn assert_spill_matrix(program: &Program, ctx: &Context, partitions: usize) {
+    let base_cfg = ExecConfig::with_partitions(partitions)
+        .workers(1)
+        .morsel_rows(0)
+        .mem_budget(0);
+    let baseline = observe(pool_exec, program, ctx, base_cfg);
+    let base_tables = flatten_tables(&baseline.2);
+    for (budget, morsel) in [(0usize, 0usize), (4096, 64), (1, 1)] {
+        for workers in WORKER_COUNTS {
+            for columnar in [false, true] {
+                let cfg = ExecConfig::with_partitions(partitions)
+                    .workers(workers)
+                    .morsel_rows(morsel)
+                    .columnar(columnar)
+                    .mem_budget(budget);
+                let got = observe(pool_exec, program, ctx, cfg);
+                let tag = format!("budget={budget} w={workers} columnar={columnar}");
+                assert_eq!(baseline.0, got.0, "rows: {tag}");
+                assert_eq!(baseline.1, got.1, "op_counts: {tag}");
+                assert_eq!(base_tables, flatten_tables(&got.2), "assoc tables: {tag}");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_deterministic_under_memory_budget() {
+    let ctx = skewed_ctx();
+    assert_spill_matrix(&full_pipeline(), &ctx, 3);
+}
+
+#[test]
+fn chain_pipeline_deterministic_under_memory_budget() {
+    let ctx = skewed_ctx();
+    assert_spill_matrix(&chain_pipeline(), &ctx, 4);
+}
+
 #[test]
 fn full_pipeline_columnar_matches_row_path() {
     let ctx = skewed_ctx();

@@ -46,6 +46,13 @@ impl Label {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// The shared allocation backing this label. Interning makes equal
+    /// labels share one allocation, so the address doubles as a cheap
+    /// identity key (the codec's string table exploits this).
+    pub fn as_arc(&self) -> &Arc<str> {
+        &self.0
+    }
 }
 
 impl Deref for Label {

@@ -53,6 +53,9 @@ pub struct OpReport {
     pub assoc_entries: u64,
     /// Estimated bytes of those associations (id-payload estimate).
     pub assoc_bytes: u64,
+    /// Bytes of this operator's state written to spill files (0 when the
+    /// run had no memory budget or the operator never spilled).
+    pub spill_bytes: u64,
 }
 
 /// Morsel-level statistics for skew diagnosis.
@@ -188,6 +191,27 @@ pub struct ServeStats {
     pub frames_sent: u64,
 }
 
+/// Out-of-core execution statistics (populated only when the run had a
+/// memory budget, i.e. `ExecConfig::mem_budget_bytes > 0`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SpillStats {
+    /// The configured budget, bytes.
+    pub budget_bytes: u64,
+    /// High-water mark of tracked pipeline-resident bytes.
+    pub peak_tracked_bytes: u64,
+    /// Spill events (operator outputs, grace-join bucket sets, group
+    /// shuffle bucket sets written to disk).
+    pub spills: u64,
+    /// Total bytes written to executor spill files.
+    pub spill_bytes: u64,
+    /// Reload events (spilled blocks or buckets read back).
+    pub reloads: u64,
+    /// Capture-sink association chunks spilled to disk.
+    pub capture_spills: u64,
+    /// Total bytes of spilled capture association chunks.
+    pub capture_spill_bytes: u64,
+}
+
 /// A structured, serializable summary of one engine run.
 ///
 /// Built for every run (cheap counters are always on); timing fields,
@@ -230,6 +254,8 @@ pub struct RunReport {
     pub columnar: Option<ColumnarStats>,
     /// Query-service counters (serving sessions only).
     pub serve: Option<ServeStats>,
+    /// Out-of-core execution statistics (memory-budgeted runs only).
+    pub spill: Option<SpillStats>,
     /// Number of span events recorded (tracing runs only).
     pub spans: u64,
 }
@@ -254,6 +280,7 @@ impl Default for RunReport {
             provenance: None,
             columnar: None,
             serve: None,
+            spill: None,
             spans: 0,
         }
     }
@@ -304,7 +331,7 @@ impl RunReport {
             s.push_str(&format!(
                 "    {{\"op\": {}, \"type\": \"{}\", \"udf\": {}, \"rows_in\": {}, \
                  \"rows_out\": {}, \"morsels\": {}, \"udf_panics\": {}, \"busy_ns\": {}, \
-                 \"assoc_entries\": {}, \"assoc_bytes\": {}}}{}\n",
+                 \"assoc_entries\": {}, \"assoc_bytes\": {}, \"spill_bytes\": {}}}{}\n",
                 o.op,
                 json_escape(&o.op_type),
                 o.udf,
@@ -315,6 +342,7 @@ impl RunReport {
                 o.busy_ns,
                 o.assoc_entries,
                 o.assoc_bytes,
+                o.spill_bytes,
                 if i + 1 < self.operators.len() {
                     ","
                 } else {
@@ -385,6 +413,21 @@ impl RunReport {
                 v.connections, v.queries, v.errors, v.panics_contained, v.frames_sent,
             )),
             None => s.push_str("  \"serve\": null,\n"),
+        }
+        match &self.spill {
+            Some(p) => s.push_str(&format!(
+                "  \"spill\": {{\"budget_bytes\": {}, \"peak_tracked_bytes\": {}, \
+                 \"spills\": {}, \"spill_bytes\": {}, \"reloads\": {}, \
+                 \"capture_spills\": {}, \"capture_spill_bytes\": {}}},\n",
+                p.budget_bytes,
+                p.peak_tracked_bytes,
+                p.spills,
+                p.spill_bytes,
+                p.reloads,
+                p.capture_spills,
+                p.capture_spill_bytes,
+            )),
+            None => s.push_str("  \"spill\": null,\n"),
         }
         s.push_str(&format!("  \"spans\": {}\n", self.spans));
         s.push_str("}\n");
@@ -463,6 +506,7 @@ mod tests {
             "provenance",
             "columnar",
             "serve",
+            "spill",
             "spans",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");

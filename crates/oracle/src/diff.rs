@@ -23,6 +23,12 @@
 //!   ([`ExecConfig::columnar`]) reproduce the row path bit-for-bit (rows,
 //!   ids, association tables) at worker counts {1, 2, 7} and at every
 //!   partition count;
+//! * **spill-invariant** — under a one-byte memory budget
+//!   ([`ExecConfig::mem_budget`]) every operator output, grace-join
+//!   bucket, shuffle partition, and capture association table goes
+//!   through disk, and the run is still bit-identical to the in-memory
+//!   capture (checked at `w=1`, `w=2` with tiny morsels, and columnar),
+//!   with real spill traffic reported whenever rows flowed;
 //! * **backtrace-equivalent** — for sampled output items (whole-item
 //!   trees over [`Path::path_set`]) and one tree-pattern query, the
 //!   backtracing results agree bit-for-bit across reference / fused /
@@ -65,6 +71,12 @@ const ALT_WORKER_MORSEL: usize = 3;
 
 /// How many output items get a whole-item backtrace comparison.
 const BACKTRACE_SAMPLES: usize = 3;
+
+/// Memory budget (bytes) for the out-of-core axis. One byte forces every
+/// operator output, grace-join bucket, shuffle partition, and capture
+/// association table through the spill path deterministically — there is
+/// no budget race, every eligible allocation spills.
+const SPILL_BUDGET: usize = 1;
 
 /// One disagreement between the reference and the engine (or between two
 /// engine configurations).
@@ -467,6 +479,69 @@ pub fn check(gen: &Generated) -> Option<Divergence> {
         }
     }
 
+    // Out-of-core invariance, bit-for-bit: a one-byte budget routes every
+    // operator output, join build side, shuffle, and capture association
+    // table through disk; the run must still be indistinguishable from the
+    // in-memory capture (rows, ids, association tables), and must report
+    // real spill traffic whenever any rows flowed.
+    {
+        let rows_flowed = fused.output.op_counts.iter().sum::<usize>() > 0;
+        let configs = [
+            (
+                "in-memory vs spilled (p=1, w=1)".to_string(),
+                reference_config().mem_budget(SPILL_BUDGET),
+            ),
+            (
+                "in-memory vs spilled (p=1, w=2)".to_string(),
+                reference_config()
+                    .workers(2)
+                    .morsel_rows(ALT_WORKER_MORSEL)
+                    .mem_budget(SPILL_BUDGET),
+            ),
+            (
+                "in-memory vs spilled (p=1, columnar)".to_string(),
+                reference_config().columnar(true).mem_budget(SPILL_BUDGET),
+            ),
+        ];
+        for (name, config) in configs {
+            match run_captured(&program, &ctx, config) {
+                Ok(r) => {
+                    let spilled = r.output.report.spill.as_ref().map(|s| {
+                        s.spills + s.capture_spills > 0 && s.budget_bytes == SPILL_BUDGET as u64
+                    });
+                    match spilled {
+                        Some(true) => {}
+                        Some(false) if !rows_flowed => {}
+                        Some(false) => {
+                            return diverge(
+                                seed,
+                                &name,
+                                "budgeted run reports no spill traffic".to_string(),
+                            )
+                        }
+                        None => {
+                            return diverge(
+                                seed,
+                                &name,
+                                "budgeted run reports no spill stats".to_string(),
+                            )
+                        }
+                    }
+                    if let Some(d) = compare_captured(seed, &name, &fused, &r) {
+                        return Some(d);
+                    }
+                }
+                Err(e) => {
+                    return diverge(
+                        seed,
+                        "error agreement",
+                        format!("budgeted engine errors ({e}), in-memory succeeds ({name})"),
+                    )
+                }
+            }
+        }
+    }
+
     // Capture transparency: a plain run returns the same rows.
     match run(&program, &ctx, reference_config(), &NoSink) {
         Ok(plain) => {
@@ -612,6 +687,10 @@ fn rejection_agreement(
         let config = ExecConfig::with_partitions(parts);
         checks.push((format!("p={parts}"), run_captured(program, ctx, config)));
     }
+    checks.push((
+        "budget=1 (spill)".into(),
+        run_captured(program, ctx, reference_config().mem_budget(SPILL_BUDGET)),
+    ));
     for (name, outcome) in checks {
         match outcome {
             Ok(_) => {
@@ -722,6 +801,28 @@ pub fn check_malformed(gen: &Generated) -> Option<Divergence> {
                 .morsel_rows(ALT_WORKER_MORSEL);
             let alt = run_captured(&program, &ctx, config);
             let name = format!("row vs columnar (p=1, w={workers})");
+            if let Some(d) = same_outcome(seed, &name, &fused, &alt) {
+                return Some(d);
+            }
+        }
+    }
+
+    // Out-of-core failure agreement: a one-byte budget must not change the
+    // outcome — bit-identical capture on success, a `Display`-identical
+    // error on failure. Spilled blocks replay the exact morsel layout of
+    // the in-memory run, so first-failure selection cannot move.
+    {
+        let budgeted = run_captured(&program, &ctx, reference_config().mem_budget(SPILL_BUDGET));
+        if let Some(d) = same_outcome(seed, "in-memory vs spilled (p=1)", &fused, &budgeted) {
+            return Some(d);
+        }
+        for workers in ALT_WORKERS {
+            let config = reference_config()
+                .workers(workers)
+                .morsel_rows(ALT_WORKER_MORSEL)
+                .mem_budget(SPILL_BUDGET);
+            let alt = run_captured(&program, &ctx, config);
+            let name = format!("in-memory vs spilled (p=1, w={workers})");
             if let Some(d) = same_outcome(seed, &name, &fused, &alt) {
                 return Some(d);
             }

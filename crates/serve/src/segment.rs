@@ -49,41 +49,10 @@ pub const BLOCK_INDEX: u8 = 6;
 /// End marker; nothing may follow it.
 pub const BLOCK_END: u8 = 7;
 
-/// CRC-32 (IEEE 802.3, reflected) over `data` — the per-block checksum.
-pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = {
-        let mut table = [0u32; 256];
-        let mut i = 0;
-        while i < 256 {
-            let mut c = i as u32;
-            let mut k = 0;
-            while k < 8 {
-                c = if c & 1 != 0 {
-                    0xedb8_8320 ^ (c >> 1)
-                } else {
-                    c >> 1
-                };
-                k += 1;
-            }
-            table[i] = c;
-            i += 1;
-        }
-        table
-    };
-    let mut crc = !0u32;
-    for &b in data {
-        crc = TABLE[((crc ^ b as u32) & 0xff) as usize] ^ (crc >> 8);
-    }
-    !crc
-}
-
-/// Appends one framed block (`type · len · payload · crc`) to `out`.
-pub fn frame_block(out: &mut Vec<u8>, ty: u8, payload: &[u8]) {
-    out.push(ty);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(payload);
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
-}
+// The checksummed block framing is shared with the executor's spill files;
+// it lives in `pebble_nested::encode` and is re-exported here so segment
+// readers/writers keep their original import paths.
+pub use pebble_nested::encode::{crc32, frame_block};
 
 /// Starts a segment byte stream: magic + version.
 pub fn segment_header() -> Vec<u8> {

@@ -31,6 +31,21 @@ PEBBLE_PARTITIONS=8 PEBBLE_WORKERS=8 PEBBLE_MORSEL_ROWS=16 cargo test -q --works
 echo "==> cargo test -q (PEBBLE_COLUMNAR=1)"
 PEBBLE_COLUMNAR=1 cargo test -q --workspace --release
 
+# Out-of-core matrix: the whole suite under a 4 KiB memory budget, which
+# forces every materialized unit output, join build side, group shuffle,
+# and capture sink through the spill path on every test workload; all
+# results (rows, ids, association tables, error Displays) must stay
+# bit-identical to the in-memory run.
+echo "==> cargo test -q (PEBBLE_MEM_BUDGET=4096)"
+PEBBLE_MEM_BUDGET=4096 cargo test -q --workspace --release
+
+# Spill regression guard: the 100x scenario must produce byte-identical
+# output under budget, actually spill every spillable structure at the
+# floor budget, and finish a peak/2-budget run within the documented
+# slowdown bound; numbers fold into the "spill" section of BENCH_6.json.
+echo "==> spill regression guard (spillbench --assert)"
+cargo run -q --release -p pebble-bench --bin spillbench -- --assert
+
 # Bounded differential-fuzz smoke: fixed seed window, ~1500 pipelines
 # through the Tab. 5 reference oracle (well under 30 s in release). The
 # oracle sweeps the columnar axis internally on every seed.
