@@ -3,6 +3,9 @@
 //! Reimplementations of the systems Pebble is compared against:
 //!
 //! * [`titian`] — DISC-integrated lineage capture and tracing (Sec. 7.3.4);
+//! * [`mod@backend`] — the above, ported onto [`pebble_core::CaptureBackend`]
+//!   so the backend-conformance suite runs every comparator through the
+//!   engine's determinism matrix;
 //! * [`lazy`] — PROVision-style fully lazy provenance querying (Fig. 9);
 //! * [`lipstick`] — per-value annotation how-provenance (Sec. 2's 35-vs-5
 //!   annotation contrast);
@@ -12,12 +15,14 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod lazy;
 pub mod lipstick;
 pub mod provision;
 pub mod titian;
 pub mod where_prov;
 
+pub use backend::{LazyBackend, LipstickBackend, TitianBackend};
 pub use lazy::{lazy_query, LazyStats};
 pub use lipstick::{annotation_count, pebble_annotation_count, AnnotatedDataset};
 pub use provision::{polynomial, Poly};

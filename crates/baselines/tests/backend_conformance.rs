@@ -1,0 +1,175 @@
+//! Backend-conformance suite: every capture backend — the three built-ins
+//! and the three baseline ports — answers its queries byte-identically
+//! across the engine's whole determinism matrix (partitions × workers ×
+//! columnar × spill budget), because backends consume only the assembled
+//! `CapturedRun` and render identifier-free quantities.
+
+use pebble_baselines::{LazyBackend, LipstickBackend, TitianBackend};
+use pebble_core::{
+    run_for_backend, CaptureBackend, CapturedRun, SemiringBackend, StructuralBackend, WhyNotBackend,
+};
+use pebble_dataflow::{Context, ExecConfig, Program, Result};
+use pebble_nested::{Path, Value};
+use pebble_workloads::{running_example, scenarios, twitter_context};
+
+fn backends() -> Vec<&'static dyn CaptureBackend> {
+    vec![
+        &StructuralBackend,
+        &WhyNotBackend,
+        &SemiringBackend,
+        &TitianBackend,
+        &LazyBackend,
+        &LipstickBackend,
+    ]
+}
+
+/// The determinism matrix every answer must be byte-identical across.
+fn shapes() -> Vec<(&'static str, ExecConfig)> {
+    vec![
+        ("p=1", ExecConfig::with_partitions(1)),
+        ("p=2", ExecConfig::with_partitions(2)),
+        ("p=7", ExecConfig::with_partitions(7)),
+        (
+            "w=2 morsel=3",
+            ExecConfig::with_partitions(1).workers(2).morsel_rows(3),
+        ),
+        ("columnar", ExecConfig::with_partitions(1).columnar(true)),
+        ("spill", ExecConfig::with_partitions(1).mem_budget(1)),
+    ]
+}
+
+/// Renders an answer outcome (answers and errors both count — error text
+/// must be shape-invariant too).
+fn outcome(r: Result<Vec<String>>) -> String {
+    match r {
+        Ok(lines) => format!("ok:{}", lines.join("\n")),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// A why-not question derived from the baseline run: one condition a row
+/// satisfies (the `found` answer) and one nothing satisfies.
+fn whynot_queries(run: &CapturedRun) -> Vec<String> {
+    let mut queries = Vec::new();
+    if let Some(row) = run.output.rows.first() {
+        for p in Path::path_set(&row.item) {
+            let vals = p.eval_all(&row.item);
+            if let Some(Value::Int(v)) = vals.first() {
+                let sp = p.to_schema_level();
+                queries.push(format!("WHYNOT {sp}={v}"));
+                queries.push(format!("WHYNOT {sp}=-987654321"));
+                break;
+            }
+        }
+    }
+    if queries.is_empty() {
+        queries.push("WHYNOT absent_attr=1".to_string());
+    }
+    queries
+}
+
+fn queries_for(backend: &dyn CaptureBackend, baseline: &CapturedRun) -> Vec<String> {
+    let last = baseline.output.rows.len().saturating_sub(1);
+    match backend.name() {
+        "structural" => vec!["BACKTRACE 0".into(), format!("BACKTRACE {last}")],
+        "whynot" => whynot_queries(baseline),
+        "semiring" => vec!["POLY 0".into(), "COUNT 0".into(), format!("PROB {last}")],
+        "titian" | "lazy" => vec!["TRACE 0".into(), format!("TRACE {last}")],
+        "lipstick" => vec!["ANNOTATIONS".into()],
+        other => panic!("unknown backend `{other}`"),
+    }
+}
+
+fn assert_conformance(name: &str, program: &Program, ctx: &Context) {
+    let backends = backends();
+    let baseline_runs: Vec<CapturedRun> = backends
+        .iter()
+        .map(|b| run_for_backend(program, ctx, ExecConfig::with_partitions(1), *b).unwrap())
+        .collect();
+    for (backend, baseline_run) in backends.iter().zip(&baseline_runs) {
+        let queries = queries_for(*backend, baseline_run);
+        let prepared = backend.prepare(baseline_run, ctx).unwrap();
+        let expected: Vec<String> = queries
+            .iter()
+            .map(|q| outcome(prepared.answer(q)))
+            .collect();
+        // Every answer must produce output or a deliberate error, never an
+        // accidental unknown-query rejection.
+        for (q, e) in queries.iter().zip(&expected) {
+            assert!(
+                !e.contains("does not understand"),
+                "{name}/{}: query `{q}` not understood: {e}",
+                backend.name()
+            );
+        }
+        for (shape, config) in shapes() {
+            let run = run_for_backend(program, ctx, config, *backend).unwrap();
+            let prepared = backend.prepare(&run, ctx).unwrap();
+            for (q, want) in queries.iter().zip(&expected) {
+                let got = outcome(prepared.answer(q));
+                assert_eq!(
+                    &got,
+                    want,
+                    "{name}/{}: query `{q}` diverges at shape {shape}",
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn running_example_conforms() {
+    assert_conformance(
+        "running-example",
+        &running_example::program(),
+        &running_example::context(),
+    );
+}
+
+#[test]
+fn twitter_t1_conforms() {
+    let ctx = twitter_context(24);
+    let s = scenarios::t1();
+    assert_conformance("T1", &s.program, &ctx);
+}
+
+#[test]
+fn twitter_t2_conforms() {
+    let ctx = twitter_context(24);
+    let s = scenarios::t2();
+    assert_conformance("T2", &s.program, &ctx);
+}
+
+#[test]
+fn lipstick_forces_row_path() {
+    let ctx = running_example::context();
+    let program = running_example::program();
+    let run = run_for_backend(
+        &program,
+        &ctx,
+        ExecConfig::with_partitions(1).columnar(true),
+        &LipstickBackend,
+    )
+    .unwrap();
+    // The columnar flag was cleared: no columnar stats on the report, and
+    // the report records which backend drove the run.
+    assert!(run.output.report.columnar.is_none());
+    let stats = run.output.report.backend.as_ref().unwrap();
+    assert_eq!(stats.name, "lipstick");
+    assert!(stats.forces_row_path);
+
+    // A backend that consumes columnar runs keeps the flag.
+    let run = run_for_backend(
+        &program,
+        &ctx,
+        ExecConfig::with_partitions(1).columnar(true),
+        &StructuralBackend,
+    )
+    .unwrap();
+    assert!(run.output.report.columnar.is_some());
+    assert_eq!(
+        run.output.report.backend.as_ref().unwrap().name,
+        "structural"
+    );
+}

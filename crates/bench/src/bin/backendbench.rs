@@ -1,0 +1,192 @@
+//! Backend bench: why-not query latency and semiring polynomial size,
+//! contrasted with the Lipstick annotation count the paper argues against
+//! (Sec. 2's 35-vs-5) — folded into the `"backends"` section of
+//! `BENCH_7.json`.
+//!
+//! Usage: `backendbench [--out FILE] [--assert]`
+//!
+//! `--assert` runs a reduced workload and enforces the structural
+//! invariants instead of reporting: Lipstick's per-value annotations
+//! outnumber Pebble's top-level identifiers at least 5x, why-not answers
+//! are byte-identical across repeated runs, and every sampled output row
+//! has a non-trivial provenance polynomial.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use pebble_baselines::{annotation_count, pebble_annotation_count};
+use pebble_bench::{exec_config, ms, scale, time, write_json_section, TWITTER_BASE};
+use pebble_core::whynot::{parse_whynot_query, why_not};
+use pebble_core::{run_captured, semiring, CapturedRun};
+use pebble_dataflow::Context;
+use pebble_nested::{Path, Value};
+use pebble_workloads::{scenarios, twitter_context};
+
+/// Sampled output rows for polynomial statistics.
+const POLY_SAMPLE: usize = 16;
+
+struct Measured {
+    rows: usize,
+    whynot_found: Duration,
+    whynot_missing: Duration,
+    poly_rows: usize,
+    poly_monomials_max: usize,
+    poly_degree_max: u32,
+    poly_count_max: u64,
+    lipstick_annotations: usize,
+    pebble_ids: usize,
+}
+
+/// A `path=value` pair a row of the run satisfies, for the `found` query.
+fn found_condition(run: &CapturedRun) -> Option<(Path, i64)> {
+    let row = run.output.rows.first()?;
+    Path::path_set(&row.item).into_iter().find_map(|p| {
+        if let Some(Value::Int(v)) = p.eval_all(&row.item).first() {
+            Some((p.to_schema_level(), *v))
+        } else {
+            None
+        }
+    })
+}
+
+fn measure(tweets: usize, repeats: usize) -> Measured {
+    let ctx: Context = twitter_context(tweets);
+    let t1 = scenarios::t1();
+    let run = run_captured(&t1.program, &ctx, exec_config()).expect("T1 run failed");
+
+    let (path, value) = found_condition(&run).expect("T1 output has no integer-valued path");
+    let found_conds = parse_whynot_query(&format!("{path}={value}")).unwrap();
+    let missing_conds = parse_whynot_query(&format!("{path}=-987654321")).unwrap();
+
+    let whynot_found = time(repeats, || {
+        why_not(&run, &ctx, &found_conds).expect("why-not (found) failed")
+    });
+    let whynot_missing = time(repeats, || {
+        why_not(&run, &ctx, &missing_conds).expect("why-not (missing) failed")
+    });
+
+    let poly_rows = run.output.rows.len().min(POLY_SAMPLE);
+    let mut poly_monomials_max = 0usize;
+    let mut poly_degree_max = 0u32;
+    let mut poly_count_max = 0u64;
+    for i in 0..poly_rows {
+        let p = semiring::polynomial_of(&run, i).expect("polynomial failed");
+        poly_monomials_max = poly_monomials_max.max(p.terms.len());
+        poly_count_max = poly_count_max.max(p.count());
+        for m in p.terms.keys() {
+            poly_degree_max = poly_degree_max.max(m.iter().map(|&(_, e)| e).sum());
+        }
+    }
+
+    let items = ctx.source("tweets").expect("tweets source");
+    Measured {
+        rows: run.output.rows.len(),
+        whynot_found,
+        whynot_missing,
+        poly_rows,
+        poly_monomials_max,
+        poly_degree_max,
+        poly_count_max,
+        lipstick_annotations: annotation_count(items),
+        pebble_ids: pebble_annotation_count(items),
+    }
+}
+
+fn assert_mode() {
+    let m = measure(TWITTER_BASE / 4, 3);
+    let ratio = m.lipstick_annotations as f64 / m.pebble_ids as f64;
+    println!(
+        "backendbench --assert: {} rows, why-not found {} ms / missing {} ms, \
+         poly max {} monomials (count {}), lipstick {} vs pebble {} ({ratio:.1}x)",
+        m.rows,
+        ms(m.whynot_found),
+        ms(m.whynot_missing),
+        m.poly_monomials_max,
+        m.poly_count_max,
+        m.lipstick_annotations,
+        m.pebble_ids,
+    );
+    assert!(
+        ratio >= 5.0,
+        "lipstick annotation ratio below the 5x floor: {ratio:.2}x"
+    );
+    assert!(
+        m.poly_monomials_max >= 1 && m.poly_count_max >= 1,
+        "sampled rows have trivial polynomials"
+    );
+    assert!(
+        m.poly_degree_max >= 2,
+        "T1 groups mentions across tweets; an aggregated row must multiply \
+         at least two source variables (got degree {})",
+        m.poly_degree_max
+    );
+    // Why-not answers are deterministic across repeated evaluation.
+    let ctx = twitter_context(TWITTER_BASE / 4);
+    let t1 = scenarios::t1();
+    let run = run_captured(&t1.program, &ctx, exec_config()).expect("T1 run failed");
+    let (path, _) = found_condition(&run).expect("T1 output has no integer-valued path");
+    let conds = parse_whynot_query(&format!("{path}=-987654321")).unwrap();
+    let a = why_not(&run, &ctx, &conds).unwrap().render(&run);
+    let b = why_not(&run, &ctx, &conds).unwrap().render(&run);
+    assert_eq!(a, b, "why-not answers differ across evaluations");
+    println!("backendbench --assert: ok");
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_7.json");
+    let mut assert_only = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--assert" => assert_only = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+    if assert_only {
+        assert_mode();
+        return;
+    }
+
+    let tweets = TWITTER_BASE * scale();
+    let m = measure(tweets, 5);
+    let ratio = m.lipstick_annotations as f64 / m.pebble_ids as f64;
+
+    println!("backendbench — capture backends, scale {}", scale());
+    println!("T1 over {tweets} tweets, {} result rows", m.rows);
+    println!(
+        "why-not latency: found {} ms / missing {} ms (mean of 5)",
+        ms(m.whynot_found),
+        ms(m.whynot_missing)
+    );
+    println!(
+        "semiring polynomials over {} rows: max {} monomials, max degree {}, max count {}",
+        m.poly_rows, m.poly_monomials_max, m.poly_degree_max, m.poly_count_max
+    );
+    println!(
+        "lipstick {} annotations vs pebble {} ids — {ratio:.1}x",
+        m.lipstick_annotations, m.pebble_ids
+    );
+
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"scale\": {},", scale());
+    let _ = writeln!(body, "  \"tweets\": {tweets},");
+    let _ = writeln!(body, "  \"result_rows\": {},", m.rows);
+    let _ = writeln!(body, "  \"whynot_found_ms\": {},", ms(m.whynot_found));
+    let _ = writeln!(body, "  \"whynot_missing_ms\": {},", ms(m.whynot_missing));
+    let _ = writeln!(body, "  \"poly_sample_rows\": {},", m.poly_rows);
+    let _ = writeln!(body, "  \"poly_monomials_max\": {},", m.poly_monomials_max);
+    let _ = writeln!(body, "  \"poly_degree_max\": {},", m.poly_degree_max);
+    let _ = writeln!(body, "  \"poly_count_max\": {},", m.poly_count_max);
+    let _ = writeln!(
+        body,
+        "  \"lipstick_annotations\": {},",
+        m.lipstick_annotations
+    );
+    let _ = writeln!(body, "  \"pebble_ids\": {},", m.pebble_ids);
+    let _ = writeln!(body, "  \"annotation_ratio\": {ratio:.2}");
+    body.push('}');
+
+    write_json_section(&out_path, "backends", &body);
+    eprintln!("wrote section \"backends\" to {out_path}");
+}

@@ -290,6 +290,7 @@ impl CaptureSpill {
         let base = std::env::var_os("PEBBLE_SPILL_DIR")
             .map(PathBuf::from)
             .unwrap_or_else(std::env::temp_dir);
+        pebble_dataflow::spill::sweep_stale_run_dirs_once(&base);
         let dir = base.join(format!(
             "pebble-capture-{}-{}",
             std::process::id(),

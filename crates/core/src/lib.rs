@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod backend;
 pub mod backtrace;
 pub mod btree;
 pub mod capture;
@@ -21,9 +22,15 @@ pub mod model;
 pub mod pattern;
 pub mod pattern_opt;
 pub mod pattern_parse;
+pub mod semiring;
 pub mod storage;
+pub mod whynot;
 
 pub use analysis::{co_access_pairs, AuditReport, Heatmap, ItemUsage};
+pub use backend::{
+    backend_by_name, backend_from_env, run_for_backend, CaptureBackend, PreparedBackend,
+    SemiringBackend, StructuralBackend, WhyNotBackend,
+};
 pub use backtrace::{
     backtrace, backtrace_from, backtrace_with, canonical_provenance, BacktraceIndex, ProvView,
     SourceProvenance, TracedItem,

@@ -157,6 +157,78 @@ pub(crate) fn parts_bytes(parts: &[Vec<Row>]) -> usize {
 
 static RUN_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Per-run scratch directory name prefixes this process (and its peers)
+/// create under the spill base; stale-sweep candidates.
+const RUN_DIR_PREFIXES: [&str; 2] = ["pebble-spill-", "pebble-capture-"];
+
+/// Removes sibling per-run scratch directories left behind by processes
+/// that died before their `Drop` ran (kill -9, panic=abort). Returns the
+/// number of directories removed.
+///
+/// Only directories named `pebble-spill-<pid>-<seq>` or
+/// `pebble-capture-<pid>-<seq>` whose pid is provably dead are touched.
+/// Liveness is probed via `/proc/<pid>`; where that is unavailable every
+/// pid counts as alive and nothing is swept. A pid that was reused by an
+/// unrelated live process therefore also counts as alive — the orphan dir
+/// survives until that pid dies, which is the safe side of the collision.
+pub fn sweep_stale_run_dirs(base: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(base) else {
+        return 0;
+    };
+    let mut swept = 0;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(pid) = run_dir_pid(name.to_str().unwrap_or("")) else {
+            continue;
+        };
+        if pid == std::process::id() || pid_alive(pid) {
+            continue;
+        }
+        let is_dir = entry.file_type().map(|t| t.is_dir()).unwrap_or(false);
+        if is_dir && fs::remove_dir_all(entry.path()).is_ok() {
+            swept += 1;
+        }
+    }
+    swept
+}
+
+/// The owning pid of a per-run scratch directory name, or `None` when the
+/// name does not match `<prefix><pid>-<seq>` with numeric pid and seq.
+fn run_dir_pid(name: &str) -> Option<u32> {
+    let rest = RUN_DIR_PREFIXES.iter().find_map(|p| name.strip_prefix(p))?;
+    let (pid, seq) = rest.split_once('-')?;
+    if seq.is_empty() || !seq.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    pid.parse::<u32>().ok()
+}
+
+/// Whether a process with this pid is currently running. Conservative:
+/// without a `/proc` to consult, everything is considered alive.
+fn pid_alive(pid: u32) -> bool {
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
+/// Sweeps stale run directories under `base` at most once per process per
+/// base path — runs under a budget are frequent and the readdir need not
+/// be repaid on every one.
+pub fn sweep_stale_run_dirs_once(base: &Path) {
+    use std::collections::HashSet;
+    use std::sync::OnceLock;
+    static SWEPT: OnceLock<std::sync::Mutex<HashSet<PathBuf>>> = OnceLock::new();
+    let mut seen = SWEPT
+        .get_or_init(|| std::sync::Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner());
+    if seen.insert(base.to_path_buf()) {
+        sweep_stale_run_dirs(base);
+    }
+}
+
 /// A per-run spill directory, removed (with everything in it) on drop.
 ///
 /// The parent directory comes from `PEBBLE_SPILL_DIR` when set (and
@@ -174,6 +246,7 @@ impl SpillDir {
             Ok(dir) if !dir.trim().is_empty() => PathBuf::from(dir),
             _ => std::env::temp_dir(),
         };
+        sweep_stale_run_dirs_once(&base);
         let unique = format!(
             "pebble-spill-{}-{}",
             std::process::id(),
@@ -613,6 +686,61 @@ mod tests {
                 }
             })
             .collect()
+    }
+
+    #[test]
+    fn run_dir_pid_parses_only_well_formed_names() {
+        assert_eq!(run_dir_pid("pebble-spill-123-0"), Some(123));
+        assert_eq!(run_dir_pid("pebble-capture-9-41"), Some(9));
+        assert_eq!(run_dir_pid("pebble-spill-123"), None); // no seq
+        assert_eq!(run_dir_pid("pebble-spill-123-"), None); // empty seq
+        assert_eq!(run_dir_pid("pebble-spill-abc-0"), None); // non-numeric pid
+        assert_eq!(run_dir_pid("pebble-spill-123-0x"), None); // non-numeric seq
+        assert_eq!(run_dir_pid("other-123-0"), None); // foreign prefix
+    }
+
+    #[test]
+    fn sweep_removes_dead_pid_dirs_and_spares_live_ones() {
+        if !cfg!(target_os = "linux") {
+            return; // no /proc: the sweep is defined to be a no-op
+        }
+        let base = std::env::temp_dir().join(format!("pebble-sweep-test-{}", std::process::id()));
+        fs::create_dir_all(&base).unwrap();
+        // A provably dead pid: a short-lived child, reaped by wait().
+        let mut child = std::process::Command::new("true").spawn().unwrap();
+        let dead_pid = child.id();
+        child.wait().unwrap();
+        assert!(!pid_alive(dead_pid));
+
+        let dir = |name: &str| {
+            let p = base.join(name);
+            fs::create_dir_all(&p).unwrap();
+            fs::write(p.join("op0.spill"), b"x").unwrap();
+            p
+        };
+        let dead_spill = dir(&format!("pebble-spill-{dead_pid}-0"));
+        let dead_capture = dir(&format!("pebble-capture-{dead_pid}-3"));
+        let own = dir(&format!("pebble-spill-{}-1", std::process::id()));
+        // Pid-reuse collision: pid 1 is always alive, and even though this
+        // orphan was never ours, an alive pid must never be swept.
+        let reused = dir("pebble-spill-1-0");
+        let foreign = dir("unrelated-dir");
+        let malformed = dir("pebble-spill-notapid-0");
+        // A *file* matching the stale pattern is left alone too.
+        let stale_file = base.join(format!("pebble-spill-{dead_pid}-9"));
+        fs::write(&stale_file, b"x").unwrap();
+
+        assert_eq!(sweep_stale_run_dirs(&base), 2);
+        assert!(!dead_spill.exists());
+        assert!(!dead_capture.exists());
+        assert!(own.exists());
+        assert!(reused.exists());
+        assert!(foreign.exists());
+        assert!(malformed.exists());
+        assert!(stale_file.exists());
+        // Idempotent: nothing stale remains.
+        assert_eq!(sweep_stale_run_dirs(&base), 0);
+        let _ = fs::remove_dir_all(&base);
     }
 
     #[test]

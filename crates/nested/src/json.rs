@@ -362,9 +362,17 @@ impl<'a> Parser<'a> {
                 .map(Value::Double)
                 .map_err(|_| self.err("invalid number"))
         } else {
-            text.parse::<i64>()
-                .map(Value::Int)
-                .map_err(|_| self.err("invalid integer"))
+            match text.parse::<i64>() {
+                Ok(i) => Ok(Value::Int(i)),
+                // Valid JSON integers are unbounded; beyond i64 the value
+                // degrades to the nearest double, like every other reader
+                // without a bignum type. An empty digit string (bare `-`)
+                // fails the f64 parse too and stays an error.
+                Err(_) => text
+                    .parse::<f64>()
+                    .map(Value::Double)
+                    .map_err(|_| self.err("invalid integer")),
+            }
         }
     }
 }
@@ -409,6 +417,34 @@ mod tests {
         assert_eq!(parse("-7").unwrap(), Value::Int(-7));
         assert_eq!(parse("2.5").unwrap(), Value::Double(2.5));
         assert_eq!(parse("1e3").unwrap(), Value::Double(1000.0));
+    }
+
+    #[test]
+    fn integer_overflow_falls_back_to_double() {
+        // i64::MAX parses exactly as an integer; one past it overflows and
+        // degrades to the nearest double instead of erroring out.
+        assert_eq!(parse("9223372036854775807").unwrap(), Value::Int(i64::MAX));
+        assert_eq!(
+            parse("9223372036854775808").unwrap(),
+            Value::Double(9223372036854775808.0)
+        );
+        assert_eq!(parse("-9223372036854775808").unwrap(), Value::Int(i64::MIN));
+        assert_eq!(
+            parse("-9223372036854775809").unwrap(),
+            Value::Double(-9223372036854775809.0)
+        );
+        // u64::MAX and beyond-f64-precision magnitudes round-trip through
+        // serialization: parse → write → parse is a fixed point even though
+        // the decimal digits are no longer exact.
+        for src in ["18446744073709551615", "123456789012345678901234567890"] {
+            let v = parse(src).unwrap();
+            let expect = Value::Double(src.parse::<f64>().unwrap());
+            assert_eq!(v, expect, "{src}");
+            assert_eq!(parse(&to_string(&v)).unwrap(), v, "{src}");
+        }
+        // A lone minus sign is still a parse error, not a NaN.
+        assert!(parse("-").is_err());
+        assert!(parse("{\"a\":-}").is_err());
     }
 
     #[test]

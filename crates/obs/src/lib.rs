@@ -22,8 +22,8 @@ pub mod span;
 pub use config::{force_metrics, metrics_enabled, ObsConfig};
 pub use metrics::{HistogramSnapshot, Log2Histogram, Shard, ShardSet, ShardTotals};
 pub use report::{
-    json_escape, ColumnarStats, DurationSummary, MorselStats, OpReport, PoolStats, ProvenanceStats,
-    RunReport, ServeStats, SpillStats, REPORT_SCHEMA_VERSION,
+    json_escape, BackendStats, ColumnarStats, DurationSummary, MorselStats, OpReport, PoolStats,
+    ProvenanceStats, RunReport, ServeStats, SpillStats, REPORT_SCHEMA_VERSION,
 };
 pub use span::{SpanEvent, SpanKind, TraceCollector};
 

@@ -212,6 +212,16 @@ pub struct SpillStats {
     pub capture_spill_bytes: u64,
 }
 
+/// Capture-backend identification (populated by `run_for_backend` when a
+/// run executes on behalf of a named provenance backend).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BackendStats {
+    /// Registry name of the backend (`structural`, `whynot`, …).
+    pub name: String,
+    /// Whether the backend forced the row execution path.
+    pub forces_row_path: bool,
+}
+
 /// A structured, serializable summary of one engine run.
 ///
 /// Built for every run (cheap counters are always on); timing fields,
@@ -256,6 +266,8 @@ pub struct RunReport {
     pub serve: Option<ServeStats>,
     /// Out-of-core execution statistics (memory-budgeted runs only).
     pub spill: Option<SpillStats>,
+    /// Capture-backend identification (backend-driven runs only).
+    pub backend: Option<BackendStats>,
     /// Number of span events recorded (tracing runs only).
     pub spans: u64,
 }
@@ -281,6 +293,7 @@ impl Default for RunReport {
             columnar: None,
             serve: None,
             spill: None,
+            backend: None,
             spans: 0,
         }
     }
@@ -429,6 +442,14 @@ impl RunReport {
             )),
             None => s.push_str("  \"spill\": null,\n"),
         }
+        match &self.backend {
+            Some(b) => s.push_str(&format!(
+                "  \"backend\": {{\"name\": \"{}\", \"forces_row_path\": {}}},\n",
+                json_escape(&b.name),
+                b.forces_row_path,
+            )),
+            None => s.push_str("  \"backend\": null,\n"),
+        }
         s.push_str(&format!("  \"spans\": {}\n", self.spans));
         s.push_str("}\n");
         s
@@ -507,6 +528,7 @@ mod tests {
             "columnar",
             "serve",
             "spill",
+            "backend",
             "spans",
         ] {
             assert!(json.contains(&format!("\"{key}\"")), "missing key {key}");

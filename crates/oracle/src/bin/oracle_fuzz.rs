@@ -13,12 +13,16 @@
 //! `MODE` selects the axis: `valid` (default) checks well-formed cases
 //! against the reference interpreter; `malformed` corrupts each case
 //! (panicking UDFs, unresolvable paths) and checks that every engine
-//! executor agrees on the failing outcome; `all` runs both.
+//! executor agrees on the failing outcome; `backends` runs the why-not +
+//! semiring capture backends against their naive oracle references (on
+//! both well-formed and corrupted cases, with malformed queries every
+//! seed); `all` runs everything.
 
 use std::process::ExitCode;
 
 use pebble_oracle::{
-    check, check_malformed, fuzz, fuzz_malformed, generate, generate_malformed, minimize_with,
+    check, check_backends, check_backends_malformed, check_malformed, fuzz, fuzz_backends,
+    fuzz_backends_malformed, fuzz_malformed, generate, generate_malformed, minimize_with,
     regression_code, FuzzOutcome, Generated,
 };
 
@@ -61,12 +65,13 @@ fn main() -> ExitCode {
         .map(|a| a.parse().expect("START_SEED is a number"))
         .unwrap_or(0);
     let mode: String = args.next().unwrap_or_else(|| "valid".to_string());
-    let (run_valid, run_malformed) = match mode.as_str() {
-        "valid" => (true, false),
-        "malformed" => (false, true),
-        "all" => (true, true),
+    let (run_valid, run_malformed, run_backends) = match mode.as_str() {
+        "valid" => (true, false, false),
+        "malformed" => (false, true, false),
+        "backends" => (false, false, true),
+        "all" => (true, true, true),
         other => {
-            eprintln!("unknown MODE `{other}` (expected valid | malformed | all)");
+            eprintln!("unknown MODE `{other}` (expected valid | malformed | backends | all)");
             return ExitCode::FAILURE;
         }
     };
@@ -102,6 +107,23 @@ fn main() -> ExitCode {
             );
         }
         ok &= report("malformed", &outcome, check_malformed);
+    }
+    if run_backends {
+        // Backend checks run malformed pipelines too; silence the panic
+        // hook for the contained UDF panics (see above).
+        std::panic::set_hook(Box::new(|_| {}));
+        println!("oracle_fuzz: checking {count} backend cases (valid) from seed {start}");
+        ok &= report(
+            "backends-valid",
+            &fuzz_backends(start, count, 5),
+            check_backends,
+        );
+        println!("oracle_fuzz: checking {count} backend cases (malformed) from seed {start}");
+        ok &= report(
+            "backends-malformed",
+            &fuzz_backends_malformed(start, count, 5),
+            check_backends_malformed,
+        );
     }
     if ok {
         ExitCode::SUCCESS

@@ -24,12 +24,16 @@
 
 #![warn(missing_docs)]
 
+pub mod backends;
 pub mod diff;
 pub mod gen;
 pub mod interp;
 pub mod minimize;
 pub mod spec;
 
+pub use backends::{
+    check_backends, check_backends_malformed, fuzz_backends, fuzz_backends_malformed,
+};
 pub use diff::{
     check, check_malformed, fuzz, fuzz_malformed, Divergence, FuzzOutcome, ALT_PARTITIONS,
 };

@@ -170,8 +170,22 @@ impl Server {
         if self.shutdown.swap(true, Relaxed) {
             return;
         }
-        // Unblock the accept loop with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
+        // Unblock the accept loop with a throwaway connection. The bound
+        // address may be unspecified (`0.0.0.0` / `::`), which is not a
+        // connectable destination on every platform — connecting to it can
+        // fail, leaving `accept` blocked and `join` hung forever. Always
+        // dial the loopback of the same family on the bound port, and fall
+        // back to the bound address itself for the (pathological) case of a
+        // loopback-filtered listener.
+        let port = self.local_addr.port();
+        let loopback: SocketAddr = if self.local_addr.is_ipv4() {
+            (std::net::Ipv4Addr::LOCALHOST, port).into()
+        } else {
+            (std::net::Ipv6Addr::LOCALHOST, port).into()
+        };
+        if TcpStream::connect(loopback).is_err() {
+            let _ = TcpStream::connect(self.local_addr);
+        }
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }

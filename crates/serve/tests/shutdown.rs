@@ -1,0 +1,78 @@
+//! Shutdown regression: a server bound to the unspecified address
+//! (`0.0.0.0:0`) must still shut down promptly.
+//!
+//! `Server::shutdown` unblocks the accept loop with a throwaway
+//! connection; it used to dial `local_addr` verbatim, and connecting to
+//! `0.0.0.0` is platform-dependent — where the connect fails, the accept
+//! thread never wakes and `handle.join()` blocks forever. The fix dials
+//! loopback on the bound port. Each test runs under a watchdog so a
+//! regression fails in seconds instead of hanging the suite.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use pebble_core::run_captured;
+use pebble_dataflow::ExecConfig;
+use pebble_serve::{persist, query, ProvStore, ServeConfig, Server};
+use pebble_workloads::{twitter_context, twitter_scenarios};
+
+fn build_store() -> Arc<ProvStore> {
+    let ctx = twitter_context(50);
+    for scenario in twitter_scenarios() {
+        let run = run_captured(&scenario.program, &ctx, ExecConfig::with_partitions(2)).unwrap();
+        if !run.output.rows.is_empty() {
+            return Arc::new(ProvStore::from_bytes(&persist(&run)).unwrap());
+        }
+    }
+    panic!("no Twitter scenario produced result rows at 50 tweets");
+}
+
+/// Runs `f` on a helper thread and fails the test if it does not finish
+/// within `secs` seconds — a hung shutdown must not hang the whole suite.
+fn with_watchdog(secs: u64, f: impl FnOnce() + Send + 'static) {
+    let (tx, rx) = mpsc::channel();
+    let worker = std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    match rx.recv_timeout(Duration::from_secs(secs)) {
+        Ok(()) => worker.join().unwrap(),
+        Err(_) => panic!("shutdown did not complete within {secs}s (accept loop still blocked)"),
+    }
+}
+
+#[test]
+fn shutdown_completes_when_bound_to_unspecified_addr() {
+    let store = build_store();
+    with_watchdog(30, move || {
+        let cfg = ServeConfig {
+            addr: "0.0.0.0:0".to_string(),
+            workers: 2,
+            debug_panic: false,
+        };
+        let mut server = Server::start(store, &cfg).unwrap();
+        assert!(server.local_addr().ip().is_unspecified());
+        // The server is live: a loopback client on the bound port works.
+        let addr = (std::net::Ipv4Addr::LOCALHOST, server.local_addr().port());
+        let frames = query(addr, "BACKTRACE 0").unwrap();
+        assert!(frames.last().unwrap().starts_with("DONE "));
+        server.shutdown();
+        // Idempotent: a second call returns immediately.
+        server.shutdown();
+    });
+}
+
+#[test]
+fn drop_completes_when_bound_to_unspecified_addr() {
+    let store = build_store();
+    with_watchdog(30, move || {
+        let cfg = ServeConfig {
+            addr: "0.0.0.0:0".to_string(),
+            workers: 1,
+            debug_panic: false,
+        };
+        let server = Server::start(store, &cfg).unwrap();
+        drop(server); // Drop calls shutdown; must not hang either.
+    });
+}

@@ -97,4 +97,21 @@ PEBBLE_STORE_DIR=target/ci_store cargo run -q --release -p pebble-bench --bin se
 echo "==> store regression guard (servebench --assert)"
 cargo run -q --release -p pebble-bench --bin servebench -- --assert
 
+# Backend differential smoke: every capture backend (built-ins + baseline
+# ports) against its naive oracle reference, across the shape matrix, on
+# valid and malformed pipelines.
+echo "==> backend differential smoke"
+cargo run -q --release -p pebble-oracle --bin oracle_fuzz -- 500 0 backends
+
+# Backend conformance smoke: env selection (PEBBLE_BACKEND) plus all six
+# backends answering byte-identically across shapes on two workloads.
+echo "==> backend smoke (env selection + shape conformance)"
+cargo run -q --release -p pebble-bench --bin backend_smoke
+
+# Backend regression guard: why-not determinism, non-trivial aggregation
+# polynomials, and the Sec. 2 lipstick-vs-pebble annotation ratio; numbers
+# fold into the "backends" section of BENCH_7.json.
+echo "==> backend regression guard (backendbench --assert)"
+cargo run -q --release -p pebble-bench --bin backendbench -- --assert
+
 echo "CI OK"
