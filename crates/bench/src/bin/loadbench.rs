@@ -1,0 +1,419 @@
+//! Load benchmark: offered-load sweep over the query service — the
+//! latency/throughput curve that turns BENCH numbers from point samples
+//! into curves.
+//!
+//! Persists a captured DBLP run, serves it, and then:
+//!
+//! 1. records a **serial baseline** — frames and latency of every mix
+//!    query over one connection at a time. Every response observed later
+//!    (calibration, sweep, guards) is byte-compared against these frames,
+//!    so the curve is only reported for answers identical to the serial
+//!    baseline;
+//! 2. calibrates peak capacity with an unthrottled **closed-loop** run
+//!    (tenants also interleave local engine runs — mixed run+query
+//!    traffic);
+//! 3. sweeps **open-loop** offered rates (fractions of the calibrated
+//!    peak, or `PEBBLE_LOAD_RATES`) and records per-rate client-side
+//!    p50/p99 and achieved throughput — past the saturation knee the
+//!    achieved rate flattens while p99 explodes, which is the point of
+//!    measuring open-loop;
+//! 4. under `--assert`, additionally gates (a) low-load p99 against the
+//!    serial baseline latency and (b) the metrics-on serve-path overhead
+//!    (<2%, frames byte-identical to metrics-off).
+//!
+//! Results are folded into the `"load"` section of `BENCH_8.json`.
+//!
+//! Usage: `loadbench [--out FILE] [--assert]`
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use pebble_bench::{overhead_pct, scale, time_interleaved, write_json_section, DBLP_BASE};
+use pebble_core::{run_captured, CapturedRun};
+use pebble_dataflow::ExecConfig;
+use pebble_obs::LogHistogram;
+use pebble_serve::{persist_file, query, ProvStore, ServeConfig, Server};
+use pebble_workloads::{
+    dblp_context, dblp_scenarios, rates_from_env, run_closed_loop, run_open_loop, ClosedLoopConfig,
+    OpenLoopConfig,
+};
+
+/// Serve-side query workers.
+const WORKERS: usize = 8;
+/// Open-loop sender threads (must exceed the service's concurrency so the
+/// measured queue is the service's, not the generator's).
+const SENDERS: usize = 32;
+/// Offered-load sweep, as fractions of the calibrated closed-loop peak.
+const SWEEP_FRACTIONS: [f64; 6] = [0.2, 0.4, 0.6, 0.8, 1.0, 1.25];
+/// Wall-clock target per sweep point, seconds.
+const POINT_SECONDS: f64 = 1.2;
+/// Per-point request cap (keeps a runaway rate estimate bounded).
+const MAX_POINT_REQUESTS: usize = 2_000;
+/// Serial-latency rounds per mix query for the baseline distribution.
+const SERIAL_ROUNDS: usize = 5;
+/// Maximum tolerated metrics-on overhead on the serve path, percent.
+const GUARD_PCT: f64 = 2.0;
+/// Absolute wall-clock epsilon for the overhead guard: below this delta
+/// the paths are indistinguishable from noise on a TCP roundtrip bench.
+const GUARD_EPSILON: Duration = Duration::from_millis(3);
+/// Measurement attempts for the `--assert` gates; noise only ever inflates
+/// the measured numbers, so passing any attempt clears the gate.
+const ATTEMPTS: usize = 3;
+/// Low-load p99 must stay within this factor of the serial p99 (plus a
+/// scheduling epsilon) — at 20% of peak there is no queue to speak of.
+const LOW_LOAD_P99_FACTOR: u64 = 4;
+const LOW_LOAD_P99_EPSILON_NS: u64 = 25_000_000;
+
+fn store_dir() -> std::path::PathBuf {
+    match std::env::var("PEBBLE_STORE_DIR") {
+        Ok(dir) if !dir.is_empty() => std::path::PathBuf::from(dir),
+        _ => std::env::temp_dir().join(format!("pebble-loadbench-{}", std::process::id())),
+    }
+}
+
+/// First DBLP scenario with a non-empty result at the given record count.
+fn build_run(records: usize) -> (String, CapturedRun) {
+    let ctx = dblp_context(records);
+    for s in dblp_scenarios() {
+        let run = run_captured(&s.program, &ctx, ExecConfig::with_partitions(2).workers(2))
+            .expect("capture run failed");
+        if !run.output.rows.is_empty() {
+            return (s.name.to_string(), run);
+        }
+    }
+    panic!("no DBLP scenario produced result rows at {records} records");
+}
+
+/// The query mix: backtraces across the row range, a pattern probe
+/// derived from the data itself, plus the two whole-store scans.
+fn query_mix(store: &ProvStore) -> Vec<String> {
+    let n = store.rows().len();
+    let mut mix: Vec<String> = vec!["HEATMAP 10".into(), "AUDIT".into()];
+    if let Some(row) = store.rows().first() {
+        if let Some((label, _)) = row.item.fields().next() {
+            mix.push(format!("PATTERN //{label}"));
+        }
+    }
+    for idx in (0..n).step_by((n / 8).max(1)) {
+        mix.push(format!("BACKTRACE {idx}"));
+    }
+    mix
+}
+
+struct Point {
+    offered: f64,
+    achieved: f64,
+    completed: u64,
+    errors: u64,
+    p50_ns: u64,
+    p99_ns: u64,
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut out_path = String::from("BENCH_8.json");
+    let mut assert_mode = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            "--assert" => assert_mode = true,
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    // The measured path is the metrics-off serve path; the overhead gate
+    // flips metrics on explicitly.
+    std::env::remove_var("PEBBLE_TRACE");
+    std::env::remove_var("PEBBLE_METRICS");
+    pebble_obs::force_metrics(false);
+
+    let records = if assert_mode {
+        DBLP_BASE
+    } else {
+        DBLP_BASE * scale()
+    };
+    let (scenario, run) = build_run(records);
+    let dir = store_dir();
+    std::fs::create_dir_all(&dir).expect("create store dir");
+    let path = dir.join("loadbench.seg");
+    persist_file(&run, &path).expect("persist failed");
+    let store = Arc::new(ProvStore::open(&path).expect("cold open failed"));
+
+    let cfg = ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: WORKERS,
+        debug_panic: false,
+        trace_path: None,
+    };
+    let mut server = Server::start(Arc::clone(&store), &cfg).expect("server start failed");
+    let addr = server.local_addr();
+    let mix = query_mix(&store);
+
+    // Serial baseline: reference frames + serial latency distribution.
+    // One warm-up pass first so listener and pool are hot.
+    for q in &mix {
+        query(addr, q).expect("warm-up query failed");
+    }
+    let mut baseline: HashMap<String, Vec<String>> = HashMap::new();
+    let serial_hist = LogHistogram::new();
+    for q in &mix {
+        for round in 0..SERIAL_ROUNDS {
+            let t = Instant::now();
+            let frames = query(addr, q).expect("serial baseline query failed");
+            serial_hist.record(t.elapsed().as_nanos() as u64);
+            assert!(
+                !frames.last().is_none_or(|f| f.starts_with("ERROR ")),
+                "baseline query {q:?} failed: {frames:?}"
+            );
+            if round == 0 {
+                baseline.insert(q.clone(), frames);
+            } else {
+                assert_eq!(
+                    baseline[q], frames,
+                    "serial re-issue of {q:?} is not deterministic"
+                );
+            }
+        }
+    }
+    let serial = serial_hist.snapshot();
+    let (serial_p50, _, serial_p99, _) = serial.percentiles();
+
+    // Every subsequent response must be byte-identical to the baseline.
+    let checked = |req: &str| -> std::io::Result<Vec<String>> {
+        let frames = query(addr, req)?;
+        if let Some(expected) = baseline.get(req) {
+            assert_eq!(
+                expected, &frames,
+                "response for {req:?} diverged from the serial baseline"
+            );
+        }
+        Ok(frames)
+    };
+
+    // Closed-loop calibration: unthrottled tenants, mixed run+query
+    // traffic — "RUN" ops execute a small engine run client-side, the
+    // rest hit the service.
+    let run_ctx = dblp_context(300);
+    let run_scenario = dblp_scenarios().remove(0);
+    let mixed_transport = |req: &str| -> std::io::Result<Vec<String>> {
+        if req == "RUN" {
+            let local = run_captured(
+                &run_scenario.program,
+                &run_ctx,
+                ExecConfig::with_partitions(2).workers(2),
+            )
+            .expect("tenant engine run failed");
+            return Ok(vec![format!("DONE {}", local.output.rows.len())]);
+        }
+        checked(req)
+    };
+    let mut calib_mix = mix.clone();
+    calib_mix.push("RUN".into());
+    let calib_cfg = ClosedLoopConfig {
+        tenants: 16,
+        requests_per_tenant: if assert_mode { 8 } else { 16 },
+        think: Duration::ZERO,
+    };
+    let calib = run_closed_loop(mixed_transport, &calib_mix, &calib_cfg);
+    assert_eq!(calib.transport_errors, 0, "calibration transport errors");
+    assert_eq!(calib.errors, 0, "calibration saw ERROR frames");
+    let peak = calib.achieved_rate().max(20.0);
+
+    // Open-loop sweep: offered rate vs achieved throughput and latency.
+    let default_rates: Vec<f64> = SWEEP_FRACTIONS.iter().map(|f| f * peak).collect();
+    let rates = rates_from_env(&default_rates);
+    let mut points = Vec::new();
+    for &rate in &rates {
+        let total = ((rate * POINT_SECONDS) as usize).clamp(60, MAX_POINT_REQUESTS);
+        let r = run_open_loop(
+            checked,
+            &mix,
+            &OpenLoopConfig {
+                rate_per_sec: rate,
+                total_requests: total,
+                senders: SENDERS,
+            },
+        );
+        assert_eq!(r.transport_errors, 0, "sweep transport errors at {rate}/s");
+        assert_eq!(r.errors, 0, "sweep saw ERROR frames at {rate}/s");
+        let s = r.summary();
+        eprintln!(
+            "  rate {rate:8.1}/s -> achieved {:8.1}/s  p50 {:7.2} ms  p99 {:7.2} ms  ({} reqs)",
+            r.achieved_rate(),
+            s.p50_ns as f64 / 1e6,
+            s.p99_ns as f64 / 1e6,
+            r.completed,
+        );
+        points.push(Point {
+            offered: rate,
+            achieved: r.achieved_rate(),
+            completed: r.completed,
+            errors: r.errors,
+            p50_ns: s.p50_ns,
+            p99_ns: s.p99_ns,
+        });
+    }
+    assert!(
+        points.len() >= 5,
+        "the load curve needs at least 5 offered-load points, got {}",
+        points.len()
+    );
+
+    // --assert gate (a): at low load (first sweep fraction) the open-loop
+    // p99 — which includes queueing — must stay within a small factor of
+    // the serial p99. Re-measure on failure; noise only inflates it.
+    let mut low_p99 = points[0].p99_ns;
+    if assert_mode {
+        let bound = serial_p99
+            .saturating_mul(LOW_LOAD_P99_FACTOR)
+            .saturating_add(LOW_LOAD_P99_EPSILON_NS);
+        for attempt in 1..=ATTEMPTS {
+            if low_p99 <= bound {
+                break;
+            }
+            if attempt == ATTEMPTS {
+                eprintln!(
+                    "loadbench FAILED: low-load p99 {low_p99} ns exceeds bound {bound} ns \
+                     (serial p99 {serial_p99} ns)"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "attempt {attempt}/{ATTEMPTS}: low-load p99 {low_p99} ns over bound \
+                 {bound} ns, re-measuring"
+            );
+            let r = run_open_loop(
+                checked,
+                &mix,
+                &OpenLoopConfig {
+                    rate_per_sec: rates[0],
+                    total_requests: 60,
+                    senders: SENDERS,
+                },
+            );
+            low_p99 = r.summary().p99_ns;
+        }
+    }
+
+    // --assert gate (b): metrics-on serve path must stay within GUARD_PCT
+    // of metrics-off, with byte-identical frames. Flip the global gate
+    // around serial passes over the same connection-per-query transport.
+    let mut on_pct = 0.0;
+    if assert_mode {
+        let serial_pass = || {
+            let mut all = Vec::new();
+            for q in &mix {
+                all.push(query(addr, q).expect("guard query failed"));
+            }
+            all
+        };
+        pebble_obs::force_metrics(false);
+        let frames_off = serial_pass();
+        pebble_obs::force_metrics(true);
+        let frames_on = serial_pass();
+        pebble_obs::force_metrics(false);
+        assert_eq!(
+            frames_off, frames_on,
+            "metrics-on frames differ from metrics-off frames"
+        );
+        for attempt in 1..=ATTEMPTS {
+            let times = time_interleaved(
+                5,
+                &mut [
+                    &mut || {
+                        pebble_obs::force_metrics(false);
+                        serial_pass();
+                    },
+                    &mut || {
+                        pebble_obs::force_metrics(true);
+                        serial_pass();
+                    },
+                ],
+            );
+            pebble_obs::force_metrics(false);
+            on_pct = overhead_pct(times[0], times[1]);
+            let delta = times[1].saturating_sub(times[0]);
+            if on_pct < GUARD_PCT || delta < GUARD_EPSILON {
+                break;
+            }
+            if attempt == ATTEMPTS {
+                eprintln!(
+                    "loadbench FAILED: metrics-on serve path adds {on_pct:.2}% \
+                     (limit {GUARD_PCT}%, delta {delta:?})"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "attempt {attempt}/{ATTEMPTS}: metrics-on at {on_pct:.2}% \
+                 (limit {GUARD_PCT}%), re-measuring"
+            );
+        }
+    }
+
+    let stats = server.stats();
+    assert_eq!(stats.panics_contained, 0);
+    server.shutdown();
+    if std::env::var("PEBBLE_STORE_DIR").is_err() {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    println!("loadbench — offered-load sweep, scale {}", scale());
+    println!(
+        "scenario {scenario} ({} result rows, {records} dblp records), {} mix queries",
+        store.rows().len(),
+        mix.len()
+    );
+    println!(
+        "serial p50 {:.2} ms, p99 {:.2} ms; closed-loop peak {peak:.1} req/s \
+         ({} tenants, mixed run+query)",
+        serial_p50 as f64 / 1e6,
+        serial_p99 as f64 / 1e6,
+        calib.tenants,
+    );
+
+    let mut body = String::from("{\n");
+    let _ = writeln!(body, "  \"scale\": {},", scale());
+    let _ = writeln!(body, "  \"scenario\": \"{scenario}\",");
+    let _ = writeln!(body, "  \"dblp_records\": {records},");
+    let _ = writeln!(body, "  \"result_rows\": {},", store.rows().len());
+    let _ = writeln!(body, "  \"workers\": {WORKERS},");
+    let _ = writeln!(body, "  \"mix_queries\": {},", mix.len());
+    let _ = writeln!(body, "  \"serial_p50_ns\": {serial_p50},");
+    let _ = writeln!(body, "  \"serial_p99_ns\": {serial_p99},");
+    let _ = writeln!(
+        body,
+        "  \"closed_loop\": {{\"tenants\": {}, \"requests\": {}, \
+         \"achieved_per_sec\": {:.1}, \"run_ops\": {}}},",
+        calib.tenants,
+        calib.completed,
+        calib.achieved_rate(),
+        calib.completed_for(pebble_obs::RequestKind::Other),
+    );
+    body.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            body,
+            "    {{\"offered_per_sec\": {:.1}, \"achieved_per_sec\": {:.1}, \
+             \"completed\": {}, \"errors\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}",
+            p.offered,
+            p.achieved,
+            p.completed,
+            p.errors,
+            p.p50_ns,
+            p.p99_ns,
+            if i + 1 < points.len() { "," } else { "" },
+        );
+    }
+    body.push_str("  ],\n");
+    let _ = writeln!(body, "  \"metrics_on_pct\": {on_pct:.2},");
+    let _ = writeln!(body, "  \"guard_pct\": {GUARD_PCT:.1}");
+    body.push('}');
+
+    write_json_section(&out_path, "load", &body);
+    eprintln!("wrote section \"load\" to {out_path}");
+    if assert_mode {
+        println!("loadbench --assert: ok (low-load p99 {low_p99} ns, metrics-on {on_pct:.2}%)");
+    }
+}

@@ -80,6 +80,7 @@ fn smoke(label: &str, scenario: &Scenario, run: &CapturedRun, dir: &std::path::P
         addr: "127.0.0.1:0".into(),
         workers: 2,
         debug_panic: false,
+        trace_path: None,
     };
     let mut server = Server::start(Arc::clone(&store), &cfg).expect("server start");
     let addr = server.local_addr();

@@ -135,6 +135,7 @@ fn measure(records: usize) -> Measured {
         addr: "127.0.0.1:0".into(),
         workers: 8,
         debug_panic: false,
+        trace_path: None,
     };
     let mut server = Server::start(Arc::clone(&store), &cfg).expect("server start failed");
     let addr = server.local_addr();

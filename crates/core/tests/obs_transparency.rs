@@ -243,7 +243,7 @@ fn reading_report_then_backtracing() {
     );
     let run = run.unwrap();
     let json = report.to_json();
-    assert!(json.contains("\"schema_version\":1") || json.contains("\"schema_version\": 1"));
+    assert!(json.contains("\"schema_version\":2") || json.contains("\"schema_version\": 2"));
     let row = &run.output.rows[0];
     let sources = backtrace(&run, whole_item(row)).unwrap();
     assert!(!sources.is_empty());

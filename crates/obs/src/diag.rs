@@ -8,8 +8,14 @@
 //! The level is parsed once and cached in a relaxed atomic, so the disabled
 //! branches of [`info`]/[`debug`] are a single load + compare; the message
 //! closures are only invoked when the level admits them.
+//!
+//! Every record is emitted as ONE `write_all` of a fully formatted line
+//! (prefix + message + newline), so concurrent connections in a serving
+//! process never interleave fragments of two records — multi-tenant
+//! `PEBBLE_LOG` output stays line-parseable.
 
 use std::collections::BTreeSet;
+use std::io::Write;
 use std::sync::atomic::{AtomicU8, Ordering::Relaxed};
 use std::sync::Mutex;
 
@@ -67,16 +73,28 @@ pub fn set_level(lvl: Level) {
     LEVEL.store(lvl as u8, Relaxed);
 }
 
+/// Emits one diagnostic record line-atomically: the whole record (prefix,
+/// message, trailing newline) is formatted first and handed to stderr as a
+/// single `write_all`, so records from concurrent threads never interleave
+/// mid-line. A failed write is silently dropped (diagnostics must never
+/// take down the engine).
+fn emit(message: &str) {
+    let line = format!("pebble: {message}\n");
+    let stderr = std::io::stderr();
+    let mut handle = stderr.lock();
+    let _ = handle.write_all(line.as_bytes());
+}
+
 /// Prints a warning as `pebble: {message}`. Warnings are always enabled.
 pub fn warn(message: &str) {
-    eprintln!("pebble: {message}");
+    emit(message);
 }
 
 /// Prints an informational message when `PEBBLE_LOG` is `info` or `debug`.
 /// The closure only runs when the message will be printed.
 pub fn info(message: impl FnOnce() -> String) {
     if level() >= Level::Info {
-        eprintln!("pebble: {}", message());
+        emit(&message());
     }
 }
 
@@ -84,7 +102,7 @@ pub fn info(message: impl FnOnce() -> String) {
 /// when the message will be printed.
 pub fn debug(message: impl FnOnce() -> String) {
     if level() >= Level::Debug {
-        eprintln!("pebble: {}", message());
+        emit(&message());
     }
 }
 

@@ -17,13 +17,21 @@ pub mod config;
 pub mod diag;
 pub mod metrics;
 pub mod report;
+pub mod service;
 pub mod span;
 
 pub use config::{force_metrics, metrics_enabled, ObsConfig};
-pub use metrics::{HistogramSnapshot, Log2Histogram, Shard, ShardSet, ShardTotals};
+pub use metrics::{
+    bucket_index, bucket_lower, bucket_upper, HistogramSnapshot, LogHistogram, Shard, ShardSet,
+    ShardTotals, HIST_BUCKETS, HIST_SUB, HIST_SUB_BITS,
+};
 pub use report::{
     json_escape, BackendStats, ColumnarStats, DurationSummary, MorselStats, OpReport, PoolStats,
     ProvenanceStats, RunReport, ServeStats, SpillStats, REPORT_SCHEMA_VERSION,
+};
+pub use service::{
+    KindSnapshot, PoolGauges, RequestKind, RequestStats, ServiceMetrics, ServiceSnapshot,
+    ServiceWindow, REQUEST_KINDS, STATS_SCHEMA_VERSION,
 };
 pub use span::{SpanEvent, SpanKind, TraceCollector};
 
@@ -154,13 +162,7 @@ impl RunObs {
         if !self.metrics {
             return None;
         }
-        let hist = self.totals().morsel_ns;
-        Some(DurationSummary {
-            count: hist.count,
-            sum_ns: hist.sum,
-            p50_ns: hist.quantile(0.50),
-            p99_ns: hist.quantile(0.99),
-        })
+        Some(DurationSummary::from_snapshot(&self.totals().morsel_ns))
     }
 
     /// Drains and deterministically merges all recorded spans.
@@ -176,21 +178,21 @@ impl RunObs {
 /// (backtrace index builds/probes issued by user code).
 pub struct GlobalMetrics {
     /// Backtrace index build times, ns.
-    pub backtrace_build_ns: Log2Histogram,
+    pub backtrace_build_ns: LogHistogram,
     /// Backtrace probe (query) times, ns.
-    pub backtrace_probe_ns: Log2Histogram,
+    pub backtrace_probe_ns: LogHistogram,
     /// End-to-end query-service request times, ns (recorded by
     /// `pebble-serve` per answered query).
-    pub serve_query_ns: Log2Histogram,
+    pub serve_query_ns: LogHistogram,
 }
 
 /// The process-global metric registry (gated by [`metrics_enabled`] at the
 /// recording sites).
 pub fn global() -> &'static GlobalMetrics {
     static GLOBAL: GlobalMetrics = GlobalMetrics {
-        backtrace_build_ns: Log2Histogram::new(),
-        backtrace_probe_ns: Log2Histogram::new(),
-        serve_query_ns: Log2Histogram::new(),
+        backtrace_build_ns: LogHistogram::new(),
+        backtrace_probe_ns: LogHistogram::new(),
+        serve_query_ns: LogHistogram::new(),
     };
     &GLOBAL
 }

@@ -2,58 +2,126 @@
 //!
 //! The metrics core is built from two pieces:
 //!
-//! * [`Log2Histogram`] — a fixed-size (64 bucket) power-of-two histogram of
-//!   `u64` samples. Recording is a single relaxed `fetch_add` into the bucket
-//!   indexed by `floor(log2(v))`; there is no allocation and no lock.
-//! * [`ShardSet`] — cache-line-padded per-worker [`Shard`]s. Each OS thread is
-//!   assigned a stable slot index on first use (a global counter sampled into
-//!   a thread-local) and always writes `slot % shards`, so worker threads
-//!   never contend on the same cache line. Aggregation walks all shards on
-//!   demand with relaxed loads.
+//! * [`LogHistogram`] — a fixed-size log-bucketed (log-linear, HDR-style)
+//!   histogram of `u64` samples. Recording is a handful of relaxed atomic
+//!   adds into the bucket indexed by the sample's exponent and a
+//!   [`HIST_SUB`]-way linear sub-bucket; there is no allocation and no
+//!   lock. Buckets are ≤ 1/16 wide relative to their lower bound, so
+//!   quantile extraction (p50/p90/p99/p999) is exact to within one bucket
+//!   width. Snapshots merge associatively, so per-shard histograms
+//!   aggregate without coordination.
+//! * [`ShardSet`] — cache-line-padded per-worker [`Shard`]s. Each OS thread
+//!   is assigned a stable slot index on first use (a global counter sampled
+//!   into a thread-local) and always writes `slot % shards`, so worker
+//!   threads never contend on the same cache line. Aggregation walks all
+//!   shards on demand with relaxed loads.
 //!
 //! Relaxed ordering is sufficient everywhere: metric values are advisory
-//! telemetry and are only aggregated after the run's scheduler has joined all
-//! task results through its channel (which provides the needed happens-before
-//! edge for exact totals at run end).
+//! telemetry and are only aggregated after the run's scheduler has joined
+//! all task results through its channel (which provides the needed
+//! happens-before edge for exact totals at run end).
 
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering::Relaxed};
 
-/// Number of buckets in a [`Log2Histogram`] — one per possible `floor(log2)`
-/// of a `u64` sample.
-pub const HIST_BUCKETS: usize = 64;
+/// log2 of the linear sub-buckets per power of two.
+pub const HIST_SUB_BITS: u32 = 4;
 
-/// A fixed-bucket log2 histogram of `u64` samples (typically nanoseconds).
-///
-/// Bucket `i` counts samples `v` with `floor(log2(max(v, 1))) == i`, i.e.
-/// `v ∈ [2^i, 2^(i+1))`. All updates are relaxed atomics.
-pub struct Log2Histogram {
+/// Linear sub-buckets per power of two: every bucket above the linear
+/// range is at most `1/HIST_SUB` wide relative to its lower bound.
+pub const HIST_SUB: usize = 1 << HIST_SUB_BITS;
+
+/// Number of buckets in a [`LogHistogram`]: `HIST_SUB` exact buckets for
+/// values `0..HIST_SUB`, then `HIST_SUB` sub-buckets for each exponent
+/// `HIST_SUB_BITS..=63`.
+pub const HIST_BUCKETS: usize = HIST_SUB * (64 - HIST_SUB_BITS as usize + 1);
+
+/// Bucket index holding sample `v`. Values below [`HIST_SUB`] get exact
+/// buckets; larger values share an exponent bucket split [`HIST_SUB`] ways.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < HIST_SUB as u64 {
+        v as usize
+    } else {
+        let exp = 63 - v.leading_zeros() as usize;
+        let shift = exp - HIST_SUB_BITS as usize;
+        ((exp - HIST_SUB_BITS as usize) << HIST_SUB_BITS) + (v >> shift) as usize
+    }
+}
+
+/// Smallest sample landing in bucket `i` (the bucket's inclusive lower
+/// bound).
+#[inline]
+pub fn bucket_lower(i: usize) -> u64 {
+    debug_assert!(i < HIST_BUCKETS);
+    if i < HIST_SUB {
+        i as u64
+    } else {
+        let exp = (i >> HIST_SUB_BITS) + HIST_SUB_BITS as usize - 1;
+        ((i & (HIST_SUB - 1)) as u64 + HIST_SUB as u64) << (exp - HIST_SUB_BITS as usize)
+    }
+}
+
+/// Largest sample landing in bucket `i` (the bucket's inclusive upper
+/// bound; the top bucket saturates at `u64::MAX`).
+#[inline]
+pub fn bucket_upper(i: usize) -> u64 {
+    if i + 1 >= HIST_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(i + 1) - 1
+    }
+}
+
+/// Adds `v` to an atomic counter with saturation instead of wrap-around —
+/// a sum that has hit `u64::MAX` stays there (relevant only for
+/// pathological inputs like repeated `u64::MAX` samples).
+fn saturating_fetch_add(cell: &AtomicU64, v: u64) {
+    let mut cur = cell.load(Relaxed);
+    loop {
+        let next = cur.saturating_add(v);
+        match cell.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// A fixed-bucket log-linear histogram of `u64` samples (typically
+/// nanoseconds). All updates are relaxed atomics; recording never locks or
+/// allocates. This is the single bucket layout shared by every latency
+/// histogram in the system (morsel durations, backtrace probes, service
+/// request latencies) — snapshots from any of them merge losslessly.
+pub struct LogHistogram {
     buckets: [AtomicU64; HIST_BUCKETS],
     count: AtomicU64,
     sum: AtomicU64,
+    max: AtomicU64,
 }
 
-impl Default for Log2Histogram {
+impl Default for LogHistogram {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl Log2Histogram {
+impl LogHistogram {
     /// Creates an empty histogram.
     pub const fn new() -> Self {
-        Log2Histogram {
+        LogHistogram {
             buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
             count: AtomicU64::new(0),
             sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
         }
     }
 
-    /// Records one sample. Lock-free; a zero sample lands in bucket 0.
+    /// Records one sample. Lock-free; the sample sum saturates at
+    /// `u64::MAX` rather than wrapping.
     pub fn record(&self, v: u64) {
-        let bucket = 63 - v.max(1).leading_zeros() as usize;
-        self.buckets[bucket].fetch_add(1, Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
         self.count.fetch_add(1, Relaxed);
-        self.sum.fetch_add(v, Relaxed);
+        saturating_fetch_add(&self.sum, v);
+        self.max.fetch_max(v, Relaxed);
     }
 
     /// Takes a point-in-time snapshot (relaxed loads).
@@ -66,19 +134,23 @@ impl Log2Histogram {
             buckets,
             count: self.count.load(Relaxed),
             sum: self.sum.load(Relaxed),
+            max: self.max.load(Relaxed),
         }
     }
 }
 
-/// An owned copy of a [`Log2Histogram`]'s state.
-#[derive(Clone, Debug)]
+/// An owned copy of a [`LogHistogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HistogramSnapshot {
-    /// Per-bucket sample counts (`buckets[i]` covers `[2^i, 2^(i+1))`).
+    /// Per-bucket sample counts (bucket `i` covers
+    /// `[bucket_lower(i), bucket_upper(i)]`).
     pub buckets: [u64; HIST_BUCKETS],
     /// Total number of recorded samples.
     pub count: u64,
-    /// Sum of all recorded samples.
+    /// Sum of all recorded samples (saturating).
     pub sum: u64,
+    /// Largest recorded sample.
+    pub max: u64,
 }
 
 impl Default for HistogramSnapshot {
@@ -87,18 +159,22 @@ impl Default for HistogramSnapshot {
             buckets: [0; HIST_BUCKETS],
             count: 0,
             sum: 0,
+            max: 0,
         }
     }
 }
 
 impl HistogramSnapshot {
-    /// Merges another snapshot into this one.
+    /// Merges another snapshot into this one. Merging is associative and
+    /// commutative (counts add, sums saturate, maxima take the larger), so
+    /// shard snapshots can be folded in any order.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
     }
 
     /// Mean sample value, or 0.0 when empty.
@@ -110,10 +186,12 @@ impl HistogramSnapshot {
         }
     }
 
-    /// Upper bound (exclusive) of the bucket containing quantile `q ∈ [0, 1]`.
+    /// Upper bound (inclusive) of the bucket containing quantile
+    /// `q ∈ [0, 1]`, clamped to the largest recorded sample.
     ///
-    /// Resolution is a factor of two — good enough to tell a 2µs morsel from
-    /// a 2ms one, which is what the skew diagnostics need.
+    /// The rank-`q` sample lies in the returned bucket, so the reported
+    /// value overshoots the true quantile by at most one bucket width —
+    /// ≤ 1/16 relative error above the linear range, exact below it.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -121,15 +199,27 @@ impl HistogramSnapshot {
         let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &n) in self.buckets.iter().enumerate() {
-            seen += n;
+            seen = seen.saturating_add(n);
             if seen >= rank {
-                return if i >= 63 { u64::MAX } else { 1u64 << (i + 1) };
+                return bucket_upper(i).min(self.max);
             }
         }
-        u64::MAX
+        self.max
     }
 
-    /// Subtracts an earlier snapshot, yielding the delta between the two.
+    /// The standard latency quartet `(p50, p90, p99, p999)`.
+    pub fn percentiles(&self) -> (u64, u64, u64, u64) {
+        (
+            self.quantile(0.50),
+            self.quantile(0.90),
+            self.quantile(0.99),
+            self.quantile(0.999),
+        )
+    }
+
+    /// Subtracts an earlier snapshot, yielding the delta between the two
+    /// (the time-windowed view). The delta keeps the later snapshot's
+    /// `max` — a conservative upper bound for the window.
     pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
         let mut out = HistogramSnapshot::default();
         for (i, slot) in out.buckets.iter_mut().enumerate() {
@@ -137,6 +227,7 @@ impl HistogramSnapshot {
         }
         out.count = self.count.saturating_sub(earlier.count);
         out.sum = self.sum.saturating_sub(earlier.sum);
+        out.max = self.max;
         out
     }
 }
@@ -153,7 +244,7 @@ pub struct Shard {
     /// Nanoseconds spent executing morsel kernels.
     pub busy_ns: AtomicU64,
     /// Distribution of per-morsel execution times (ns).
-    pub morsel_ns: Log2Histogram,
+    pub morsel_ns: LogHistogram,
 }
 
 static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
@@ -228,21 +319,92 @@ mod tests {
     use super::*;
 
     #[test]
+    fn bucket_bounds_contain_samples() {
+        for v in [
+            0u64,
+            1,
+            15,
+            16,
+            17,
+            31,
+            32,
+            33,
+            1000,
+            u32::MAX as u64,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(i < HIST_BUCKETS, "index {i} out of range for {v}");
+            assert!(
+                bucket_lower(i) <= v && v <= bucket_upper(i),
+                "sample {v} outside bucket {i} [{}, {}]",
+                bucket_lower(i),
+                bucket_upper(i)
+            );
+        }
+        // Buckets tile the domain: each upper bound is the next lower - 1.
+        for i in 0..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_upper(i), bucket_lower(i + 1) - 1, "bucket {i}");
+        }
+        assert_eq!(bucket_upper(HIST_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
     fn histogram_buckets_and_quantiles() {
-        let h = Log2Histogram::new();
+        let h = LogHistogram::new();
         for v in [0u64, 1, 1, 2, 3, 4, 1000] {
             h.record(v);
         }
         let s = h.snapshot();
         assert_eq!(s.count, 7);
         assert_eq!(s.sum, 1011);
-        assert_eq!(s.buckets[0], 3); // 0 (clamped), 1, 1
-        assert_eq!(s.buckets[1], 2); // 2, 3
-        assert_eq!(s.buckets[2], 1); // 4
-        assert_eq!(s.buckets[9], 1); // 1000
-        assert_eq!(s.quantile(0.0), 2);
-        assert_eq!(s.quantile(1.0), 1 << 10);
+        assert_eq!(s.max, 1000);
+        // Values below HIST_SUB are exact.
+        assert_eq!(s.buckets[0], 1); // 0
+        assert_eq!(s.buckets[1], 2); // 1, 1
+        assert_eq!(s.buckets[2], 1); // 2
+        assert_eq!(s.buckets[3], 1); // 3
+        assert_eq!(s.buckets[4], 1); // 4
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(0.3), 1);
+        // 1000 ∈ [960, 1023]; clamped to the recorded max.
+        assert_eq!(s.quantile(1.0), 1000);
         assert!(s.mean() > 0.0);
+    }
+
+    #[test]
+    fn quantile_error_within_bucket_width() {
+        let h = LogHistogram::new();
+        for v in 0..10_000u64 {
+            h.record(v * 37);
+        }
+        let s = h.snapshot();
+        for q in [0.5f64, 0.9, 0.99, 0.999] {
+            let rank = ((10_000.0 * q).ceil() as u64).max(1);
+            let true_val = (rank - 1) * 37;
+            let est = s.quantile(q);
+            assert!(est >= true_val, "q={q}: {est} < true {true_val}");
+            let width = bucket_upper(bucket_index(true_val)) - bucket_lower(bucket_index(true_val));
+            assert!(
+                est - true_val <= width,
+                "q={q}: {est} overshoots true {true_val} by more than bucket width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturation_at_max() {
+        let h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, u64::MAX); // saturated, not wrapped
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.quantile(0.5), u64::MAX);
+        assert_eq!(s.buckets[HIST_BUCKETS - 1], 2);
     }
 
     #[test]
@@ -261,7 +423,7 @@ mod tests {
 
     #[test]
     fn delta_since_subtracts() {
-        let h = Log2Histogram::new();
+        let h = LogHistogram::new();
         h.record(8);
         let before = h.snapshot();
         h.record(8);
@@ -269,5 +431,25 @@ mod tests {
         let delta = h.snapshot().delta_since(&before);
         assert_eq!(delta.count, 2);
         assert_eq!(delta.sum, 24);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mk = |vals: &[u64]| {
+            let h = LogHistogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (a, b, c) = (mk(&[1, 50, 900]), mk(&[u64::MAX, 7]), mk(&[0, 0, 123456]));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
     }
 }

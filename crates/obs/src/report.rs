@@ -8,7 +8,13 @@
 
 /// Version of the JSON layout emitted by [`RunReport::to_json`]. Bump on any
 /// key rename/removal; additions are allowed within a version.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+///
+/// v2: duration summaries gained `p90_ns`/`p999_ns` (one log-bucketed layout
+/// shared by every `_ns` histogram in the system), and the `serve` section
+/// gained `query_durations`. Every duration field carries the `_ns` suffix
+/// and is in nanoseconds; quantiles are bucket upper bounds clamped to the
+/// observed maximum.
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
 
 /// Escapes a string for embedding inside a JSON string literal.
 pub fn json_escape(s: &str) -> String {
@@ -104,17 +110,51 @@ impl MorselStats {
     }
 }
 
-/// Summary of a per-morsel duration histogram (metrics-on runs only).
+/// Summary of a duration histogram (metrics-on runs only).
+///
+/// All fields are nanoseconds (`_ns` suffix convention); quantiles are
+/// bucket upper bounds of the shared log-bucketed layout
+/// ([`crate::metrics::LogHistogram`]), clamped to the observed maximum.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct DurationSummary {
     /// Number of samples.
     pub count: u64,
     /// Sum of all samples, ns.
     pub sum_ns: u64,
-    /// Median bucket upper bound, ns.
+    /// Median, ns.
     pub p50_ns: u64,
-    /// 99th-percentile bucket upper bound, ns.
+    /// 90th percentile, ns.
+    pub p90_ns: u64,
+    /// 99th percentile, ns.
     pub p99_ns: u64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: u64,
+}
+
+impl DurationSummary {
+    /// Summarizes a histogram snapshot (shared by the run report, the
+    /// service `STATS` document, and the bench bins — one layout, one
+    /// quantile rule).
+    pub fn from_snapshot(h: &crate::metrics::HistogramSnapshot) -> DurationSummary {
+        let (p50, p90, p99, p999) = h.percentiles();
+        DurationSummary {
+            count: h.count,
+            sum_ns: h.sum,
+            p50_ns: p50,
+            p90_ns: p90,
+            p99_ns: p99,
+            p999_ns: p999,
+        }
+    }
+
+    /// Renders the summary as a one-line JSON object (stable key order).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {}, \
+             \"p99_ns\": {}, \"p999_ns\": {}}}",
+            self.count, self.sum_ns, self.p50_ns, self.p90_ns, self.p99_ns, self.p999_ns,
+        )
+    }
 }
 
 /// Worker-pool gauges sampled (lock-free) during the run.
@@ -189,6 +229,9 @@ pub struct ServeStats {
     pub panics_contained: u64,
     /// Response frames written to clients.
     pub frames_sent: u64,
+    /// End-to-end query latency distribution, ns (metrics-on services
+    /// only; same bucket layout as every other `_ns` histogram).
+    pub query_durations: Option<DurationSummary>,
 }
 
 /// Out-of-core execution statistics (populated only when the run had a
@@ -375,11 +418,7 @@ impl RunReport {
             self.morsels.skew(),
         ));
         match &self.morsel_durations {
-            Some(d) => s.push_str(&format!(
-                "  \"morsel_durations\": {{\"count\": {}, \"sum_ns\": {}, \"p50_ns\": {}, \
-                 \"p99_ns\": {}}},\n",
-                d.count, d.sum_ns, d.p50_ns, d.p99_ns,
-            )),
+            Some(d) => s.push_str(&format!("  \"morsel_durations\": {},\n", d.to_json())),
             None => s.push_str("  \"morsel_durations\": null,\n"),
         }
         match &self.pool {
@@ -422,8 +461,16 @@ impl RunReport {
         match &self.serve {
             Some(v) => s.push_str(&format!(
                 "  \"serve\": {{\"connections\": {}, \"queries\": {}, \"errors\": {}, \
-                 \"panics_contained\": {}, \"frames_sent\": {}}},\n",
-                v.connections, v.queries, v.errors, v.panics_contained, v.frames_sent,
+                 \"panics_contained\": {}, \"frames_sent\": {}, \"query_durations\": {}}},\n",
+                v.connections,
+                v.queries,
+                v.errors,
+                v.panics_contained,
+                v.frames_sent,
+                match &v.query_durations {
+                    Some(d) => d.to_json(),
+                    None => "null".into(),
+                },
             )),
             None => s.push_str("  \"serve\": null,\n"),
         }
@@ -485,9 +532,34 @@ mod tests {
         let r = RunReport::default();
         assert_eq!(r.schema_version, REPORT_SCHEMA_VERSION);
         let json = r.to_json();
-        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("\"schema_version\": 2"));
         assert!(json.contains("\"error\": null"));
         assert!(json.contains("\"pool\": null"));
+    }
+
+    #[test]
+    fn duration_summary_renders_all_quantiles() {
+        let d = DurationSummary {
+            count: 4,
+            sum_ns: 100,
+            p50_ns: 20,
+            p90_ns: 30,
+            p99_ns: 40,
+            p999_ns: 40,
+        };
+        let json = d.to_json();
+        for key in ["count", "sum_ns", "p50_ns", "p90_ns", "p99_ns", "p999_ns"] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key}");
+        }
+        let r = RunReport {
+            serve: Some(ServeStats {
+                queries: 1,
+                query_durations: Some(d),
+                ..ServeStats::default()
+            }),
+            ..RunReport::default()
+        };
+        assert!(r.to_json().contains("\"query_durations\": {\"count\": 4"));
     }
 
     #[test]

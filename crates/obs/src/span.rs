@@ -29,6 +29,8 @@ pub enum SpanKind {
     Capture,
     /// A backtrace index build or probe.
     Backtrace,
+    /// One service request (`op` = request-kind ordinal, `task` = query id).
+    Query,
 }
 
 impl SpanKind {
@@ -41,6 +43,7 @@ impl SpanKind {
             SpanKind::Morsel => "morsel",
             SpanKind::Capture => "capture",
             SpanKind::Backtrace => "backtrace",
+            SpanKind::Query => "query",
         }
     }
 
@@ -52,6 +55,7 @@ impl SpanKind {
             SpanKind::Morsel => 3,
             SpanKind::Capture => 4,
             SpanKind::Backtrace => 5,
+            SpanKind::Query => 6,
         }
     }
 }

@@ -1,0 +1,114 @@
+//! Property-based tests of the log-bucketed latency histogram: quantile
+//! estimates must stay within one bucket of the exact order statistic,
+//! merging must be associative and commutative (the contract that makes
+//! per-shard histograms aggregable in any order), and sums must saturate
+//! rather than wrap at `u64::MAX`.
+
+use proptest::prelude::*;
+
+use pebble_obs::{bucket_index, bucket_upper, HistogramSnapshot, LogHistogram};
+
+fn snapshot_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = LogHistogram::new();
+    for &s in samples {
+        h.record(s);
+    }
+    h.snapshot()
+}
+
+/// Exact order statistic with the same rounding convention as
+/// [`HistogramSnapshot::quantile`]: smallest value covering a `q`
+/// fraction of the samples.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn samples_strategy() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes so buckets across the whole log range are hit.
+    prop::collection::vec(
+        prop_oneof![
+            0u64..100,
+            100u64..100_000,
+            100_000u64..10_000_000_000,
+            Just(u64::MAX),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// The estimated quantile never undershoots the exact order statistic
+    /// and never overshoots the upper bound of that statistic's bucket —
+    /// i.e. the error is at most one bucket width (≤ 1/16 relative).
+    #[test]
+    fn quantile_error_bounded_by_bucket_width(samples in samples_strategy()) {
+        let snap = snapshot_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for q in [0.5f64, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&sorted, q);
+            let est = snap.quantile(q);
+            prop_assert!(est >= exact, "q={q}: estimate {est} < exact {exact}");
+            prop_assert!(
+                est <= bucket_upper(bucket_index(exact)),
+                "q={q}: estimate {est} beyond the bucket of exact {exact}"
+            );
+        }
+    }
+
+    /// Merging snapshots is associative and commutative, and merging
+    /// equals recording the concatenated sample stream directly.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in samples_strategy(),
+        b in samples_strategy(),
+        c in samples_strategy(),
+    ) {
+        let (sa, sb, sc) = (snapshot_of(&a), snapshot_of(&b), snapshot_of(&c));
+
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        let mut right_inner = sb.clone();
+        right_inner.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&right_inner);
+        prop_assert_eq!(&left, &right);
+
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut concat = a.clone();
+        concat.extend_from_slice(&b);
+        concat.extend_from_slice(&c);
+        prop_assert_eq!(&left, &snapshot_of(&concat));
+    }
+
+    /// Sums saturate at `u64::MAX` instead of wrapping, `max` and the top
+    /// quantile report `u64::MAX`, and counts stay exact.
+    #[test]
+    fn saturation_at_u64_max(extra in prop::collection::vec(0u64..1_000_000, 0..20)) {
+        let h = LogHistogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        for &s in &extra {
+            h.record(s);
+        }
+        let snap = h.snapshot();
+        prop_assert_eq!(snap.count, extra.len() as u64 + 2);
+        prop_assert_eq!(snap.sum, u64::MAX);
+        prop_assert_eq!(snap.max, u64::MAX);
+        prop_assert_eq!(snap.quantile(0.999), u64::MAX);
+
+        // Merging two saturated snapshots must also saturate, not wrap.
+        let mut doubled = snap.clone();
+        doubled.merge(&snap);
+        prop_assert_eq!(doubled.sum, u64::MAX);
+        prop_assert_eq!(doubled.count, 2 * (extra.len() as u64 + 2));
+    }
+}

@@ -12,8 +12,9 @@
 //!   answers from disk;
 //! * [`mod@server`] — a std-only TCP query service (thread-per-connection
 //!   on top of the engine `WorkerPool`) streaming
-//!   `PROGRESS`/`DATA`/`ERROR`/`DONE` frames for backtrace, heatmap, and
-//!   audit queries;
+//!   `PROGRESS`/`DATA`/`ERROR`/`DONE` frames for backtrace, heatmap,
+//!   audit, why-not, and `STATS` queries, with per-query ids, a lock-free
+//!   per-request-type metrics registry, and optional per-query spans;
 //! * [`mod@error`] — typed [`error::StoreError`] failures with pinned
 //!   `Display` strings, convertible into the engine's `EngineError`.
 //!
@@ -30,5 +31,5 @@ pub mod store;
 
 pub use error::StoreError;
 pub use segment::SegmentSink;
-pub use server::{query, ServeConfig, Server};
+pub use server::{query, query_with_id, ServeConfig, Server};
 pub use store::{naive_dump_bytes, persist, persist_file, persist_streamed, ProvStore};

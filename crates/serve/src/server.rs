@@ -7,6 +7,7 @@
 //! PR 4's contract), and streams the answer back as framed lines:
 //!
 //! ```text
+//! QID <id>                     query id (bookkeeping; first frame)
 //! PROGRESS <done>/<total>      deterministic, count-based
 //! DATA <json>                  one frame per result element
 //! ERROR <EngineError display>  terminal; no DONE follows
@@ -21,22 +22,42 @@
 //! PATTERN <tree pattern>       backtrace rows matching a tree pattern
 //! HEATMAP <n>                  usage heatmap over the first <n> source items
 //! AUDIT                        leaked/influencing attribute audit
+//! WHYNOT <path=value,..>       missing-answer explanation (live runs only)
+//! STATS                        versioned service-metrics JSON snapshot
 //! ```
 //!
-//! Frames are fully determined by the store contents and the request —
-//! never by timing — so concurrent results can be compared against a
-//! serial baseline byte for byte.
+//! Content frames (everything after `QID`) are fully determined by the
+//! store contents and the request — never by timing — so concurrent
+//! results can be compared against a serial baseline byte for byte. The
+//! `QID` frame is the one timing-dependent line; [`query`] strips it.
+//!
+//! Every request is tracked in a lock-free [`ServiceMetrics`] registry
+//! (per-request-type counts + latency histograms, per-connection request
+//! counts, an in-flight gauge) scrapeable via `STATS` without touching the
+//! pool's job lock. Completion metrics are recorded *before* the response
+//! frames are written, so once a client has seen a terminal frame, a
+//! subsequent `STATS` snapshot is guaranteed to include that request —
+//! counts reconcile exactly with client-side observations. With
+//! `PEBBLE_TRACE` set, each request additionally records a
+//! [`SpanKind::Query`] span (`op` = request-kind ordinal, `task` = query
+//! id) exported through the usual NDJSON / chrome://tracing pipeline at
+//! shutdown.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use pebble_core::{canonical_provenance, AuditReport, Heatmap, TreePattern};
-use pebble_dataflow::{panic_message, EngineError, WorkerPool};
+use pebble_core::whynot::{parse_whynot_query, why_not};
+use pebble_core::{canonical_provenance, AuditReport, CapturedRun, Heatmap, TreePattern};
+use pebble_dataflow::{panic_message, Context, EngineError, WorkerPool};
 use pebble_nested::Path;
-use pebble_obs::{diag, json_escape, ServeStats};
+use pebble_obs::{
+    diag, json_escape, metrics_enabled, DurationSummary, ObsConfig, PoolGauges, RequestKind,
+    ServeStats, ServiceMetrics, ServiceSnapshot, SpanEvent, SpanKind, TraceCollector,
+};
 
 use crate::error::StoreError;
 use crate::store::ProvStore;
@@ -54,6 +75,10 @@ pub struct ServeConfig {
     /// query job, for exercising panic containment. Never read from the
     /// environment.
     pub debug_panic: bool,
+    /// Span export path (`PEBBLE_TRACE` by default). When set, every
+    /// request records a query span and the trace is exported on
+    /// shutdown.
+    pub trace_path: Option<String>,
 }
 
 /// Hard ceiling on query workers; more threads than this never helps a
@@ -90,17 +115,30 @@ impl Default for ServeConfig {
             addr,
             workers,
             debug_panic: false,
+            trace_path: ObsConfig::from_env().trace_path,
         }
     }
 }
 
-#[derive(Default)]
-struct Counters {
-    connections: AtomicU64,
-    queries: AtomicU64,
-    errors: AtomicU64,
-    panics: AtomicU64,
-    frames: AtomicU64,
+/// A captured run (plus its source datasets) attached to a serving store,
+/// enabling queries that need more than the persisted associations —
+/// today `WHYNOT`, which maps conditions backward through the live
+/// program.
+struct LiveRun {
+    run: CapturedRun,
+    ctx: Context,
+}
+
+/// Everything a connection thread needs, bundled once.
+struct Inner {
+    store: Arc<ProvStore>,
+    live: Option<LiveRun>,
+    pool: Arc<WorkerPool>,
+    metrics: ServiceMetrics,
+    trace: Option<TraceCollector>,
+    start: Instant,
+    next_qid: AtomicU64,
+    debug_panic: bool,
 }
 
 /// A running query service. Dropping the server shuts it down.
@@ -108,34 +146,64 @@ pub struct Server {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    counters: Arc<Counters>,
+    inner: Arc<Inner>,
+    trace_path: Option<String>,
 }
 
 impl Server {
     /// Binds and starts serving `store` in background threads.
     pub fn start(store: Arc<ProvStore>, cfg: &ServeConfig) -> Result<Server, StoreError> {
+        Server::start_with(store, None, cfg)
+    }
+
+    /// Like [`Server::start`], but additionally attaches the live
+    /// captured run (and its source context) the store was persisted
+    /// from, enabling `WHYNOT` queries. Store-only servers answer
+    /// `WHYNOT` with a typed `ERROR` frame.
+    pub fn start_live(
+        store: Arc<ProvStore>,
+        run: CapturedRun,
+        ctx: Context,
+        cfg: &ServeConfig,
+    ) -> Result<Server, StoreError> {
+        Server::start_with(store, Some(LiveRun { run, ctx }), cfg)
+    }
+
+    fn start_with(
+        store: Arc<ProvStore>,
+        live: Option<LiveRun>,
+        cfg: &ServeConfig,
+    ) -> Result<Server, StoreError> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let pool = WorkerPool::with_workers(cfg.workers.max(1));
         let shutdown = Arc::new(AtomicBool::new(false));
-        let counters = Arc::new(Counters::default());
-        let debug_panic = cfg.debug_panic;
+        let inner = Arc::new(Inner {
+            store,
+            live,
+            pool: WorkerPool::with_workers(cfg.workers.max(1)),
+            metrics: ServiceMetrics::new(),
+            trace: cfg
+                .trace_path
+                .as_ref()
+                .map(|_| TraceCollector::new(cfg.workers.max(1) + 1)),
+            start: Instant::now(),
+            next_qid: AtomicU64::new(1),
+            debug_panic: cfg.debug_panic,
+        });
 
         let accept = {
             let shutdown = Arc::clone(&shutdown);
-            let counters = Arc::clone(&counters);
+            let inner = Arc::clone(&inner);
             std::thread::spawn(move || {
                 for stream in listener.incoming() {
                     if shutdown.load(Relaxed) {
                         break;
                     }
                     let Ok(stream) = stream else { continue };
-                    counters.connections.fetch_add(1, Relaxed);
-                    let store = Arc::clone(&store);
-                    let pool = Arc::clone(&pool);
-                    let counters = Arc::clone(&counters);
+                    inner.metrics.connection_opened();
+                    let inner = Arc::clone(&inner);
                     std::thread::spawn(move || {
-                        serve_connection(stream, store, pool, counters, debug_panic);
+                        serve_connection(stream, inner);
                     });
                 }
             })
@@ -144,7 +212,8 @@ impl Server {
             local_addr,
             shutdown,
             accept: Some(accept),
-            counters,
+            inner,
+            trace_path: cfg.trace_path.clone(),
         })
     }
 
@@ -153,19 +222,30 @@ impl Server {
         self.local_addr
     }
 
-    /// Point-in-time service counters (the `serve` report section).
+    /// Point-in-time service counters (the `serve` report section),
+    /// folded down from the per-request-type registry.
     pub fn stats(&self) -> ServeStats {
+        let s = self.inner.metrics.snapshot();
+        let latency = s.total_latency();
         ServeStats {
-            connections: self.counters.connections.load(Relaxed),
-            queries: self.counters.queries.load(Relaxed),
-            errors: self.counters.errors.load(Relaxed),
-            panics_contained: self.counters.panics.load(Relaxed),
-            frames_sent: self.counters.frames.load(Relaxed),
+            connections: s.connections_opened,
+            queries: s.total_started(),
+            errors: s.total_errors(),
+            panics_contained: s.panics_contained,
+            frames_sent: s.total_frames(),
+            query_durations: (latency.count > 0).then(|| DurationSummary::from_snapshot(&latency)),
         }
     }
 
+    /// Full per-request-type snapshot of the service registry (the same
+    /// data the `STATS` wire command renders).
+    pub fn service_snapshot(&self) -> ServiceSnapshot {
+        self.inner.metrics.snapshot()
+    }
+
     /// Stops accepting connections and joins the accept thread. In-flight
-    /// connections finish their current query.
+    /// connections finish their current query. Recorded query spans are
+    /// exported on the first shutdown.
     pub fn shutdown(&mut self) {
         if self.shutdown.swap(true, Relaxed) {
             return;
@@ -189,6 +269,17 @@ impl Server {
         if let Some(handle) = self.accept.take() {
             let _ = handle.join();
         }
+        if let (Some(trace), Some(path)) = (&self.inner.trace, &self.trace_path) {
+            let spans = trace.drain_sorted();
+            if !spans.is_empty() {
+                if let Err(e) = pebble_obs::span::export(path, &spans) {
+                    diag::warn_once(
+                        "serve.trace_export",
+                        &format!("failed to export service trace to {path}: {e}"),
+                    );
+                }
+            }
+        }
     }
 }
 
@@ -198,19 +289,14 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    store: Arc<ProvStore>,
-    pool: Arc<WorkerPool>,
-    counters: Arc<Counters>,
-    debug_panic: bool,
-) {
+fn serve_connection(stream: TcpStream, inner: Arc<Inner>) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(stream);
     let mut line = String::new();
+    let mut served = 0u64;
     loop {
         line.clear();
         match reader.read_line(&mut line) {
@@ -221,14 +307,26 @@ fn serve_connection(
         if request.is_empty() {
             continue;
         }
-        counters.queries.fetch_add(1, Relaxed);
+        served += 1;
+        let kind = RequestKind::from_request(&request);
+        let qid = inner.next_qid.fetch_add(1, Relaxed);
+        inner.metrics.begin(kind);
+        // The latency clock only runs when someone will consume it
+        // (metrics or tracing); the metrics-off serve path stays free of
+        // timestamp reads.
+        let span_start_ns = inner
+            .trace
+            .as_ref()
+            .map(|_| inner.start.elapsed().as_nanos() as u64);
+        let timer = (metrics_enabled() || inner.trace.is_some()).then(Instant::now);
         // Evaluate on the pool so a panicking query is contained there and
         // the connection (and server) survive to report it as a frame.
         let (tx, rx) = mpsc::channel::<std::thread::Result<Vec<String>>>();
         {
-            let store = Arc::clone(&store);
-            pool.submit_job(
-                move || answer(&store, &request, debug_panic),
+            let inner = Arc::clone(&inner);
+            let request = request.clone();
+            inner.pool.clone().submit_job(
+                move || answer(&inner, &request),
                 move |result| {
                     let _ = tx.send(result);
                 },
@@ -237,7 +335,7 @@ fn serve_connection(
         let frames = match rx.recv() {
             Ok(Ok(frames)) => frames,
             Ok(Err(payload)) => {
-                counters.panics.fetch_add(1, Relaxed);
+                inner.metrics.panics_contained.fetch_add(1, Relaxed);
                 let err = EngineError::WorkerPanic {
                     payload: panic_message(payload.as_ref()),
                 };
@@ -248,32 +346,52 @@ fn serve_connection(
                 EngineError::Internal("query job was dropped without a result".into())
             )],
         };
-        if frames.last().is_some_and(|f| f.starts_with("ERROR ")) {
-            counters.errors.fetch_add(1, Relaxed);
+        let error = frames.last().is_some_and(|f| f.starts_with("ERROR "));
+        let dur_ns = timer.map(|t| t.elapsed().as_nanos() as u64);
+        if let (Some(trace), Some(start_ns)) = (&inner.trace, span_start_ns) {
+            trace.record(SpanEvent {
+                kind: SpanKind::Query,
+                name: kind.name(),
+                op: kind.idx() as u32,
+                phase: 0,
+                task: qid as u32,
+                worker: 0,
+                start_ns,
+                dur_ns: dur_ns.unwrap_or(0),
+                rows: frames.len() as u64,
+            });
         }
-        counters.frames.fetch_add(frames.len() as u64, Relaxed);
-        let mut broken = false;
+        // Completion is recorded BEFORE the frames are written: a client
+        // that has seen this request's terminal frame is guaranteed a
+        // later STATS snapshot counts it — exact reconciliation.
+        inner.metrics.finish(
+            kind,
+            error,
+            frames.len() as u64,
+            metrics_enabled().then(|| dur_ns.unwrap_or(0)),
+        );
+        let mut broken = writer.write_all(format!("QID {qid}\n").as_bytes()).is_err();
         for frame in &frames {
-            if writer
-                .write_all(frame.as_bytes())
-                .and_then(|_| writer.write_all(b"\n"))
-                .is_err()
-            {
-                broken = true;
+            if broken {
                 break;
             }
+            broken = writer
+                .write_all(frame.as_bytes())
+                .and_then(|_| writer.write_all(b"\n"))
+                .is_err();
         }
         if broken || writer.flush().is_err() {
             break;
         }
     }
+    inner.metrics.connection_closed(served);
 }
 
 /// Computes the full frame sequence for one request line. Runs inside a
 /// pool job; panics are contained by the caller.
-fn answer(store: &ProvStore, request: &str, debug_panic: bool) -> Vec<String> {
-    let start = pebble_obs::metrics_enabled().then(std::time::Instant::now);
-    let frames = match evaluate(store, request, debug_panic) {
+fn answer(inner: &Inner, request: &str) -> Vec<String> {
+    let start = metrics_enabled().then(Instant::now);
+    let frames = match evaluate(inner, request) {
         Ok(frames) => frames,
         Err(e) => vec![format!("ERROR {}", EngineError::from(e))],
     };
@@ -285,11 +403,8 @@ fn answer(store: &ProvStore, request: &str, debug_panic: bool) -> Vec<String> {
     frames
 }
 
-fn evaluate(
-    store: &ProvStore,
-    request: &str,
-    debug_panic: bool,
-) -> Result<Vec<String>, StoreError> {
+fn evaluate(inner: &Inner, request: &str) -> Result<Vec<String>, StoreError> {
+    let store = inner.store.as_ref();
     let (verb, rest) = match request.split_once(char::is_whitespace) {
         Some((v, r)) => (v, r.trim()),
         None => (request, ""),
@@ -345,7 +460,45 @@ fn evaluate(
             }
             audit_frames(store)
         }
-        "PANIC" if debug_panic => panic!("debug panic requested by client"),
+        "WHYNOT" => {
+            let Some(live) = &inner.live else {
+                return Err(StoreError::BadRequest(
+                    "WHYNOT requires a live captured run (serve with start_live)".into(),
+                ));
+            };
+            if rest.is_empty() {
+                return Err(StoreError::BadRequest(
+                    "WHYNOT needs conditions `path=value[, path=value]`".into(),
+                ));
+            }
+            let conds = parse_whynot_query(rest)
+                .map_err(|e| StoreError::BadRequest(format!("invalid WHYNOT query: {e}")))?;
+            let answer = why_not(&live.run, &live.ctx, &conds)
+                .map_err(|e| StoreError::BadRequest(e.to_string()))?;
+            let lines = answer.render(&live.run);
+            let mut frames = Vec::with_capacity(lines.len() + 2);
+            frames.push(format!("PROGRESS 0/{}", lines.len()));
+            for l in &lines {
+                frames.push(format!("DATA {{\"line\": \"{}\"}}", json_escape(l)));
+            }
+            frames.push(format!("DONE {}", lines.len()));
+            Ok(frames)
+        }
+        "STATS" => {
+            if !rest.is_empty() {
+                return Err(StoreError::BadRequest(format!(
+                    "unexpected argument `{rest}`"
+                )));
+            }
+            let gauges = PoolGauges {
+                workers: inner.pool.size() as u64,
+                queue_depth: inner.pool.queue_depth(),
+                active: inner.pool.active_workers(),
+            };
+            let json = inner.metrics.snapshot().to_stats_json(&gauges);
+            Ok(vec![format!("DATA {json}"), "DONE 1".to_string()])
+        }
+        "PANIC" if inner.debug_panic => panic!("debug panic requested by client"),
         other => Err(StoreError::BadRequest(format!("unknown verb `{other}`"))),
     }
 }
@@ -448,22 +601,41 @@ fn audit_frames(store: &ProvStore) -> Result<Vec<String>, StoreError> {
 }
 
 /// Blocking client helper: connects, sends one request line, and returns
-/// all frames up to and including the terminal `DONE`/`ERROR`.
+/// all content frames up to and including the terminal `DONE`/`ERROR`.
+/// The bookkeeping `QID` frame is stripped, so the result is byte-
+/// comparable across serial and concurrent runs; use [`query_with_id`] to
+/// keep the id.
 pub fn query(addr: impl ToSocketAddrs, request: &str) -> std::io::Result<Vec<String>> {
+    query_with_id(addr, request).map(|(_, frames)| frames)
+}
+
+/// Like [`query`], but also returns the query id the server assigned
+/// (`None` only when talking to a pre-QID server).
+pub fn query_with_id(
+    addr: impl ToSocketAddrs,
+    request: &str,
+) -> std::io::Result<(Option<u64>, Vec<String>)> {
     let stream = TcpStream::connect(addr)?;
     let mut writer = stream.try_clone()?;
     writer.write_all(request.as_bytes())?;
     writer.write_all(b"\n")?;
     writer.flush()?;
     let reader = BufReader::new(stream);
+    let mut qid = None;
     let mut frames = Vec::new();
     for line in reader.lines() {
         let line = line?;
+        if frames.is_empty() && qid.is_none() {
+            if let Some(id) = line.strip_prefix("QID ") {
+                qid = id.trim().parse::<u64>().ok();
+                continue;
+            }
+        }
         let terminal = line.starts_with("DONE ") || line.starts_with("ERROR ");
         frames.push(line);
         if terminal {
             break;
         }
     }
-    Ok(frames)
+    Ok((qid, frames))
 }

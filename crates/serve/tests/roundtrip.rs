@@ -126,6 +126,7 @@ fn server_answers_match_local_computation() {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         debug_panic: false,
+        trace_path: None,
     };
     let local = Arc::clone(&store);
     let mut server = Server::start(store, &cfg).unwrap();

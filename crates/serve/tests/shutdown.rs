@@ -50,6 +50,7 @@ fn shutdown_completes_when_bound_to_unspecified_addr() {
             addr: "0.0.0.0:0".to_string(),
             workers: 2,
             debug_panic: false,
+            trace_path: None,
         };
         let mut server = Server::start(store, &cfg).unwrap();
         assert!(server.local_addr().ip().is_unspecified());
@@ -71,6 +72,7 @@ fn drop_completes_when_bound_to_unspecified_addr() {
             addr: "0.0.0.0:0".to_string(),
             workers: 1,
             debug_panic: false,
+            trace_path: None,
         };
         let server = Server::start(store, &cfg).unwrap();
         drop(server); // Drop calls shutdown; must not hang either.

@@ -1,18 +1,21 @@
-//! Concurrency stress: many client threads issuing interleaved backtrace
-//! and heatmap queries against one server must each observe exactly the
-//! frames a serial client observes, and a panicking query must not take
-//! down the server or any other client's query.
+//! Concurrency stress: many client threads issuing an interleaved mix of
+//! every request type against one server must each observe exactly the
+//! frames a serial client observes, the server's `STATS` accounting must
+//! reconcile *exactly* with what the clients counted, and a panicking
+//! query must not take down the server or any other client's query.
 
 use std::sync::Arc;
 
 use pebble_core::run_captured;
-use pebble_dataflow::ExecConfig;
+use pebble_dataflow::{Context, ExecConfig};
+use pebble_nested::{json, DataItem, Value};
+use pebble_obs::RequestKind;
 use pebble_serve::{persist, query, ProvStore, ServeConfig, Server};
 use pebble_workloads::{dblp_context, dblp_scenarios};
 
 const CLIENTS: usize = 32;
 
-fn build_store() -> Arc<ProvStore> {
+fn build_live() -> (Arc<ProvStore>, pebble_core::CapturedRun, Context) {
     let ctx = dblp_context(200);
     for scenario in dblp_scenarios() {
         let run = run_captured(
@@ -22,18 +25,32 @@ fn build_store() -> Arc<ProvStore> {
         )
         .unwrap();
         if !run.output.rows.is_empty() {
-            return Arc::new(ProvStore::from_bytes(&persist(&run)).unwrap());
+            let store = Arc::new(ProvStore::from_bytes(&persist(&run)).unwrap());
+            return (store, run, ctx);
         }
     }
     panic!("no DBLP scenario produced result rows at 200 records");
 }
 
+fn build_store() -> Arc<ProvStore> {
+    build_live().0
+}
+
+/// One query of every request type, plus a typed error.
 fn query_mix(store: &ProvStore) -> Vec<String> {
     let n = store.rows().len();
     assert!(n > 0, "stress scenario produced no rows");
+    let label = store
+        .rows()
+        .first()
+        .and_then(|r| r.item.fields().next())
+        .map(|(l, _)| l.to_string())
+        .expect("first row has no fields");
     let mut mix = vec![
         "HEATMAP 10".to_string(),
         "AUDIT".to_string(),
+        format!("PATTERN //{label}"),
+        format!("WHYNOT {label}=\"__stress_missing__\""),
         "BACKTRACE 999999".to_string(), // typed error, same for everyone
     ];
     for idx in (0..n).step_by((n / 6).max(1)) {
@@ -42,15 +59,42 @@ fn query_mix(store: &ProvStore) -> Vec<String> {
     mix
 }
 
+/// `requests.<kind>.<field>` from a parsed `STATS` document.
+fn kind_field(doc: &DataItem, kind: RequestKind, field: &str) -> i64 {
+    let Some(Value::Item(requests)) = doc.get("requests") else {
+        panic!("STATS document has no requests object");
+    };
+    let Some(Value::Item(section)) = requests.get(kind.name()) else {
+        panic!("STATS requests has no `{}` section", kind.name());
+    };
+    section
+        .get(field)
+        .and_then(Value::as_int)
+        .unwrap_or_else(|| panic!("requests.{}.{field} missing", kind.name()))
+}
+
+fn stats_doc(addr: std::net::SocketAddr) -> DataItem {
+    let frames = query(addr, "STATS").unwrap();
+    let payload = frames
+        .iter()
+        .find_map(|f| f.strip_prefix("DATA "))
+        .unwrap_or_else(|| panic!("STATS returned no DATA frame: {frames:?}"));
+    match json::parse(payload) {
+        Ok(Value::Item(d)) => d,
+        other => panic!("STATS payload is not a JSON object: {other:?}"),
+    }
+}
+
 #[test]
 fn concurrent_clients_match_serial_baseline() {
-    let store = build_store();
+    let (store, run, ctx) = build_live();
     let cfg = ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers: 4,
         debug_panic: false,
+        trace_path: None,
     };
-    let mut server = Server::start(Arc::clone(&store), &cfg).unwrap();
+    let mut server = Server::start_live(Arc::clone(&store), run, ctx, &cfg).unwrap();
     let addr = server.local_addr();
     let mix = query_mix(&store);
 
@@ -84,6 +128,56 @@ fn concurrent_clients_match_serial_baseline() {
     let expected = (CLIENTS + 1) * mix.len();
     assert_eq!(stats.queries, expected as u64);
     assert_eq!(stats.panics_contained, 0);
+
+    // Exact per-type reconciliation: the server's STATS counters must
+    // equal what the clients themselves issued and observed — every
+    // request classified, none lost, none double-counted.
+    let passes = (CLIENTS + 1) as i64;
+    let doc = stats_doc(addr);
+    for kind in [
+        RequestKind::Backtrace,
+        RequestKind::Pattern,
+        RequestKind::Heatmap,
+        RequestKind::Audit,
+        RequestKind::WhyNot,
+    ] {
+        let sent = mix
+            .iter()
+            .filter(|q| RequestKind::from_request(q) == kind)
+            .count() as i64;
+        let errored = mix
+            .iter()
+            .enumerate()
+            .filter(|(i, q)| {
+                RequestKind::from_request(q) == kind
+                    && baseline[*i].last().is_some_and(|f| f.starts_with("ERROR "))
+            })
+            .count() as i64;
+        assert_eq!(
+            kind_field(&doc, kind, "completed"),
+            sent * passes,
+            "completed count for `{}` does not reconcile",
+            kind.name()
+        );
+        assert_eq!(
+            kind_field(&doc, kind, "errors"),
+            errored * passes,
+            "error count for `{}` does not reconcile",
+            kind.name()
+        );
+        assert_eq!(
+            kind_field(&doc, kind, "started"),
+            sent * passes,
+            "started count for `{}` does not reconcile",
+            kind.name()
+        );
+    }
+    // No client sent an unclassifiable request; the STATS request itself
+    // is in flight while its own snapshot is taken.
+    assert_eq!(kind_field(&doc, RequestKind::Other, "started"), 0);
+    assert_eq!(kind_field(&doc, RequestKind::Stats, "started"), 1);
+    assert_eq!(kind_field(&doc, RequestKind::Stats, "completed"), 0);
+
     server.shutdown();
 }
 
@@ -94,6 +188,7 @@ fn panicking_query_is_contained() {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         debug_panic: true,
+        trace_path: None,
     };
     let mut server = Server::start(Arc::clone(&store), &cfg).unwrap();
     let addr = server.local_addr();
@@ -130,5 +225,13 @@ fn panicking_query_is_contained() {
     let stats = server.stats();
     assert_eq!(stats.panics_contained, 16);
     assert_eq!(stats.errors, 16);
+
+    // The contained panics are visible in STATS too: PANIC is an
+    // unclassified verb, so all 16 land on the `other` kind as errors.
+    let doc = stats_doc(addr);
+    assert_eq!(kind_field(&doc, RequestKind::Other, "completed"), 16);
+    assert_eq!(kind_field(&doc, RequestKind::Other, "errors"), 16);
+    assert!(doc.get("panics_contained").and_then(Value::as_int) == Some(16));
+
     server.shutdown();
 }

@@ -2,17 +2,23 @@
 //!
 //! Synthetic substitutes for the paper's 500 GB Twitter and DBLP inputs
 //! (see DESIGN.md for the substitution rationale), the running example of
-//! Sec. 2, and the ten evaluation scenarios of Tab. 7.
+//! Sec. 2, the ten evaluation scenarios of Tab. 7, and the multi-tenant
+//! [`mod@loadgen`] harness (open- and closed-loop generators over an
+//! arbitrary query transport).
 
 #![warn(missing_docs)]
 
 pub mod dblp;
 pub mod fuzz;
+pub mod loadgen;
 pub mod running_example;
 pub mod scenarios;
 pub mod twitter;
 
 pub use dblp::{DblpConfig, DblpData};
 pub use fuzz::{fuzz_dblp_context, fuzz_twitter_context};
+pub use loadgen::{
+    rates_from_env, run_closed_loop, run_open_loop, ClosedLoopConfig, LoadReport, OpenLoopConfig,
+};
 pub use scenarios::{dblp_context, dblp_scenarios, twitter_context, twitter_scenarios, Scenario};
 pub use twitter::TwitterConfig;

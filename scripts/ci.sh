@@ -114,4 +114,20 @@ cargo run -q --release -p pebble-bench --bin backend_smoke
 echo "==> backend regression guard (backendbench --assert)"
 cargo run -q --release -p pebble-bench --bin backendbench -- --assert
 
+# Load-generator smoke: closed-loop multi-tenant mixed traffic (all
+# request kinds, incl. WHYNOT and tenant-local engine runs) against a
+# live server; the server's STATS accounting must reconcile exactly with
+# client observation and every request must appear as a query span in
+# the exported trace.
+echo "==> load-generator smoke (closed loop + STATS reconciliation)"
+cargo run -q --release -p pebble-bench --bin load_smoke
+
+# Load regression guard: serial-baseline byte-equality under load, the
+# open-loop offered-rate sweep (>=5 points), low-load p99 within bounds
+# of the serial latency, and metrics-on serve-path overhead <2% with
+# byte-identical frames; the curve folds into the "load" section of
+# BENCH_8.json.
+echo "==> load regression guard (loadbench --assert)"
+cargo run -q --release -p pebble-bench --bin loadbench -- --assert --out BENCH_8.json
+
 echo "CI OK"
